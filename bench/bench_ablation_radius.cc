@@ -1,0 +1,92 @@
+// Ablation: explaining-subgraph radius L. The paper fixes L = 3 ("longer
+// paths are generally unintuitive and carry less authority") — this bench
+// quantifies the trade-off: subgraph size and explanation cost grow with
+// L, while reformulation quality saturates early.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/searcher.h"
+#include "explain/explainer.h"
+#include "text/query.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Ablation: explaining-subgraph radius L "
+              "(scale=%.3f) ===\n\n", scale);
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      bench::ScaledDblp(datasets::DblpGeneratorConfig::DblpTop(), scale));
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+
+  // A fixed query and its top results to explain.
+  core::Searcher searcher(dblp.dataset.data(), dblp.dataset.authority(),
+                          dblp.dataset.corpus());
+  text::QueryVector query(text::ParseQuery("query optimization"));
+  core::SearchOptions search_options;
+  search_options.result_type = dblp.types.paper;
+  auto search = searcher.Search(query, rates, search_options);
+  if (!search.ok()) {
+    std::printf("search failed: %s\n", search.status().ToString().c_str());
+    return 1;
+  }
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), query);
+
+  TablePrinter table({"L", "subgraph nodes", "subgraph edges",
+                      "explain iters", "explain ms",
+                      "final precision (survey)"});
+  explain::Explainer explainer(dblp.dataset.data(),
+                               dblp.dataset.authority());
+  for (int radius = 1; radius <= 5; ++radius) {
+    // Structural cost: average over the top-5 results.
+    double nodes = 0, edges = 0, iters = 0, ms = 0;
+    int explained = 0;
+    for (const core::ScoredNode& r : search->top) {
+      if (explained >= 5) break;
+      explain::ExplainOptions options;
+      options.radius = radius;
+      auto explanation = explainer.Explain(r.node, *base, search->scores,
+                                           rates, 0.85, options);
+      if (!explanation.ok()) continue;
+      nodes += explanation->subgraph.num_nodes();
+      edges += explanation->subgraph.num_edges();
+      iters += explanation->iterations;
+      ms += 1e3 * (explanation->construction_seconds +
+                   explanation->adjustment_seconds);
+      ++explained;
+    }
+    if (explained > 0) {
+      nodes /= explained;
+      edges /= explained;
+      iters /= explained;
+      ms /= explained;
+    }
+
+    // Quality: a short structure-only survey with this radius.
+    bench::SweepConfig config;
+    config.survey.feedback_iterations = 3;
+    config.survey.reform.structure.adjustment = 0.5;
+    config.survey.reform.content.expansion = 0.0;
+    config.survey.reform.explain.radius = radius;
+    config.survey.search.result_type = dblp.types.paper;
+    config.survey.user.relevant_pool = 30;
+    config.num_users = 3;
+    config.queries_per_user = 3;
+    bench::SweepResult sweep = bench::RunDblpSweep(dblp, config);
+    const double final_precision =
+        sweep.precision.empty() ? 0.0 : sweep.precision.back();
+
+    table.AddRow({std::to_string(radius), FormatDouble(nodes, 0),
+                  FormatDouble(edges, 0), FormatDouble(iters, 1),
+                  FormatDouble(ms, 2), FormatDouble(final_precision, 4)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected: candidate balls grow steeply with L, but relative "
+              "flow pruning (threshold = fraction of the max flow, which "
+              "grows with the ball) caps the displayed subgraph; quality "
+              "saturates by L=3 (the paper's production setting).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Related-work baselines (Section 7): top-10 precision of
+//   * ObjectRank2 (this paper),
+//   * the modified original ObjectRank (Equation 16),
+//   * HITS on the query's focused subgraph [Kle99],
+//   * BM25 text ranking alone (the "traditional IR" the intro contrasts),
+// judged by the simulated ground-truth users, over the survey query mix.
+// Expected ordering: ObjectRank2 >= ObjectRank > HITS ~ BM25 — the
+// schema-aware, keyword-specific authority flow is what the baselines
+// lack.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/hits.h"
+#include "core/searcher.h"
+#include "eval/metrics.h"
+#include "eval/simulated_user.h"
+#include "text/query.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Baselines: ObjectRank2 vs ObjectRank vs HITS vs BM25 "
+              "(top-10 precision, scale=%.3f) ===\n\n", scale);
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      bench::ScaledDblp(datasets::DblpGeneratorConfig::DblpTop(), scale));
+  const graph::DataGraph& data = dblp.dataset.data();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+
+  constexpr int kUsers = 5;
+  Rng rng(19990901);
+  std::vector<graph::TransferRates> judge_rates;
+  for (int u = 0; u < kUsers; ++u) {
+    judge_rates.push_back(
+        bench::PerturbedRates(dblp.dataset.schema(), rates, 0.2, rng));
+  }
+
+  core::SearchOptions or2_options;
+  or2_options.result_type = dblp.types.paper;
+  or2_options.use_warm_start = false;
+  core::SearchOptions or_options = or2_options;
+  or_options.mode = core::RankMode::kObjectRankBaseline;
+
+  TablePrinter table({"query", "ObjectRank2", "ObjectRank", "HITS",
+                      "BM25"});
+  double sums[4] = {0, 0, 0, 0};
+  int counted = 0;
+  for (const std::string& query_text : bench::DblpSurveyQueries()) {
+    text::QueryVector query(text::ParseQuery(query_text));
+    core::Searcher searcher(data, dblp.dataset.authority(),
+                            dblp.dataset.corpus());
+    auto or2 = searcher.Search(query, rates, or2_options);
+    searcher.ResetSession();
+    auto or1 = searcher.Search(query, rates, or_options);
+    auto base = core::BuildBaseSet(dblp.dataset.corpus(), query);
+    if (!or2.ok() || !or1.ok() || !base.ok()) continue;
+
+    // HITS authorities on the focused subgraph.
+    auto hits = core::ComputeHits(data, *base);
+    if (!hits.ok()) continue;
+    auto hits_top = core::TopKOfType(hits->authorities, 10, data,
+                                     dblp.types.paper);
+
+    // BM25-only: score every posting of every query term.
+    std::vector<double> bm25_scores(data.num_nodes(), 0.0);
+    for (const auto& [doc, score] :
+         text::ScoreBaseSet(dblp.dataset.corpus(), query)) {
+      bm25_scores[doc] = score;
+    }
+    auto bm25_top = core::TopKOfType(bm25_scores, 10, data,
+                                     dblp.types.paper);
+
+    double precision[4] = {0, 0, 0, 0};
+    int judges = 0;
+    for (int u = 0; u < kUsers; ++u) {
+      eval::SimulatedUserOptions user_options;
+      user_options.relevant_pool = 10;
+      user_options.search = or2_options;
+      eval::SimulatedUser judge(data, dblp.dataset.authority(),
+                                dblp.dataset.corpus(), judge_rates[u],
+                                user_options);
+      if (!judge.SetIntent(query)) continue;
+      precision[0] += eval::Precision(or2->top, judge.relevant_set());
+      precision[1] += eval::Precision(or1->top, judge.relevant_set());
+      precision[2] += eval::Precision(hits_top, judge.relevant_set());
+      precision[3] += eval::Precision(bm25_top, judge.relevant_set());
+      ++judges;
+    }
+    if (judges == 0) continue;
+    std::vector<std::string> row{"[" + query_text + "]"};
+    for (int m = 0; m < 4; ++m) {
+      precision[m] = 10.0 * precision[m] / judges;
+      sums[m] += precision[m];
+      row.push_back(FormatDouble(precision[m], 1));
+    }
+    ++counted;
+    table.AddRow(std::move(row));
+  }
+  if (counted > 0) {
+    std::vector<std::string> avg{"Average"};
+    for (double s : sums) avg.push_back(FormatDouble(s / counted, 1));
+    table.AddRow(std::move(avg));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Expected: ObjectRank2 >= ObjectRank >= HITS (HITS lacks "
+              "edge-type semantics), and BM25 near zero — text ranking "
+              "misses the authoritative results that do not contain the "
+              "keywords, the paper's Section 1 motivation (the \"Data "
+              "Cube\" effect).\n");
+  return 0;
+}

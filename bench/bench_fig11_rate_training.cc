@@ -1,0 +1,45 @@
+// Figure 11 reproduction: training the authority transfer rates. The
+// structure-only reformulation starts from uniform rates (0.3 everywhere)
+// and, via user feedback, is expected to move the rate vector toward the
+// hand-tuned [BHP04] ground truth. We report the cosine similarity
+// cos(ObjVector, UserVector) per iteration for
+// C_f in {0.1, 0.3, 0.5, 0.7, 0.9} — the paper observes a rise followed
+// by an overfitting decline, with larger C_f peaking faster.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Figure 11: training of the authority transfer rates "
+              "(cosine similarity to ground truth; scale=%.3f) ===\n\n",
+              scale);
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      bench::ScaledDblp(datasets::DblpGeneratorConfig::DblpTop(), scale));
+
+  std::printf("%-28s %s\n", "setting",
+              "iter1   iter2   iter3   iter4   iter5   iter6");
+  for (double cf : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    bench::SweepConfig config;
+    config.survey.feedback_iterations = 5;  // 6 points incl. the initial
+    config.survey.max_feedback_objects = 2;
+    config.survey.reform.structure.adjustment = cf;
+    config.survey.reform.content.expansion = 0.0;
+    config.survey.reform.explain.radius = 3;
+    config.survey.search.result_type = dblp.types.paper;
+    config.survey.user.relevant_pool = 30;
+    config.num_users = 4;
+    config.queries_per_user = 5;
+    config.initial_rate = 0.3;
+    bench::SweepResult sweep = bench::RunDblpSweep(dblp, config);
+    char label[32];
+    std::snprintf(label, sizeof(label), "Cf=%.1f", cf);
+    bench::PrintSeries(label, sweep.rate_cosine);
+  }
+  std::printf("\nPaper (Figure 11): curves start ~0.84, rise toward "
+              "~0.9-0.98, then dip (overfitting); larger Cf peaks "
+              "faster.\n");
+  return 0;
+}

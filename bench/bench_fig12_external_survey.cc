@@ -1,0 +1,40 @@
+// Figure 12 reproduction: external survey — average precision using only
+// structure-based reformulation (C_f = 0.5) over 5 feedback iterations,
+// averaged over 20 queries by 10 users (2 queries per user) on DBLPtop.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Figure 12: external survey, structure-only "
+              "reformulation with Cf=0.5 (scale=%.3f) ===\n\n", scale);
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      bench::ScaledDblp(datasets::DblpGeneratorConfig::DblpTop(), scale));
+
+  bench::SweepConfig config;
+  config.survey.feedback_iterations = 5;
+  config.survey.max_feedback_objects = 2;
+  config.survey.reform.structure.adjustment = 0.5;
+  config.survey.reform.content.expansion = 0.0;
+  config.survey.reform.explain.radius = 3;
+  config.survey.search.result_type = dblp.types.paper;
+  config.survey.search.k = 10;
+  config.survey.user.relevant_pool = 30;
+  config.num_users = 10;
+  config.queries_per_user = 2;
+  config.user_noise = 0.25;  // external subjects vary more
+  config.seed = 20080612;
+  config.initial_rate = 0.3;
+
+  bench::SweepResult sweep = bench::RunDblpSweep(dblp, config);
+  std::printf("%-28s %s\n", "",
+              "initial  reform1  reform2  reform3  reform4  reform5");
+  bench::PrintSeries("structure-only", sweep.precision);
+  std::printf("\n(%d sessions) Paper (Figure 12): precision climbs from "
+              "~27%% to ~35%% and flattens/dips at the last iteration.\n",
+              sweep.sessions);
+  return 0;
+}

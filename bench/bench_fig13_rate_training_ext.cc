@@ -1,0 +1,38 @@
+// Figure 13 reproduction: authority-transfer-rate training curve of the
+// external survey (same sessions as Figure 12), reported as
+// cos(ObjVector, UserVector) per iteration.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Figure 13: external-survey rate training (cosine "
+              "similarity; scale=%.3f) ===\n\n", scale);
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      bench::ScaledDblp(datasets::DblpGeneratorConfig::DblpTop(), scale));
+
+  bench::SweepConfig config;
+  config.survey.feedback_iterations = 5;
+  config.survey.max_feedback_objects = 2;
+  config.survey.reform.structure.adjustment = 0.5;
+  config.survey.reform.content.expansion = 0.0;
+  config.survey.reform.explain.radius = 3;
+  config.survey.search.result_type = dblp.types.paper;
+  config.survey.user.relevant_pool = 30;
+  config.num_users = 10;
+  config.queries_per_user = 2;
+  config.user_noise = 0.25;
+  config.seed = 20080612;
+  config.initial_rate = 0.3;
+
+  bench::SweepResult sweep = bench::RunDblpSweep(dblp, config);
+  std::printf("%-28s %s\n", "",
+              "iter1   iter2   iter3   iter4   iter5   iter6");
+  bench::PrintSeries("cos(ObjVector,UserVector)", sweep.rate_cosine);
+  std::printf("\nPaper (Figure 13): similar shape to the internal training "
+              "curves — rise from ~0.84 toward ~0.95, then a dip.\n");
+  return 0;
+}

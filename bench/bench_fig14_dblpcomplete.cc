@@ -1,0 +1,31 @@
+// Figure 14 reproduction: DBLPcomplete execution. Panel (a) breaks the
+// cost of each feedback iteration into the four stages of Section 6.2;
+// panel (b) shows the ObjectRank2 power-iteration counts — the initial
+// query converges slowly (~28 iterations in the paper), warm-started
+// reformulated queries much faster (~8-11).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Figure 14: DBLPcomplete execution (scale=%.3f) ===\n\n",
+              scale);
+  datasets::DblpDataset dblp = datasets::GenerateDblp(bench::ScaledDblp(
+      datasets::DblpGeneratorConfig::DblpComplete(), scale));
+  std::printf("dataset: %zu nodes, %zu edges\n\n",
+              dblp.dataset.data().num_nodes(),
+              dblp.dataset.data().num_edges());
+
+  bench::SweepResult sweep = bench::RunDblpSweep(
+      dblp, bench::PerformanceSweepConfig(dblp.types.paper));
+  bench::PrintPerformanceFigure(sweep);
+  std::printf("\nPaper (Figure 14): initial ObjectRank2 ~28 s on a 2008 "
+              "Power4+; reformulated queries dominated by the same stage "
+              "but ~3x cheaper thanks to warm starts; explaining stages "
+              "and reformulation are negligible. Iterations: ~28 initial, "
+              "~8-11 reformulated.\n");
+  return 0;
+}

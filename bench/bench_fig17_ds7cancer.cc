@@ -1,0 +1,32 @@
+// Figure 17 reproduction: DS7cancer execution — the cancer-focused subset
+// (PubMed publications about "cancer" plus all related entities), derived
+// from DS7 exactly the way the paper derived it.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  std::printf("=== Figure 17: DS7cancer execution (scale=%.3f) ===\n\n",
+              scale);
+  datasets::BioDataset ds7 = datasets::GenerateBio(
+      bench::ScaledBio(datasets::BioGeneratorConfig::Ds7(), scale));
+  datasets::BioDataset cancer = datasets::ExtractBioSubset(ds7, "cancer");
+  if (cancer.dataset.data().num_nodes() == 0) {
+    std::printf("no cancer publications at this scale; nothing to do\n");
+    return 0;
+  }
+  std::printf("dataset: %zu nodes, %zu edges (subset of DS7's %zu nodes)\n\n",
+              cancer.dataset.data().num_nodes(),
+              cancer.dataset.data().num_edges(),
+              ds7.dataset.data().num_nodes());
+
+  bench::SweepResult sweep = bench::RunBioSweep(
+      cancer, bench::PerformanceSweepConfig(cancer.types.pubmed));
+  bench::PrintPerformanceFigure(sweep);
+  std::printf("\nPaper (Figure 17): ~2.3 s initial, ~0.7-0.9 s "
+              "reformulated; iterations ~4-5 with warm starts helping.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) of ORX's building blocks: the power
+// iteration inner loop, index construction, BM25 base-set scoring,
+// explaining-subgraph construction, top-k selection and the generators.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/searcher.h"
+#include "explain/explainer.h"
+#include "text/query.h"
+
+namespace {
+
+using namespace orx;
+
+const datasets::DblpDataset& BenchDblp() {
+  static const datasets::DblpDataset& dblp = *new datasets::DblpDataset(
+      datasets::GenerateDblp(
+          datasets::DblpGeneratorConfig::Tiny(/*papers=*/20'000,
+                                              /*seed=*/99)));
+  return dblp;
+}
+
+void BM_PowerIteration(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  text::QueryVector q(text::ParseQuery("data"));
+  auto base = *core::BuildBaseSet(dblp.dataset.corpus(), q);
+  core::ObjectRankOptions options;
+  options.epsilon = 0.0;  // fixed work per run
+  options.max_iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = engine.Compute(base, rates, options);
+    benchmark::DoNotOptimize(result.scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          dblp.dataset.authority().num_edges());
+}
+BENCHMARK(BM_PowerIteration)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_BuildAuthorityGraph(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  for (auto _ : state) {
+    auto graph = graph::AuthorityGraph::Build(dblp.dataset.data());
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          dblp.dataset.data().num_edges());
+}
+BENCHMARK(BM_BuildAuthorityGraph)->Unit(benchmark::kMillisecond);
+
+void BM_BuildCorpus(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  for (auto _ : state) {
+    auto corpus = text::Corpus::Build(dblp.dataset.data());
+    benchmark::DoNotOptimize(corpus.vocab_size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          dblp.dataset.data().num_nodes());
+}
+BENCHMARK(BM_BuildCorpus)->Unit(benchmark::kMillisecond);
+
+void BM_ScoreBaseSet(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  text::QueryVector q(text::ParseQuery("data query systems"));
+  for (auto _ : state) {
+    auto scored = text::ScoreBaseSet(dblp.dataset.corpus(), q);
+    benchmark::DoNotOptimize(scored.size());
+  }
+}
+BENCHMARK(BM_ScoreBaseSet)->Unit(benchmark::kMicrosecond);
+
+void BM_ExplainTopResult(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  text::QueryVector q(text::ParseQuery("mining"));
+  auto base = *core::BuildBaseSet(dblp.dataset.corpus(), q);
+  auto rank = engine.Compute(base, rates, {});
+  auto top = core::TopKOfType(rank.scores, 1, dblp.dataset.data(),
+                              dblp.types.paper);
+  explain::Explainer explainer(dblp.dataset.data(),
+                               dblp.dataset.authority());
+  explain::ExplainOptions options;
+  options.radius = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto explanation = explainer.Explain(top[0].node, base, rank.scores,
+                                         rates, 0.85, options);
+    benchmark::DoNotOptimize(explanation.ok());
+  }
+}
+BENCHMARK(BM_ExplainTopResult)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TopK(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  std::vector<double> scores(dblp.dataset.data().num_nodes());
+  Rng rng(5);
+  for (double& s : scores) s = rng.UniformDouble();
+  for (auto _ : state) {
+    auto top = core::TopKOfType(scores, static_cast<size_t>(state.range(0)),
+                                dblp.dataset.data(), dblp.types.paper);
+    benchmark::DoNotOptimize(top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_TopK)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateDblp(benchmark::State& state) {
+  for (auto _ : state) {
+    auto dblp = datasets::GenerateDblp(datasets::DblpGeneratorConfig::Tiny(
+        static_cast<uint32_t>(state.range(0)), 7));
+    benchmark::DoNotOptimize(dblp.dataset.data().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateDblp)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Reformulate(benchmark::State& state) {
+  const auto& dblp = BenchDblp();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  text::QueryVector q(text::ParseQuery("xml"));
+  auto base = *core::BuildBaseSet(dblp.dataset.corpus(), q);
+  auto rank = engine.Compute(base, rates, {});
+  auto top = core::TopKOfType(rank.scores, 2, dblp.dataset.data(),
+                              dblp.types.paper);
+  std::vector<graph::NodeId> feedback;
+  for (const auto& r : top) feedback.push_back(r.node);
+  reform::Reformulator reformulator(dblp.dataset.data(),
+                                    dblp.dataset.authority(),
+                                    dblp.dataset.corpus());
+  for (auto _ : state) {
+    auto result = reformulator.Reformulate(q, rates, base, rank.scores,
+                                           feedback, {});
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_Reformulate)->Unit(benchmark::kMillisecond);
+
+}  // namespace

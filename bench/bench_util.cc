@@ -1,0 +1,202 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datasets/vocabulary.h"
+#include "eval/metrics.h"
+#include "text/query.h"
+
+namespace orx::bench {
+namespace {
+
+// Averages one session's per-iteration series into the sweep accumulator.
+void Accumulate(const eval::SurveyResult& session,
+                const graph::TransferRates& ground_truth,
+                const datasets::DblpTypes* dblp_types,
+                const datasets::BioTypes* bio_types, SweepResult& out) {
+  const size_t n = session.iterations.size();
+  auto grow = [&](std::vector<double>& v) {
+    if (v.size() < n) v.resize(n, 0.0);
+  };
+  grow(out.precision);
+  grow(out.rate_cosine);
+  grow(out.search_seconds);
+  grow(out.objectrank_iterations);
+  grow(out.explain_construction_seconds);
+  grow(out.explain_adjustment_seconds);
+  grow(out.reformulation_seconds);
+  grow(out.explain_iterations);
+
+  for (size_t i = 0; i < n; ++i) {
+    const eval::SurveyIteration& it = session.iterations[i];
+    out.precision[i] += it.precision;
+    out.search_seconds[i] += it.search_seconds;
+    out.objectrank_iterations[i] += it.objectrank_iterations;
+    out.explain_construction_seconds[i] += it.explain_construction_seconds;
+    out.explain_adjustment_seconds[i] += it.explain_adjustment_seconds;
+    out.reformulation_seconds[i] += it.reformulation_seconds;
+    out.explain_iterations[i] += it.avg_explain_iterations;
+
+    std::vector<double> learned, truth;
+    if (dblp_types != nullptr) {
+      learned = datasets::DblpRateVector(it.rates, *dblp_types);
+      truth = datasets::DblpRateVector(ground_truth, *dblp_types);
+    } else {
+      learned = datasets::BioRateVector(it.rates, *bio_types);
+      truth = datasets::BioRateVector(ground_truth, *bio_types);
+    }
+    out.rate_cosine[i] += eval::CosineSimilarity(learned, truth);
+  }
+  ++out.sessions;
+}
+
+void FinishAverages(SweepResult& out) {
+  if (out.sessions == 0) return;
+  const double inv = 1.0 / out.sessions;
+  for (auto* v :
+       {&out.precision, &out.rate_cosine, &out.search_seconds,
+        &out.objectrank_iterations, &out.explain_construction_seconds,
+        &out.explain_adjustment_seconds, &out.reformulation_seconds,
+        &out.explain_iterations}) {
+    for (double& x : *v) x *= inv;
+  }
+}
+
+template <typename DatasetT>
+SweepResult RunSweep(const DatasetT& bundle,
+                     const graph::TransferRates& ground_truth,
+                     const datasets::DblpTypes* dblp_types,
+                     const datasets::BioTypes* bio_types,
+                     const std::vector<std::string>& queries,
+                     const SweepConfig& config) {
+  const auto& dataset = bundle.dataset;
+  SweepResult out;
+  Rng rng(config.seed);
+  for (int u = 0; u < config.num_users; ++u) {
+    graph::TransferRates user_rates = PerturbedRates(
+        dataset.schema(), ground_truth, config.user_noise, rng);
+    eval::SimulatedUserOptions user_options = config.survey.user;
+    user_options.search = config.survey.search;
+    eval::SimulatedUser user(dataset.data(), dataset.authority(),
+                             dataset.corpus(), user_rates, user_options);
+    for (int qi = 0; qi < config.queries_per_user; ++qi) {
+      const std::string& query_text =
+          queries[(u * config.queries_per_user + qi) % queries.size()];
+      text::QueryVector query(text::ParseQuery(query_text));
+      if (!user.SetIntent(query)) continue;
+      graph::TransferRates initial(dataset.schema(), config.initial_rate);
+      eval::SurveyResult session = eval::RunFeedbackSession(
+          dataset.data(), dataset.authority(), dataset.corpus(), query,
+          initial, user, config.survey);
+      if (!session.ok) continue;
+      Accumulate(session, ground_truth, dblp_types, bio_types, out);
+    }
+  }
+  FinishAverages(out);
+  return out;
+}
+
+}  // namespace
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("ORX_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr,
+                 "ORX_BENCH_SCALE=%s out of (0,1]; using 1.0 instead\n", env);
+    return 1.0;
+  }
+  return scale;
+}
+
+datasets::DblpGeneratorConfig ScaledDblp(datasets::DblpGeneratorConfig config,
+                                         double scale) {
+  auto apply = [&](uint32_t v, uint32_t floor_value) {
+    return std::max<uint32_t>(static_cast<uint32_t>(v * scale), floor_value);
+  };
+  config.num_papers = apply(config.num_papers, 200);
+  config.num_authors = apply(config.num_authors, 100);
+  config.num_conferences = apply(config.num_conferences, 4);
+  return config;
+}
+
+datasets::BioGeneratorConfig ScaledBio(datasets::BioGeneratorConfig config,
+                                       double scale) {
+  auto apply = [&](uint32_t v, uint32_t floor_value) {
+    return std::max<uint32_t>(static_cast<uint32_t>(v * scale), floor_value);
+  };
+  config.num_pubmed = apply(config.num_pubmed, 300);
+  config.num_genes = apply(config.num_genes, 30);
+  config.num_proteins = apply(config.num_proteins, 80);
+  config.num_nucleotides = apply(config.num_nucleotides, 100);
+  return config;
+}
+
+const std::vector<std::string>& DblpSurveyQueries() {
+  static const auto& queries = *new std::vector<std::string>{
+      "olap",          "query optimization", "xml",
+      "mining",        "proximity search",   "xml indexing",
+      "ranked search", "data streams",
+  };
+  return queries;
+}
+
+SweepResult RunDblpSweep(const datasets::DblpDataset& dblp,
+                         const SweepConfig& config) {
+  graph::TransferRates ground_truth =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  return RunSweep(dblp, ground_truth, &dblp.types, nullptr,
+                  DblpSurveyQueries(), config);
+}
+
+SweepResult RunBioSweep(const datasets::BioDataset& bio,
+                        const SweepConfig& config) {
+  static const auto& queries = *new std::vector<std::string>{
+      "cancer",    "kinase signaling", "apoptosis", "gene expression",
+      "mutation",  "receptor binding", "tumor",     "immune response",
+  };
+  graph::TransferRates ground_truth =
+      datasets::BioGroundTruthRates(bio.dataset.schema(), bio.types);
+  return RunSweep(bio, ground_truth, nullptr, &bio.types, queries, config);
+}
+
+void PrintPerformanceFigure(const SweepResult& sweep) {
+  std::printf("(a) Query and reformulation times (seconds; column 0 = "
+              "initial query, then reformulated queries):\n");
+  PrintSeries("  ObjectRank2 execution", sweep.search_seconds);
+  PrintSeries("  Expl. subgraph creation", sweep.explain_construction_seconds);
+  PrintSeries("  Expl. ObjectRank2 exec", sweep.explain_adjustment_seconds);
+  PrintSeries("  Query reformulation", sweep.reformulation_seconds);
+  std::printf("\n(b) ObjectRank2 iterations per query (warm-started after "
+              "the initial one):\n");
+  PrintSeries("  iterations", sweep.objectrank_iterations, 1);
+  std::printf("\n(%d sessions averaged)\n", sweep.sessions);
+}
+
+SweepConfig PerformanceSweepConfig(graph::TypeId result_type) {
+  SweepConfig config;
+  config.survey.feedback_iterations = 4;
+  config.survey.max_feedback_objects = 2;
+  config.survey.reform.structure.adjustment = 0.5;
+  config.survey.reform.content.expansion = 0.2;
+  config.survey.reform.explain.radius = 3;
+  config.survey.search.result_type = result_type;
+  config.survey.search.k = 10;
+  config.survey.search.objectrank.epsilon = 0.001;
+  config.survey.user.relevant_pool = 30;
+  config.num_users = 2;
+  config.queries_per_user = 2;
+  return config;
+}
+
+void PrintSeries(const std::string& label, const std::vector<double>& values,
+                 int digits) {
+  std::printf("%-28s", label.c_str());
+  for (double v : values) std::printf(" %.*f", digits, v);
+  std::printf("\n");
+}
+
+}  // namespace orx::bench

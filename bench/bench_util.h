@@ -1,0 +1,90 @@
+#ifndef ORX_BENCH_BENCH_UTIL_H_
+#define ORX_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/bio_generator.h"
+#include "datasets/dblp_generator.h"
+#include "eval/survey.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::bench {
+
+/// Reads the ORX_BENCH_SCALE environment variable (default 1.0): a factor
+/// in (0, 1] applied to dataset sizes so the paper-scale benchmarks can be
+/// smoke-tested quickly (e.g. ORX_BENCH_SCALE=0.05 ./bench_fig14_...).
+double ScaleFromEnv();
+
+/// Scales a DBLP generator config's node counts by `scale` (keeping at
+/// least a handful of each entity).
+datasets::DblpGeneratorConfig ScaledDblp(datasets::DblpGeneratorConfig config,
+                                         double scale);
+
+/// Scales a bio generator config's node counts by `scale`.
+datasets::BioGeneratorConfig ScaledBio(datasets::BioGeneratorConfig config,
+                                       double scale);
+
+/// Per-user rate perturbation lives with the simulated users; re-exported
+/// here for the bench binaries.
+using eval::PerturbedRates;
+
+/// The paper's Table 2 DBLP query mix (8 queries).
+const std::vector<std::string>& DblpSurveyQueries();
+
+/// Survey sweep over (user, query) pairs on a DBLP dataset.
+struct SweepConfig {
+  eval::SurveyConfig survey;
+  int num_users = 5;
+  int queries_per_user = 5;
+  double user_noise = 0.15;
+  uint64_t seed = 1;
+  /// Rates the *system* starts from (the surveys start uniform at 0.3).
+  double initial_rate = 0.3;
+};
+
+/// Averaged results of a sweep.
+struct SweepResult {
+  /// Mean residual precision per iteration (index 0 = initial query).
+  std::vector<double> precision;
+  /// Mean cosine similarity of the learned rate vector vs. the unperturbed
+  /// ground truth, per iteration.
+  std::vector<double> rate_cosine;
+  /// Mean per-iteration performance counters.
+  std::vector<double> search_seconds;
+  std::vector<double> objectrank_iterations;
+  std::vector<double> explain_construction_seconds;
+  std::vector<double> explain_adjustment_seconds;
+  std::vector<double> reformulation_seconds;
+  std::vector<double> explain_iterations;
+  int sessions = 0;
+};
+
+/// Runs `num_users x queries_per_user` feedback sessions on the dataset
+/// and averages everything per iteration. Sessions whose initial query
+/// fails (keyword absent at small scales) are skipped.
+SweepResult RunDblpSweep(const datasets::DblpDataset& dblp,
+                         const SweepConfig& config);
+
+/// Same sweep on a biological dataset with bio queries.
+SweepResult RunBioSweep(const datasets::BioDataset& bio,
+                        const SweepConfig& config);
+
+/// Prints a labeled series: "label: v0 v1 v2 ..." with fixed precision.
+void PrintSeries(const std::string& label, const std::vector<double>& values,
+                 int digits = 4);
+
+/// Prints the two panels of a Figures 14-17 style performance figure from
+/// a sweep: (a) per-iteration stage times (ObjectRank2 execution,
+/// explaining-subgraph creation, explaining fixpoint execution, query
+/// reformulation) and (b) per-iteration ObjectRank2 power iterations.
+void PrintPerformanceFigure(const SweepResult& sweep);
+
+/// The standard performance-figure sweep configuration (Section 6.2):
+/// structure+content reformulation, L = 3, k = 10, warm-started searches.
+SweepConfig PerformanceSweepConfig(graph::TypeId result_type);
+
+}  // namespace orx::bench
+
+#endif  // ORX_BENCH_BENCH_UTIL_H_

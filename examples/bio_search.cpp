@@ -1,0 +1,82 @@
+// Biological authority-flow search demo (the paper's second domain,
+// Section 1 and Figure 4): generates a small Entrez-style collection,
+// searches for a gene-related keyword, and explains why a protein with no
+// obvious connection to the query ranks highly — "this is even more
+// critical in complex biological databases" (Section 1).
+
+#include <cstdio>
+
+#include "core/searcher.h"
+#include "datasets/bio_generator.h"
+#include "explain/explainer.h"
+#include "text/query.h"
+
+int main() {
+  using namespace orx;
+
+  // 1. Generate a small DS7-style collection.
+  datasets::BioGeneratorConfig config = datasets::BioGeneratorConfig::Tiny(
+      /*pubs=*/3000, /*seed=*/20080701);
+  datasets::BioDataset bio = datasets::GenerateBio(config);
+  const graph::DataGraph& data = bio.dataset.data();
+  std::printf("Generated %zu nodes / %zu data edges\n\n", data.num_nodes(),
+              data.num_edges());
+
+  graph::TransferRates rates =
+      datasets::BioGroundTruthRates(bio.dataset.schema(), bio.types);
+
+  // 2. Search for "kinase" over every object type.
+  core::Searcher searcher(data, bio.dataset.authority(),
+                          bio.dataset.corpus());
+  text::QueryVector query(text::ParseQuery("kinase signaling"));
+  core::SearchOptions options;
+  options.k = 10;
+  auto search = searcher.Search(query, rates, options);
+  if (!search.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 search.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Top results for [kinase signaling] (%d iterations):\n",
+              search->iterations);
+  graph::NodeId protein_hit = graph::kInvalidNodeId;
+  int rank = 1;
+  for (const core::ScoredNode& r : search->top) {
+    const auto& type_label =
+        data.schema().NodeTypeLabel(data.NodeType(r.node));
+    std::printf("%2d. [%.5f] %-16s %s\n", rank++, r.score,
+                type_label.c_str(), data.DisplayLabel(r.node).c_str());
+    if (protein_hit == graph::kInvalidNodeId &&
+        data.NodeType(r.node) == bio.types.protein) {
+      protein_hit = r.node;
+    }
+  }
+
+  // 3. Explain the best-ranked protein (an object type that rarely
+  //    contains the query keywords itself).
+  if (protein_hit == graph::kInvalidNodeId) {
+    std::printf("\n(no protein in the top-10 for this seed)\n");
+    return 0;
+  }
+  auto base = core::BuildBaseSet(bio.dataset.corpus(), query);
+  explain::Explainer explainer(data, bio.dataset.authority());
+  explain::ExplainOptions explain_options;
+  explain_options.radius = 3;  // the paper's production setting L=3
+  auto explanation = explainer.Explain(protein_hit, *base, search->scores,
+                                       rates, options.objectrank.damping,
+                                       explain_options);
+  if (!explanation.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 explanation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nWhy does %s rank highly? Explaining subgraph "
+              "(%zu nodes, %zu edges, %d fixpoint iterations); strongest "
+              "flows first:\n\n",
+              data.DisplayLabel(protein_hit).c_str(),
+              explanation->subgraph.num_nodes(),
+              explanation->subgraph.num_edges(), explanation->iterations);
+  std::printf("%s", explanation->subgraph.ToString(data).c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Personalized-search session demo (Sections 5-6): a user whose private
+// notion of authority is the hand-tuned [BHP04] rates interacts with a
+// system that starts from uniform rates. Each round the user marks
+// relevant results; structure-based reformulation retrains the transfer
+// rates, and the printout shows precision improving and the learned rate
+// vector converging toward the user's — the paper's "automatically train
+// the authority flow rates" result, in ~60 lines of API use.
+
+#include <cstdio>
+
+#include "datasets/dblp_generator.h"
+#include "eval/metrics.h"
+#include "eval/simulated_user.h"
+#include "eval/survey.h"
+#include "text/query.h"
+
+int main() {
+  using namespace orx;
+
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      datasets::DblpGeneratorConfig::Tiny(/*papers=*/4000, /*seed=*/2008));
+  std::printf("dataset: %zu nodes, %zu edges\n\n",
+              dblp.dataset.data().num_nodes(),
+              dblp.dataset.data().num_edges());
+
+  // The user's hidden ground truth.
+  graph::TransferRates ground_truth =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  eval::SimulatedUserOptions user_options;
+  user_options.relevant_pool = 30;
+  user_options.search.result_type = dblp.types.paper;
+  eval::SimulatedUser user(dblp.dataset.data(), dblp.dataset.authority(),
+                           dblp.dataset.corpus(), ground_truth,
+                           user_options);
+
+  text::QueryVector query(text::ParseQuery("query optimization"));
+  if (!user.SetIntent(query)) {
+    std::fprintf(stderr, "user intent failed (keyword missing)\n");
+    return 1;
+  }
+
+  // The system starts from uninformed uniform rates.
+  eval::SurveyConfig config;
+  config.feedback_iterations = 5;
+  config.max_feedback_objects = 2;
+  config.reform.structure.adjustment = 0.5;  // structure-only
+  config.reform.content.expansion = 0.0;
+  config.search.result_type = dblp.types.paper;
+  config.user = user_options;
+  graph::TransferRates initial =
+      datasets::DblpUniformRates(dblp.dataset.schema(), 0.3);
+
+  eval::SurveyResult session = eval::RunFeedbackSession(
+      dblp.dataset.data(), dblp.dataset.authority(), dblp.dataset.corpus(),
+      query, initial, user, config);
+  if (!session.ok) {
+    std::fprintf(stderr, "session failed\n");
+    return 1;
+  }
+
+  const auto gt_vector = datasets::DblpRateVector(ground_truth, dblp.types);
+  const auto names = datasets::DblpRateVectorNames();
+  std::printf("%-9s %-10s %-8s  rate vector [", "round", "precision",
+              "cos(GT)");
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("%s%s", names[i].c_str(),
+                i + 1 < names.size() ? " " : "]\n");
+  }
+  int round = 0;
+  for (const eval::SurveyIteration& it : session.iterations) {
+    const auto learned = datasets::DblpRateVector(it.rates, dblp.types);
+    std::printf("%-9s %-10.3f %-8.4f  [", round == 0
+                    ? "initial"
+                    : ("reform" + std::to_string(round)).c_str(),
+                it.precision, eval::CosineSimilarity(learned, gt_vector));
+    for (size_t i = 0; i < learned.size(); ++i) {
+      std::printf("%.2f%s", learned[i], i + 1 < learned.size() ? " " : "]\n");
+    }
+    ++round;
+  }
+  std::printf("\nground truth (the user's hidden rates):          [");
+  for (size_t i = 0; i < gt_vector.size(); ++i) {
+    std::printf("%.2f%s", gt_vector[i],
+                i + 1 < gt_vector.size() ? " " : "]\n");
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef ORX_COMMON_CHECK_H_
+#define ORX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant-checking macros. ORX_CHECK fires in all build modes; it guards
+/// internal invariants whose violation indicates a bug in the library (user
+/// input errors are reported via Status instead). The process aborts with a
+/// source location so failures surface in tests immediately.
+#define ORX_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ORX_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define ORX_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ORX_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// ORX_DCHECK compiles out in NDEBUG builds; use on hot paths.
+#ifdef NDEBUG
+#define ORX_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define ORX_DCHECK(cond) ORX_CHECK(cond)
+#endif
+
+#endif  // ORX_COMMON_CHECK_H_

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace orx {
+namespace {
+
+std::atomic<bool> g_verbose{false};
+
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetVerboseLogging(bool enabled) { g_verbose.store(enabled); }
+bool VerboseLoggingEnabled() { return g_verbose.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  // Trim the path to the basename for readable logs.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << SeverityTag(severity) << " " << base << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ == LogSeverity::kDebug && !VerboseLoggingEnabled()) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace orx

@@ -1,0 +1,50 @@
+#ifndef ORX_COMMON_LOGGING_H_
+#define ORX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace orx {
+
+/// Log severities. kInfo and above print to stderr; kDebug prints only
+/// when verbose logging is enabled.
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Enables/disables kDebug output process-wide (default: disabled).
+void SetVerboseLogging(bool enabled);
+bool VerboseLoggingEnabled();
+
+namespace internal {
+
+/// Stream-style log-line collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace orx
+
+#define ORX_LOG(severity)                                        \
+  ::orx::internal::LogMessage(::orx::LogSeverity::k##severity,   \
+                              __FILE__, __LINE__)
+
+#define ORX_VLOG()                                                      \
+  if (::orx::VerboseLoggingEnabled())                                   \
+  ::orx::internal::LogMessage(::orx::LogSeverity::kDebug, __FILE__, __LINE__)
+
+#endif  // ORX_COMMON_LOGGING_H_

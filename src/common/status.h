@@ -1,0 +1,119 @@
+#ifndef ORX_COMMON_STATUS_H_
+#define ORX_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace orx {
+
+/// Error categories used across the ORX library. The library does not use
+/// exceptions: fallible operations return Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kDataLoss,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after absl::Status.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code with a
+  /// message is allowed but the message is ignored by ok().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the canonical OK status.
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Convenience factories mirroring absl's.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+
+/// A value-or-error holder, modeled after absl::StatusOr. Exactly one of
+/// {value, non-OK status} is present.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Calling with an OK status is an
+  /// internal error (converted to kInternal).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "StatusOr constructed with OK status but no value");
+    }
+  }
+
+  /// Constructs from a value; status() is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Accessors for the held value.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace orx
+
+/// Propagates a non-OK Status from the current function.
+#define ORX_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::orx::Status orx_status_tmp_ = (expr);      \
+    if (!orx_status_tmp_.ok()) return orx_status_tmp_; \
+  } while (0)
+
+#endif  // ORX_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef ORX_COMMON_TABLE_H_
+#define ORX_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace orx {
+
+/// Plain-text table printer used by the benchmark harness to render paper
+/// tables/figure series in a shape comparable to the paper's.
+///
+///   TablePrinter t({"Dataset", "#nodes", "#edges"});
+///   t.AddRow({"DBLPtop", "22653", "166960"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with column-aligned cells and a header rule.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_TABLE_H_

@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Timer is header-only; this file exists so the target has a TU per header
+// and to keep the build layout uniform.

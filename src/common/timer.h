@@ -1,0 +1,32 @@
+#ifndef ORX_COMMON_TIMER_H_
+#define ORX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace orx {
+
+/// Wall-clock stopwatch used by the benchmark harness to time the stages
+/// of a query/reformulation iteration (Figures 14-17).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_TIMER_H_

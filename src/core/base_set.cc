@@ -1,0 +1,66 @@
+#include "core/base_set.h"
+
+#include <algorithm>
+
+namespace orx::core {
+
+double BaseSet::WeightSum() const {
+  double sum = 0.0;
+  for (const auto& [node, w] : entries) sum += w;
+  return sum;
+}
+
+StatusOr<BaseSet> BuildBaseSet(const text::Corpus& corpus,
+                               const text::QueryVector& query,
+                               BaseSetMode mode,
+                               const text::Bm25Params& params) {
+  if (query.empty()) {
+    return InvalidArgumentError("query has no terms");
+  }
+  std::vector<std::pair<graph::NodeId, double>> scored =
+      text::ScoreBaseSet(corpus, query, params);
+  if (scored.empty()) {
+    return NotFoundError("no node contains any query keyword");
+  }
+
+  BaseSet base;
+  base.entries = std::move(scored);
+  double sum = 0.0;
+  for (const auto& [node, score] : base.entries) sum += score;
+  if (mode == BaseSetMode::kUniform || sum <= 0.0) {
+    const double w = 1.0 / static_cast<double>(base.entries.size());
+    for (auto& [node, weight] : base.entries) weight = w;
+  } else {
+    for (auto& [node, weight] : base.entries) weight /= sum;
+  }
+  return base;
+}
+
+BaseSet GlobalBaseSet(size_t num_nodes) {
+  BaseSet base;
+  base.entries.reserve(num_nodes);
+  const double w = num_nodes == 0 ? 0.0 : 1.0 / static_cast<double>(num_nodes);
+  for (size_t v = 0; v < num_nodes; ++v) {
+    base.entries.emplace_back(static_cast<graph::NodeId>(v), w);
+  }
+  return base;
+}
+
+StatusOr<BaseSet> SingleTermBaseSet(const text::Corpus& corpus,
+                                    const std::string& term) {
+  auto tid = corpus.TermIdOf(term);
+  if (!tid.has_value()) {
+    return NotFoundError("keyword not in corpus: " + term);
+  }
+  auto postings = corpus.Postings(*tid);
+  if (postings.empty()) {
+    return NotFoundError("keyword has no postings: " + term);
+  }
+  BaseSet base;
+  base.entries.reserve(postings.size());
+  const double w = 1.0 / static_cast<double>(postings.size());
+  for (const text::Posting& p : postings) base.entries.emplace_back(p.doc, w);
+  return base;
+}
+
+}  // namespace orx::core

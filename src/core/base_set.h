@@ -1,0 +1,61 @@
+#ifndef ORX_CORE_BASE_SET_H_
+#define ORX_CORE_BASE_SET_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "text/bm25.h"
+#include "text/corpus.h"
+#include "text/query.h"
+
+namespace orx::core {
+
+/// How base-set entries are weighted.
+enum class BaseSetMode {
+  /// ObjectRank2 (Section 3): s_i proportional to IRScore(v_i, Q).
+  kIrWeighted,
+  /// Original ObjectRank [BHP04]: s_i identical (0/1 membership).
+  kUniform,
+};
+
+/// The query base set S(Q) with jump weights: the nodes containing at
+/// least one query keyword, each with a weight normalized so the weights
+/// sum to 1 (they are jump probabilities; Section 3).
+struct BaseSet {
+  /// (node, normalized weight) pairs, ordered by ascending node id.
+  std::vector<std::pair<graph::NodeId, double>> entries;
+
+  size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+
+  /// Sum of weights (1 up to rounding; exposed for property tests).
+  double WeightSum() const;
+};
+
+/// Builds S(Q) for `query` over `corpus`.
+///
+/// kIrWeighted normalizes the BM25 scores to probabilities; if every score
+/// is zero (all idfs clamped) it degrades to uniform weighting, so any
+/// query whose keywords occur in the corpus yields a usable base set.
+/// Returns kNotFound if no node contains any query keyword.
+StatusOr<BaseSet> BuildBaseSet(const text::Corpus& corpus,
+                               const text::QueryVector& query,
+                               BaseSetMode mode = BaseSetMode::kIrWeighted,
+                               const text::Bm25Params& params = {});
+
+/// Builds the global base set: every node, uniform weight 1/n. Used to
+/// compute the query-independent global ObjectRank that seeds the first
+/// query's power iteration (Section 6.2, "Manipulating Initial ObjectRank
+/// values").
+BaseSet GlobalBaseSet(size_t num_nodes);
+
+/// Base set of a single keyword (used by the [BHP04]-style per-keyword
+/// baseline of Table 2). Returns kNotFound if the keyword is absent.
+StatusOr<BaseSet> SingleTermBaseSet(const text::Corpus& corpus,
+                                    const std::string& term);
+
+}  // namespace orx::core
+
+#endif  // ORX_CORE_BASE_SET_H_

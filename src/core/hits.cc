@@ -1,0 +1,103 @@
+#include "core/hits.h"
+
+#include <cmath>
+#include <deque>
+
+namespace orx::core {
+
+StatusOr<HitsResult> ComputeHits(const graph::DataGraph& data,
+                                 const BaseSet& base,
+                                 const HitsOptions& options) {
+  if (base.empty()) {
+    return InvalidArgumentError("base set is empty");
+  }
+  const size_t n = data.num_nodes();
+
+  // Focused subgraph: root set expanded over undirected data adjacency.
+  std::vector<int16_t> depth(n, -1);
+  std::deque<graph::NodeId> frontier;
+  for (const auto& [v, w] : base.entries) {
+    if (v < n && depth[v] < 0) {
+      depth[v] = 0;
+      frontier.push_back(v);
+    }
+  }
+  if (options.expansion_hops > 0) {
+    // Adjacency on demand: one pass over edges per hop is O(E * hops) but
+    // hops is 1 in practice; avoids materializing an undirected CSR.
+    for (int hop = 0; hop < options.expansion_hops; ++hop) {
+      std::vector<graph::NodeId> next_frontier;
+      for (const graph::DataEdge& e : data.edges()) {
+        if (depth[e.from] == hop && depth[e.to] < 0) {
+          depth[e.to] = static_cast<int16_t>(hop + 1);
+          next_frontier.push_back(e.to);
+        }
+        if (depth[e.to] == hop && depth[e.from] < 0) {
+          depth[e.from] = static_cast<int16_t>(hop + 1);
+          next_frontier.push_back(e.from);
+        }
+      }
+      if (next_frontier.empty()) break;
+    }
+  }
+
+  // Edges inside the focused subgraph.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (const graph::DataEdge& e : data.edges()) {
+    if (depth[e.from] >= 0 && depth[e.to] >= 0) {
+      edges.emplace_back(e.from, e.to);
+    }
+  }
+
+  HitsResult result;
+  result.authorities.assign(n, 0.0);
+  result.hubs.assign(n, 0.0);
+  size_t members = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (depth[v] >= 0) {
+      result.authorities[v] = 1.0;
+      result.hubs[v] = 1.0;
+      ++members;
+    }
+  }
+  result.subgraph_size = members;
+  if (members == 0) {
+    return InternalError("focused subgraph is empty");
+  }
+
+  auto normalize = [&](std::vector<double>& v) {
+    double sum = 0.0;
+    for (double x : v) sum += x;
+    if (sum > 0.0) {
+      for (double& x : v) x /= sum;
+    }
+  };
+  normalize(result.authorities);
+  normalize(result.hubs);
+
+  std::vector<double> next_auth(n, 0.0), next_hub(n, 0.0);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    std::fill(next_auth.begin(), next_auth.end(), 0.0);
+    std::fill(next_hub.begin(), next_hub.end(), 0.0);
+    for (const auto& [u, v] : edges) {
+      next_auth[v] += result.hubs[u];
+      next_hub[u] += result.authorities[v];
+    }
+    normalize(next_auth);
+    normalize(next_hub);
+    double l1 = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      l1 += std::fabs(next_auth[v] - result.authorities[v]);
+    }
+    result.authorities.swap(next_auth);
+    result.hubs.swap(next_hub);
+    result.iterations = iter;
+    if (l1 < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace orx::core

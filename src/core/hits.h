@@ -1,0 +1,48 @@
+#ifndef ORX_CORE_HITS_H_
+#define ORX_CORE_HITS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/base_set.h"
+#include "graph/data_graph.h"
+
+namespace orx::core {
+
+/// Parameters of the HITS computation.
+struct HitsOptions {
+  /// L1 convergence threshold on the normalized authority vector.
+  double epsilon = 1e-6;
+  int max_iterations = 100;
+  /// The focused subgraph is the root set (the query base set) expanded
+  /// by this many hops over data edges in either direction (Kleinberg
+  /// expands the root set once).
+  int expansion_hops = 1;
+};
+
+/// Result of a HITS run; vectors are full-graph sized (zero outside the
+/// focused subgraph) and L1-normalized over it.
+struct HitsResult {
+  std::vector<double> authorities;
+  std::vector<double> hubs;
+  int iterations = 0;
+  bool converged = false;
+  size_t subgraph_size = 0;
+};
+
+/// Kleinberg's HITS [Kle99], one of the link-based baselines the paper's
+/// related work discusses: mutually reinforcing hub/authority scores on
+/// the query's focused subgraph (root set = base set, expanded by one
+/// hop). Unlike ObjectRank it ignores edge types, schema semantics and
+/// keyword weighting beyond the root-set choice — which is exactly the
+/// gap the paper's system fills; the baselines benchmark quantifies it.
+///
+/// Operates on the *data* edges (each u -> v counts once, untyped).
+/// Errors: kInvalidArgument on an empty base set.
+StatusOr<HitsResult> ComputeHits(const graph::DataGraph& data,
+                                 const BaseSet& base,
+                                 const HitsOptions& options = {});
+
+}  // namespace orx::core
+
+#endif  // ORX_CORE_HITS_H_

@@ -1,0 +1,108 @@
+#include "core/objectrank.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+
+namespace orx::core {
+namespace {
+
+// One pull-based update pass over the node range [begin, end): gathers
+// each node's incoming flow. A node's contributions always accumulate in
+// its in-edge order, so the result is bit-identical for any partitioning
+// (thread count); it may differ from the push-based pass in the last ulp
+// (different floating-point summation order).
+void PullRange(const graph::AuthorityGraph& graph,
+               const std::vector<double>& alpha, double damping,
+               const std::vector<double>& cur, std::vector<double>& next,
+               size_t begin, size_t end) {
+  for (size_t v = begin; v < end; ++v) {
+    double sum = 0.0;
+    for (const graph::AuthorityEdge& e :
+         graph.InEdges(static_cast<graph::NodeId>(v))) {
+      // e.target is the *source* u of the edge u -> v.
+      sum += cur[e.target] * alpha[e.rate_index] *
+             static_cast<double>(e.inv_out_deg);
+    }
+    next[v] = damping * sum;
+  }
+}
+
+}  // namespace
+
+ObjectRankResult ObjectRankEngine::Compute(
+    const BaseSet& base, const graph::TransferRates& rates,
+    const ObjectRankOptions& options,
+    const std::vector<double>* warm_start) const {
+  const size_t n = graph_->num_nodes();
+  ORX_CHECK_MSG(!base.empty(), "base set must be non-empty");
+
+  ObjectRankResult result;
+  std::vector<double>& cur = result.scores;
+  if (warm_start != nullptr && warm_start->size() == n) {
+    cur = *warm_start;
+  } else {
+    cur.assign(n, 0.0);
+    for (const auto& [node, w] : base.entries) cur[node] = w;
+  }
+
+  // Cache the per-slot alphas once; the inner loop resolves each edge's
+  // rate as alpha[slot] * inv_out_deg (Equation 1).
+  const std::vector<double>& alpha = rates.slots();
+  const double d = options.damping;
+  const double jump = 1.0 - d;
+  const int threads =
+      std::max(1, std::min<int>(options.num_threads,
+                                static_cast<int>(n / 1024) + 1));
+
+  std::vector<double> next(n, 0.0);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (threads == 1) {
+      // Sequential push: cheaper than pulling when many scores are zero
+      // (typical early iterations of a cold start).
+      std::fill(next.begin(), next.end(), 0.0);
+      for (size_t u = 0; u < n; ++u) {
+        const double ru = cur[u];
+        if (ru == 0.0) continue;
+        const double dru = d * ru;
+        for (const graph::AuthorityEdge& e : graph_->OutEdges(
+                 static_cast<graph::NodeId>(u))) {
+          next[e.target] +=
+              dru * alpha[e.rate_index] * static_cast<double>(e.inv_out_deg);
+        }
+      }
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      const size_t chunk = (n + threads - 1) / threads;
+      for (int t = 0; t < threads; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        pool.emplace_back(PullRange, std::cref(*graph_), std::cref(alpha),
+                          d, std::cref(cur), std::ref(next), begin, end);
+      }
+      for (std::thread& worker : pool) worker.join();
+    }
+    for (const auto& [node, w] : base.entries) next[node] += jump * w;
+
+    double l1 = 0.0;
+    for (size_t v = 0; v < n; ++v) l1 += std::fabs(next[v] - cur[v]);
+    cur.swap(next);
+    result.iterations = iter;
+    if (l1 < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+ObjectRankResult ObjectRankEngine::ComputeGlobal(
+    const graph::TransferRates& rates,
+    const ObjectRankOptions& options) const {
+  return Compute(GlobalBaseSet(graph_->num_nodes()), rates, options);
+}
+
+}  // namespace orx::core

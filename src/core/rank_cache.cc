@@ -1,0 +1,278 @@
+#include "core/rank_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+#include "core/base_set.h"
+
+namespace orx::core {
+namespace {
+
+// Ranks one term: its IR-weighted base set (idf * tf-factor per posting,
+// normalized) pushed through the power iteration. Returns the entry and
+// the term's unnormalized IR mass.
+RankCache::Options SanitizeOptions(RankCache::Options options) {
+  if (options.min_df == 0) options.min_df = 1;
+  return options;
+}
+
+}  // namespace
+
+RankCache RankCache::Build(const graph::AuthorityGraph& graph,
+                           const text::Corpus& corpus,
+                           const graph::TransferRates& rates,
+                           const Options& options) {
+  // Eligible terms, most frequent first, capped at max_terms.
+  std::vector<text::TermId> terms;
+  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+    if (corpus.Df(t) >= options.min_df) terms.push_back(t);
+  }
+  std::sort(terms.begin(), terms.end(), [&](text::TermId a, text::TermId b) {
+    if (corpus.Df(a) != corpus.Df(b)) return corpus.Df(a) > corpus.Df(b);
+    return a < b;
+  });
+  if (terms.size() > options.max_terms) terms.resize(options.max_terms);
+
+  std::vector<std::string> term_strings;
+  term_strings.reserve(terms.size());
+  for (text::TermId t : terms) term_strings.push_back(corpus.TermString(t));
+  return BuildForTerms(graph, corpus, rates, term_strings, options);
+}
+
+RankCache RankCache::BuildForTerms(const graph::AuthorityGraph& graph,
+                                   const text::Corpus& corpus,
+                                   const graph::TransferRates& rates,
+                                   const std::vector<std::string>& terms,
+                                   const Options& raw_options) {
+  const Options options = SanitizeOptions(raw_options);
+  RankCache cache;
+  cache.num_nodes_ = graph.num_nodes();
+  cache.rates_fingerprint_ = rates.Fingerprint();
+  cache.bm25_ = options.bm25;
+
+  ObjectRankEngine engine(graph);
+  for (const std::string& term : terms) {
+    if (cache.entries_.count(term) > 0) continue;
+    // The term's unnormalized IR scores: a single-term query vector with
+    // weight 1 has query factor 1, so ScoreBaseSet yields idf * tf-factor
+    // per matching document.
+    text::QueryVector unit;
+    unit.SetWeight(term, 1.0);
+    auto scored = text::ScoreBaseSet(corpus, unit, options.bm25);
+    if (scored.empty()) continue;
+
+    double mass = 0.0;
+    for (const auto& [doc, score] : scored) mass += score;
+    BaseSet base;
+    if (mass > 0.0) {
+      base.entries.reserve(scored.size());
+      for (const auto& [doc, score] : scored) {
+        base.entries.emplace_back(doc, score / mass);
+      }
+    } else {
+      // Degenerate all-zero IR scores: uniform, mass = |postings| so the
+      // combination still weights the term by its spread.
+      mass = static_cast<double>(scored.size());
+      const double w = 1.0 / static_cast<double>(scored.size());
+      for (const auto& [doc, score] : scored) {
+        base.entries.emplace_back(doc, w);
+      }
+    }
+
+    ObjectRankResult rank = engine.Compute(base, rates, options.objectrank);
+    Entry entry;
+    entry.mass = mass;
+    entry.scores.assign(rank.scores.begin(), rank.scores.end());
+    cache.entries_.emplace(term, std::move(entry));
+  }
+  return cache;
+}
+
+StatusOr<RankCache::QueryResult> RankCache::Query(
+    const text::QueryVector& query) const {
+  if (query.empty()) {
+    return InvalidArgumentError("empty query vector");
+  }
+  // Combination coefficients c_t = qf(w_t) * Z_t, normalized.
+  struct Part {
+    const Entry* entry;
+    double coefficient;
+  };
+  std::vector<Part> parts;
+  QueryResult result;
+  double total = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    auto it = entries_.find(query.terms()[i]);
+    if (it == entries_.end()) {
+      result.missing_terms.push_back(query.terms()[i]);
+      continue;
+    }
+    const double coefficient =
+        text::QueryTermFactor(query.weights()[i], bm25_) * it->second.mass;
+    if (coefficient <= 0.0) continue;
+    parts.push_back(Part{&it->second, coefficient});
+    total += coefficient;
+  }
+  if (parts.empty() || total <= 0.0) {
+    return NotFoundError("no query term is cached");
+  }
+
+  result.scores.assign(num_nodes_, 0.0);
+  for (const Part& part : parts) {
+    const double c = part.coefficient / total;
+    const std::vector<float>& r = part.entry->scores;
+    ORX_CHECK(r.size() == num_nodes_);
+    for (size_t v = 0; v < num_nodes_; ++v) {
+      result.scores[v] += c * static_cast<double>(r[v]);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+constexpr char kCacheMagic[4] = {'O', 'R', 'X', 'C'};
+constexpr uint32_t kCacheVersion = 2;
+constexpr uint64_t kCacheSanityLimit = 1ull << 27;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 4);
+}
+
+Status GetU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return DataLossError("truncated rank cache");
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return Status::OK();
+}
+
+void PutDouble(std::ostream& out, double v) {
+  static_assert(sizeof(double) == 8);
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+Status GetDouble(std::istream& in, double* v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return DataLossError("truncated rank cache");
+  std::memcpy(v, buf, 8);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RankCache::Serialize(std::ostream& out) const {
+  out.write(kCacheMagic, 4);
+  PutU32(out, kCacheVersion);
+  PutU32(out, static_cast<uint32_t>(num_nodes_));
+  PutU32(out, static_cast<uint32_t>(rates_fingerprint_ & 0xFFFFFFFFull));
+  PutU32(out, static_cast<uint32_t>(rates_fingerprint_ >> 32));
+  PutDouble(out, bm25_.k1);
+  PutDouble(out, bm25_.b);
+  PutDouble(out, bm25_.k3);
+  PutU32(out, static_cast<uint32_t>(entries_.size()));
+  // Deterministic order: sorted terms.
+  std::vector<const std::string*> terms;
+  terms.reserve(entries_.size());
+  for (const auto& [term, entry] : entries_) terms.push_back(&term);
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* term : terms) {
+    const Entry& entry = entries_.at(*term);
+    PutU32(out, static_cast<uint32_t>(term->size()));
+    out.write(term->data(), static_cast<std::streamsize>(term->size()));
+    PutDouble(out, entry.mass);
+    out.write(reinterpret_cast<const char*>(entry.scores.data()),
+              static_cast<std::streamsize>(entry.scores.size() *
+                                           sizeof(float)));
+  }
+  if (!out) return InternalError("rank cache write failed");
+  return Status::OK();
+}
+
+StatusOr<RankCache> RankCache::Deserialize(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kCacheMagic, 4) != 0) {
+    return DataLossError("not an ORX rank cache (bad magic)");
+  }
+  uint32_t version = 0;
+  ORX_RETURN_IF_ERROR(GetU32(in, &version));
+  if (version != kCacheVersion) {
+    return DataLossError("unsupported rank cache version");
+  }
+  RankCache cache;
+  uint32_t num_nodes = 0;
+  ORX_RETURN_IF_ERROR(GetU32(in, &num_nodes));
+  if (num_nodes > kCacheSanityLimit) {
+    return DataLossError("implausible rank cache node count");
+  }
+  cache.num_nodes_ = num_nodes;
+  uint32_t fp_lo = 0, fp_hi = 0;
+  ORX_RETURN_IF_ERROR(GetU32(in, &fp_lo));
+  ORX_RETURN_IF_ERROR(GetU32(in, &fp_hi));
+  cache.rates_fingerprint_ = (static_cast<uint64_t>(fp_hi) << 32) | fp_lo;
+  ORX_RETURN_IF_ERROR(GetDouble(in, &cache.bm25_.k1));
+  ORX_RETURN_IF_ERROR(GetDouble(in, &cache.bm25_.b));
+  ORX_RETURN_IF_ERROR(GetDouble(in, &cache.bm25_.k3));
+  uint32_t num_entries = 0;
+  ORX_RETURN_IF_ERROR(GetU32(in, &num_entries));
+  if (num_entries > kCacheSanityLimit) {
+    return DataLossError("implausible rank cache entry count");
+  }
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    uint32_t len = 0;
+    ORX_RETURN_IF_ERROR(GetU32(in, &len));
+    if (len > kCacheSanityLimit) {
+      return DataLossError("implausible term length");
+    }
+    std::string term(len, '\0');
+    if (len > 0 && !in.read(term.data(), len)) {
+      return DataLossError("truncated term");
+    }
+    Entry entry;
+    ORX_RETURN_IF_ERROR(GetDouble(in, &entry.mass));
+    entry.scores.resize(num_nodes);
+    if (num_nodes > 0 &&
+        !in.read(reinterpret_cast<char*>(entry.scores.data()),
+                 static_cast<std::streamsize>(num_nodes * sizeof(float)))) {
+      return DataLossError("truncated score vector");
+    }
+    cache.entries_.emplace(std::move(term), std::move(entry));
+  }
+  return cache;
+}
+
+Status RankCache::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return NotFoundError("cannot open for writing: " + path);
+  ORX_RETURN_IF_ERROR(Serialize(out));
+  out.flush();
+  if (!out) return InternalError("flush failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<RankCache> RankCache::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open rank cache: " + path);
+  return Deserialize(in);
+}
+
+size_t RankCache::MemoryFootprintBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, entry] : entries_) {
+    bytes += term.size() + sizeof(Entry) +
+             entry.scores.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace orx::core

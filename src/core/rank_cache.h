@@ -1,0 +1,126 @@
+#ifndef ORX_CORE_RANK_CACHE_H_
+#define ORX_CORE_RANK_CACHE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/objectrank.h"
+#include "graph/authority_graph.h"
+#include "graph/transfer_rates.h"
+#include "text/bm25.h"
+#include "text/corpus.h"
+#include "text/query.h"
+
+namespace orx::core {
+
+/// Precomputed per-keyword ObjectRank2 vectors, the query-time strategy of
+/// the original ObjectRank system that Section 6.2 recommends for the
+/// collections too large for on-the-fly execution ("precompute ObjectRank2
+/// values as in [BHP04]").
+///
+/// The fixpoint of Equation 4 is linear in the base-set vector:
+/// r(s) = (1-d) (I - dA)^{-1} s. The IR-weighted base set of a query
+/// decomposes over its terms, so the exact query scores are a convex
+/// combination of per-term rank vectors:
+///
+///   r^Q = sum_t c_t * r_t,
+///   c_t = qf(w_t) * Z_t / sum_t' qf(w_t') * Z_t',
+///
+/// where r_t is the ObjectRank2 vector of term t's IR-weighted base set,
+/// Z_t its unnormalized IR mass, and qf the query-side BM25 factor. A
+/// cached query is therefore *exact* up to the per-term solver tolerance,
+/// for arbitrary query-vector weights — including content-reformulated
+/// queries. Structure-based reformulation changes the rates and
+/// invalidates the cache (rates are baked into the precomputed vectors);
+/// this is why precomputation alone cannot serve the full reformulation
+/// loop, and the paper instead evaluates on focused subsets.
+class RankCache {
+ public:
+  struct Options {
+    ObjectRankOptions objectrank;
+    text::Bm25Params bm25;
+    /// Only terms with document frequency >= min_df are cached (rare
+    /// terms are cheap to rank on the fly).
+    uint32_t min_df = 1;
+    /// Cache at most this many terms, most frequent first.
+    size_t max_terms = static_cast<size_t>(-1);
+  };
+
+  /// Result of a cached query.
+  struct QueryResult {
+    std::vector<double> scores;
+    /// Query terms that are in the corpus but not cached (the combination
+    /// then covers only the cached part; callers typically fall back to
+    /// the Searcher when this is non-empty).
+    std::vector<std::string> missing_terms;
+  };
+
+  /// Precomputes the rank vector of every eligible corpus term under
+  /// `rates`. O(#terms * power-iteration) — an offline index build.
+  static RankCache Build(const graph::AuthorityGraph& graph,
+                         const text::Corpus& corpus,
+                         const graph::TransferRates& rates,
+                         const Options& options);
+
+  /// Like Build but only for the given terms (normalized forms).
+  static RankCache BuildForTerms(const graph::AuthorityGraph& graph,
+                                 const text::Corpus& corpus,
+                                 const graph::TransferRates& rates,
+                                 const std::vector<std::string>& terms,
+                                 const Options& options);
+
+  /// True if `term` (normalized) has a cached vector.
+  bool Contains(const std::string& term) const {
+    return entries_.count(term) > 0;
+  }
+
+  /// Combines the cached per-term vectors for `query`. Errors:
+  /// kInvalidArgument on an empty query, kNotFound if no query term is
+  /// cached (or none carries mass).
+  StatusOr<QueryResult> Query(const text::QueryVector& query) const;
+
+  size_t num_terms() const { return entries_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Fingerprint of the TransferRates this cache was built with; a cache
+  /// only answers exactly for those rates. Searcher uses this to fall
+  /// back to the power iteration after structure-based reformulation.
+  uint64_t rates_fingerprint() const { return rates_fingerprint_; }
+
+  /// Approximate in-memory footprint (the vectors dominate).
+  size_t MemoryFootprintBytes() const;
+
+  /// Binary persistence — [BHP04] stores its per-keyword "ObjectRank
+  /// Index" on disk; so does ORX. The stream carries the BM25 parameters
+  /// so a loaded cache combines exactly like the one that was saved.
+  /// The caller is responsible for using the cache only with the graph
+  /// and rates it was built from (the file stores the node count as a
+  /// cheap consistency check).
+  Status Serialize(std::ostream& out) const;
+  static StatusOr<RankCache> Deserialize(std::istream& in);
+  Status Save(const std::string& path) const;
+  static StatusOr<RankCache> Load(const std::string& path);
+
+ private:
+  struct Entry {
+    /// Unnormalized IR mass Z_t of the term's base set.
+    double mass = 0.0;
+    /// r_t, stored as float (half the memory; combination runs in double).
+    std::vector<float> scores;
+  };
+
+  RankCache() = default;
+
+  size_t num_nodes_ = 0;
+  uint64_t rates_fingerprint_ = 0;
+  text::Bm25Params bm25_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace orx::core
+
+#endif  // ORX_CORE_RANK_CACHE_H_

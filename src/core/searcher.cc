@@ -1,0 +1,141 @@
+#include "core/searcher.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace orx::core {
+
+Searcher::Searcher(const graph::DataGraph& data,
+                   const graph::AuthorityGraph& graph,
+                   const text::Corpus& corpus)
+    : data_(&data), graph_(&graph), corpus_(&corpus), engine_(graph) {}
+
+void Searcher::PrecomputeGlobalRank(const graph::TransferRates& rates,
+                                    const ObjectRankOptions& options) {
+  global_scores_ = engine_.ComputeGlobal(rates, options).scores;
+  has_global_ = true;
+}
+
+void Searcher::ResetSession() {
+  has_previous_ = false;
+  previous_scores_.clear();
+  has_global_ = false;
+  global_scores_.clear();
+}
+
+StatusOr<SearchResult> Searcher::Search(const text::QueryVector& query,
+                                        const graph::TransferRates& rates,
+                                        const SearchOptions& options) {
+  if (query.empty()) {
+    return InvalidArgumentError("empty query vector");
+  }
+  if (options.mode == RankMode::kObjectRank2) {
+    return SearchObjectRank2(query, rates, options);
+  }
+  return SearchBaseline(query, rates, options);
+}
+
+StatusOr<SearchResult> Searcher::SearchObjectRank2(
+    const text::QueryVector& query, const graph::TransferRates& rates,
+    const SearchOptions& options) {
+  auto base = BuildBaseSet(*corpus_, query, BaseSetMode::kIrWeighted,
+                           options.bm25);
+  if (!base.ok()) return base.status();
+
+  // Answer from the precomputed per-keyword cache when it is attached,
+  // fresh (same rates), and covers every query term.
+  if (rank_cache_ != nullptr &&
+      rank_cache_->rates_fingerprint() == rates.Fingerprint()) {
+    Timer cache_timer;
+    auto cached = rank_cache_->Query(query);
+    if (cached.ok() && cached->missing_terms.empty()) {
+      SearchResult result;
+      result.from_cache = true;
+      result.converged = true;
+      result.seconds = cache_timer.ElapsedSeconds();
+      result.base_set_size = base->size();
+      result.top =
+          TopKOfType(cached->scores, options.k, *data_, options.result_type);
+      result.scores = std::move(cached->scores);
+      previous_scores_ = result.scores;
+      has_previous_ = true;
+      return result;
+    }
+  }
+
+  const std::vector<double>* seed = nullptr;
+  if (options.use_warm_start) {
+    // Reformulated queries are close to their predecessor, so the previous
+    // fixpoint is a good starting point; the first query starts from the
+    // global ObjectRank (Section 6.2).
+    if (has_previous_) {
+      seed = &previous_scores_;
+    } else if (has_global_) {
+      seed = &global_scores_;
+    }
+  }
+
+  Timer timer;
+  ObjectRankResult rank =
+      engine_.Compute(*base, rates, options.objectrank, seed);
+  SearchResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.iterations = rank.iterations;
+  result.converged = rank.converged;
+  result.base_set_size = base->size();
+  result.top = TopKOfType(rank.scores, options.k, *data_, options.result_type);
+  result.scores = std::move(rank.scores);
+
+  previous_scores_ = result.scores;
+  has_previous_ = true;
+  return result;
+}
+
+StatusOr<SearchResult> Searcher::SearchBaseline(
+    const text::QueryVector& query, const graph::TransferRates& rates,
+    const SearchOptions& options) {
+  Timer timer;
+  const size_t n = graph_->num_nodes();
+  std::vector<double> combined(n, 1.0);
+  int total_iterations = 0;
+  bool all_converged = true;
+  size_t matched_terms = 0;
+  size_t base_total = 0;
+
+  for (const std::string& term : query.terms()) {
+    auto base = SingleTermBaseSet(*corpus_, term);
+    if (!base.ok()) continue;  // keywords absent from the corpus contribute nothing
+    ++matched_terms;
+    base_total += base->size();
+
+    ObjectRankResult rank = engine_.Compute(*base, rates, options.objectrank);
+    total_iterations += rank.iterations;
+    all_converged = all_converged && rank.converged;
+
+    // Equation 16: r(v) = prod_t r_t(v)^g(t), g(t) = 1/log(|S(t)|). The
+    // exponent damps popular keywords so they do not dominate the product.
+    const double st = static_cast<double>(base->size());
+    const double g = st > M_E ? 1.0 / std::log(st) : 1.0;
+    for (size_t v = 0; v < n; ++v) {
+      combined[v] *= std::pow(rank.scores[v], g);
+    }
+  }
+  if (matched_terms == 0) {
+    return NotFoundError("no query keyword matches any node");
+  }
+
+  SearchResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.iterations = total_iterations;
+  result.converged = all_converged;
+  result.base_set_size = base_total;
+  result.top = TopKOfType(combined, options.k, *data_, options.result_type);
+  result.scores = std::move(combined);
+
+  // Baseline scores are products, not probabilities; they still serve as a
+  // warm start only in baseline sessions, so do not overwrite the OR2 seed.
+  return result;
+}
+
+}  // namespace orx::core

@@ -1,0 +1,130 @@
+#ifndef ORX_CORE_SEARCHER_H_
+#define ORX_CORE_SEARCHER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/base_set.h"
+#include "core/objectrank.h"
+#include "core/rank_cache.h"
+#include "core/top_k.h"
+#include "graph/authority_graph.h"
+#include "graph/data_graph.h"
+#include "text/corpus.h"
+#include "text/query.h"
+
+namespace orx::core {
+
+/// Which ranking semantics Search uses.
+enum class RankMode {
+  /// ObjectRank2 (Section 3): one power iteration over the IR-weighted
+  /// base set of the whole query vector.
+  kObjectRank2,
+  /// The modified original ObjectRank used as the Table 2 baseline: one
+  /// 0/1-base-set run per keyword, combined multiplicatively with the
+  /// normalizing exponent g(t) = 1 / log(|S(t)|) (Equation 16).
+  kObjectRankBaseline,
+};
+
+/// Per-search knobs.
+struct SearchOptions {
+  ObjectRankOptions objectrank;
+  text::Bm25Params bm25;
+  RankMode mode = RankMode::kObjectRank2;
+  /// If set, only nodes of this type appear in the ranked result list
+  /// (the surveys rank Paper / PubMed objects).
+  std::optional<graph::TypeId> result_type;
+  /// Number of results to return (the paper reports top-10).
+  size_t k = 10;
+  /// Seed the power iteration with the previous query's converged scores
+  /// (Section 6.2: "Manipulating Initial ObjectRank values"). The first
+  /// query of a session is seeded with the global ObjectRank if
+  /// PrecomputeGlobalRank was called.
+  bool use_warm_start = true;
+};
+
+/// Outcome of one search.
+struct SearchResult {
+  /// True if the result came from the precomputed rank cache rather than
+  /// a power iteration (then `iterations` is 0).
+  bool from_cache = false;
+  /// Top-k results, best first.
+  std::vector<ScoredNode> top;
+  /// Full converged score vector r^Q (needed by the explainer).
+  std::vector<double> scores;
+  /// Power iterations executed (summed across per-keyword runs in
+  /// baseline mode) — the quantity plotted in Figures 14(b)-17(b).
+  int iterations = 0;
+  bool converged = false;
+  /// |S(Q)|.
+  size_t base_set_size = 0;
+  /// Wall-clock seconds of the ObjectRank execution stage.
+  double seconds = 0.0;
+};
+
+/// High-level query interface tying together the corpus, the authority
+/// transfer data graph, and the ObjectRank engine. A Searcher represents
+/// one user session: it remembers the last converged score vector and uses
+/// it to warm-start the next (typically reformulated) query.
+///
+/// The referenced graph/corpus objects must outlive the Searcher.
+class Searcher {
+ public:
+  Searcher(const graph::DataGraph& data, const graph::AuthorityGraph& graph,
+           const text::Corpus& corpus);
+
+  /// Computes the global ObjectRank under `rates` and stores it as the
+  /// warm-start seed for the session's first query.
+  void PrecomputeGlobalRank(const graph::TransferRates& rates,
+                            const ObjectRankOptions& options = {});
+
+  /// Attaches a precomputed rank cache. Subsequent ObjectRank2 searches
+  /// are answered from the cache when (a) the query's terms are all
+  /// cached and (b) the search's rates match the cache's fingerprint —
+  /// i.e. until structure-based reformulation changes the rates; then the
+  /// searcher silently falls back to the power iteration. Pass nullptr to
+  /// detach. The cache must outlive the searcher.
+  void AttachRankCache(const RankCache* cache) { rank_cache_ = cache; }
+
+  /// Runs a search. Errors: kNotFound if no query keyword matches any
+  /// node; kInvalidArgument on an empty query vector.
+  StatusOr<SearchResult> Search(const text::QueryVector& query,
+                                const graph::TransferRates& rates,
+                                const SearchOptions& options = {});
+
+  /// Forgets warm-start state (previous scores and global seed).
+  void ResetSession();
+
+  /// Last converged scores, or nullptr before the first search.
+  const std::vector<double>* previous_scores() const {
+    return has_previous_ ? &previous_scores_ : nullptr;
+  }
+
+  const graph::DataGraph& data() const { return *data_; }
+  const graph::AuthorityGraph& authority_graph() const { return *graph_; }
+  const text::Corpus& corpus() const { return *corpus_; }
+
+ private:
+  StatusOr<SearchResult> SearchObjectRank2(const text::QueryVector& query,
+                                           const graph::TransferRates& rates,
+                                           const SearchOptions& options);
+  StatusOr<SearchResult> SearchBaseline(const text::QueryVector& query,
+                                        const graph::TransferRates& rates,
+                                        const SearchOptions& options);
+
+  const graph::DataGraph* data_;
+  const graph::AuthorityGraph* graph_;
+  const text::Corpus* corpus_;
+  ObjectRankEngine engine_;
+
+  const RankCache* rank_cache_ = nullptr;
+  std::vector<double> global_scores_;
+  bool has_global_ = false;
+  std::vector<double> previous_scores_;
+  bool has_previous_ = false;
+};
+
+}  // namespace orx::core
+
+#endif  // ORX_CORE_SEARCHER_H_

@@ -1,0 +1,62 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+
+namespace orx::core {
+namespace {
+
+// Min-heap ordering: the worst element of the current top-k sits at the
+// front. `a < b` means a ranks better than b.
+bool RanksBetter(const ScoredNode& a, const ScoredNode& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.node < b.node;
+}
+
+std::vector<ScoredNode> HeapTopK(const std::vector<double>& scores, size_t k,
+                                 const auto& keep) {
+  std::vector<ScoredNode> heap;
+  heap.reserve(k + 1);
+  auto heap_cmp = [](const ScoredNode& a, const ScoredNode& b) {
+    return RanksBetter(a, b);  // makes the *worst* element the heap top
+  };
+  for (graph::NodeId v = 0; v < scores.size(); ++v) {
+    if (!keep(v)) continue;
+    ScoredNode cand{v, scores[v]};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    } else if (k > 0 && RanksBetter(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), RanksBetter);
+  return heap;
+}
+
+}  // namespace
+
+std::vector<ScoredNode> TopK(const std::vector<double>& scores, size_t k) {
+  return HeapTopK(scores, k, [](graph::NodeId) { return true; });
+}
+
+std::vector<ScoredNode> TopKOfType(const std::vector<double>& scores,
+                                   size_t k, const graph::DataGraph& data,
+                                   std::optional<graph::TypeId> type) {
+  if (!type.has_value()) return TopK(scores, k);
+  return HeapTopK(scores, k, [&](graph::NodeId v) {
+    return data.NodeType(v) == *type;
+  });
+}
+
+std::vector<ScoredNode> TopKOfTypeExcluding(
+    const std::vector<double>& scores, size_t k, const graph::DataGraph& data,
+    std::optional<graph::TypeId> type, const std::vector<bool>& excluded) {
+  return HeapTopK(scores, k, [&](graph::NodeId v) {
+    if (v < excluded.size() && excluded[v]) return false;
+    return !type.has_value() || data.NodeType(v) == *type;
+  });
+}
+
+}  // namespace orx::core

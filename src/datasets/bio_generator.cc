@@ -1,0 +1,234 @@
+#include "datasets/bio_generator.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datasets/vocabulary.h"
+#include "datasets/zipf.h"
+#include "text/tokenizer.h"
+
+namespace orx::datasets {
+
+BioGeneratorConfig BioGeneratorConfig::Ds7() {
+  BioGeneratorConfig config;
+  config.num_pubmed = 350'000;
+  config.num_genes = 39'000;
+  config.num_proteins = 130'000;
+  config.num_nucleotides = 180'000;
+  config.seed = 20080701;
+  return config;
+}
+
+BioGeneratorConfig BioGeneratorConfig::Tiny(uint32_t pubs, uint64_t seed) {
+  BioGeneratorConfig config;
+  config.num_pubmed = pubs;
+  config.num_genes = std::max<uint32_t>(pubs / 8, 2);
+  config.num_proteins = std::max<uint32_t>(pubs / 3, 2);
+  config.num_nucleotides = std::max<uint32_t>(pubs / 2, 2);
+  config.seed = seed;
+  return config;
+}
+
+BioDataset GenerateBio(const BioGeneratorConfig& config) {
+  ORX_CHECK(config.num_pubmed > 0);
+  ORX_CHECK(config.num_genes > 0);
+  ORX_CHECK(config.num_proteins > 0);
+  ORX_CHECK(config.num_nucleotides > 0);
+
+  BioTypes types;
+  auto schema = MakeBioSchema(&types);
+  Dataset dataset(std::move(schema), "bio-synthetic");
+  graph::DataGraph& data = dataset.mutable_data();
+  data.ReserveNodes(config.num_pubmed + config.num_genes +
+                    config.num_proteins + config.num_nucleotides);
+
+  Rng root(config.seed);
+  Rng pub_rng = root.Fork();
+  Rng gene_rng = root.Fork();
+  Rng protein_rng = root.Fork();
+  Rng nucleotide_rng = root.Fork();
+
+  const auto& vocab = BioVocabulary();
+  ZipfSampler term_sampler(vocab.size(), config.zipf_s);
+
+  auto must_node = [&](auto status_or) {
+    ORX_CHECK(status_or.ok());
+    return *status_or;
+  };
+
+  // Publications: Zipf-topical titles; topic-affine + preferential
+  // citations to earlier publications.
+  std::vector<graph::NodeId> pubs;
+  pubs.reserve(config.num_pubmed);
+  std::vector<std::vector<uint32_t>> pubs_by_topic(vocab.size());
+  std::vector<uint32_t> pref_pool;
+  std::unordered_set<uint32_t> targets;
+  for (uint32_t i = 0; i < config.num_pubmed; ++i) {
+    const uint32_t topic =
+        static_cast<uint32_t>(term_sampler.Sample(pub_rng));
+    const int title_len = static_cast<int>(pub_rng.UniformInt(
+        config.title_terms_min, config.title_terms_max));
+    std::string title = vocab[topic];
+    for (int t = 1; t < title_len; ++t) {
+      title += ' ';
+      title += vocab[term_sampler.Sample(pub_rng)];
+    }
+    const graph::NodeId pub = must_node(data.AddNode(
+        types.pubmed, {{"Title", title},
+                       {"PMID", "PMID" + std::to_string(1000000 + i)}}));
+    pubs.push_back(pub);
+
+    if (i > 0) {
+      const int cites = pub_rng.Poisson(config.avg_pub_citations);
+      targets.clear();
+      const auto& topic_pool = pubs_by_topic[topic];
+      for (int c = 0; c < cites; ++c) {
+        const double mix = pub_rng.UniformDouble();
+        uint32_t target_index;
+        if (mix < 0.5 && !topic_pool.empty()) {
+          target_index = topic_pool[pub_rng.UniformInt(topic_pool.size())];
+        } else if (mix < 0.8 && !pref_pool.empty()) {
+          target_index = pref_pool[pub_rng.UniformInt(pref_pool.size())];
+        } else {
+          target_index = static_cast<uint32_t>(pub_rng.UniformInt(i));
+        }
+        if (!targets.insert(target_index).second) continue;
+        ORX_CHECK(
+            data.AddEdge(pub, pubs[target_index], types.pubmed_cites).ok());
+        pref_pool.push_back(target_index);
+      }
+    }
+    pubs_by_topic[topic].push_back(i);
+  }
+
+  // Genes: adopt a topic, associate with same-topic publications, encode
+  // proteins that inherit the topic.
+  std::vector<graph::NodeId> genes;
+  std::vector<uint32_t> gene_topic;
+  genes.reserve(config.num_genes);
+  auto sample_topic_pub = [&](Rng& rng, uint32_t topic) -> graph::NodeId {
+    const auto& pool = pubs_by_topic[topic];
+    if (!pool.empty() && rng.UniformDouble() < 0.7) {
+      return pubs[pool[rng.UniformInt(pool.size())]];
+    }
+    return pubs[rng.UniformInt(pubs.size())];
+  };
+  for (uint32_t g = 0; g < config.num_genes; ++g) {
+    const uint32_t topic =
+        static_cast<uint32_t>(term_sampler.Sample(gene_rng));
+    gene_topic.push_back(topic);
+    const graph::NodeId gene = must_node(data.AddNode(
+        types.gene, {{"Symbol", "GENE" + std::to_string(g)},
+                     {"Description", vocab[topic] + " associated gene"}}));
+    genes.push_back(gene);
+    const int pubs_count = gene_rng.Poisson(config.avg_gene_pubs);
+    targets.clear();
+    for (int p = 0; p < pubs_count; ++p) {
+      const graph::NodeId pub = sample_topic_pub(gene_rng, topic);
+      if (!targets.insert(pub).second) continue;
+      ORX_CHECK(data.AddEdge(gene, pub, types.gene_pubmed).ok());
+    }
+  }
+
+  // Proteins: each belongs to a gene (round-robin plus Poisson extras via
+  // avg_gene_proteins), inherits its topic, references publications.
+  std::vector<graph::NodeId> proteins;
+  proteins.reserve(config.num_proteins);
+  for (uint32_t p = 0; p < config.num_proteins; ++p) {
+    const uint32_t gene_index =
+        static_cast<uint32_t>(protein_rng.UniformInt(genes.size()));
+    const uint32_t topic = gene_topic[gene_index];
+    const graph::NodeId protein = must_node(data.AddNode(
+        types.protein,
+        {{"Accession", "PROT" + std::to_string(p)},
+         {"Description", vocab[topic] + " protein product"}}));
+    proteins.push_back(protein);
+    ORX_CHECK(
+        data.AddEdge(genes[gene_index], protein, types.gene_protein).ok());
+    const int pubs_count = protein_rng.Poisson(config.avg_protein_pubs);
+    targets.clear();
+    for (int q = 0; q < pubs_count; ++q) {
+      const graph::NodeId pub = sample_topic_pub(protein_rng, topic);
+      if (!targets.insert(pub).second) continue;
+      ORX_CHECK(data.AddEdge(protein, pub, types.protein_pubmed).ok());
+    }
+  }
+  // avg_gene_proteins governs extra gene->protein links beyond the
+  // one-per-protein membership edge.
+  const double extra_links =
+      std::max(0.0, config.avg_gene_proteins - 1.0) * config.num_genes;
+  for (double added = 0; added < extra_links; ++added) {
+    const graph::NodeId gene = genes[protein_rng.UniformInt(genes.size())];
+    const graph::NodeId protein =
+        proteins[protein_rng.UniformInt(proteins.size())];
+    // Duplicate (gene, protein) pairs are possible but rare; tolerate them
+    // by skipping failures is unnecessary since AddEdge allows parallel
+    // edges only across types — it allows duplicates structurally, so we
+    // simply add (ObjectRank treats them as extra flow capacity).
+    ORX_CHECK(data.AddEdge(gene, protein, types.gene_protein).ok());
+  }
+
+  // Nucleotides: attach to a gene and to one of its proteins.
+  for (uint32_t u = 0; u < config.num_nucleotides; ++u) {
+    const uint32_t gene_index =
+        static_cast<uint32_t>(nucleotide_rng.UniformInt(genes.size()));
+    const uint32_t topic = gene_topic[gene_index];
+    const graph::NodeId nucleotide = must_node(data.AddNode(
+        types.nucleotide,
+        {{"Accession", "NM" + std::to_string(100000 + u)},
+         {"Description", vocab[topic] + " transcript"}}));
+    ORX_CHECK(data.AddEdge(nucleotide, genes[gene_index],
+                           types.nucleotide_gene).ok());
+    const graph::NodeId protein =
+        proteins[nucleotide_rng.UniformInt(proteins.size())];
+    ORX_CHECK(data.AddEdge(nucleotide, protein,
+                           types.nucleotide_protein).ok());
+  }
+
+  dataset.Finalize();
+  return BioDataset{std::move(dataset), types};
+}
+
+BioDataset ExtractBioSubset(const BioDataset& full,
+                            const std::string& keyword) {
+  BioTypes types;
+  auto schema = MakeBioSchema(&types);
+
+  const graph::DataGraph& data = full.dataset.data();
+  const text::Corpus& corpus = full.dataset.corpus();
+  std::vector<bool> keep(data.num_nodes(), false);
+  auto term = corpus.TermIdOf(text::NormalizeTerm(keyword));
+  if (term.has_value()) {
+    for (const text::Posting& p : corpus.Postings(*term)) {
+      if (data.NodeType(p.doc) == full.types.pubmed) keep[p.doc] = true;
+    }
+  }
+  // Section 6: "PubMed publications related to 'cancer' and all
+  // biological *entities* related to these publications" — the expansion
+  // adds adjacent genes/proteins/nucleotides but NOT neighboring
+  // publications (which would snowball the subset).
+  std::vector<bool> entity(data.num_nodes(), false);
+  for (const graph::DataEdge& e : data.edges()) {
+    if (keep[e.to] && data.NodeType(e.from) != full.types.pubmed) {
+      entity[e.from] = true;
+    }
+    if (keep[e.from] && data.NodeType(e.to) != full.types.pubmed) {
+      entity[e.to] = true;
+    }
+  }
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (entity[v]) keep[v] = true;
+  }
+  auto induced = InducedSubgraph(data, keep, /*expand_hops=*/0, schema.get());
+
+  Dataset dataset(std::move(schema),
+                  full.dataset.name() + "-" + keyword + "-subset");
+  dataset.ResetData(std::move(induced));
+  dataset.Finalize();
+  return BioDataset{std::move(dataset), types};
+}
+
+}  // namespace orx::datasets

@@ -1,0 +1,58 @@
+#ifndef ORX_DATASETS_BIO_GENERATOR_H_
+#define ORX_DATASETS_BIO_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datasets/bio_schema.h"
+#include "datasets/dataset.h"
+
+namespace orx::datasets {
+
+/// Parameters of the synthetic biological-collection generator (the DS7
+/// stand-in; see DESIGN.md substitution #2). Publications carry Zipfian
+/// topical titles; genes adopt a topic and associate with same-topic
+/// publications; proteins inherit their gene's topic; nucleotides attach
+/// to genes. This reproduces the topical clustering that makes the
+/// "cancer" subset (DS7cancer) well defined.
+struct BioGeneratorConfig {
+  uint32_t num_pubmed = 2000;
+  uint32_t num_genes = 300;
+  uint32_t num_proteins = 800;
+  uint32_t num_nucleotides = 1000;
+
+  double avg_pub_citations = 5.2;
+  double avg_gene_pubs = 12.0;
+  double avg_protein_pubs = 6.0;
+  double avg_gene_proteins = 3.0;
+
+  int title_terms_min = 5;
+  int title_terms_max = 9;
+  double zipf_s = 1.0;
+  uint64_t seed = 7;
+
+  /// Preset matching Table 1's DS7 row (699,199 nodes, ~3.53 M edges).
+  static BioGeneratorConfig Ds7();
+  /// Small graph for unit tests.
+  static BioGeneratorConfig Tiny(uint32_t pubs, uint64_t seed = 7);
+};
+
+/// A generated biological dataset with its schema handles; finalized.
+struct BioDataset {
+  Dataset dataset;
+  BioTypes types;
+};
+
+/// Runs the generator. Deterministic in the config.
+BioDataset GenerateBio(const BioGeneratorConfig& config);
+
+/// Derives the DS7cancer-style subset from a generated bio dataset: the
+/// PubMed publications containing `keyword` plus every entity within one
+/// hop (Section 6: "PubMed publications related to 'cancer' and all
+/// biological entities related to these publications"). The returned
+/// dataset shares nothing with the input and is finalized. Returns a
+/// dataset with zero nodes if the keyword is absent.
+BioDataset ExtractBioSubset(const BioDataset& full, const std::string& keyword);
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_BIO_GENERATOR_H_

@@ -1,0 +1,100 @@
+#include "datasets/bio_schema.h"
+
+#include "common/check.h"
+
+namespace orx::datasets {
+
+std::unique_ptr<graph::SchemaGraph> MakeBioSchema(BioTypes* types) {
+  ORX_CHECK(types != nullptr);
+  auto schema = std::make_unique<graph::SchemaGraph>();
+  auto must = [](auto status_or) {
+    ORX_CHECK(status_or.ok());
+    return *status_or;
+  };
+  types->gene = must(schema->AddNodeType("EntrezGene"));
+  types->nucleotide = must(schema->AddNodeType("EntrezNucleotide"));
+  types->protein = must(schema->AddNodeType("EntrezProtein"));
+  types->pubmed = must(schema->AddNodeType("PubMed"));
+
+  types->gene_pubmed = must(schema->AddEdgeType(
+      types->gene, types->pubmed, "genePubMedAssociates"));
+  types->protein_pubmed = must(schema->AddEdgeType(
+      types->protein, types->pubmed, "proteinPubMedAssociates"));
+  types->nucleotide_gene = must(schema->AddEdgeType(
+      types->nucleotide, types->gene, "nucleotideGeneAssociates"));
+  types->gene_protein = must(schema->AddEdgeType(
+      types->gene, types->protein, "geneProteinEncodes"));
+  types->nucleotide_protein = must(schema->AddEdgeType(
+      types->nucleotide, types->protein, "nucleotideProteinTranslates"));
+  types->pubmed_cites = must(schema->AddEdgeType(
+      types->pubmed, types->pubmed, "cites"));
+  return schema;
+}
+
+StatusOr<BioTypes> BioTypesFromSchema(const graph::SchemaGraph& schema) {
+  BioTypes types;
+  auto get_type = [&](const char* label, graph::TypeId* out) -> Status {
+    auto id = schema.NodeTypeByLabel(label);
+    if (!id.ok()) return id.status();
+    *out = *id;
+    return Status::OK();
+  };
+  auto get_edge = [&](const char* role, graph::EdgeTypeId* out) -> Status {
+    auto id = schema.EdgeTypeByRole(role);
+    if (!id.ok()) return id.status();
+    *out = *id;
+    return Status::OK();
+  };
+  ORX_RETURN_IF_ERROR(get_type("EntrezGene", &types.gene));
+  ORX_RETURN_IF_ERROR(get_type("EntrezNucleotide", &types.nucleotide));
+  ORX_RETURN_IF_ERROR(get_type("EntrezProtein", &types.protein));
+  ORX_RETURN_IF_ERROR(get_type("PubMed", &types.pubmed));
+  ORX_RETURN_IF_ERROR(get_edge("genePubMedAssociates", &types.gene_pubmed));
+  ORX_RETURN_IF_ERROR(
+      get_edge("proteinPubMedAssociates", &types.protein_pubmed));
+  ORX_RETURN_IF_ERROR(
+      get_edge("nucleotideGeneAssociates", &types.nucleotide_gene));
+  ORX_RETURN_IF_ERROR(get_edge("geneProteinEncodes", &types.gene_protein));
+  ORX_RETURN_IF_ERROR(
+      get_edge("nucleotideProteinTranslates", &types.nucleotide_protein));
+  ORX_RETURN_IF_ERROR(get_edge("cites", &types.pubmed_cites));
+  return types;
+}
+
+graph::TransferRates BioGroundTruthRates(const graph::SchemaGraph& schema,
+                                         const BioTypes& types) {
+  graph::TransferRates rates(schema, 0.0);
+  ORX_CHECK(rates.SetBoth(types.pubmed_cites, 0.6, 0.0).ok());
+  ORX_CHECK(rates.SetBoth(types.gene_pubmed, 0.3, 0.2).ok());
+  ORX_CHECK(rates.SetBoth(types.protein_pubmed, 0.3, 0.2).ok());
+  ORX_CHECK(rates.SetBoth(types.nucleotide_gene, 0.3, 0.1).ok());
+  ORX_CHECK(rates.SetBoth(types.gene_protein, 0.3, 0.2).ok());
+  ORX_CHECK(rates.SetBoth(types.nucleotide_protein, 0.2, 0.1).ok());
+  return rates;
+}
+
+graph::TransferRates BioUniformRates(const graph::SchemaGraph& schema,
+                                     double value) {
+  return graph::TransferRates(schema, value);
+}
+
+std::vector<double> BioRateVector(const graph::TransferRates& rates,
+                                  const BioTypes& types) {
+  using graph::Direction;
+  std::vector<double> out;
+  for (graph::EdgeTypeId e :
+       {types.pubmed_cites, types.gene_pubmed, types.protein_pubmed,
+        types.nucleotide_gene, types.gene_protein,
+        types.nucleotide_protein}) {
+    out.push_back(rates.Get(e, Direction::kForward));
+    out.push_back(rates.Get(e, Direction::kBackward));
+  }
+  return out;
+}
+
+std::vector<std::string> BioRateVectorNames() {
+  return {"MM", "MM'", "GM", "MG", "PM", "MP",
+          "NG", "GN", "GP", "PG", "NP", "PN"};
+}
+
+}  // namespace orx::datasets

@@ -1,0 +1,62 @@
+#ifndef ORX_DATASETS_BIO_SCHEMA_H_
+#define ORX_DATASETS_BIO_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::datasets {
+
+/// Handles into the biological schema graph of Figure 4: Entrez Gene,
+/// Entrez Nucleotide, Entrez Protein and PubMed, linked by association
+/// edges. The paper names one role explicitly ("genePubMedAssociates");
+/// the remaining associations follow the Entrez link structure the DS7
+/// collection was downloaded from: nucleotides are associated with the
+/// gene they belong to, genes encode proteins, nucleotides translate to
+/// proteins, proteins and genes reference PubMed publications, and
+/// publications cite publications.
+struct BioTypes {
+  graph::TypeId gene = graph::kInvalidTypeId;
+  graph::TypeId nucleotide = graph::kInvalidTypeId;
+  graph::TypeId protein = graph::kInvalidTypeId;
+  graph::TypeId pubmed = graph::kInvalidTypeId;
+
+  graph::EdgeTypeId gene_pubmed = graph::kInvalidEdgeTypeId;      // Gene -> PubMed
+  graph::EdgeTypeId protein_pubmed = graph::kInvalidEdgeTypeId;   // Protein -> PubMed
+  graph::EdgeTypeId nucleotide_gene = graph::kInvalidEdgeTypeId;  // Nucleotide -> Gene
+  graph::EdgeTypeId gene_protein = graph::kInvalidEdgeTypeId;     // Gene -> Protein
+  graph::EdgeTypeId nucleotide_protein = graph::kInvalidEdgeTypeId;  // Nucleotide -> Protein
+  graph::EdgeTypeId pubmed_cites = graph::kInvalidEdgeTypeId;     // PubMed -> PubMed
+};
+
+/// Builds the Figure 4 schema graph and fills `types`.
+std::unique_ptr<graph::SchemaGraph> MakeBioSchema(BioTypes* types);
+
+/// Recovers the type handles from an existing biological schema instance.
+/// Fails with kNotFound if `schema` is not the Figure 4 schema.
+StatusOr<BioTypes> BioTypesFromSchema(const graph::SchemaGraph& schema);
+
+/// Plausible expert-tuned rates for the biological graph, playing the role
+/// [BHP04]'s Figure 3 rates play for DBLP: publication citations carry the
+/// most authority, entity-to-publication links moderate amounts, and
+/// reverse associations less.
+graph::TransferRates BioGroundTruthRates(const graph::SchemaGraph& schema,
+                                         const BioTypes& types);
+
+/// Rates with every slot set to `value`.
+graph::TransferRates BioUniformRates(const graph::SchemaGraph& schema,
+                                     double value = 0.3);
+
+/// Rate vector in a fixed reporting order (12 slots, forward/backward per
+/// edge type) with matching names, for the training-curve benchmarks.
+std::vector<double> BioRateVector(const graph::TransferRates& rates,
+                                  const BioTypes& types);
+std::vector<std::string> BioRateVectorNames();
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_BIO_SCHEMA_H_

@@ -1,0 +1,90 @@
+#include "datasets/dblp_schema.h"
+
+#include "common/check.h"
+
+namespace orx::datasets {
+
+std::unique_ptr<graph::SchemaGraph> MakeDblpSchema(DblpTypes* types) {
+  ORX_CHECK(types != nullptr);
+  auto schema = std::make_unique<graph::SchemaGraph>();
+  auto must = [](auto status_or) {
+    ORX_CHECK(status_or.ok());
+    return *status_or;
+  };
+  types->paper = must(schema->AddNodeType("Paper"));
+  types->conference = must(schema->AddNodeType("Conference"));
+  types->year = must(schema->AddNodeType("Year"));
+  types->author = must(schema->AddNodeType("Author"));
+
+  types->cites = must(schema->AddEdgeType(types->paper, types->paper,
+                                          "cites"));
+  types->has_instance = must(
+      schema->AddEdgeType(types->conference, types->year, "hasInstance"));
+  types->contains =
+      must(schema->AddEdgeType(types->year, types->paper, "contains"));
+  types->by = must(schema->AddEdgeType(types->paper, types->author, "by"));
+  return schema;
+}
+
+StatusOr<DblpTypes> DblpTypesFromSchema(const graph::SchemaGraph& schema) {
+  DblpTypes types;
+  auto get_type = [&](const char* label, graph::TypeId* out) -> Status {
+    auto id = schema.NodeTypeByLabel(label);
+    if (!id.ok()) return id.status();
+    *out = *id;
+    return Status::OK();
+  };
+  auto get_edge = [&](const char* role, graph::EdgeTypeId* out) -> Status {
+    auto id = schema.EdgeTypeByRole(role);
+    if (!id.ok()) return id.status();
+    *out = *id;
+    return Status::OK();
+  };
+  ORX_RETURN_IF_ERROR(get_type("Paper", &types.paper));
+  ORX_RETURN_IF_ERROR(get_type("Conference", &types.conference));
+  ORX_RETURN_IF_ERROR(get_type("Year", &types.year));
+  ORX_RETURN_IF_ERROR(get_type("Author", &types.author));
+  ORX_RETURN_IF_ERROR(get_edge("cites", &types.cites));
+  ORX_RETURN_IF_ERROR(get_edge("hasInstance", &types.has_instance));
+  ORX_RETURN_IF_ERROR(get_edge("contains", &types.contains));
+  ORX_RETURN_IF_ERROR(get_edge("by", &types.by));
+  return types;
+}
+
+graph::TransferRates DblpGroundTruthRates(const graph::SchemaGraph& schema,
+                                          const DblpTypes& types) {
+  graph::TransferRates rates(schema, 0.0);
+  // Figure 3: PP=0.7 (citing), PF=0 (being cited confers nothing on the
+  // citing paper), PA=0.2, AP=0.2, CY=0.3, YC=0.3, YP=0.3, PY=0.1.
+  ORX_CHECK(rates.SetBoth(types.cites, 0.7, 0.0).ok());
+  ORX_CHECK(rates.SetBoth(types.by, 0.2, 0.2).ok());
+  ORX_CHECK(rates.SetBoth(types.has_instance, 0.3, 0.3).ok());
+  ORX_CHECK(rates.SetBoth(types.contains, 0.3, 0.1).ok());
+  return rates;
+}
+
+graph::TransferRates DblpUniformRates(const graph::SchemaGraph& schema,
+                                      double value) {
+  return graph::TransferRates(schema, value);
+}
+
+std::vector<double> DblpRateVector(const graph::TransferRates& rates,
+                                   const DblpTypes& types) {
+  using graph::Direction;
+  return {
+      rates.Get(types.cites, Direction::kForward),         // PP
+      rates.Get(types.cites, Direction::kBackward),        // PF
+      rates.Get(types.by, Direction::kForward),            // PA
+      rates.Get(types.by, Direction::kBackward),           // AP
+      rates.Get(types.has_instance, Direction::kForward),  // CY
+      rates.Get(types.has_instance, Direction::kBackward), // YC
+      rates.Get(types.contains, Direction::kForward),      // YP
+      rates.Get(types.contains, Direction::kBackward),     // PY
+  };
+}
+
+std::vector<std::string> DblpRateVectorNames() {
+  return {"PP", "PF", "PA", "AP", "CY", "YC", "YP", "PY"};
+}
+
+}  // namespace orx::datasets

@@ -1,0 +1,57 @@
+#ifndef ORX_DATASETS_DBLP_SCHEMA_H_
+#define ORX_DATASETS_DBLP_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::datasets {
+
+/// Handles into the DBLP schema graph of Figure 2:
+///   Paper -cites-> Paper, Conference -hasInstance-> Year,
+///   Year -contains-> Paper, Paper -by-> Author.
+struct DblpTypes {
+  graph::TypeId paper = graph::kInvalidTypeId;
+  graph::TypeId conference = graph::kInvalidTypeId;
+  graph::TypeId year = graph::kInvalidTypeId;
+  graph::TypeId author = graph::kInvalidTypeId;
+
+  graph::EdgeTypeId cites = graph::kInvalidEdgeTypeId;
+  graph::EdgeTypeId has_instance = graph::kInvalidEdgeTypeId;
+  graph::EdgeTypeId contains = graph::kInvalidEdgeTypeId;
+  graph::EdgeTypeId by = graph::kInvalidEdgeTypeId;
+};
+
+/// Builds the DBLP schema graph (Figure 2) and fills `types`.
+std::unique_ptr<graph::SchemaGraph> MakeDblpSchema(DblpTypes* types);
+
+/// Recovers the type handles from an existing DBLP schema instance (e.g.
+/// one deserialized from disk). Fails with kNotFound if `schema` is not a
+/// DBLP schema.
+StatusOr<DblpTypes> DblpTypesFromSchema(const graph::SchemaGraph& schema);
+
+/// The hand-tuned authority transfer rates of the ObjectRank project
+/// (Figure 3 / [BHP04]), used as ground truth by the training experiments:
+/// [PP, PF, PA, AP, CY, YC, YP, PY] = [0.7, 0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1].
+graph::TransferRates DblpGroundTruthRates(const graph::SchemaGraph& schema,
+                                          const DblpTypes& types);
+
+/// Rates with every slot set to `value` (the surveys start from 0.3).
+graph::TransferRates DblpUniformRates(const graph::SchemaGraph& schema,
+                                      double value = 0.3);
+
+/// Projects a rate vector into the paper's reporting order
+/// [PP, PF, PA, AP, CY, YC, YP, PY] (Section 6.1.1 UserVector/ObjVector).
+std::vector<double> DblpRateVector(const graph::TransferRates& rates,
+                                   const DblpTypes& types);
+
+/// The slot names in the same order, for table headers.
+std::vector<std::string> DblpRateVectorNames();
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_DBLP_SCHEMA_H_

@@ -1,0 +1,404 @@
+#include "datasets/dblp_xml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace orx::datasets {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal XML scanning for the DBLP subset format.
+// ---------------------------------------------------------------------
+
+class XmlScanner {
+ public:
+  explicit XmlScanner(std::string_view input) : input_(input) {}
+
+  int line() const { return line_; }
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  /// Skips whitespace, comments, the XML declaration and DOCTYPE.
+  void SkipNonContent() {
+    while (!AtEnd()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (Peek("<!--")) {
+        SkipUntil("-->");
+      } else if (Peek("<?")) {
+        SkipUntil("?>");
+      } else if (Peek("<!")) {
+        SkipUntil(">");
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// True if the next characters are exactly `text` (no consumption).
+  bool Peek(std::string_view text) const {
+    return input_.substr(pos_, text.size()) == text;
+  }
+
+  /// Consumes `text` if it is next; false otherwise.
+  bool Consume(std::string_view text) {
+    if (!Peek(text)) return false;
+    for (size_t i = 0; i < text.size(); ++i) Advance();
+    return true;
+  }
+
+  /// Parses "<name" (already past '<') up to '>' collecting a single
+  /// optional key="..." attribute; returns the tag name.
+  Status ReadOpenTagRest(std::string* name, std::string* key) {
+    name->clear();
+    key->clear();
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(
+                            input_[pos_])) != 0 ||
+                        input_[pos_] == '_')) {
+      name->push_back(input_[pos_]);
+      Advance();
+    }
+    if (name->empty()) return Error("expected tag name");
+    // Attributes: only key="..." is meaningful; others are skipped.
+    while (true) {
+      while (!AtEnd() &&
+             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        Advance();
+      }
+      if (AtEnd()) return Error("unterminated tag");
+      if (Consume(">")) return Status::OK();
+      if (Consume("/>")) return Error("self-closing records unsupported");
+      std::string attr_name;
+      while (!AtEnd() && input_[pos_] != '=' && input_[pos_] != '>' &&
+             !std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        attr_name.push_back(input_[pos_]);
+        Advance();
+      }
+      if (!Consume("=")) return Error("expected '=' in attribute");
+      if (!Consume("\"")) return Error("expected '\"' in attribute");
+      std::string value;
+      while (!AtEnd() && input_[pos_] != '"') {
+        value.push_back(input_[pos_]);
+        Advance();
+      }
+      if (!Consume("\"")) return Error("unterminated attribute value");
+      if (attr_name == "key") *key = value;
+    }
+  }
+
+  /// Reads text content up to the next '<' (entity-decoded).
+  Status ReadText(std::string* out) {
+    out->clear();
+    while (!AtEnd() && input_[pos_] != '<') {
+      if (input_[pos_] == '&') {
+        ORX_RETURN_IF_ERROR(DecodeEntity(out));
+      } else {
+        out->push_back(input_[pos_]);
+        Advance();
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return DataLossError("DBLP XML, line " + std::to_string(line_) + ": " +
+                         message);
+  }
+
+ private:
+  void Advance() {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    while (!AtEnd() && !Peek(terminator)) Advance();
+    Consume(terminator);
+  }
+
+  Status DecodeEntity(std::string* out) {
+    // At '&'.
+    const size_t start = pos_;
+    Advance();
+    std::string entity;
+    while (!AtEnd() && input_[pos_] != ';' && pos_ - start < 12) {
+      entity.push_back(input_[pos_]);
+      Advance();
+    }
+    if (!Consume(";")) return Error("unterminated XML entity");
+    if (entity == "amp") {
+      out->push_back('&');
+    } else if (entity == "lt") {
+      out->push_back('<');
+    } else if (entity == "gt") {
+      out->push_back('>');
+    } else if (entity == "quot") {
+      out->push_back('"');
+    } else if (entity == "apos") {
+      out->push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      int code = 0;
+      for (size_t i = 1; i < entity.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(entity[i]))) {
+          return Error("bad numeric entity");
+        }
+        code = code * 10 + (entity[i] - '0');
+      }
+      // Non-ASCII code points degrade to '?'; the corpus is ASCII.
+      out->push_back(code > 0 && code < 128 ? static_cast<char>(code) : '?');
+    } else {
+      return Error("unknown XML entity '&" + entity + ";'");
+    }
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct RawRecord {
+  std::string key;
+  std::string title;
+  std::vector<std::string> authors;
+  std::string year;
+  std::string booktitle;
+  std::vector<std::string> cites;
+};
+
+}  // namespace
+
+StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
+  XmlScanner scanner(xml);
+  scanner.SkipNonContent();
+  if (!scanner.Consume("<dblp>")) {
+    return scanner.Error("expected <dblp> root element");
+  }
+
+  std::vector<RawRecord> records;
+  while (true) {
+    scanner.SkipNonContent();
+    if (scanner.Consume("</dblp>")) break;
+    if (scanner.AtEnd()) return scanner.Error("missing </dblp>");
+    if (!scanner.Consume("<")) return scanner.Error("expected a record");
+    std::string tag, key;
+    ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&tag, &key));
+    if (tag != "inproceedings" && tag != "article") {
+      return scanner.Error("unsupported record type <" + tag + ">");
+    }
+    RawRecord record;
+    record.key = key;
+    // Child elements until the matching close tag.
+    while (true) {
+      scanner.SkipNonContent();
+      if (scanner.Consume("</")) {
+        std::string close, ignored;
+        ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&close, &ignored));
+        if (close != tag) {
+          return scanner.Error("mismatched close tag </" + close + ">");
+        }
+        break;
+      }
+      if (!scanner.Consume("<")) {
+        return scanner.Error("expected a child element");
+      }
+      std::string child, child_key;
+      ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&child, &child_key));
+      std::string content;
+      ORX_RETURN_IF_ERROR(scanner.ReadText(&content));
+      if (!scanner.Consume("</")) {
+        return scanner.Error("nested markup in <" + child + "> unsupported");
+      }
+      std::string close, ignored;
+      ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&close, &ignored));
+      if (close != child) {
+        return scanner.Error("mismatched close tag </" + close + ">");
+      }
+      std::string value(StripWhitespace(content));
+      if (child == "author") {
+        record.authors.push_back(value);
+      } else if (child == "title") {
+        record.title = value;
+      } else if (child == "year") {
+        record.year = value;
+      } else if (child == "booktitle" || child == "journal") {
+        record.booktitle = value;
+      } else if (child == "cite") {
+        record.cites.push_back(value);
+      }
+      // Other children (pages, ee, url, ...) are ignored.
+    }
+    records.push_back(std::move(record));
+  }
+
+  // Shred into the Figure 2 relational schema.
+  DblpTypes types;
+  auto schema = MakeDblpSchema(&types);
+  DblpParseResult result{Dataset(std::move(schema), "dblp-xml"), types};
+  graph::DataGraph& data = result.dataset.mutable_data();
+
+  std::unordered_map<std::string, graph::NodeId> author_nodes;
+  std::unordered_map<std::string, graph::NodeId> conference_nodes;
+  std::unordered_map<std::string, graph::NodeId> year_nodes;
+  std::unordered_map<std::string, graph::NodeId> paper_by_key;
+  auto must_node = [](auto status_or) {
+    ORX_CHECK(status_or.ok());
+    return *status_or;
+  };
+
+  std::vector<std::pair<graph::NodeId, std::string>> pending_cites;
+  for (const RawRecord& record : records) {
+    // Incomplete records exist in real DBLP dumps; skip, don't fail.
+    if (record.title.empty() || record.booktitle.empty() ||
+        record.year.empty()) {
+      continue;
+    }
+    auto conf_it = conference_nodes.find(record.booktitle);
+    if (conf_it == conference_nodes.end()) {
+      const graph::NodeId conf = must_node(
+          data.AddNode(types.conference, {{"Name", record.booktitle}}));
+      conf_it = conference_nodes.emplace(record.booktitle, conf).first;
+      ++result.conferences;
+    }
+    const std::string venue = record.booktitle + " " + record.year;
+    auto year_it = year_nodes.find(venue);
+    if (year_it == year_nodes.end()) {
+      const graph::NodeId year = must_node(data.AddNode(
+          types.year, {{"Name", record.booktitle}, {"Year", record.year}}));
+      ORX_CHECK(
+          data.AddEdge(conf_it->second, year, types.has_instance).ok());
+      year_it = year_nodes.emplace(venue, year).first;
+      ++result.years;
+    }
+
+    std::string authors_attr = StrJoin(record.authors, ", ");
+    const graph::NodeId paper = must_node(data.AddNode(
+        types.paper, {{"Title", record.title},
+                      {"Authors", std::move(authors_attr)},
+                      {"Year", venue}}));
+    ++result.papers;
+    ORX_CHECK(data.AddEdge(year_it->second, paper, types.contains).ok());
+    if (!record.key.empty()) paper_by_key.emplace(record.key, paper);
+
+    for (const std::string& author_name : record.authors) {
+      if (author_name.empty()) continue;
+      auto author_it = author_nodes.find(author_name);
+      if (author_it == author_nodes.end()) {
+        const graph::NodeId author = must_node(
+            data.AddNode(types.author, {{"Name", author_name}}));
+        author_it = author_nodes.emplace(author_name, author).first;
+        ++result.authors;
+      }
+      ORX_CHECK(data.AddEdge(paper, author_it->second, types.by).ok());
+    }
+    for (const std::string& cite : record.cites) {
+      pending_cites.emplace_back(paper, cite);
+    }
+  }
+
+  // Second pass: resolve citations (forward references allowed).
+  for (const auto& [paper, cite_key] : pending_cites) {
+    auto it = paper_by_key.find(cite_key);
+    if (it == paper_by_key.end() || it->second == paper) {
+      ++result.citations_unresolved;  // includes DBLP's "..." placeholders
+      continue;
+    }
+    ORX_CHECK(data.AddEdge(paper, it->second, types.cites).ok());
+    ++result.citations_resolved;
+  }
+
+  result.dataset.Finalize();
+  return result;
+}
+
+StatusOr<DblpParseResult> ParseDblpXmlFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open DBLP XML file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDblpXml(buffer.str());
+}
+
+std::string WriteDblpXml(const graph::DataGraph& data,
+                         const DblpTypes& types) {
+  // Pre-index edges by paper.
+  std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> authors_of;
+  std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> cites_of;
+  std::unordered_map<graph::NodeId, graph::NodeId> year_of;
+  for (const graph::DataEdge& e : data.edges()) {
+    if (e.type == types.by) {
+      authors_of[e.from].push_back(e.to);
+    } else if (e.type == types.cites) {
+      cites_of[e.from].push_back(e.to);
+    } else if (e.type == types.contains) {
+      year_of[e.to] = e.from;
+    }
+  }
+
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<dblp>\n";
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.NodeType(v) != types.paper) continue;
+    auto year_it = year_of.find(v);
+    if (year_it == year_of.end()) continue;  // venue-less papers round-trip to nothing
+    out += "  <inproceedings key=\"paper/" + std::to_string(v) + "\">\n";
+    auto authors_it = authors_of.find(v);
+    if (authors_it != authors_of.end()) {
+      for (graph::NodeId author : authors_it->second) {
+        out += "    <author>" +
+               EscapeXml(data.AttributeValue(author, "Name")) +
+               "</author>\n";
+      }
+    }
+    out += "    <title>" + EscapeXml(data.AttributeValue(v, "Title")) +
+           "</title>\n";
+    out += "    <year>" +
+           EscapeXml(data.AttributeValue(year_it->second, "Year")) +
+           "</year>\n";
+    out += "    <booktitle>" +
+           EscapeXml(data.AttributeValue(year_it->second, "Name")) +
+           "</booktitle>\n";
+    auto cites_it = cites_of.find(v);
+    if (cites_it != cites_of.end()) {
+      for (graph::NodeId cited : cites_it->second) {
+        out += "    <cite>paper/" + std::to_string(cited) + "</cite>\n";
+      }
+    }
+    out += "  </inproceedings>\n";
+  }
+  out += "</dblp>\n";
+  return out;
+}
+
+}  // namespace orx::datasets

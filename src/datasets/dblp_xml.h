@@ -1,0 +1,65 @@
+#ifndef ORX_DATASETS_DBLP_XML_H_
+#define ORX_DATASETS_DBLP_XML_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "datasets/dataset.h"
+#include "datasets/dblp_schema.h"
+
+namespace orx::datasets {
+
+/// Result of parsing a DBLP XML file: the shredded dataset (Figure 2
+/// relational schema, per Section 6 "we shredded the downloaded DBLP file
+/// into the relational schema of Figure 2") plus parse statistics.
+struct DblpParseResult {
+  Dataset dataset;
+  DblpTypes types;
+  size_t papers = 0;
+  size_t authors = 0;
+  size_t conferences = 0;
+  size_t years = 0;
+  /// <cite> entries whose key resolved to a parsed paper / did not.
+  size_t citations_resolved = 0;
+  size_t citations_unresolved = 0;
+};
+
+/// Parses the DBLP XML subset format:
+///
+///   <dblp>
+///     <inproceedings key="conf/icde/Gray96">
+///       <author>J. Gray</author> ...
+///       <title>Data Cube: ...</title>
+///       <year>1996</year>
+///       <booktitle>ICDE</booktitle>
+///       <cite>conf/x/Y97</cite> ...
+///     </inproceedings>
+///     ...
+///   </dblp>
+///
+/// Supported: <inproceedings> and <article> records (articles' <journal>
+/// plays the booktitle role), XML entities (&amp; &lt; &gt; &quot;
+/// &apos;), comments, and the XML declaration. Authors, conferences and
+/// (conference, year) instances are deduplicated by name; citations are
+/// resolved by key in a second pass, so forward references work; <cite>
+/// values of "..." (DBLP's unknown-reference marker) and unknown keys
+/// count as unresolved and produce no edge.
+///
+/// The returned dataset is finalized. Errors (kDataLoss with a line
+/// number) on malformed XML; records missing a title or booktitle are
+/// skipped, not fatal (the real DBLP dump has such records).
+StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml);
+
+/// Reads `path` and parses it.
+StatusOr<DblpParseResult> ParseDblpXmlFile(const std::string& path);
+
+/// Serializes a DBLP-schema data graph back to the XML subset format
+/// (inverse of ParseDblpXml up to record order and key naming). Paper keys
+/// are "paper/<node-id>".
+std::string WriteDblpXml(const graph::DataGraph& data,
+                         const DblpTypes& types);
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_DBLP_XML_H_

@@ -1,0 +1,67 @@
+#include "datasets/figure1.h"
+
+#include "common/check.h"
+
+namespace orx::datasets {
+
+Figure1Dataset MakeFigure1Dataset() {
+  DblpTypes types;
+  auto schema = MakeDblpSchema(&types);
+  Dataset dataset(std::move(schema), "figure1");
+  graph::DataGraph& data = dataset.mutable_data();
+
+  auto must_node = [&](auto status_or) {
+    ORX_CHECK(status_or.ok());
+    return *status_or;
+  };
+
+  const graph::NodeId v1 = must_node(data.AddNode(
+      types.paper,
+      {{"Title", "Index Selection for OLAP."},
+       {"Authors", "H. Gupta, V. Harinarayan, A. Rajaraman, J. Ullman"},
+       {"Year", "ICDE 1997"}}));
+  const graph::NodeId v2 =
+      must_node(data.AddNode(types.conference, {{"Name", "ICDE"}}));
+  const graph::NodeId v3 = must_node(data.AddNode(
+      types.year,
+      {{"Name", "ICDE"}, {"Year", "1997"}, {"Location", "Birmingham"}}));
+  const graph::NodeId v4 = must_node(data.AddNode(
+      types.paper,
+      {{"Title", "Range Queries in OLAP Data Cubes."},
+       {"Authors", "C. Ho, R. Agrawal, N. Megiddo, R. Srikant"},
+       {"Year", "SIGMOD 1997"}}));
+  const graph::NodeId v5 = must_node(data.AddNode(
+      types.paper,
+      {{"Title", "Modeling Multidimensional Databases."},
+       {"Authors", "R. Agrawal, A. Gupta, S. Sarawagi"},
+       {"Year", "ICDE 1997"}}));
+  const graph::NodeId v6 =
+      must_node(data.AddNode(types.author, {{"Name", "R. Agrawal"}}));
+  const graph::NodeId v7 = must_node(data.AddNode(
+      types.paper,
+      {{"Title",
+        "Data Cube: A Relational Aggregation Operator Generalizing "
+        "Group-By, Cross-Tab, and Sub-Total."},
+       {"Authors", "J. Gray, A. Bosworth, A. Layman, H. Pirahesh"},
+       {"Year", "ICDE 1996"}}));
+
+  auto must_edge = [&](graph::NodeId from, graph::NodeId to,
+                       graph::EdgeTypeId type) {
+    ORX_CHECK(data.AddEdge(from, to, type).ok());
+  };
+  must_edge(v1, v7, types.cites);
+  must_edge(v4, v7, types.cites);
+  must_edge(v4, v5, types.cites);
+  must_edge(v5, v7, types.cites);
+  must_edge(v4, v6, types.by);
+  must_edge(v5, v6, types.by);
+  must_edge(v3, v1, types.contains);
+  must_edge(v3, v5, types.contains);
+  must_edge(v2, v3, types.has_instance);
+
+  dataset.Finalize();
+  Figure1Dataset out{std::move(dataset), types, v1, v2, v3, v4, v5, v6, v7};
+  return out;
+}
+
+}  // namespace orx::datasets

@@ -1,0 +1,41 @@
+#ifndef ORX_DATASETS_FIGURE1_H_
+#define ORX_DATASETS_FIGURE1_H_
+
+#include "datasets/dataset.h"
+#include "datasets/dblp_schema.h"
+
+namespace orx::datasets {
+
+/// The exact 7-node DBLP excerpt of the paper's Figure 1 / Figure 5, with
+/// the node numbering of Figure 6. Used by the worked-example tests and
+/// the quickstart/explain examples.
+struct Figure1Dataset {
+  Dataset dataset;
+  DblpTypes types;
+
+  // Node ids (v1..v7 in the paper's Figure 6).
+  graph::NodeId v1_index_selection;   // "Index Selection for OLAP" (ICDE 1997)
+  graph::NodeId v2_icde;              // Conference "ICDE"
+  graph::NodeId v3_icde1997;          // Year "ICDE 1997", Birmingham
+  graph::NodeId v4_range_queries;     // "Range Queries in OLAP Data Cubes"
+  graph::NodeId v5_modeling;          // "Modeling Multidimensional Databases"
+  graph::NodeId v6_agrawal;           // Author "R. Agrawal"
+  graph::NodeId v7_data_cube;         // "Data Cube: A Relational Aggregation
+                                      //  Operator ..." (ICDE 1996)
+};
+
+/// Builds the finalized Figure 1 dataset. Edges (validated against the
+/// authority flows printed in Figure 6):
+///   cites:       v1->v7, v4->v7, v4->v5, v5->v7
+///   by:          v4->v6, v5->v6
+///   contains:    v3->v1, v3->v5
+///   hasInstance: v2->v3
+///
+/// Under the Figure 3 rates with d = 0.85 and Q = [OLAP], ObjectRank2
+/// converges to r = [0.076, 0.002, 0.009, 0.076, 0.017, 0.025, 0.083] for
+/// [v1..v7] — the vector printed in Section 4.
+Figure1Dataset MakeFigure1Dataset();
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_FIGURE1_H_

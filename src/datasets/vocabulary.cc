@@ -1,0 +1,237 @@
+#include "datasets/vocabulary.h"
+
+namespace orx::datasets {
+namespace {
+
+// Zipf rank order: earlier terms are (much) more frequent in titles. The
+// Table 2 query terms are deliberately spread across popularity ranks —
+// "query"/"search" are popular, "olap"/"proximity" are mid-tail — so base
+// sets span realistic sizes.
+const char* const kCsTerms[] = {
+    "data", "query", "database", "systems", "search", "distributed",
+    "processing", "model", "analysis", "web", "efficient", "management",
+    "performance", "xml", "mining", "optimization", "parallel", "learning",
+    "networks", "algorithms", "scalable", "indexing", "storage", "streams",
+    "relational", "knowledge", "information", "retrieval", "semantic",
+    "graph", "spatial", "temporal", "transaction", "concurrency", "recovery",
+    "views", "warehouse", "olap", "cube", "aggregation", "ranked", "keyword",
+    "proximity", "clustering", "classification", "approximate", "sampling",
+    "histograms", "cardinality", "join", "selectivity", "estimation",
+    "adaptive", "incremental", "materialized", "schema", "integration",
+    "mediation", "wrappers", "ontology", "annotation", "provenance",
+    "lineage", "workflow", "scientific", "sensor", "mobile", "peer",
+    "caching", "replication", "partitioning", "sharding", "consistency",
+    "availability", "fault", "tolerance", "byzantine", "consensus",
+    "gossip", "epidemic", "multicast", "routing", "overlay", "topology",
+    "latency", "throughput", "bandwidth", "congestion", "scheduling",
+    "allocation", "fairness", "isolation", "serializability", "snapshot",
+    "versioning", "logging", "checkpointing", "compression", "encoding",
+    "encryption", "privacy", "anonymization", "security", "access",
+    "control", "authentication", "auditing", "compliance", "regulatory",
+    "federated", "decentralized", "blockchain", "ledger", "immutable",
+    "probabilistic", "uncertain", "fuzzy", "ranking", "scoring", "top",
+    "nearest", "neighbor", "similarity", "distance", "metric", "embedding",
+    "vector", "dimensionality", "reduction", "projection", "hashing",
+    "bloom", "sketch", "synopsis", "wavelet", "fourier", "regression",
+    "bayesian", "markov", "hidden", "inference", "belief", "propagation",
+    "entropy", "divergence", "likelihood", "gradient", "convex", "stochastic",
+    "reinforcement", "supervised", "unsupervised", "ensemble", "boosting",
+    "bagging", "forests", "trees", "pruning", "splitting", "hierarchical",
+    "agglomerative", "density", "outlier", "anomaly", "detection", "fraud",
+    "intrusion", "monitoring", "alerting", "visualization", "interactive",
+    "exploratory", "faceted", "browsing", "navigation", "hypertext",
+    "hyperlink", "pagerank", "authority", "hubs", "crawling", "deep",
+    "surfacing", "extraction", "wrapper", "induction", "segmentation",
+    "tokenization", "stemming", "stopwords", "thesaurus", "synonyms",
+    "polysemy", "disambiguation", "entity", "resolution", "deduplication",
+    "matching", "alignment", "mapping", "transformation", "cleaning",
+    "quality", "completeness", "accuracy", "timeliness", "freshness",
+    "staleness", "synchronization", "replica", "quorum", "leases",
+    "locks", "deadlock", "livelock", "contention", "hotspot", "skew",
+    "balancing", "migration", "elasticity", "provisioning", "virtualization",
+    "containers", "orchestration", "microservices", "serverless",
+    "functions", "triggers", "rules", "active", "events", "subscriptions",
+    "publish", "notification", "messaging", "queues", "brokers", "kafka",
+    "logs", "batch", "interactive2", "realtime", "offline", "online",
+    "hybrid", "transactional", "analytical", "workloads", "benchmarks",
+    "tpc", "microbenchmarks", "profiling", "instrumentation", "tracing",
+    "debugging", "testing", "verification", "validation", "correctness",
+    "soundness", "theory", "complexity", "bounds", "lower", "upper",
+    "optimal", "heuristics", "greedy", "dynamic", "programming",
+    "enumeration", "pruned", "branch", "bound", "relaxation", "linear",
+    "integer", "constraints", "satisfaction", "datalog", "recursion",
+    "fixpoint", "evaluation", "rewriting", "unfolding", "magic", "sets",
+    "conjunctive", "queries2", "containment", "equivalence", "minimization",
+    "decidability", "expressiveness", "calculus", "algebra", "operators",
+    "selection", "projection2", "union", "difference", "intersection",
+    "grouping", "sorting", "duplicate", "elimination", "pipelining",
+    "blocking", "operators2", "iterators", "volcano", "vectorized",
+    "compiled", "codegen", "llvm", "simd", "gpu", "fpga", "accelerators",
+    "memory", "cache", "buffer", "pool", "eviction", "prefetching",
+    "locality", "numa", "persistent", "nonvolatile", "flash", "disk",
+    "tiering", "cold", "hot", "archive", "retention", "lifecycle",
+};
+
+// "cancer" is deliberately placed in the mid-tail (rank ~36): DS7cancer is
+// the ~5% cancer-related subset of DS7 (Table 1), so the keyword must be
+// selective rather than ubiquitous.
+const char* const kBioTerms[] = {
+    "protein", "gene", "expression", "cell", "human", "dna",
+    "rna", "binding", "receptor", "kinase", "tumor", "mutation", "sequence",
+    "genome", "transcription", "factor", "pathway", "signaling", "apoptosis",
+    "regulation", "activation", "inhibition", "enzyme", "antibody",
+    "antigen", "immune", "response", "therapy", "treatment", "clinical",
+    "patient", "disease", "carcinoma", "leukemia", "lymphoma", "melanoma",
+    "cancer",
+    "breast", "lung", "colon", "prostate", "ovarian", "pancreatic",
+    "metastasis", "proliferation", "differentiation", "growth", "cycle",
+    "checkpoint", "repair", "damage", "oxidative", "stress", "inflammation",
+    "cytokine", "interleukin", "interferon", "necrosis", "tnf", "p53",
+    "brca1", "brca2", "egfr", "her2", "kras", "myc", "ras", "raf", "mek",
+    "erk", "akt", "mtor", "pi3k", "wnt", "notch", "hedgehog", "jak",
+    "stat", "nfkb", "caspase", "bcl2", "bax", "cyclin", "cdk", "rb",
+    "telomerase", "methylation", "acetylation", "phosphorylation",
+    "ubiquitination", "proteasome", "autophagy", "angiogenesis", "vegf",
+    "hypoxia", "hif", "glycolysis", "metabolism", "mitochondria",
+    "membrane", "nucleus", "cytoplasm", "chromatin", "histone", "promoter",
+    "enhancer", "exon", "intron", "splicing", "translation", "ribosome",
+    "codon", "polymerase", "helicase", "ligase", "nuclease", "primer",
+    "amplification", "pcr", "sequencing", "microarray", "proteomics",
+    "genomics", "transcriptomics", "bioinformatics", "annotation2",
+    "homology", "ortholog", "paralog", "phylogenetic", "evolution",
+    "conservation", "domain", "motif", "structure", "folding", "crystal",
+    "nmr", "spectrometry", "chromatography", "electrophoresis", "blot",
+    "staining", "microscopy", "fluorescence", "imaging", "biomarker",
+    "diagnosis", "prognosis", "survival", "recurrence", "resistance",
+    "chemotherapy", "radiation", "immunotherapy", "targeted", "inhibitor",
+    "agonist", "antagonist", "ligand", "substrate", "cofactor", "vitamin",
+    "hormone", "insulin", "glucose", "lipid", "cholesterol", "fatty",
+    "amino", "peptide", "polymorphism", "allele", "locus", "chromosome",
+    "karyotype", "aneuploidy", "translocation", "deletion", "insertion",
+    "duplication", "inversion", "fusion", "oncogene", "suppressor",
+    "penetrance", "heritability", "pedigree", "cohort", "epidemiology",
+};
+
+const char* const kFirstNames[] = {
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Christopher", "Karen",
+    "Charles", "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony",
+    "Sandra", "Mark", "Margaret", "Donald", "Ashley", "Steven", "Kimberly",
+    "Andrew", "Emily", "Paul", "Donna", "Joshua", "Michelle", "Kenneth",
+    "Carol", "Kevin", "Amanda", "Brian", "Melissa", "George", "Deborah",
+    "Timothy", "Stephanie", "Ronald", "Rebecca", "Jason", "Laura", "Edward",
+    "Helen", "Jeffrey", "Sharon", "Ryan", "Cynthia", "Jacob", "Kathleen",
+    "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan",
+    "Anna", "Stephen", "Ruth", "Larry", "Brenda", "Justin", "Pamela",
+    "Scott", "Nicole", "Brandon", "Katherine", "Benjamin", "Virginia",
+    "Samuel", "Catherine", "Gregory", "Christine", "Alexander", "Samantha",
+    "Patrick", "Debra", "Frank", "Janet", "Raymond", "Rachel", "Jack",
+    "Carolyn", "Dennis", "Emma", "Jerry", "Maria", "Tyler", "Heather",
+    "Aaron", "Diane", "Jose", "Julie", "Adam", "Joyce", "Nathan",
+    "Victoria", "Henry", "Kelly", "Zachary", "Christina", "Douglas",
+    "Lauren", "Peter", "Joan", "Kyle", "Evelyn", "Noah", "Olivia", "Ethan",
+    "Judith", "Jeremy", "Megan", "Walter", "Cheryl", "Christian", "Martha",
+    "Keith", "Andrea", "Roger", "Frances", "Terry", "Hannah", "Austin",
+    "Jacqueline", "Sean", "Ann", "Gerald", "Gloria", "Carl", "Jean",
+    "Harold", "Kathryn", "Dylan", "Alice", "Arthur", "Teresa", "Lawrence",
+    "Sara", "Jordan", "Janice", "Jesse", "Doris", "Bryan", "Madison",
+    "Billy", "Julia", "Bruce", "Grace", "Gabriel", "Judy", "Joe", "Abigail",
+    "Logan", "Marie", "Alan", "Denise", "Juan", "Beverly", "Albert",
+    "Amber", "Willie", "Theresa", "Elijah", "Marilyn", "Wayne", "Danielle",
+    "Randy", "Diana", "Vincent", "Brittany", "Mason", "Natalie", "Roy",
+    "Sophia", "Ralph", "Rose", "Bobby", "Isabella", "Russell", "Alexis",
+    "Bradley", "Kayla", "Philip", "Charlotte", "Eugene", "Lori",
+};
+
+const char* const kLastNames[] = {
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+    "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin",
+    "Wallace", "Moreno", "West", "Cole", "Hayes", "Bryant", "Herrera",
+    "Gibson", "Ellis", "Tran", "Medina", "Aguilar", "Stevens", "Murray",
+    "Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+    "Mcdonald", "Woods", "Washington", "Kennedy", "Wells", "Vargas",
+    "Henry", "Chen", "Freeman", "Webb", "Tucker", "Guzman", "Burns",
+    "Crawford", "Olson", "Simpson", "Porter", "Hunter", "Gordon", "Mendez",
+    "Silva", "Shaw", "Snyder", "Mason", "Dixon", "Munoz", "Hunt", "Hicks",
+    "Holmes", "Palmer", "Wagner", "Black", "Robertson", "Boyd", "Rose",
+    "Stone", "Salazar", "Fox", "Warren", "Mills", "Meyer", "Rice",
+    "Schmidt", "Garza", "Daniels", "Ferguson", "Nichols", "Stephens",
+    "Soto", "Weaver", "Ryan", "Gardner", "Payne", "Grant", "Dunn",
+};
+
+const char* const kConferences[] = {
+    "ICDE", "SIGMOD", "VLDB", "PODS", "EDBT", "CIKM", "SIGIR", "WWW",
+    "KDD", "ICDM", "SDM", "ICML", "NIPS", "AAAI", "IJCAI", "SOSP", "OSDI",
+    "NSDI", "SIGCOMM", "INFOCOM", "MOBICOM", "PODC", "SPAA", "STOC",
+    "FOCS", "SODA", "ICALP", "CAV", "POPL", "PLDI", "OOPSLA", "ICSE",
+    "FSE", "ASE", "ISSTA", "USENIX", "FAST", "EUROSYS", "MIDDLEWARE",
+    "ICDCS",
+};
+
+const char* const kLocations[] = {
+    "Birmingham", "San Diego", "Sydney", "Tokyo", "Paris", "Heidelberg",
+    "Bombay", "New York", "Seattle", "San Francisco", "Boston", "Chicago",
+    "Atlanta", "Orlando", "Tucson", "Montreal", "Toronto", "Vancouver",
+    "London", "Edinburgh", "Cambridge", "Athens", "Rome", "Vienna",
+    "Berlin", "Munich", "Zurich", "Amsterdam", "Brussels", "Copenhagen",
+    "Stockholm", "Oslo", "Helsinki", "Madrid", "Barcelona", "Lisbon",
+    "Istanbul", "Cairo", "Singapore", "Hong Kong", "Beijing", "Shanghai",
+    "Seoul", "Taipei", "Melbourne", "Auckland", "Santiago", "Rio de Janeiro",
+};
+
+template <size_t N>
+std::vector<std::string> ToVector(const char* const (&arr)[N]) {
+  return std::vector<std::string>(std::begin(arr), std::end(arr));
+}
+
+}  // namespace
+
+const std::vector<std::string>& CsVocabulary() {
+  static const auto& v = *new std::vector<std::string>(ToVector(kCsTerms));
+  return v;
+}
+
+const std::vector<std::string>& BioVocabulary() {
+  static const auto& v = *new std::vector<std::string>(ToVector(kBioTerms));
+  return v;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& v = *new std::vector<std::string>(ToVector(kFirstNames));
+  return v;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto& v = *new std::vector<std::string>(ToVector(kLastNames));
+  return v;
+}
+
+const std::vector<std::string>& ConferenceNames() {
+  static const auto& v =
+      *new std::vector<std::string>(ToVector(kConferences));
+  return v;
+}
+
+const std::vector<std::string>& Locations() {
+  static const auto& v = *new std::vector<std::string>(ToVector(kLocations));
+  return v;
+}
+
+}  // namespace orx::datasets

@@ -1,0 +1,34 @@
+#ifndef ORX_DATASETS_VOCABULARY_H_
+#define ORX_DATASETS_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orx::datasets {
+
+/// Term pools used by the synthetic dataset generators. The pools are
+/// Zipf-ordered: index 0 is the most popular term. The CS pool contains
+/// every keyword of the paper's Table 2 queries (olap, query,
+/// optimization, xml, mining, proximity, search, indexing, ranked) so the
+/// survey benchmarks can issue the paper's exact queries.
+const std::vector<std::string>& CsVocabulary();
+
+/// Biomedical term pool for the DS7-like generators; contains "cancer"
+/// (DS7cancer is the cancer-focused subset, Section 6).
+const std::vector<std::string>& BioVocabulary();
+
+/// Author-name pools.
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+
+/// Conference name pool (ICDE, SIGMOD, VLDB, ... plus synthetic fillers
+/// generated on demand by the DBLP generator).
+const std::vector<std::string>& ConferenceNames();
+
+/// City pool for Year-node Location attributes.
+const std::vector<std::string>& Locations();
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_VOCABULARY_H_

@@ -1,0 +1,36 @@
+#include "datasets/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orx::datasets {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  ORX_CHECK(n > 0);
+  ORX_CHECK(s >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  const double inv_total = 1.0 / acc;
+  for (double& c : cdf_) c *= inv_total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t k) const {
+  ORX_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace orx::datasets

@@ -1,0 +1,38 @@
+#ifndef ORX_DATASETS_ZIPF_H_
+#define ORX_DATASETS_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace orx::datasets {
+
+/// Samples ranks from a Zipf distribution: P(rank k) proportional to
+/// 1 / (k+1)^s for k in [0, n). Term popularity in titles/abstracts and
+/// author prolificity are Zipfian in the real DBLP/PubMed collections the
+/// paper used; the generators draw from this sampler so base-set sizes and
+/// authority concentration have realistic skew.
+///
+/// Implementation: precomputed CDF + binary search (n is at most a few
+/// hundred thousand in our generators).
+class ZipfSampler {
+ public:
+  /// Pre: n > 0, s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Probability of rank k (for tests).
+  double Probability(size_t k) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_ZIPF_H_

@@ -1,0 +1,39 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orx::eval {
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ORX_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Precision(const std::vector<core::ScoredNode>& results,
+                 const std::unordered_set<graph::NodeId>& relevant) {
+  if (results.empty()) return 0.0;
+  size_t hits = 0;
+  for (const core::ScoredNode& r : results) {
+    if (relevant.count(r.node) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(results.size());
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace orx::eval

@@ -1,0 +1,29 @@
+#ifndef ORX_EVAL_METRICS_H_
+#define ORX_EVAL_METRICS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/top_k.h"
+#include "graph/data_graph.h"
+
+namespace orx::eval {
+
+/// Cosine similarity of two equal-length vectors; 0 if either is zero.
+/// Figures 11/13 report cos(ObjVector, UserVector) over the 8-slot DBLP
+/// rate vectors.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Precision of a ranked list against a relevant set: the fraction of
+/// results that are relevant. The paper limits output to k, so recall
+/// equals precision (Section 6.1.1).
+double Precision(const std::vector<core::ScoredNode>& results,
+                 const std::unordered_set<graph::NodeId>& relevant);
+
+/// Mean of a series (used to average precision across queries/users).
+double Mean(const std::vector<double>& values);
+
+}  // namespace orx::eval
+
+#endif  // ORX_EVAL_METRICS_H_

@@ -1,0 +1,18 @@
+#include "eval/residual_collection.h"
+
+#include <algorithm>
+
+namespace orx::eval {
+
+size_t ResidualCollection::num_removed() const {
+  return static_cast<size_t>(
+      std::count(seen_.begin(), seen_.end(), true));
+}
+
+std::vector<core::ScoredNode> ResidualCollection::ResidualTopK(
+    const std::vector<double>& scores, size_t k,
+    const graph::DataGraph& data, std::optional<graph::TypeId> type) const {
+  return core::TopKOfTypeExcluding(scores, k, data, type, seen_);
+}
+
+}  // namespace orx::eval

@@ -1,0 +1,47 @@
+#ifndef ORX_EVAL_RESIDUAL_COLLECTION_H_
+#define ORX_EVAL_RESIDUAL_COLLECTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/top_k.h"
+#include "graph/data_graph.h"
+
+namespace orx::eval {
+
+/// The residual-collection evaluation protocol of [RL03, SB90] as used in
+/// Section 6.1.1: every object the user has seen and marked relevant is
+/// removed from the collection, and each (initial or reformulated) query
+/// is evaluated against what remains.
+///
+/// The tracker owns the seen set; rankings are produced by re-running
+/// top-k with the seen objects excluded.
+class ResidualCollection {
+ public:
+  explicit ResidualCollection(size_t num_nodes) : seen_(num_nodes, false) {}
+
+  /// Marks `v` as seen-relevant (removed from future evaluations).
+  void Remove(graph::NodeId v) {
+    if (v < seen_.size()) seen_[v] = true;
+  }
+
+  bool IsRemoved(graph::NodeId v) const {
+    return v < seen_.size() && seen_[v];
+  }
+
+  size_t num_removed() const;
+
+  /// Top-k of `scores` over the residual collection (optionally filtered
+  /// to one node type).
+  std::vector<core::ScoredNode> ResidualTopK(
+      const std::vector<double>& scores, size_t k,
+      const graph::DataGraph& data,
+      std::optional<graph::TypeId> type) const;
+
+ private:
+  std::vector<bool> seen_;
+};
+
+}  // namespace orx::eval
+
+#endif  // ORX_EVAL_RESIDUAL_COLLECTION_H_

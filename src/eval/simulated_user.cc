@@ -1,0 +1,64 @@
+#include "eval/simulated_user.h"
+
+#include <algorithm>
+
+namespace orx::eval {
+
+graph::TransferRates PerturbedRates(const graph::SchemaGraph& schema,
+                                    const graph::TransferRates& rates,
+                                    double noise, Rng& rng) {
+  graph::TransferRates out = rates;
+  for (uint32_t s = 0; s < out.num_slots(); ++s) {
+    const double r = out.slot(s);
+    if (r <= 0.0) continue;
+    const double factor = 1.0 + noise * (2.0 * rng.UniformDouble() - 1.0);
+    out.set_slot(s, std::clamp(r * factor, 0.0, 1.0));
+  }
+  out.CapOutgoingSums(schema);
+  return out;
+}
+
+SimulatedUser::SimulatedUser(const graph::DataGraph& data,
+                             const graph::AuthorityGraph& graph,
+                             const text::Corpus& corpus,
+                             graph::TransferRates ground_truth_rates,
+                             SimulatedUserOptions options)
+    : searcher_(data, graph, corpus),
+      corpus_(&corpus),
+      ground_truth_rates_(std::move(ground_truth_rates)),
+      options_(options) {}
+
+bool SimulatedUser::SetIntent(const text::QueryVector& query) {
+  relevant_.clear();
+  core::SearchOptions search = options_.search;
+  search.k = static_cast<size_t>(options_.relevant_pool);
+  search.use_warm_start = false;  // judgments must not depend on history
+  if (options_.require_keyword_containment) {
+    // Over-fetch, then keep the keyword-matching prefix: the pool is
+    // authority-ordered but restricted to textual matches.
+    search.k = static_cast<size_t>(options_.relevant_pool) * 20;
+  }
+  auto result = searcher_.Search(query, ground_truth_rates_, search);
+  if (!result.ok()) return false;
+  for (const core::ScoredNode& r : result->top) {
+    if (r.score <= 0.0) continue;
+    if (options_.require_keyword_containment) {
+      bool matches = false;
+      for (const std::string& term : query.terms()) {
+        auto tid = corpus_->TermIdOf(term);
+        if (tid.has_value() && corpus_->DocContains(r.node, *tid)) {
+          matches = true;
+          break;
+        }
+      }
+      if (!matches) continue;
+    }
+    relevant_.insert(r.node);
+    if (relevant_.size() >= static_cast<size_t>(options_.relevant_pool)) {
+      break;
+    }
+  }
+  return !relevant_.empty();
+}
+
+}  // namespace orx::eval

@@ -1,0 +1,83 @@
+#ifndef ORX_EVAL_SIMULATED_USER_H_
+#define ORX_EVAL_SIMULATED_USER_H_
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/searcher.h"
+#include "graph/transfer_rates.h"
+#include "text/query.h"
+
+namespace orx::eval {
+
+/// Returns `rates` with every nonzero slot multiplied by
+/// (1 + noise * U(-1, 1)), clamped to [0, 1] and re-capped so per-type
+/// outgoing sums stay <= 1. Distinct simulated survey subjects (below)
+/// get distinct perturbations: experts agree on the broad shape of
+/// authority flow but not on exact magnitudes, which is what averaging
+/// over human subjects gives the paper's surveys.
+graph::TransferRates PerturbedRates(const graph::SchemaGraph& schema,
+                                    const graph::TransferRates& rates,
+                                    double noise, Rng& rng);
+
+/// Configuration of a simulated survey subject.
+struct SimulatedUserOptions {
+  /// The user deems relevant the top `relevant_pool` objects of the
+  /// ground-truth ranking for their query intent.
+  int relevant_pool = 10;
+  /// If true, only objects containing at least one query keyword qualify
+  /// as relevant (the pool is drawn from the keyword-matching prefix of
+  /// the ground-truth ranking). Models judges who value textual match as
+  /// well as authority; used by the baseline comparisons.
+  bool require_keyword_containment = false;
+  /// Options used for the ground-truth search (same engine, the user's
+  /// private rates).
+  core::SearchOptions search;
+};
+
+/// A stand-in for the paper's human survey subjects (DESIGN.md
+/// substitution #3). The user privately holds the expert-tuned authority
+/// transfer rates (the [BHP04] ground truth the paper trains against) and
+/// judges a result relevant iff it appears in the top-R of the
+/// ground-truth ObjectRank2 ranking for the query. This gives the
+/// deterministic relevance judgments that the residual-collection
+/// precision and the rate-training cosine curves are computed from.
+class SimulatedUser {
+ public:
+  /// `searcher` must outlive the user; it is used only for ground-truth
+  /// searches (its warm-start state is not disturbed — a private searcher
+  /// over the same indexes is created internally).
+  SimulatedUser(const graph::DataGraph& data,
+                const graph::AuthorityGraph& graph,
+                const text::Corpus& corpus,
+                graph::TransferRates ground_truth_rates,
+                SimulatedUserOptions options = {});
+
+  /// Fixes the user's intent to `query` and computes the relevant set.
+  /// Returns false if the ground-truth search failed (no keyword match).
+  bool SetIntent(const text::QueryVector& query);
+
+  /// Relevance judgment (requires SetIntent).
+  bool IsRelevant(graph::NodeId v) const { return relevant_.count(v) > 0; }
+
+  const std::unordered_set<graph::NodeId>& relevant_set() const {
+    return relevant_;
+  }
+
+  const graph::TransferRates& ground_truth_rates() const {
+    return ground_truth_rates_;
+  }
+
+ private:
+  core::Searcher searcher_;
+  const text::Corpus* corpus_;
+  graph::TransferRates ground_truth_rates_;
+  SimulatedUserOptions options_;
+  std::unordered_set<graph::NodeId> relevant_;
+};
+
+}  // namespace orx::eval
+
+#endif  // ORX_EVAL_SIMULATED_USER_H_

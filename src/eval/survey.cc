@@ -1,0 +1,96 @@
+#include "eval/survey.h"
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace orx::eval {
+
+SurveyResult RunFeedbackSession(const graph::DataGraph& data,
+                                const graph::AuthorityGraph& graph,
+                                const text::Corpus& corpus,
+                                const text::QueryVector& initial_query,
+                                const graph::TransferRates& initial_rates,
+                                const SimulatedUser& user,
+                                const SurveyConfig& config) {
+  SurveyResult result;
+  core::Searcher searcher(data, graph, corpus);
+  if (config.precompute_global) {
+    searcher.PrecomputeGlobalRank(initial_rates, config.search.objectrank);
+  }
+  reform::Reformulator reformulator(data, graph, corpus);
+  ResidualCollection residual(data.num_nodes());
+
+  text::QueryVector query = initial_query;
+  graph::TransferRates rates = initial_rates;
+  // ObjectRank2 convergence requires every node type's outgoing rate sum
+  // to be at most 1 (Section 5.2, normalization step 4). The surveys
+  // initialize every slot to 0.3, which violates this for node types with
+  // several outgoing slots — enforce the invariant up front, as the
+  // reformulator does after every adjustment.
+  rates.CapOutgoingSums(data.schema());
+
+  for (int iter = 0; iter <= config.feedback_iterations; ++iter) {
+    SurveyIteration stats;
+    stats.query = query;
+    stats.rates = rates;
+
+    auto search = searcher.Search(query, rates, config.search);
+    if (!search.ok()) {
+      if (iter == 0) return result;  // initial query failed: no session
+      ORX_LOG(Warning) << "reformulated query failed: "
+                       << search.status().ToString();
+      result.iterations.push_back(stats);
+      continue;
+    }
+    stats.objectrank_iterations = search->iterations;
+    stats.search_seconds = search->seconds;
+    stats.base_set_size = search->base_set_size;
+
+    // Judge on the residual collection.
+    std::vector<core::ScoredNode> residual_top = residual.ResidualTopK(
+        search->scores, config.search.k, data, config.search.result_type);
+    stats.precision = Precision(residual_top, user.relevant_set());
+
+    // The user marks up to max_feedback_objects relevant results; they
+    // leave the collection (residual protocol).
+    std::vector<graph::NodeId> feedback;
+    for (const core::ScoredNode& r : residual_top) {
+      if (static_cast<int>(feedback.size()) >= config.max_feedback_objects) {
+        break;
+      }
+      if (r.score > 0.0 && user.IsRelevant(r.node)) {
+        feedback.push_back(r.node);
+      }
+    }
+    for (graph::NodeId v : feedback) residual.Remove(v);
+    stats.feedback_count = feedback.size();
+
+    // Reformulate for the next round (not after the last search).
+    if (iter < config.feedback_iterations && !feedback.empty()) {
+      auto base = core::BuildBaseSet(corpus, query,
+                                     core::BaseSetMode::kIrWeighted,
+                                     config.search.bm25);
+      if (base.ok()) {
+        auto reformulated = reformulator.Reformulate(
+            query, rates, *base, search->scores, feedback, config.reform);
+        if (reformulated.ok()) {
+          stats.explain_construction_seconds =
+              reformulated->explain_construction_seconds;
+          stats.explain_adjustment_seconds =
+              reformulated->explain_adjustment_seconds;
+          stats.reformulation_seconds =
+              reformulated->reformulation_seconds;
+          stats.avg_explain_iterations =
+              reformulated->avg_explain_iterations;
+          query = reformulated->query;
+          rates = reformulated->rates;
+        }
+      }
+    }
+    result.iterations.push_back(std::move(stats));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace orx::eval

@@ -1,0 +1,74 @@
+#ifndef ORX_EVAL_SURVEY_H_
+#define ORX_EVAL_SURVEY_H_
+
+#include <vector>
+
+#include "core/searcher.h"
+#include "eval/residual_collection.h"
+#include "eval/simulated_user.h"
+#include "reformulate/reformulator.h"
+
+namespace orx::eval {
+
+/// Configuration of one simulated relevance-feedback session (the unit of
+/// the Section 6.1 surveys and the Section 6.2 performance runs).
+struct SurveyConfig {
+  reform::ReformulationOptions reform;
+  core::SearchOptions search;
+  SimulatedUserOptions user;
+  /// Number of reformulated queries after the initial one (the paper
+  /// reports 4 feedback iterations internally, 5 externally).
+  int feedback_iterations = 4;
+  /// How many relevant results the user marks per round.
+  int max_feedback_objects = 2;
+  /// Seed the first query with the global ObjectRank (Section 6.2).
+  bool precompute_global = true;
+};
+
+/// Everything measured about one (initial or reformulated) query.
+struct SurveyIteration {
+  /// Residual-collection precision of this query's top-k.
+  double precision = 0.0;
+  /// The query vector and rates this search ran with.
+  text::QueryVector query;
+  graph::TransferRates rates;
+
+  /// Performance counters (Figures 14-17).
+  int objectrank_iterations = 0;
+  double search_seconds = 0.0;
+  double explain_construction_seconds = 0.0;
+  double explain_adjustment_seconds = 0.0;
+  double reformulation_seconds = 0.0;
+  /// Explaining-fixpoint iterations averaged over this round's feedback
+  /// objects (Table 3); 0 when no feedback was given.
+  double avg_explain_iterations = 0.0;
+  size_t feedback_count = 0;
+  size_t base_set_size = 0;
+};
+
+/// A full session: iterations[0] is the initial query, iterations[i>0] the
+/// i-th reformulated query.
+struct SurveyResult {
+  std::vector<SurveyIteration> iterations;
+  /// False if the initial search failed (e.g. keyword absent); then
+  /// iterations is empty.
+  bool ok = false;
+};
+
+/// Runs one feedback session:
+///   search -> judge (residual precision) -> user marks relevant results
+///   -> reformulate -> repeat.
+/// The user's intent must already be set (SimulatedUser::SetIntent).
+/// Rounds in which no top-k result is relevant produce no feedback and
+/// leave the query/rates unchanged (there is nothing to learn from).
+SurveyResult RunFeedbackSession(const graph::DataGraph& data,
+                                const graph::AuthorityGraph& graph,
+                                const text::Corpus& corpus,
+                                const text::QueryVector& initial_query,
+                                const graph::TransferRates& initial_rates,
+                                const SimulatedUser& user,
+                                const SurveyConfig& config);
+
+}  // namespace orx::eval
+
+#endif  // ORX_EVAL_SURVEY_H_

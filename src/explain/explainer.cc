@@ -1,0 +1,225 @@
+#include "explain/explainer.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace orx::explain {
+
+StatusOr<Explanation> Explainer::Explain(graph::NodeId target,
+                                         const core::BaseSet& base,
+                                         const std::vector<double>& scores,
+                                         const graph::TransferRates& rates,
+                                         double damping,
+                                         const ExplainOptions& options) const {
+  const size_t n = graph_->num_nodes();
+  if (target >= n) {
+    return InvalidArgumentError("target node does not exist");
+  }
+  if (scores.size() != n) {
+    return InvalidArgumentError(
+        "score vector size does not match the graph");
+  }
+  if (base.empty()) {
+    return InvalidArgumentError("base set is empty");
+  }
+  if (options.radius <= 0) {
+    return InvalidArgumentError("radius must be positive");
+  }
+
+  Timer construction_timer;
+
+  // --- Construction stage (Figure 8, steps 1-2) -------------------------
+  // Radius-3 balls around popular objects can span a large fraction of the
+  // graph, so the visited/depth bookkeeping uses dense per-node arrays
+  // (O(n) bytes, allocated per call) instead of hash maps — this keeps the
+  // construction stage far cheaper than the ObjectRank2 execution, as in
+  // the paper's Figures 14-17.
+  //
+  // Step 1: reverse breadth-first search from the target over edges that
+  // carry authority (rate > min_rate), bounded by the radius L. An in-edge
+  // u -> v is "reversed" by stepping from v to u; InEdges gives exactly
+  // the incoming authority edges.
+  constexpr int16_t kUnvisited = -1;
+  std::vector<int16_t> ball_depth(n, kUnvisited);
+  ball_depth[target] = 0;
+  std::deque<graph::NodeId> frontier{target};
+  while (!frontier.empty()) {
+    const graph::NodeId v = frontier.front();
+    frontier.pop_front();
+    const int16_t dv = ball_depth[v];
+    if (dv >= options.radius) continue;
+    for (const graph::AuthorityEdge& e : graph_->InEdges(v)) {
+      const graph::NodeId u = e.target;  // the *source* of the in-edge
+      if (ball_depth[u] != kUnvisited) continue;
+      if (graph::AuthorityGraph::EdgeRate(e, rates) <= options.min_rate) {
+        continue;
+      }
+      ball_depth[u] = static_cast<int16_t>(dv + 1);
+      frontier.push_back(u);
+    }
+  }
+
+  // Step 2: forward breadth-first search from the base-set nodes that fell
+  // inside the ball, restricted to the ball, over positive-rate edges.
+  std::vector<uint8_t> forward_reached(n, 0);
+  std::vector<graph::NodeId> nodes;  // deterministic discovery order
+  for (const auto& [s, weight] : base.entries) {
+    if (ball_depth[s] == kUnvisited || forward_reached[s] != 0) continue;
+    forward_reached[s] = 1;
+    nodes.push_back(s);
+    frontier.push_back(s);
+  }
+  if (nodes.empty()) {
+    return NotFoundError(
+        "no base-set node can reach the target within the radius");
+  }
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const graph::AuthorityEdge& e : graph_->OutEdges(u)) {
+      if (ball_depth[e.target] == kUnvisited ||
+          forward_reached[e.target] != 0) {
+        continue;
+      }
+      if (graph::AuthorityGraph::EdgeRate(e, rates) <= options.min_rate) {
+        continue;
+      }
+      forward_reached[e.target] = 1;
+      nodes.push_back(e.target);
+      frontier.push_back(e.target);
+    }
+  }
+  if (forward_reached[target] == 0) {
+    return NotFoundError(
+        "the target is not reachable from the base set within the radius");
+  }
+
+  // Edge set + original flows (Equation 5): every positive-rate authority
+  // edge between included nodes. Both endpoints being included means the
+  // edge lies on a base-to-target walk, so it can carry authority to the
+  // target.
+  struct CandidateEdge {
+    graph::NodeId from, to;
+    uint32_t rate_index;
+    double rate;
+    double original_flow;
+  };
+  // Pass 1: the largest candidate flow, needed for the pruning threshold
+  // before any edge is stored (balls can hold millions of candidates).
+  double max_flow = 0.0;
+  for (const graph::NodeId u : nodes) {
+    const double du_score = damping * scores[u];
+    if (du_score <= max_flow) continue;  // no edge of u can set a new max
+    for (const graph::AuthorityEdge& e : graph_->OutEdges(u)) {
+      if (forward_reached[e.target] == 0) continue;
+      const double rate = graph::AuthorityGraph::EdgeRate(e, rates);
+      if (rate <= options.min_rate) continue;
+      max_flow = std::max(max_flow, du_score * rate);
+    }
+  }
+
+  // Pass 2: collect only the edges that survive the flow pruning
+  // ("only keep the paths with high authority flow", Section 4) — edges
+  // carrying a negligible share of the strongest flow are dropped, except
+  // edges into the target, the explanation's subject.
+  const double threshold =
+      options.prune_fraction > 0.0 ? options.prune_fraction * max_flow : 0.0;
+  std::vector<CandidateEdge> candidates;
+  for (const graph::NodeId u : nodes) {
+    const double du_score = damping * scores[u];
+    for (const graph::AuthorityEdge& e : graph_->OutEdges(u)) {
+      if (forward_reached[e.target] == 0) continue;
+      const double rate = graph::AuthorityGraph::EdgeRate(e, rates);
+      if (rate <= options.min_rate) continue;
+      const double flow = du_score * rate;
+      if (flow < threshold && e.target != target) continue;
+      candidates.push_back(CandidateEdge{u, e.target, e.rate_index, rate,
+                                         flow});
+    }
+  }
+
+  if (options.prune_fraction > 0.0 && max_flow > 0.0) {
+    // Pruning may strand edges whose head no longer reaches the target;
+    // flow into a dead end explains nothing, so keep only edges whose
+    // head is backward-reachable from the target over surviving edges.
+    std::unordered_map<graph::NodeId, std::vector<graph::NodeId>> in_of;
+    for (const CandidateEdge& e : candidates) {
+      in_of[e.to].push_back(e.from);
+    }
+    std::unordered_map<graph::NodeId, bool> reaches;
+    reaches.emplace(target, true);
+    std::deque<graph::NodeId> queue{target};
+    while (!queue.empty()) {
+      const graph::NodeId v = queue.front();
+      queue.pop_front();
+      auto it = in_of.find(v);
+      if (it == in_of.end()) continue;
+      for (graph::NodeId u : it->second) {
+        if (reaches.emplace(u, true).second) queue.push_back(u);
+      }
+    }
+    std::erase_if(candidates, [&](const CandidateEdge& e) {
+      return reaches.find(e.to) == reaches.end();
+    });
+  }
+
+  Explanation result;
+  ExplainingSubgraph& sub = result.subgraph;
+  // The final node set: endpoints of surviving edges plus the target.
+  sub.local_of_.emplace(target, 0);
+  sub.nodes_.push_back(target);
+  auto local_id = [&](graph::NodeId v) {
+    auto [it, inserted] =
+        sub.local_of_.emplace(v, static_cast<LocalId>(sub.nodes_.size()));
+    if (inserted) sub.nodes_.push_back(v);
+    return it->second;
+  };
+  sub.target_local_ = 0;
+  for (const CandidateEdge& e : candidates) {
+    ExplainEdge edge;
+    edge.from = local_id(e.from);
+    edge.to = local_id(e.to);
+    edge.rate_index = e.rate_index;
+    edge.rate = e.rate;
+    edge.original_flow = e.original_flow;
+    sub.edges_.push_back(edge);
+  }
+  sub.BuildEdgeIndex();
+
+  // Record source flags and distances-to-target (for the reformulation's
+  // decay factor). Distances are recomputed inside the subgraph: pruning
+  // during forward search cannot shorten them, and every included node
+  // retains a path to the target through included nodes.
+  sub.is_source_.assign(sub.nodes_.size(), false);
+  for (const auto& [s, weight] : base.entries) {
+    const LocalId ls = sub.LocalOf(s);
+    if (ls != kInvalidLocalId) sub.is_source_[ls] = true;
+  }
+  sub.dist_to_target_.assign(sub.nodes_.size(), -1);
+  sub.dist_to_target_[sub.target_local_] = 0;
+  std::deque<LocalId> local_frontier{sub.target_local_};
+  while (!local_frontier.empty()) {
+    const LocalId v = local_frontier.front();
+    local_frontier.pop_front();
+    for (uint32_t ei : sub.InEdgeIndices(v)) {
+      const LocalId u = sub.edges_[ei].from;
+      if (sub.dist_to_target_[u] < 0) {
+        sub.dist_to_target_[u] = sub.dist_to_target_[v] + 1;
+        local_frontier.push_back(u);
+      }
+    }
+  }
+  result.construction_seconds = construction_timer.ElapsedSeconds();
+
+  // --- Flow adjustment stage (Figure 8, steps 3-7) -----------------------
+  Timer adjustment_timer;
+  FlowAdjustResult adjust = FlowAdjuster().Run(sub, options);
+  result.adjustment_seconds = adjustment_timer.ElapsedSeconds();
+  result.iterations = adjust.iterations;
+  result.converged = adjust.converged;
+  return result;
+}
+
+}  // namespace orx::explain

@@ -1,0 +1,69 @@
+#ifndef ORX_EXPLAIN_EXPLAINER_H_
+#define ORX_EXPLAIN_EXPLAINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/base_set.h"
+#include "core/objectrank.h"
+#include "explain/explaining_subgraph.h"
+#include "explain/flow_adjuster.h"
+#include "graph/authority_graph.h"
+#include "graph/data_graph.h"
+
+namespace orx::explain {
+
+/// A complete explanation of one query result, with the per-stage costs
+/// the performance figures (14-17) break out.
+struct Explanation {
+  ExplainingSubgraph subgraph;
+  /// Iterations of the explaining fixpoint (Table 3).
+  int iterations = 0;
+  bool converged = false;
+  /// Wall-clock seconds of the construction stage ("Explaining Subgraph
+  /// Creation") and the flow-adjustment stage ("Explaining ObjectRank2
+  /// Execution").
+  double construction_seconds = 0.0;
+  double adjustment_seconds = 0.0;
+};
+
+/// Builds explaining subgraphs (the Explain-ObjectRank algorithm of
+/// Figure 8): why did result `target` score what it scored for query Q?
+///
+/// Construction stage — the node set is
+///   { nodes within `radius` edges of the target, walking edges backwards
+///     over positive-rate authority edges }
+///   intersected with
+///   { nodes forward-reachable from the base set S(Q) inside that ball },
+/// and the edge set is every positive-rate authority edge between included
+/// nodes (each such edge lies on a base-set-to-target walk).
+///
+/// Flow adjustment stage — see FlowAdjuster.
+class Explainer {
+ public:
+  Explainer(const graph::DataGraph& data, const graph::AuthorityGraph& graph)
+      : data_(&data), graph_(&graph) {}
+
+  /// Explains `target` given the query's base set, the converged
+  /// full-graph ObjectRank2 scores r^Q, the rates, and the damping factor
+  /// used for the query.
+  ///
+  /// Errors: kNotFound if no authority from S(Q) reaches the target within
+  /// the radius (then there is nothing to explain — the target's score is
+  /// pure random-jump mass or zero); kInvalidArgument on a bad target or a
+  /// score vector of the wrong size.
+  StatusOr<Explanation> Explain(graph::NodeId target,
+                                const core::BaseSet& base,
+                                const std::vector<double>& scores,
+                                const graph::TransferRates& rates,
+                                double damping,
+                                const ExplainOptions& options = {}) const;
+
+ private:
+  const graph::DataGraph* data_;
+  const graph::AuthorityGraph* graph_;
+};
+
+}  // namespace orx::explain
+
+#endif  // ORX_EXPLAIN_EXPLAINER_H_

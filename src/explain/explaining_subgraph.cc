@@ -1,0 +1,112 @@
+#include "explain/explaining_subgraph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace orx::explain {
+
+LocalId ExplainingSubgraph::LocalOf(graph::NodeId global) const {
+  auto it = local_of_.find(global);
+  return it == local_of_.end() ? kInvalidLocalId : it->second;
+}
+
+void ExplainingSubgraph::BuildEdgeIndex() {
+  const size_t n = nodes_.size();
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const ExplainEdge& e : edges_) {
+    ++out_offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_index_.resize(edges_.size());
+  in_index_.resize(edges_.size());
+  std::vector<uint32_t> out_cursor(out_offsets_.begin(),
+                                   out_offsets_.end() - 1);
+  std::vector<uint32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    out_index_[out_cursor[edges_[i].from]++] = i;
+    in_index_[in_cursor[edges_[i].to]++] = i;
+  }
+}
+
+double ExplainingSubgraph::AdjustedOutFlowSum(LocalId v) const {
+  double sum = 0.0;
+  for (uint32_t i : OutEdgeIndices(v)) sum += edges_[i].adjusted_flow;
+  return sum;
+}
+
+double ExplainingSubgraph::AdjustedInFlowSum(LocalId v) const {
+  double sum = 0.0;
+  for (uint32_t i : InEdgeIndices(v)) sum += edges_[i].adjusted_flow;
+  return sum;
+}
+
+std::string ExplainingSubgraph::ToString(const graph::DataGraph& data) const {
+  std::string out = "ExplainingSubgraph: " + std::to_string(num_nodes()) +
+                    " nodes, " + std::to_string(num_edges()) +
+                    " edges; target = " +
+                    data.DisplayLabel(target_global()) + "\n";
+  // Render edges ordered by descending explaining flow: the paths that
+  // matter most to the user come first.
+  std::vector<uint32_t> order(edges_.size());
+  for (uint32_t i = 0; i < edges_.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return edges_[a].adjusted_flow > edges_[b].adjusted_flow;
+  });
+  for (uint32_t i : order) {
+    const ExplainEdge& e = edges_[i];
+    out += "  " + data.DisplayLabel(nodes_[e.from]) + " -> " +
+           data.DisplayLabel(nodes_[e.to]) +
+           "  flow=" + FormatDouble(e.adjusted_flow, 8) +
+           " (original " + FormatDouble(e.original_flow, 8) + ")\n";
+  }
+  return out;
+}
+
+std::string ExplainingSubgraph::ToDot(const graph::DataGraph& data) const {
+  auto escape = [](std::string text) {
+    std::string out;
+    for (char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+
+  std::string dot = "digraph explaining_subgraph {\n"
+                    "  rankdir=LR;\n"
+                    "  node [shape=box, fontsize=10];\n";
+  for (LocalId v = 0; v < num_nodes(); ++v) {
+    std::string label = data.DisplayLabel(nodes_[v]);
+    if (label.size() > 40) label = label.substr(0, 37) + "...";
+    dot += "  n" + std::to_string(v) + " [label=\"" + escape(label) + "\"";
+    if (v == target_local_) {
+      dot += ", peripheries=2, style=bold";
+    } else if (is_source_[v]) {
+      dot += ", style=filled, fillcolor=lightgray";
+    }
+    dot += "];\n";
+  }
+
+  double max_flow = 0.0;
+  for (const ExplainEdge& e : edges_) {
+    max_flow = std::max(max_flow, e.adjusted_flow);
+  }
+  for (const ExplainEdge& e : edges_) {
+    const double share = max_flow > 0.0 ? e.adjusted_flow / max_flow : 0.0;
+    dot += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to) +
+           " [label=\"" + FormatDouble(e.adjusted_flow, 6) +
+           "\", penwidth=" + FormatDouble(0.5 + 3.5 * share, 2) +
+           ", fontsize=8];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace orx::explain

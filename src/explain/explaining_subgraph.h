@@ -1,0 +1,154 @@
+#ifndef ORX_EXPLAIN_EXPLAINING_SUBGRAPH_H_
+#define ORX_EXPLAIN_EXPLAINING_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/base_set.h"
+#include "graph/authority_graph.h"
+#include "graph/data_graph.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::explain {
+
+/// Local index of a node inside an explaining subgraph.
+using LocalId = uint32_t;
+inline constexpr LocalId kInvalidLocalId = static_cast<LocalId>(-1);
+
+/// One edge of an explaining subgraph G_v^Q, annotated with its authority
+/// flows (Section 4).
+struct ExplainEdge {
+  LocalId from = kInvalidLocalId;
+  LocalId to = kInvalidLocalId;
+  /// Rate slot of the underlying authority edge (RateIndex(etype, dir)).
+  uint32_t rate_index = 0;
+  /// The per-edge transfer rate a(e) of Equation 1.
+  double rate = 0.0;
+  /// Flow_0(e) = d * a(e) * r^Q(from): the flow at the convergence state
+  /// of the full-graph ObjectRank2 execution (Equation 5).
+  double original_flow = 0.0;
+  /// Flow(e) = h(to) * Flow_0(e): the explaining authority flow — the part
+  /// of the original flow that eventually reaches the target (Equation 7).
+  double adjusted_flow = 0.0;
+};
+
+/// Construction parameters (Section 4).
+struct ExplainOptions {
+  /// Radius L: only nodes within L edges of the target are considered
+  /// (the paper finds L=3 adequate and uses it in all experiments).
+  int radius = 3;
+
+  /// Relative convergence threshold of the flow-adjustment fixpoint
+  /// (Equation 10): iteration stops when the flow-weighted change of the
+  /// reduction factors drops below epsilon times the total explaining
+  /// flow (the paper's performance runs use 0.001).
+  double epsilon = 1e-3;
+
+  /// Hard iteration cap for the fixpoint.
+  int max_iterations = 200;
+
+  /// Edges whose transfer rate is <= min_rate carry no authority and are
+  /// not traversed during construction.
+  double min_rate = 0.0;
+
+  /// Flow pruning (Section 4: "we ... only keep the paths with high
+  /// authority flow"): candidate edges whose original flow is below
+  /// prune_fraction times the largest original flow in the subgraph are
+  /// dropped (edges into the target are always kept — they are what is
+  /// being explained). 0 disables pruning.
+  double prune_fraction = 0.01;
+};
+
+/// The explaining subgraph G_v^Q for a target object v and query Q: the
+/// subgraph of the authority transfer data graph containing every node and
+/// edge on a directed path (within the radius) from the base set S(Q) to
+/// v, annotated with original and explaining authority flows.
+///
+/// Nodes are stored with dense LocalIds; local id 0 is not special — use
+/// target_local() for the target. The structure is immutable once built by
+/// the Explainer.
+class ExplainingSubgraph {
+ public:
+  /// Number of subgraph nodes / edges.
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Global data-graph id of a local node.
+  graph::NodeId GlobalId(LocalId v) const { return nodes_[v]; }
+
+  /// Local id of a global node, or kInvalidLocalId if not in the subgraph.
+  LocalId LocalOf(graph::NodeId global) const;
+
+  /// True if `global` is a node of the subgraph.
+  bool Contains(graph::NodeId global) const {
+    return LocalOf(global) != kInvalidLocalId;
+  }
+
+  LocalId target_local() const { return target_local_; }
+  graph::NodeId target_global() const { return nodes_[target_local_]; }
+
+  /// All edges (arbitrary order).
+  const std::vector<ExplainEdge>& edges() const { return edges_; }
+
+  /// Indices (into edges()) of the out-/in-edges of local node `v`.
+  std::span<const uint32_t> OutEdgeIndices(LocalId v) const {
+    return {out_index_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  std::span<const uint32_t> InEdgeIndices(LocalId v) const {
+    return {in_index_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// The reduction factor h(v) of Equation 10 (1 for the target).
+  double ReductionFactor(LocalId v) const { return h_[v]; }
+
+  /// Distance D(v) of node `v` from the target in number of edges,
+  /// following edge direction (0 for the target itself). Used by the
+  /// content-based reformulation decay factor (Equation 11).
+  int DistanceToTarget(LocalId v) const { return dist_to_target_[v]; }
+
+  /// Sum of adjusted (explaining) flows on the out-edges of `v`.
+  double AdjustedOutFlowSum(LocalId v) const;
+
+  /// Sum of adjusted (explaining) flows on the in-edges of `v`.
+  double AdjustedInFlowSum(LocalId v) const;
+
+  /// Whether `v` is a base-set node of this subgraph (an authority source).
+  bool IsSource(LocalId v) const { return is_source_[v]; }
+
+  /// Multi-line human-readable rendering (for the examples).
+  std::string ToString(const graph::DataGraph& data) const;
+
+  /// Graphviz DOT rendering, the "explaining subgraph displayed to the
+  /// user" of the paper's online demo: the target is double-circled,
+  /// base-set sources are shaded, every edge is labeled with its
+  /// explaining flow, and edge thickness scales with the flow share.
+  std::string ToDot(const graph::DataGraph& data) const;
+
+ private:
+  friend class Explainer;
+  friend class FlowAdjuster;
+
+  void BuildEdgeIndex();
+
+  std::vector<graph::NodeId> nodes_;
+  std::unordered_map<graph::NodeId, LocalId> local_of_;
+  LocalId target_local_ = kInvalidLocalId;
+
+  std::vector<ExplainEdge> edges_;
+  std::vector<uint32_t> out_offsets_, out_index_;
+  std::vector<uint32_t> in_offsets_, in_index_;
+
+  std::vector<double> h_;
+  std::vector<int> dist_to_target_;
+  std::vector<bool> is_source_;
+};
+
+}  // namespace orx::explain
+
+#endif  // ORX_EXPLAIN_EXPLAINING_SUBGRAPH_H_

@@ -1,0 +1,71 @@
+#include "explain/flow_adjuster.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orx::explain {
+
+FlowAdjustResult FlowAdjuster::Run(ExplainingSubgraph& subgraph,
+                                   const ExplainOptions& options) const {
+  const size_t n = subgraph.num_nodes();
+  const LocalId target = subgraph.target_local();
+  ORX_CHECK(target != kInvalidLocalId);
+
+  // Step 4 of Figure 8: initialize every reduction factor to 1.
+  std::vector<double>& h = subgraph.h_;
+  h.assign(n, 1.0);
+
+  // Convergence is judged on what the user sees — the adjusted flows
+  // Flow(e) = h(head) * Flow_0(e) — so each node's h-change is weighted by
+  // its incoming original flow I_0 and compared against the total
+  // explaining flow. Far-away nodes with negligible flow then stop
+  // delaying convergence, matching the handful of iterations Table 3
+  // reports.
+  std::vector<double> in_flow(n, 0.0);
+  for (const ExplainEdge& e : subgraph.edges_) {
+    in_flow[e.to] += e.original_flow;
+  }
+
+  FlowAdjustResult result;
+  std::vector<double> next(n, 0.0);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Step 5 of Figure 8: h(v_k) = sum h(v_j) * a(v_k -> v_j) over the
+    // out-edges of v_k inside G_v^Q; the target is not updated.
+    for (LocalId vk = 0; vk < n; ++vk) {
+      if (vk == target) {
+        next[vk] = 1.0;
+        continue;
+      }
+      double sum = 0.0;
+      for (uint32_t ei : subgraph.OutEdgeIndices(vk)) {
+        const ExplainEdge& e = subgraph.edges_[ei];
+        sum += h[e.to] * e.rate;
+      }
+      next[vk] = sum;
+    }
+    double weighted_delta = 0.0;
+    double weighted_total = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      weighted_delta += std::fabs(next[v] - h[v]) * in_flow[v];
+      weighted_total += next[v] * in_flow[v];
+    }
+    h.swap(next);
+    result.iterations = iter;
+    if (weighted_delta <= options.epsilon * std::max(weighted_total,
+                                                     1e-300)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Step 6 of Figure 8 (Equation 7): scale each edge's flow by the
+  // reduction factor of its *head*; edges into the target keep their
+  // original flow (h(target) == 1).
+  for (ExplainEdge& e : subgraph.edges_) {
+    e.adjusted_flow = h[e.to] * e.original_flow;
+  }
+  return result;
+}
+
+}  // namespace orx::explain

@@ -1,0 +1,38 @@
+#ifndef ORX_EXPLAIN_FLOW_ADJUSTER_H_
+#define ORX_EXPLAIN_FLOW_ADJUSTER_H_
+
+#include "explain/explaining_subgraph.h"
+
+namespace orx::explain {
+
+/// Outcome of the flow-adjustment fixpoint (the "Explaining ObjectRank2"
+/// execution whose iteration counts Table 3 reports).
+struct FlowAdjustResult {
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Implements the flow adjustment stage of Section 4: iterates the
+/// fixpoint
+///
+///     h(v_k) = sum over out-edges (v_k -> v_j) of G_v^Q of
+///              h(v_j) * a(v_k -> v_j)                       (Equation 10)
+///
+/// with h(target) pinned to 1 (the target's incoming flows are shown
+/// unadjusted), then rewrites every edge's adjusted flow as
+/// Flow(v_i -> v_k) = h(v_k) * Flow_0(v_i -> v_k) (Equation 7).
+///
+/// Convergence follows from Theorem 1 (the computation is a PageRank-style
+/// iteration on a graph where every node has a path to the target).
+class FlowAdjuster {
+ public:
+  /// Runs the fixpoint on `subgraph` in place: fills h_ and the edges'
+  /// adjusted_flow. Pre: the subgraph's edges carry original_flow and the
+  /// edge index is built.
+  FlowAdjustResult Run(ExplainingSubgraph& subgraph,
+                       const ExplainOptions& options) const;
+};
+
+}  // namespace orx::explain
+
+#endif  // ORX_EXPLAIN_FLOW_ADJUSTER_H_

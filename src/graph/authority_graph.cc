@@ -1,0 +1,74 @@
+#include "graph/authority_graph.h"
+
+#include "common/check.h"
+
+namespace orx::graph {
+
+AuthorityGraph AuthorityGraph::Build(const DataGraph& data) {
+  const size_t n = data.num_nodes();
+  const size_t num_etypes = data.schema().num_edge_types();
+
+  // Per-node, per-edge-type degree counts in each direction.
+  //   fwd_deg[v * num_etypes + t] = # data edges v -> * of type t
+  //   bwd_deg[v * num_etypes + t] = # data edges * -> v of type t
+  // OutDeg(v, (t, kForward)) = fwd_deg; OutDeg(v, (t, kBackward)) = bwd_deg
+  // (a backward authority edge leaves the data edge's *head*).
+  std::vector<uint32_t> fwd_deg(n * num_etypes, 0);
+  std::vector<uint32_t> bwd_deg(n * num_etypes, 0);
+  for (const DataEdge& e : data.edges()) {
+    ++fwd_deg[static_cast<size_t>(e.from) * num_etypes + e.type];
+    ++bwd_deg[static_cast<size_t>(e.to) * num_etypes + e.type];
+  }
+
+  AuthorityGraph g;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+
+  // Each data edge (u -> v) produces authority edges u -> v (forward slot)
+  // and v -> u (backward slot); so in D^A, out-degree(v) == in-degree(v) ==
+  // total data-degree(v).
+  for (const DataEdge& e : data.edges()) {
+    ++g.out_offsets_[e.from + 1];  // forward edge leaves u
+    ++g.out_offsets_[e.to + 1];    // backward edge leaves v
+    ++g.in_offsets_[e.to + 1];     // forward edge enters v
+    ++g.in_offsets_[e.from + 1];   // backward edge enters u
+  }
+  for (size_t v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_edges_.resize(g.out_offsets_[n]);
+  g.in_edges_.resize(g.in_offsets_[n]);
+
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+
+  for (const DataEdge& e : data.edges()) {
+    const uint32_t fdeg =
+        fwd_deg[static_cast<size_t>(e.from) * num_etypes + e.type];
+    const uint32_t bdeg =
+        bwd_deg[static_cast<size_t>(e.to) * num_etypes + e.type];
+    ORX_DCHECK(fdeg > 0 && bdeg > 0);
+    const float inv_f = 1.0f / static_cast<float>(fdeg);
+    const float inv_b = 1.0f / static_cast<float>(bdeg);
+    const uint32_t slot_f = RateIndex(e.type, Direction::kForward);
+    const uint32_t slot_b = RateIndex(e.type, Direction::kBackward);
+
+    // Forward authority edge u -> v.
+    g.out_edges_[out_cursor[e.from]++] = AuthorityEdge{e.to, inv_f, slot_f};
+    g.in_edges_[in_cursor[e.to]++] = AuthorityEdge{e.from, inv_f, slot_f};
+    // Backward authority edge v -> u.
+    g.out_edges_[out_cursor[e.to]++] = AuthorityEdge{e.from, inv_b, slot_b};
+    g.in_edges_[in_cursor[e.from]++] = AuthorityEdge{e.to, inv_b, slot_b};
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    ORX_DCHECK(out_cursor[v] == g.out_offsets_[v + 1]);
+    ORX_DCHECK(in_cursor[v] == g.in_offsets_[v + 1]);
+  }
+  return g;
+}
+
+}  // namespace orx::graph

@@ -1,0 +1,84 @@
+#ifndef ORX_GRAPH_AUTHORITY_GRAPH_H_
+#define ORX_GRAPH_AUTHORITY_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::graph {
+
+/// One authority-transfer edge in the authority transfer data graph D^A.
+///
+/// The *rate* of the edge (Equation 1) is
+///     a(e) = alpha(rate_index) * inv_out_deg
+/// where alpha comes from the TransferRates vector supplied at query time.
+/// Storing inv_out_deg (1 / OutDeg(u, e_G^d)) instead of the final rate
+/// lets the reformulator change alpha every feedback iteration without
+/// rebuilding this index.
+struct AuthorityEdge {
+  /// Head node of the edge (the node authority flows to).
+  NodeId target;
+  /// 1 / OutDeg(source, edge type+direction); see Equation 1.
+  float inv_out_deg;
+  /// RateIndex(etype, dir) into a TransferRates vector.
+  uint32_t rate_index;
+};
+
+/// The authority transfer data graph D^A(V_D, E_D^A) of Section 2 in CSR
+/// form. Every data edge (u -> v, etype) contributes two authority edges:
+/// the forward edge u -> v with slot (etype, kForward) and the backward
+/// edge v -> u with slot (etype, kBackward). Both out-adjacency (power
+/// iteration) and in-adjacency (explaining-subgraph construction, which
+/// walks edges in reverse) are materialized.
+///
+/// The structure depends only on the data graph; rates are resolved lazily
+/// against a TransferRates vector.
+class AuthorityGraph {
+ public:
+  /// Builds the CSR index from a finalized data graph. O(|V| + |E|).
+  static AuthorityGraph Build(const DataGraph& data);
+
+  /// Outgoing authority edges of `v` (edges carrying v's authority away).
+  std::span<const AuthorityEdge> OutEdges(NodeId v) const {
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// Incoming authority edges of `v`; each entry's `target` is the *source*
+  /// node u of an edge u -> v, and `inv_out_deg`/`rate_index` describe that
+  /// edge u -> v (i.e. u's out-degree normalization).
+  std::span<const AuthorityEdge> InEdges(NodeId v) const {
+    return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// The rate a(e) of an authority edge under the given rates (Equation 1).
+  static double EdgeRate(const AuthorityEdge& e, const TransferRates& rates) {
+    return rates.slot(e.rate_index) * static_cast<double>(e.inv_out_deg);
+  }
+
+  size_t num_nodes() const { return out_offsets_.size() - 1; }
+  size_t num_edges() const { return out_edges_.size(); }
+
+  /// Approximate in-memory footprint in bytes.
+  size_t MemoryFootprintBytes() const {
+    return (out_edges_.size() + in_edges_.size()) * sizeof(AuthorityEdge) +
+           (out_offsets_.size() + in_offsets_.size()) * sizeof(uint64_t);
+  }
+
+ private:
+  AuthorityGraph() = default;
+
+  std::vector<uint64_t> out_offsets_;
+  std::vector<AuthorityEdge> out_edges_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<AuthorityEdge> in_edges_;
+};
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_AUTHORITY_GRAPH_H_

@@ -1,0 +1,40 @@
+#include "graph/conformance.h"
+
+namespace orx::graph {
+
+Status CheckConformance(const DataGraph& data, const SchemaGraph& schema) {
+  if (&data.schema() != &schema) {
+    return InvalidArgumentError(
+        "data graph was built against a different schema instance");
+  }
+  const size_t n = data.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (data.NodeType(v) >= schema.num_node_types()) {
+      return InternalError("node " + std::to_string(v) +
+                           " has an unregistered type");
+    }
+  }
+  size_t edge_index = 0;
+  for (const DataEdge& e : data.edges()) {
+    if (e.from >= n || e.to >= n) {
+      return InternalError("edge " + std::to_string(edge_index) +
+                           " references a nonexistent node");
+    }
+    if (e.type >= schema.num_edge_types()) {
+      return InternalError("edge " + std::to_string(edge_index) +
+                           " has an unregistered edge type");
+    }
+    const SchemaEdge& se = schema.EdgeType(e.type);
+    if (data.NodeType(e.from) != se.from || data.NodeType(e.to) != se.to) {
+      return InternalError(
+          "edge " + std::to_string(edge_index) +
+          " violates schema edge type '" + se.role + "': endpoint types are " +
+          schema.NodeTypeLabel(data.NodeType(e.from)) + " -> " +
+          schema.NodeTypeLabel(data.NodeType(e.to)));
+    }
+    ++edge_index;
+  }
+  return Status::OK();
+}
+
+}  // namespace orx::graph

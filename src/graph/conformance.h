@@ -1,0 +1,21 @@
+#ifndef ORX_GRAPH_CONFORMANCE_H_
+#define ORX_GRAPH_CONFORMANCE_H_
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+
+namespace orx::graph {
+
+/// Verifies that a data graph conforms to its schema graph (Section 2):
+/// every node maps to a registered type and every edge's endpoint types
+/// match its schema edge type. DataGraph enforces this on insertion; this
+/// full re-check exists for graphs deserialized from external sources
+/// (e.g. the DBLP XML parser) and as a test oracle.
+///
+/// Returns OK, or the first violation found with a descriptive message.
+Status CheckConformance(const DataGraph& data, const SchemaGraph& schema);
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_CONFORMANCE_H_

@@ -1,0 +1,85 @@
+#include "graph/data_graph.h"
+
+#include "common/check.h"
+
+namespace orx::graph {
+
+StatusOr<NodeId> DataGraph::AddNode(TypeId type,
+                                    std::vector<Attribute> attributes) {
+  if (type >= schema_->num_node_types()) {
+    return InvalidArgumentError("unknown node type id");
+  }
+  NodeId id = static_cast<NodeId>(node_types_.size());
+  node_types_.push_back(type);
+  for (auto& attr : attributes) attrs_.push_back(std::move(attr));
+  attr_offsets_.push_back(static_cast<uint32_t>(attrs_.size()));
+  return id;
+}
+
+Status DataGraph::AddEdge(NodeId from, NodeId to, EdgeTypeId type) {
+  if (from >= node_types_.size() || to >= node_types_.size()) {
+    return InvalidArgumentError("edge endpoint does not exist");
+  }
+  if (type >= schema_->num_edge_types()) {
+    return InvalidArgumentError("unknown edge type id");
+  }
+  const SchemaEdge& se = schema_->EdgeType(type);
+  if (node_types_[from] != se.from || node_types_[to] != se.to) {
+    return InvalidArgumentError(
+        "edge endpoints do not conform to schema edge type '" + se.role +
+        "'");
+  }
+  if (from == to) {
+    return InvalidArgumentError("self-loop data edges are not supported");
+  }
+  edges_.push_back(DataEdge{from, to, type});
+  return Status::OK();
+}
+
+std::span<const Attribute> DataGraph::Attributes(NodeId v) const {
+  ORX_CHECK(v < node_types_.size());
+  uint32_t begin = attr_offsets_[v];
+  uint32_t end = attr_offsets_[v + 1];
+  return std::span<const Attribute>(attrs_.data() + begin, end - begin);
+}
+
+std::string DataGraph::Text(NodeId v) const {
+  std::string out;
+  for (const Attribute& a : Attributes(v)) {
+    if (!out.empty()) out += ' ';
+    out += a.value;
+  }
+  return out;
+}
+
+std::string DataGraph::AttributeValue(NodeId v, std::string_view name) const {
+  for (const Attribute& a : Attributes(v)) {
+    if (a.name == name) return a.value;
+  }
+  return "";
+}
+
+std::string DataGraph::DisplayLabel(NodeId v) const {
+  auto attrs = Attributes(v);
+  if (!attrs.empty()) return attrs[0].value;
+  return schema_->NodeTypeLabel(node_types_[v]) + "#" + std::to_string(v);
+}
+
+size_t DataGraph::MemoryFootprintBytes() const {
+  size_t bytes = node_types_.size() * sizeof(TypeId) +
+                 attr_offsets_.size() * sizeof(uint32_t) +
+                 edges_.size() * sizeof(DataEdge) +
+                 attrs_.size() * sizeof(Attribute);
+  for (const Attribute& a : attrs_) bytes += a.name.size() + a.value.size();
+  return bytes;
+}
+
+void DataGraph::ReserveNodes(size_t n) {
+  node_types_.reserve(n);
+  attr_offsets_.reserve(n + 1);
+  attrs_.reserve(n * 3);
+}
+
+void DataGraph::ReserveEdges(size_t n) { edges_.reserve(n); }
+
+}  // namespace orx::graph

@@ -1,0 +1,95 @@
+#ifndef ORX_GRAPH_DATA_GRAPH_H_
+#define ORX_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+
+namespace orx::graph {
+
+/// Identifier of a data-graph node (object).
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+/// One attribute (name/value pair) of a data-graph object; e.g.
+/// {"Title", "Data Cube: ..."}.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// A typed directed data edge u -> v (e.g. a "cites" edge between papers).
+struct DataEdge {
+  NodeId from = kInvalidNodeId;
+  NodeId to = kInvalidNodeId;
+  EdgeTypeId type = kInvalidEdgeTypeId;
+};
+
+/// The labeled data graph D(V_D, E_D) of Section 2: every node is an object
+/// with a type (role), attributes, and a keyword set derived from its
+/// attribute values; every edge is typed by a schema edge type.
+///
+/// The graph conforms-by-construction: AddEdge validates endpoint types
+/// against the schema. DataGraph owns the schema by const reference; the
+/// schema must outlive the graph.
+class DataGraph {
+ public:
+  explicit DataGraph(const SchemaGraph& schema) : schema_(&schema) {}
+
+  /// Adds an object of the given type with its attributes; returns its id.
+  /// Node ids are dense and allocated in insertion order.
+  StatusOr<NodeId> AddNode(TypeId type, std::vector<Attribute> attributes);
+
+  /// Adds a typed edge. Fails if the endpoints don't exist or their types
+  /// don't match the schema edge type's endpoints. Self-loops are allowed
+  /// only when the schema edge connects a type to itself; parallel edges
+  /// (same endpoints and type) are rejected by Finalize-time dedup being
+  /// disabled — callers must not insert duplicates (checked in debug).
+  Status AddEdge(NodeId from, NodeId to, EdgeTypeId type);
+
+  /// Accessors. Pre: `v` is a valid node id.
+  TypeId NodeType(NodeId v) const { return node_types_[v]; }
+  std::span<const Attribute> Attributes(NodeId v) const;
+
+  /// Concatenated attribute values of `v`, separated by single spaces.
+  /// This is the "document" the IR engine indexes for the node, per the
+  /// paper: "the keywords appearing in the attribute values comprise the
+  /// set of keywords associated with the node".
+  std::string Text(NodeId v) const;
+
+  /// Value of the first attribute named `name`, or "" if absent.
+  std::string AttributeValue(NodeId v, std::string_view name) const;
+
+  /// A short display label: the first attribute value if any, else
+  /// "<TypeLabel>#<id>".
+  std::string DisplayLabel(NodeId v) const;
+
+  size_t num_nodes() const { return node_types_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<DataEdge>& edges() const { return edges_; }
+  const SchemaGraph& schema() const { return *schema_; }
+
+  /// Approximate in-memory footprint in bytes (Table 1 "Size" column).
+  size_t MemoryFootprintBytes() const;
+
+  /// Reserves storage for the generators (performance only).
+  void ReserveNodes(size_t n);
+  void ReserveEdges(size_t n);
+
+ private:
+  const SchemaGraph* schema_;
+  std::vector<TypeId> node_types_;
+  // Attribute storage: attrs_ is pooled; node v owns the half-open range
+  // [attr_offsets_[v], attr_offsets_[v + 1]).
+  std::vector<Attribute> attrs_;
+  std::vector<uint32_t> attr_offsets_{0};
+  std::vector<DataEdge> edges_;
+};
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,104 @@
+#include "graph/schema_graph.h"
+
+#include "common/check.h"
+
+namespace orx::graph {
+
+StatusOr<TypeId> SchemaGraph::AddNodeType(std::string label) {
+  if (label.empty()) {
+    return InvalidArgumentError("node type label must be non-empty");
+  }
+  if (label_to_type_.count(label) > 0) {
+    return AlreadyExistsError("node type already registered: " + label);
+  }
+  TypeId id = static_cast<TypeId>(node_labels_.size());
+  label_to_type_.emplace(label, id);
+  node_labels_.push_back(std::move(label));
+  return id;
+}
+
+StatusOr<EdgeTypeId> SchemaGraph::AddEdgeType(TypeId from, TypeId to,
+                                              std::string role) {
+  if (from >= node_labels_.size() || to >= node_labels_.size()) {
+    return InvalidArgumentError("edge type endpoint is not a known node type");
+  }
+  if (role.empty()) {
+    // Default role: "<From>To<To>", unique only if no explicit role exists
+    // between the pair; mirrors the paper's "role may be omitted" rule.
+    role = node_labels_[from] + "To" + node_labels_[to];
+  }
+  for (const SchemaEdge& e : edges_) {
+    if (e.from == from && e.to == to && e.role == role) {
+      return AlreadyExistsError("edge type already registered: " + role);
+    }
+  }
+  EdgeTypeId id = static_cast<EdgeTypeId>(edges_.size());
+  edges_.push_back(SchemaEdge{from, to, role});
+  role_to_edge_.emplace(std::move(role), id);
+  return id;
+}
+
+StatusOr<TypeId> SchemaGraph::NodeTypeByLabel(std::string_view label) const {
+  auto it = label_to_type_.find(std::string(label));
+  if (it == label_to_type_.end()) {
+    return NotFoundError("unknown node type: " + std::string(label));
+  }
+  return it->second;
+}
+
+StatusOr<EdgeTypeId> SchemaGraph::EdgeTypeByRole(std::string_view role) const {
+  auto it = role_to_edge_.find(std::string(role));
+  if (it == role_to_edge_.end()) {
+    return NotFoundError("unknown edge role: " + std::string(role));
+  }
+  return it->second;
+}
+
+StatusOr<EdgeTypeId> SchemaGraph::EdgeTypeBetween(TypeId from, TypeId to,
+                                                  std::string_view role) const {
+  EdgeTypeId found = kInvalidEdgeTypeId;
+  for (EdgeTypeId id = 0; id < edges_.size(); ++id) {
+    const SchemaEdge& e = edges_[id];
+    if (e.from != from || e.to != to) continue;
+    if (!role.empty() && e.role != role) continue;
+    if (found != kInvalidEdgeTypeId) {
+      return InvalidArgumentError(
+          "ambiguous edge type lookup; specify a role");
+    }
+    found = id;
+  }
+  if (found == kInvalidEdgeTypeId) {
+    return NotFoundError("no such edge type between the given node types");
+  }
+  return found;
+}
+
+const std::string& SchemaGraph::NodeTypeLabel(TypeId id) const {
+  ORX_CHECK(id < node_labels_.size());
+  return node_labels_[id];
+}
+
+const SchemaEdge& SchemaGraph::EdgeType(EdgeTypeId id) const {
+  ORX_CHECK(id < edges_.size());
+  return edges_[id];
+}
+
+std::string SchemaGraph::RateSlotName(EdgeTypeId etype, Direction dir) const {
+  const SchemaEdge& e = EdgeType(etype);
+  std::string name = node_labels_[e.from] + "-" + e.role + "->" +
+                     node_labels_[e.to];
+  if (dir == Direction::kBackward) name += " (reverse)";
+  return name;
+}
+
+TypeId SchemaGraph::SourceTypeOf(EdgeTypeId etype, Direction dir) const {
+  const SchemaEdge& e = EdgeType(etype);
+  return dir == Direction::kForward ? e.from : e.to;
+}
+
+TypeId SchemaGraph::TargetTypeOf(EdgeTypeId etype, Direction dir) const {
+  const SchemaEdge& e = EdgeType(etype);
+  return dir == Direction::kForward ? e.to : e.from;
+}
+
+}  // namespace orx::graph

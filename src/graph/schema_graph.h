@@ -1,0 +1,110 @@
+#ifndef ORX_GRAPH_SCHEMA_GRAPH_H_
+#define ORX_GRAPH_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orx::graph {
+
+/// Identifier of a schema node type (e.g. "Paper", "Author").
+using TypeId = uint32_t;
+
+/// Identifier of a schema edge type (e.g. Paper-cites->Paper). Each schema
+/// edge induces two authority-transfer directions; see Direction.
+using EdgeTypeId = uint32_t;
+
+inline constexpr TypeId kInvalidTypeId = static_cast<TypeId>(-1);
+inline constexpr EdgeTypeId kInvalidEdgeTypeId = static_cast<EdgeTypeId>(-1);
+
+/// Orientation of an authority-transfer edge relative to its schema edge.
+/// For schema edge e_G = (u -> v): kForward is the u->v transfer edge e_G^f,
+/// kBackward is the v->u transfer edge e_G^b (paper, Section 2).
+enum class Direction : uint8_t { kForward = 0, kBackward = 1 };
+
+/// Flips kForward <-> kBackward.
+inline Direction Reverse(Direction d) {
+  return d == Direction::kForward ? Direction::kBackward
+                                  : Direction::kForward;
+}
+
+/// Index of an (edge type, direction) pair into rate vectors; the layout is
+/// [e0^f, e0^b, e1^f, e1^b, ...].
+inline uint32_t RateIndex(EdgeTypeId etype, Direction dir) {
+  return etype * 2 + static_cast<uint32_t>(dir);
+}
+
+/// A directed schema edge u -> v with a role label (e.g. "cites").
+struct SchemaEdge {
+  TypeId from = kInvalidTypeId;
+  TypeId to = kInvalidTypeId;
+  std::string role;
+};
+
+/// The schema graph G(V_G, E_G) of Section 2: node types connected by
+/// labeled directed edge types. It describes the structure that data graphs
+/// must conform to.
+///
+/// SchemaGraph is append-only: types can be added but never removed, so
+/// TypeId/EdgeTypeId handles stay valid for the lifetime of the object.
+class SchemaGraph {
+ public:
+  SchemaGraph() = default;
+
+  /// Registers a node type. Fails with kAlreadyExists on duplicate labels.
+  StatusOr<TypeId> AddNodeType(std::string label);
+
+  /// Registers a directed edge type `from -> to` with the given role label.
+  /// Roles must be unique per (from, to) pair; parallel edge types with
+  /// distinct roles are allowed. Fails if either endpoint type is unknown.
+  StatusOr<EdgeTypeId> AddEdgeType(TypeId from, TypeId to, std::string role);
+
+  /// Looks up a node type by label; kNotFound if absent.
+  StatusOr<TypeId> NodeTypeByLabel(std::string_view label) const;
+
+  /// Looks up an edge type by role label. If several edge types share the
+  /// role (between different node types), the first registered wins; use
+  /// EdgeTypeBetween for full disambiguation.
+  StatusOr<EdgeTypeId> EdgeTypeByRole(std::string_view role) const;
+
+  /// Looks up the edge type `from -> to` with the given role (empty role
+  /// matches any single edge type between the pair; ambiguous lookups fail).
+  StatusOr<EdgeTypeId> EdgeTypeBetween(TypeId from, TypeId to,
+                                       std::string_view role = "") const;
+
+  /// Accessors. Pre: the id is valid.
+  const std::string& NodeTypeLabel(TypeId id) const;
+  const SchemaEdge& EdgeType(EdgeTypeId id) const;
+
+  size_t num_node_types() const { return node_labels_.size(); }
+  size_t num_edge_types() const { return edges_.size(); }
+
+  /// Number of (edge type, direction) slots = 2 * num_edge_types(); the
+  /// domain of transfer-rate vectors.
+  size_t num_rate_slots() const { return edges_.size() * 2; }
+
+  /// Human-readable name of an (edge type, direction) slot, e.g.
+  /// "Paper-cites->Paper" or "Paper-cites->Paper (reverse)".
+  std::string RateSlotName(EdgeTypeId etype, Direction dir) const;
+
+  /// The node type an authority-transfer edge of (etype, dir) leaves from:
+  /// the schema source for forward edges, the schema target for backward.
+  TypeId SourceTypeOf(EdgeTypeId etype, Direction dir) const;
+
+  /// The node type an authority-transfer edge of (etype, dir) points to.
+  TypeId TargetTypeOf(EdgeTypeId etype, Direction dir) const;
+
+ private:
+  std::vector<std::string> node_labels_;
+  std::unordered_map<std::string, TypeId> label_to_type_;
+  std::vector<SchemaEdge> edges_;
+  std::unordered_map<std::string, EdgeTypeId> role_to_edge_;
+};
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_SCHEMA_GRAPH_H_

@@ -1,0 +1,89 @@
+#include "graph/transfer_rates.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace orx::graph {
+
+TransferRates::TransferRates(const SchemaGraph& schema, double initial)
+    : rates_(schema.num_rate_slots(), initial) {
+  ORX_CHECK(initial >= 0.0 && initial <= 1.0);
+}
+
+Status TransferRates::Set(EdgeTypeId etype, Direction dir, double rate) {
+  uint32_t idx = RateIndex(etype, dir);
+  if (idx >= rates_.size()) {
+    return InvalidArgumentError("unknown edge type");
+  }
+  if (rate < 0.0 || rate > 1.0) {
+    return InvalidArgumentError("transfer rate must be in [0, 1]");
+  }
+  rates_[idx] = rate;
+  return Status::OK();
+}
+
+Status TransferRates::SetBoth(EdgeTypeId etype, double forward,
+                              double backward) {
+  ORX_RETURN_IF_ERROR(Set(etype, Direction::kForward, forward));
+  return Set(etype, Direction::kBackward, backward);
+}
+
+double TransferRates::OutgoingSum(const SchemaGraph& schema,
+                                  TypeId type) const {
+  double sum = 0.0;
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+      if (schema.SourceTypeOf(e, dir) == type) {
+        sum += rates_[RateIndex(e, dir)];
+      }
+    }
+  }
+  return sum;
+}
+
+int TransferRates::CapOutgoingSums(const SchemaGraph& schema) {
+  int scaled = 0;
+  for (TypeId t = 0; t < schema.num_node_types(); ++t) {
+    double sum = OutgoingSum(schema, t);
+    if (sum <= 1.0) continue;
+    ++scaled;
+    double factor = 1.0 / sum;
+    for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+      for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+        if (schema.SourceTypeOf(e, dir) == t) {
+          rates_[RateIndex(e, dir)] *= factor;
+        }
+      }
+    }
+  }
+  return scaled;
+}
+
+uint64_t TransferRates::Fingerprint() const {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  for (double rate : rates_) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(rate));
+    std::memcpy(&bits, &rate, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (bits >> (8 * i)) & 0xFF;
+      hash *= 1099511628211ull;  // FNV prime
+    }
+  }
+  return hash;
+}
+
+std::string TransferRates::ToString(const SchemaGraph& schema) const {
+  std::vector<std::string> parts;
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    for (Direction dir : {Direction::kForward, Direction::kBackward}) {
+      parts.push_back(schema.RateSlotName(e, dir) + "=" +
+                      FormatDouble(rates_[RateIndex(e, dir)], 3));
+    }
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace orx::graph

@@ -1,0 +1,74 @@
+#ifndef ORX_GRAPH_TRANSFER_RATES_H_
+#define ORX_GRAPH_TRANSFER_RATES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/schema_graph.h"
+
+namespace orx::graph {
+
+/// The authority transfer rates alpha(e_G^f), alpha(e_G^b) that turn a
+/// schema graph into the *authority transfer schema graph* G^A of Section 2.
+///
+/// TransferRates is a cheap value type (one double per edge-type direction):
+/// the structure-based reformulator produces a new instance each feedback
+/// iteration, and the ObjectRank engine reads rates at query time, so
+/// changing rates never requires rebuilding the data-graph index.
+class TransferRates {
+ public:
+  /// Creates an empty rate vector (no slots); assign a real one before use.
+  TransferRates() = default;
+
+  /// Creates a rate vector for `schema` with every slot set to `initial`
+  /// (the surveys in Section 6.1 initialize all rates to 0.3).
+  explicit TransferRates(const SchemaGraph& schema, double initial = 0.0);
+
+  /// Sets the rate of (etype, dir). Rates must be in [0, 1].
+  Status Set(EdgeTypeId etype, Direction dir, double rate);
+
+  /// Convenience: sets forward and backward rates of a schema edge type.
+  Status SetBoth(EdgeTypeId etype, double forward, double backward);
+
+  /// Returns the rate of (etype, dir). Pre: the slot exists.
+  double Get(EdgeTypeId etype, Direction dir) const {
+    return rates_[RateIndex(etype, dir)];
+  }
+
+  /// Raw slot accessors used by the inner ObjectRank loop; the layout is
+  /// RateIndex-ordered (see schema_graph.h).
+  const std::vector<double>& slots() const { return rates_; }
+  double slot(uint32_t rate_index) const { return rates_[rate_index]; }
+  void set_slot(uint32_t rate_index, double rate) {
+    rates_[rate_index] = rate;
+  }
+  size_t num_slots() const { return rates_.size(); }
+
+  /// Scales the outgoing rates of any schema node type whose sum exceeds
+  /// 1.0 down so the sum is exactly 1.0 (required for ObjectRank2
+  /// convergence; Section 5.2 normalization step 4). Returns the number of
+  /// node types that were scaled.
+  int CapOutgoingSums(const SchemaGraph& schema);
+
+  /// Sum of outgoing rates of a node type across every (etype, dir) slot
+  /// that leaves it in the authority transfer schema graph.
+  double OutgoingSum(const SchemaGraph& schema, TypeId type) const;
+
+  /// Renders "role->0.70, role(rev)->0.20, ..." for diagnostics.
+  std::string ToString(const SchemaGraph& schema) const;
+
+  /// A 64-bit fingerprint of the slot values (FNV-1a over the raw
+  /// doubles). Precomputed rank caches remember the fingerprint of the
+  /// rates they were built with, so stale caches are detected after
+  /// structure-based reformulation changes the rates.
+  uint64_t Fingerprint() const;
+
+ private:
+  std::vector<double> rates_;
+};
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_TRANSFER_RATES_H_

@@ -1,0 +1,214 @@
+#include "io/dataset_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace orx::io {
+namespace {
+
+constexpr char kMagic[4] = {'O', 'R', 'X', 'D'};
+constexpr uint32_t kVersion = 1;
+// Sanity bound on any single string/collection size; a corrupt length
+// field must not trigger a multi-gigabyte allocation.
+constexpr uint64_t kSanityLimit = 1ull << 31;
+// Corrupt length fields must not drive large eager allocations: strings
+// and per-node attribute lists get tight bounds, and reservations from
+// untrusted counts are capped (vectors still grow on demand if a huge
+// count turns out to be real).
+constexpr uint64_t kStringLimit = 1ull << 27;
+constexpr uint64_t kAttrLimit = 1ull << 16;
+constexpr uint64_t kReserveLimit = 1ull << 20;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 4);
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 8);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status ReadU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return DataLossError("truncated dataset stream");
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return Status::OK();
+}
+
+Status ReadU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return DataLossError("truncated dataset stream");
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]))
+          << (8 * i);
+  }
+  return Status::OK();
+}
+
+Status ReadString(std::istream& in, std::string* s) {
+  uint32_t len = 0;
+  ORX_RETURN_IF_ERROR(ReadU32(in, &len));
+  if (len > kStringLimit) return DataLossError("implausible string length");
+  s->resize(len);
+  if (len > 0 && !in.read(s->data(), len)) {
+    return DataLossError("truncated string");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SerializeDataset(const datasets::Dataset& dataset,
+                        std::ostream& out) {
+  out.write(kMagic, 4);
+  WriteU32(out, kVersion);
+
+  const graph::SchemaGraph& schema = dataset.schema();
+  WriteU32(out, static_cast<uint32_t>(schema.num_node_types()));
+  for (graph::TypeId t = 0; t < schema.num_node_types(); ++t) {
+    WriteString(out, schema.NodeTypeLabel(t));
+  }
+  WriteU32(out, static_cast<uint32_t>(schema.num_edge_types()));
+  for (graph::EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const graph::SchemaEdge& edge = schema.EdgeType(e);
+    WriteU32(out, edge.from);
+    WriteU32(out, edge.to);
+    WriteString(out, edge.role);
+  }
+
+  WriteString(out, dataset.name());
+
+  const graph::DataGraph& data = dataset.data();
+  WriteU64(out, data.num_nodes());
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    WriteU32(out, data.NodeType(v));
+    auto attrs = data.Attributes(v);
+    WriteU32(out, static_cast<uint32_t>(attrs.size()));
+    for (const graph::Attribute& a : attrs) {
+      WriteString(out, a.name);
+      WriteString(out, a.value);
+    }
+  }
+  WriteU64(out, data.num_edges());
+  for (const graph::DataEdge& e : data.edges()) {
+    WriteU32(out, e.from);
+    WriteU32(out, e.to);
+    WriteU32(out, e.type);
+  }
+  if (!out) return InternalError("write failed");
+  return Status::OK();
+}
+
+StatusOr<datasets::Dataset> DeserializeDataset(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return DataLossError("not an ORX dataset (bad magic)");
+  }
+  uint32_t version = 0;
+  ORX_RETURN_IF_ERROR(ReadU32(in, &version));
+  if (version != kVersion) {
+    return DataLossError("unsupported dataset version " +
+                         std::to_string(version));
+  }
+
+  auto schema = std::make_unique<graph::SchemaGraph>();
+  uint32_t num_types = 0;
+  ORX_RETURN_IF_ERROR(ReadU32(in, &num_types));
+  if (num_types > kSanityLimit) return DataLossError("implausible type count");
+  for (uint32_t t = 0; t < num_types; ++t) {
+    std::string label;
+    ORX_RETURN_IF_ERROR(ReadString(in, &label));
+    auto added = schema->AddNodeType(std::move(label));
+    if (!added.ok()) return added.status();
+    if (*added != t) return DataLossError("non-dense node type ids");
+  }
+  uint32_t num_edge_types = 0;
+  ORX_RETURN_IF_ERROR(ReadU32(in, &num_edge_types));
+  if (num_edge_types > kSanityLimit) {
+    return DataLossError("implausible edge type count");
+  }
+  for (uint32_t e = 0; e < num_edge_types; ++e) {
+    uint32_t from = 0, to = 0;
+    std::string role;
+    ORX_RETURN_IF_ERROR(ReadU32(in, &from));
+    ORX_RETURN_IF_ERROR(ReadU32(in, &to));
+    ORX_RETURN_IF_ERROR(ReadString(in, &role));
+    auto added = schema->AddEdgeType(from, to, std::move(role));
+    if (!added.ok()) return added.status();
+    if (*added != e) return DataLossError("non-dense edge type ids");
+  }
+
+  std::string name;
+  ORX_RETURN_IF_ERROR(ReadString(in, &name));
+  datasets::Dataset dataset(std::move(schema), std::move(name));
+  graph::DataGraph& data = dataset.mutable_data();
+
+  uint64_t num_nodes = 0;
+  ORX_RETURN_IF_ERROR(ReadU64(in, &num_nodes));
+  if (num_nodes > kSanityLimit) return DataLossError("implausible node count");
+  data.ReserveNodes(std::min(num_nodes, kReserveLimit));
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    uint32_t type = 0, num_attrs = 0;
+    ORX_RETURN_IF_ERROR(ReadU32(in, &type));
+    ORX_RETURN_IF_ERROR(ReadU32(in, &num_attrs));
+    if (num_attrs > kAttrLimit) {
+      return DataLossError("implausible attribute count");
+    }
+    std::vector<graph::Attribute> attrs(num_attrs);
+    for (graph::Attribute& a : attrs) {
+      ORX_RETURN_IF_ERROR(ReadString(in, &a.name));
+      ORX_RETURN_IF_ERROR(ReadString(in, &a.value));
+    }
+    auto added = data.AddNode(type, std::move(attrs));
+    if (!added.ok()) return added.status();
+  }
+
+  uint64_t num_edges = 0;
+  ORX_RETURN_IF_ERROR(ReadU64(in, &num_edges));
+  if (num_edges > kSanityLimit) return DataLossError("implausible edge count");
+  data.ReserveEdges(std::min(num_edges, kReserveLimit));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t from = 0, to = 0, type = 0;
+    ORX_RETURN_IF_ERROR(ReadU32(in, &from));
+    ORX_RETURN_IF_ERROR(ReadU32(in, &to));
+    ORX_RETURN_IF_ERROR(ReadU32(in, &type));
+    ORX_RETURN_IF_ERROR(data.AddEdge(from, to, type));
+  }
+
+  dataset.Finalize();
+  return dataset;
+}
+
+Status SaveDataset(const datasets::Dataset& dataset,
+                   const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return NotFoundError("cannot open for writing: " + path);
+  ORX_RETURN_IF_ERROR(SerializeDataset(dataset, out));
+  out.flush();
+  if (!out) return InternalError("flush failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<datasets::Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open dataset file: " + path);
+  return DeserializeDataset(in);
+}
+
+}  // namespace orx::io

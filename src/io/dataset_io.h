@@ -1,0 +1,41 @@
+#ifndef ORX_IO_DATASET_IO_H_
+#define ORX_IO_DATASET_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "datasets/dataset.h"
+
+namespace orx::io {
+
+/// Binary serialization of a Dataset (schema + data graph). The derived
+/// indexes (authority CSR, corpus) are *not* stored — they are cheap to
+/// rebuild relative to their size, and Load() finalizes the dataset
+/// before returning it, so a loaded dataset is immediately queryable.
+///
+/// Format (little-endian, version 1):
+///   magic "ORXD", u32 version
+///   schema:  u32 #node-types, labels; u32 #edge-types,
+///            (u32 from, u32 to, role) each
+///   name:    string
+///   nodes:   u64 count; (u32 type, u32 #attrs, (name, value) each) each
+///   edges:   u64 count; (u32 from, u32 to, u32 etype) each
+/// Strings are u32 length + bytes.
+///
+/// The format is a faithful dump: Save(Load(x)) == x byte-for-byte.
+Status SerializeDataset(const datasets::Dataset& dataset, std::ostream& out);
+
+/// Reads a dataset from `in`; returns a finalized Dataset. Errors with
+/// kDataLoss on a malformed stream (bad magic/version, truncation,
+/// dangling ids).
+StatusOr<datasets::Dataset> DeserializeDataset(std::istream& in);
+
+/// File convenience wrappers.
+Status SaveDataset(const datasets::Dataset& dataset, const std::string& path);
+StatusOr<datasets::Dataset> LoadDataset(const std::string& path);
+
+}  // namespace orx::io
+
+#endif  // ORX_IO_DATASET_IO_H_

@@ -1,0 +1,181 @@
+#include "io/graph_tsv.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace orx::io {
+namespace {
+
+Status LineError(int line, const std::string& message) {
+  return DataLossError("graph TSV, line " + std::to_string(line) + ": " +
+                       message);
+}
+
+}  // namespace
+
+std::string WriteGraphTsv(const datasets::Dataset& dataset) {
+  const graph::SchemaGraph& schema = dataset.schema();
+  const graph::DataGraph& data = dataset.data();
+
+  std::string out = "# orx-graph-tsv v1\n";
+  out += "D\t" + dataset.name() + "\n";
+  for (graph::TypeId t = 0; t < schema.num_node_types(); ++t) {
+    out += "S\t" + schema.NodeTypeLabel(t) + "\n";
+  }
+  for (graph::EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const graph::SchemaEdge& edge = schema.EdgeType(e);
+    out += "E\t" + schema.NodeTypeLabel(edge.from) + "\t" +
+           schema.NodeTypeLabel(edge.to) + "\t" + edge.role + "\n";
+  }
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    out += "N\tn" + std::to_string(v) + "\t" +
+           schema.NodeTypeLabel(data.NodeType(v));
+    for (const graph::Attribute& a : data.Attributes(v)) {
+      out += "\t" + a.name + "=" + a.value;
+    }
+    out += "\n";
+  }
+  for (const graph::DataEdge& e : data.edges()) {
+    out += "L\tn" + std::to_string(e.from) + "\tn" + std::to_string(e.to) +
+           "\t" + schema.EdgeType(e.type).role + "\n";
+  }
+  return out;
+}
+
+StatusOr<datasets::Dataset> ParseGraphTsv(std::string_view text) {
+  auto schema = std::make_unique<graph::SchemaGraph>();
+  graph::SchemaGraph* schema_ptr = schema.get();
+  std::string name = "graph-tsv";
+
+  // The dataset is created lazily on the first N line so D/S/E lines can
+  // finish the schema first.
+  std::unique_ptr<datasets::Dataset> dataset;
+  std::unordered_map<std::string, graph::NodeId> node_by_key;
+  auto ensure_dataset = [&]() -> datasets::Dataset& {
+    if (dataset == nullptr) {
+      dataset = std::make_unique<datasets::Dataset>(std::move(schema), name);
+    }
+    return *dataset;
+  };
+
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    const std::string& tag = fields[0];
+    if (tag == "D") {
+      if (fields.size() != 2) return LineError(line_number, "D needs a name");
+      if (dataset != nullptr) {
+        return LineError(line_number, "D must precede all N lines");
+      }
+      name = fields[1];
+    } else if (tag == "S") {
+      if (fields.size() != 2) {
+        return LineError(line_number, "S needs a type label");
+      }
+      if (dataset != nullptr) {
+        return LineError(line_number, "S must precede all N lines");
+      }
+      auto added = schema_ptr->AddNodeType(fields[1]);
+      if (!added.ok()) return LineError(line_number, added.status().message());
+    } else if (tag == "E") {
+      if (fields.size() != 4) {
+        return LineError(line_number, "E needs from, to, role");
+      }
+      if (dataset != nullptr) {
+        return LineError(line_number, "E must precede all N lines");
+      }
+      auto from = schema_ptr->NodeTypeByLabel(fields[1]);
+      if (!from.ok()) {
+        return LineError(line_number, "unknown node type " + fields[1]);
+      }
+      auto to = schema_ptr->NodeTypeByLabel(fields[2]);
+      if (!to.ok()) {
+        return LineError(line_number, "unknown node type " + fields[2]);
+      }
+      auto added = schema_ptr->AddEdgeType(*from, *to, fields[3]);
+      if (!added.ok()) return LineError(line_number, added.status().message());
+    } else if (tag == "N") {
+      if (fields.size() < 3) {
+        return LineError(line_number, "N needs key and type");
+      }
+      auto type = schema_ptr->NodeTypeByLabel(fields[2]);
+      if (!type.ok()) {
+        return LineError(line_number, "unknown node type " + fields[2]);
+      }
+      std::vector<graph::Attribute> attrs;
+      for (size_t i = 3; i < fields.size(); ++i) {
+        const size_t eq = fields[i].find('=');
+        if (eq == std::string::npos) {
+          return LineError(line_number,
+                           "attribute without '=': " + fields[i]);
+        }
+        attrs.push_back(graph::Attribute{fields[i].substr(0, eq),
+                                         fields[i].substr(eq + 1)});
+      }
+      datasets::Dataset& ds = ensure_dataset();
+      auto node = ds.mutable_data().AddNode(*type, std::move(attrs));
+      if (!node.ok()) return LineError(line_number, node.status().message());
+      if (!node_by_key.emplace(fields[1], *node).second) {
+        return LineError(line_number, "duplicate node key " + fields[1]);
+      }
+    } else if (tag == "L") {
+      if (fields.size() != 4) {
+        return LineError(line_number, "L needs from, to, role");
+      }
+      if (dataset == nullptr) {
+        return LineError(line_number, "L before any N line");
+      }
+      auto from = node_by_key.find(fields[1]);
+      auto to = node_by_key.find(fields[2]);
+      if (from == node_by_key.end() || to == node_by_key.end()) {
+        return LineError(line_number, "dangling node key");
+      }
+      auto role = dataset->schema().EdgeTypeByRole(fields[3]);
+      if (!role.ok()) {
+        return LineError(line_number, "unknown edge role " + fields[3]);
+      }
+      Status added = dataset->mutable_data().AddEdge(from->second,
+                                                     to->second, *role);
+      if (!added.ok()) return LineError(line_number, added.message());
+    } else {
+      return LineError(line_number, "unknown record tag '" + tag + "'");
+    }
+  }
+
+  datasets::Dataset& ds = ensure_dataset();
+  ds.Finalize();
+  return std::move(ds);
+}
+
+Status SaveGraphTsv(const datasets::Dataset& dataset,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return NotFoundError("cannot open for writing: " + path);
+  out << WriteGraphTsv(dataset);
+  out.flush();
+  if (!out) return InternalError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<datasets::Dataset> LoadGraphTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open graph TSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseGraphTsv(buffer.str());
+}
+
+}  // namespace orx::io

@@ -1,0 +1,42 @@
+#ifndef ORX_IO_GRAPH_TSV_H_
+#define ORX_IO_GRAPH_TSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "datasets/dataset.h"
+
+namespace orx::io {
+
+/// A human-editable tab-separated graph interchange format, in the spirit
+/// of the NCBI Entrez link exports (gene2pubmed & co.) that the paper's
+/// DS7 collection was assembled from. One record per line:
+///
+///   # comment
+///   D <TAB> dataset-name
+///   S <TAB> NodeTypeLabel
+///   E <TAB> FromTypeLabel <TAB> ToTypeLabel <TAB> role
+///   N <TAB> node-key <TAB> NodeTypeLabel [<TAB> attr=value]...
+///   L <TAB> from-key <TAB> to-key <TAB> role
+///
+/// Declarations must precede use: S/E lines build the schema, N lines the
+/// nodes (keys are free-form strings, unique), L lines the edges. Values
+/// may contain anything but tabs and newlines.
+///
+/// WriteGraphTsv emits keys "n<node-id>"; ParseGraphTsv accepts any keys.
+std::string WriteGraphTsv(const datasets::Dataset& dataset);
+
+/// Parses the format; returns a finalized dataset. Errors are kDataLoss
+/// with a line number (unknown record tags, undeclared types/roles,
+/// duplicate or dangling keys, malformed attributes).
+StatusOr<datasets::Dataset> ParseGraphTsv(std::string_view text);
+
+/// File convenience wrappers.
+Status SaveGraphTsv(const datasets::Dataset& dataset,
+                    const std::string& path);
+StatusOr<datasets::Dataset> LoadGraphTsv(const std::string& path);
+
+}  // namespace orx::io
+
+#endif  // ORX_IO_GRAPH_TSV_H_

@@ -1,0 +1,86 @@
+#include "reformulate/content_reformulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace orx::reform {
+
+std::vector<std::pair<std::string, double>> ExpansionTermWeights(
+    const explain::ExplainingSubgraph& subgraph, const text::Corpus& corpus,
+    double damping, const ContentOptions& options) {
+  std::unordered_map<text::TermId, double> weights;
+  for (explain::LocalId v = 0; v < subgraph.num_nodes(); ++v) {
+    // A node's contribution is the authority it passes toward the target:
+    // its adjusted out-flow inside G_v^Q (Equation 11). The target has no
+    // out-flow in G_v^Q, so the paper substitutes d * (its in-flow).
+    double flow;
+    if (v == subgraph.target_local()) {
+      flow = damping * subgraph.AdjustedInFlowSum(v);
+    } else {
+      flow = subgraph.AdjustedOutFlowSum(v);
+    }
+    if (flow <= 0.0) continue;
+
+    const int dist = subgraph.DistanceToTarget(v);
+    if (dist < 0) continue;  // defensive: unreachable nodes contribute 0
+    const double decayed = std::pow(options.decay, dist) * flow;
+    for (const text::DocTerm& dt : corpus.DocTerms(subgraph.GlobalId(v))) {
+      weights[dt.term] += decayed;
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(weights.size());
+  for (const auto& [term, w] : weights) {
+    out.emplace_back(corpus.TermString(term), w);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> SumTermWeights(
+    const std::vector<std::vector<std::pair<std::string, double>>>&
+        per_object) {
+  std::unordered_map<std::string, double> sums;
+  for (const auto& object_weights : per_object) {
+    for (const auto& [term, w] : object_weights) sums[term] += w;
+  }
+  std::vector<std::pair<std::string, double>> out(sums.begin(), sums.end());
+  return out;
+}
+
+text::QueryVector ReformulateContent(
+    const text::QueryVector& current,
+    std::vector<std::pair<std::string, double>> term_weights,
+    const ContentOptions& options) {
+  if (options.expansion <= 0.0 || term_weights.empty()) return current;
+
+  // Top-Z selection; ties break lexicographically for determinism.
+  std::sort(term_weights.begin(), term_weights.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (term_weights.size() > static_cast<size_t>(options.top_terms)) {
+    term_weights.resize(static_cast<size_t>(options.top_terms));
+  }
+
+  // Normalization (Section 5.1): scale so the heaviest expansion term
+  // weighs a_w = the average weight of the current query vector.
+  const double avg = current.AverageWeight();
+  const double max_w = term_weights.front().second;
+  if (max_w > 0.0 && avg > 0.0) {
+    const double factor = avg / max_w;
+    for (auto& [term, w] : term_weights) w *= factor;
+  }
+
+  // Equation 12: Q_{i+1} = Q_i + C_e * sum_t w'(t) * t-hat. Existing terms
+  // get their weight bumped; new terms are appended.
+  text::QueryVector next = current;
+  for (const auto& [term, w] : term_weights) {
+    next.AddWeight(term, options.expansion * w);
+  }
+  return next;
+}
+
+}  // namespace orx::reform

@@ -1,0 +1,61 @@
+#ifndef ORX_REFORMULATE_CONTENT_REFORMULATOR_H_
+#define ORX_REFORMULATE_CONTENT_REFORMULATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explain/explaining_subgraph.h"
+#include "text/corpus.h"
+#include "text/query.h"
+
+namespace orx::reform {
+
+/// Knobs of the content-based reformulation (Section 5.1).
+struct ContentOptions {
+  /// Decay factor C_d of Equation 11 (weight falls off with distance from
+  /// the feedback object); the paper sets 0.5, after XRANK.
+  double decay = 0.5;
+
+  /// Expansion factor C_e of Equation 12, scaling new term weights (and
+  /// weight increments of existing terms). 0 disables content
+  /// reformulation entirely.
+  double expansion = 0.5;
+
+  /// Number of top-weighted expansion terms Z added to the query.
+  int top_terms = 5;
+};
+
+/// Raw expansion-term weights w'(t) of Equation 11 for one feedback
+/// object's explaining subgraph: each term contained in a subgraph node
+/// v_k accumulates (C_d)^{D(v_k)} * (adjusted out-flow of v_k); for the
+/// target itself the "out-flow" is d * (adjusted in-flow), since the
+/// target's outgoing flow is not part of G_v^Q. Stopwords never appear
+/// (the corpus drops them at indexing time).
+///
+/// Returns (term string, weight) pairs, unordered, one entry per distinct
+/// term.
+std::vector<std::pair<std::string, double>> ExpansionTermWeights(
+    const explain::ExplainingSubgraph& subgraph, const text::Corpus& corpus,
+    double damping, const ContentOptions& options);
+
+/// Aggregates per-feedback-object weight maps with summation
+/// (Equation 14); min/max/avg variants live in reformulator.h's
+/// AggregateKind.
+std::vector<std::pair<std::string, double>> SumTermWeights(
+    const std::vector<std::vector<std::pair<std::string, double>>>& per_object);
+
+/// Applies Section 5.1 end to end: selects the top-Z terms by weight,
+/// normalizes them against the current query vector (the three-step
+/// procedure: scale so the heaviest expansion term weighs as much as the
+/// average current term), and produces the reformulated query vector of
+/// Equation 12. With options.expansion == 0 the query is returned
+/// unchanged.
+text::QueryVector ReformulateContent(
+    const text::QueryVector& current,
+    std::vector<std::pair<std::string, double>> term_weights,
+    const ContentOptions& options);
+
+}  // namespace orx::reform
+
+#endif  // ORX_REFORMULATE_CONTENT_REFORMULATOR_H_

@@ -1,0 +1,74 @@
+#include "reformulate/structure_reformulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace orx::reform {
+
+std::vector<double> EdgeTypeFlows(const explain::ExplainingSubgraph& subgraph,
+                                  size_t num_slots) {
+  std::vector<double> flows(num_slots, 0.0);
+  for (const explain::ExplainEdge& e : subgraph.edges()) {
+    ORX_DCHECK(e.rate_index < num_slots);
+    flows[e.rate_index] += e.adjusted_flow;
+  }
+  return flows;
+}
+
+std::vector<double> SumEdgeTypeFlows(
+    const std::vector<std::vector<double>>& per_object) {
+  std::vector<double> sum;
+  for (const auto& flows : per_object) {
+    if (sum.empty()) sum.assign(flows.size(), 0.0);
+    ORX_CHECK(sum.size() == flows.size());
+    for (size_t i = 0; i < flows.size(); ++i) sum[i] += flows[i];
+  }
+  return sum;
+}
+
+graph::TransferRates ReformulateStructure(const graph::SchemaGraph& schema,
+                                          const graph::TransferRates& current,
+                                          std::vector<double> edge_type_flows,
+                                          const StructureOptions& options) {
+  ORX_CHECK(edge_type_flows.size() == schema.num_rate_slots());
+  if (options.adjustment <= 0.0) return current;
+
+  // Step 1: F-hat = F / max(F). All-zero flows carry no signal.
+  const double max_flow =
+      *std::max_element(edge_type_flows.begin(), edge_type_flows.end());
+  if (max_flow <= 0.0) return current;
+  for (double& f : edge_type_flows) f /= max_flow;
+
+  // Step 2 (Equation 13): boost each slot by its normalized flow share.
+  graph::TransferRates next = current;
+  for (uint32_t slot = 0; slot < next.num_slots(); ++slot) {
+    next.set_slot(slot, (1.0 + options.adjustment * edge_type_flows[slot]) *
+                            next.slot(slot));
+  }
+
+  // Step 3: rescale so the largest rate is 1.
+  double max_rate = 0.0;
+  for (uint32_t slot = 0; slot < next.num_slots(); ++slot) {
+    max_rate = std::max(max_rate, next.slot(slot));
+  }
+  if (max_rate > 0.0) {
+    for (uint32_t slot = 0; slot < next.num_slots(); ++slot) {
+      next.set_slot(slot, next.slot(slot) / max_rate);
+    }
+  }
+
+  // Step 4: rescale globally so every node type's outgoing sum is <= 1.
+  double max_sum = 0.0;
+  for (graph::TypeId t = 0; t < schema.num_node_types(); ++t) {
+    max_sum = std::max(max_sum, next.OutgoingSum(schema, t));
+  }
+  if (max_sum > 1.0) {
+    for (uint32_t slot = 0; slot < next.num_slots(); ++slot) {
+      next.set_slot(slot, next.slot(slot) / max_sum);
+    }
+  }
+  return next;
+}
+
+}  // namespace orx::reform

@@ -1,0 +1,52 @@
+#ifndef ORX_REFORMULATE_STRUCTURE_REFORMULATOR_H_
+#define ORX_REFORMULATE_STRUCTURE_REFORMULATOR_H_
+
+#include <vector>
+
+#include "explain/explaining_subgraph.h"
+#include "graph/schema_graph.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::reform {
+
+/// Knobs of the structure-based reformulation (Section 5.2).
+struct StructureOptions {
+  /// Authority-transfer-rate adjustment factor C_f of Equation 13
+  /// (typically 0.5; Figure 11 sweeps {0.1, 0.3, 0.5, 0.7, 0.9}).
+  /// 0 disables structure reformulation entirely.
+  double adjustment = 0.5;
+};
+
+/// The per-edge-type-direction flow aggregate F(e_G) of Equation 13 for
+/// one feedback object: the sum of adjusted (explaining) flows over
+/// subgraph edges of each rate slot. The result vector is indexed by
+/// RateIndex(etype, dir) and has `num_slots` entries.
+std::vector<double> EdgeTypeFlows(const explain::ExplainingSubgraph& subgraph,
+                                  size_t num_slots);
+
+/// Element-wise sum of per-feedback-object flow vectors (Equation 15).
+std::vector<double> SumEdgeTypeFlows(
+    const std::vector<std::vector<double>>& per_object);
+
+/// Applies Section 5.2 end to end and returns the reformulated rates:
+///
+///  1. normalize F by its maximum (so max F-hat == 1);
+///  2. alpha'(s) = (1 + C_f * F-hat(s)) * alpha(s)     (Equation 13);
+///  3. normalize alpha' by its maximum (so max rate == 1);
+///  4. divide every rate by the largest per-node-type outgoing sum if it
+///     exceeds 1 (ObjectRank2 convergence requires per-type sums <= 1).
+///
+/// Steps 3-4 are global rescalings — this exact pipeline reproduces the
+/// worked Example 2: rates [0.7, 0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1] become
+/// [0.67, 0, 0.24, 0.16, 0.24, 0.24, 0.24, 0.08].
+///
+/// With options.adjustment == 0 or an all-zero F, `current` is returned
+/// unchanged (a no-signal feedback round must not perturb the rates).
+graph::TransferRates ReformulateStructure(const graph::SchemaGraph& schema,
+                                          const graph::TransferRates& current,
+                                          std::vector<double> edge_type_flows,
+                                          const StructureOptions& options);
+
+}  // namespace orx::reform
+
+#endif  // ORX_REFORMULATE_STRUCTURE_REFORMULATOR_H_

@@ -1,0 +1,85 @@
+#include "text/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orx::text {
+namespace {
+
+double Idf(const Corpus& corpus, TermId t) {
+  // Smoothed RSJ idf (the BM25+ style ln(1 + .) form): strictly positive
+  // and monotone decreasing in df, so every base-set member keeps a valid
+  // jump probability even for terms occurring in most documents.
+  const double n = static_cast<double>(corpus.num_docs());
+  const double df = static_cast<double>(corpus.Df(t));
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double TfFactor(const Corpus& corpus, graph::NodeId v, uint32_t tf,
+                const Bm25Params& params) {
+  const double dl = static_cast<double>(corpus.DocLengthChars(v));
+  const double avdl = std::max(corpus.avdl(), 1.0);
+  const double k = params.k1 * ((1.0 - params.b) + params.b * dl / avdl);
+  return ((params.k1 + 1.0) * tf) / (k + tf);
+}
+
+}  // namespace
+
+double DocTermWeight(const Corpus& corpus, graph::NodeId v, TermId t,
+                     const Bm25Params& params) {
+  const uint32_t tf = corpus.Tf(v, t);
+  if (tf == 0) return 0.0;
+  return Idf(corpus, t) * TfFactor(corpus, v, tf, params);
+}
+
+double QueryTermFactor(double qtf, const Bm25Params& params) {
+  if (qtf <= 0.0) return 0.0;
+  return ((params.k3 + 1.0) * qtf) / (params.k3 + qtf);
+}
+
+double IRScore(const Corpus& corpus, graph::NodeId v, const QueryVector& query,
+               const Bm25Params& params) {
+  double score = 0.0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    auto term = corpus.TermIdOf(query.terms()[i]);
+    if (!term.has_value()) continue;
+    score += QueryTermFactor(query.weights()[i], params) *
+             DocTermWeight(corpus, v, *term, params);
+  }
+  return score;
+}
+
+std::vector<std::pair<graph::NodeId, double>> ScoreBaseSet(
+    const Corpus& corpus, const QueryVector& query, const Bm25Params& params) {
+  // Accumulate scores term-at-a-time over the inverted lists; documents are
+  // deduplicated with a sort-merge at the end (base sets are small relative
+  // to the corpus, so a dense accumulator would waste the common case).
+  std::vector<std::pair<graph::NodeId, double>> acc;
+  for (size_t i = 0; i < query.size(); ++i) {
+    auto term = corpus.TermIdOf(query.terms()[i]);
+    if (!term.has_value()) continue;
+    const double qfactor = QueryTermFactor(query.weights()[i], params);
+    const double idf = Idf(corpus, *term);
+    for (const Posting& p : corpus.Postings(*term)) {
+      acc.emplace_back(p.doc, qfactor * idf * TfFactor(corpus, p.doc, p.tf,
+                                                       params));
+    }
+  }
+  std::sort(acc.begin(), acc.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<graph::NodeId, double>> out;
+  out.reserve(acc.size());
+  for (size_t i = 0; i < acc.size();) {
+    size_t j = i;
+    double sum = 0.0;
+    while (j < acc.size() && acc[j].first == acc[i].first) {
+      sum += acc[j].second;
+      ++j;
+    }
+    out.emplace_back(acc[i].first, sum);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace orx::text

@@ -1,0 +1,54 @@
+#ifndef ORX_TEXT_BM25_H_
+#define ORX_TEXT_BM25_H_
+
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/query.h"
+
+namespace orx::text {
+
+/// Okapi BM25 constants (Equation 3). The paper's stated ranges: k1 in
+/// [1.0, 2.0], b usually 0.75, k3 in [0, 1000].
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+  double k3 = 8.0;
+};
+
+/// The Okapi document-side term weight W(v, t) of Equation 3 (without the
+/// query-frequency factor, which QueryVector supplies):
+///
+///   W(v,t) = ln(1 + (n - df + 0.5) / (df + 0.5)) * ((k1 + 1) tf) / (K + tf)
+///   K      = k1 * ((1 - b) + b * dl / avdl)
+///
+/// The idf factor uses the smoothed ln(1 + .) form so weights are strictly
+/// positive for any matching term — base set entries must be valid jump
+/// probabilities (Section 3 normalizes them to sum to one), which the raw
+/// RSJ idf (negative for terms in more than half the documents) would
+/// break.
+double DocTermWeight(const Corpus& corpus, graph::NodeId v, TermId t,
+                     const Bm25Params& params = {});
+
+/// The query-side factor ((k3 + 1) qtf) / (k3 + qtf) of Equation 3, where
+/// `qtf` is the query-vector weight of the term. For the initial query
+/// (all weights 1) this is 1.
+double QueryTermFactor(double qtf, const Bm25Params& params = {});
+
+/// IRScore(v, Q) = v . Q (Equation 2): the dot product of the document
+/// vector [W(v,t1), ...] with the query vector, with each term scaled by
+/// its query factor. Terms absent from the corpus or the document add 0.
+double IRScore(const Corpus& corpus, graph::NodeId v, const QueryVector& query,
+               const Bm25Params& params = {});
+
+/// Scores every document containing at least one query term; the result
+/// has one entry per such document (the base set S(Q)), unordered.
+/// Documents whose score is 0 (e.g. all idfs clamped) are still included,
+/// matching the paper's definition of S(Q) by containment.
+std::vector<std::pair<graph::NodeId, double>> ScoreBaseSet(
+    const Corpus& corpus, const QueryVector& query,
+    const Bm25Params& params = {});
+
+}  // namespace orx::text
+
+#endif  // ORX_TEXT_BM25_H_

@@ -1,0 +1,112 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "text/tokenizer.h"
+
+namespace orx::text {
+
+Corpus Corpus::Build(const graph::DataGraph& data,
+                     const CorpusOptions& options) {
+  Corpus corpus;
+  const size_t n = data.num_nodes();
+  corpus.doc_lengths_.resize(n, 0);
+  corpus.doc_terms_offsets_.assign(n + 1, 0);
+
+  // Pass 1: tokenize every document, assign term ids, build the forward
+  // index, and accumulate document frequencies.
+  std::vector<uint32_t> dfs;
+  uint64_t total_chars = 0;
+  std::vector<std::pair<TermId, uint32_t>> doc_counts;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    std::string text = data.Text(v);
+    if (options.include_attribute_names) {
+      for (const graph::Attribute& a : data.Attributes(v)) {
+        if (a.name.empty()) continue;
+        if (!text.empty()) text += ' ';
+        text += a.name;
+      }
+    }
+    corpus.doc_lengths_[v] = static_cast<uint32_t>(text.size());
+    total_chars += text.size();
+
+    doc_counts.clear();
+    for (const std::string& token : TokenizeForIndex(text)) {
+      auto [it, inserted] = corpus.term_ids_.try_emplace(
+          token, static_cast<TermId>(corpus.term_strings_.size()));
+      if (inserted) {
+        corpus.term_strings_.push_back(token);
+        dfs.push_back(0);
+      }
+      doc_counts.emplace_back(it->second, 1);
+    }
+    // Collapse duplicate terms into (term, tf) pairs.
+    std::sort(doc_counts.begin(), doc_counts.end());
+    size_t unique = 0;
+    for (size_t i = 0; i < doc_counts.size();) {
+      size_t j = i;
+      uint32_t tf = 0;
+      while (j < doc_counts.size() &&
+             doc_counts[j].first == doc_counts[i].first) {
+        tf += doc_counts[j].second;
+        ++j;
+      }
+      doc_counts[unique++] = {doc_counts[i].first, tf};
+      i = j;
+    }
+    doc_counts.resize(unique);
+
+    for (const auto& [term, tf] : doc_counts) {
+      corpus.doc_terms_.push_back(DocTerm{term, tf});
+      ++dfs[term];
+    }
+    corpus.doc_terms_offsets_[v + 1] = corpus.doc_terms_.size();
+  }
+  corpus.avdl_ =
+      n == 0 ? 0.0 : static_cast<double>(total_chars) / static_cast<double>(n);
+
+  // Pass 2: invert the forward index into per-term postings (CSR).
+  const size_t vocab = corpus.term_strings_.size();
+  corpus.postings_offsets_.assign(vocab + 1, 0);
+  for (TermId t = 0; t < vocab; ++t) {
+    corpus.postings_offsets_[t + 1] = corpus.postings_offsets_[t] + dfs[t];
+  }
+  corpus.postings_.resize(corpus.doc_terms_.size());
+  std::vector<uint64_t> cursor(corpus.postings_offsets_.begin(),
+                               corpus.postings_offsets_.end() - 1);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (const DocTerm& dt : corpus.DocTerms(v)) {
+      corpus.postings_[cursor[dt.term]++] = Posting{v, dt.tf};
+    }
+  }
+  for (TermId t = 0; t < vocab; ++t) {
+    ORX_DCHECK(cursor[t] == corpus.postings_offsets_[t + 1]);
+  }
+  return corpus;
+}
+
+std::optional<TermId> Corpus::TermIdOf(std::string_view term) const {
+  auto it = term_ids_.find(std::string(term));
+  if (it == term_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t Corpus::Tf(graph::NodeId v, TermId t) const {
+  for (const DocTerm& dt : DocTerms(v)) {
+    if (dt.term == t) return dt.tf;
+  }
+  return 0;
+}
+
+size_t Corpus::MemoryFootprintBytes() const {
+  size_t bytes = doc_lengths_.size() * sizeof(uint32_t) +
+                 postings_.size() * sizeof(Posting) +
+                 doc_terms_.size() * sizeof(DocTerm) +
+                 (postings_offsets_.size() + doc_terms_offsets_.size()) *
+                     sizeof(uint64_t);
+  for (const std::string& s : term_strings_) bytes += s.size() + sizeof(s);
+  return bytes;
+}
+
+}  // namespace orx::text

@@ -1,0 +1,124 @@
+#ifndef ORX_TEXT_CORPUS_H_
+#define ORX_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace orx::text {
+
+/// Identifier of an indexed term.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// One inverted-list entry: document (data-graph node) and term frequency.
+struct Posting {
+  graph::NodeId doc;
+  uint32_t tf;
+};
+
+/// One forward-index entry: term of a document and its frequency.
+struct DocTerm {
+  TermId term;
+  uint32_t tf;
+};
+
+/// Indexing options.
+struct CorpusOptions {
+  /// Include attribute *names* in each node's keyword set, the richer
+  /// semantics Section 2 mentions ("the metadata 'Forum', 'Year',
+  /// 'Location' could be included in the keywords of a node"): a query
+  /// for [location birmingham] then matches Year nodes by metadata.
+  bool include_attribute_names = false;
+};
+
+/// Full-text statistics over a data graph, treating every node as a
+/// document (its concatenated attribute values, per Section 2). Provides
+/// everything Okapi BM25 (Equation 3) needs — tf, df, dl (in characters,
+/// as the paper specifies), avdl, n — plus:
+///  * an inverted index term -> postings, used to enumerate the base set
+///    S(Q) (nodes containing at least one query keyword), and
+///  * a forward index node -> terms, used by content-based reformulation
+///    to collect expansion terms from explaining-subgraph nodes.
+///
+/// Corpus is immutable after Build().
+class Corpus {
+ public:
+  /// Indexes every node of `data`. O(total text size).
+  static Corpus Build(const graph::DataGraph& data,
+                      const CorpusOptions& options = CorpusOptions());
+
+  /// Number of indexed documents n (== data.num_nodes()).
+  size_t num_docs() const { return doc_lengths_.size(); }
+
+  /// Number of distinct indexed terms.
+  size_t vocab_size() const { return term_strings_.size(); }
+
+  /// Average document length in characters (avdl of Equation 3).
+  double avdl() const { return avdl_; }
+
+  /// Length of document `v` in characters (dl of Equation 3).
+  uint32_t DocLengthChars(graph::NodeId v) const { return doc_lengths_[v]; }
+
+  /// TermId of `term` (already normalized/lowercased), or nullopt if the
+  /// term does not occur in the corpus.
+  std::optional<TermId> TermIdOf(std::string_view term) const;
+
+  /// The string of a term id. Pre: valid id.
+  const std::string& TermString(TermId t) const { return term_strings_[t]; }
+
+  /// Document frequency of a term (df of Equation 3). Pre: valid id.
+  uint32_t Df(TermId t) const {
+    return postings_offsets_[t + 1] - postings_offsets_[t];
+  }
+
+  /// Inverted list of `t`, ordered by ascending document id.
+  std::span<const Posting> Postings(TermId t) const {
+    return {postings_.data() + postings_offsets_[t],
+            postings_offsets_[t + 1] - postings_offsets_[t]};
+  }
+
+  /// Terms of document `v` with frequencies (forward index).
+  std::span<const DocTerm> DocTerms(graph::NodeId v) const {
+    return {doc_terms_.data() + doc_terms_offsets_[v],
+            doc_terms_offsets_[v + 1] - doc_terms_offsets_[v]};
+  }
+
+  /// Term frequency of `t` in `v`; 0 if absent. O(|DocTerms(v)|).
+  uint32_t Tf(graph::NodeId v, TermId t) const;
+
+  /// True if document `v` contains term `t`.
+  bool DocContains(graph::NodeId v, TermId t) const { return Tf(v, t) > 0; }
+
+  /// Approximate in-memory footprint in bytes.
+  size_t MemoryFootprintBytes() const;
+
+ private:
+  Corpus() = default;
+
+  std::vector<uint32_t> doc_lengths_;
+  double avdl_ = 0.0;
+
+  std::vector<std::string> term_strings_;
+  std::unordered_map<std::string, TermId> term_ids_;
+
+  // Inverted index (CSR): postings of term t live in
+  // [postings_offsets_[t], postings_offsets_[t+1]).
+  std::vector<uint64_t> postings_offsets_;
+  std::vector<Posting> postings_;
+
+  // Forward index (CSR): terms of doc v live in
+  // [doc_terms_offsets_[v], doc_terms_offsets_[v+1]).
+  std::vector<uint64_t> doc_terms_offsets_;
+  std::vector<DocTerm> doc_terms_;
+};
+
+}  // namespace orx::text
+
+#endif  // ORX_TEXT_CORPUS_H_

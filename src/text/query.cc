@@ -1,0 +1,81 @@
+#include "text/query.h"
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace orx::text {
+
+Query ParseQuery(std::string_view text) {
+  Query query;
+  for (const std::string& token : Tokenize(text)) query.push_back(token);
+  return query;
+}
+
+QueryVector::QueryVector(const Query& query) {
+  for (const std::string& raw : query) {
+    std::string term = NormalizeTerm(raw);
+    if (term.empty()) continue;
+    if (Contains(term)) continue;  // duplicate keywords collapse to one slot
+    terms_.push_back(std::move(term));
+    weights_.push_back(1.0);
+  }
+}
+
+int QueryVector::IndexOf(std::string_view term) const {
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i] == term) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void QueryVector::AddWeight(const std::string& term, double delta) {
+  int idx = IndexOf(term);
+  if (idx >= 0) {
+    weights_[idx] += delta;
+  } else {
+    terms_.push_back(term);
+    weights_.push_back(delta);
+  }
+}
+
+void QueryVector::SetWeight(const std::string& term, double weight) {
+  int idx = IndexOf(term);
+  if (idx >= 0) {
+    weights_[idx] = weight;
+  } else {
+    terms_.push_back(term);
+    weights_.push_back(weight);
+  }
+}
+
+double QueryVector::Weight(std::string_view term) const {
+  int idx = IndexOf(term);
+  return idx >= 0 ? weights_[idx] : 0.0;
+}
+
+bool QueryVector::Contains(std::string_view term) const {
+  return IndexOf(term) >= 0;
+}
+
+double QueryVector::AverageWeight() const {
+  if (weights_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double w : weights_) sum += w;
+  return sum / static_cast<double>(weights_.size());
+}
+
+void QueryVector::Scale(double factor) {
+  for (double& w : weights_) w *= factor;
+}
+
+std::string QueryVector::ToString() const {
+  std::string out = "[" + StrJoin(terms_, ", ") + "] = [";
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(weights_[i], 2);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace orx::text

@@ -1,0 +1,66 @@
+#ifndef ORX_TEXT_QUERY_H_
+#define ORX_TEXT_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orx::text {
+
+/// A keyword query Q = [t1, ..., tm] (Section 3). The paper uses a tuple,
+/// not a set: order matters once the weighted base set is introduced.
+using Query = std::vector<std::string>;
+
+/// Parses "olap data cube" into a normalized Query (lowercased, empties
+/// dropped).
+Query ParseQuery(std::string_view text);
+
+/// The query vector Q = [w1, ..., wm]: each query keyword paired with a
+/// weight (Section 3). The initial vector for a fresh query has all
+/// weights 1; content-based reformulation (Section 5.1, Equation 12)
+/// appends expansion terms and rescales weights.
+class QueryVector {
+ public:
+  QueryVector() = default;
+
+  /// Builds the initial vector for `query` with every weight = 1.
+  explicit QueryVector(const Query& query);
+
+  /// Adds `delta` to the weight of `term`, inserting it (at the back, so
+  /// term order is preserved) if absent.
+  void AddWeight(const std::string& term, double delta);
+
+  /// Sets the weight of `term`, inserting if absent.
+  void SetWeight(const std::string& term, double weight);
+
+  /// Weight of `term`; 0 if absent.
+  double Weight(std::string_view term) const;
+
+  /// True if the term has an entry.
+  bool Contains(std::string_view term) const;
+
+  /// Average of the present term weights; 0 for an empty vector. Used by
+  /// the Section 5.1 expansion-weight normalization.
+  double AverageWeight() const;
+
+  /// Multiplies every weight by `factor`.
+  void Scale(double factor);
+
+  const std::vector<std::string>& terms() const { return terms_; }
+  const std::vector<double>& weights() const { return weights_; }
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Renders "[olap, cubes] = [2.00, 0.99]" for diagnostics/examples.
+  std::string ToString() const;
+
+ private:
+  int IndexOf(std::string_view term) const;
+
+  std::vector<std::string> terms_;
+  std::vector<double> weights_;
+};
+
+}  // namespace orx::text
+
+#endif  // ORX_TEXT_QUERY_H_

@@ -1,0 +1,42 @@
+#include "text/stopwords.h"
+
+#include <string_view>
+#include <unordered_set>
+
+namespace orx::text {
+namespace {
+
+constexpr std::string_view kStopwords[] = {
+    "a",     "about", "above", "after",  "again", "all",   "an",    "and",
+    "any",   "are",   "as",    "at",     "be",    "been",  "before", "being",
+    "below", "between", "both", "but",   "by",    "can",   "did",   "do",
+    "does",  "doing", "down",  "during", "each",  "few",   "for",   "from",
+    "further", "had", "has",   "have",   "having", "he",   "her",   "here",
+    "hers",  "him",   "his",   "how",    "i",     "if",    "in",    "into",
+    "is",    "it",    "its",   "just",   "me",    "more",  "most",  "my",
+    "no",    "nor",   "not",   "now",    "of",    "off",   "on",    "once",
+    "only",  "or",    "other", "our",    "ours",  "out",   "over",  "own",
+    "same",  "she",   "so",    "some",   "such",  "than",  "that",  "the",
+    "their", "them",  "then",  "there",  "these", "they",  "this",  "those",
+    "through", "to",  "too",   "under",  "until", "up",    "very",  "was",
+    "we",    "were",  "what",  "when",   "where", "which", "while", "who",
+    "whom",  "why",   "will",  "with",   "you",   "your",  "yours",
+};
+
+const std::unordered_set<std::string_view>& StopwordSet() {
+  static const auto& set = *new std::unordered_set<std::string_view>(
+      std::begin(kStopwords), std::end(kStopwords));
+  return set;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view term) {
+  return StopwordSet().count(term) > 0;
+}
+
+int StopwordCount() {
+  return static_cast<int>(std::size(kStopwords));
+}
+
+}  // namespace orx::text

@@ -1,0 +1,19 @@
+#ifndef ORX_TEXT_STOPWORDS_H_
+#define ORX_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace orx::text {
+
+/// True if `term` (already lowercased) is an English stopword. The list is
+/// the classic short IR stopword list; Section 5.1 of the paper ignores
+/// stopwords when selecting expansion terms, and the corpus drops them at
+/// indexing time.
+bool IsStopword(std::string_view term);
+
+/// Number of entries in the built-in stopword list (for tests).
+int StopwordCount();
+
+}  // namespace orx::text
+
+#endif  // ORX_TEXT_STOPWORDS_H_

@@ -1,0 +1,55 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "text/stopwords.h"
+
+namespace orx::text {
+namespace {
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+char ToLower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsTokenChar(c)) {
+      current.push_back(ToLower(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> TokenizeForIndex(std::string_view text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (t.size() <= 1) continue;
+    if (IsStopword(t)) continue;
+    kept.push_back(std::move(t));
+  }
+  return kept;
+}
+
+std::string NormalizeTerm(std::string_view term) {
+  std::string out;
+  for (char c : term) {
+    if (IsTokenChar(c)) out.push_back(ToLower(c));
+  }
+  return out;
+}
+
+}  // namespace orx::text

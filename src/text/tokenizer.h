@@ -1,0 +1,25 @@
+#ifndef ORX_TEXT_TOKENIZER_H_
+#define ORX_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orx::text {
+
+/// Splits `text` into lowercase keyword tokens. A token is a maximal run
+/// of ASCII alphanumeric characters; everything else separates tokens.
+/// "Data Cube: A Relational..." -> {"data", "cube", "a", "relational", ...}.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Like Tokenize but drops stopwords (see stopwords.h) and single-character
+/// tokens; this is what the corpus indexes.
+std::vector<std::string> TokenizeForIndex(std::string_view text);
+
+/// Normalizes a single query keyword: lowercased, non-alphanumerics
+/// stripped. Returns "" if nothing remains.
+std::string NormalizeTerm(std::string_view term);
+
+}  // namespace orx::text
+
+#endif  // ORX_TEXT_TOKENIZER_H_

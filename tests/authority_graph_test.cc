@@ -1,0 +1,159 @@
+#include "graph/authority_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/dblp_schema.h"
+#include "graph/data_graph.h"
+
+namespace orx::graph {
+namespace {
+
+class AuthorityGraphTest : public ::testing::Test {
+ protected:
+  AuthorityGraphTest() : schema_(datasets::MakeDblpSchema(&types_)) {}
+
+  datasets::DblpTypes types_;
+  std::unique_ptr<SchemaGraph> schema_;
+};
+
+TEST_F(AuthorityGraphTest, EveryDataEdgeYieldsTwoAuthorityEdges) {
+  DataGraph data(*schema_);
+  NodeId p1 = *data.AddNode(types_.paper, {});
+  NodeId p2 = *data.AddNode(types_.paper, {});
+  NodeId a = *data.AddNode(types_.author, {});
+  ASSERT_TRUE(data.AddEdge(p1, p2, types_.cites).ok());
+  ASSERT_TRUE(data.AddEdge(p1, a, types_.by).ok());
+
+  AuthorityGraph g = AuthorityGraph::Build(data);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);  // 2 data edges * 2 directions
+
+  // p1 has two outgoing: forward cites to p2 and forward by to a.
+  auto out_p1 = g.OutEdges(p1);
+  ASSERT_EQ(out_p1.size(), 2u);
+  // p2 has one outgoing: the backward cites edge to p1.
+  auto out_p2 = g.OutEdges(p2);
+  ASSERT_EQ(out_p2.size(), 1u);
+  EXPECT_EQ(out_p2[0].target, p1);
+  EXPECT_EQ(out_p2[0].rate_index,
+            RateIndex(types_.cites, Direction::kBackward));
+  // a has one outgoing: the backward by edge to p1.
+  auto out_a = g.OutEdges(a);
+  ASSERT_EQ(out_a.size(), 1u);
+  EXPECT_EQ(out_a[0].target, p1);
+}
+
+TEST_F(AuthorityGraphTest, OutDegreeNormalizationPerEdgeType) {
+  // p0 cites p1 and p2 -> each forward cites edge carries 1/2; the by edge
+  // is normalized independently (Equation 1 counts per edge type).
+  DataGraph data(*schema_);
+  NodeId p0 = *data.AddNode(types_.paper, {});
+  NodeId p1 = *data.AddNode(types_.paper, {});
+  NodeId p2 = *data.AddNode(types_.paper, {});
+  NodeId a = *data.AddNode(types_.author, {});
+  ASSERT_TRUE(data.AddEdge(p0, p1, types_.cites).ok());
+  ASSERT_TRUE(data.AddEdge(p0, p2, types_.cites).ok());
+  ASSERT_TRUE(data.AddEdge(p0, a, types_.by).ok());
+
+  AuthorityGraph g = AuthorityGraph::Build(data);
+  for (const AuthorityEdge& e : g.OutEdges(p0)) {
+    if (e.rate_index == RateIndex(types_.cites, Direction::kForward)) {
+      EXPECT_FLOAT_EQ(e.inv_out_deg, 0.5f);
+    } else {
+      EXPECT_EQ(e.rate_index, RateIndex(types_.by, Direction::kForward));
+      EXPECT_FLOAT_EQ(e.inv_out_deg, 1.0f);
+    }
+  }
+}
+
+TEST_F(AuthorityGraphTest, BackwardNormalizationUsesInDegree) {
+  // Both p1 and p2 cite p0: p0's backward cites out-degree is 2.
+  DataGraph data(*schema_);
+  NodeId p0 = *data.AddNode(types_.paper, {});
+  NodeId p1 = *data.AddNode(types_.paper, {});
+  NodeId p2 = *data.AddNode(types_.paper, {});
+  ASSERT_TRUE(data.AddEdge(p1, p0, types_.cites).ok());
+  ASSERT_TRUE(data.AddEdge(p2, p0, types_.cites).ok());
+
+  AuthorityGraph g = AuthorityGraph::Build(data);
+  auto out_p0 = g.OutEdges(p0);
+  ASSERT_EQ(out_p0.size(), 2u);
+  for (const AuthorityEdge& e : out_p0) {
+    EXPECT_EQ(e.rate_index, RateIndex(types_.cites, Direction::kBackward));
+    EXPECT_FLOAT_EQ(e.inv_out_deg, 0.5f);
+  }
+}
+
+TEST_F(AuthorityGraphTest, EdgeRateResolvesAgainstRates) {
+  DataGraph data(*schema_);
+  NodeId p0 = *data.AddNode(types_.paper, {});
+  NodeId p1 = *data.AddNode(types_.paper, {});
+  ASSERT_TRUE(data.AddEdge(p0, p1, types_.cites).ok());
+  AuthorityGraph g = AuthorityGraph::Build(data);
+
+  TransferRates rates = datasets::DblpGroundTruthRates(*schema_, types_);
+  auto out = g.OutEdges(p0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AuthorityGraph::EdgeRate(out[0], rates), 0.7);
+  // The same index under different rates yields a different rate — no
+  // rebuild needed.
+  TransferRates uniform(*schema_, 0.3);
+  EXPECT_DOUBLE_EQ(AuthorityGraph::EdgeRate(out[0], uniform), 0.3);
+}
+
+TEST_F(AuthorityGraphTest, InEdgesMirrorOutEdges) {
+  // Property: on a random graph, every out-edge (u -> v) appears exactly
+  // once among v's in-edges with identical annotations.
+  DataGraph data(*schema_);
+  Rng rng(11);
+  std::vector<NodeId> papers;
+  for (int i = 0; i < 30; ++i) {
+    papers.push_back(*data.AddNode(types_.paper, {}));
+  }
+  for (int i = 1; i < 30; ++i) {
+    const NodeId target = papers[rng.UniformInt(uint64_t(i))];
+    if (target != papers[i]) {
+      ASSERT_TRUE(data.AddEdge(papers[i], target, types_.cites).ok());
+    }
+  }
+  AuthorityGraph g = AuthorityGraph::Build(data);
+
+  size_t total_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) total_in += g.InEdges(v).size();
+  EXPECT_EQ(total_in, g.num_edges());
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const AuthorityEdge& e : g.OutEdges(u)) {
+      bool found = false;
+      for (const AuthorityEdge& in : g.InEdges(e.target)) {
+        if (in.target == u && in.rate_index == e.rate_index &&
+            in.inv_out_deg == e.inv_out_deg) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "missing mirror for edge " << u << " -> "
+                         << e.target;
+    }
+  }
+}
+
+TEST_F(AuthorityGraphTest, EmptyGraph) {
+  DataGraph data(*schema_);
+  AuthorityGraph g = AuthorityGraph::Build(data);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST_F(AuthorityGraphTest, MemoryFootprintPositive) {
+  DataGraph data(*schema_);
+  NodeId p0 = *data.AddNode(types_.paper, {});
+  NodeId p1 = *data.AddNode(types_.paper, {});
+  ASSERT_TRUE(data.AddEdge(p0, p1, types_.cites).ok());
+  AuthorityGraph g = AuthorityGraph::Build(data);
+  EXPECT_GT(g.MemoryFootprintBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace orx::graph

@@ -1,0 +1,118 @@
+#include "core/base_set.h"
+
+#include <gtest/gtest.h>
+
+namespace orx::core {
+namespace {
+
+class BaseSetTest : public ::testing::Test {
+ protected:
+  BaseSetTest() {
+    paper_ = *schema_.AddNodeType("Paper");
+    data_ = std::make_unique<graph::DataGraph>(schema_);
+    d0_ = *data_->AddNode(paper_, {{"Title", "olap index selection"}});
+    d1_ = *data_->AddNode(paper_, {{"Title", "olap olap range queries"}});
+    d2_ = *data_->AddNode(paper_, {{"Title", "unrelated warehouse design"}});
+    corpus_ = std::make_unique<text::Corpus>(text::Corpus::Build(*data_));
+  }
+
+  graph::SchemaGraph schema_;
+  graph::TypeId paper_;
+  std::unique_ptr<graph::DataGraph> data_;
+  graph::NodeId d0_, d1_, d2_;
+  std::unique_ptr<text::Corpus> corpus_;
+};
+
+TEST_F(BaseSetTest, MembershipByKeywordContainment) {
+  text::QueryVector q(text::Query{"olap"});
+  auto base = BuildBaseSet(*corpus_, q);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->size(), 2u);
+  EXPECT_EQ(base->entries[0].first, d0_);
+  EXPECT_EQ(base->entries[1].first, d1_);
+}
+
+TEST_F(BaseSetTest, WeightsSumToOne) {
+  text::QueryVector q(text::Query{"olap", "warehouse"});
+  auto base = BuildBaseSet(*corpus_, q);
+  ASSERT_TRUE(base.ok());
+  EXPECT_NEAR(base->WeightSum(), 1.0, 1e-12);
+  for (const auto& [node, w] : base->entries) EXPECT_GT(w, 0.0);
+}
+
+TEST_F(BaseSetTest, IrWeightingFavorsHigherTf) {
+  text::QueryVector q(text::Query{"olap"});
+  auto base = BuildBaseSet(*corpus_, q, BaseSetMode::kIrWeighted);
+  ASSERT_TRUE(base.ok());
+  // d1 has tf=2 vs d0 tf=1 (and d1 is longer; BM25 tf factor still wins).
+  double w0 = 0, w1 = 0;
+  for (const auto& [node, w] : base->entries) {
+    if (node == d0_) w0 = w;
+    if (node == d1_) w1 = w;
+  }
+  EXPECT_GT(w1, w0);
+}
+
+TEST_F(BaseSetTest, UniformModeIgnoresScores) {
+  text::QueryVector q(text::Query{"olap"});
+  auto base = BuildBaseSet(*corpus_, q, BaseSetMode::kUniform);
+  ASSERT_TRUE(base.ok());
+  for (const auto& [node, w] : base->entries) {
+    EXPECT_DOUBLE_EQ(w, 0.5);
+  }
+}
+
+TEST_F(BaseSetTest, MissingKeywordsError) {
+  text::QueryVector q(text::Query{"nonexistentterm"});
+  EXPECT_EQ(BuildBaseSet(*corpus_, q).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BaseSetTest, EmptyQueryError) {
+  text::QueryVector q;
+  EXPECT_EQ(BuildBaseSet(*corpus_, q).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BaseSetTest, UbiquitousTermStillYieldsValidProbabilities) {
+  // A term occurring in every document has tiny-but-positive idf (the
+  // smoothed form); the base set must remain a valid distribution, with
+  // BM25's length normalization slightly favoring the shorter document.
+  graph::DataGraph data(schema_);
+  graph::NodeId longer =
+      *data.AddNode(paper_, {{"Title", "shared term alphaaaaaa"}});
+  graph::NodeId shorter =
+      *data.AddNode(paper_, {{"Title", "shared term beta"}});
+  text::Corpus corpus = text::Corpus::Build(data);
+  text::QueryVector q(text::Query{"shared"});
+  auto base = BuildBaseSet(corpus, q, BaseSetMode::kIrWeighted);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->size(), 2u);
+  EXPECT_NEAR(base->WeightSum(), 1.0, 1e-12);
+  double w_long = 0, w_short = 0;
+  for (const auto& [node, w] : base->entries) {
+    if (node == longer) w_long = w;
+    if (node == shorter) w_short = w;
+  }
+  EXPECT_GT(w_short, w_long);
+  EXPECT_GT(w_long, 0.0);
+}
+
+TEST_F(BaseSetTest, GlobalBaseSetIsUniformOverAllNodes) {
+  BaseSet global = GlobalBaseSet(4);
+  ASSERT_EQ(global.size(), 4u);
+  EXPECT_NEAR(global.WeightSum(), 1.0, 1e-12);
+  for (const auto& [node, w] : global.entries) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
+TEST_F(BaseSetTest, SingleTermBaseSet) {
+  auto base = SingleTermBaseSet(*corpus_, "olap");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->size(), 2u);
+  EXPECT_NEAR(base->WeightSum(), 1.0, 1e-12);
+  EXPECT_EQ(SingleTermBaseSet(*corpus_, "zzz").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace orx::core

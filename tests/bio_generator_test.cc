@@ -1,0 +1,115 @@
+#include "datasets/bio_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/conformance.h"
+#include "text/tokenizer.h"
+
+namespace orx::datasets {
+namespace {
+
+TEST(BioGeneratorTest, NodeCountsMatchConfig) {
+  BioGeneratorConfig config = BioGeneratorConfig::Tiny(400, 3);
+  BioDataset bio = GenerateBio(config);
+  EXPECT_EQ(bio.dataset.data().num_nodes(),
+            config.num_pubmed + config.num_genes + config.num_proteins +
+                config.num_nucleotides);
+}
+
+TEST(BioGeneratorTest, ConformsToSchema) {
+  BioDataset bio = GenerateBio(BioGeneratorConfig::Tiny(300, 4));
+  EXPECT_TRUE(
+      graph::CheckConformance(bio.dataset.data(), bio.dataset.schema()).ok());
+}
+
+TEST(BioGeneratorTest, Deterministic) {
+  BioDataset a = GenerateBio(BioGeneratorConfig::Tiny(200, 5));
+  BioDataset b = GenerateBio(BioGeneratorConfig::Tiny(200, 5));
+  EXPECT_EQ(a.dataset.data().num_edges(), b.dataset.data().num_edges());
+}
+
+TEST(BioGeneratorTest, EveryNucleotideLinksGeneAndProtein) {
+  BioDataset bio = GenerateBio(BioGeneratorConfig::Tiny(150, 6));
+  const graph::DataGraph& data = bio.dataset.data();
+  std::vector<int> gene_links(data.num_nodes(), 0);
+  std::vector<int> protein_links(data.num_nodes(), 0);
+  for (const graph::DataEdge& e : data.edges()) {
+    if (e.type == bio.types.nucleotide_gene) ++gene_links[e.from];
+    if (e.type == bio.types.nucleotide_protein) ++protein_links[e.from];
+  }
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.NodeType(v) != bio.types.nucleotide) continue;
+    EXPECT_EQ(gene_links[v], 1);
+    EXPECT_EQ(protein_links[v], 1);
+  }
+}
+
+TEST(BioGeneratorTest, CancerKeywordExists) {
+  BioDataset bio = GenerateBio(BioGeneratorConfig::Tiny(2000, 7));
+  EXPECT_TRUE(bio.dataset.corpus().TermIdOf("cancer").has_value());
+}
+
+TEST(BioSubsetTest, CancerSubsetIsProperAndSeededCorrectly) {
+  BioDataset full = GenerateBio(BioGeneratorConfig::Tiny(2500, 8));
+  BioDataset subset = ExtractBioSubset(full, "cancer");
+
+  const graph::DataGraph& sub = subset.dataset.data();
+  ASSERT_GT(sub.num_nodes(), 0u);
+  EXPECT_LT(sub.num_nodes(), full.dataset.data().num_nodes());
+  EXPECT_TRUE(
+      graph::CheckConformance(sub, subset.dataset.schema()).ok());
+
+  // Every PubMed node more than one hop from a cancer publication is
+  // excluded; conversely every kept non-PubMed entity must touch a cancer
+  // publication. Verify the seeding rule: all *seed* docs contain the
+  // term; entities were added as 1-hop neighbors.
+  auto term = subset.dataset.corpus().TermIdOf("cancer");
+  ASSERT_TRUE(term.has_value());
+
+  // Every kept PubMed node IS a cancer publication (the expansion only
+  // adds non-publication entities; Section 6's subset rule).
+  for (graph::NodeId v = 0; v < sub.num_nodes(); ++v) {
+    if (sub.NodeType(v) != subset.types.pubmed) continue;
+    bool contains = false;
+    for (const text::DocTerm& dt : subset.dataset.corpus().DocTerms(v)) {
+      contains |= dt.term == *term;
+    }
+    EXPECT_TRUE(contains) << "non-cancer publication " << v << " kept";
+  }
+
+  // Each kept node is a cancer pub or adjacent to one.
+  std::vector<bool> is_cancer_pub(sub.num_nodes(), false);
+  for (const text::Posting& p : subset.dataset.corpus().Postings(*term)) {
+    if (sub.NodeType(p.doc) == subset.types.pubmed) {
+      is_cancer_pub[p.doc] = true;
+    }
+  }
+  std::vector<bool> near(sub.num_nodes(), false);
+  for (graph::NodeId v = 0; v < sub.num_nodes(); ++v) {
+    if (is_cancer_pub[v]) near[v] = true;
+  }
+  for (const graph::DataEdge& e : sub.edges()) {
+    if (is_cancer_pub[e.from]) near[e.to] = true;
+    if (is_cancer_pub[e.to]) near[e.from] = true;
+  }
+  for (graph::NodeId v = 0; v < sub.num_nodes(); ++v) {
+    EXPECT_TRUE(near[v]) << "node " << v
+                         << " is not adjacent to any cancer publication";
+  }
+}
+
+TEST(BioSubsetTest, UnknownKeywordYieldsEmptyDataset) {
+  BioDataset full = GenerateBio(BioGeneratorConfig::Tiny(200, 9));
+  BioDataset subset = ExtractBioSubset(full, "zzznotaterm");
+  EXPECT_EQ(subset.dataset.data().num_nodes(), 0u);
+}
+
+TEST(BioGeneratorTest, Ds7PresetNodeArithmetic) {
+  BioGeneratorConfig config = BioGeneratorConfig::Ds7();
+  const size_t nodes = config.num_pubmed + config.num_genes +
+                       config.num_proteins + config.num_nucleotides;
+  EXPECT_EQ(nodes, 699'000u);  // Table 1: 699,199
+}
+
+}  // namespace
+}  // namespace orx::datasets

@@ -1,0 +1,113 @@
+#include "text/bm25.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+
+namespace orx::text {
+namespace {
+
+class Bm25Test : public ::testing::Test {
+ protected:
+  Bm25Test() {
+    paper_ = *schema_.AddNodeType("Paper");
+    data_ = std::make_unique<graph::DataGraph>(schema_);
+    // "olap" is rare (1/4 docs), "cube" common (3/4 docs).
+    d0_ = *data_->AddNode(paper_, {{"Title", "olap cube"}});
+    d1_ = *data_->AddNode(paper_, {{"Title", "cube cube index"}});
+    d2_ = *data_->AddNode(paper_, {{"Title", "cube warehouse"}});
+    d3_ = *data_->AddNode(
+        paper_, {{"Title", "completely unrelated topic matter here"}});
+    corpus_ = std::make_unique<Corpus>(Corpus::Build(*data_));
+  }
+
+  graph::SchemaGraph schema_;
+  graph::TypeId paper_;
+  std::unique_ptr<graph::DataGraph> data_;
+  graph::NodeId d0_, d1_, d2_, d3_;
+  std::unique_ptr<Corpus> corpus_;
+};
+
+TEST_F(Bm25Test, ZeroForAbsentTerm) {
+  TermId olap = *corpus_->TermIdOf("olap");
+  EXPECT_DOUBLE_EQ(DocTermWeight(*corpus_, d1_, olap), 0.0);
+}
+
+TEST_F(Bm25Test, RareTermsOutweighCommonOnes) {
+  TermId olap = *corpus_->TermIdOf("olap");
+  TermId cube = *corpus_->TermIdOf("cube");
+  // Same document, same tf=1: the rarer term weighs more (idf).
+  EXPECT_GT(DocTermWeight(*corpus_, d0_, olap),
+            DocTermWeight(*corpus_, d0_, cube));
+}
+
+TEST_F(Bm25Test, UbiquitousTermsKeepSmallPositiveWeights) {
+  // "cube" appears in 3 of 4 documents: raw RSJ idf would be negative,
+  // which would produce invalid (negative) base-set jump probabilities.
+  // The smoothed ln(1 + .) idf keeps the weight positive but small.
+  TermId cube = *corpus_->TermIdOf("cube");
+  TermId olap = *corpus_->TermIdOf("olap");
+  const double w_cube = DocTermWeight(*corpus_, d2_, cube);
+  EXPECT_GT(w_cube, 0.0);
+  EXPECT_LT(w_cube, DocTermWeight(*corpus_, d0_, olap));
+}
+
+TEST_F(Bm25Test, TfSaturation) {
+  // d1 has tf(cube)=2 vs d0 tf=1; weight grows but less than linearly.
+  graph::SchemaGraph schema;
+  graph::TypeId t = *schema.AddNodeType("Paper");
+  graph::DataGraph data(schema);
+  graph::NodeId a = *data.AddNode(t, {{"Title", "term x1 x2 x3"}});
+  graph::NodeId b = *data.AddNode(t, {{"Title", "term term x1 x2"}});
+  graph::NodeId c = *data.AddNode(t, {{"Title", "y1 y2 y3 y4"}});
+  (void)c;  // keeps df(term)=2/3 so idf > 0
+  Corpus corpus = Corpus::Build(data);
+  TermId term = *corpus.TermIdOf("term");
+  const double w1 = DocTermWeight(corpus, a, term);
+  const double w2 = DocTermWeight(corpus, b, term);
+  EXPECT_GT(w2, w1);
+  EXPECT_LT(w2, 2.0 * w1);
+}
+
+TEST_F(Bm25Test, QueryTermFactor) {
+  Bm25Params params;
+  EXPECT_DOUBLE_EQ(QueryTermFactor(0.0, params), 0.0);
+  EXPECT_DOUBLE_EQ(QueryTermFactor(1.0, params), 1.0);
+  // Increasing query weight increases the factor, saturating at k3 + 1.
+  EXPECT_GT(QueryTermFactor(2.0, params), QueryTermFactor(1.0, params));
+  EXPECT_LT(QueryTermFactor(1000.0, params), params.k3 + 1.0);
+}
+
+TEST_F(Bm25Test, IRScoreIsDotProduct) {
+  QueryVector q(Query{"olap", "cube"});
+  const double expected =
+      DocTermWeight(*corpus_, d0_, *corpus_->TermIdOf("olap")) +
+      DocTermWeight(*corpus_, d0_, *corpus_->TermIdOf("cube"));
+  EXPECT_DOUBLE_EQ(IRScore(*corpus_, d0_, q), expected);
+}
+
+TEST_F(Bm25Test, IRScoreIgnoresUnknownTerms) {
+  QueryVector q(Query{"olap", "zzzznotindexed"});
+  EXPECT_GT(IRScore(*corpus_, d0_, q), 0.0);
+}
+
+TEST_F(Bm25Test, ScoreBaseSetCoversExactlyMatchingDocs) {
+  QueryVector q(Query{"olap", "index"});
+  auto scored = ScoreBaseSet(*corpus_, q);
+  // Docs containing olap (d0) or index (d1).
+  ASSERT_EQ(scored.size(), 2u);
+  EXPECT_EQ(scored[0].first, d0_);
+  EXPECT_EQ(scored[1].first, d1_);
+  for (const auto& [doc, score] : scored) EXPECT_GE(score, 0.0);
+}
+
+TEST_F(Bm25Test, ScoreBaseSetMergesMultiTermDocs) {
+  QueryVector q(Query{"olap", "cube"});
+  auto scored = ScoreBaseSet(*corpus_, q);
+  // One entry per document even when both terms match.
+  ASSERT_EQ(scored.size(), 3u);
+  EXPECT_DOUBLE_EQ(scored[0].second, IRScore(*corpus_, d0_, q));
+}
+
+}  // namespace
+}  // namespace orx::text

@@ -1,0 +1,143 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+
+namespace orx::text {
+namespace {
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  CorpusTest() {
+    paper_ = *schema_.AddNodeType("Paper");
+    data_ = std::make_unique<graph::DataGraph>(schema_);
+    d0_ = *data_->AddNode(paper_, {{"Title", "olap cube olap"}});
+    d1_ = *data_->AddNode(paper_, {{"Title", "range queries cube"}});
+    d2_ = *data_->AddNode(paper_, {{"Title", "the of and"}});  // stopwords
+    corpus_ = std::make_unique<Corpus>(Corpus::Build(*data_));
+  }
+
+  graph::SchemaGraph schema_;
+  graph::TypeId paper_;
+  std::unique_ptr<graph::DataGraph> data_;
+  graph::NodeId d0_, d1_, d2_;
+  std::unique_ptr<Corpus> corpus_;
+};
+
+TEST_F(CorpusTest, BasicCounts) {
+  EXPECT_EQ(corpus_->num_docs(), 3u);
+  // olap, cube, range, queries (stopwords dropped).
+  EXPECT_EQ(corpus_->vocab_size(), 4u);
+}
+
+TEST_F(CorpusTest, TermLookup) {
+  EXPECT_TRUE(corpus_->TermIdOf("olap").has_value());
+  EXPECT_TRUE(corpus_->TermIdOf("cube").has_value());
+  EXPECT_FALSE(corpus_->TermIdOf("absent").has_value());
+  EXPECT_FALSE(corpus_->TermIdOf("the").has_value());  // stopword
+  TermId olap = *corpus_->TermIdOf("olap");
+  EXPECT_EQ(corpus_->TermString(olap), "olap");
+}
+
+TEST_F(CorpusTest, DocumentFrequency) {
+  EXPECT_EQ(corpus_->Df(*corpus_->TermIdOf("olap")), 1u);
+  EXPECT_EQ(corpus_->Df(*corpus_->TermIdOf("cube")), 2u);
+}
+
+TEST_F(CorpusTest, TermFrequency) {
+  TermId olap = *corpus_->TermIdOf("olap");
+  TermId cube = *corpus_->TermIdOf("cube");
+  EXPECT_EQ(corpus_->Tf(d0_, olap), 2u);
+  EXPECT_EQ(corpus_->Tf(d0_, cube), 1u);
+  EXPECT_EQ(corpus_->Tf(d1_, olap), 0u);
+  EXPECT_TRUE(corpus_->DocContains(d0_, olap));
+  EXPECT_FALSE(corpus_->DocContains(d1_, olap));
+}
+
+TEST_F(CorpusTest, PostingsOrderedByDoc) {
+  TermId cube = *corpus_->TermIdOf("cube");
+  auto postings = corpus_->Postings(cube);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].doc, d0_);
+  EXPECT_EQ(postings[1].doc, d1_);
+  EXPECT_EQ(postings[0].tf, 1u);
+}
+
+TEST_F(CorpusTest, ForwardIndexMatchesInvertedIndex) {
+  size_t forward_total = 0;
+  for (graph::NodeId v = 0; v < corpus_->num_docs(); ++v) {
+    forward_total += corpus_->DocTerms(v).size();
+  }
+  size_t inverted_total = 0;
+  for (TermId t = 0; t < corpus_->vocab_size(); ++t) {
+    inverted_total += corpus_->Postings(t).size();
+  }
+  EXPECT_EQ(forward_total, inverted_total);
+}
+
+TEST_F(CorpusTest, DocLengthInCharacters) {
+  // dl is measured in characters (Equation 3's definition).
+  EXPECT_EQ(corpus_->DocLengthChars(d0_), std::string("olap cube olap").size());
+  const double expected_avdl =
+      (std::string("olap cube olap").size() +
+       std::string("range queries cube").size() +
+       std::string("the of and").size()) /
+      3.0;
+  EXPECT_DOUBLE_EQ(corpus_->avdl(), expected_avdl);
+}
+
+TEST_F(CorpusTest, StopwordOnlyDocHasNoTerms) {
+  EXPECT_TRUE(corpus_->DocTerms(d2_).empty());
+}
+
+TEST(CorpusEmptyTest, EmptyGraph) {
+  graph::SchemaGraph schema;
+  *schema.AddNodeType("Paper");
+  graph::DataGraph data(schema);
+  Corpus corpus = Corpus::Build(data);
+  EXPECT_EQ(corpus.num_docs(), 0u);
+  EXPECT_EQ(corpus.vocab_size(), 0u);
+  EXPECT_DOUBLE_EQ(corpus.avdl(), 0.0);
+}
+
+TEST(CorpusMetadataTest, AttributeNamesIndexedOnRequest) {
+  graph::SchemaGraph schema;
+  graph::TypeId year = *schema.AddNodeType("Year");
+  graph::DataGraph data(schema);
+  graph::NodeId v = *data.AddNode(
+      year, {{"Location", "Birmingham"}, {"Forum", "ICDE"}});
+
+  // Default: only values are keywords.
+  Corpus plain = Corpus::Build(data);
+  EXPECT_FALSE(plain.TermIdOf("location").has_value());
+  EXPECT_TRUE(plain.TermIdOf("birmingham").has_value());
+
+  // With metadata indexing, attribute names become keywords too
+  // (Section 2's "richer semantics").
+  CorpusOptions options;
+  options.include_attribute_names = true;
+  Corpus rich = Corpus::Build(data, options);
+  ASSERT_TRUE(rich.TermIdOf("location").has_value());
+  ASSERT_TRUE(rich.TermIdOf("forum").has_value());
+  EXPECT_TRUE(rich.DocContains(v, *rich.TermIdOf("location")));
+  // Document length grows accordingly.
+  EXPECT_GT(rich.DocLengthChars(v), plain.DocLengthChars(v));
+}
+
+TEST(CorpusMultiAttrTest, AllAttributeValuesAreIndexed) {
+  graph::SchemaGraph schema;
+  graph::TypeId year = *schema.AddNodeType("Year");
+  graph::DataGraph data(schema);
+  graph::NodeId v = *data.AddNode(
+      year, {{"Name", "ICDE"}, {"Year", "1997"}, {"Location", "Birmingham"}});
+  Corpus corpus = Corpus::Build(data);
+  // The node's keyword set is {icde, 1997, birmingham} (Section 2 example).
+  EXPECT_TRUE(corpus.TermIdOf("icde").has_value());
+  EXPECT_TRUE(corpus.TermIdOf("1997").has_value());
+  EXPECT_TRUE(corpus.TermIdOf("birmingham").has_value());
+  EXPECT_EQ(corpus.DocTerms(v).size(), 3u);
+}
+
+}  // namespace
+}  // namespace orx::text

@@ -1,0 +1,110 @@
+#include "graph/data_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/conformance.h"
+
+namespace orx::graph {
+namespace {
+
+class DataGraphTest : public ::testing::Test {
+ protected:
+  DataGraphTest() {
+    paper_ = *schema_.AddNodeType("Paper");
+    author_ = *schema_.AddNodeType("Author");
+    cites_ = *schema_.AddEdgeType(paper_, paper_, "cites");
+    by_ = *schema_.AddEdgeType(paper_, author_, "by");
+  }
+
+  SchemaGraph schema_;
+  TypeId paper_, author_;
+  EdgeTypeId cites_, by_;
+};
+
+TEST_F(DataGraphTest, AddNodesAssignsDenseIds) {
+  DataGraph data(schema_);
+  auto a = data.AddNode(paper_, {{"Title", "A"}});
+  auto b = data.AddNode(author_, {{"Name", "X"}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(data.num_nodes(), 2u);
+  EXPECT_EQ(data.NodeType(*a), paper_);
+  EXPECT_EQ(data.NodeType(*b), author_);
+}
+
+TEST_F(DataGraphTest, RejectsUnknownNodeType) {
+  DataGraph data(schema_);
+  EXPECT_EQ(data.AddNode(42, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataGraphTest, AttributesAndText) {
+  DataGraph data(schema_);
+  NodeId v = *data.AddNode(
+      paper_, {{"Title", "Data Cube"}, {"Year", "ICDE 1996"}});
+  auto attrs = data.Attributes(v);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].name, "Title");
+  EXPECT_EQ(data.Text(v), "Data Cube ICDE 1996");
+  EXPECT_EQ(data.AttributeValue(v, "Year"), "ICDE 1996");
+  EXPECT_EQ(data.AttributeValue(v, "Missing"), "");
+  EXPECT_EQ(data.DisplayLabel(v), "Data Cube");
+}
+
+TEST_F(DataGraphTest, DisplayLabelFallsBackToType) {
+  DataGraph data(schema_);
+  NodeId v = *data.AddNode(author_, {});
+  EXPECT_EQ(data.DisplayLabel(v), "Author#0");
+  EXPECT_EQ(data.Text(v), "");
+}
+
+TEST_F(DataGraphTest, AddEdgeValidatesEndpointTypes) {
+  DataGraph data(schema_);
+  NodeId p = *data.AddNode(paper_, {});
+  NodeId a = *data.AddNode(author_, {});
+  EXPECT_TRUE(data.AddEdge(p, a, by_).ok());
+  // Wrong direction.
+  EXPECT_EQ(data.AddEdge(a, p, by_).code(), StatusCode::kInvalidArgument);
+  // cites requires paper endpoints.
+  EXPECT_EQ(data.AddEdge(p, a, cites_).code(),
+            StatusCode::kInvalidArgument);
+  // Unknown ids.
+  EXPECT_EQ(data.AddEdge(p, 99, by_).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(data.AddEdge(p, a, 99).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataGraphTest, RejectsSelfLoops) {
+  DataGraph data(schema_);
+  NodeId p = *data.AddNode(paper_, {});
+  EXPECT_EQ(data.AddEdge(p, p, cites_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataGraphTest, ConformanceOfValidGraph) {
+  DataGraph data(schema_);
+  NodeId p1 = *data.AddNode(paper_, {});
+  NodeId p2 = *data.AddNode(paper_, {});
+  NodeId a = *data.AddNode(author_, {});
+  ASSERT_TRUE(data.AddEdge(p1, p2, cites_).ok());
+  ASSERT_TRUE(data.AddEdge(p1, a, by_).ok());
+  EXPECT_TRUE(CheckConformance(data, schema_).ok());
+}
+
+TEST_F(DataGraphTest, ConformanceDetectsForeignSchema) {
+  DataGraph data(schema_);
+  SchemaGraph other;
+  EXPECT_EQ(CheckConformance(data, other).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DataGraphTest, MemoryFootprintGrowsWithContent) {
+  DataGraph data(schema_);
+  const size_t empty = data.MemoryFootprintBytes();
+  *data.AddNode(paper_, {{"Title", "a moderately long title string"}});
+  EXPECT_GT(data.MemoryFootprintBytes(), empty);
+}
+
+}  // namespace
+}  // namespace orx::graph

@@ -1,0 +1,114 @@
+#include "datasets/dblp_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/conformance.h"
+#include "text/query.h"
+
+namespace orx::datasets {
+namespace {
+
+TEST(DblpGeneratorTest, NodeCountsMatchConfig) {
+  DblpGeneratorConfig config = DblpGeneratorConfig::Tiny(300, 1);
+  DblpDataset dblp = GenerateDblp(config);
+  const graph::DataGraph& data = dblp.dataset.data();
+  const size_t expected_nodes =
+      config.num_papers + config.num_authors + config.num_conferences +
+      config.num_conferences * config.years_per_conference;
+  EXPECT_EQ(data.num_nodes(), expected_nodes);
+}
+
+TEST(DblpGeneratorTest, GraphConformsToSchema) {
+  DblpDataset dblp = GenerateDblp(DblpGeneratorConfig::Tiny(200, 2));
+  EXPECT_TRUE(graph::CheckConformance(dblp.dataset.data(),
+                                      dblp.dataset.schema())
+                  .ok());
+}
+
+TEST(DblpGeneratorTest, DeterministicForSameSeed) {
+  DblpDataset a = GenerateDblp(DblpGeneratorConfig::Tiny(150, 33));
+  DblpDataset b = GenerateDblp(DblpGeneratorConfig::Tiny(150, 33));
+  ASSERT_EQ(a.dataset.data().num_nodes(), b.dataset.data().num_nodes());
+  ASSERT_EQ(a.dataset.data().num_edges(), b.dataset.data().num_edges());
+  for (size_t i = 0; i < a.dataset.data().edges().size(); ++i) {
+    EXPECT_EQ(a.dataset.data().edges()[i].from,
+              b.dataset.data().edges()[i].from);
+    EXPECT_EQ(a.dataset.data().edges()[i].to, b.dataset.data().edges()[i].to);
+  }
+  // And text too.
+  for (graph::NodeId v = 0; v < 50; ++v) {
+    EXPECT_EQ(a.dataset.data().Text(v), b.dataset.data().Text(v));
+  }
+}
+
+TEST(DblpGeneratorTest, DifferentSeedsDiffer) {
+  DblpDataset a = GenerateDblp(DblpGeneratorConfig::Tiny(150, 1));
+  DblpDataset b = GenerateDblp(DblpGeneratorConfig::Tiny(150, 2));
+  EXPECT_NE(a.dataset.data().num_edges(), b.dataset.data().num_edges());
+}
+
+TEST(DblpGeneratorTest, EveryPaperHasVenueAndAuthor) {
+  DblpDataset dblp = GenerateDblp(DblpGeneratorConfig::Tiny(120, 4));
+  const graph::DataGraph& data = dblp.dataset.data();
+  std::vector<int> venue_count(data.num_nodes(), 0);
+  std::vector<int> author_count(data.num_nodes(), 0);
+  for (const graph::DataEdge& e : data.edges()) {
+    if (e.type == dblp.types.contains) ++venue_count[e.to];
+    if (e.type == dblp.types.by) ++author_count[e.from];
+  }
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.NodeType(v) != dblp.types.paper) continue;
+    EXPECT_EQ(venue_count[v], 1) << "paper " << v;
+    EXPECT_GE(author_count[v], 1) << "paper " << v;
+    EXPECT_LE(author_count[v], 4) << "paper " << v;
+  }
+}
+
+TEST(DblpGeneratorTest, CitationsPointToEarlierPapers) {
+  DblpDataset dblp = GenerateDblp(DblpGeneratorConfig::Tiny(200, 9));
+  const graph::DataGraph& data = dblp.dataset.data();
+  for (const graph::DataEdge& e : data.edges()) {
+    if (e.type != dblp.types.cites) continue;
+    // Papers are created in chronological order; node ids grow over time
+    // within the paper id range, so a citation target precedes its source.
+    EXPECT_LT(e.to, e.from);
+  }
+}
+
+TEST(DblpGeneratorTest, CitationCountRoughlyMatchesConfig) {
+  DblpGeneratorConfig config = DblpGeneratorConfig::Tiny(2000, 12);
+  config.avg_citations = 4.0;
+  DblpDataset dblp = GenerateDblp(config);
+  size_t cites = 0;
+  for (const graph::DataEdge& e : dblp.dataset.data().edges()) {
+    cites += (e.type == dblp.types.cites);
+  }
+  const double avg = static_cast<double>(cites) / config.num_papers;
+  // Dedup and the small prefix lower the mean slightly.
+  EXPECT_GT(avg, 2.8);
+  EXPECT_LT(avg, 4.5);
+}
+
+TEST(DblpGeneratorTest, Table2QueryKeywordsAreSearchable) {
+  DblpDataset dblp = GenerateDblp(DblpGeneratorConfig::Tiny(3000, 7));
+  const text::Corpus& corpus = dblp.dataset.corpus();
+  for (const char* keyword :
+       {"olap", "query", "optimization", "xml", "mining", "proximity",
+        "search", "indexing", "ranked"}) {
+    EXPECT_TRUE(corpus.TermIdOf(keyword).has_value())
+        << keyword << " missing from generated corpus";
+  }
+}
+
+TEST(DblpGeneratorTest, DblpTopPresetApproximatesTable1) {
+  // Structural smoke check of the preset arithmetic (nodes are exact,
+  // edges are stochastic): 22,653 nodes and ~167 K edges in Table 1.
+  DblpGeneratorConfig config = DblpGeneratorConfig::DblpTop();
+  const size_t nodes = config.num_papers + config.num_authors +
+                       config.num_conferences +
+                       config.num_conferences * config.years_per_conference;
+  EXPECT_NEAR(static_cast<double>(nodes), 22653.0, 700.0);
+}
+
+}  // namespace
+}  // namespace orx::datasets

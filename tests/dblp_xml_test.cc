@@ -1,0 +1,261 @@
+#include "datasets/dblp_xml.h"
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "datasets/dblp_generator.h"
+#include "graph/conformance.h"
+#include "text/query.h"
+
+namespace orx::datasets {
+namespace {
+
+constexpr const char* kFigure1Xml = R"(<?xml version="1.0"?>
+<!-- The paper's Figure 1 excerpt as DBLP XML. -->
+<dblp>
+  <inproceedings key="conf/icde/Gupta97">
+    <author>H. Gupta</author>
+    <author>V. Harinarayan</author>
+    <title>Index Selection for OLAP.</title>
+    <year>1997</year>
+    <booktitle>ICDE</booktitle>
+    <cite>conf/icde/Gray96</cite>
+  </inproceedings>
+  <inproceedings key="conf/sigmod/Ho97">
+    <author>C. Ho</author>
+    <author>R. Agrawal</author>
+    <title>Range Queries in OLAP Data Cubes.</title>
+    <year>1997</year>
+    <booktitle>SIGMOD</booktitle>
+    <cite>conf/icde/Gray96</cite>
+    <cite>conf/icde/Agrawal97</cite>
+    <cite>...</cite>
+  </inproceedings>
+  <inproceedings key="conf/icde/Agrawal97">
+    <author>R. Agrawal</author>
+    <title>Modeling Multidimensional Databases.</title>
+    <year>1997</year>
+    <booktitle>ICDE</booktitle>
+    <cite>conf/icde/Gray96</cite>
+  </inproceedings>
+  <inproceedings key="conf/icde/Gray96">
+    <author>J. Gray</author>
+    <title>Data Cube: A Relational Aggregation Operator &amp; More.</title>
+    <year>1996</year>
+    <booktitle>ICDE</booktitle>
+  </inproceedings>
+</dblp>
+)";
+
+TEST(DblpXmlParseTest, ParsesFigure1Excerpt) {
+  auto result = ParseDblpXml(kFigure1Xml);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->papers, 4u);
+  // H. Gupta, V. Harinarayan, C. Ho, R. Agrawal, J. Gray.
+  EXPECT_EQ(result->authors, 5u);
+  EXPECT_EQ(result->conferences, 2u);  // ICDE, SIGMOD
+  EXPECT_EQ(result->years, 3u);        // ICDE 1997, SIGMOD 1997, ICDE 1996
+  EXPECT_EQ(result->citations_resolved, 4u);
+  EXPECT_EQ(result->citations_unresolved, 1u);  // the "..." placeholder
+  EXPECT_TRUE(graph::CheckConformance(result->dataset.data(),
+                                      result->dataset.schema())
+                  .ok());
+}
+
+TEST(DblpXmlParseTest, EntityDecoding) {
+  auto result = ParseDblpXml(kFigure1Xml);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  const graph::DataGraph& data = result->dataset.data();
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.AttributeValue(v, "Title") ==
+        "Data Cube: A Relational Aggregation Operator & More.") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DblpXmlParseTest, AuthorsAreDeduplicated) {
+  auto result = ParseDblpXml(kFigure1Xml);
+  ASSERT_TRUE(result.ok());
+  // R. Agrawal appears on two papers but is one node with two in-edges.
+  const graph::DataGraph& data = result->dataset.data();
+  int agrawal_nodes = 0, agrawal_in = 0;
+  graph::NodeId agrawal = graph::kInvalidNodeId;
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.NodeType(v) == result->types.author &&
+        data.AttributeValue(v, "Name") == "R. Agrawal") {
+      ++agrawal_nodes;
+      agrawal = v;
+    }
+  }
+  EXPECT_EQ(agrawal_nodes, 1);
+  for (const graph::DataEdge& e : data.edges()) {
+    if (e.type == result->types.by && e.to == agrawal) ++agrawal_in;
+  }
+  EXPECT_EQ(agrawal_in, 2);
+}
+
+TEST(DblpXmlParseTest, SkipsIncompleteRecords) {
+  const char* xml = R"(<dblp>
+    <inproceedings key="a"><title>No venue</title><year>2000</year></inproceedings>
+    <inproceedings key="b">
+      <title>Complete</title><year>2000</year><booktitle>X</booktitle>
+    </inproceedings>
+  </dblp>)";
+  auto result = ParseDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->papers, 1u);
+}
+
+TEST(DblpXmlParseTest, ArticleRecordsUseJournal) {
+  const char* xml = R"(<dblp>
+    <article key="journals/tods/X">
+      <author>A. B.</author>
+      <title>Journal Paper</title><year>1999</year>
+      <journal>TODS</journal>
+    </article>
+  </dblp>)";
+  auto result = ParseDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->papers, 1u);
+  EXPECT_EQ(result->conferences, 1u);
+}
+
+TEST(DblpXmlParseTest, MalformedInputsFailWithDataLoss) {
+  for (const char* bad : {
+           "not xml at all",
+           "<dblp><inproceedings key=\"a\">",          // unterminated record
+           "<dblp><unknown></unknown></dblp>",          // bad record type
+           "<dblp><inproceedings key=\"a\"><title>t</wrong></inproceedings></dblp>",
+           "<dblp><inproceedings key=\"a\"><title>t &bogus; t</title></inproceedings></dblp>",
+           "<dblp>",                                    // missing close
+       }) {
+    auto result = ParseDblpXml(bad);
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << bad;
+  }
+}
+
+TEST(DblpXmlParseTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ParseDblpXmlFile("/nonexistent/dblp.xml").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DblpXmlRoundTripTest, GeneratedGraphSurvivesRoundTrip) {
+  DblpDataset generated = GenerateDblp(DblpGeneratorConfig::Tiny(300, 21));
+  const std::string xml =
+      WriteDblpXml(generated.dataset.data(), generated.types);
+  auto parsed = ParseDblpXml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // Paper/year/conference counts survive exactly.
+  const graph::DataGraph& a = generated.dataset.data();
+  size_t papers = 0;
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    papers += (a.NodeType(v) == generated.types.paper);
+  }
+  EXPECT_EQ(parsed->papers, papers);
+
+  // Citation edges survive exactly.
+  size_t cites = 0;
+  for (const graph::DataEdge& e : a.edges()) {
+    cites += (e.type == generated.types.cites);
+  }
+  EXPECT_EQ(parsed->citations_resolved, cites);
+  EXPECT_EQ(parsed->citations_unresolved, 0u);
+
+  // And the round-tripped graph ranks like the original: compare top-5 for
+  // a query (author dedup may shift scores microscopically).
+  graph::TransferRates rates_a =
+      DblpGroundTruthRates(generated.dataset.schema(), generated.types);
+  graph::TransferRates rates_b =
+      DblpGroundTruthRates(parsed->dataset.schema(), parsed->types);
+  core::Searcher sa(a, generated.dataset.authority(),
+                    generated.dataset.corpus());
+  core::Searcher sb(parsed->dataset.data(), parsed->dataset.authority(),
+                    parsed->dataset.corpus());
+  text::QueryVector q(text::ParseQuery("data"));
+  auto ra = sa.Search(q, rates_a);
+  auto rb = sb.Search(q, rates_b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->top.size(), rb->top.size());
+  for (size_t i = 0; i < ra->top.size(); ++i) {
+    EXPECT_EQ(generated.dataset.data().DisplayLabel(ra->top[i].node),
+              parsed->dataset.data().DisplayLabel(rb->top[i].node));
+  }
+}
+
+TEST(DblpXmlWriteTest, EscapesSpecialCharacters) {
+  DblpTypes types;
+  auto schema = MakeDblpSchema(&types);
+  graph::DataGraph data(*schema);
+  graph::NodeId conf = *data.AddNode(types.conference, {{"Name", "C"}});
+  graph::NodeId year =
+      *data.AddNode(types.year, {{"Name", "C"}, {"Year", "2000"}});
+  graph::NodeId paper = *data.AddNode(
+      types.paper, {{"Title", "A<B & \"C\">"}, {"Authors", ""}});
+  ASSERT_TRUE(data.AddEdge(conf, year, types.has_instance).ok());
+  ASSERT_TRUE(data.AddEdge(year, paper, types.contains).ok());
+
+  const std::string xml = WriteDblpXml(data, types);
+  EXPECT_NE(xml.find("A&lt;B &amp; &quot;C&quot;&gt;"), std::string::npos);
+  auto parsed = ParseDblpXml(xml);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->papers, 1u);
+}
+
+
+TEST(DblpXmlParseTest, NumericEntitiesAndComments) {
+  const char* xml = R"(<dblp>
+    <!-- a comment between records -->
+    <inproceedings key="x">
+      <author>A&#46; B&#46;</author>
+      <title>Title &#38; more</title>
+      <year>2001</year><booktitle>VLDB</booktitle>
+    </inproceedings>
+  </dblp>)";
+  auto result = datasets::ParseDblpXml(xml);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->papers, 1u);
+  const graph::DataGraph& data = result->dataset.data();
+  bool found = false;
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.AttributeValue(v, "Title") == "Title & more") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DblpXmlParseTest, NonAsciiNumericEntityDegradesToPlaceholder) {
+  const char* xml = R"(<dblp>
+    <inproceedings key="x">
+      <title>caf&#233;</title><year>2001</year><booktitle>VLDB</booktitle>
+    </inproceedings>
+  </dblp>)";
+  auto result = datasets::ParseDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  const graph::DataGraph& data = result->dataset.data();
+  bool found = false;
+  for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
+    if (data.AttributeValue(v, "Title") == "caf?") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DblpXmlParseTest, SelfCitationKeyIsIgnored) {
+  const char* xml = R"(<dblp>
+    <inproceedings key="self">
+      <title>t</title><year>2001</year><booktitle>VLDB</booktitle>
+      <cite>self</cite>
+    </inproceedings>
+  </dblp>)";
+  auto result = datasets::ParseDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->citations_resolved, 0u);
+  EXPECT_EQ(result->citations_unresolved, 1u);
+}
+
+}  // namespace
+}  // namespace orx::datasets

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/dblp_generator.h"
+#include "eval/metrics.h"
+#include "eval/residual_collection.h"
+#include "eval/simulated_user.h"
+#include "eval/survey.h"
+#include "text/query.h"
+
+namespace orx::eval {
+namespace {
+
+// ----------------------------------------------------------------------
+// Metrics
+// ----------------------------------------------------------------------
+
+TEST(MetricsTest, CosineSimilarity) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {1, 0}), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+  // Scale invariance.
+  EXPECT_NEAR(CosineSimilarity({2, 4, 6}, {1, 2, 3}), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, Precision) {
+  std::unordered_set<graph::NodeId> relevant{1, 3};
+  std::vector<core::ScoredNode> results{{1, .9}, {2, .8}, {3, .7}, {4, .6}};
+  EXPECT_DOUBLE_EQ(Precision(results, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(Precision({}, relevant), 0.0);
+}
+
+TEST(MetricsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+// ----------------------------------------------------------------------
+// ResidualCollection
+// ----------------------------------------------------------------------
+
+TEST(ResidualCollectionTest, RemovalAffectsTopK) {
+  graph::SchemaGraph schema;
+  graph::TypeId t = *schema.AddNodeType("Paper");
+  graph::DataGraph data(schema);
+  for (int i = 0; i < 4; ++i) *data.AddNode(t, {});
+
+  ResidualCollection residual(4);
+  std::vector<double> scores{0.4, 0.3, 0.2, 0.1};
+  auto top = residual.ResidualTopK(scores, 2, data, std::nullopt);
+  EXPECT_EQ(top[0].node, 0u);
+
+  residual.Remove(0);
+  EXPECT_TRUE(residual.IsRemoved(0));
+  EXPECT_EQ(residual.num_removed(), 1u);
+  top = residual.ResidualTopK(scores, 2, data, std::nullopt);
+  EXPECT_EQ(top[0].node, 1u);
+  EXPECT_EQ(top[1].node, 2u);
+}
+
+TEST(ResidualCollectionTest, OutOfRangeRemoveIsSafe) {
+  ResidualCollection residual(2);
+  residual.Remove(99);
+  EXPECT_EQ(residual.num_removed(), 0u);
+  EXPECT_FALSE(residual.IsRemoved(99));
+}
+
+// ----------------------------------------------------------------------
+// SimulatedUser + survey session
+// ----------------------------------------------------------------------
+
+class SurveyTest : public ::testing::Test {
+ protected:
+  SurveyTest()
+      : dblp_(datasets::GenerateDblp(
+            datasets::DblpGeneratorConfig::Tiny(/*papers=*/1200,
+                                                /*seed=*/31))),
+        ground_truth_(datasets::DblpGroundTruthRates(dblp_.dataset.schema(),
+                                                     dblp_.types)) {}
+
+  SimulatedUser MakeUser(int pool = 20) {
+    SimulatedUserOptions options;
+    options.relevant_pool = pool;
+    options.search.result_type = dblp_.types.paper;
+    return SimulatedUser(dblp_.dataset.data(), dblp_.dataset.authority(),
+                         dblp_.dataset.corpus(), ground_truth_, options);
+  }
+
+  datasets::DblpDataset dblp_;
+  graph::TransferRates ground_truth_;
+};
+
+TEST_F(SurveyTest, UserJudgesGroundTruthTopAsRelevant) {
+  SimulatedUser user = MakeUser(15);
+  text::QueryVector q(text::ParseQuery("data"));
+  ASSERT_TRUE(user.SetIntent(q));
+  EXPECT_GT(user.relevant_set().size(), 0u);
+  EXPECT_LE(user.relevant_set().size(), 15u);
+  for (graph::NodeId v : user.relevant_set()) {
+    EXPECT_TRUE(user.IsRelevant(v));
+    EXPECT_EQ(dblp_.dataset.data().NodeType(v), dblp_.types.paper);
+  }
+}
+
+TEST_F(SurveyTest, KeywordContainmentRestrictsRelevance) {
+  SimulatedUserOptions options;
+  options.relevant_pool = 15;
+  options.require_keyword_containment = true;
+  options.search.result_type = dblp_.types.paper;
+  SimulatedUser strict(dblp_.dataset.data(), dblp_.dataset.authority(),
+                       dblp_.dataset.corpus(), ground_truth_, options);
+  text::QueryVector q(text::ParseQuery("mining"));
+  ASSERT_TRUE(strict.SetIntent(q));
+  auto term = dblp_.dataset.corpus().TermIdOf("mining");
+  ASSERT_TRUE(term.has_value());
+  for (graph::NodeId v : strict.relevant_set()) {
+    EXPECT_TRUE(dblp_.dataset.corpus().DocContains(v, *term))
+        << "relevant object " << v << " lacks the keyword";
+  }
+  // The unrestricted judge accepts keyword-free objects too, so its pool
+  // is a superset-or-different set, generally not all keyword-matching.
+  SimulatedUser lax = MakeUser(15);
+  ASSERT_TRUE(lax.SetIntent(q));
+  bool lax_has_keyword_free = false;
+  for (graph::NodeId v : lax.relevant_set()) {
+    lax_has_keyword_free |= !dblp_.dataset.corpus().DocContains(v, *term);
+  }
+  EXPECT_TRUE(lax_has_keyword_free);
+}
+
+TEST_F(SurveyTest, UserIntentFailsForUnknownKeyword) {
+  SimulatedUser user = MakeUser();
+  text::QueryVector q(text::ParseQuery("zzznotaword"));
+  EXPECT_FALSE(user.SetIntent(q));
+  EXPECT_TRUE(user.relevant_set().empty());
+}
+
+TEST_F(SurveyTest, SessionRunsAllIterations) {
+  SimulatedUser user = MakeUser(25);
+  text::QueryVector q(text::ParseQuery("data"));
+  ASSERT_TRUE(user.SetIntent(q));
+
+  SurveyConfig config;
+  config.feedback_iterations = 3;
+  config.search.result_type = dblp_.types.paper;
+  config.reform.structure.adjustment = 0.5;
+  config.reform.content.expansion = 0.0;
+
+  graph::TransferRates initial =
+      datasets::DblpUniformRates(dblp_.dataset.schema(), 0.3);
+  SurveyResult result = RunFeedbackSession(
+      dblp_.dataset.data(), dblp_.dataset.authority(),
+      dblp_.dataset.corpus(), q, initial, user, config);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.iterations.size(), 4u);
+
+  // Precision is a valid fraction everywhere; the search ran each round.
+  for (const SurveyIteration& it : result.iterations) {
+    EXPECT_GE(it.precision, 0.0);
+    EXPECT_LE(it.precision, 1.0);
+    EXPECT_GT(it.objectrank_iterations, 0);
+    EXPECT_GT(it.base_set_size, 0u);
+  }
+  // Feedback in round 0 must change the rates used in round 1
+  // (structure-only reformulation).
+  if (result.iterations[0].feedback_count > 0) {
+    EXPECT_NE(result.iterations[1].rates.slots(),
+              result.iterations[0].rates.slots());
+  }
+}
+
+TEST_F(SurveyTest, StructureFeedbackMovesRatesTowardGroundTruth) {
+  SimulatedUser user = MakeUser(30);
+  text::QueryVector q(text::ParseQuery("mining"));
+  ASSERT_TRUE(user.SetIntent(q));
+
+  SurveyConfig config;
+  config.feedback_iterations = 3;
+  config.max_feedback_objects = 3;
+  config.search.result_type = dblp_.types.paper;
+  config.reform.structure.adjustment = 0.5;
+  config.reform.content.expansion = 0.0;
+
+  graph::TransferRates initial =
+      datasets::DblpUniformRates(dblp_.dataset.schema(), 0.3);
+  SurveyResult result = RunFeedbackSession(
+      dblp_.dataset.data(), dblp_.dataset.authority(),
+      dblp_.dataset.corpus(), q, initial, user, config);
+  ASSERT_TRUE(result.ok);
+
+  const auto gt_vector =
+      datasets::DblpRateVector(ground_truth_, dblp_.types);
+  const double initial_cos = CosineSimilarity(
+      datasets::DblpRateVector(initial, dblp_.types), gt_vector);
+  double best_cos = 0.0;
+  for (const SurveyIteration& it : result.iterations) {
+    best_cos = std::max(
+        best_cos, CosineSimilarity(
+                      datasets::DblpRateVector(it.rates, dblp_.types),
+                      gt_vector));
+  }
+  // Training must improve over the uniform start at some iteration
+  // (Figure 11's rising phase).
+  EXPECT_GT(best_cos, initial_cos - 1e-9);
+}
+
+TEST_F(SurveyTest, FailedInitialQueryReturnsNotOk) {
+  SimulatedUser user = MakeUser();
+  text::QueryVector q(text::ParseQuery("zzznotaword"));
+  SurveyConfig config;
+  graph::TransferRates initial =
+      datasets::DblpUniformRates(dblp_.dataset.schema(), 0.3);
+  SurveyResult result = RunFeedbackSession(
+      dblp_.dataset.data(), dblp_.dataset.authority(),
+      dblp_.dataset.corpus(), q, initial, user, config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.iterations.empty());
+}
+
+
+TEST_F(SurveyTest, ZeroFeedbackObjectsDisablesLearning) {
+  SimulatedUser user = MakeUser(25);
+  text::QueryVector q(text::ParseQuery("data"));
+  ASSERT_TRUE(user.SetIntent(q));
+  SurveyConfig config;
+  config.feedback_iterations = 2;
+  config.max_feedback_objects = 0;  // the user never marks anything
+  config.search.result_type = dblp_.types.paper;
+  graph::TransferRates initial =
+      datasets::DblpUniformRates(dblp_.dataset.schema(), 0.3);
+  SurveyResult result = RunFeedbackSession(
+      dblp_.dataset.data(), dblp_.dataset.authority(),
+      dblp_.dataset.corpus(), q, initial, user, config);
+  ASSERT_TRUE(result.ok);
+  // Without feedback the rates never change across iterations.
+  for (size_t i = 1; i < result.iterations.size(); ++i) {
+    EXPECT_EQ(result.iterations[i].rates.slots(),
+              result.iterations[0].rates.slots());
+    EXPECT_EQ(result.iterations[i].feedback_count, 0u);
+  }
+}
+
+TEST_F(SurveyTest, SessionEnforcesRateSumInvariant) {
+  // Uniform 0.3 gives Paper an outgoing sum of 1.2; the session must cap
+  // it before the first search (ObjectRank2 convergence requirement).
+  SimulatedUser user = MakeUser(25);
+  text::QueryVector q(text::ParseQuery("data"));
+  ASSERT_TRUE(user.SetIntent(q));
+  SurveyConfig config;
+  config.feedback_iterations = 1;
+  config.search.result_type = dblp_.types.paper;
+  graph::TransferRates initial =
+      datasets::DblpUniformRates(dblp_.dataset.schema(), 0.3);
+  SurveyResult result = RunFeedbackSession(
+      dblp_.dataset.data(), dblp_.dataset.authority(),
+      dblp_.dataset.corpus(), q, initial, user, config);
+  ASSERT_TRUE(result.ok);
+  const graph::SchemaGraph& schema = dblp_.dataset.schema();
+  for (const SurveyIteration& it : result.iterations) {
+    for (graph::TypeId t = 0; t < schema.num_node_types(); ++t) {
+      EXPECT_LE(it.rates.OutgoingSum(schema, t), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(PerturbedRatesTest, PreservesZerosAndInvariants) {
+  datasets::DblpTypes types;
+  auto schema = datasets::MakeDblpSchema(&types);
+  graph::TransferRates gt = datasets::DblpGroundTruthRates(*schema, types);
+  Rng rng(9);
+  graph::TransferRates noisy = PerturbedRates(*schema, gt, 0.3, rng);
+  // PF stays exactly zero; every slot stays in [0, 1]; per-type sums <= 1.
+  EXPECT_DOUBLE_EQ(
+      noisy.Get(types.cites, graph::Direction::kBackward), 0.0);
+  for (uint32_t s = 0; s < noisy.num_slots(); ++s) {
+    EXPECT_GE(noisy.slot(s), 0.0);
+    EXPECT_LE(noisy.slot(s), 1.0);
+  }
+  for (graph::TypeId t = 0; t < schema->num_node_types(); ++t) {
+    EXPECT_LE(noisy.OutgoingSum(*schema, t), 1.0 + 1e-9);
+  }
+  // And it actually differs from the ground truth.
+  EXPECT_NE(noisy.slots(), gt.slots());
+  EXPECT_NE(noisy.Fingerprint(), gt.Fingerprint());
+}
+
+}  // namespace
+}  // namespace orx::eval

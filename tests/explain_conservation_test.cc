@@ -1,0 +1,159 @@
+// Flow-conservation laws of the explaining subgraph. Combining
+// Equations 5, 7 and 10 gives, for every non-target node v of G_v^Q:
+//
+//   AdjustedOutFlowSum(v) = sum_j h(j) * Flow_0(v -> j)
+//                         = d * r^Q(v) * sum_j h(j) * a(v -> j)
+//                         = d * r^Q(v) * h(v).
+//
+// This file verifies the law on the Figure 1 graph and on generated
+// graphs, plus the exact h solution on a DAG (citations only point
+// backward in time, so with zero reverse rates the fixpoint must agree
+// with reverse-topological evaluation).
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblp_generator.h"
+#include "datasets/figure1.h"
+#include "core/top_k.h"
+#include "explain/explainer.h"
+#include "text/query.h"
+
+namespace orx::explain {
+namespace {
+
+void CheckConservation(const ExplainingSubgraph& sub,
+                       const std::vector<double>& scores, double damping) {
+  for (LocalId v = 0; v < sub.num_nodes(); ++v) {
+    if (v == sub.target_local()) continue;
+    const double expected =
+        damping * scores[sub.GlobalId(v)] * sub.ReductionFactor(v);
+    EXPECT_NEAR(sub.AdjustedOutFlowSum(v), expected, 1e-9)
+        << "node " << v;
+  }
+}
+
+TEST(ExplainConservationTest, HoldsOnFigure1) {
+  datasets::Figure1Dataset fig = datasets::MakeFigure1Dataset();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(fig.dataset.schema(), fig.types);
+  text::QueryVector q(text::ParseQuery("olap"));
+  auto base = core::BuildBaseSet(fig.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  core::ObjectRankEngine engine(fig.dataset.authority());
+  core::ObjectRankOptions or_options;
+  or_options.epsilon = 1e-12;
+  auto rank = engine.Compute(*base, rates, or_options);
+
+  Explainer explainer(fig.dataset.data(), fig.dataset.authority());
+  ExplainOptions options;
+  options.radius = 5;
+  options.epsilon = 1e-14;
+  auto explanation = explainer.Explain(fig.v4_range_queries, *base,
+                                       rank.scores, rates, 0.85, options);
+  ASSERT_TRUE(explanation.ok());
+  CheckConservation(explanation->subgraph, rank.scores, 0.85);
+}
+
+TEST(ExplainConservationTest, HoldsOnGeneratedGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    datasets::DblpDataset dblp = datasets::GenerateDblp(
+        datasets::DblpGeneratorConfig::Tiny(/*papers=*/500, seed));
+    graph::TransferRates rates =
+        datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+    text::QueryVector q(text::ParseQuery("data"));
+    auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+    ASSERT_TRUE(base.ok());
+    core::ObjectRankEngine engine(dblp.dataset.authority());
+    core::ObjectRankOptions or_options;
+    or_options.epsilon = 1e-12;
+    auto rank = engine.Compute(*base, rates, or_options);
+    auto top = core::TopKOfType(rank.scores, 2, dblp.dataset.data(),
+                                dblp.types.paper);
+    ASSERT_FALSE(top.empty());
+
+    Explainer explainer(dblp.dataset.data(), dblp.dataset.authority());
+    ExplainOptions options;
+    options.radius = 3;
+    options.epsilon = 1e-14;
+    options.max_iterations = 2000;
+    auto explanation = explainer.Explain(top[0].node, *base, rank.scores,
+                                         rates, 0.85, options);
+    ASSERT_TRUE(explanation.ok());
+    ASSERT_TRUE(explanation->converged);
+    CheckConservation(explanation->subgraph, rank.scores, 0.85);
+  }
+}
+
+// On a citations-only graph (every reverse rate zero) the explaining
+// subgraph is a DAG, so h has an exact solution by processing nodes in
+// reverse-topological (here: ascending-id, since citations point to
+// *earlier* papers and flow runs old -> ...). Verify the fixpoint agrees.
+TEST(ExplainConservationTest, DagFixpointIsExact) {
+  datasets::DblpTypes types;
+  auto schema = datasets::MakeDblpSchema(&types);
+  datasets::Dataset dataset(std::move(schema), "dag");
+  graph::DataGraph& data = dataset.mutable_data();
+
+  // A small citation DAG: p0 <- p1 <- p2 <- p3, plus skip edges.
+  std::vector<graph::NodeId> papers;
+  for (int i = 0; i < 6; ++i) {
+    papers.push_back(*data.AddNode(
+        types.paper, {{"Title", "olap paper " + std::to_string(i)}}));
+  }
+  auto cite = [&](int from, int to) {
+    ASSERT_TRUE(data.AddEdge(papers[from], papers[to], types.cites).ok());
+  };
+  cite(1, 0);
+  cite(2, 0);
+  cite(2, 1);
+  cite(3, 1);
+  cite(4, 2);
+  cite(5, 3);
+  cite(5, 0);
+  dataset.Finalize();
+
+  graph::TransferRates rates(dataset.schema(), 0.0);
+  ASSERT_TRUE(rates.SetBoth(types.cites, 0.7, 0.0).ok());  // DAG: no reverse
+
+  text::QueryVector q(text::ParseQuery("olap"));
+  auto base = core::BuildBaseSet(dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  core::ObjectRankEngine engine(dataset.authority());
+  auto rank = engine.Compute(*base, rates, {});
+
+  Explainer explainer(dataset.data(), dataset.authority());
+  ExplainOptions options;
+  options.radius = 6;
+  options.epsilon = 1e-15;
+  options.prune_fraction = 0.0;
+  auto explanation =
+      explainer.Explain(papers[0], *base, rank.scores, rates, 0.85, options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  // On a DAG the Jacobi iteration converges exactly within depth+1 passes.
+  EXPECT_LE(explanation->iterations, 8);
+
+  // Exact h by processing global ids in ascending order (edges only go
+  // from higher ids to lower ids).
+  std::vector<double> exact(sub.num_nodes(), 0.0);
+  exact[sub.target_local()] = 1.0;
+  std::vector<LocalId> order(sub.num_nodes());
+  for (LocalId v = 0; v < sub.num_nodes(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](LocalId a, LocalId b) {
+    return sub.GlobalId(a) < sub.GlobalId(b);
+  });
+  for (LocalId v : order) {
+    if (v == sub.target_local()) continue;
+    double h = 0.0;
+    for (uint32_t ei : sub.OutEdgeIndices(v)) {
+      h += exact[sub.edges()[ei].to] * sub.edges()[ei].rate;
+    }
+    exact[v] = h;
+  }
+  for (LocalId v = 0; v < sub.num_nodes(); ++v) {
+    EXPECT_NEAR(sub.ReductionFactor(v), exact[v], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace orx::explain

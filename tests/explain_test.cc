@@ -1,0 +1,291 @@
+#include "explain/explainer.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblp_generator.h"
+#include "datasets/figure1.h"
+#include "text/query.h"
+
+namespace orx::explain {
+namespace {
+
+class ExplainFigure1Test : public ::testing::Test {
+ protected:
+  ExplainFigure1Test()
+      : fig_(datasets::MakeFigure1Dataset()),
+        rates_(datasets::DblpGroundTruthRates(fig_.dataset.schema(),
+                                              fig_.types)),
+        engine_(fig_.dataset.authority()),
+        explainer_(fig_.dataset.data(), fig_.dataset.authority()) {
+    text::QueryVector q(text::ParseQuery("olap"));
+    base_ = *core::BuildBaseSet(fig_.dataset.corpus(), q);
+    core::ObjectRankOptions options;
+    options.epsilon = 1e-10;
+    scores_ = engine_.Compute(base_, rates_, options).scores;
+  }
+
+  StatusOr<Explanation> ExplainV4(ExplainOptions options = {}) {
+    return explainer_.Explain(fig_.v4_range_queries, base_, scores_, rates_,
+                              0.85, options);
+  }
+
+  datasets::Figure1Dataset fig_;
+  graph::TransferRates rates_;
+  core::ObjectRankEngine engine_;
+  Explainer explainer_;
+  core::BaseSet base_;
+  std::vector<double> scores_;
+};
+
+// Example 1 (Section 4): the explaining subgraph of v4 contains v1..v6 but
+// NOT the "Data Cube" paper v7, because no authority flows from v7 to v4.
+TEST_F(ExplainFigure1Test, Example1NodeSet) {
+  ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  EXPECT_EQ(sub.num_nodes(), 6u);
+  EXPECT_TRUE(sub.Contains(fig_.v1_index_selection));
+  EXPECT_TRUE(sub.Contains(fig_.v2_icde));
+  EXPECT_TRUE(sub.Contains(fig_.v3_icde1997));
+  EXPECT_TRUE(sub.Contains(fig_.v4_range_queries));
+  EXPECT_TRUE(sub.Contains(fig_.v5_modeling));
+  EXPECT_TRUE(sub.Contains(fig_.v6_agrawal));
+  EXPECT_FALSE(sub.Contains(fig_.v7_data_cube));
+  EXPECT_EQ(sub.target_global(), fig_.v4_range_queries);
+}
+
+TEST_F(ExplainFigure1Test, TargetReductionFactorIsOne) {
+  ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_DOUBLE_EQ(explanation->subgraph.ReductionFactor(
+                       explanation->subgraph.target_local()),
+                   1.0);
+  EXPECT_TRUE(explanation->converged);
+  EXPECT_GT(explanation->iterations, 0);
+}
+
+// "Note that the flow on edges v_i -> v, i.e., edges that end at v, are
+// not adjusted" (Section 4).
+TEST_F(ExplainFigure1Test, IncomingFlowsOfTargetAreUnadjusted) {
+  ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  for (uint32_t ei : sub.InEdgeIndices(sub.target_local())) {
+    const ExplainEdge& e = sub.edges()[ei];
+    EXPECT_DOUBLE_EQ(e.adjusted_flow, e.original_flow);
+  }
+}
+
+// The h fixpoint (Equation 10) must be satisfied at convergence.
+TEST_F(ExplainFigure1Test, ReductionFactorsSatisfyEquation10) {
+  ExplainOptions options;
+  options.radius = 5;
+  options.epsilon = 1e-12;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  for (LocalId v = 0; v < sub.num_nodes(); ++v) {
+    if (v == sub.target_local()) continue;
+    double expected = 0.0;
+    for (uint32_t ei : sub.OutEdgeIndices(v)) {
+      const ExplainEdge& e = sub.edges()[ei];
+      expected += sub.ReductionFactor(e.to) * e.rate;
+    }
+    EXPECT_NEAR(sub.ReductionFactor(v), expected, 1e-9);
+  }
+}
+
+TEST_F(ExplainFigure1Test, AdjustedFlowsFollowEquation7) {
+  ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  for (const ExplainEdge& e : sub.edges()) {
+    EXPECT_NEAR(e.adjusted_flow,
+                sub.ReductionFactor(e.to) * e.original_flow, 1e-12);
+    EXPECT_GE(e.adjusted_flow, 0.0);
+    EXPECT_LE(e.adjusted_flow, e.original_flow + 1e-12);
+    // Original flows follow Equation 5.
+    EXPECT_NEAR(e.original_flow,
+                0.85 * e.rate * scores_[sub.GlobalId(e.from)], 1e-12);
+  }
+}
+
+TEST_F(ExplainFigure1Test, DistancesToTarget) {
+  ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  auto dist = [&](graph::NodeId v) {
+    return sub.DistanceToTarget(sub.LocalOf(v));
+  };
+  EXPECT_EQ(dist(fig_.v4_range_queries), 0);
+  EXPECT_EQ(dist(fig_.v6_agrawal), 1);    // author -> paper (AP)
+  EXPECT_EQ(dist(fig_.v5_modeling), 2);   // modeling -> author -> paper
+  EXPECT_EQ(dist(fig_.v3_icde1997), 3);   // year -> modeling -> author -> v4
+  EXPECT_EQ(dist(fig_.v1_index_selection), 4);
+  EXPECT_EQ(dist(fig_.v2_icde), 4);
+}
+
+TEST_F(ExplainFigure1Test, RadiusLimitsTheSubgraph) {
+  ExplainOptions options;
+  options.radius = 2;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  // Within radius 2 only v4, v6 (dist 1) and v5 (dist 2) are reachable.
+  EXPECT_TRUE(sub.Contains(fig_.v4_range_queries));
+  EXPECT_TRUE(sub.Contains(fig_.v6_agrawal));
+  EXPECT_FALSE(sub.Contains(fig_.v3_icde1997));
+  EXPECT_FALSE(sub.Contains(fig_.v1_index_selection));
+}
+
+TEST_F(ExplainFigure1Test, SourceFlags) {
+  ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  // Base set = {v1, v4}; both are in the subgraph and flagged as sources.
+  EXPECT_TRUE(sub.IsSource(sub.LocalOf(fig_.v1_index_selection)));
+  EXPECT_TRUE(sub.IsSource(sub.LocalOf(fig_.v4_range_queries)));
+  EXPECT_FALSE(sub.IsSource(sub.LocalOf(fig_.v6_agrawal)));
+}
+
+TEST_F(ExplainFigure1Test, ErrorsOnBadInput) {
+  EXPECT_EQ(explainer_.Explain(999, base_, scores_, rates_, 0.85, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> short_scores(3, 0.0);
+  EXPECT_EQ(explainer_
+                .Explain(fig_.v4_range_queries, base_, short_scores, rates_,
+                         0.85, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  ExplainOptions bad_radius;
+  bad_radius.radius = 0;
+  EXPECT_EQ(ExplainV4(bad_radius).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplainFigure1Test, UnreachableTargetIsNotFound) {
+  // With zero rates nothing flows anywhere: no node can be explained.
+  graph::TransferRates zero(fig_.dataset.schema(), 0.0);
+  auto result = explainer_.Explain(fig_.v7_data_cube, base_, scores_, zero,
+                                   0.85, {});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExplainFigure1Test, ToStringMentionsTargetAndFlows) {
+  auto explanation = ExplainV4({});
+  ASSERT_TRUE(explanation.ok());
+  const std::string s =
+      explanation->subgraph.ToString(fig_.dataset.data());
+  EXPECT_NE(s.find("Range Queries"), std::string::npos);
+  EXPECT_NE(s.find("flow="), std::string::npos);
+}
+
+TEST_F(ExplainFigure1Test, ToDotRendersValidGraphviz) {
+  explain::ExplainOptions options;
+  options.radius = 5;
+  auto explanation = ExplainV4(options);
+  ASSERT_TRUE(explanation.ok());
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  const std::string dot = sub.ToDot(fig_.dataset.data());
+  EXPECT_NE(dot.find("digraph explaining_subgraph"), std::string::npos);
+  // The target is double-circled; base-set sources are shaded.
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+  // One node statement per node, one edge statement per edge.
+  size_t arrows = 0;
+  for (size_t p = dot.find("->"); p != std::string::npos;
+       p = dot.find("->", p + 2)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, sub.num_edges());
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST_F(ExplainFigure1Test, ToDotEscapesQuotes) {
+  // A title with a quote must not break the DOT syntax.
+  datasets::DblpTypes types;
+  auto schema = datasets::MakeDblpSchema(&types);
+  datasets::Dataset dataset(std::move(schema), "quote-test");
+  graph::DataGraph& data = dataset.mutable_data();
+  graph::NodeId a = *data.AddNode(
+      types.paper, {{"Title", "A \"quoted\" olap title"}});
+  graph::NodeId b = *data.AddNode(types.paper, {{"Title", "plain olap"}});
+  ASSERT_TRUE(data.AddEdge(b, a, types.cites).ok());
+  dataset.Finalize();
+
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dataset.schema(), types);
+  core::ObjectRankEngine engine(dataset.authority());
+  text::QueryVector q(text::ParseQuery("olap"));
+  auto base = core::BuildBaseSet(dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  auto rank = engine.Compute(*base, rates, {});
+  Explainer explainer(dataset.data(), dataset.authority());
+  auto explanation = explainer.Explain(a, *base, rank.scores, rates, 0.85,
+                                       {});
+  ASSERT_TRUE(explanation.ok());
+  const std::string dot = explanation->subgraph.ToDot(dataset.data());
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+// On a larger generated graph, the explaining fixpoint converges in a few
+// iterations (Table 3 reports 4-11) and every invariant holds.
+TEST(ExplainGeneratedTest, InvariantsOnGeneratedDblp) {
+  datasets::DblpDataset dblp = datasets::GenerateDblp(
+      datasets::DblpGeneratorConfig::Tiny(/*papers=*/600, /*seed=*/17));
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  text::QueryVector q(text::ParseQuery("data"));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  auto rank = engine.Compute(*base, rates, {});
+
+  // Explain the top-ranked paper.
+  graph::NodeId best = 0;
+  for (graph::NodeId v = 1; v < rank.scores.size(); ++v) {
+    if (dblp.dataset.data().NodeType(v) == dblp.types.paper &&
+        rank.scores[v] > rank.scores[best]) {
+      best = v;
+    }
+  }
+  Explainer explainer(dblp.dataset.data(), dblp.dataset.authority());
+  ExplainOptions options;
+  options.radius = 3;
+  auto explanation =
+      explainer.Explain(best, *base, rank.scores, rates, 0.85, options);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->converged);
+  EXPECT_GE(explanation->iterations, 1);
+  EXPECT_LE(explanation->iterations, 200);
+  const ExplainingSubgraph& sub = explanation->subgraph;
+  EXPECT_GT(sub.num_nodes(), 1u);
+  EXPECT_GT(sub.num_edges(), 0u);
+  for (LocalId v = 0; v < sub.num_nodes(); ++v) {
+    const double h = sub.ReductionFactor(v);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0 + 1e-9);  // rates sum <= 1 per type, so h <= 1
+    // Every node reaches the target (flow pruning removes dead ends). The
+    // distance can exceed the radius: the radius bounds the candidate
+    // ball, and pruning may leave only a longer high-flow path.
+    EXPECT_GE(sub.DistanceToTarget(v), 0);
+  }
+}
+
+}  // namespace
+}  // namespace orx::explain

@@ -1,0 +1,76 @@
+#include "core/hits.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/figure1.h"
+#include "text/query.h"
+
+namespace orx::core {
+namespace {
+
+class HitsTest : public ::testing::Test {
+ protected:
+  HitsTest() : fig_(datasets::MakeFigure1Dataset()) {
+    text::QueryVector q(text::ParseQuery("olap"));
+    base_ = *BuildBaseSet(fig_.dataset.corpus(), q);
+  }
+
+  datasets::Figure1Dataset fig_;
+  BaseSet base_;
+};
+
+TEST_F(HitsTest, AuthorityFavorsTheMostCitedPaper) {
+  auto result = ComputeHits(fig_.dataset.data(), base_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // v7 is cited by three papers inside the focused subgraph.
+  for (graph::NodeId v = 0; v < fig_.dataset.data().num_nodes(); ++v) {
+    if (v == fig_.v7_data_cube) continue;
+    EXPECT_GE(result->authorities[fig_.v7_data_cube],
+              result->authorities[v]);
+  }
+}
+
+TEST_F(HitsTest, HubFavorsThePaperCitingMost) {
+  auto result = ComputeHits(fig_.dataset.data(), base_);
+  ASSERT_TRUE(result.ok());
+  // v4 cites two papers (v7, v5), more than any other single node points
+  // to high-authority nodes.
+  EXPECT_GT(result->hubs[fig_.v4_range_queries],
+            result->hubs[fig_.v7_data_cube]);
+}
+
+TEST_F(HitsTest, VectorsAreNormalizedOverTheSubgraph) {
+  auto result = ComputeHits(fig_.dataset.data(), base_);
+  ASSERT_TRUE(result.ok());
+  double auth_sum = 0.0, hub_sum = 0.0;
+  for (size_t v = 0; v < result->authorities.size(); ++v) {
+    EXPECT_GE(result->authorities[v], 0.0);
+    EXPECT_GE(result->hubs[v], 0.0);
+    auth_sum += result->authorities[v];
+    hub_sum += result->hubs[v];
+  }
+  EXPECT_NEAR(auth_sum, 1.0, 1e-9);
+  EXPECT_NEAR(hub_sum, 1.0, 1e-9);
+  EXPECT_GT(result->subgraph_size, 0u);
+  EXPECT_LE(result->subgraph_size, fig_.dataset.data().num_nodes());
+}
+
+TEST_F(HitsTest, ZeroExpansionRestrictsToRootSet) {
+  HitsOptions options;
+  options.expansion_hops = 0;
+  auto result = ComputeHits(fig_.dataset.data(), base_, options);
+  ASSERT_TRUE(result.ok());
+  // Root set = {v1, v4}; nothing else may carry mass.
+  EXPECT_EQ(result->subgraph_size, 2u);
+  EXPECT_DOUBLE_EQ(result->authorities[fig_.v7_data_cube], 0.0);
+}
+
+TEST_F(HitsTest, EmptyBaseSetIsInvalid) {
+  BaseSet empty;
+  EXPECT_EQ(ComputeHits(fig_.dataset.data(), empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace orx::core

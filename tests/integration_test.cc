@@ -1,0 +1,180 @@
+// End-to-end pipeline tests: generate a dataset, search, explain the top
+// result, reformulate from feedback, and search again — the full loop the
+// paper's system executes per user interaction.
+
+#include <gtest/gtest.h>
+
+#include "core/searcher.h"
+#include "datasets/bio_generator.h"
+#include "datasets/dblp_generator.h"
+#include "explain/explainer.h"
+#include "reformulate/reformulator.h"
+#include "text/query.h"
+
+namespace orx {
+namespace {
+
+class DblpPipelineTest : public ::testing::Test {
+ protected:
+  DblpPipelineTest()
+      : dblp_(datasets::GenerateDblp(
+            datasets::DblpGeneratorConfig::Tiny(/*papers=*/1500,
+                                                /*seed=*/77))),
+        rates_(datasets::DblpGroundTruthRates(dblp_.dataset.schema(),
+                                              dblp_.types)) {}
+
+  datasets::DblpDataset dblp_;
+  graph::TransferRates rates_;
+};
+
+TEST_F(DblpPipelineTest, SearchExplainReformulateSearch) {
+  const graph::DataGraph& data = dblp_.dataset.data();
+  core::Searcher searcher(data, dblp_.dataset.authority(),
+                          dblp_.dataset.corpus());
+  searcher.PrecomputeGlobalRank(rates_);
+
+  // 1. Search.
+  text::QueryVector query(text::ParseQuery("query optimization"));
+  core::SearchOptions search_options;
+  search_options.result_type = dblp_.types.paper;
+  auto search = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(search.ok());
+  ASSERT_FALSE(search->top.empty());
+  EXPECT_TRUE(search->converged);
+
+  // 2. Explain the top result.
+  auto base = core::BuildBaseSet(dblp_.dataset.corpus(), query);
+  ASSERT_TRUE(base.ok());
+  explain::Explainer explainer(data, dblp_.dataset.authority());
+  explain::ExplainOptions explain_options;
+  explain_options.radius = 3;
+  auto explanation = explainer.Explain(search->top[0].node, *base,
+                                       search->scores, rates_, 0.85,
+                                       explain_options);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->subgraph.Contains(search->top[0].node));
+  EXPECT_GT(explanation->subgraph.num_edges(), 0u);
+
+  // 3. Reformulate with the top result as feedback.
+  reform::Reformulator reformulator(data, dblp_.dataset.authority(),
+                                    dblp_.dataset.corpus());
+  reform::ReformulationOptions reform_options;
+  reform_options.content.expansion = 0.2;
+  reform_options.structure.adjustment = 0.5;
+  const graph::NodeId feedback[] = {search->top[0].node};
+  auto reformulated = reformulator.Reformulate(
+      query, rates_, *base, search->scores, feedback, reform_options);
+  ASSERT_TRUE(reformulated.ok());
+  ASSERT_EQ(reformulated->explanations.size(), 1u);
+  EXPECT_GE(reformulated->query.size(), query.size());
+
+  // 4. Search with the reformulated query and rates; warm start should
+  //    make it cheaper than the initial query.
+  auto second = searcher.Search(reformulated->query, reformulated->rates,
+                                search_options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->top.empty());
+  EXPECT_LE(second->iterations, search->iterations);
+}
+
+TEST_F(DblpPipelineTest, FeedbackBoostsSimilarResults) {
+  // Marking a result relevant and reformulating should keep that result's
+  // neighborhood highly ranked: the feedback object itself must stay in
+  // the top-k of the reformulated query (content expansion pulls its
+  // terms in; structure adjustment favors its inflow edge types).
+  const graph::DataGraph& data = dblp_.dataset.data();
+  core::Searcher searcher(data, dblp_.dataset.authority(),
+                          dblp_.dataset.corpus());
+  text::QueryVector query(text::ParseQuery("mining"));
+  core::SearchOptions search_options;
+  search_options.result_type = dblp_.types.paper;
+  search_options.k = 20;
+  auto search = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(search.ok());
+  ASSERT_GE(search->top.size(), 3u);
+  const graph::NodeId liked = search->top[2].node;
+
+  auto base = core::BuildBaseSet(dblp_.dataset.corpus(), query);
+  reform::Reformulator reformulator(data, dblp_.dataset.authority(),
+                                    dblp_.dataset.corpus());
+  reform::ReformulationOptions reform_options;
+  reform_options.content.expansion = 0.5;
+  reform_options.structure.adjustment = 0.5;
+  const graph::NodeId feedback[] = {liked};
+  auto reformulated = reformulator.Reformulate(
+      query, rates_, *base, search->scores, feedback, reform_options);
+  ASSERT_TRUE(reformulated.ok());
+
+  auto second = searcher.Search(reformulated->query, reformulated->rates,
+                                search_options);
+  ASSERT_TRUE(second.ok());
+  bool liked_still_top = false;
+  for (const core::ScoredNode& r : second->top) {
+    liked_still_top |= (r.node == liked);
+  }
+  EXPECT_TRUE(liked_still_top);
+}
+
+TEST(BioPipelineTest, CrossEntityExplanation) {
+  datasets::BioDataset bio = datasets::GenerateBio(
+      datasets::BioGeneratorConfig::Tiny(/*pubs=*/1500, /*seed=*/41));
+  const graph::DataGraph& data = bio.dataset.data();
+  graph::TransferRates rates =
+      datasets::BioGroundTruthRates(bio.dataset.schema(), bio.types);
+
+  core::Searcher searcher(data, bio.dataset.authority(),
+                          bio.dataset.corpus());
+  text::QueryVector query(text::ParseQuery("kinase"));
+  core::SearchOptions options;
+  options.k = 50;
+  auto search = searcher.Search(query, rates, options);
+  ASSERT_TRUE(search.ok());
+
+  // Find a highly-ranked gene or protein (an object that typically does
+  // not contain the keyword) and explain it.
+  graph::NodeId entity = graph::kInvalidNodeId;
+  for (const core::ScoredNode& r : search->top) {
+    if (data.NodeType(r.node) == bio.types.gene ||
+        data.NodeType(r.node) == bio.types.protein) {
+      entity = r.node;
+      break;
+    }
+  }
+  ASSERT_NE(entity, graph::kInvalidNodeId)
+      << "expected an entity in the top-50";
+
+  auto base = core::BuildBaseSet(bio.dataset.corpus(), query);
+  explain::Explainer explainer(data, bio.dataset.authority());
+  auto explanation =
+      explainer.Explain(entity, *base, search->scores, rates, 0.85, {});
+  ASSERT_TRUE(explanation.ok());
+  // The explanation must include at least one publication (the authority
+  // source type) — that's what justifies the entity's rank to the user.
+  bool has_pub = false;
+  const auto& sub = explanation->subgraph;
+  for (explain::LocalId v = 0; v < sub.num_nodes(); ++v) {
+    has_pub |= data.NodeType(sub.GlobalId(v)) == bio.types.pubmed;
+  }
+  EXPECT_TRUE(has_pub);
+}
+
+TEST(ScaleSmokeTest, MidSizeDblpEndToEnd) {
+  // A mid-size graph exercises CSR paths that tiny graphs may not
+  // (multi-block offsets, larger base sets).
+  datasets::DblpGeneratorConfig config =
+      datasets::DblpGeneratorConfig::Tiny(/*papers=*/5000, /*seed=*/3);
+  config.avg_citations = 6.0;
+  datasets::DblpDataset dblp = datasets::GenerateDblp(config);
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::Searcher searcher(dblp.dataset.data(), dblp.dataset.authority(),
+                          dblp.dataset.corpus());
+  text::QueryVector q(text::ParseQuery("data"));
+  auto result = searcher.Search(q, rates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->top.size(), 10u);
+}
+
+}  // namespace
+}  // namespace orx

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace orx {
+namespace {
+
+TEST(LoggingTest, VerboseToggle) {
+  EXPECT_FALSE(VerboseLoggingEnabled());
+  SetVerboseLogging(true);
+  EXPECT_TRUE(VerboseLoggingEnabled());
+  SetVerboseLogging(false);
+  EXPECT_FALSE(VerboseLoggingEnabled());
+}
+
+TEST(LoggingTest, MacrosCompileAndStream) {
+  // Output goes to stderr; the assertions here are that the macros accept
+  // stream syntax for mixed types and that VLOG is a no-op when verbose
+  // logging is off (it must not evaluate into a visible line — and, more
+  // importantly, must not break the build in expression position).
+  ORX_LOG(Info) << "info line " << 42 << " " << 3.14;
+  ORX_LOG(Warning) << "warning line";
+  ORX_LOG(Error) << "error line";
+  SetVerboseLogging(false);
+  ORX_VLOG() << "suppressed debug line";
+  SetVerboseLogging(true);
+  ORX_VLOG() << "visible debug line";
+  SetVerboseLogging(false);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckFiresOnViolation) {
+  EXPECT_DEATH({ ORX_CHECK(1 + 1 == 3); }, "ORX_CHECK failed");
+  EXPECT_DEATH({ ORX_CHECK_MSG(false, "with context"); }, "with context");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  ORX_CHECK(true);
+  ORX_CHECK_MSG(2 + 2 == 4, "arithmetic works");
+  ORX_DCHECK(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace orx

@@ -1,0 +1,297 @@
+// Parameterized property sweeps (TEST_P): invariants that must hold across
+// damping factors, seeds, radii and adjustment factors, on generated
+// graphs rather than hand-built ones.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/searcher.h"
+#include "datasets/dblp_generator.h"
+#include "explain/explainer.h"
+#include "reformulate/reformulator.h"
+#include "text/query.h"
+
+namespace orx {
+namespace {
+
+// One shared mid-size graph for all properties (generation dominates test
+// time otherwise).
+class SharedDblp {
+ public:
+  static const datasets::DblpDataset& Get() {
+    static const datasets::DblpDataset& dblp = *new datasets::DblpDataset(
+        datasets::GenerateDblp(
+            datasets::DblpGeneratorConfig::Tiny(/*papers=*/1000,
+                                                /*seed=*/123)));
+    return dblp;
+  }
+};
+
+// ----------------------------------------------------------------------
+// ObjectRank properties across damping factors.
+// ----------------------------------------------------------------------
+
+class ObjectRankDampingProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ObjectRankDampingProperty, ScoresAreAProbabilitySubdistribution) {
+  const auto& dblp = SharedDblp::Get();
+  const double damping = GetParam();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+
+  text::QueryVector q(text::ParseQuery("data"));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  core::ObjectRankOptions options;
+  options.damping = damping;
+  options.epsilon = 1e-8;
+  auto result = engine.Compute(*base, rates, options);
+  EXPECT_TRUE(result.converged);
+
+  double sum = 0.0;
+  for (double s : result.scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_TRUE(std::isfinite(s));
+    sum += s;
+  }
+  // The jump mass injects (1 - d) each step and each node forwards at
+  // most d of its mass, so the stationary total is at most 1.
+  EXPECT_LE(sum, 1.0 + 1e-6);
+  if (damping < 1.0) {
+    EXPECT_GT(sum, 0.0);
+  }
+}
+
+TEST_P(ObjectRankDampingProperty, WarmStartFindsTheSameFixpoint) {
+  const auto& dblp = SharedDblp::Get();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  text::QueryVector q(text::ParseQuery("systems"));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+
+  core::ObjectRankOptions options;
+  options.damping = GetParam();
+  options.epsilon = 1e-10;
+  auto cold = engine.Compute(*base, rates, options);
+  auto global = engine.ComputeGlobal(rates, options);
+  auto warm = engine.Compute(*base, rates, options, &global.scores);
+  for (size_t v = 0; v < cold.scores.size(); ++v) {
+    EXPECT_NEAR(cold.scores[v], warm.scores[v], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DampingSweep, ObjectRankDampingProperty,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.85,
+                                           0.95));
+
+// ----------------------------------------------------------------------
+// Parallel engine: identical fixpoints for every thread count, and
+// bit-identical results across parallel partitionings.
+// ----------------------------------------------------------------------
+
+class ObjectRankThreadsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObjectRankThreadsProperty, MatchesSequentialFixpoint) {
+  const auto& dblp = SharedDblp::Get();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  text::QueryVector q(text::ParseQuery("data"));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+
+  core::ObjectRankOptions sequential;
+  sequential.epsilon = 1e-10;
+  auto seq = engine.Compute(*base, rates, sequential);
+
+  core::ObjectRankOptions parallel = sequential;
+  parallel.num_threads = GetParam();
+  auto par = engine.Compute(*base, rates, parallel);
+  ASSERT_EQ(seq.scores.size(), par.scores.size());
+  for (size_t v = 0; v < seq.scores.size(); ++v) {
+    EXPECT_NEAR(seq.scores[v], par.scores[v], 1e-9);
+  }
+
+  // Pull-based passes are bit-identical across thread counts.
+  core::ObjectRankOptions two = parallel;
+  two.num_threads = 2;
+  auto par2 = engine.Compute(*base, rates, two);
+  if (GetParam() >= 2) {
+    EXPECT_EQ(par.scores, par2.scores);
+    EXPECT_EQ(par.iterations, par2.iterations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, ObjectRankThreadsProperty,
+                         ::testing::Values(2, 3, 4, 8));
+
+// ----------------------------------------------------------------------
+// Explaining-subgraph properties across radii.
+// ----------------------------------------------------------------------
+
+class ExplainRadiusProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExplainRadiusProperty, SubgraphInvariants) {
+  const auto& dblp = SharedDblp::Get();
+  const int radius = GetParam();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  text::QueryVector q(text::ParseQuery("data"));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  auto rank = engine.Compute(*base, rates, {});
+
+  auto top = core::TopKOfType(rank.scores, 3, dblp.dataset.data(),
+                              dblp.types.paper);
+  ASSERT_FALSE(top.empty());
+  explain::Explainer explainer(dblp.dataset.data(),
+                               dblp.dataset.authority());
+  explain::ExplainOptions options;
+  options.radius = radius;
+  options.epsilon = 1e-10;
+
+  for (const core::ScoredNode& target : top) {
+    auto explanation = explainer.Explain(target.node, *base, rank.scores,
+                                         rates, 0.85, options);
+    if (!explanation.ok()) {
+      EXPECT_EQ(explanation.status().code(), StatusCode::kNotFound);
+      continue;
+    }
+    const auto& sub = explanation->subgraph;
+    EXPECT_TRUE(explanation->converged);
+    EXPECT_DOUBLE_EQ(sub.ReductionFactor(sub.target_local()), 1.0);
+    for (explain::LocalId v = 0; v < sub.num_nodes(); ++v) {
+      EXPECT_GE(sub.ReductionFactor(v), 0.0);
+      EXPECT_LE(sub.ReductionFactor(v), 1.0 + 1e-9);
+      // Reachable (pruning removes dead ends); the distance may exceed
+      // the radius when only a longer high-flow path survives pruning.
+      EXPECT_GE(sub.DistanceToTarget(v), 0);
+      if (v != sub.target_local()) {
+        // Equation 10 holds at the fixpoint.
+        double expected = 0.0;
+        for (uint32_t ei : sub.OutEdgeIndices(v)) {
+          expected += sub.ReductionFactor(sub.edges()[ei].to) *
+                      sub.edges()[ei].rate;
+        }
+        EXPECT_NEAR(sub.ReductionFactor(v), expected, 1e-7);
+      }
+    }
+    for (const explain::ExplainEdge& e : sub.edges()) {
+      EXPECT_GE(e.adjusted_flow, 0.0);
+      EXPECT_LE(e.adjusted_flow, e.original_flow + 1e-12);
+      EXPECT_GT(e.rate, 0.0);
+    }
+    // Monotonicity: with pruning disabled, larger radii can only add
+    // nodes/edges. (Relative pruning breaks this: a bigger ball can raise
+    // the max flow and hence the pruning threshold.)
+    if (radius > 1) {
+      explain::ExplainOptions unpruned = options;
+      unpruned.prune_fraction = 0.0;
+      explain::ExplainOptions smaller = unpruned;
+      smaller.radius = radius - 1;
+      auto big = explainer.Explain(target.node, *base, rank.scores, rates,
+                                   0.85, unpruned);
+      auto prev = explainer.Explain(target.node, *base, rank.scores, rates,
+                                    0.85, smaller);
+      if (big.ok() && prev.ok()) {
+        EXPECT_LE(prev->subgraph.num_nodes(), big->subgraph.num_nodes());
+        EXPECT_LE(prev->subgraph.num_edges(), big->subgraph.num_edges());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RadiusSweep, ExplainRadiusProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ----------------------------------------------------------------------
+// Structure-reformulation properties across C_f.
+// ----------------------------------------------------------------------
+
+class ReformAdjustmentProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReformAdjustmentProperty, RepeatedRoundsPreserveRateInvariants) {
+  const auto& dblp = SharedDblp::Get();
+  const double cf = GetParam();
+  const graph::SchemaGraph& schema = dblp.dataset.schema();
+  graph::TransferRates rates = datasets::DblpUniformRates(schema, 0.3);
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  reform::Reformulator reformulator(dblp.dataset.data(),
+                                    dblp.dataset.authority(),
+                                    dblp.dataset.corpus());
+
+  text::QueryVector query(text::ParseQuery("data"));
+  for (int round = 0; round < 3; ++round) {
+    auto base = core::BuildBaseSet(dblp.dataset.corpus(), query);
+    ASSERT_TRUE(base.ok());
+    auto rank = engine.Compute(*base, rates, {});
+    auto top = core::TopKOfType(rank.scores, 2, dblp.dataset.data(),
+                                dblp.types.paper);
+    ASSERT_FALSE(top.empty());
+    std::vector<graph::NodeId> feedback;
+    for (const auto& r : top) feedback.push_back(r.node);
+
+    reform::ReformulationOptions options;
+    options.structure.adjustment = cf;
+    options.content.expansion = 0.2;
+    auto result = reformulator.Reformulate(query, rates, *base, rank.scores,
+                                           feedback, options);
+    ASSERT_TRUE(result.ok());
+    query = result->query;
+    rates = result->rates;
+
+    for (uint32_t s = 0; s < rates.num_slots(); ++s) {
+      EXPECT_GE(rates.slot(s), 0.0);
+      EXPECT_LE(rates.slot(s), 1.0 + 1e-12);
+    }
+    for (graph::TypeId t = 0; t < schema.num_node_types(); ++t) {
+      EXPECT_LE(rates.OutgoingSum(schema, t), 1.0 + 1e-9);
+    }
+    for (double w : query.weights()) {
+      EXPECT_GT(w, 0.0);
+      EXPECT_TRUE(std::isfinite(w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AdjustmentSweep, ReformAdjustmentProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+// ----------------------------------------------------------------------
+// Base-set properties across queries.
+// ----------------------------------------------------------------------
+
+class BaseSetQueryProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BaseSetQueryProperty, WeightsAreAProbabilityDistribution) {
+  const auto& dblp = SharedDblp::Get();
+  text::QueryVector q(text::ParseQuery(GetParam()));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), q);
+  ASSERT_TRUE(base.ok());
+  EXPECT_NEAR(base->WeightSum(), 1.0, 1e-9);
+  graph::NodeId prev = 0;
+  bool first = true;
+  for (const auto& [node, w] : base->entries) {
+    EXPECT_GT(w, 0.0);
+    if (!first) {
+      EXPECT_GT(node, prev);  // sorted, deduplicated
+    }
+    prev = node;
+    first = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QuerySweep, BaseSetQueryProperty,
+                         ::testing::Values("data", "query optimization",
+                                           "xml", "mining",
+                                           "proximity search",
+                                           "ranked search", "olap"));
+
+}  // namespace
+}  // namespace orx

@@ -1,0 +1,269 @@
+#include "core/rank_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/searcher.h"
+#include "datasets/dblp_generator.h"
+#include "datasets/figure1.h"
+#include "text/query.h"
+
+namespace orx::core {
+namespace {
+
+class RankCacheTest : public ::testing::Test {
+ protected:
+  RankCacheTest()
+      : dblp_(datasets::GenerateDblp(
+            datasets::DblpGeneratorConfig::Tiny(/*papers=*/800,
+                                                /*seed=*/55))),
+        rates_(datasets::DblpGroundTruthRates(dblp_.dataset.schema(),
+                                              dblp_.types)) {
+    options_.objectrank.epsilon = 1e-9;
+  }
+
+  // Direct (uncached) scores for a query.
+  std::vector<double> DirectScores(const text::QueryVector& query) {
+    Searcher searcher(dblp_.dataset.data(), dblp_.dataset.authority(),
+                      dblp_.dataset.corpus());
+    SearchOptions search_options;
+    search_options.objectrank = options_.objectrank;
+    search_options.bm25 = options_.bm25;
+    search_options.use_warm_start = false;
+    auto result = searcher.Search(query, rates_, search_options);
+    EXPECT_TRUE(result.ok());
+    return result->scores;
+  }
+
+  datasets::DblpDataset dblp_;
+  graph::TransferRates rates_;
+  RankCache::Options options_;
+};
+
+TEST_F(RankCacheTest, SingleTermMatchesDirectSearch) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  ASSERT_TRUE(cache.Contains("data"));
+
+  text::QueryVector query(text::ParseQuery("data"));
+  auto cached = cache.Query(query);
+  ASSERT_TRUE(cached.ok());
+  auto direct = DirectScores(query);
+  ASSERT_EQ(cached->scores.size(), direct.size());
+  for (size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_NEAR(cached->scores[v], direct[v], 1e-5);
+  }
+  EXPECT_TRUE(cached->missing_terms.empty());
+}
+
+TEST_F(RankCacheTest, MultiTermLinearCombinationIsExact) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "query", "systems"}, options_);
+
+  text::QueryVector query(text::ParseQuery("data query systems"));
+  auto cached = cache.Query(query);
+  ASSERT_TRUE(cached.ok());
+  auto direct = DirectScores(query);
+  for (size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_NEAR(cached->scores[v], direct[v], 1e-5);
+  }
+}
+
+TEST_F(RankCacheTest, WeightedQueryVectorsWork) {
+  // Content-reformulated queries have non-uniform weights; the cache must
+  // still be exact (the query-side BM25 factor is applied at combine
+  // time).
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+
+  text::QueryVector query;
+  query.SetWeight("data", 2.0);
+  query.SetWeight("mining", 0.4);
+  auto cached = cache.Query(query);
+  ASSERT_TRUE(cached.ok());
+  auto direct = DirectScores(query);
+  for (size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_NEAR(cached->scores[v], direct[v], 1e-5);
+  }
+}
+
+TEST_F(RankCacheTest, MissingTermsAreReported) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  text::QueryVector query(text::ParseQuery("data mining"));
+  auto cached = cache.Query(query);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_EQ(cached->missing_terms.size(), 1u);
+  EXPECT_EQ(cached->missing_terms[0], "mining");
+}
+
+TEST_F(RankCacheTest, ErrorsOnUncachedOrEmptyQueries) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  text::QueryVector unknown(text::ParseQuery("mining"));
+  EXPECT_EQ(cache.Query(unknown).status().code(), StatusCode::kNotFound);
+  text::QueryVector empty;
+  EXPECT_EQ(cache.Query(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RankCacheTest, BuildRespectsDfFloorAndTermCap) {
+  RankCache::Options options = options_;
+  options.min_df = 5;
+  options.max_terms = 10;
+  RankCache cache = RankCache::Build(dblp_.dataset.authority(),
+                                     dblp_.dataset.corpus(), rates_,
+                                     options);
+  EXPECT_LE(cache.num_terms(), 10u);
+  EXPECT_GT(cache.num_terms(), 0u);
+  // Only frequent terms made it.
+  EXPECT_TRUE(cache.Contains("data"));  // most popular vocab term
+  EXPECT_GT(cache.MemoryFootprintBytes(),
+            cache.num_terms() * cache.num_nodes() * sizeof(float));
+}
+
+TEST_F(RankCacheTest, UnknownTermsAreSkippedAtBuild) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"zzznotaword", "data"}, options_);
+  EXPECT_EQ(cache.num_terms(), 1u);
+  EXPECT_FALSE(cache.Contains("zzznotaword"));
+}
+
+TEST_F(RankCacheTest, SerializationRoundTrip) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+  std::stringstream stream;
+  ASSERT_TRUE(cache.Serialize(stream).ok());
+  auto loaded = RankCache::Deserialize(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_terms(), cache.num_terms());
+  EXPECT_EQ(loaded->num_nodes(), cache.num_nodes());
+
+  text::QueryVector query(text::ParseQuery("data mining"));
+  auto original = cache.Query(query);
+  auto reloaded = loaded->Query(query);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(original->scores, reloaded->scores);
+
+  // Serialization is byte-stable.
+  std::stringstream second;
+  ASSERT_TRUE(loaded->Serialize(second).ok());
+  EXPECT_EQ(stream.str(), second.str());
+}
+
+TEST_F(RankCacheTest, DeserializeRejectsCorruptStreams) {
+  std::stringstream bad("JUNK");
+  EXPECT_EQ(RankCache::Deserialize(bad).status().code(),
+            StatusCode::kDataLoss);
+
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  std::stringstream stream;
+  ASSERT_TRUE(cache.Serialize(stream).ok());
+  const std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(RankCache::Deserialize(truncated).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(RankCacheTest, FileSaveAndLoad) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  const std::string path = ::testing::TempDir() + "/orx_cache.orxc";
+  ASSERT_TRUE(cache.Save(path).ok());
+  auto loaded = RankCache::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Contains("data"));
+  EXPECT_EQ(RankCache::Load("/nonexistent/c.orxc").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RankCacheTest, SearcherAnswersFromAttachedCache) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+  Searcher searcher(dblp_.dataset.data(), dblp_.dataset.authority(),
+                    dblp_.dataset.corpus());
+  searcher.AttachRankCache(&cache);
+
+  SearchOptions search_options;
+  search_options.objectrank = options_.objectrank;
+  text::QueryVector query(text::ParseQuery("data mining"));
+
+  // Fully-cached query with matching rates: served from the cache.
+  auto cached = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->from_cache);
+  EXPECT_EQ(cached->iterations, 0);
+  auto direct = DirectScores(query);
+  for (size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_NEAR(cached->scores[v], direct[v], 1e-5);
+  }
+
+  // A query with an uncached term falls back to the power iteration.
+  searcher.ResetSession();
+  text::QueryVector partial(text::ParseQuery("data systems"));
+  auto fallback = searcher.Search(partial, rates_, search_options);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_FALSE(fallback->from_cache);
+  EXPECT_GT(fallback->iterations, 0);
+
+  // Changed rates (structure reformulation) invalidate the cache.
+  graph::TransferRates other = rates_;
+  ASSERT_TRUE(other.Set(dblp_.types.cites, graph::Direction::kForward,
+                        0.65).ok());
+  EXPECT_NE(other.Fingerprint(), rates_.Fingerprint());
+  searcher.ResetSession();
+  searcher.AttachRankCache(&cache);
+  auto stale = searcher.Search(query, other, search_options);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE(stale->from_cache);
+
+  // Detaching restores plain behavior.
+  searcher.AttachRankCache(nullptr);
+  auto detached = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(detached.ok());
+  EXPECT_FALSE(detached->from_cache);
+}
+
+TEST_F(RankCacheTest, FingerprintSurvivesSerialization) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  EXPECT_EQ(cache.rates_fingerprint(), rates_.Fingerprint());
+  std::stringstream stream;
+  ASSERT_TRUE(cache.Serialize(stream).ok());
+  auto loaded = RankCache::Deserialize(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rates_fingerprint(), cache.rates_fingerprint());
+}
+
+TEST(RankCacheFigure1Test, ReproducesGoldenVector) {
+  datasets::Figure1Dataset fig = datasets::MakeFigure1Dataset();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(fig.dataset.schema(), fig.types);
+  RankCache::Options options;
+  options.objectrank.epsilon = 1e-10;
+  RankCache cache = RankCache::BuildForTerms(
+      fig.dataset.authority(), fig.dataset.corpus(), rates, {"olap"},
+      options);
+  text::QueryVector query(text::ParseQuery("olap"));
+  auto cached = cache.Query(query);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_NEAR(cached->scores[fig.v7_data_cube], 0.083, 0.001);
+  EXPECT_NEAR(cached->scores[fig.v1_index_selection], 0.076, 0.001);
+}
+
+}  // namespace
+}  // namespace orx::core

@@ -1,0 +1,299 @@
+#include "reformulate/reformulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/figure1.h"
+#include "text/query.h"
+
+namespace orx::reform {
+namespace {
+
+class ReformulateFigure1Test : public ::testing::Test {
+ protected:
+  ReformulateFigure1Test()
+      : fig_(datasets::MakeFigure1Dataset()),
+        rates_(datasets::DblpGroundTruthRates(fig_.dataset.schema(),
+                                              fig_.types)),
+        engine_(fig_.dataset.authority()),
+        reformulator_(fig_.dataset.data(), fig_.dataset.authority(),
+                      fig_.dataset.corpus()) {
+    query_ = text::QueryVector(text::ParseQuery("olap"));
+    base_ = *core::BuildBaseSet(fig_.dataset.corpus(), query_);
+    core::ObjectRankOptions options;
+    options.epsilon = 1e-10;
+    scores_ = engine_.Compute(base_, rates_, options).scores;
+  }
+
+  StatusOr<ReformulationResult> ReformulateV4(
+      ReformulationOptions options) {
+    options.explain.radius = 5;
+    const graph::NodeId feedback[] = {fig_.v4_range_queries};
+    return reformulator_.Reformulate(query_, rates_, base_, scores_,
+                                     feedback, options);
+  }
+
+  datasets::Figure1Dataset fig_;
+  graph::TransferRates rates_;
+  core::ObjectRankEngine engine_;
+  Reformulator reformulator_;
+  text::QueryVector query_;
+  core::BaseSet base_;
+  std::vector<double> scores_;
+};
+
+// Example 2 (Section 5.2): with C_f = 0.5, PP and PY decrease, PA
+// increases; PF stays 0.
+TEST_F(ReformulateFigure1Test, Example2StructureDirections) {
+  ReformulationOptions options;
+  options.structure.adjustment = 0.5;
+  options.content.expansion = 0.0;
+  auto result = ReformulateV4(options);
+  ASSERT_TRUE(result.ok());
+
+  auto before = datasets::DblpRateVector(rates_, fig_.types);
+  auto after = datasets::DblpRateVector(result->rates, fig_.types);
+  // Order: [PP, PF, PA, AP, CY, YC, YP, PY].
+  EXPECT_LT(after[0], before[0]);             // PP: 0.70 -> ~0.66
+  EXPECT_DOUBLE_EQ(after[1], 0.0);            // PF stays 0
+  EXPECT_GT(after[2], before[2]);             // PA boosted
+  EXPECT_LT(after[7], before[7]);             // PY: 0.10 -> ~0.08
+  EXPECT_NEAR(after[0], 0.67, 0.03);
+  EXPECT_NEAR(after[7], 0.08, 0.01);
+}
+
+TEST_F(ReformulateFigure1Test, StructureNormalizationInvariants) {
+  ReformulationOptions options;
+  options.structure.adjustment = 0.5;
+  auto result = ReformulateV4(options);
+  ASSERT_TRUE(result.ok());
+  const graph::SchemaGraph& schema = fig_.dataset.schema();
+  for (uint32_t s = 0; s < result->rates.num_slots(); ++s) {
+    EXPECT_GE(result->rates.slot(s), 0.0);
+    EXPECT_LE(result->rates.slot(s), 1.0 + 1e-12);
+  }
+  for (graph::TypeId t = 0; t < schema.num_node_types(); ++t) {
+    EXPECT_LE(result->rates.OutgoingSum(schema, t), 1.0 + 1e-9);
+  }
+}
+
+// Example 2 (Section 5.1): the expansion terms come from the explaining
+// subgraph; "olap" and "cubes" (terms of the feedback object) are among
+// the top expansion terms.
+TEST_F(ReformulateFigure1Test, Example2ContentExpansion) {
+  ReformulationOptions options;
+  options.content.expansion = 1.0;
+  options.content.decay = 0.5;
+  options.content.top_terms = 10;
+  auto result = ReformulateV4(options);
+  ASSERT_TRUE(result.ok());
+  bool has_olap = false, has_cubes = false, has_range = false;
+  for (const auto& [term, w] : result->top_expansion_terms) {
+    has_olap |= term == "olap";
+    has_cubes |= term == "cubes";
+    has_range |= term == "range";
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-12);  // normalized against the max
+  }
+  EXPECT_TRUE(has_olap);
+  EXPECT_TRUE(has_cubes);
+  EXPECT_TRUE(has_range);
+
+  // The query vector grew and "olap"'s weight was bumped above 1.
+  EXPECT_GT(result->query.size(), query_.size());
+  EXPECT_GT(result->query.Weight("olap"), 1.0);
+  EXPECT_GT(result->query.Weight("cubes"), 0.0);
+}
+
+TEST_F(ReformulateFigure1Test, ExpansionFactorZeroKeepsQuery) {
+  ReformulationOptions options;
+  options.content.expansion = 0.0;
+  auto result = ReformulateV4(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->query.terms(), query_.terms());
+  EXPECT_EQ(result->query.weights(), query_.weights());
+}
+
+TEST_F(ReformulateFigure1Test, AdjustmentFactorZeroKeepsRates) {
+  ReformulationOptions options;
+  options.structure.adjustment = 0.0;
+  auto result = ReformulateV4(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rates.slots(), rates_.slots());
+}
+
+TEST_F(ReformulateFigure1Test, NoFeedbackObjectsIsInvalid) {
+  EXPECT_EQ(reformulator_
+                .Reformulate(query_, rates_, base_, scores_, {}, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReformulateFigure1Test, ZeroRateFeedbackLeavesInputsUnchanged) {
+  // Under all-zero rates no authority flows anywhere. A feedback object
+  // that belongs to the base set still yields a trivial explanation (its
+  // score is pure jump mass: a single-node, zero-edge subgraph), which
+  // carries no signal — the query and rates must come back unchanged.
+  graph::TransferRates zero(fig_.dataset.schema(), 0.0);
+  const graph::NodeId feedback[] = {fig_.v4_range_queries};
+  auto result = reformulator_.Reformulate(query_, zero, base_, scores_,
+                                          feedback, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->explanations.size(), 1u);
+  EXPECT_EQ(result->explanations[0].subgraph.num_edges(), 0u);
+  EXPECT_EQ(result->query.terms(), query_.terms());
+  EXPECT_EQ(result->rates.slots(), zero.slots());
+
+  // A feedback object *outside* the base set is skipped entirely.
+  const graph::NodeId unreachable[] = {fig_.v7_data_cube};
+  auto skipped = reformulator_.Reformulate(query_, zero, base_, scores_,
+                                           unreachable, {});
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_TRUE(skipped->explanations.empty());
+}
+
+TEST_F(ReformulateFigure1Test, MultipleFeedbackObjectsAggregate) {
+  ReformulationOptions options;
+  options.explain.radius = 5;
+  options.content.expansion = 1.0;
+  const graph::NodeId feedback[] = {fig_.v4_range_queries,
+                                    fig_.v7_data_cube};
+  auto result = reformulator_.Reformulate(query_, rates_, base_, scores_,
+                                          feedback, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->explanations.size(), 2u);
+  EXPECT_GT(result->avg_explain_iterations, 0.0);
+  // Terms of v7's subgraph (e.g. "cube" from the Data Cube title) should
+  // now be available as expansion candidates too.
+  EXPECT_GT(result->query.size(), query_.size());
+}
+
+TEST_F(ReformulateFigure1Test, AggregateKindsAllProduceValidRates) {
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kMin, AggregateKind::kMax,
+        AggregateKind::kAvg}) {
+    ReformulationOptions options;
+    options.aggregate = kind;
+    options.explain.radius = 5;
+    const graph::NodeId feedback[] = {fig_.v4_range_queries,
+                                      fig_.v5_modeling};
+    auto result = reformulator_.Reformulate(query_, rates_, base_, scores_,
+                                            feedback, options);
+    ASSERT_TRUE(result.ok());
+    for (uint32_t s = 0; s < result->rates.num_slots(); ++s) {
+      EXPECT_GE(result->rates.slot(s), 0.0);
+      EXPECT_LE(result->rates.slot(s), 1.0 + 1e-12);
+    }
+  }
+}
+
+// Direct unit tests of the structure pipeline against the paper's
+// Example 2 numbers, using a hand-crafted flow vector shaped like the
+// paper's (PA flows dominate, PP moderate, others negligible).
+TEST(StructureReformulatorTest, Example2EndToEnd) {
+  datasets::DblpTypes types;
+  auto schema = datasets::MakeDblpSchema(&types);
+  graph::TransferRates rates = datasets::DblpGroundTruthRates(*schema, types);
+
+  std::vector<double> flows(schema->num_rate_slots(), 0.0);
+  flows[graph::RateIndex(types.by, graph::Direction::kForward)] = 1.0;   // PA
+  flows[graph::RateIndex(types.cites, graph::Direction::kForward)] = 0.39;
+  StructureOptions options;
+  options.adjustment = 0.5;
+  graph::TransferRates next =
+      ReformulateStructure(*schema, rates, flows, options);
+
+  auto v = datasets::DblpRateVector(next, types);
+  // Paper: [0.67, 0.0, 0.24, 0.16, 0.24, 0.24, 0.24, 0.08].
+  EXPECT_NEAR(v[0], 0.67, 0.01);  // PP
+  EXPECT_DOUBLE_EQ(v[1], 0.0);    // PF
+  EXPECT_NEAR(v[2], 0.24, 0.01);  // PA
+  EXPECT_NEAR(v[3], 0.16, 0.01);  // AP
+  EXPECT_NEAR(v[4], 0.24, 0.01);  // CY
+  EXPECT_NEAR(v[5], 0.24, 0.01);  // YC
+  EXPECT_NEAR(v[6], 0.24, 0.01);  // YP
+  EXPECT_NEAR(v[7], 0.08, 0.01);  // PY
+}
+
+TEST(StructureReformulatorTest, AllZeroFlowsAreANoOp) {
+  datasets::DblpTypes types;
+  auto schema = datasets::MakeDblpSchema(&types);
+  graph::TransferRates rates = datasets::DblpGroundTruthRates(*schema, types);
+  std::vector<double> flows(schema->num_rate_slots(), 0.0);
+  graph::TransferRates next =
+      ReformulateStructure(*schema, rates, flows, {});
+  EXPECT_EQ(next.slots(), rates.slots());
+}
+
+
+// Direct unit tests of the content pipeline with hand-computed numbers.
+TEST(ContentReformulatorTest, NormalizationAndEquation12ByHand) {
+  // Current query: [olap] with weight 1 -> average weight a_w = 1.
+  text::QueryVector current(text::Query{"olap"});
+  // Raw expansion weights: cubes 0.004, range 0.002 -> normalized by
+  // a_w / max = 1/0.004: cubes 1.0, range 0.5. With C_e = 0.5 the new
+  // weights are 0.5 and 0.25 (Equation 12).
+  std::vector<std::pair<std::string, double>> weights{
+      {"cubes", 0.004}, {"range", 0.002}};
+  ContentOptions options;
+  options.expansion = 0.5;
+  options.top_terms = 5;
+  text::QueryVector next = ReformulateContent(current, weights, options);
+  EXPECT_DOUBLE_EQ(next.Weight("olap"), 1.0);
+  EXPECT_DOUBLE_EQ(next.Weight("cubes"), 0.5);
+  EXPECT_DOUBLE_EQ(next.Weight("range"), 0.25);
+}
+
+TEST(ContentReformulatorTest, ExistingTermsGetBumpedNotDuplicated) {
+  text::QueryVector current(text::Query{"olap"});
+  std::vector<std::pair<std::string, double>> weights{{"olap", 0.01}};
+  ContentOptions options;
+  options.expansion = 1.0;
+  text::QueryVector next = ReformulateContent(current, weights, options);
+  EXPECT_EQ(next.size(), 1u);
+  // Normalized olap weight = a_w = 1; bumped by C_e * 1.
+  EXPECT_DOUBLE_EQ(next.Weight("olap"), 2.0);
+}
+
+TEST(ContentReformulatorTest, TopTermsCapAndTieBreaks) {
+  text::QueryVector current(text::Query{"seed"});
+  std::vector<std::pair<std::string, double>> weights{
+      {"zeta", 0.5}, {"alpha", 0.5}, {"beta", 0.5}, {"gamma", 1.0}};
+  ContentOptions options;
+  options.expansion = 1.0;
+  options.top_terms = 2;
+  text::QueryVector next = ReformulateContent(current, weights, options);
+  // gamma (max) and alpha (lexicographic winner among the tie) survive.
+  EXPECT_GT(next.Weight("gamma"), 0.0);
+  EXPECT_GT(next.Weight("alpha"), 0.0);
+  EXPECT_DOUBLE_EQ(next.Weight("beta"), 0.0);
+  EXPECT_DOUBLE_EQ(next.Weight("zeta"), 0.0);
+}
+
+TEST(ContentReformulatorTest, SumTermWeightsAggregates) {
+  std::vector<std::vector<std::pair<std::string, double>>> per_object{
+      {{"a", 1.0}, {"b", 2.0}}, {{"b", 3.0}, {"c", 4.0}}};
+  auto sum = SumTermWeights(per_object);
+  double a = 0, b = 0, c = 0;
+  for (const auto& [term, w] : sum) {
+    if (term == "a") a = w;
+    if (term == "b") b = w;
+    if (term == "c") c = w;
+  }
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(b, 5.0);
+  EXPECT_DOUBLE_EQ(c, 4.0);
+}
+
+TEST(StructureReformulatorTest, EdgeTypeFlowAggregation) {
+  // Sum of per-object flow vectors (Equation 15).
+  std::vector<std::vector<double>> per_object{{1.0, 0.0, 2.0},
+                                              {0.5, 1.5, 0.0}};
+  auto sum = SumEdgeTypeFlows(per_object);
+  EXPECT_EQ(sum, (std::vector<double>{1.5, 1.5, 2.0}));
+}
+
+}  // namespace
+}  // namespace orx::reform

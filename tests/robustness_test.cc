@@ -1,0 +1,123 @@
+// Robustness sweeps over the parsers/deserializers: byte mutations and
+// exhaustive truncations of valid inputs must produce a clean Status (or
+// a successful parse), never a crash, hang, or runaway allocation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/rank_cache.h"
+#include "datasets/dblp_generator.h"
+#include "datasets/dblp_xml.h"
+#include "datasets/figure1.h"
+#include "io/dataset_io.h"
+#include "io/graph_tsv.h"
+
+namespace orx {
+namespace {
+
+// Valid inputs to mutate.
+std::string ValidXml() {
+  datasets::DblpDataset dblp =
+      datasets::GenerateDblp(datasets::DblpGeneratorConfig::Tiny(40, 3));
+  return datasets::WriteDblpXml(dblp.dataset.data(), dblp.types);
+}
+
+std::string ValidTsv() {
+  datasets::Figure1Dataset fig = datasets::MakeFigure1Dataset();
+  return io::WriteGraphTsv(fig.dataset);
+}
+
+std::string ValidBinary() {
+  datasets::Figure1Dataset fig = datasets::MakeFigure1Dataset();
+  std::stringstream stream;
+  EXPECT_TRUE(io::SerializeDataset(fig.dataset, stream).ok());
+  return stream.str();
+}
+
+std::string ValidCache() {
+  datasets::Figure1Dataset fig = datasets::MakeFigure1Dataset();
+  graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(fig.dataset.schema(), fig.types);
+  core::RankCache cache = core::RankCache::BuildForTerms(
+      fig.dataset.authority(), fig.dataset.corpus(), rates, {"olap"},
+      core::RankCache::Options{});
+  std::stringstream stream;
+  EXPECT_TRUE(cache.Serialize(stream).ok());
+  return stream.str();
+}
+
+// Applies `parse` to `rounds` mutated copies of `valid`; the only
+// requirement is no crash (the parse may succeed or fail cleanly).
+template <typename ParseFn>
+void MutationSweep(const std::string& valid, ParseFn parse, int rounds,
+                   uint64_t seed) {
+  Rng rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    std::string mutated = valid;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(uint64_t{4}));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.UniformInt(mutated.size());
+      mutated[pos] = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    parse(mutated);  // must not crash
+  }
+  SUCCEED();
+}
+
+// Applies `parse` to every truncation of `valid` (stride > 1 for long
+// inputs to bound runtime).
+template <typename ParseFn>
+void TruncationSweep(const std::string& valid, ParseFn parse) {
+  const size_t stride = std::max<size_t>(1, valid.size() / 400);
+  for (size_t cut = 0; cut < valid.size(); cut += stride) {
+    parse(valid.substr(0, cut));
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, DblpXmlMutations) {
+  const std::string valid = ValidXml();
+  auto parse = [](const std::string& input) {
+    auto result = datasets::ParseDblpXml(input);
+    (void)result;
+  };
+  MutationSweep(valid, parse, 200, 1);
+  TruncationSweep(valid, parse);
+}
+
+TEST(RobustnessTest, GraphTsvMutations) {
+  const std::string valid = ValidTsv();
+  auto parse = [](const std::string& input) {
+    auto result = io::ParseGraphTsv(input);
+    (void)result;
+  };
+  MutationSweep(valid, parse, 200, 2);
+  TruncationSweep(valid, parse);
+}
+
+TEST(RobustnessTest, BinaryDatasetMutations) {
+  const std::string valid = ValidBinary();
+  auto parse = [](const std::string& input) {
+    std::stringstream stream(input);
+    auto result = io::DeserializeDataset(stream);
+    (void)result;
+  };
+  MutationSweep(valid, parse, 200, 3);
+  TruncationSweep(valid, parse);
+}
+
+TEST(RobustnessTest, RankCacheMutations) {
+  const std::string valid = ValidCache();
+  auto parse = [](const std::string& input) {
+    std::stringstream stream(input);
+    auto result = core::RankCache::Deserialize(stream);
+    (void)result;
+  };
+  MutationSweep(valid, parse, 200, 4);
+  TruncationSweep(valid, parse);
+}
+
+}  // namespace
+}  // namespace orx

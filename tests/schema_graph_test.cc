@@ -1,0 +1,134 @@
+#include "graph/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace orx::graph {
+namespace {
+
+TEST(SchemaGraphTest, AddAndLookupNodeTypes) {
+  SchemaGraph schema;
+  auto paper = schema.AddNodeType("Paper");
+  auto author = schema.AddNodeType("Author");
+  ASSERT_TRUE(paper.ok());
+  ASSERT_TRUE(author.ok());
+  EXPECT_NE(*paper, *author);
+  EXPECT_EQ(schema.num_node_types(), 2u);
+  EXPECT_EQ(schema.NodeTypeLabel(*paper), "Paper");
+  auto looked_up = schema.NodeTypeByLabel("Author");
+  ASSERT_TRUE(looked_up.ok());
+  EXPECT_EQ(*looked_up, *author);
+}
+
+TEST(SchemaGraphTest, RejectsDuplicateAndEmptyLabels) {
+  SchemaGraph schema;
+  ASSERT_TRUE(schema.AddNodeType("Paper").ok());
+  EXPECT_EQ(schema.AddNodeType("Paper").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.AddNodeType("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaGraphTest, UnknownLookupsFail) {
+  SchemaGraph schema;
+  EXPECT_EQ(schema.NodeTypeByLabel("Ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.EdgeTypeByRole("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaGraphTest, AddEdgeTypesWithRoles) {
+  SchemaGraph schema;
+  TypeId paper = *schema.AddNodeType("Paper");
+  TypeId author = *schema.AddNodeType("Author");
+  auto cites = schema.AddEdgeType(paper, paper, "cites");
+  auto by = schema.AddEdgeType(paper, author, "by");
+  ASSERT_TRUE(cites.ok());
+  ASSERT_TRUE(by.ok());
+  EXPECT_EQ(schema.num_edge_types(), 2u);
+  EXPECT_EQ(schema.num_rate_slots(), 4u);
+  EXPECT_EQ(schema.EdgeType(*cites).role, "cites");
+  EXPECT_EQ(schema.EdgeType(*by).from, paper);
+  EXPECT_EQ(schema.EdgeType(*by).to, author);
+}
+
+TEST(SchemaGraphTest, EdgeTypeEndpointValidation) {
+  SchemaGraph schema;
+  TypeId paper = *schema.AddNodeType("Paper");
+  EXPECT_EQ(schema.AddEdgeType(paper, 99, "bad").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.AddEdgeType(99, paper, "bad").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaGraphTest, DuplicateEdgeRoleRejected) {
+  SchemaGraph schema;
+  TypeId paper = *schema.AddNodeType("Paper");
+  ASSERT_TRUE(schema.AddEdgeType(paper, paper, "cites").ok());
+  EXPECT_EQ(schema.AddEdgeType(paper, paper, "cites").status().code(),
+            StatusCode::kAlreadyExists);
+  // A different role between the same endpoints is fine.
+  EXPECT_TRUE(schema.AddEdgeType(paper, paper, "extends").ok());
+}
+
+TEST(SchemaGraphTest, DefaultRoleIsSynthesized) {
+  SchemaGraph schema;
+  TypeId conf = *schema.AddNodeType("Conference");
+  TypeId year = *schema.AddNodeType("Year");
+  auto edge = schema.AddEdgeType(conf, year, "");
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(schema.EdgeType(*edge).role, "ConferenceToYear");
+}
+
+TEST(SchemaGraphTest, EdgeTypeBetween) {
+  SchemaGraph schema;
+  TypeId paper = *schema.AddNodeType("Paper");
+  TypeId author = *schema.AddNodeType("Author");
+  EdgeTypeId cites = *schema.AddEdgeType(paper, paper, "cites");
+  EdgeTypeId by = *schema.AddEdgeType(paper, author, "by");
+
+  auto found = schema.EdgeTypeBetween(paper, author);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, by);
+  auto found2 = schema.EdgeTypeBetween(paper, paper, "cites");
+  ASSERT_TRUE(found2.ok());
+  EXPECT_EQ(*found2, cites);
+  EXPECT_EQ(schema.EdgeTypeBetween(author, paper).status().code(),
+            StatusCode::kNotFound);
+
+  // Ambiguity requires a role.
+  ASSERT_TRUE(schema.AddEdgeType(paper, paper, "extends").ok());
+  EXPECT_EQ(schema.EdgeTypeBetween(paper, paper).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaGraphTest, DirectionHelpers) {
+  EXPECT_EQ(Reverse(Direction::kForward), Direction::kBackward);
+  EXPECT_EQ(Reverse(Direction::kBackward), Direction::kForward);
+  EXPECT_EQ(RateIndex(0, Direction::kForward), 0u);
+  EXPECT_EQ(RateIndex(0, Direction::kBackward), 1u);
+  EXPECT_EQ(RateIndex(3, Direction::kForward), 6u);
+}
+
+TEST(SchemaGraphTest, SourceAndTargetOfDirections) {
+  SchemaGraph schema;
+  TypeId year = *schema.AddNodeType("Year");
+  TypeId paper = *schema.AddNodeType("Paper");
+  EdgeTypeId contains = *schema.AddEdgeType(year, paper, "contains");
+  EXPECT_EQ(schema.SourceTypeOf(contains, Direction::kForward), year);
+  EXPECT_EQ(schema.TargetTypeOf(contains, Direction::kForward), paper);
+  EXPECT_EQ(schema.SourceTypeOf(contains, Direction::kBackward), paper);
+  EXPECT_EQ(schema.TargetTypeOf(contains, Direction::kBackward), year);
+}
+
+TEST(SchemaGraphTest, RateSlotNames) {
+  SchemaGraph schema;
+  TypeId paper = *schema.AddNodeType("Paper");
+  EdgeTypeId cites = *schema.AddEdgeType(paper, paper, "cites");
+  EXPECT_EQ(schema.RateSlotName(cites, Direction::kForward),
+            "Paper-cites->Paper");
+  EXPECT_EQ(schema.RateSlotName(cites, Direction::kBackward),
+            "Paper-cites->Paper (reverse)");
+}
+
+}  // namespace
+}  // namespace orx::graph

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "text/query.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace orx::text {
+namespace {
+
+// ----------------------------------------------------------------------
+// Tokenizer
+// ----------------------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Data Cube: A Relational Aggregation!"),
+            (std::vector<std::string>{"data", "cube", "a", "relational",
+                                      "aggregation"}));
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  EXPECT_EQ(Tokenize("ICDE 1997"),
+            (std::vector<std::string>{"icde", "1997"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("!!! --- ...").empty());
+}
+
+TEST(TokenizerTest, ForIndexDropsStopwordsAndSingleChars) {
+  EXPECT_EQ(TokenizeForIndex("The Range of a Query"),
+            (std::vector<std::string>{"range", "query"}));
+}
+
+TEST(TokenizerTest, NormalizeTerm) {
+  EXPECT_EQ(NormalizeTerm("OLAP!"), "olap");
+  EXPECT_EQ(NormalizeTerm("..."), "");
+}
+
+// ----------------------------------------------------------------------
+// Stopwords
+// ----------------------------------------------------------------------
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_FALSE(IsStopword("olap"));
+  EXPECT_FALSE(IsStopword("cube"));
+  EXPECT_GT(StopwordCount(), 50);
+}
+
+// ----------------------------------------------------------------------
+// Query / QueryVector
+// ----------------------------------------------------------------------
+
+TEST(QueryTest, ParseQuery) {
+  EXPECT_EQ(ParseQuery("Query, Optimization"),
+            (Query{"query", "optimization"}));
+  EXPECT_TRUE(ParseQuery("").empty());
+}
+
+TEST(QueryVectorTest, InitialWeightsAreOne) {
+  QueryVector q(Query{"olap", "cube"});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.Weight("olap"), 1.0);
+  EXPECT_DOUBLE_EQ(q.Weight("cube"), 1.0);
+  EXPECT_DOUBLE_EQ(q.Weight("absent"), 0.0);
+  EXPECT_TRUE(q.Contains("olap"));
+  EXPECT_FALSE(q.Contains("absent"));
+}
+
+TEST(QueryVectorTest, DuplicateKeywordsCollapse) {
+  QueryVector q(Query{"olap", "OLAP", "olap"});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.Weight("olap"), 1.0);
+}
+
+TEST(QueryVectorTest, AddWeightInsertsOrBumps) {
+  QueryVector q(Query{"olap"});
+  q.AddWeight("cubes", 0.5);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.Weight("cubes"), 0.5);
+  q.AddWeight("olap", 1.0);
+  EXPECT_DOUBLE_EQ(q.Weight("olap"), 2.0);
+  // Term order preserved: original first, expansions appended.
+  EXPECT_EQ(q.terms()[0], "olap");
+  EXPECT_EQ(q.terms()[1], "cubes");
+}
+
+TEST(QueryVectorTest, SetWeightAndScale) {
+  QueryVector q(Query{"a1", "b1"});
+  q.SetWeight("a1", 3.0);
+  q.Scale(0.5);
+  EXPECT_DOUBLE_EQ(q.Weight("a1"), 1.5);
+  EXPECT_DOUBLE_EQ(q.Weight("b1"), 0.5);
+}
+
+TEST(QueryVectorTest, AverageWeight) {
+  QueryVector empty;
+  EXPECT_DOUBLE_EQ(empty.AverageWeight(), 0.0);
+  QueryVector q(Query{"x1", "y1"});
+  q.SetWeight("x1", 2.0);
+  EXPECT_DOUBLE_EQ(q.AverageWeight(), 1.5);
+}
+
+TEST(QueryVectorTest, ToStringFormat) {
+  QueryVector q(Query{"olap"});
+  q.AddWeight("cubes", 0.99);
+  EXPECT_EQ(q.ToString(), "[olap, cubes] = [1.00, 0.99]");
+}
+
+}  // namespace
+}  // namespace orx::text

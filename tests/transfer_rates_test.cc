@@ -1,0 +1,93 @@
+#include "graph/transfer_rates.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dblp_schema.h"
+
+namespace orx::graph {
+namespace {
+
+struct Fixture {
+  Fixture() : schema(datasets::MakeDblpSchema(&types)) {}
+  datasets::DblpTypes types;
+  std::unique_ptr<SchemaGraph> schema;
+};
+
+TEST(TransferRatesTest, InitialValueFillsAllSlots) {
+  Fixture f;
+  TransferRates rates(*f.schema, 0.3);
+  EXPECT_EQ(rates.num_slots(), f.schema->num_rate_slots());
+  for (uint32_t s = 0; s < rates.num_slots(); ++s) {
+    EXPECT_DOUBLE_EQ(rates.slot(s), 0.3);
+  }
+}
+
+TEST(TransferRatesTest, SetAndGet) {
+  Fixture f;
+  TransferRates rates(*f.schema, 0.0);
+  ASSERT_TRUE(rates.Set(f.types.cites, Direction::kForward, 0.7).ok());
+  EXPECT_DOUBLE_EQ(rates.Get(f.types.cites, Direction::kForward), 0.7);
+  EXPECT_DOUBLE_EQ(rates.Get(f.types.cites, Direction::kBackward), 0.0);
+}
+
+TEST(TransferRatesTest, RejectsOutOfRange) {
+  Fixture f;
+  TransferRates rates(*f.schema, 0.0);
+  EXPECT_EQ(rates.Set(f.types.cites, Direction::kForward, 1.5)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rates.Set(f.types.cites, Direction::kForward, -0.1)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rates.Set(999, Direction::kForward, 0.5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TransferRatesTest, GroundTruthOutgoingSums) {
+  Fixture f;
+  TransferRates rates = datasets::DblpGroundTruthRates(*f.schema, f.types);
+  // Paper's outgoing slots: PP (0.7) + PF (0.0) + PA (0.2) + PY (0.1) = 1.0.
+  EXPECT_NEAR(rates.OutgoingSum(*f.schema, f.types.paper), 1.0, 1e-12);
+  // Author: AP only (0.2). Year: YC + YP = 0.6. Conference: CY = 0.3.
+  EXPECT_NEAR(rates.OutgoingSum(*f.schema, f.types.author), 0.2, 1e-12);
+  EXPECT_NEAR(rates.OutgoingSum(*f.schema, f.types.year), 0.6, 1e-12);
+  EXPECT_NEAR(rates.OutgoingSum(*f.schema, f.types.conference), 0.3, 1e-12);
+}
+
+TEST(TransferRatesTest, CapOutgoingSumsScalesOnlyViolators) {
+  Fixture f;
+  TransferRates rates(*f.schema, 0.9);  // every node type's sum exceeds 1
+  const int scaled = rates.CapOutgoingSums(*f.schema);
+  EXPECT_GT(scaled, 0);
+  for (TypeId t = 0; t < f.schema->num_node_types(); ++t) {
+    EXPECT_LE(rates.OutgoingSum(*f.schema, t), 1.0 + 1e-9);
+  }
+  // A compliant vector is untouched.
+  TransferRates ok_rates = datasets::DblpGroundTruthRates(*f.schema, f.types);
+  EXPECT_EQ(ok_rates.CapOutgoingSums(*f.schema), 0);
+  EXPECT_DOUBLE_EQ(ok_rates.Get(f.types.cites, Direction::kForward), 0.7);
+}
+
+TEST(TransferRatesTest, DblpRateVectorOrder) {
+  Fixture f;
+  TransferRates rates = datasets::DblpGroundTruthRates(*f.schema, f.types);
+  const std::vector<double> expected{0.7, 0.0, 0.2, 0.2, 0.3, 0.3, 0.3, 0.1};
+  EXPECT_EQ(datasets::DblpRateVector(rates, f.types), expected);
+  EXPECT_EQ(datasets::DblpRateVectorNames().size(), expected.size());
+}
+
+TEST(TransferRatesTest, ToStringMentionsRoles) {
+  Fixture f;
+  TransferRates rates = datasets::DblpGroundTruthRates(*f.schema, f.types);
+  const std::string s = rates.ToString(*f.schema);
+  EXPECT_NE(s.find("cites"), std::string::npos);
+  EXPECT_NE(s.find("0.700"), std::string::npos);
+}
+
+TEST(TransferRatesTest, DefaultConstructedIsEmpty) {
+  TransferRates rates;
+  EXPECT_EQ(rates.num_slots(), 0u);
+}
+
+}  // namespace
+}  // namespace orx::graph

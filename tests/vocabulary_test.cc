@@ -1,0 +1,67 @@
+#include "datasets/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace orx::datasets {
+namespace {
+
+TEST(VocabularyTest, PoolsAreNonEmptyAndDistinct) {
+  EXPECT_GT(CsVocabulary().size(), 200u);
+  EXPECT_GT(BioVocabulary().size(), 100u);
+  EXPECT_GT(FirstNames().size(), 100u);
+  EXPECT_GT(LastNames().size(), 100u);
+  EXPECT_GT(ConferenceNames().size(), 20u);
+  EXPECT_GT(Locations().size(), 20u);
+}
+
+TEST(VocabularyTest, CsTermsAreUniqueAndIndexable) {
+  std::unordered_set<std::string> seen;
+  for (const std::string& term : CsVocabulary()) {
+    EXPECT_TRUE(seen.insert(term).second) << "duplicate: " << term;
+    // Every vocabulary term must survive index tokenization unchanged
+    // (single lowercase token, not a stopword) so queries can hit it.
+    auto tokens = text::TokenizeForIndex(term);
+    ASSERT_EQ(tokens.size(), 1u) << term;
+    EXPECT_EQ(tokens[0], term);
+    EXPECT_FALSE(text::IsStopword(term)) << term;
+  }
+}
+
+TEST(VocabularyTest, Table2QueryKeywordsPresent) {
+  std::unordered_set<std::string> vocab(CsVocabulary().begin(),
+                                        CsVocabulary().end());
+  for (const char* keyword :
+       {"olap", "query", "optimization", "xml", "mining", "proximity",
+        "search", "indexing", "ranked"}) {
+    EXPECT_TRUE(vocab.count(keyword)) << keyword;
+  }
+}
+
+TEST(VocabularyTest, BioContainsCancerInMidTail) {
+  const auto& bio = BioVocabulary();
+  int index = -1;
+  for (size_t i = 0; i < bio.size(); ++i) {
+    if (bio[i] == "cancer") index = static_cast<int>(i);
+  }
+  ASSERT_GE(index, 0);
+  // DS7cancer's selectivity depends on "cancer" being mid-tail (see the
+  // comment in vocabulary.cc): not in the Zipf head, not at the very end.
+  EXPECT_GT(index, 20);
+  EXPECT_LT(index, 60);
+}
+
+TEST(VocabularyTest, ConferencePoolLeadsWithRealVenues) {
+  EXPECT_EQ(ConferenceNames()[0], "ICDE");  // the paper's venue first
+  std::unordered_set<std::string> names(ConferenceNames().begin(),
+                                        ConferenceNames().end());
+  EXPECT_TRUE(names.count("SIGMOD"));
+  EXPECT_TRUE(names.count("VLDB"));
+}
+
+}  // namespace
+}  // namespace orx::datasets

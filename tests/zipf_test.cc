@@ -1,0 +1,61 @@
+#include "datasets/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace orx::datasets {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0.0;
+  for (size_t k = 0; k < zipf.size(); ++k) sum += zipf.Probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilitiesAreMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.2);
+  for (size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_LE(zipf.Probability(k), zipf.Probability(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t k = 0; k < zipf.size(); ++k) {
+    EXPECT_NEAR(zipf.Probability(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, ZipfRatioMatchesExponent) {
+  ZipfSampler zipf(1000, 1.0);
+  // P(0)/P(1) == 2 for s=1.
+  EXPECT_NEAR(zipf.Probability(0) / zipf.Probability(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesStayInRangeAndSkew) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(42);
+  std::vector<int> counts(100, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    size_t k = zipf.Sample(rng);
+    ASSERT_LT(k, 100u);
+    ++counts[k];
+  }
+  // Empirical frequency of rank 0 close to its probability.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, zipf.Probability(0), 0.01);
+  // Head dominates tail.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace orx::datasets

@@ -1,0 +1,444 @@
+// orx_cli — interactive shell over the ORX library: generate/load/parse a
+// dataset, run authority-flow queries, explain results, give relevance
+// feedback, and watch the query vector and transfer rates evolve. Also
+// usable non-interactively: `echo "figure1\nquery olap\nexplain 1" | orx_cli`.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/searcher.h"
+#include "datasets/bio_generator.h"
+#include "datasets/dblp_generator.h"
+#include "datasets/dblp_xml.h"
+#include "datasets/figure1.h"
+#include "explain/explainer.h"
+#include "io/dataset_io.h"
+#include "io/graph_tsv.h"
+#include "reformulate/reformulator.h"
+#include "text/query.h"
+
+namespace {
+
+using namespace orx;
+
+constexpr const char* kHelp = R"(commands:
+  figure1                     load the paper's Figure 1 example graph
+  generate dblp <papers>      generate a synthetic DBLP dataset
+  generate bio <pubs>         generate a synthetic biological dataset
+  parse <dblp.xml>            shred a DBLP XML file into a dataset
+  load <file> | save <file>   binary dataset persistence (.orxd)
+  load-tsv <f> | save-tsv <f> human-editable TSV persistence
+  dot <rank> [file]           Graphviz export of a result's explanation
+  info                        dataset statistics
+  rates gt | uniform [v] | show   set/show authority transfer rates
+  filter <TypeLabel> | off    restrict results to one node type
+  k <n>                       result-list size (default 10)
+  query <keywords...>         run ObjectRank2
+  explain <rank>              explaining subgraph of a result
+  feedback <rank> [rank...]   reformulate from relevant results
+  show query                  current (possibly reformulated) query vector
+  help | quit
+)";
+
+struct CliState {
+  std::unique_ptr<datasets::Dataset> dataset;
+  std::optional<datasets::DblpTypes> dblp_types;
+  std::optional<datasets::BioTypes> bio_types;
+  std::unique_ptr<core::Searcher> searcher;
+  graph::TransferRates rates;
+  text::QueryVector query;
+  core::SearchOptions search_options;
+  std::vector<core::ScoredNode> last_top;
+  std::vector<double> last_scores;
+  bool have_result = false;
+
+  void AdoptDataset(datasets::Dataset dataset_in) {
+    dataset = std::make_unique<datasets::Dataset>(std::move(dataset_in));
+    if (!dataset->finalized()) dataset->Finalize();
+    dblp_types.reset();
+    bio_types.reset();
+    if (auto t = datasets::DblpTypesFromSchema(dataset->schema()); t.ok()) {
+      dblp_types = *t;
+    } else if (auto b = datasets::BioTypesFromSchema(dataset->schema());
+               b.ok()) {
+      bio_types = *b;
+    }
+    searcher = std::make_unique<core::Searcher>(
+        dataset->data(), dataset->authority(), dataset->corpus());
+    SetGroundTruthRates();
+    search_options = core::SearchOptions{};
+    last_top.clear();
+    have_result = false;
+    std::printf("dataset '%s': %zu nodes, %zu edges\n",
+                dataset->name().c_str(), dataset->data().num_nodes(),
+                dataset->data().num_edges());
+  }
+
+  void SetGroundTruthRates() {
+    if (dblp_types.has_value()) {
+      rates = datasets::DblpGroundTruthRates(dataset->schema(), *dblp_types);
+    } else if (bio_types.has_value()) {
+      rates = datasets::BioGroundTruthRates(dataset->schema(), *bio_types);
+    } else {
+      rates = graph::TransferRates(dataset->schema(), 0.3);
+      rates.CapOutgoingSums(dataset->schema());
+    }
+  }
+
+  bool Ready() const {
+    if (dataset == nullptr) {
+      std::printf("no dataset loaded; try 'figure1' or 'generate dblp "
+                  "2000'\n");
+      return false;
+    }
+    return true;
+  }
+};
+
+void PrintTop(const CliState& state) {
+  const graph::DataGraph& data = state.dataset->data();
+  int rank = 1;
+  for (const core::ScoredNode& r : state.last_top) {
+    std::printf("%3d. [%.5f] %-14s %.80s\n", rank++, r.score,
+                data.schema().NodeTypeLabel(data.NodeType(r.node)).c_str(),
+                data.DisplayLabel(r.node).c_str());
+  }
+}
+
+void DoQuery(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  text::QueryVector query(text::ParseQuery(args));
+  if (query.empty()) {
+    std::printf("usage: query <keywords...>\n");
+    return;
+  }
+  state.query = std::move(query);
+  auto result = state.searcher->Search(state.query, state.rates,
+                                       state.search_options);
+  if (!result.ok()) {
+    std::printf("search failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("base set %zu, %d iterations, %.1f ms\n",
+              result->base_set_size, result->iterations,
+              result->seconds * 1e3);
+  state.last_top = result->top;
+  state.last_scores = std::move(result->scores);
+  state.have_result = true;
+  PrintTop(state);
+}
+
+graph::NodeId ResolveRank(const CliState& state, const std::string& token) {
+  int rank = std::atoi(token.c_str());
+  if (rank < 1 || static_cast<size_t>(rank) > state.last_top.size()) {
+    return graph::kInvalidNodeId;
+  }
+  return state.last_top[static_cast<size_t>(rank) - 1].node;
+}
+
+void DoExplain(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  if (!state.have_result) {
+    std::printf("run a query first\n");
+    return;
+  }
+  const graph::NodeId target = ResolveRank(state, args);
+  if (target == graph::kInvalidNodeId) {
+    std::printf("usage: explain <rank 1..%zu>\n", state.last_top.size());
+    return;
+  }
+  auto base = core::BuildBaseSet(state.dataset->corpus(), state.query,
+                                 core::BaseSetMode::kIrWeighted,
+                                 state.search_options.bm25);
+  if (!base.ok()) {
+    std::printf("%s\n", base.status().ToString().c_str());
+    return;
+  }
+  explain::Explainer explainer(state.dataset->data(),
+                               state.dataset->authority());
+  auto explanation = explainer.Explain(
+      target, *base, state.last_scores, state.rates,
+      state.search_options.objectrank.damping, explain::ExplainOptions{});
+  if (!explanation.ok()) {
+    std::printf("explain failed: %s\n",
+                explanation.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", explanation->subgraph.ToString(state.dataset->data())
+                        .c_str());
+  std::printf("(%d explaining fixpoint iterations, %.1f + %.1f ms)\n",
+              explanation->iterations,
+              explanation->construction_seconds * 1e3,
+              explanation->adjustment_seconds * 1e3);
+}
+
+void DoDot(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  if (!state.have_result) {
+    std::printf("run a query first\n");
+    return;
+  }
+  auto tokens = SplitWhitespace(args);
+  if (tokens.empty()) {
+    std::printf("usage: dot <rank> [file.dot]\n");
+    return;
+  }
+  const graph::NodeId target = ResolveRank(state, tokens[0]);
+  if (target == graph::kInvalidNodeId) {
+    std::printf("usage: dot <rank 1..%zu> [file.dot]\n",
+                state.last_top.size());
+    return;
+  }
+  auto base = core::BuildBaseSet(state.dataset->corpus(), state.query,
+                                 core::BaseSetMode::kIrWeighted,
+                                 state.search_options.bm25);
+  if (!base.ok()) {
+    std::printf("%s\n", base.status().ToString().c_str());
+    return;
+  }
+  explain::Explainer explainer(state.dataset->data(),
+                               state.dataset->authority());
+  auto explanation = explainer.Explain(
+      target, *base, state.last_scores, state.rates,
+      state.search_options.objectrank.damping, explain::ExplainOptions{});
+  if (!explanation.ok()) {
+    std::printf("explain failed: %s\n",
+                explanation.status().ToString().c_str());
+    return;
+  }
+  const std::string dot =
+      explanation->subgraph.ToDot(state.dataset->data());
+  if (tokens.size() > 1) {
+    std::ofstream out(tokens[1]);
+    out << dot;
+    std::printf(out ? "wrote %s\n" : "cannot write %s\n",
+                tokens[1].c_str());
+  } else {
+    std::printf("%s", dot.c_str());
+  }
+}
+
+void DoFeedback(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  if (!state.have_result) {
+    std::printf("run a query first\n");
+    return;
+  }
+  std::vector<graph::NodeId> feedback;
+  for (const std::string& token : SplitWhitespace(args)) {
+    const graph::NodeId node = ResolveRank(state, token);
+    if (node == graph::kInvalidNodeId) {
+      std::printf("bad rank '%s'\n", token.c_str());
+      return;
+    }
+    feedback.push_back(node);
+  }
+  if (feedback.empty()) {
+    std::printf("usage: feedback <rank> [rank...]\n");
+    return;
+  }
+  auto base = core::BuildBaseSet(state.dataset->corpus(), state.query,
+                                 core::BaseSetMode::kIrWeighted,
+                                 state.search_options.bm25);
+  if (!base.ok()) {
+    std::printf("%s\n", base.status().ToString().c_str());
+    return;
+  }
+  reform::Reformulator reformulator(state.dataset->data(),
+                                    state.dataset->authority(),
+                                    state.dataset->corpus());
+  auto result = reformulator.Reformulate(state.query, state.rates, *base,
+                                         state.last_scores, feedback,
+                                         reform::ReformulationOptions{});
+  if (!result.ok()) {
+    std::printf("reformulation failed: %s\n",
+                result.status().ToString().c_str());
+    return;
+  }
+  state.query = result->query;
+  state.rates = result->rates;
+  std::printf("query  -> %s\n", state.query.ToString().c_str());
+  std::printf("rates  -> %s\n",
+              state.rates.ToString(state.dataset->schema()).c_str());
+  std::printf("rerunning...\n");
+  auto rerun = state.searcher->Search(state.query, state.rates,
+                                      state.search_options);
+  if (rerun.ok()) {
+    state.last_top = rerun->top;
+    state.last_scores = std::move(rerun->scores);
+    PrintTop(state);
+  }
+}
+
+void DoRates(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  auto tokens = SplitWhitespace(args);
+  if (tokens.empty() || tokens[0] == "show") {
+    std::printf("%s\n", state.rates.ToString(state.dataset->schema())
+                            .c_str());
+    return;
+  }
+  if (tokens[0] == "gt") {
+    state.SetGroundTruthRates();
+  } else if (tokens[0] == "uniform") {
+    const double value = tokens.size() > 1 ? std::atof(tokens[1].c_str())
+                                           : 0.3;
+    if (value < 0.0 || value > 1.0) {
+      std::printf("rate must be in [0,1]\n");
+      return;
+    }
+    state.rates = graph::TransferRates(state.dataset->schema(), value);
+    state.rates.CapOutgoingSums(state.dataset->schema());
+  } else {
+    std::printf("usage: rates gt | uniform [v] | show\n");
+    return;
+  }
+  std::printf("%s\n", state.rates.ToString(state.dataset->schema()).c_str());
+}
+
+void DoFilter(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  const std::string label(StripWhitespace(args));
+  if (label == "off" || label.empty()) {
+    state.search_options.result_type.reset();
+    std::printf("filter off\n");
+    return;
+  }
+  auto type = state.dataset->schema().NodeTypeByLabel(label);
+  if (!type.ok()) {
+    std::printf("%s\n", type.status().ToString().c_str());
+    return;
+  }
+  state.search_options.result_type = *type;
+  std::printf("filter: %s\n", label.c_str());
+}
+
+void DoGenerate(CliState& state, const std::string& args) {
+  auto tokens = SplitWhitespace(args);
+  if (tokens.size() < 2) {
+    std::printf("usage: generate dblp|bio <size>\n");
+    return;
+  }
+  const uint32_t size =
+      static_cast<uint32_t>(std::max(1, std::atoi(tokens[1].c_str())));
+  if (tokens[0] == "dblp") {
+    datasets::DblpDataset dblp =
+        datasets::GenerateDblp(datasets::DblpGeneratorConfig::Tiny(size));
+    state.AdoptDataset(std::move(dblp.dataset));
+  } else if (tokens[0] == "bio") {
+    datasets::BioDataset bio =
+        datasets::GenerateBio(datasets::BioGeneratorConfig::Tiny(size));
+    state.AdoptDataset(std::move(bio.dataset));
+  } else {
+    std::printf("usage: generate dblp|bio <size>\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  CliState state;
+  std::printf("ORX shell — authority-flow search with explanations "
+              "(type 'help')\n");
+  std::string line;
+  while (std::printf("orx> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    const std::string trimmed(orx::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    const size_t space = trimmed.find(' ');
+    const std::string command = trimmed.substr(0, space);
+    const std::string args =
+        space == std::string::npos ? "" : trimmed.substr(space + 1);
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      std::printf("%s", kHelp);
+    } else if (command == "figure1") {
+      state.AdoptDataset(std::move(datasets::MakeFigure1Dataset().dataset));
+    } else if (command == "generate") {
+      DoGenerate(state, args);
+    } else if (command == "parse") {
+      auto parsed = datasets::ParseDblpXmlFile(std::string(
+          orx::StripWhitespace(args)));
+      if (!parsed.ok()) {
+        std::printf("%s\n", parsed.status().ToString().c_str());
+      } else {
+        std::printf("parsed %zu papers, %zu authors, %zu/%zu citations\n",
+                    parsed->papers, parsed->authors,
+                    parsed->citations_resolved,
+                    parsed->citations_resolved +
+                        parsed->citations_unresolved);
+        state.AdoptDataset(std::move(parsed->dataset));
+      }
+    } else if (command == "dot") {
+      DoDot(state, args);
+    } else if (command == "load-tsv") {
+      auto loaded = orx::io::LoadGraphTsv(std::string(
+          orx::StripWhitespace(args)));
+      if (!loaded.ok()) {
+        std::printf("%s\n", loaded.status().ToString().c_str());
+      } else {
+        state.AdoptDataset(std::move(loaded).value());
+      }
+    } else if (command == "save-tsv") {
+      if (state.Ready()) {
+        auto status = orx::io::SaveGraphTsv(
+            *state.dataset, std::string(orx::StripWhitespace(args)));
+        std::printf("%s\n", status.ok() ? "saved"
+                                         : status.ToString().c_str());
+      }
+    } else if (command == "load") {
+      auto loaded = orx::io::LoadDataset(std::string(
+          orx::StripWhitespace(args)));
+      if (!loaded.ok()) {
+        std::printf("%s\n", loaded.status().ToString().c_str());
+      } else {
+        state.AdoptDataset(std::move(loaded).value());
+      }
+    } else if (command == "save") {
+      if (state.Ready()) {
+        auto status = orx::io::SaveDataset(
+            *state.dataset, std::string(orx::StripWhitespace(args)));
+        std::printf("%s\n", status.ok() ? "saved" :
+                    status.ToString().c_str());
+      }
+    } else if (command == "info") {
+      if (state.Ready()) {
+        std::printf("'%s': %zu nodes, %zu data edges, %zu indexed terms, "
+                    "%.1f MB in memory\n",
+                    state.dataset->name().c_str(),
+                    state.dataset->data().num_nodes(),
+                    state.dataset->data().num_edges(),
+                    state.dataset->corpus().vocab_size(),
+                    state.dataset->MemoryFootprintBytes() / 1048576.0);
+      }
+    } else if (command == "rates") {
+      DoRates(state, args);
+    } else if (command == "filter") {
+      DoFilter(state, args);
+    } else if (command == "k") {
+      const int k = std::atoi(args.c_str());
+      if (k >= 1) state.search_options.k = static_cast<size_t>(k);
+      std::printf("k = %zu\n", state.search_options.k);
+    } else if (command == "query") {
+      DoQuery(state, args);
+    } else if (command == "explain") {
+      DoExplain(state, args);
+    } else if (command == "feedback") {
+      DoFeedback(state, args);
+    } else if (command == "show") {
+      std::printf("query: %s\n", state.query.ToString().c_str());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
