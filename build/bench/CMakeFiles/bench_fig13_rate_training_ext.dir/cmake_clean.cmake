@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_rate_training_ext.dir/bench_fig13_rate_training_ext.cc.o"
+  "CMakeFiles/bench_fig13_rate_training_ext.dir/bench_fig13_rate_training_ext.cc.o.d"
+  "bench_fig13_rate_training_ext"
+  "bench_fig13_rate_training_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_rate_training_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dblpcomplete.dir/bench_fig14_dblpcomplete.cc.o"
+  "CMakeFiles/bench_fig14_dblpcomplete.dir/bench_fig14_dblpcomplete.cc.o.d"
+  "bench_fig14_dblpcomplete"
+  "bench_fig14_dblpcomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dblpcomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dblptop.dir/bench_fig15_dblptop.cc.o"
+  "CMakeFiles/bench_fig15_dblptop.dir/bench_fig15_dblptop.cc.o.d"
+  "bench_fig15_dblptop"
+  "bench_fig15_dblptop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dblptop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

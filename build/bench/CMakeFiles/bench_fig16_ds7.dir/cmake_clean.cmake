@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ds7.dir/bench_fig16_ds7.cc.o"
+  "CMakeFiles/bench_fig16_ds7.dir/bench_fig16_ds7.cc.o.d"
+  "bench_fig16_ds7"
+  "bench_fig16_ds7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ds7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_ds7cancer.cc" "bench/CMakeFiles/bench_fig17_ds7cancer.dir/bench_fig17_ds7cancer.cc.o" "gcc" "bench/CMakeFiles/bench_fig17_ds7cancer.dir/bench_fig17_ds7cancer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/orx_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_reform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

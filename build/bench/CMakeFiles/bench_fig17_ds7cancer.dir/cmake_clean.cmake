@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_ds7cancer.dir/bench_fig17_ds7cancer.cc.o"
+  "CMakeFiles/bench_fig17_ds7cancer.dir/bench_fig17_ds7cancer.cc.o.d"
+  "bench_fig17_ds7cancer"
+  "bench_fig17_ds7cancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_ds7cancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

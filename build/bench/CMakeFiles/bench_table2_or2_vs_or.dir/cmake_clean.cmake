@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_or2_vs_or.dir/bench_table2_or2_vs_or.cc.o"
+  "CMakeFiles/bench_table2_or2_vs_or.dir/bench_table2_or2_vs_or.cc.o.d"
+  "bench_table2_or2_vs_or"
+  "bench_table2_or2_vs_or.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_or2_vs_or.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

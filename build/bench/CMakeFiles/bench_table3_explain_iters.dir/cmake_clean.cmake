@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_explain_iters.dir/bench_table3_explain_iters.cc.o"
+  "CMakeFiles/bench_table3_explain_iters.dir/bench_table3_explain_iters.cc.o.d"
+  "bench_table3_explain_iters"
+  "bench_table3_explain_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_explain_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/orx_bench_util.dir/bench_util.cc.o.d"
+  "liborx_bench_util.a"
+  "liborx_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

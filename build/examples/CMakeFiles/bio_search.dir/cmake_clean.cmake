@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_search.dir/bio_search.cpp.o"
+  "CMakeFiles/bio_search.dir/bio_search.cpp.o.d"
+  "bio_search"
+  "bio_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_xml_roundtrip.dir/dblp_xml_roundtrip.cpp.o"
+  "CMakeFiles/dblp_xml_roundtrip.dir/dblp_xml_roundtrip.cpp.o.d"
+  "dblp_xml_roundtrip"
+  "dblp_xml_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_xml_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

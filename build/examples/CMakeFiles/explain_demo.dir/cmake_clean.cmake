@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_demo.dir/explain_demo.cpp.o"
+  "CMakeFiles/explain_demo.dir/explain_demo.cpp.o.d"
+  "explain_demo"
+  "explain_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_session.dir/feedback_session.cpp.o"
+  "CMakeFiles/feedback_session.dir/feedback_session.cpp.o.d"
+  "feedback_session"
+  "feedback_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

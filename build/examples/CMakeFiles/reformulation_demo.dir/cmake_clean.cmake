@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reformulation_demo.dir/reformulation_demo.cpp.o"
+  "CMakeFiles/reformulation_demo.dir/reformulation_demo.cpp.o.d"
+  "reformulation_demo"
+  "reformulation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reformulation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_common.dir/common/logging.cc.o"
+  "CMakeFiles/orx_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/orx_common.dir/common/rng.cc.o"
+  "CMakeFiles/orx_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/orx_common.dir/common/status.cc.o"
+  "CMakeFiles/orx_common.dir/common/status.cc.o.d"
+  "CMakeFiles/orx_common.dir/common/strings.cc.o"
+  "CMakeFiles/orx_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/orx_common.dir/common/table.cc.o"
+  "CMakeFiles/orx_common.dir/common/table.cc.o.d"
+  "CMakeFiles/orx_common.dir/common/timer.cc.o"
+  "CMakeFiles/orx_common.dir/common/timer.cc.o.d"
+  "liborx_common.a"
+  "liborx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/base_set.cc" "src/CMakeFiles/orx_core.dir/core/base_set.cc.o" "gcc" "src/CMakeFiles/orx_core.dir/core/base_set.cc.o.d"
+  "/root/repo/src/core/hits.cc" "src/CMakeFiles/orx_core.dir/core/hits.cc.o" "gcc" "src/CMakeFiles/orx_core.dir/core/hits.cc.o.d"
+  "/root/repo/src/core/objectrank.cc" "src/CMakeFiles/orx_core.dir/core/objectrank.cc.o" "gcc" "src/CMakeFiles/orx_core.dir/core/objectrank.cc.o.d"
+  "/root/repo/src/core/rank_cache.cc" "src/CMakeFiles/orx_core.dir/core/rank_cache.cc.o" "gcc" "src/CMakeFiles/orx_core.dir/core/rank_cache.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/CMakeFiles/orx_core.dir/core/searcher.cc.o" "gcc" "src/CMakeFiles/orx_core.dir/core/searcher.cc.o.d"
+  "/root/repo/src/core/top_k.cc" "src/CMakeFiles/orx_core.dir/core/top_k.cc.o" "gcc" "src/CMakeFiles/orx_core.dir/core/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_core.dir/core/base_set.cc.o"
+  "CMakeFiles/orx_core.dir/core/base_set.cc.o.d"
+  "CMakeFiles/orx_core.dir/core/hits.cc.o"
+  "CMakeFiles/orx_core.dir/core/hits.cc.o.d"
+  "CMakeFiles/orx_core.dir/core/objectrank.cc.o"
+  "CMakeFiles/orx_core.dir/core/objectrank.cc.o.d"
+  "CMakeFiles/orx_core.dir/core/rank_cache.cc.o"
+  "CMakeFiles/orx_core.dir/core/rank_cache.cc.o.d"
+  "CMakeFiles/orx_core.dir/core/searcher.cc.o"
+  "CMakeFiles/orx_core.dir/core/searcher.cc.o.d"
+  "CMakeFiles/orx_core.dir/core/top_k.cc.o"
+  "CMakeFiles/orx_core.dir/core/top_k.cc.o.d"
+  "liborx_core.a"
+  "liborx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

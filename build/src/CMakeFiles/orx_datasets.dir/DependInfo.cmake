@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/bio_generator.cc" "src/CMakeFiles/orx_datasets.dir/datasets/bio_generator.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/bio_generator.cc.o.d"
+  "/root/repo/src/datasets/bio_schema.cc" "src/CMakeFiles/orx_datasets.dir/datasets/bio_schema.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/bio_schema.cc.o.d"
+  "/root/repo/src/datasets/dataset.cc" "src/CMakeFiles/orx_datasets.dir/datasets/dataset.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/dataset.cc.o.d"
+  "/root/repo/src/datasets/dblp_generator.cc" "src/CMakeFiles/orx_datasets.dir/datasets/dblp_generator.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/dblp_generator.cc.o.d"
+  "/root/repo/src/datasets/dblp_schema.cc" "src/CMakeFiles/orx_datasets.dir/datasets/dblp_schema.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/dblp_schema.cc.o.d"
+  "/root/repo/src/datasets/dblp_xml.cc" "src/CMakeFiles/orx_datasets.dir/datasets/dblp_xml.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/dblp_xml.cc.o.d"
+  "/root/repo/src/datasets/figure1.cc" "src/CMakeFiles/orx_datasets.dir/datasets/figure1.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/figure1.cc.o.d"
+  "/root/repo/src/datasets/vocabulary.cc" "src/CMakeFiles/orx_datasets.dir/datasets/vocabulary.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/vocabulary.cc.o.d"
+  "/root/repo/src/datasets/zipf.cc" "src/CMakeFiles/orx_datasets.dir/datasets/zipf.cc.o" "gcc" "src/CMakeFiles/orx_datasets.dir/datasets/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_datasets.dir/datasets/bio_generator.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/bio_generator.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/bio_schema.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/bio_schema.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/dataset.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/dataset.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/dblp_generator.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/dblp_generator.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/dblp_schema.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/dblp_schema.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/dblp_xml.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/dblp_xml.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/figure1.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/figure1.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/vocabulary.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/vocabulary.cc.o.d"
+  "CMakeFiles/orx_datasets.dir/datasets/zipf.cc.o"
+  "CMakeFiles/orx_datasets.dir/datasets/zipf.cc.o.d"
+  "liborx_datasets.a"
+  "liborx_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/orx_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/orx_eval.dir/eval/residual_collection.cc.o"
+  "CMakeFiles/orx_eval.dir/eval/residual_collection.cc.o.d"
+  "CMakeFiles/orx_eval.dir/eval/simulated_user.cc.o"
+  "CMakeFiles/orx_eval.dir/eval/simulated_user.cc.o.d"
+  "CMakeFiles/orx_eval.dir/eval/survey.cc.o"
+  "CMakeFiles/orx_eval.dir/eval/survey.cc.o.d"
+  "liborx_eval.a"
+  "liborx_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

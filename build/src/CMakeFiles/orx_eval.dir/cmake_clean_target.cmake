@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborx_eval.a"
+)

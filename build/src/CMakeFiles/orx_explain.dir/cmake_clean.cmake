@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_explain.dir/explain/explainer.cc.o"
+  "CMakeFiles/orx_explain.dir/explain/explainer.cc.o.d"
+  "CMakeFiles/orx_explain.dir/explain/explaining_subgraph.cc.o"
+  "CMakeFiles/orx_explain.dir/explain/explaining_subgraph.cc.o.d"
+  "CMakeFiles/orx_explain.dir/explain/flow_adjuster.cc.o"
+  "CMakeFiles/orx_explain.dir/explain/flow_adjuster.cc.o.d"
+  "liborx_explain.a"
+  "liborx_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

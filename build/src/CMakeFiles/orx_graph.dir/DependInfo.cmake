@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/authority_graph.cc" "src/CMakeFiles/orx_graph.dir/graph/authority_graph.cc.o" "gcc" "src/CMakeFiles/orx_graph.dir/graph/authority_graph.cc.o.d"
+  "/root/repo/src/graph/conformance.cc" "src/CMakeFiles/orx_graph.dir/graph/conformance.cc.o" "gcc" "src/CMakeFiles/orx_graph.dir/graph/conformance.cc.o.d"
+  "/root/repo/src/graph/data_graph.cc" "src/CMakeFiles/orx_graph.dir/graph/data_graph.cc.o" "gcc" "src/CMakeFiles/orx_graph.dir/graph/data_graph.cc.o.d"
+  "/root/repo/src/graph/schema_graph.cc" "src/CMakeFiles/orx_graph.dir/graph/schema_graph.cc.o" "gcc" "src/CMakeFiles/orx_graph.dir/graph/schema_graph.cc.o.d"
+  "/root/repo/src/graph/transfer_rates.cc" "src/CMakeFiles/orx_graph.dir/graph/transfer_rates.cc.o" "gcc" "src/CMakeFiles/orx_graph.dir/graph/transfer_rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

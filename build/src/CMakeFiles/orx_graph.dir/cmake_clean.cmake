@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_graph.dir/graph/authority_graph.cc.o"
+  "CMakeFiles/orx_graph.dir/graph/authority_graph.cc.o.d"
+  "CMakeFiles/orx_graph.dir/graph/conformance.cc.o"
+  "CMakeFiles/orx_graph.dir/graph/conformance.cc.o.d"
+  "CMakeFiles/orx_graph.dir/graph/data_graph.cc.o"
+  "CMakeFiles/orx_graph.dir/graph/data_graph.cc.o.d"
+  "CMakeFiles/orx_graph.dir/graph/schema_graph.cc.o"
+  "CMakeFiles/orx_graph.dir/graph/schema_graph.cc.o.d"
+  "CMakeFiles/orx_graph.dir/graph/transfer_rates.cc.o"
+  "CMakeFiles/orx_graph.dir/graph/transfer_rates.cc.o.d"
+  "liborx_graph.a"
+  "liborx_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

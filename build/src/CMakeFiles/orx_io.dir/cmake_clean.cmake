@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_io.dir/io/dataset_io.cc.o"
+  "CMakeFiles/orx_io.dir/io/dataset_io.cc.o.d"
+  "CMakeFiles/orx_io.dir/io/graph_tsv.cc.o"
+  "CMakeFiles/orx_io.dir/io/graph_tsv.cc.o.d"
+  "liborx_io.a"
+  "liborx_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

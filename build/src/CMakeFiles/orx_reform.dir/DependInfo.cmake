@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reformulate/content_reformulator.cc" "src/CMakeFiles/orx_reform.dir/reformulate/content_reformulator.cc.o" "gcc" "src/CMakeFiles/orx_reform.dir/reformulate/content_reformulator.cc.o.d"
+  "/root/repo/src/reformulate/reformulator.cc" "src/CMakeFiles/orx_reform.dir/reformulate/reformulator.cc.o" "gcc" "src/CMakeFiles/orx_reform.dir/reformulate/reformulator.cc.o.d"
+  "/root/repo/src/reformulate/structure_reformulator.cc" "src/CMakeFiles/orx_reform.dir/reformulate/structure_reformulator.cc.o" "gcc" "src/CMakeFiles/orx_reform.dir/reformulate/structure_reformulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orx_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

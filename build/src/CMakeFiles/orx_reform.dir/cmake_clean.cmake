@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_reform.dir/reformulate/content_reformulator.cc.o"
+  "CMakeFiles/orx_reform.dir/reformulate/content_reformulator.cc.o.d"
+  "CMakeFiles/orx_reform.dir/reformulate/reformulator.cc.o"
+  "CMakeFiles/orx_reform.dir/reformulate/reformulator.cc.o.d"
+  "CMakeFiles/orx_reform.dir/reformulate/structure_reformulator.cc.o"
+  "CMakeFiles/orx_reform.dir/reformulate/structure_reformulator.cc.o.d"
+  "liborx_reform.a"
+  "liborx_reform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_reform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

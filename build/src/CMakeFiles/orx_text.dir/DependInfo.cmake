@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bm25.cc" "src/CMakeFiles/orx_text.dir/text/bm25.cc.o" "gcc" "src/CMakeFiles/orx_text.dir/text/bm25.cc.o.d"
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/orx_text.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/orx_text.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/query.cc" "src/CMakeFiles/orx_text.dir/text/query.cc.o" "gcc" "src/CMakeFiles/orx_text.dir/text/query.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/CMakeFiles/orx_text.dir/text/stopwords.cc.o" "gcc" "src/CMakeFiles/orx_text.dir/text/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/orx_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/orx_text.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

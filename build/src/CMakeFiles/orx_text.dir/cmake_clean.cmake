@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_text.dir/text/bm25.cc.o"
+  "CMakeFiles/orx_text.dir/text/bm25.cc.o.d"
+  "CMakeFiles/orx_text.dir/text/corpus.cc.o"
+  "CMakeFiles/orx_text.dir/text/corpus.cc.o.d"
+  "CMakeFiles/orx_text.dir/text/query.cc.o"
+  "CMakeFiles/orx_text.dir/text/query.cc.o.d"
+  "CMakeFiles/orx_text.dir/text/stopwords.cc.o"
+  "CMakeFiles/orx_text.dir/text/stopwords.cc.o.d"
+  "CMakeFiles/orx_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/orx_text.dir/text/tokenizer.cc.o.d"
+  "liborx_text.a"
+  "liborx_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authority_graph_test.dir/authority_graph_test.cc.o"
+  "CMakeFiles/authority_graph_test.dir/authority_graph_test.cc.o.d"
+  "authority_graph_test"
+  "authority_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authority_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

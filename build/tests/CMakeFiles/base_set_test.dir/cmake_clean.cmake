@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_set_test.dir/base_set_test.cc.o"
+  "CMakeFiles/base_set_test.dir/base_set_test.cc.o.d"
+  "base_set_test"
+  "base_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_generator_test.dir/bio_generator_test.cc.o"
+  "CMakeFiles/bio_generator_test.dir/bio_generator_test.cc.o.d"
+  "bio_generator_test"
+  "bio_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_generator_test.dir/dblp_generator_test.cc.o"
+  "CMakeFiles/dblp_generator_test.dir/dblp_generator_test.cc.o.d"
+  "dblp_generator_test"
+  "dblp_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_xml_test.dir/dblp_xml_test.cc.o"
+  "CMakeFiles/dblp_xml_test.dir/dblp_xml_test.cc.o.d"
+  "dblp_xml_test"
+  "dblp_xml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

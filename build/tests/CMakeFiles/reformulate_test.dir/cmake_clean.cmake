@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reformulate_test.dir/reformulate_test.cc.o"
+  "CMakeFiles/reformulate_test.dir/reformulate_test.cc.o.d"
+  "reformulate_test"
+  "reformulate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reformulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_rates_test.dir/transfer_rates_test.cc.o"
+  "CMakeFiles/transfer_rates_test.dir/transfer_rates_test.cc.o.d"
+  "transfer_rates_test"
+  "transfer_rates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_rates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

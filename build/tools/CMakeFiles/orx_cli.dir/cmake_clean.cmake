@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orx_cli.dir/orx_cli.cpp.o"
+  "CMakeFiles/orx_cli.dir/orx_cli.cpp.o.d"
+  "orx_cli"
+  "orx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "bash" "-c" "printf 'figure1
+query olap
+explain 3
+feedback 3
+save-tsv /root/repo/build/cli_smoke.tsv
+load-tsv /root/repo/build/cli_smoke.tsv
+quit
+' | /root/repo/build/tools/orx_cli | grep -q 'Data Cube'")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
