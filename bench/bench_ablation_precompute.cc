@@ -33,13 +33,13 @@ int main() {
     }
   }
   core::RankCache::Options cache_options;
-  Timer build_timer;
+  cache_options.build_threads = bench::BuildThreadsFromEnv();
+  core::RankCache::BuildStats build_stats;
   core::RankCache cache = core::RankCache::BuildForTerms(
       dblp.dataset.authority(), dblp.dataset.corpus(), rates, terms,
-      cache_options);
-  const double build_seconds = build_timer.ElapsedSeconds();
-  std::printf("offline: cached %zu terms in %.2fs (%.1f MB)\n\n",
-              cache.num_terms(), build_seconds,
+      cache_options, &build_stats);
+  std::printf("offline: %s\n", build_stats.ToString().c_str());
+  std::printf("cache: %zu terms, %.1f MB\n\n", cache.num_terms(),
               cache.MemoryFootprintBytes() / (1024.0 * 1024.0));
 
   // Online: answer each survey query both ways.

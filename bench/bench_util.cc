@@ -112,6 +112,20 @@ double ScaleFromEnv() {
   return scale;
 }
 
+int BuildThreadsFromEnv() {
+  const char* env = std::getenv("ORX_BENCH_THREADS");
+  if (env == nullptr) {
+    return static_cast<int>(ThreadPool::HardwareThreads());
+  }
+  const int threads = std::atoi(env);
+  if (threads < 1) {
+    std::fprintf(stderr, "ORX_BENCH_THREADS=%s invalid; using 1 instead\n",
+                 env);
+    return 1;
+  }
+  return threads;
+}
+
 datasets::DblpGeneratorConfig ScaledDblp(datasets::DblpGeneratorConfig config,
                                          double scale) {
   auto apply = [&](uint32_t v, uint32_t floor_value) {

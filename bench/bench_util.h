@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "datasets/bio_generator.h"
 #include "datasets/dblp_generator.h"
 #include "eval/survey.h"
@@ -16,6 +17,11 @@ namespace orx::bench {
 /// in (0, 1] applied to dataset sizes so the paper-scale benchmarks can be
 /// smoke-tested quickly (e.g. ORX_BENCH_SCALE=0.05 ./bench_fig14_...).
 double ScaleFromEnv();
+
+/// Reads the ORX_BENCH_THREADS environment variable: worker threads for
+/// parallel offline builds (RankCache precomputation). Defaults to the
+/// hardware thread count.
+int BuildThreadsFromEnv();
 
 /// Scales a DBLP generator config's node counts by `scale` (keeping at
 /// least a handful of each entity).

@@ -1,0 +1,67 @@
+#ifndef ORX_COMMON_THREAD_POOL_H_
+#define ORX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orx {
+
+/// A fixed-size worker pool for CPU-bound fan-out: submit independent
+/// tasks, then Wait() for all of them. Built for the offline index-build
+/// paths (per-keyword RankCache precomputation, batched serving later) —
+/// throughput over latency, no task priorities, no futures.
+///
+/// Tasks must not throw (the library is exception-free; a throwing task
+/// aborts). Tasks may submit further tasks. Determinism is the caller's
+/// job: give each task its own output slot and merge in a fixed order
+/// after Wait() returns.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means HardwareThreads().
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks (Wait), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, including tasks
+  /// submitted while waiting. Safe to call repeatedly; the pool is
+  /// reusable afterwards.
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n) across the pool and waits. The
+  /// assignment of indices to workers is unspecified; each index runs
+  /// exactly once.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when undetectable).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // queue non-empty or stopping
+  std::condition_variable all_done_;     // queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_THREAD_POOL_H_

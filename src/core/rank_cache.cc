@@ -3,31 +3,118 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <unordered_set>
 
 #include "common/check.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/base_set.h"
 
 namespace orx::core {
 namespace {
 
-// Ranks one term: its IR-weighted base set (idf * tf-factor per posting,
-// normalized) pushed through the power iteration. Returns the entry and
-// the term's unnormalized IR mass.
 RankCache::Options SanitizeOptions(RankCache::Options options) {
   if (options.min_df == 0) options.min_df = 1;
+  if (options.build_threads <= 0) {
+    options.build_threads = static_cast<int>(ThreadPool::HardwareThreads());
+  }
   return options;
+}
+
+// Outcome of ranking one term on a worker: the cache entry plus the
+// per-term counters the BuildStats aggregation needs.
+struct TermBuildResult {
+  bool built = false;
+  double mass = 0.0;
+  std::vector<float> scores;
+  int iterations = 0;
+  bool converged = true;
+  double seconds = 0.0;
+};
+
+// Ranks one term: its IR-weighted base set (idf * tf-factor per posting,
+// normalized) pushed through the power iteration. Pure function of its
+// inputs — safe to run concurrently for distinct output slots.
+TermBuildResult RankOneTerm(const ObjectRankEngine& engine,
+                            const text::Corpus& corpus,
+                            const graph::TransferRates& rates,
+                            const std::string& term,
+                            const RankCache::Options& options) {
+  TermBuildResult result;
+  Timer timer;
+  // The term's unnormalized IR scores: a single-term query vector with
+  // weight 1 has query factor 1, so ScoreBaseSet yields idf * tf-factor
+  // per matching document.
+  text::QueryVector unit;
+  unit.SetWeight(term, 1.0);
+  auto scored = text::ScoreBaseSet(corpus, unit, options.bm25);
+  if (scored.empty()) return result;
+
+  double mass = 0.0;
+  for (const auto& [doc, score] : scored) mass += score;
+  BaseSet base;
+  if (mass > 0.0) {
+    base.entries.reserve(scored.size());
+    for (const auto& [doc, score] : scored) {
+      base.entries.emplace_back(doc, score / mass);
+    }
+  } else {
+    // Degenerate all-zero IR scores: uniform, mass = |postings| so the
+    // combination still weights the term by its spread.
+    mass = static_cast<double>(scored.size());
+    const double w = 1.0 / static_cast<double>(scored.size());
+    for (const auto& [doc, score] : scored) {
+      base.entries.emplace_back(doc, w);
+    }
+  }
+
+  ObjectRankResult rank = engine.Compute(base, rates, options.objectrank);
+  result.built = true;
+  result.mass = mass;
+  result.scores.assign(rank.scores.begin(), rank.scores.end());
+  result.iterations = rank.iterations;
+  result.converged = rank.converged;
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+// Percentile over an ascending-sorted sample (nearest-rank); 0 if empty.
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(
+                                              sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
 }
 
 }  // namespace
 
+std::string RankCache::BuildStats::ToString() const {
+  std::string out;
+  out += "built " + std::to_string(terms_built) + "/" +
+         std::to_string(terms_requested) + " terms (" +
+         std::to_string(terms_skipped) + " skipped) in " +
+         FormatDouble(wall_seconds, 2) + "s on " + std::to_string(threads) +
+         (threads == 1 ? " thread" : " threads") + "; " +
+         std::to_string(total_iterations) + " power iterations";
+  if (terms_not_converged > 0) {
+    out += " (" + std::to_string(terms_not_converged) + " not converged)";
+  }
+  out += ", per-term p50 " + FormatDouble(term_seconds_p50 * 1e3, 1) +
+         "ms / p95 " + FormatDouble(term_seconds_p95 * 1e3, 1) + "ms";
+  return out;
+}
+
 RankCache RankCache::Build(const graph::AuthorityGraph& graph,
                            const text::Corpus& corpus,
                            const graph::TransferRates& rates,
-                           const Options& options) {
+                           const Options& options, BuildStats* stats) {
   // Eligible terms, most frequent first, capped at max_terms.
   std::vector<text::TermId> terms;
   for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
-    if (corpus.Df(t) >= options.min_df) terms.push_back(t);
+    if (corpus.Df(t) >= std::max<uint32_t>(1, options.min_df)) {
+      terms.push_back(t);
+    }
   }
   std::sort(terms.begin(), terms.end(), [&](text::TermId a, text::TermId b) {
     if (corpus.Df(a) != corpus.Df(b)) return corpus.Df(a) > corpus.Df(b);
@@ -38,54 +125,78 @@ RankCache RankCache::Build(const graph::AuthorityGraph& graph,
   std::vector<std::string> term_strings;
   term_strings.reserve(terms.size());
   for (text::TermId t : terms) term_strings.push_back(corpus.TermString(t));
-  return BuildForTerms(graph, corpus, rates, term_strings, options);
+  return BuildForTerms(graph, corpus, rates, term_strings, options, stats);
 }
 
 RankCache RankCache::BuildForTerms(const graph::AuthorityGraph& graph,
                                    const text::Corpus& corpus,
                                    const graph::TransferRates& rates,
                                    const std::vector<std::string>& terms,
-                                   const Options& raw_options) {
+                                   const Options& raw_options,
+                                   BuildStats* stats) {
   const Options options = SanitizeOptions(raw_options);
+  Timer wall_timer;
   RankCache cache;
   cache.num_nodes_ = graph.num_nodes();
   cache.rates_fingerprint_ = rates.Fingerprint();
   cache.bm25_ = options.bm25;
 
-  ObjectRankEngine engine(graph);
-  for (const std::string& term : terms) {
-    if (cache.entries_.count(term) > 0) continue;
-    // The term's unnormalized IR scores: a single-term query vector with
-    // weight 1 has query factor 1, so ScoreBaseSet yields idf * tf-factor
-    // per matching document.
-    text::QueryVector unit;
-    unit.SetWeight(term, 1.0);
-    auto scored = text::ScoreBaseSet(corpus, unit, options.bm25);
-    if (scored.empty()) continue;
-
-    double mass = 0.0;
-    for (const auto& [doc, score] : scored) mass += score;
-    BaseSet base;
-    if (mass > 0.0) {
-      base.entries.reserve(scored.size());
-      for (const auto& [doc, score] : scored) {
-        base.entries.emplace_back(doc, score / mass);
-      }
-    } else {
-      // Degenerate all-zero IR scores: uniform, mass = |postings| so the
-      // combination still weights the term by its spread.
-      mass = static_cast<double>(scored.size());
-      const double w = 1.0 / static_cast<double>(scored.size());
-      for (const auto& [doc, score] : scored) {
-        base.entries.emplace_back(doc, w);
-      }
+  // Unique terms in first-appearance order. Every worker writes only its
+  // own slot of `results`, and the merge below walks the slots in this
+  // fixed order — the parallel build is therefore deterministic and
+  // serializes byte-identically to the sequential one.
+  std::vector<std::string> unique;
+  unique.reserve(terms.size());
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& term : terms) {
+      if (seen.insert(term).second) unique.push_back(term);
     }
+  }
 
-    ObjectRankResult rank = engine.Compute(base, rates, options.objectrank);
+  ObjectRankEngine engine(graph);
+  std::vector<TermBuildResult> results(unique.size());
+  const int threads =
+      static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(options.build_threads),
+          std::max<size_t>(1, unique.size())));
+  if (threads <= 1) {
+    for (size_t i = 0; i < unique.size(); ++i) {
+      results[i] = RankOneTerm(engine, corpus, rates, unique[i], options);
+    }
+  } else {
+    ThreadPool pool(static_cast<size_t>(threads));
+    pool.ParallelFor(unique.size(), [&](size_t i) {
+      results[i] = RankOneTerm(engine, corpus, rates, unique[i], options);
+    });
+  }
+
+  for (size_t i = 0; i < unique.size(); ++i) {
+    if (!results[i].built) continue;
     Entry entry;
-    entry.mass = mass;
-    entry.scores.assign(rank.scores.begin(), rank.scores.end());
-    cache.entries_.emplace(term, std::move(entry));
+    entry.mass = results[i].mass;
+    entry.scores = std::move(results[i].scores);
+    cache.entries_.emplace(unique[i], std::move(entry));
+  }
+
+  if (stats != nullptr) {
+    *stats = BuildStats{};
+    stats->terms_requested = terms.size();
+    stats->threads = threads;
+    std::vector<double> durations;
+    durations.reserve(results.size());
+    for (const TermBuildResult& r : results) {
+      if (!r.built) continue;
+      ++stats->terms_built;
+      stats->total_iterations += r.iterations;
+      if (!r.converged) ++stats->terms_not_converged;
+      durations.push_back(r.seconds);
+    }
+    stats->terms_skipped = stats->terms_requested - stats->terms_built;
+    std::sort(durations.begin(), durations.end());
+    stats->term_seconds_p50 = SortedPercentile(durations, 0.50);
+    stats->term_seconds_p95 = SortedPercentile(durations, 0.95);
+    stats->wall_seconds = wall_timer.ElapsedSeconds();
   }
   return cache;
 }
@@ -103,20 +214,32 @@ StatusOr<RankCache::QueryResult> RankCache::Query(
   std::vector<Part> parts;
   QueryResult result;
   double total = 0.0;
+  size_t cached_terms = 0;
   for (size_t i = 0; i < query.size(); ++i) {
     auto it = entries_.find(query.terms()[i]);
     if (it == entries_.end()) {
       result.missing_terms.push_back(query.terms()[i]);
       continue;
     }
+    ++cached_terms;
     const double coefficient =
         text::QueryTermFactor(query.weights()[i], bm25_) * it->second.mass;
-    if (coefficient <= 0.0) continue;
+    if (coefficient <= 0.0) {
+      // A cached term whose coefficient is not positive (zero or negative
+      // query weight, or a massless entry) cannot contribute to the
+      // convex combination; report it as missing so callers do not
+      // mistake the partial combination for the exact answer.
+      result.missing_terms.push_back(query.terms()[i]);
+      continue;
+    }
     parts.push_back(Part{&it->second, coefficient});
     total += coefficient;
   }
   if (parts.empty() || total <= 0.0) {
-    return NotFoundError("no query term is cached");
+    return NotFoundError(cached_terms == 0
+                             ? "no query term is cached"
+                             : "no cached query term has a positive "
+                               "combination coefficient");
   }
 
   result.scores.assign(num_nodes_, 0.0);
@@ -188,6 +311,15 @@ Status RankCache::Serialize(std::ostream& out) const {
             [](const std::string* a, const std::string* b) { return *a < *b; });
   for (const std::string* term : terms) {
     const Entry& entry = entries_.at(*term);
+    // Deserialize reads exactly num_nodes_ floats per entry; writing a
+    // vector of any other length would silently shift every subsequent
+    // entry in the stream.
+    if (entry.scores.size() != num_nodes_) {
+      return InternalError(
+          "rank cache entry '" + *term + "' has " +
+          std::to_string(entry.scores.size()) + " scores, expected " +
+          std::to_string(num_nodes_));
+    }
     PutU32(out, static_cast<uint32_t>(term->size()));
     out.write(term->data(), static_cast<std::streamsize>(term->size()));
     PutDouble(out, entry.mass);

@@ -48,30 +48,69 @@ class RankCache {
     uint32_t min_df = 1;
     /// Cache at most this many terms, most frequent first.
     size_t max_terms = static_cast<size_t>(-1);
+    /// Worker threads for the offline build. Per-term rank vectors are
+    /// independent, so the build fans one power iteration per term out to
+    /// a pool; entries are merged in term order, making the result (and
+    /// its serialization) byte-identical to the sequential build. 0 means
+    /// one thread per hardware core.
+    int build_threads = 1;
+  };
+
+  /// Per-stage counters/timers of one Build/BuildForTerms run. All times
+  /// are wall-clock; per-term percentiles are over built terms only.
+  struct BuildStats {
+    /// Terms requested, including duplicates and unknown terms.
+    size_t terms_requested = 0;
+    /// Terms with a cached vector at the end of the build.
+    size_t terms_built = 0;
+    /// Requested terms skipped: duplicates, already cached, or absent
+    /// from the corpus.
+    size_t terms_skipped = 0;
+    /// Power iterations summed across built terms.
+    long long total_iterations = 0;
+    /// Built terms whose power iteration hit max_iterations.
+    size_t terms_not_converged = 0;
+    /// Worker threads the build actually used.
+    int threads = 1;
+    /// End-to-end build time, including scoring and the merge.
+    double wall_seconds = 0.0;
+    /// Median / 95th-percentile per-term time (score + power iteration).
+    double term_seconds_p50 = 0.0;
+    double term_seconds_p95 = 0.0;
+
+    /// One-line human-readable rendering for benchmarks and the CLI.
+    std::string ToString() const;
   };
 
   /// Result of a cached query.
   struct QueryResult {
     std::vector<double> scores;
-    /// Query terms that are in the corpus but not cached (the combination
-    /// then covers only the cached part; callers typically fall back to
-    /// the Searcher when this is non-empty).
+    /// Query terms the combination could not cover: terms with no cached
+    /// vector, and cached terms whose combination coefficient is not
+    /// positive (e.g. zero or negative query weight — the cache cannot
+    /// reproduce the exact scores for those). The combination covers only
+    /// the remaining terms; callers typically fall back to the Searcher
+    /// when this is non-empty.
     std::vector<std::string> missing_terms;
   };
 
   /// Precomputes the rank vector of every eligible corpus term under
-  /// `rates`. O(#terms * power-iteration) — an offline index build.
+  /// `rates`. O(#terms * power-iteration) — an offline index build,
+  /// parallel over terms when options.build_threads != 1. If `stats` is
+  /// non-null it receives the build's counters and timings.
   static RankCache Build(const graph::AuthorityGraph& graph,
                          const text::Corpus& corpus,
                          const graph::TransferRates& rates,
-                         const Options& options);
+                         const Options& options,
+                         BuildStats* stats = nullptr);
 
   /// Like Build but only for the given terms (normalized forms).
   static RankCache BuildForTerms(const graph::AuthorityGraph& graph,
                                  const text::Corpus& corpus,
                                  const graph::TransferRates& rates,
                                  const std::vector<std::string>& terms,
-                                 const Options& options);
+                                 const Options& options,
+                                 BuildStats* stats = nullptr);
 
   /// True if `term` (normalized) has a cached vector.
   bool Contains(const std::string& term) const {
@@ -79,8 +118,9 @@ class RankCache {
   }
 
   /// Combines the cached per-term vectors for `query`. Errors:
-  /// kInvalidArgument on an empty query, kNotFound if no query term is
-  /// cached (or none carries mass).
+  /// kInvalidArgument on an empty query, kNotFound if no query term
+  /// contributes (none is cached, or every cached term's combination
+  /// coefficient is non-positive).
   StatusOr<QueryResult> Query(const text::QueryVector& query) const;
 
   size_t num_terms() const { return entries_.size(); }
@@ -91,6 +131,18 @@ class RankCache {
   /// back to the power iteration after structure-based reformulation.
   uint64_t rates_fingerprint() const { return rates_fingerprint_; }
 
+  /// The Okapi parameters baked into the cached vectors and masses. A
+  /// cache combines exactly only for these parameters; Searcher compares
+  /// them against the search's BM25 options before serving a hit.
+  const text::Bm25Params& bm25_params() const { return bm25_; }
+
+  /// True iff the cache was built with exactly these Okapi parameters
+  /// (the freshness check alongside rates_fingerprint()).
+  bool MatchesBm25(const text::Bm25Params& params) const {
+    return bm25_.k1 == params.k1 && bm25_.b == params.b &&
+           bm25_.k3 == params.k3;
+  }
+
   /// Approximate in-memory footprint (the vectors dominate).
   size_t MemoryFootprintBytes() const;
 
@@ -99,7 +151,10 @@ class RankCache {
   /// so a loaded cache combines exactly like the one that was saved.
   /// The caller is responsible for using the cache only with the graph
   /// and rates it was built from (the file stores the node count as a
-  /// cheap consistency check).
+  /// cheap consistency check). Serialize returns kInternal if any entry's
+  /// score vector disagrees with num_nodes() — the fixed-width format
+  /// cannot represent it, and writing it would corrupt every entry after
+  /// it.
   Status Serialize(std::ostream& out) const;
   static StatusOr<RankCache> Deserialize(std::istream& in);
   Status Save(const std::string& path) const;
@@ -114,6 +169,10 @@ class RankCache {
   };
 
   RankCache() = default;
+
+  /// Test-only backdoor (tests/rank_cache_test.cc) for forging invalid
+  /// internal states that the public API cannot produce.
+  friend struct RankCacheTestPeer;
 
   size_t num_nodes_ = 0;
   uint64_t rates_fingerprint_ = 0;

@@ -44,9 +44,11 @@ StatusOr<SearchResult> Searcher::SearchObjectRank2(
   if (!base.ok()) return base.status();
 
   // Answer from the precomputed per-keyword cache when it is attached,
-  // fresh (same rates), and covers every query term.
+  // fresh (same rates AND same Okapi parameters — both are baked into the
+  // cached vectors), and covers every query term.
   if (rank_cache_ != nullptr &&
-      rank_cache_->rates_fingerprint() == rates.Fingerprint()) {
+      rank_cache_->rates_fingerprint() == rates.Fingerprint() &&
+      rank_cache_->MatchesBm25(options.bm25)) {
     Timer cache_timer;
     auto cached = rank_cache_->Query(query);
     if (cached.ok() && cached->missing_terms.empty()) {

@@ -81,10 +81,13 @@ class Searcher {
 
   /// Attaches a precomputed rank cache. Subsequent ObjectRank2 searches
   /// are answered from the cache when (a) the query's terms are all
-  /// cached and (b) the search's rates match the cache's fingerprint —
-  /// i.e. until structure-based reformulation changes the rates; then the
-  /// searcher silently falls back to the power iteration. Pass nullptr to
-  /// detach. The cache must outlive the searcher.
+  /// cached and contribute positive combination weight, (b) the search's
+  /// rates match the cache's fingerprint — i.e. until structure-based
+  /// reformulation changes the rates — and (c) the search's BM25
+  /// parameters equal the ones the cache was built with (they are baked
+  /// into the cached vectors and masses). On any mismatch the searcher
+  /// silently falls back to the power iteration. Pass nullptr to detach.
+  /// The cache must outlive the searcher.
   void AttachRankCache(const RankCache* cache) { rank_cache_ = cache; }
 
   /// Runs a search. Errors: kNotFound if no query keyword matches any

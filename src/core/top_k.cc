@@ -19,9 +19,10 @@ std::vector<ScoredNode> HeapTopK(const std::vector<double>& scores, size_t k,
   auto heap_cmp = [](const ScoredNode& a, const ScoredNode& b) {
     return RanksBetter(a, b);  // makes the *worst* element the heap top
   };
-  for (graph::NodeId v = 0; v < scores.size(); ++v) {
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const graph::NodeId v = static_cast<graph::NodeId>(i);
     if (!keep(v)) continue;
-    ScoredNode cand{v, scores[v]};
+    ScoredNode cand{v, scores[i]};
     if (heap.size() < k) {
       heap.push_back(cand);
       std::push_heap(heap.begin(), heap.end(), heap_cmp);

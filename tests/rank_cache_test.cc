@@ -10,6 +10,15 @@
 #include "text/query.h"
 
 namespace orx::core {
+
+// Test-only backdoor for forging invalid internal states (entry vectors
+// whose length disagrees with num_nodes_) that the public API rejects.
+struct RankCacheTestPeer {
+  static void AppendScore(RankCache& cache, const std::string& term) {
+    cache.entries_.at(term).scores.push_back(0.0f);
+  }
+};
+
 namespace {
 
 class RankCacheTest : public ::testing::Test {
@@ -247,6 +256,155 @@ TEST_F(RankCacheTest, FingerprintSurvivesSerialization) {
   auto loaded = RankCache::Deserialize(stream);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->rates_fingerprint(), cache.rates_fingerprint());
+}
+
+TEST_F(RankCacheTest, SerializeRejectsLengthMismatchedEntry) {
+  // Regression: Serialize used to write entry.scores.size() floats while
+  // Deserialize reads exactly num_nodes — a mismatched entry silently
+  // shifted every subsequent entry in the stream. It must be an error.
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+  RankCacheTestPeer::AppendScore(cache, "data");
+  std::stringstream stream;
+  Status status = cache.Serialize(stream);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("data"), std::string::npos);
+}
+
+TEST_F(RankCacheTest, ZeroCoefficientTermIsReportedMissing) {
+  // Regression: a cached term whose combination coefficient is <= 0
+  // (zero/negative query weight) was silently dropped, so callers took
+  // the partial combination for the exact answer.
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+  text::QueryVector query;
+  query.SetWeight("data", 1.0);
+  query.SetWeight("mining", 0.0);
+  auto cached = cache.Query(query);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_EQ(cached->missing_terms.size(), 1u);
+  EXPECT_EQ(cached->missing_terms[0], "mining");
+
+  // All coefficients non-positive: an error, with a message that no
+  // longer claims the terms were uncached.
+  text::QueryVector zeros;
+  zeros.SetWeight("data", 0.0);
+  zeros.SetWeight("mining", -1.0);
+  auto none = cache.Query(zeros);
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(none.status().message().find("no query term is cached"),
+            std::string::npos);
+}
+
+TEST_F(RankCacheTest, SearcherFallsBackOnZeroCoefficientTerm) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+  Searcher searcher(dblp_.dataset.data(), dblp_.dataset.authority(),
+                    dblp_.dataset.corpus());
+  searcher.AttachRankCache(&cache);
+  SearchOptions search_options;
+  search_options.objectrank = options_.objectrank;
+  search_options.use_warm_start = false;
+
+  text::QueryVector query;
+  query.SetWeight("data", 1.0);
+  query.SetWeight("mining", 0.0);
+  auto result = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(result.ok());
+  // The cache cannot cover the zero-weight term; the searcher must run
+  // the exact power iteration instead of serving the partial combination.
+  EXPECT_FALSE(result->from_cache);
+  EXPECT_GT(result->iterations, 0);
+}
+
+TEST_F(RankCacheTest, SearcherRejectsCacheWithMismatchedBm25) {
+  // Regression: the searcher compared only the rates fingerprint, so a
+  // cache built under different Okapi parameters silently served stale
+  // scores.
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "mining"}, options_);
+  Searcher searcher(dblp_.dataset.data(), dblp_.dataset.authority(),
+                    dblp_.dataset.corpus());
+  searcher.AttachRankCache(&cache);
+  text::QueryVector query(text::ParseQuery("data mining"));
+
+  SearchOptions search_options;
+  search_options.objectrank = options_.objectrank;
+  search_options.use_warm_start = false;
+  search_options.bm25.k1 = options_.bm25.k1 + 0.6;  // different Okapi k1
+  auto mismatched = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_FALSE(mismatched->from_cache);
+  EXPECT_GT(mismatched->iterations, 0);
+
+  // Restoring the build-time parameters restores the cache hit.
+  search_options.bm25 = options_.bm25;
+  searcher.ResetSession();
+  auto matched = searcher.Search(query, rates_, search_options);
+  ASSERT_TRUE(matched.ok());
+  EXPECT_TRUE(matched->from_cache);
+}
+
+TEST_F(RankCacheTest, MatchesBm25ComparesAllParameters) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  EXPECT_TRUE(cache.MatchesBm25(options_.bm25));
+  text::Bm25Params other = options_.bm25;
+  other.b += 0.1;
+  EXPECT_FALSE(cache.MatchesBm25(other));
+  other = options_.bm25;
+  other.k3 += 1.0;
+  EXPECT_FALSE(cache.MatchesBm25(other));
+}
+
+TEST_F(RankCacheTest, ParallelBuildSerializesByteIdentically) {
+  const std::vector<std::string> terms = {"data",    "mining", "query",
+                                          "systems", "web",    "xml",
+                                          "database", "search"};
+  RankCache::Options sequential = options_;
+  sequential.build_threads = 1;
+  RankCache::BuildStats seq_stats;
+  RankCache a = RankCache::BuildForTerms(dblp_.dataset.authority(),
+                                         dblp_.dataset.corpus(), rates_,
+                                         terms, sequential, &seq_stats);
+
+  RankCache::Options parallel = options_;
+  parallel.build_threads = 4;
+  RankCache::BuildStats par_stats;
+  RankCache b = RankCache::BuildForTerms(dblp_.dataset.authority(),
+                                         dblp_.dataset.corpus(), rates_,
+                                         terms, parallel, &par_stats);
+
+  std::stringstream sa, sb;
+  ASSERT_TRUE(a.Serialize(sa).ok());
+  ASSERT_TRUE(b.Serialize(sb).ok());
+  EXPECT_EQ(sa.str(), sb.str());
+
+  EXPECT_EQ(seq_stats.threads, 1);
+  EXPECT_EQ(par_stats.threads, 4);
+  EXPECT_EQ(seq_stats.terms_built, par_stats.terms_built);
+  EXPECT_EQ(seq_stats.total_iterations, par_stats.total_iterations);
+}
+
+TEST_F(RankCacheTest, BuildStatsCountsSkippedAndBuiltTerms) {
+  RankCache::BuildStats stats;
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_,
+      {"data", "data", "zzznotaword", "mining"}, options_, &stats);
+  EXPECT_EQ(cache.num_terms(), 2u);
+  EXPECT_EQ(stats.terms_requested, 4u);
+  EXPECT_EQ(stats.terms_built, 2u);
+  EXPECT_EQ(stats.terms_skipped, 2u);  // the duplicate and the unknown
+  EXPECT_GT(stats.total_iterations, 0);
+  EXPECT_EQ(stats.terms_not_converged, 0u);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_GE(stats.term_seconds_p95, stats.term_seconds_p50);
+  EXPECT_NE(stats.ToString().find("built 2/4"), std::string::npos);
 }
 
 TEST(RankCacheFigure1Test, ReproducesGoldenVector) {

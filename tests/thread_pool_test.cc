@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace orx {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+  pool.Wait();  // idempotent with nothing queued
+}
+
+TEST(ThreadPoolTest, WaitWithoutTasksReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndSmallRanges) {
+  ThreadPool pool(8);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  std::atomic<int> count{0};
+  // Fewer indices than workers.
+  pool.ParallelFor(3, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DisjointSlotWritesNeedNoSynchronization) {
+  // The RankCache build pattern: one output slot per task, merged after
+  // Wait. The sum over slots must equal the sequential result.
+  ThreadPool pool(4);
+  constexpr size_t kN = 500;
+  std::vector<long long> slots(kN, 0);
+  pool.ParallelFor(kN, [&slots](size_t i) {
+    slots[i] = static_cast<long long>(i) * static_cast<long long>(i);
+  });
+  long long expected = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    expected += static_cast<long long>(i) * static_cast<long long>(i);
+  }
+  EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0ll), expected);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    count.fetch_add(1);
+    pool.Submit([&count] { count.fetch_add(1); });
+  });
+  pool.Wait();  // must also cover the nested task
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::HardwareThreads());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace orx

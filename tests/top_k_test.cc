@@ -34,6 +34,23 @@ TEST(TopKTest, TiesBreakByAscendingNodeId) {
   EXPECT_EQ(top[1].node, 1u);
 }
 
+TEST(TopKTest, LargeInputCoversEveryIndex) {
+  // Regression for the heap loop's index type: it iterated with a
+  // graph::NodeId (uint32_t) compared against scores.size() (size_t),
+  // which warned under -Wsign-compare/-Wconversion contexts and would
+  // wrap on inputs exceeding the NodeId range. The loop now runs over
+  // size_t and casts per index; the best element must be found wherever
+  // it sits, including the very last slot of a large vector.
+  constexpr size_t kN = 100'000;
+  std::vector<double> scores(kN, 0.1);
+  scores[kN - 1] = 0.9;
+  scores[kN / 2] = 0.5;
+  auto top = TopK(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, static_cast<graph::NodeId>(kN - 1));
+  EXPECT_EQ(top[1].node, static_cast<graph::NodeId>(kN / 2));
+}
+
 class TopKTypedTest : public ::testing::Test {
  protected:
   TopKTypedTest() {

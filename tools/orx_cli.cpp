@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/rank_cache.h"
 #include "core/searcher.h"
 #include "datasets/bio_generator.h"
 #include "datasets/dblp_generator.h"
@@ -40,6 +42,8 @@ constexpr const char* kHelp = R"(commands:
   rates gt | uniform [v] | show   set/show authority transfer rates
   filter <TypeLabel> | off    restrict results to one node type
   k <n>                       result-list size (default 10)
+  precompute [threads [max-terms]]  build + attach per-keyword rank cache
+  precompute off              detach the rank cache
   query <keywords...>         run ObjectRank2
   explain <rank>              explaining subgraph of a result
   feedback <rank> [rank...]   reformulate from relevant results
@@ -52,6 +56,7 @@ struct CliState {
   std::optional<datasets::DblpTypes> dblp_types;
   std::optional<datasets::BioTypes> bio_types;
   std::unique_ptr<core::Searcher> searcher;
+  std::unique_ptr<core::RankCache> rank_cache;
   graph::TransferRates rates;
   text::QueryVector query;
   core::SearchOptions search_options;
@@ -72,6 +77,7 @@ struct CliState {
     }
     searcher = std::make_unique<core::Searcher>(
         dataset->data(), dataset->authority(), dataset->corpus());
+    rank_cache.reset();  // a cache is only valid for the graph it was built on
     SetGroundTruthRates();
     search_options = core::SearchOptions{};
     last_top.clear();
@@ -126,9 +132,10 @@ void DoQuery(CliState& state, const std::string& args) {
     std::printf("search failed: %s\n", result.status().ToString().c_str());
     return;
   }
-  std::printf("base set %zu, %d iterations, %.1f ms\n",
+  std::printf("base set %zu, %d iterations, %.1f ms%s\n",
               result->base_set_size, result->iterations,
-              result->seconds * 1e3);
+              result->seconds * 1e3,
+              result->from_cache ? " (rank cache)" : "");
   state.last_top = result->top;
   state.last_scores = std::move(result->scores);
   state.have_result = true;
@@ -320,6 +327,49 @@ void DoFilter(CliState& state, const std::string& args) {
   std::printf("filter: %s\n", label.c_str());
 }
 
+void DoPrecompute(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  auto tokens = SplitWhitespace(args);
+  if (!tokens.empty() && tokens[0] == "off") {
+    state.searcher->AttachRankCache(nullptr);
+    state.rank_cache.reset();
+    std::printf("rank cache detached\n");
+    return;
+  }
+  int threads = static_cast<int>(ThreadPool::HardwareThreads());
+  if (!tokens.empty()) {
+    threads = std::atoi(tokens[0].c_str());
+    if (threads < 1) {
+      std::printf("usage: precompute [threads [max-terms]] | precompute "
+                  "off\n");
+      return;
+    }
+  }
+  core::RankCache::Options options;
+  options.objectrank = state.search_options.objectrank;
+  options.bm25 = state.search_options.bm25;
+  options.build_threads = threads;
+  if (tokens.size() > 1) {
+    const int max_terms = std::atoi(tokens[1].c_str());
+    if (max_terms < 1) {
+      std::printf("usage: precompute [threads [max-terms]] | precompute "
+                  "off\n");
+      return;
+    }
+    options.max_terms = static_cast<size_t>(max_terms);
+  }
+  core::RankCache::BuildStats stats;
+  state.rank_cache = std::make_unique<core::RankCache>(core::RankCache::Build(
+      state.dataset->authority(), state.dataset->corpus(), state.rates,
+      options, &stats));
+  state.searcher->AttachRankCache(state.rank_cache.get());
+  std::printf("%s\n", stats.ToString().c_str());
+  std::printf("cache: %zu terms, %.1f MB; attached (queries under the "
+              "current rates + BM25 params are served from it)\n",
+              state.rank_cache->num_terms(),
+              state.rank_cache->MemoryFootprintBytes() / (1024.0 * 1024.0));
+}
+
 void DoGenerate(CliState& state, const std::string& args) {
   auto tokens = SplitWhitespace(args);
   if (tokens.size() < 2) {
@@ -427,6 +477,8 @@ int main() {
       const int k = std::atoi(args.c_str());
       if (k >= 1) state.search_options.k = static_cast<size_t>(k);
       std::printf("k = %zu\n", state.search_options.k);
+    } else if (command == "precompute") {
+      DoPrecompute(state, args);
     } else if (command == "query") {
       DoQuery(state, args);
     } else if (command == "explain") {
