@@ -55,6 +55,20 @@ int main() {
   }
 
   core::RankCache::Options options;
+  const std::string dataset_desc =
+      std::to_string(dblp.dataset.data().num_nodes()) + " nodes, " +
+      std::to_string(dblp.dataset.authority().num_edges()) + " edges";
+  auto record_point = [&](int threads,
+                          const core::RankCache::BuildStats& stats) {
+    bench::JsonObject record = bench::BenchRecord(
+        "precompute_scaling", dataset_desc, threads, stats.wall_seconds);
+    record.Add("terms_built", stats.terms_built)
+        .Add("total_iterations", stats.total_iterations)
+        .Add("term_seconds_p50", stats.term_seconds_p50)
+        .Add("term_seconds_p95", stats.term_seconds_p95);
+    return record.ToString();
+  };
+  std::vector<std::string> records;
 
   // Sequential reference build: the determinism baseline.
   options.build_threads = 1;
@@ -68,6 +82,7 @@ int main() {
     return 1;
   }
   const double base_seconds = base_stats.wall_seconds;
+  records.push_back(record_point(1, base_stats));
 
   TablePrinter table({"threads", "build (s)", "speedup", "iters",
                       "term p50 (ms)", "term p95 (ms)", "bytes identical"});
@@ -87,6 +102,7 @@ int main() {
       return 1;
     }
     const bool identical = bytes.str() == reference_bytes.str();
+    records.push_back(record_point(threads, stats));
     table.AddRow({std::to_string(threads),
                   FormatDouble(stats.wall_seconds, 2),
                   FormatDouble(base_seconds /
@@ -103,6 +119,8 @@ int main() {
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  bench::WriteJsonFile("BENCH_precompute_scaling.json",
+                       bench::JsonArray(records));
   std::printf("Each term's power iteration is sequential; threads only "
               "change which worker ranks which term, never the arithmetic, "
               "so the serialized cache must be byte-identical at every "

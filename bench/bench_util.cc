@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -211,6 +212,146 @@ void PrintSeries(const std::string& label, const std::vector<double>& values,
   std::printf("%-28s", label.c_str());
   for (double v : values) std::printf(" %.*f", digits, v);
   std::printf("\n");
+}
+
+namespace {
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonObject::AppendKey(const std::string& key) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + EscapeJson(key) + "\":";
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const std::string& value) {
+  AppendKey(key);
+  body_ += "\"" + EscapeJson(value) + "\"";
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, double value) {
+  AppendKey(key);
+  char buf[40];
+  // %.17g round-trips doubles; JSON has no NaN/Inf, so map them to null.
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");
+  }
+  body_ += buf;
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, long long value) {
+  AppendKey(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key,
+                            unsigned long long value) {
+  AppendKey(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, int value) {
+  return Add(key, static_cast<long long>(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, size_t value) {
+  return Add(key, static_cast<unsigned long long>(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, bool value) {
+  AppendKey(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::AddRaw(const std::string& key,
+                               const std::string& raw_json) {
+  AppendKey(key);
+  body_ += raw_json;
+  return *this;
+}
+
+std::string JsonObject::ToString() const { return "{" + body_ + "}"; }
+
+std::string JsonArray(const std::vector<std::string>& rendered_elements) {
+  std::string out = "[";
+  for (size_t i = 0; i < rendered_elements.size(); ++i) {
+    if (i > 0) out += ",";
+    out += rendered_elements[i];
+  }
+  out += "]";
+  return out;
+}
+
+std::string GitDescribe() {
+#ifdef ORX_GIT_DESCRIBE
+  return ORX_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+JsonObject BenchRecord(const std::string& bench, const std::string& dataset,
+                       int threads, double wall_seconds) {
+  JsonObject record;
+  record.Add("bench", bench)
+      .Add("git", GitDescribe())
+      .Add("dataset", dataset)
+      .Add("threads", threads)
+      .Add("wall_seconds", wall_seconds);
+  return record;
+}
+
+bool WriteJsonFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace orx::bench

@@ -81,6 +81,48 @@ SweepResult RunBioSweep(const datasets::BioDataset& bio,
 void PrintSeries(const std::string& label, const std::vector<double>& values,
                  int digits = 4);
 
+/// Minimal insertion-ordered JSON object builder for the BENCH_*.json
+/// artifacts. Strings are escaped; AddRaw splices pre-rendered JSON
+/// (nested objects/arrays) verbatim.
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, const std::string& value);
+  JsonObject& Add(const std::string& key, const char* value);
+  JsonObject& Add(const std::string& key, double value);
+  JsonObject& Add(const std::string& key, long long value);
+  JsonObject& Add(const std::string& key, unsigned long long value);
+  JsonObject& Add(const std::string& key, int value);
+  JsonObject& Add(const std::string& key, size_t value);
+  JsonObject& Add(const std::string& key, bool value);
+  JsonObject& AddRaw(const std::string& key, const std::string& raw_json);
+
+  /// Renders "{...}".
+  std::string ToString() const;
+
+ private:
+  void AppendKey(const std::string& key);
+
+  std::string body_;
+};
+
+/// Renders a JSON array from pre-rendered element strings.
+std::string JsonArray(const std::vector<std::string>& rendered_elements);
+
+/// `git describe --always --dirty` of the built tree, baked in at
+/// configure time (ORX_GIT_DESCRIBE); "unknown" outside a git checkout.
+std::string GitDescribe();
+
+/// The shared header every BENCH_*.json record carries, so the artifacts
+/// of different bench binaries are uniformly parseable:
+/// {bench, git, dataset, threads, wall_seconds, ...}. Callers append
+/// their bench-specific fields to the returned builder.
+JsonObject BenchRecord(const std::string& bench, const std::string& dataset,
+                       int threads, double wall_seconds);
+
+/// Writes `content` (+ trailing newline) to `path`; prints a warning and
+/// returns false on failure.
+bool WriteJsonFile(const std::string& path, const std::string& content);
+
 /// Prints the two panels of a Figures 14-17 style performance figure from
 /// a sweep: (a) per-iteration stage times (ObjectRank2 execution,
 /// explaining-subgraph creation, explaining fixpoint execution, query

@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace orx {
+namespace {
+
+// 96 buckets at ~10 per decade: ratio = 10^(1/10), range
+// [1e-7 s, 1e-7 * ratio^96) ≈ [100 ns, 398 s).
+constexpr double kMinSeconds = 1e-7;
+const double kLogRatio = std::log(10.0) / 10.0;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { Reset(); }
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_seconds_.store(0.0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  const double idx = std::log(seconds / kMinSeconds) / kLogRatio;
+  if (idx >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double LatencyHistogram::BucketLowerBound(size_t i) {
+  return kMinSeconds * std::exp(kLogRatio * static_cast<double>(i));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_seconds_.load(std::memory_order_relaxed);
+  while (!sum_seconds_.compare_exchange_weak(sum, sum + seconds,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::TotalSeconds() const {
+  return sum_seconds_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const uint64_t n = TotalCount();
+  return n == 0 ? 0.0 : TotalSeconds() / static_cast<double>(n);
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  // Snapshot the counters; under concurrent recording the per-bucket reads
+  // are not a consistent cut, so derive the total from the snapshot itself.
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  // Rank of the percentile sample, 1-based nearest-rank definition.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                         static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Geometric midpoint of [lower, lower * ratio).
+      return BucketLowerBound(i) * std::exp(kLogRatio * 0.5);
+    }
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+std::string LatencyHistogram::ToString() const {
+  auto ms = [](double seconds) { return FormatDouble(seconds * 1e3, 2); };
+  return "p50=" + ms(Percentile(50)) + "ms p95=" + ms(Percentile(95)) +
+         "ms p99=" + ms(Percentile(99)) + "ms mean=" + ms(MeanSeconds()) +
+         "ms n=" + std::to_string(TotalCount());
+}
+
+}  // namespace orx

@@ -1,0 +1,67 @@
+#ifndef ORX_COMMON_HISTOGRAM_H_
+#define ORX_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace orx {
+
+/// A fixed-bucket log-spaced latency histogram for concurrent recording on
+/// the serving hot path. Record() is lock-free (one relaxed fetch_add per
+/// sample); Percentile() walks a racy-but-monotone snapshot of the bucket
+/// counters, which is exact once recording threads quiesce and off by at
+/// most the in-flight samples while they don't — fine for operational
+/// metrics, not for billing.
+///
+/// Buckets cover [100 ns, ~350 s) with ~10 buckets per decade; samples
+/// outside the range clamp into the first/last bucket. A percentile is
+/// reported as the geometric midpoint of its bucket, so the error is
+/// bounded by the bucket ratio (~25%), independent of the sample count.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 96;
+
+  LatencyHistogram();
+
+  /// Adds one sample. Thread-safe, lock-free.
+  void Record(double seconds);
+
+  /// Total samples recorded.
+  uint64_t TotalCount() const;
+
+  /// Sum of all recorded samples in seconds (for means).
+  double TotalSeconds() const;
+
+  /// Mean sample, or 0 with no samples.
+  double MeanSeconds() const;
+
+  /// The p-th percentile (p in [0, 100]) as the geometric midpoint of the
+  /// bucket holding that rank; 0 with no samples.
+  double Percentile(double p) const;
+
+  /// Resets every counter to zero. Not atomic with concurrent Record()
+  /// calls; callers quiesce recording first.
+  void Reset();
+
+  /// "p50=1.2ms p95=8.4ms p99=20.1ms mean=2.3ms n=1234" for diagnostics.
+  std::string ToString() const;
+
+  /// Lower bound in seconds of bucket i (exposed for tests).
+  static double BucketLowerBound(size_t i);
+
+ private:
+  static size_t BucketIndex(double seconds);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_;
+  /// Sum maintained with a CAS loop (atomic<double>::fetch_add is C++20
+  /// but not yet universal across the toolchains we build on).
+  std::atomic<double> sum_seconds_;
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_HISTOGRAM_H_

@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace orx {
 namespace {
 
 std::atomic<bool> g_verbose{false};
+
+// Serializes line emission across threads. stderr is unbuffered, so a
+// printf-style call may reach the kernel as several write(2)s and two
+// serve workers logging at once would interleave partial lines; the lock
+// plus a single fwrite of the fully formatted line keeps every line
+// intact. Heap-allocated so the mutex survives static destruction order
+// (logging from atexit handlers / late destructors stays safe).
+std::mutex& EmitMutex() {
+  static std::mutex& mu = *new std::mutex;
+  return mu;
+}
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -42,7 +54,10 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ == LogSeverity::kDebug && !VerboseLoggingEnabled()) return;
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::string line = stream_.str();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

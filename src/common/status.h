@@ -20,6 +20,12 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kDataLoss,
+  /// The operation was refused because a resource is at capacity (e.g. the
+  /// serving admission queue is full); retrying later may succeed.
+  kUnavailable,
+  /// The operation was abandoned because its deadline expired before it
+  /// completed; any partial result is discarded.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -71,6 +77,8 @@ Status OutOfRangeError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// A value-or-error holder, modeled after absl::StatusOr. Exactly one of
 /// {value, non-OK status} is present.

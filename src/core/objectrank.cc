@@ -58,6 +58,10 @@ ObjectRankResult ObjectRankEngine::Compute(
 
   std::vector<double> next(n, 0.0);
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancel && options.cancel()) {
+      result.cancelled = true;
+      break;
+    }
     if (threads == 1) {
       // Sequential push: cheaper than pulling when many scores are zero
       // (typical early iterations of a cold start).

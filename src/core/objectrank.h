@@ -1,6 +1,7 @@
 #ifndef ORX_CORE_OBJECTRANK_H_
 #define ORX_CORE_OBJECTRANK_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/base_set.h"
@@ -27,6 +28,15 @@ struct ObjectRankOptions {
   /// bit-identical for any thread count — per-node sums always accumulate
   /// in the same edge order. 1 = sequential push-based loop.
   int num_threads = 1;
+
+  /// Cooperative cancellation hook, checked once before each power
+  /// iteration. When it returns true the solver stops immediately and
+  /// marks the result cancelled; the scores it carries are the last
+  /// completed iterate and callers are expected to discard them (the
+  /// serving layer maps cancellation to kDeadlineExceeded). Unset = never
+  /// cancelled. The hook may be called from whichever thread runs the
+  /// solve and must be cheap — it sits on the hot path.
+  std::function<bool()> cancel;
 };
 
 /// Result of a power-iteration run.
@@ -37,6 +47,9 @@ struct ObjectRankResult {
   int iterations = 0;
   /// False iff max_iterations was hit before the L1 threshold.
   bool converged = false;
+  /// True iff options.cancel stopped the solve early; `scores` then holds
+  /// the partial iterate and converged is false.
+  bool cancelled = false;
 };
 
 /// The ObjectRank2 fixpoint solver over an authority transfer data graph.

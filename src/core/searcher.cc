@@ -5,6 +5,31 @@
 #include "common/timer.h"
 
 namespace orx::core {
+namespace {
+
+// Rejects option combinations the engine would silently turn into
+// nonsense: the engine layer stays permissive (tests drive it with
+// degenerate epsilons on purpose), so the request boundary is here.
+Status ValidateOptions(const SearchOptions& options) {
+  if (options.k == 0) {
+    return InvalidArgumentError("k must be >= 1");
+  }
+  const double d = options.objectrank.damping;
+  if (!std::isfinite(d) || d < 0.0 || d >= 1.0) {
+    return InvalidArgumentError(
+        "damping must be finite and in [0, 1); got " + std::to_string(d));
+  }
+  const double eps = options.objectrank.epsilon;
+  if (!(eps > 0.0)) {  // also catches NaN
+    return InvalidArgumentError("epsilon must be > 0");
+  }
+  if (options.objectrank.max_iterations < 0) {
+    return InvalidArgumentError("max_iterations must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Searcher::Searcher(const graph::DataGraph& data,
                    const graph::AuthorityGraph& graph,
@@ -30,6 +55,7 @@ StatusOr<SearchResult> Searcher::Search(const text::QueryVector& query,
   if (query.empty()) {
     return InvalidArgumentError("empty query vector");
   }
+  ORX_RETURN_IF_ERROR(ValidateOptions(options));
   if (options.mode == RankMode::kObjectRank2) {
     return SearchObjectRank2(query, rates, options);
   }
@@ -81,6 +107,13 @@ StatusOr<SearchResult> Searcher::SearchObjectRank2(
   Timer timer;
   ObjectRankResult rank =
       engine_.Compute(*base, rates, options.objectrank, seed);
+  if (rank.cancelled) {
+    // Partial scores are discarded: they are not a valid ranking and must
+    // not leak into the next query's warm start.
+    return DeadlineExceededError("search cancelled after " +
+                                 std::to_string(rank.iterations) +
+                                 " iterations");
+  }
   SearchResult result;
   result.seconds = timer.ElapsedSeconds();
   result.iterations = rank.iterations;
@@ -112,6 +145,9 @@ StatusOr<SearchResult> Searcher::SearchBaseline(
     base_total += base->size();
 
     ObjectRankResult rank = engine_.Compute(*base, rates, options.objectrank);
+    if (rank.cancelled) {
+      return DeadlineExceededError("search cancelled during per-keyword run");
+    }
     total_iterations += rank.iterations;
     all_converged = all_converged && rank.converged;
 

@@ -91,7 +91,11 @@ class Searcher {
   void AttachRankCache(const RankCache* cache) { rank_cache_ = cache; }
 
   /// Runs a search. Errors: kNotFound if no query keyword matches any
-  /// node; kInvalidArgument on an empty query vector.
+  /// node; kInvalidArgument on an empty query vector or on out-of-range
+  /// options (k == 0, damping outside [0, 1) or non-finite, epsilon <= 0,
+  /// negative max_iterations); kDeadlineExceeded when
+  /// options.objectrank.cancel stopped the power iteration (the partial
+  /// scores are discarded and the warm-start state is left untouched).
   StatusOr<SearchResult> Search(const text::QueryVector& query,
                                 const graph::TransferRates& rates,
                                 const SearchOptions& options = {});

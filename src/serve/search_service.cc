@@ -1,0 +1,317 @@
+#include "serve/search_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace orx::serve {
+namespace {
+
+double ToSeconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g|", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string SearchService::RequestKey(const text::QueryVector& query,
+                                      const core::SearchOptions& options,
+                                      uint64_t version) {
+  std::string key;
+  key.reserve(64 + query.size() * 24);
+  key += "v";
+  key += std::to_string(version);
+  key += "|m";
+  key += std::to_string(static_cast<int>(options.mode));
+  key += "|k";
+  key += std::to_string(options.k);
+  key += "|t";
+  key += options.result_type.has_value()
+             ? std::to_string(*options.result_type)
+             : std::string("-");
+  key += "|w";
+  key += options.use_warm_start ? "1" : "0";
+  key += "|";
+  AppendDouble(key, options.objectrank.damping);
+  AppendDouble(key, options.objectrank.epsilon);
+  key += std::to_string(options.objectrank.max_iterations);
+  key += "|";
+  key += std::to_string(options.objectrank.num_threads);
+  key += "|";
+  AppendDouble(key, options.bm25.k1);
+  AppendDouble(key, options.bm25.b);
+  AppendDouble(key, options.bm25.k3);
+  // Normalized query: (term, weight) pairs sorted by term, so the key is
+  // insensitive to keyword order (the scores are — the base set is a sum
+  // over terms).
+  std::vector<size_t> order(query.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return query.terms()[a] < query.terms()[b];
+  });
+  for (size_t i : order) {
+    key += query.terms()[i];
+    key += '=';
+    AppendDouble(key, query.weights()[i]);
+  }
+  return key;
+}
+
+SearchService::SearchService(std::shared_ptr<const ServeSnapshot> snapshot,
+                             Options options)
+    : options_(options),
+      start_time_(Clock::now()),
+      snapshot_(std::move(snapshot)) {
+  ORX_CHECK_MSG(snapshot_ != nullptr && snapshot_->Complete(),
+                "SearchService needs a complete snapshot");
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+SearchService::~SearchService() {
+  // Drain before any other member dies: tasks touch the maps and metrics.
+  pool_.reset();
+}
+
+std::future<StatusOr<ServeResponse>> SearchService::Submit(
+    ServeRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto promise = std::make_shared<std::promise<ResponseOr>>();
+  std::future<ResponseOr> future = promise->get_future();
+  const Clock::time_point submit_time = Clock::now();
+
+  double deadline_seconds = request.deadline_seconds;
+  if (deadline_seconds == 0.0) {
+    deadline_seconds = options_.default_deadline_seconds;
+  }
+  const bool has_deadline = deadline_seconds > 0.0;
+  const Clock::time_point deadline =
+      has_deadline
+          ? submit_time + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(deadline_seconds))
+          : Clock::time_point::max();
+
+  enum class Action { kHit, kCoalesce, kReject, kLead };
+  Action action;
+  ServeResponse hit;
+  std::shared_ptr<const ServeSnapshot> snap;
+  uint64_t version = 0;
+  core::SearchOptions options;
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = snapshot_;
+    version = version_;
+    options =
+        request.options.has_value() ? *request.options : snap->default_options;
+    key = RequestKey(request.query, options, version);
+
+    if (auto it = cached_.find(key); it != cached_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      hit.result = it->second->result;
+      hit.cache_hit = true;
+      hit.snapshot_version = it->second->snapshot_version;
+      action = Action::kHit;
+    } else if (auto flight = flights_.find(key); flight != flights_.end()) {
+      flight->second->waiters.push_back(Waiter{promise, submit_time});
+      action = Action::kCoalesce;
+    } else if (pending_ >= options_.max_pending) {
+      action = Action::kReject;
+    } else {
+      ++pending_;
+      if (options_.single_flight) {
+        flights_.emplace(key, std::make_shared<Flight>());
+      }
+      action = Action::kLead;
+    }
+  }
+
+  switch (action) {
+    case Action::kHit:
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      Fulfill(promise, std::move(hit), submit_time);
+      break;
+    case Action::kCoalesce:
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      break;  // the leader fulfills us
+    case Action::kReject:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      promise->set_value(UnavailableError(
+          "admission queue full (" + std::to_string(options_.max_pending) +
+          " executions pending)"));
+      break;
+    case Action::kLead:
+      pool_->Submit([this, key = std::move(key), request = std::move(request),
+                     snap = std::move(snap), version, options, promise,
+                     submit_time, deadline, has_deadline]() mutable {
+        Execute(std::move(key), std::move(request), std::move(snap), version,
+                std::move(options), std::move(promise), submit_time, deadline,
+                has_deadline);
+      });
+      break;
+  }
+  return future;
+}
+
+StatusOr<ServeResponse> SearchService::Search(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void SearchService::Execute(std::string key, ServeRequest request,
+                            std::shared_ptr<const ServeSnapshot> snapshot,
+                            uint64_t version, core::SearchOptions options,
+                            PromisePtr promise, Clock::time_point submit_time,
+                            Clock::time_point deadline, bool has_deadline) {
+  const Clock::time_point start = Clock::now();
+  const double queue_seconds = ToSeconds(start - submit_time);
+
+  StatusOr<core::SearchResult> result =
+      Status(StatusCode::kInternal, "unset");
+  if (has_deadline && start >= deadline) {
+    result = DeadlineExceededError("deadline expired while queued (" +
+                                   std::to_string(queue_seconds) + "s)");
+  } else {
+    if (has_deadline) {
+      // Chain the deadline onto any caller-supplied hook; either trips
+      // the cooperative cancellation in the power iteration.
+      std::function<bool()> caller_cancel =
+          std::move(options.objectrank.cancel);
+      options.objectrank.cancel = [deadline, caller_cancel]() {
+        return Clock::now() >= deadline ||
+               (caller_cancel && caller_cancel());
+      };
+    }
+    // A Searcher is one session's worth of mutable warm-start state, so
+    // each execution gets a fresh one on the stack; the graphs, corpus,
+    // and rank cache it reads are shared, immutable snapshot members.
+    core::Searcher searcher(*snapshot->data, *snapshot->authority,
+                            *snapshot->corpus);
+    if (snapshot->rank_cache != nullptr) {
+      searcher.AttachRankCache(snapshot->rank_cache.get());
+    }
+    result = searcher.Search(request.query, snapshot->rates, options);
+  }
+
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    if (auto it = flights_.find(key); it != flights_.end()) {
+      waiters = std::move(it->second->waiters);
+      flights_.erase(it);
+    }
+    // Only cache results that are still current: a swap concurrent with
+    // this execution already invalidated version's keyspace.
+    if (result.ok() && version == version_) {
+      CacheResultLocked(key, version, *result);
+    }
+  }
+
+  if (result.ok()) {
+    ServeResponse response;
+    response.result = *result;
+    response.snapshot_version = version;
+    response.queue_seconds = queue_seconds;
+    Fulfill(promise, std::move(response), submit_time);
+    for (Waiter& w : waiters) {
+      ServeResponse echoed;
+      echoed.result = *result;
+      echoed.coalesced = true;
+      echoed.snapshot_version = version;
+      Fulfill(w.promise, std::move(echoed), w.submit_time);
+    }
+  } else {
+    Fulfill(promise, result.status(), submit_time);
+    for (Waiter& w : waiters) {
+      Fulfill(w.promise, result.status(), w.submit_time);
+    }
+  }
+}
+
+void SearchService::Fulfill(const PromisePtr& promise, ResponseOr response,
+                            Clock::time_point submit_time) {
+  const double total = ToSeconds(Clock::now() - submit_time);
+  if (response.ok()) response->total_seconds = total;
+  // Metrics first: a caller unblocked by set_value must already see this
+  // completion in Metrics().
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(total);
+  promise->set_value(std::move(response));
+}
+
+void SearchService::CacheResultLocked(const std::string& key,
+                                      uint64_t version,
+                                      const core::SearchResult& result) {
+  if (options_.result_cache_entries == 0) return;
+  if (auto it = cached_.find(key); it != cached_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;  // a coalesced burst already cached this key
+  }
+  lru_.push_front(CachedResult{key, version, result});
+  cached_[key] = lru_.begin();
+  while (lru_.size() > options_.result_cache_entries) {
+    cached_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void SearchService::SwapSnapshot(
+    std::shared_ptr<const ServeSnapshot> snapshot) {
+  ORX_CHECK_MSG(snapshot != nullptr && snapshot->Complete(),
+                "SwapSnapshot needs a complete snapshot");
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(snapshot);
+  ++version_;
+  // Every cached key embeds the old version; drop them eagerly instead of
+  // letting dead entries squat in the LRU.
+  lru_.clear();
+  cached_.clear();
+}
+
+std::shared_ptr<const ServeSnapshot> SearchService::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+uint64_t SearchService::snapshot_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+ServeMetrics SearchService::Metrics() const {
+  ServeMetrics m;
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.rejected = rejected_.load(std::memory_order_relaxed);
+  m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  m.coalesced = coalesced_.load(std::memory_order_relaxed);
+  m.executed = executed_.load(std::memory_order_relaxed);
+  m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  m.completed = completed_.load(std::memory_order_relaxed);
+  m.uptime_seconds = ToSeconds(Clock::now() - start_time_);
+  m.qps = m.uptime_seconds > 0.0
+              ? static_cast<double>(m.completed) / m.uptime_seconds
+              : 0.0;
+  m.latency_mean = latency_.MeanSeconds();
+  m.latency_p50 = latency_.Percentile(50);
+  m.latency_p95 = latency_.Percentile(95);
+  m.latency_p99 = latency_.Percentile(99);
+  return m;
+}
+
+}  // namespace orx::serve

@@ -1,0 +1,205 @@
+#ifndef ORX_SERVE_SEARCH_SERVICE_H_
+#define ORX_SERVE_SEARCH_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/searcher.h"
+#include "serve/serve_metrics.h"
+#include "serve/snapshot.h"
+#include "text/query.h"
+
+namespace orx::serve {
+
+/// One query as submitted to the service.
+struct ServeRequest {
+  text::QueryVector query;
+  /// Per-request option override; unset = the snapshot's defaults. The
+  /// numeric option fields participate in the result-cache key, so two
+  /// requests only share work when their options agree.
+  std::optional<core::SearchOptions> options;
+  /// End-to-end budget in seconds, measured from Submit() — queue time
+  /// counts against it. 0 = the service default; a negative value
+  /// disables the deadline for this request.
+  double deadline_seconds = 0.0;
+};
+
+/// What a fulfilled request carries.
+struct ServeResponse {
+  core::SearchResult result;
+  /// Served from a completed result-cache entry (no execution).
+  bool cache_hit = false;
+  /// Waited on an identical in-flight execution (single flight).
+  bool coalesced = false;
+  /// Version of the snapshot the result was computed against.
+  uint64_t snapshot_version = 0;
+  /// Seconds the leader execution spent queued behind the pool (0 for
+  /// cache hits and coalesced waiters).
+  double queue_seconds = 0.0;
+  /// Submit() -> fulfillment, seconds.
+  double total_seconds = 0.0;
+};
+
+/// A multi-threaded embedded query service over core::Searcher.
+///
+/// Requests run on a fixed common::ThreadPool behind a *bounded* admission
+/// count: when max_pending executions are already admitted and unfinished,
+/// Submit() fails fast with kUnavailable instead of queueing unboundedly —
+/// under overload the caller sheds load instead of building an invisible
+/// latency backlog. Cache hits and coalesced requests bypass admission
+/// (they consume no execution slot).
+///
+/// Identical concurrent queries are collapsed to a single execution
+/// ("single flight"): the first request becomes the leader, later ones
+/// attach as waiters and are fulfilled from the leader's result. Completed
+/// successful results additionally populate an LRU result cache keyed by
+/// the normalized query terms/weights, the numeric search options, and the
+/// snapshot version, so repeated queries are served without touching the
+/// engine at all.
+///
+/// The dataset is swapped atomically: each request pins the
+/// shared_ptr<const ServeSnapshot> that was current at submission and uses
+/// it for its whole lifetime, so SwapSnapshot() never races with queries
+/// in flight. A swap bumps the snapshot version, which invalidates the
+/// result cache (keys embed the version).
+///
+/// Per-request deadlines are enforced cooperatively: the service installs
+/// a cancellation hook on ObjectRankOptions that trips once the deadline
+/// passes, the power iteration stops at the next iteration boundary, and
+/// the request completes with kDeadlineExceeded (partial scores are
+/// discarded). Requests still queued when their deadline expires fail
+/// without executing.
+class SearchService {
+ public:
+  struct Options {
+    /// Worker threads; 0 = one per hardware thread.
+    size_t num_threads = 0;
+    /// Admission bound: maximum executions admitted but not yet finished
+    /// (running + queued). Beyond it Submit() returns kUnavailable.
+    size_t max_pending = 64;
+    /// Completed-result LRU capacity in entries; 0 disables result
+    /// caching (single-flight coalescing is controlled separately).
+    size_t result_cache_entries = 512;
+    /// Collapse identical concurrent queries into one execution.
+    bool single_flight = true;
+    /// Deadline applied to requests that don't carry their own;
+    /// 0 = no default deadline.
+    double default_deadline_seconds = 0.0;
+  };
+
+  /// `snapshot` must be Complete(). Worker threads start immediately.
+  SearchService(std::shared_ptr<const ServeSnapshot> snapshot,
+                Options options);
+
+  /// Drains in-flight requests, then joins the workers.
+  ~SearchService();
+
+  SearchService(const SearchService&) = delete;
+  SearchService& operator=(const SearchService&) = delete;
+
+  /// Submits a request. The returned future is fulfilled with the
+  /// response, or with kUnavailable (admission overflow, already set when
+  /// Submit returns), kDeadlineExceeded, or the underlying search error.
+  /// Never blocks on the queue.
+  std::future<StatusOr<ServeResponse>> Submit(ServeRequest request);
+
+  /// Blocking convenience: Submit(request).get().
+  StatusOr<ServeResponse> Search(ServeRequest request);
+
+  /// Atomically replaces the dataset snapshot for *future* requests;
+  /// requests in flight finish against the snapshot they admitted with.
+  /// Bumps the snapshot version and drops cached results. `snapshot`
+  /// must be Complete().
+  void SwapSnapshot(std::shared_ptr<const ServeSnapshot> snapshot);
+
+  /// The snapshot new requests would currently use, and its version.
+  std::shared_ptr<const ServeSnapshot> snapshot() const;
+  uint64_t snapshot_version() const;
+
+  /// Point-in-time counters and latency percentiles.
+  ServeMetrics Metrics() const;
+
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using ResponseOr = StatusOr<ServeResponse>;
+  using PromisePtr = std::shared_ptr<std::promise<ResponseOr>>;
+
+  /// A coalesced request waiting on an in-flight leader.
+  struct Waiter {
+    PromisePtr promise;
+    Clock::time_point submit_time;
+  };
+
+  /// Single-flight record for one key while its leader executes.
+  struct Flight {
+    std::vector<Waiter> waiters;
+  };
+
+  /// Completed result-cache entry (LRU list node).
+  struct CachedResult {
+    std::string key;
+    uint64_t snapshot_version = 0;
+    core::SearchResult result;
+  };
+
+  /// Canonical cache key: snapshot version + numeric options fingerprint
+  /// + term-sorted (term, weight) pairs.
+  static std::string RequestKey(const text::QueryVector& query,
+                                const core::SearchOptions& options,
+                                uint64_t version);
+
+  void Execute(std::string key, ServeRequest request,
+               std::shared_ptr<const ServeSnapshot> snapshot,
+               uint64_t version, core::SearchOptions options,
+               PromisePtr promise, Clock::time_point submit_time,
+               Clock::time_point deadline, bool has_deadline);
+
+  /// Fulfills a promise and records the completion metrics.
+  void Fulfill(const PromisePtr& promise, ResponseOr response,
+               Clock::time_point submit_time);
+
+  /// Inserts a completed result into the LRU (caller holds mu_).
+  void CacheResultLocked(const std::string& key, uint64_t version,
+                         const core::SearchResult& result);
+
+  const Options options_;
+  const Clock::time_point start_time_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServeSnapshot> snapshot_;  // guarded by mu_
+  uint64_t version_ = 1;                           // guarded by mu_
+  size_t pending_ = 0;                             // guarded by mu_
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  std::list<CachedResult> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<CachedResult>::iterator> cached_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> completed_{0};
+  LatencyHistogram latency_;
+
+  /// Last member: destroyed (drained) first, so tasks never touch dead
+  /// state.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace orx::serve
+
+#endif  // ORX_SERVE_SEARCH_SERVICE_H_

@@ -1,0 +1,64 @@
+#ifndef ORX_SERVE_SNAPSHOT_H_
+#define ORX_SERVE_SNAPSHOT_H_
+
+#include <memory>
+
+#include "core/rank_cache.h"
+#include "core/searcher.h"
+#include "graph/authority_graph.h"
+#include "graph/data_graph.h"
+#include "graph/transfer_rates.h"
+#include "text/corpus.h"
+
+namespace orx::serve {
+
+/// One immutable, reference-counted view of everything a query needs:
+/// the graphs, the corpus, the transfer rates, an optional precomputed
+/// RankCache, and the SearchOptions requests default to. SearchService
+/// holds the current snapshot behind a shared_ptr and swaps it atomically
+/// on hot reload; a request pins the snapshot it admitted with for its
+/// whole lifetime, so dataset/cache replacement never races with queries
+/// in flight — old snapshots die when their last request finishes.
+///
+/// The component pointers are shared_ptrs so a snapshot can either own
+/// its pieces outright or alias a larger owner (e.g. a datasets::Dataset
+/// held via the aliasing shared_ptr constructor). Everything reachable
+/// from a published snapshot must be immutable.
+struct ServeSnapshot {
+  std::shared_ptr<const graph::DataGraph> data;
+  std::shared_ptr<const graph::AuthorityGraph> authority;
+  std::shared_ptr<const text::Corpus> corpus;
+  /// Rates the service searches under (a cheap value type, copied in).
+  graph::TransferRates rates;
+  /// Optional per-keyword precomputation; null = always run the power
+  /// iteration. Must have been built for `authority` + `rates`.
+  std::shared_ptr<const core::RankCache> rank_cache;
+  /// Options a request uses when it doesn't bring its own.
+  core::SearchOptions default_options;
+
+  /// True iff the mandatory components are present.
+  bool Complete() const {
+    return data != nullptr && authority != nullptr && corpus != nullptr;
+  }
+};
+
+/// Convenience for building a snapshot whose graph components alias one
+/// owning object (the owner is kept alive by the aliasing shared_ptrs).
+template <typename Owner>
+ServeSnapshot SnapshotFromOwner(std::shared_ptr<Owner> owner,
+                                const graph::DataGraph& data,
+                                const graph::AuthorityGraph& authority,
+                                const text::Corpus& corpus,
+                                graph::TransferRates rates) {
+  ServeSnapshot snapshot;
+  snapshot.data = std::shared_ptr<const graph::DataGraph>(owner, &data);
+  snapshot.authority =
+      std::shared_ptr<const graph::AuthorityGraph>(owner, &authority);
+  snapshot.corpus = std::shared_ptr<const text::Corpus>(owner, &corpus);
+  snapshot.rates = std::move(rates);
+  return snapshot;
+}
+
+}  // namespace orx::serve
+
+#endif  // ORX_SERVE_SNAPSHOT_H_

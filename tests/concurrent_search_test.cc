@@ -1,0 +1,127 @@
+// Concurrent-readers regression: many threads searching one shared
+// graph/corpus/RankCache must be safe (run under ORX_SANITIZE=thread via
+// the `tsan` ctest label) and must produce exactly the sequential results
+// — the engine's num_threads=1 push loop and the pull-based parallel path
+// are both deterministic, so any divergence is a data race or shared-state
+// leak.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/rank_cache.h"
+#include "core/searcher.h"
+#include "datasets/dblp_generator.h"
+#include "text/query.h"
+
+namespace orx::core {
+namespace {
+
+class ConcurrentSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dblp_ = std::make_unique<datasets::DblpDataset>(datasets::GenerateDblp(
+        datasets::DblpGeneratorConfig::Tiny(300, 21)));
+    rates_ = datasets::DblpGroundTruthRates(dblp_->dataset.schema(),
+                                            dblp_->types);
+    // A workload of the most frequent title terms: big base sets, so the
+    // power iterations do real work while threads overlap.
+    const text::Corpus& corpus = dblp_->dataset.corpus();
+    std::vector<std::pair<uint32_t, std::string>> by_df;
+    for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+      by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+    }
+    std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < by_df.size() && terms_.size() < 10; ++i) {
+      terms_.push_back(by_df[i].second);
+    }
+    ASSERT_GE(terms_.size(), 4u);
+  }
+
+  StatusOr<SearchResult> SearchOnce(Searcher& searcher,
+                                    const std::string& term,
+                                    const RankCache* cache) const {
+    if (cache != nullptr) searcher.AttachRankCache(cache);
+    text::QueryVector query{text::ParseQuery(term)};
+    // Cold starts only: warm starts seed from the session's previous
+    // query, which would make results depend on each thread's query
+    // order instead of on the term alone.
+    SearchOptions options;
+    options.use_warm_start = false;
+    return searcher.Search(query, rates_, options);
+  }
+
+  /// Runs `kThreads` threads, each with its own Searcher session over the
+  /// shared dataset, and checks every result against the sequential
+  /// reference.
+  void RunConcurrently(const RankCache* cache) {
+    std::unordered_map<std::string, SearchResult> reference;
+    for (const std::string& t : terms_) {
+      Searcher searcher(dblp_->dataset.data(), dblp_->dataset.authority(),
+                        dblp_->dataset.corpus());
+      auto result = SearchOnce(searcher, t, cache);
+      ASSERT_TRUE(result.ok()) << result.status();
+      reference[t] = *result;
+    }
+
+    constexpr int kThreads = 8;
+    constexpr int kQueriesPerThread = 30;
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int id = 0; id < kThreads; ++id) {
+      threads.emplace_back([&, id] {
+        // One Searcher per thread (a session is mutable warm-start
+        // state); the graphs, corpus, and cache stay shared.
+        Searcher searcher(dblp_->dataset.data(), dblp_->dataset.authority(),
+                          dblp_->dataset.corpus());
+        for (int i = 0; i < kQueriesPerThread; ++i) {
+          const std::string& term = terms_[(id * 7 + i) % terms_.size()];
+          auto result = SearchOnce(searcher, term, cache);
+          if (!result.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const SearchResult& expected = reference.at(term);
+          if (result->scores != expected.scores ||
+              result->top != expected.top) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(mismatches.load(), 0);
+  }
+
+  std::unique_ptr<datasets::DblpDataset> dblp_;
+  graph::TransferRates rates_;
+  std::vector<std::string> terms_;
+};
+
+TEST_F(ConcurrentSearchTest, SharedGraphMatchesSequential) {
+  RunConcurrently(nullptr);
+}
+
+TEST_F(ConcurrentSearchTest, SharedRankCacheMatchesSequential) {
+  RankCache::Options options;
+  options.build_threads = 2;
+  RankCache cache = RankCache::Build(dblp_->dataset.authority(),
+                                     dblp_->dataset.corpus(), rates_,
+                                     options);
+  ASSERT_GT(cache.num_terms(), 0u);
+  RunConcurrently(&cache);
+}
+
+}  // namespace
+}  // namespace orx::core

@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace orx {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleLandsInItsBucket) {
+  LatencyHistogram h;
+  h.Record(0.01);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_DOUBLE_EQ(h.MeanSeconds(), 0.01);
+  // Bucket resolution is 10^(1/10) ≈ 1.26x; the reported percentile is
+  // the bucket's geometric midpoint, so it is within ~26% of the sample.
+  EXPECT_GT(h.Percentile(50), 0.01 / 1.3);
+  EXPECT_LT(h.Percentile(50), 0.01 * 1.3);
+  // Every percentile of a single sample is that sample's bucket.
+  EXPECT_DOUBLE_EQ(h.Percentile(1), h.Percentile(99));
+}
+
+TEST(LatencyHistogramTest, PercentilesOrderAndApproximateRank) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i * 1e-3);  // 1ms .. 100ms
+  EXPECT_EQ(h.TotalCount(), 100u);
+  const double p50 = h.Percentile(50);
+  const double p95 = h.Percentile(95);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.050 / 1.3);
+  EXPECT_LT(p50, 0.050 * 1.3);
+  EXPECT_GT(p99, 0.099 / 1.3);
+  EXPECT_LT(p99, 0.100 * 1.3);
+  EXPECT_NEAR(h.MeanSeconds(), 0.0505, 1e-9);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeSamplesClampIntoEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-1.0);  // nonsense input must not crash or corrupt
+  h.Record(1e9);
+  EXPECT_EQ(h.TotalCount(), 3u);
+  EXPECT_GT(h.Percentile(100), 0.0);
+  EXPECT_LT(h.Percentile(1),
+            LatencyHistogram::BucketLowerBound(1) * 1.01);
+}
+
+TEST(LatencyHistogramTest, BucketBoundsGrowMonotonically) {
+  for (size_t i = 1; i < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_GT(LatencyHistogram::BucketLowerBound(i),
+              LatencyHistogram::BucketLowerBound(i - 1));
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(0.5);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNoSamples) {
+  // The serving pattern: many workers record while a metrics reader
+  // polls. Counts must be exact once the writers quiesce.
+  LatencyHistogram h;
+  ThreadPool pool(8);
+  constexpr size_t kPerTask = 5000;
+  pool.ParallelFor(16, [&h](size_t task) {
+    for (size_t i = 0; i < kPerTask; ++i) {
+      h.Record(1e-3 * static_cast<double>(task + 1));
+      if (i % 1000 == 0) {
+        h.Percentile(50);  // concurrent reads must be safe
+        h.MeanSeconds();
+      }
+    }
+  });
+  EXPECT_EQ(h.TotalCount(), 16 * kPerTask);
+  EXPECT_NEAR(h.TotalSeconds(), kPerTask * 1e-3 * (16 * 17 / 2), 1e-6);
+}
+
+}  // namespace
+}  // namespace orx

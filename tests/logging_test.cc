@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace orx {
 namespace {
@@ -29,6 +34,53 @@ TEST(LoggingTest, MacrosCompileAndStream) {
   ORX_VLOG() << "visible debug line";
   SetVerboseLogging(false);
   SUCCEED();
+}
+
+TEST(LoggingTest, ConcurrentLogLinesNeverInterleave) {
+  // Regression: ~LogMessage used to emit via stderr streaming, which can
+  // reach the (unbuffered) stream as several writes — two pool workers
+  // logging at once interleaved fragments mid-line. Every emitted line
+  // must now arrive whole.
+  constexpr size_t kLines = 400;
+  testing::internal::CaptureStderr();
+  {
+    ThreadPool pool(8);
+    pool.ParallelFor(kLines, [](size_t i) {
+      ORX_LOG(Info) << "tick " << i << " end";
+    });
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+
+  std::vector<int> seen(kLines, 0);
+  size_t lines = 0;
+  std::istringstream input(captured);
+  std::string line;
+  while (std::getline(input, line)) {
+    ++lines;
+    // Exact shape: "[I logging_test.cc:NN] tick <i> end". Any torn or
+    // interleaved write breaks the prefix, the suffix, or the number.
+    const std::string prefix = "[I logging_test.cc:";
+    ASSERT_EQ(line.rfind(prefix, 0), 0u) << "malformed line: " << line;
+    const size_t tick = line.find("] tick ");
+    ASSERT_NE(tick, std::string::npos) << "malformed line: " << line;
+    const std::string suffix = " end";
+    ASSERT_GE(line.size(), suffix.size());
+    ASSERT_EQ(line.compare(line.size() - suffix.size(), suffix.size(), suffix),
+              0)
+        << "torn line: " << line;
+    const std::string number = line.substr(
+        tick + 7, line.size() - suffix.size() - (tick + 7));
+    ASSERT_FALSE(number.empty()) << "malformed line: " << line;
+    for (char c : number) ASSERT_TRUE(c >= '0' && c <= '9') << line;
+    const size_t index = std::stoul(number);
+    ASSERT_LT(index, kLines);
+    ++seen[index];
+  }
+  EXPECT_EQ(lines, kLines);
+  for (size_t i = 0; i < kLines; ++i) {
+    EXPECT_EQ(seen[i], 1) << "line for tick " << i
+                          << " lost or duplicated";
+  }
 }
 
 TEST(CheckDeathTest, CheckFiresOnViolation) {

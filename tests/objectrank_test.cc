@@ -158,6 +158,31 @@ TEST_F(Figure1Test, ParallelMatchesSequential) {
   }
 }
 
+TEST_F(Figure1Test, CancellationStopsBetweenIterations) {
+  ObjectRankOptions options;
+  options.epsilon = 0.0;  // would run to max_iterations
+  int calls = 0;
+  options.cancel = [&calls] { return ++calls > 2; };  // trip on 3rd check
+  ObjectRankResult result = engine_.Compute(OlapBaseSet(), rates_, options);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.converged);
+  // The hook is checked once before each iteration: two iterations ran,
+  // the third was never started.
+  EXPECT_EQ(result.iterations, 2);
+  EXPECT_EQ(calls, 3);
+  // The partial iterate is still a sane vector (callers discard it, but
+  // it must not be garbage).
+  ASSERT_EQ(result.scores.size(), 7u);
+  for (double s : result.scores) EXPECT_GE(s, 0.0);
+}
+
+TEST_F(Figure1Test, UnsetCancelHookNeverFires) {
+  ObjectRankOptions options;
+  ObjectRankResult result = engine_.Compute(OlapBaseSet(), rates_, options);
+  EXPECT_FALSE(result.cancelled);
+  EXPECT_TRUE(result.converged);
+}
+
 TEST_F(Figure1Test, ZeroRatesLeaveOnlyJumpMass) {
   graph::TransferRates zero(fig_.dataset.schema(), 0.0);
   BaseSet base = OlapBaseSet();

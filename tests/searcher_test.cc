@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "datasets/dblp_generator.h"
 #include "datasets/figure1.h"
@@ -84,6 +85,85 @@ TEST_F(SearcherFigure1Test, BaselineMultiKeywordProductSemantics) {
     EXPECT_GE(s, 0.0);
     EXPECT_TRUE(std::isfinite(s));
   }
+}
+
+TEST_F(SearcherFigure1Test, OutOfRangeOptionsAreInvalid) {
+  text::QueryVector q(text::ParseQuery("olap"));
+  auto expect_invalid = [&](const SearchOptions& options) {
+    auto result = searcher_.Search(q, rates_, options);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << result.status();
+  };
+  SearchOptions options;
+  options.k = 0;
+  expect_invalid(options);
+
+  options = SearchOptions();
+  options.objectrank.damping = 1.5;
+  expect_invalid(options);
+  options.objectrank.damping = 1.0;  // boundary: the iteration never mixes
+  expect_invalid(options);           // the base set back in
+  options.objectrank.damping = -0.1;
+  expect_invalid(options);
+  options.objectrank.damping = std::nan("");
+  expect_invalid(options);
+
+  options = SearchOptions();
+  options.objectrank.epsilon = 0.0;
+  expect_invalid(options);
+  options.objectrank.epsilon = -1.0;
+  expect_invalid(options);
+  options.objectrank.epsilon = std::nan("");
+  expect_invalid(options);
+
+  options = SearchOptions();
+  options.objectrank.max_iterations = -1;
+  expect_invalid(options);
+
+  // The boundary values the experiments actually use stay accepted.
+  options = SearchOptions();
+  options.objectrank.damping = 0.0;
+  options.objectrank.max_iterations = 0;
+  EXPECT_TRUE(searcher_.Search(q, rates_, options).ok());
+}
+
+TEST_F(SearcherFigure1Test, CancellationSurfacesDeadlineExceeded) {
+  text::QueryVector q(text::ParseQuery("olap"));
+  SearchOptions options;
+  options.objectrank.cancel = [] { return true; };  // trip immediately
+  auto result = searcher_.Search(q, rates_, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // The partial iterate must not leak into the session's warm-start
+  // state.
+  EXPECT_EQ(searcher_.previous_scores(), nullptr);
+
+  // The session works normally once the hook stops firing.
+  options.objectrank.cancel = nullptr;
+  EXPECT_TRUE(searcher_.Search(q, rates_, options).ok());
+  EXPECT_NE(searcher_.previous_scores(), nullptr);
+}
+
+TEST_F(SearcherFigure1Test, BaselineModeHonorsCancellation) {
+  text::QueryVector q(text::ParseQuery("olap multidimensional"));
+  SearchOptions options;
+  options.mode = RankMode::kObjectRankBaseline;
+  // Let the first per-keyword run finish, then cancel the second.
+  auto calls = std::make_shared<int>(0);
+  int first_run_iterations = 0;
+  {
+    SearchOptions probe;
+    probe.mode = RankMode::kObjectRankBaseline;
+    text::QueryVector single(text::ParseQuery("olap"));
+    auto result = searcher_.Search(single, rates_, probe);
+    ASSERT_TRUE(result.ok());
+    first_run_iterations = result->iterations;
+    searcher_.ResetSession();
+  }
+  options.objectrank.cancel = [calls, first_run_iterations] {
+    return ++*calls > first_run_iterations;
+  };
+  auto result = searcher_.Search(q, rates_, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(SearcherWarmStartTest, WarmStartReducesIterations) {

@@ -1,0 +1,442 @@
+#include "serve/search_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "datasets/dblp_generator.h"
+#include "serve/snapshot.h"
+#include "text/query.h"
+
+namespace orx::serve {
+namespace {
+
+/// Builds a snapshot over a freshly generated tiny DBLP dataset; the
+/// aliasing shared_ptrs keep the dataset alive for the snapshot's life.
+std::shared_ptr<const ServeSnapshot> MakeDblpSnapshot(uint32_t papers,
+                                                      uint64_t seed) {
+  auto owner = std::make_shared<datasets::DblpDataset>(datasets::GenerateDblp(
+      datasets::DblpGeneratorConfig::Tiny(papers, seed)));
+  graph::TransferRates rates = datasets::DblpGroundTruthRates(
+      owner->dataset.schema(), owner->types);
+  return std::make_shared<ServeSnapshot>(SnapshotFromOwner(
+      owner, owner->dataset.data(), owner->dataset.authority(),
+      owner->dataset.corpus(), std::move(rates)));
+}
+
+/// The `count` most frequent corpus terms — guaranteed non-empty base
+/// sets for query workloads.
+std::vector<std::string> TopTerms(const text::Corpus& corpus, size_t count) {
+  std::vector<std::pair<uint32_t, std::string>> by_df;
+  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+    by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> terms;
+  for (size_t i = 0; i < by_df.size() && terms.size() < count; ++i) {
+    terms.push_back(by_df[i].second);
+  }
+  return terms;
+}
+
+ServeRequest MakeRequest(const std::string& query_text) {
+  ServeRequest request;
+  request.query = text::QueryVector(text::ParseQuery(query_text));
+  return request;
+}
+
+/// Reference result: what a bare single-session Searcher computes for the
+/// snapshot's defaults.
+core::SearchResult DirectSearch(const ServeSnapshot& snap,
+                                const std::string& query_text) {
+  core::Searcher searcher(*snap.data, *snap.authority, *snap.corpus);
+  if (snap.rank_cache != nullptr) {
+    searcher.AttachRankCache(snap.rank_cache.get());
+  }
+  text::QueryVector query(text::ParseQuery(query_text));
+  auto result = searcher.Search(query, snap.rates, snap.default_options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *result;
+}
+
+/// A cancellation hook that parks the power iteration until Open(); used
+/// to hold an execution in flight deterministically.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<bool> entered{false};
+
+  bool Block() {
+    entered.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+    return false;  // never cancel; just stall
+  }
+  void WaitUntilEntered() {
+    while (!entered.load()) std::this_thread::yield();
+  }
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+core::SearchOptions GatedOptions(const ServeSnapshot& snap,
+                                 const std::shared_ptr<Gate>& gate) {
+  core::SearchOptions options = snap.default_options;
+  options.objectrank.cancel = [gate] { return gate->Block(); };
+  return options;
+}
+
+TEST(SearchServiceTest, ConcurrentSubmitsMatchSequentialResults) {
+  auto snap = MakeDblpSnapshot(250, 3);
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 12);
+  ASSERT_GE(terms.size(), 8u);
+
+  std::unordered_map<std::string, core::SearchResult> reference;
+  for (const std::string& t : terms) reference[t] = DirectSearch(*snap, t);
+
+  SearchService::Options options;
+  options.num_threads = 4;
+  SearchService service(snap, options);
+  std::vector<std::future<StatusOr<ServeResponse>>> futures;
+  std::vector<std::string> submitted;
+  for (int round = 0; round < 4; ++round) {
+    for (const std::string& t : terms) {
+      futures.push_back(service.Submit(MakeRequest(t)));
+      submitted.push_back(t);
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    const core::SearchResult& expected = reference[submitted[i]];
+    EXPECT_EQ(response->result.scores, expected.scores) << submitted[i];
+    EXPECT_EQ(response->result.top, expected.top) << submitted[i];
+  }
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.submitted, futures.size());
+  EXPECT_EQ(m.completed, futures.size());
+  EXPECT_EQ(m.rejected, 0u);
+  // 12 unique keys, 48 submissions: everything beyond the first
+  // execution of a key is a hit or a coalesced waiter.
+  EXPECT_EQ(m.executed + m.cache_hits + m.coalesced, futures.size());
+  EXPECT_GE(m.executed, terms.size());
+}
+
+TEST(SearchServiceTest, SingleFlightCoalescesIdenticalQueries) {
+  auto snap = MakeDblpSnapshot(200, 4);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService::Options options;
+  options.num_threads = 2;
+  SearchService service(snap, options);
+
+  auto gate = std::make_shared<Gate>();
+  ServeRequest leader = MakeRequest(term);
+  leader.options = GatedOptions(*snap, gate);
+  auto leader_future = service.Submit(std::move(leader));
+  gate->WaitUntilEntered();  // the execution is now parked in flight
+
+  constexpr int kFollowers = 6;
+  std::vector<std::future<StatusOr<ServeResponse>>> followers;
+  for (int i = 0; i < kFollowers; ++i) {
+    ServeRequest follower = MakeRequest(term);
+    follower.options = GatedOptions(*snap, gate);  // identical key
+    followers.push_back(service.Submit(std::move(follower)));
+  }
+  EXPECT_EQ(service.Metrics().coalesced, static_cast<uint64_t>(kFollowers));
+
+  gate->Open();
+  auto led = leader_future.get();
+  ASSERT_TRUE(led.ok()) << led.status();
+  EXPECT_FALSE(led->coalesced);
+  for (auto& f : followers) {
+    auto response = f.get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->coalesced);
+    EXPECT_EQ(response->result.scores, led->result.scores);
+  }
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.executed, 1u);  // one power iteration served 7 requests
+  EXPECT_EQ(m.coalesced, static_cast<uint64_t>(kFollowers));
+  EXPECT_EQ(m.completed, static_cast<uint64_t>(kFollowers) + 1);
+}
+
+TEST(SearchServiceTest, AdmissionOverflowReturnsUnavailable) {
+  auto snap = MakeDblpSnapshot(200, 5);
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 3);
+  ASSERT_GE(terms.size(), 3u);
+  SearchService::Options options;
+  options.num_threads = 1;
+  options.max_pending = 2;
+  SearchService service(snap, options);
+
+  auto gate = std::make_shared<Gate>();
+  ServeRequest blocker = MakeRequest(terms[0]);
+  blocker.options = GatedOptions(*snap, gate);
+  auto running = service.Submit(std::move(blocker));
+  gate->WaitUntilEntered();  // occupies the only worker; pending = 1
+
+  auto queued = service.Submit(MakeRequest(terms[1]));  // pending = 2
+  auto rejected = service.Submit(MakeRequest(terms[2]));
+  // The overflow future is fulfilled synchronously by Submit.
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.Metrics().rejected, 1u);
+
+  gate->Open();
+  EXPECT_TRUE(running.get().ok());
+  EXPECT_TRUE(queued.get().ok());
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.executed, 2u);
+  EXPECT_EQ(m.completed, 2u);  // the rejection is not a completion
+}
+
+TEST(SearchServiceTest, DeadlineExpiredInQueueFailsWithoutExecuting) {
+  auto snap = MakeDblpSnapshot(200, 6);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService service(snap, SearchService::Options{});
+
+  ServeRequest request = MakeRequest(term);
+  request.deadline_seconds = 1e-7;  // expired by the time a worker starts
+  auto response = service.Search(std::move(request));
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Metrics().deadline_exceeded, 1u);
+}
+
+TEST(SearchServiceTest, MidIterationCancellationSurfacesDeadlineExceeded) {
+  auto snap = MakeDblpSnapshot(200, 6);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService service(snap, SearchService::Options{});
+
+  // A caller-supplied hook that trips during the power iteration; the
+  // service must return kDeadlineExceeded and count it.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  ServeRequest request = MakeRequest(term);
+  request.options = snap->default_options;
+  request.options->objectrank.cancel = [calls] {
+    return calls->fetch_add(1) >= 2;
+  };
+  auto response = service.Search(std::move(request));
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Metrics().deadline_exceeded, 1u);
+  EXPECT_GE(calls->load(), 3);
+}
+
+TEST(SearchServiceTest, ResultCacheServesRepeatsWithoutExecution) {
+  auto snap = MakeDblpSnapshot(200, 8);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService service(snap, SearchService::Options{});
+
+  auto first = service.Search(MakeRequest(term));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  auto second = service.Search(MakeRequest(term));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->result.scores, first->result.scores);
+  EXPECT_EQ(second->result.top, first->result.top);
+
+  // Keyword order must not defeat the normalized key.
+  const std::string two_terms =
+      TopTerms(*snap->corpus, 2).at(1) + " " + term;
+  const std::string reversed = term + " " + TopTerms(*snap->corpus, 2).at(1);
+  auto a = service.Search(MakeRequest(two_terms));
+  ASSERT_TRUE(a.ok());
+  auto b = service.Search(MakeRequest(reversed));
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->cache_hit);
+  EXPECT_EQ(b->result.scores, a->result.scores);
+
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.executed, 2u);
+  EXPECT_EQ(m.cache_hits, 2u);
+}
+
+TEST(SearchServiceTest, CacheOffExecutesEveryRequest) {
+  auto snap = MakeDblpSnapshot(200, 8);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService::Options options;
+  options.result_cache_entries = 0;
+  options.single_flight = false;
+  SearchService service(snap, options);
+
+  for (int i = 0; i < 3; ++i) {
+    auto response = service.Search(MakeRequest(term));
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->cache_hit);
+    EXPECT_FALSE(response->coalesced);
+  }
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.executed, 3u);
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.coalesced, 0u);
+}
+
+TEST(SearchServiceTest, LruEvictsLeastRecentlyUsedEntry) {
+  auto snap = MakeDblpSnapshot(200, 9);
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 2);
+  ASSERT_GE(terms.size(), 2u);
+  SearchService::Options options;
+  options.result_cache_entries = 1;
+  SearchService service(snap, options);
+
+  ASSERT_TRUE(service.Search(MakeRequest(terms[0])).ok());  // cache: A
+  ASSERT_TRUE(service.Search(MakeRequest(terms[1])).ok());  // evicts A
+  auto again = service.Search(MakeRequest(terms[0]));       // recompute
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cache_hit);
+  EXPECT_EQ(service.Metrics().executed, 3u);
+}
+
+TEST(SearchServiceTest, SearchErrorsPropagateToTheFuture) {
+  auto snap = MakeDblpSnapshot(200, 10);
+  SearchService service(snap, SearchService::Options{});
+  auto not_found = service.Search(MakeRequest("zzzzunknownkeyword"));
+  EXPECT_EQ(not_found.status().code(), StatusCode::kNotFound);
+
+  ServeRequest bad = MakeRequest(TopTerms(*snap->corpus, 1).at(0));
+  bad.options = snap->default_options;
+  bad.options->k = 0;
+  EXPECT_EQ(service.Search(std::move(bad)).status().code(),
+            StatusCode::kInvalidArgument);
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.failed, 2u);
+  EXPECT_EQ(m.deadline_exceeded, 0u);
+}
+
+TEST(SearchServiceTest, SnapshotSwapMidTrafficIsSeamless) {
+  auto snap1 = MakeDblpSnapshot(220, 1);
+  auto snap2 = MakeDblpSnapshot(220, 7);
+
+  // Query terms present in both corpora so every request succeeds against
+  // either snapshot.
+  std::vector<std::string> terms;
+  for (const std::string& t : TopTerms(*snap1->corpus, 30)) {
+    for (text::TermId u = 0; u < snap2->corpus->vocab_size(); ++u) {
+      if (snap2->corpus->TermString(u) == t && snap2->corpus->Df(u) > 0) {
+        terms.push_back(t);
+        break;
+      }
+    }
+    if (terms.size() == 6) break;
+  }
+  ASSERT_GE(terms.size(), 4u);
+
+  std::unordered_map<std::string, core::SearchResult> ref1, ref2;
+  for (const std::string& t : terms) {
+    ref1[t] = DirectSearch(*snap1, t);
+    ref2[t] = DirectSearch(*snap2, t);
+  }
+
+  SearchService::Options options;
+  options.num_threads = 4;
+  SearchService service(snap1, options);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 40;
+  std::atomic<int> done{0};
+  std::atomic<bool> swapped{false};
+  std::atomic<int> new_version_responses{0};
+  std::vector<std::thread> clients;
+  std::atomic<bool> failed{false};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        // Each client pauses at its halfway point until the swap has
+        // happened, so the second half of the traffic is guaranteed to
+        // see snapshot 2 (the first half may still be in flight during
+        // the swap — exactly the hot-reload scenario).
+        if (i == kPerClient / 2) {
+          while (!swapped.load()) std::this_thread::yield();
+        }
+        const std::string& term = terms[(c * 13 + i) % terms.size()];
+        auto response = service.Search(MakeRequest(term));
+        if (!response.ok()) {
+          failed.store(true);
+          continue;
+        }
+        const core::SearchResult& expected =
+            response->snapshot_version == 1 ? ref1[term] : ref2[term];
+        if (response->result.scores != expected.scores) failed.store(true);
+        if (response->snapshot_version == 2) new_version_responses.fetch_add(1);
+        done.fetch_add(1);
+      }
+    });
+  }
+  // Swap once traffic is flowing; in-flight requests finish on snapshot 1.
+  while (done.load() < kClients * kPerClient / 8) std::this_thread::yield();
+  service.SwapSnapshot(snap2);
+  swapped.store(true);
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(service.snapshot_version(), 2u);
+  // Everything submitted after the swap ran (or was cached) on v2.
+  EXPECT_GE(new_version_responses.load(), kClients * kPerClient / 2);
+  EXPECT_EQ(service.Metrics().completed,
+            static_cast<uint64_t>(kClients * kPerClient));
+}
+
+TEST(SearchServiceTest, SnapshotAliasingKeepsOwnerAlive) {
+  auto snap = MakeDblpSnapshot(200, 11);
+  // MakeDblpSnapshot's owner went out of scope; only the aliasing
+  // shared_ptrs keep the dataset alive. A query must still work.
+  SearchService service(snap, SearchService::Options{});
+  auto response = service.Search(MakeRequest(TopTerms(*snap->corpus, 1)[0]));
+  EXPECT_TRUE(response.ok()) << response.status();
+}
+
+TEST(SearchServiceTest, MetricsReportLatencyAndQps) {
+  auto snap = MakeDblpSnapshot(200, 12);
+  SearchService service(snap, SearchService::Options{});
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 4);
+  for (const std::string& t : terms) {
+    ASSERT_TRUE(service.Search(MakeRequest(t)).ok());
+  }
+  const ServeMetrics m = service.Metrics();
+  EXPECT_EQ(m.completed, terms.size());
+  EXPECT_GT(m.latency_p50, 0.0);
+  EXPECT_LE(m.latency_p50, m.latency_p99);
+  EXPECT_GT(m.qps, 0.0);
+  EXPECT_GT(m.uptime_seconds, 0.0);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(SearchServiceTest, DestructorDrainsInFlightRequests) {
+  auto snap = MakeDblpSnapshot(200, 13);
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 8);
+  std::vector<std::future<StatusOr<ServeResponse>>> futures;
+  {
+    SearchService::Options options;
+    options.num_threads = 2;
+    SearchService service(snap, options);
+    for (const std::string& t : terms) {
+      futures.push_back(service.Submit(MakeRequest(t)));
+    }
+    // No explicit wait: the destructor must fulfill every future.
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().ok());
+  }
+}
+
+}  // namespace
+}  // namespace orx::serve

@@ -3,6 +3,7 @@
 // feedback, and watch the query vector and transfer rates evolve. Also
 // usable non-interactively: `echo "figure1\nquery olap\nexplain 1" | orx_cli`.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -10,8 +11,11 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "core/rank_cache.h"
@@ -20,10 +24,13 @@
 #include "datasets/dblp_generator.h"
 #include "datasets/dblp_xml.h"
 #include "datasets/figure1.h"
+#include "datasets/zipf.h"
 #include "explain/explainer.h"
 #include "io/dataset_io.h"
 #include "io/graph_tsv.h"
 #include "reformulate/reformulator.h"
+#include "serve/search_service.h"
+#include "serve/snapshot.h"
 #include "text/query.h"
 
 namespace {
@@ -44,6 +51,7 @@ constexpr const char* kHelp = R"(commands:
   k <n>                       result-list size (default 10)
   precompute [threads [max-terms]]  build + attach per-keyword rank cache
   precompute off              detach the rank cache
+  serve-bench [clients [queries]]   load-test a SearchService on the dataset
   query <keywords...>         run ObjectRank2
   explain <rank>              explaining subgraph of a result
   feedback <rank> [rank...]   reformulate from relevant results
@@ -370,6 +378,85 @@ void DoPrecompute(CliState& state, const std::string& args) {
               state.rank_cache->MemoryFootprintBytes() / (1024.0 * 1024.0));
 }
 
+void DoServeBench(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  auto tokens = SplitWhitespace(args);
+  int clients = 4;
+  int queries_per_client = 50;
+  if (!tokens.empty()) clients = std::atoi(tokens[0].c_str());
+  if (tokens.size() > 1) queries_per_client = std::atoi(tokens[1].c_str());
+  if (clients < 1 || queries_per_client < 1) {
+    std::printf("usage: serve-bench [clients [queries-per-client]]\n");
+    return;
+  }
+
+  // The snapshot aliases the CLI's dataset (and rank cache, if one is
+  // attached) without owning it: no-op deleters, and the service is
+  // destroyed before this function returns.
+  auto no_own = [](const auto* ptr) {
+    using T = std::remove_cv_t<std::remove_pointer_t<decltype(ptr)>>;
+    return std::shared_ptr<const T>(ptr, [](const T*) {});
+  };
+  auto snapshot = std::make_shared<serve::ServeSnapshot>();
+  snapshot->data = no_own(&state.dataset->data());
+  snapshot->authority = no_own(&state.dataset->authority());
+  snapshot->corpus = no_own(&state.dataset->corpus());
+  snapshot->rates = state.rates;
+  if (state.rank_cache != nullptr) {
+    snapshot->rank_cache = no_own(state.rank_cache.get());
+  }
+  snapshot->default_options = state.search_options;
+
+  // Zipf-distributed mix over the most frequent corpus terms, as in
+  // bench_serve_load.
+  const text::Corpus& corpus = state.dataset->corpus();
+  std::vector<std::pair<uint32_t, std::string>> by_df;
+  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+    by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<text::QueryVector> mix;
+  for (size_t i = 0; i < by_df.size() && mix.size() < 64; ++i) {
+    mix.emplace_back(text::ParseQuery(by_df[i].second));
+  }
+  if (mix.empty()) {
+    std::printf("corpus has no indexed terms\n");
+    return;
+  }
+  const datasets::ZipfSampler popularity(mix.size(), 1.0);
+
+  for (const bool use_cache : {true, false}) {
+    serve::SearchService::Options options;
+    if (!use_cache) {
+      options.result_cache_entries = 0;
+      options.single_flight = false;
+    }
+    serve::SearchService service(snapshot, options);
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        Rng rng(static_cast<uint64_t>(c) * 7919 + 1);
+        for (int q = 0; q < queries_per_client; ++q) {
+          serve::ServeRequest request;
+          request.query = mix[popularity.Sample(rng)];
+          auto response = service.Search(std::move(request));
+          if (!response.ok()) {
+            std::printf("query failed: %s\n",
+                        response.status().ToString().c_str());
+          }
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    std::printf("%-16s %s\n",
+                use_cache ? "result-cache on" : "result-cache off",
+                service.Metrics().ToString().c_str());
+  }
+}
+
 void DoGenerate(CliState& state, const std::string& args) {
   auto tokens = SplitWhitespace(args);
   if (tokens.size() < 2) {
@@ -479,6 +566,8 @@ int main() {
       std::printf("k = %zu\n", state.search_options.k);
     } else if (command == "precompute") {
       DoPrecompute(state, args);
+    } else if (command == "serve-bench") {
+      DoServeBench(state, args);
     } else if (command == "query") {
       DoQuery(state, args);
     } else if (command == "explain") {
