@@ -1,10 +1,16 @@
 // Micro-benchmarks (google-benchmark) of ORX's building blocks: the power
 // iteration inner loop, index construction, BM25 base-set scoring,
 // explaining-subgraph construction, top-k selection and the generators.
+// Results also land in BENCH_micro.json (same record schema as the other
+// bench binaries) so runs are diffable across revisions.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "common/timer.h"
 #include "core/searcher.h"
 #include "explain/explainer.h"
 #include "text/query.h"
@@ -143,4 +149,49 @@ void BM_Reformulate(benchmark::State& state) {
 }
 BENCHMARK(BM_Reformulate)->Unit(benchmark::kMillisecond);
 
+/// The console reporter, plus a JSON record per reported run so main()
+/// can emit BENCH_micro.json without re-running anything.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // GetAdjusted*Time() report per-iteration time in the benchmark's
+      // display unit; normalize to seconds for the artifact.
+      const double unit = benchmark::GetTimeUnitMultiplier(run.time_unit);
+      bench::JsonObject record;
+      record.Add("name", run.benchmark_name())
+          .Add("iterations", static_cast<long long>(run.iterations))
+          .Add("real_time_seconds", run.GetAdjustedRealTime() / unit)
+          .Add("cpu_time_seconds", run.GetAdjustedCPUTime() / unit);
+      if (auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        record.Add("items_per_second", static_cast<double>(it->second));
+      }
+      rendered_.push_back(record.ToString());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::string>& rendered() const { return rendered_; }
+
+ private:
+  std::vector<std::string> rendered_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  Timer timer;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  bench::JsonObject json = bench::BenchRecord(
+      "micro", "dblp-synthetic", /*threads=*/1, timer.ElapsedSeconds());
+  json.AddRaw("benchmarks", bench::JsonArray(reporter.rendered()));
+  bench::WriteJsonFile("BENCH_micro.json", json.ToString());
+  return 0;
+}

@@ -1,0 +1,154 @@
+// SpMV power-iteration kernel benchmark: the legacy per-iteration
+// spawn-and-gather kernel vs the fused-weight persistent-pool kernel
+// (docs/power_iteration.md), old vs new at 1/2/4/8 intra-query threads
+// on a DBLP-scale synthetic graph. Emits BENCH_spmv.json in the shared
+// bench_util record schema; the headline number is the 8-thread
+// edges/second speedup.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/base_set.h"
+#include "core/objectrank.h"
+#include "text/query.h"
+
+namespace {
+
+struct KernelRun {
+  std::string kernel;
+  int threads = 0;
+  double wall_seconds = 0.0;
+  long long iterations = 0;
+  double edges_per_second = 0.0;
+  double iterations_per_second = 0.0;
+};
+
+// Repeats fixed-work solves (epsilon = 0, so every run executes exactly
+// max_iterations SpMV passes) until `min_seconds` of wall time accrues.
+KernelRun TimeKernel(const orx::core::ObjectRankEngine& engine,
+                     const orx::core::BaseSet& base,
+                     const orx::graph::TransferRates& rates,
+                     orx::core::PowerKernel kernel, int threads,
+                     int iterations_per_solve, double min_seconds) {
+  orx::core::ObjectRankOptions options;
+  options.epsilon = 0.0;
+  options.max_iterations = iterations_per_solve;
+  options.kernel = kernel;
+  options.num_threads = threads;
+
+  engine.Compute(base, rates, options);  // warm: pool started, layout built
+
+  KernelRun run;
+  run.kernel = kernel == orx::core::PowerKernel::kFused ? "fused" : "legacy";
+  run.threads = threads;
+  orx::Timer timer;
+  while (timer.ElapsedSeconds() < min_seconds) {
+    run.iterations += engine.Compute(base, rates, options).iterations;
+  }
+  run.wall_seconds = timer.ElapsedSeconds();
+  const double edges = static_cast<double>(engine.graph().num_edges());
+  run.iterations_per_second =
+      static_cast<double>(run.iterations) / run.wall_seconds;
+  run.edges_per_second = run.iterations_per_second * edges;
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  using namespace orx;
+  const double scale = bench::ScaleFromEnv();
+  const uint32_t papers =
+      std::max<uint32_t>(200, static_cast<uint32_t>(32'000 * scale));
+  std::printf("=== SpMV kernel: legacy spawn-per-iteration vs fused "
+              "persistent-pool (scale=%.3f) ===\n\n", scale);
+
+  // The bench_scaling DBLP-scale configuration: ~32k papers, 5 citations
+  // each — the regime the paper's DBLP experiments run in.
+  datasets::DblpGeneratorConfig config =
+      datasets::DblpGeneratorConfig::Tiny(papers, /*seed=*/77);
+  config.num_authors = papers / 2 + 100;
+  config.avg_citations = 5.0;
+  const datasets::DblpDataset dblp = datasets::GenerateDblp(config);
+  const graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  const size_t nodes = dblp.dataset.data().num_nodes();
+  const uint64_t edges = dblp.dataset.authority().num_edges();
+  std::printf("graph: %zu nodes, %llu authority edges\n\n", nodes,
+              static_cast<unsigned long long>(edges));
+
+  text::QueryVector query(text::ParseQuery("data"));
+  auto base = core::BuildBaseSet(dblp.dataset.corpus(), query);
+  if (!base.ok() || base->empty()) {
+    std::printf("query term missing at this scale; falling back to the "
+                "global base set\n");
+    base = core::GlobalBaseSet(nodes);
+  }
+
+  core::ObjectRankEngine engine(dblp.dataset.authority());
+  constexpr int kIterationsPerSolve = 20;
+  const double min_seconds = std::clamp(scale, 0.02, 1.0);
+
+  TablePrinter table({"kernel", "threads", "iters", "wall (s)",
+                      "Medges/s", "iters/s"});
+  std::vector<KernelRun> runs;
+  for (const core::PowerKernel kernel :
+       {core::PowerKernel::kLegacy, core::PowerKernel::kFused}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      const KernelRun run = TimeKernel(engine, *base, rates, kernel, threads,
+                                       kIterationsPerSolve, min_seconds);
+      table.AddRow({run.kernel, std::to_string(run.threads),
+                    std::to_string(run.iterations),
+                    FormatDouble(run.wall_seconds, 2),
+                    FormatDouble(run.edges_per_second / 1e6, 2),
+                    FormatDouble(run.iterations_per_second, 1)});
+      runs.push_back(run);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  auto at = [&](const std::string& kernel, int threads) -> const KernelRun& {
+    for (const KernelRun& r : runs) {
+      if (r.kernel == kernel && r.threads == threads) return r;
+    }
+    return runs.front();
+  };
+  const double speedup_8t =
+      at("fused", 8).edges_per_second / at("legacy", 8).edges_per_second;
+  const double speedup_1t =
+      at("fused", 1).edges_per_second / at("legacy", 1).edges_per_second;
+  std::printf("fused vs legacy edges/s: %.2fx at 1 thread, %.2fx at 8 "
+              "threads (target: >= 2x at 8 threads)\n",
+              speedup_1t, speedup_8t);
+
+  double total_wall = 0.0;
+  std::vector<std::string> rendered;
+  for (const KernelRun& run : runs) {
+    total_wall += run.wall_seconds;
+    bench::JsonObject record;
+    record.Add("kernel", run.kernel)
+        .Add("threads", run.threads)
+        .Add("iterations", run.iterations)
+        .Add("wall_seconds", run.wall_seconds)
+        .Add("edges_per_second", run.edges_per_second)
+        .Add("iterations_per_second", run.iterations_per_second);
+    rendered.push_back(record.ToString());
+  }
+  bench::JsonObject json =
+      bench::BenchRecord("spmv", "dblp-synthetic", /*threads=*/8, total_wall);
+  json.Add("papers", static_cast<unsigned long long>(papers))
+      .Add("nodes", nodes)
+      .Add("edges", static_cast<unsigned long long>(edges))
+      .Add("iterations_per_solve", kIterationsPerSolve)
+      .Add("speedup_1t", speedup_1t)
+      .Add("speedup_8t", speedup_8t)
+      .AddRaw("runs", bench::JsonArray(rendered));
+  bench::WriteJsonFile("BENCH_spmv.json", json.ToString());
+  return 0;
+}

@@ -1,18 +1,228 @@
 #include "core/objectrank.h"
 
+#include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace orx::core {
 namespace {
 
+// Work-based clamp of the fused kernel's parallelism: one worker per this
+// many in-edges, so tiny graphs skip dispatch entirely and dense small-n
+// graphs (where the old node-count clamp collapsed to one thread) still
+// fan out.
+constexpr size_t kMinEdgesPerThread = 16384;
+
+// The fused kernel pushes while nnz * kPushDensityDenom < n and switches
+// permanently to the pull SpMV once the iterate is denser than 1/8.
+constexpr size_t kPushDensityDenom = 8;
+
+// The pool the fused pull pass runs on: spawned once per process, shared
+// by every engine. Sized one below the hardware thread count because the
+// caller executes the first partition itself. Intentionally leaked so
+// exiting threads never race static destruction.
+ThreadPool& SpmvPool() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max<size_t>(1, ThreadPool::HardwareThreads() - 1));
+  return *pool;
+}
+
+// Per-pass completion latch. Heap-shared with the submitted tasks so the
+// notifying task can outlive the waiting stack frame safely; unlike
+// ThreadPool::Wait it only waits for THIS pass's tasks, so concurrent
+// Computes sharing the pool never wait on each other's work.
+struct Completion {
+  explicit Completion(size_t n) : remaining(n) {}
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_one();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+};
+
+// One fused pull pass over the SELL chunk range [begin, end):
+// next = d * (A^T cur) + bvec with the L1 residual computed inline. A
+// chunk is 8 rows stored column-major, so the inner loop keeps one
+// accumulator per row — 8 independent dependency chains that let the
+// score gathers and multiplies overlap, where a CSR row loop serializes
+// on each node's running sum (one edge per add latency). No software
+// prefetch: the gathers mostly hit L2 and explicit prefetches only steal
+// load-port slots (measured slower). Each row's sum accumulates in
+// in-edge order with padding contributing exactly +0.0, so scores are
+// bit-identical for any partitioning and any thread count.
+void FusedPullRange(const uint64_t* chunk_offsets, const uint32_t* row_order,
+                    const uint32_t* sources, const double* weights,
+                    const double* bvec, double d, const double* cur,
+                    double* next, size_t begin, size_t end, size_t num_rows,
+                    double* l1_out) {
+  constexpr size_t kRows = graph::SellStructure::kChunkRows;
+  double l1 = 0.0;
+  for (size_t c = begin; c < end; ++c) {
+    const uint64_t base = chunk_offsets[c];
+    const uint64_t len = (chunk_offsets[c + 1] - base) / kRows;
+    const uint32_t* s = sources + base;
+    const double* w = weights + base;
+    double sum[kRows] = {0.0};
+    for (uint64_t j = 0; j < len; ++j, s += kRows, w += kRows) {
+      sum[0] += cur[s[0]] * w[0];
+      sum[1] += cur[s[1]] * w[1];
+      sum[2] += cur[s[2]] * w[2];
+      sum[3] += cur[s[3]] * w[3];
+      sum[4] += cur[s[4]] * w[4];
+      sum[5] += cur[s[5]] * w[5];
+      sum[6] += cur[s[6]] * w[6];
+      sum[7] += cur[s[7]] * w[7];
+    }
+    const size_t row0 = c * kRows;
+    const size_t rows = std::min(kRows, num_rows - row0);
+    for (size_t r = 0; r < rows; ++r) {
+      const uint32_t v = row_order[row0 + r];
+      const double nv = d * sum[r] + bvec[v];
+      l1 += std::fabs(nv - cur[v]);
+      next[v] = nv;
+    }
+  }
+  *l1_out = l1;
+}
+
+// The fused power iteration: frontier push while sparse, then the
+// rate-resolved pull SpMV on the persistent pool.
+void RunFused(const graph::AuthorityGraph& graph,
+              graph::FusedWeightCache& cache,
+              const graph::TransferRates& rates, const BaseSet& base,
+              const ObjectRankOptions& options, std::vector<double>& cur,
+              std::vector<double>& next, ObjectRankResult& result) {
+  const size_t n = graph.num_nodes();
+  const size_t m = graph.num_edges();
+  const std::vector<double>& alpha = rates.slots();
+  const double d = options.damping;
+  const double jump = 1.0 - d;
+  const int threads = static_cast<int>(std::max<size_t>(
+      1, std::min<size_t>(
+             static_cast<size_t>(std::max(1, options.num_threads)),
+             m / kMinEdgesPerThread + 1)));
+
+  size_t nnz = 0;
+  std::vector<uint32_t> frontier;
+  for (size_t v = 0; v < n; ++v) {
+    if (cur[v] != 0.0) ++nnz;
+  }
+  bool dense = nnz * kPushDensityDenom >= n;
+  if (!dense) {
+    frontier.reserve(nnz);
+    for (size_t v = 0; v < n; ++v) {
+      if (cur[v] != 0.0) frontier.push_back(static_cast<uint32_t>(v));
+    }
+  }
+
+  // Pull-phase state, materialized on the first dense iteration: the
+  // fused layout + edge-balanced partition (memoized in the cache) and
+  // the dense jump vector, which folds the base-set addition into the
+  // pass so the residual can be computed inline.
+  std::shared_ptr<const graph::FusedLayout> layout;
+  std::shared_ptr<const std::vector<size_t>> bounds;
+  std::vector<double> bvec;
+  std::vector<double> partials;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancel && options.cancel()) {
+      result.cancelled = true;
+      break;
+    }
+    double l1 = 0.0;
+    if (!dense) {
+      // Frontier push: scatter only the active nodes' mass. The frontier
+      // is kept in ascending node order, so accumulation matches the
+      // sequential push reference.
+      std::fill(next.begin(), next.end(), 0.0);
+      for (const uint32_t u : frontier) {
+        const double dru = d * cur[u];
+        for (const graph::AuthorityEdge& e : graph.OutEdges(u)) {
+          next[e.target] +=
+              dru * alpha[e.rate_index] * static_cast<double>(e.inv_out_deg);
+        }
+      }
+      for (const auto& [node, w] : base.entries) next[node] += jump * w;
+      nnz = 0;
+      frontier.clear();
+      for (size_t v = 0; v < n; ++v) {
+        l1 += std::fabs(next[v] - cur[v]);
+        if (next[v] != 0.0) {
+          ++nnz;
+          frontier.push_back(static_cast<uint32_t>(v));
+        }
+      }
+      if (nnz * kPushDensityDenom >= n) {
+        dense = true;  // sticky: authority mass never re-sparsifies
+        frontier = {};
+      }
+    } else {
+      if (layout == nullptr) {
+        layout = cache.Get(graph, rates);
+        bounds = cache.Partition(graph, static_cast<size_t>(threads));
+        partials.assign(static_cast<size_t>(threads), 0.0);
+        bvec.assign(n, 0.0);
+        for (const auto& [node, w] : base.entries) bvec[node] = jump * w;
+      }
+      const graph::SellStructure& sell = layout->structure();
+      const uint64_t* coff = sell.chunk_offsets.data();
+      const uint32_t* order = sell.row_order.data();
+      const uint32_t* src = sell.sources.data();
+      const double* w = layout->weights();
+      const double* c = cur.data();
+      double* nx = next.data();
+      const std::vector<size_t>& b = *bounds;
+      if (threads <= 1) {
+        FusedPullRange(coff, order, src, w, bvec.data(), d, c, nx, 0,
+                       sell.num_chunks(), n, partials.data());
+      } else {
+        auto done = std::make_shared<Completion>(
+            static_cast<size_t>(threads) - 1);
+        for (int t = 1; t < threads; ++t) {
+          double* slot = &partials[static_cast<size_t>(t)];
+          const size_t begin = b[static_cast<size_t>(t)];
+          const size_t end = b[static_cast<size_t>(t) + 1];
+          const double* bv = bvec.data();
+          SpmvPool().Submit([=] {
+            FusedPullRange(coff, order, src, w, bv, d, c, nx, begin, end, n,
+                           slot);
+            done->Done();
+          });
+        }
+        // The caller works the first partition instead of idling.
+        FusedPullRange(coff, order, src, w, bvec.data(), d, c, nx, b[0],
+                       b[1], n, partials.data());
+        done->Wait();
+      }
+      for (const double p : partials) l1 += p;
+    }
+    cur.swap(next);
+    result.iterations = iter;
+    if (l1 < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Pre-fused kernels, kept verbatim: kSequentialPush is the equivalence
+// reference, kLegacy the old-vs-new benchmark baseline.
+
 // One pull-based update pass over the node range [begin, end): gathers
-// each node's incoming flow. A node's contributions always accumulate in
-// its in-edge order, so the result is bit-identical for any partitioning
-// (thread count); it may differ from the push-based pass in the last ulp
-// (different floating-point summation order).
+// each node's incoming flow.
 void PullRange(const graph::AuthorityGraph& graph,
                const std::vector<double>& alpha, double damping,
                const std::vector<double>& cur, std::vector<double>& next,
@@ -26,6 +236,66 @@ void PullRange(const graph::AuthorityGraph& graph,
              static_cast<double>(e.inv_out_deg);
     }
     next[v] = damping * sum;
+  }
+}
+
+void RunLegacy(const graph::AuthorityGraph& graph,
+               const graph::TransferRates& rates, const BaseSet& base,
+               const ObjectRankOptions& options, bool force_sequential,
+               std::vector<double>& cur, std::vector<double>& next,
+               ObjectRankResult& result) {
+  const size_t n = graph.num_nodes();
+  const std::vector<double>& alpha = rates.slots();
+  const double d = options.damping;
+  const double jump = 1.0 - d;
+  const int threads =
+      force_sequential
+          ? 1
+          : std::max(1, std::min<int>(options.num_threads,
+                                      static_cast<int>(n / 1024) + 1));
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    if (options.cancel && options.cancel()) {
+      result.cancelled = true;
+      break;
+    }
+    if (threads == 1) {
+      // Sequential push: cheaper than pulling when many scores are zero
+      // (typical early iterations of a cold start).
+      std::fill(next.begin(), next.end(), 0.0);
+      for (size_t u = 0; u < n; ++u) {
+        const double ru = cur[u];
+        if (ru == 0.0) continue;
+        const double dru = d * ru;
+        for (const graph::AuthorityEdge& e :
+             graph.OutEdges(static_cast<graph::NodeId>(u))) {
+          next[e.target] +=
+              dru * alpha[e.rate_index] * static_cast<double>(e.inv_out_deg);
+        }
+      }
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      const size_t chunk = (n + threads - 1) / threads;
+      for (int t = 0; t < threads; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        pool.emplace_back(PullRange, std::cref(graph), std::cref(alpha), d,
+                          std::cref(cur), std::ref(next), begin, end);
+      }
+      for (std::thread& worker : pool) worker.join();
+    }
+    for (const auto& [node, w] : base.entries) next[node] += jump * w;
+
+    double l1 = 0.0;
+    for (size_t v = 0; v < n; ++v) l1 += std::fabs(next[v] - cur[v]);
+    cur.swap(next);
+    result.iterations = iter;
+    if (l1 < options.epsilon) {
+      result.converged = true;
+      break;
+    }
   }
 }
 
@@ -46,59 +316,21 @@ ObjectRankResult ObjectRankEngine::Compute(
     cur.assign(n, 0.0);
     for (const auto& [node, w] : base.entries) cur[node] = w;
   }
-
-  // Cache the per-slot alphas once; the inner loop resolves each edge's
-  // rate as alpha[slot] * inv_out_deg (Equation 1).
-  const std::vector<double>& alpha = rates.slots();
-  const double d = options.damping;
-  const double jump = 1.0 - d;
-  const int threads =
-      std::max(1, std::min<int>(options.num_threads,
-                                static_cast<int>(n / 1024) + 1));
-
   std::vector<double> next(n, 0.0);
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    if (options.cancel && options.cancel()) {
-      result.cancelled = true;
-      break;
-    }
-    if (threads == 1) {
-      // Sequential push: cheaper than pulling when many scores are zero
-      // (typical early iterations of a cold start).
-      std::fill(next.begin(), next.end(), 0.0);
-      for (size_t u = 0; u < n; ++u) {
-        const double ru = cur[u];
-        if (ru == 0.0) continue;
-        const double dru = d * ru;
-        for (const graph::AuthorityEdge& e : graph_->OutEdges(
-                 static_cast<graph::NodeId>(u))) {
-          next[e.target] +=
-              dru * alpha[e.rate_index] * static_cast<double>(e.inv_out_deg);
-        }
-      }
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<size_t>(threads));
-      const size_t chunk = (n + threads - 1) / threads;
-      for (int t = 0; t < threads; ++t) {
-        const size_t begin = t * chunk;
-        const size_t end = std::min(n, begin + chunk);
-        if (begin >= end) break;
-        pool.emplace_back(PullRange, std::cref(*graph_), std::cref(alpha),
-                          d, std::cref(cur), std::ref(next), begin, end);
-      }
-      for (std::thread& worker : pool) worker.join();
-    }
-    for (const auto& [node, w] : base.entries) next[node] += jump * w;
 
-    double l1 = 0.0;
-    for (size_t v = 0; v < n; ++v) l1 += std::fabs(next[v] - cur[v]);
-    cur.swap(next);
-    result.iterations = iter;
-    if (l1 < options.epsilon) {
-      result.converged = true;
+  switch (options.kernel) {
+    case PowerKernel::kFused:
+      RunFused(*graph_, *fused_cache_, rates, base, options, cur, next,
+               result);
       break;
-    }
+    case PowerKernel::kSequentialPush:
+      RunLegacy(*graph_, rates, base, options, /*force_sequential=*/true,
+                cur, next, result);
+      break;
+    case PowerKernel::kLegacy:
+      RunLegacy(*graph_, rates, base, options, /*force_sequential=*/false,
+                cur, next, result);
+      break;
   }
   return result;
 }

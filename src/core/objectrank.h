@@ -2,13 +2,37 @@
 #define ORX_CORE_OBJECTRANK_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/base_set.h"
 #include "graph/authority_graph.h"
+#include "graph/spmv_layout.h"
 #include "graph/transfer_rates.h"
 
 namespace orx::core {
+
+/// Which inner kernel runs the power iteration. All kernels compute the
+/// same fixpoint; they differ in summation order, so converged scores
+/// agree to <= 1e-12 L-inf (the equivalence suite in
+/// tests/spmv_kernel_test.cc pins this down).
+enum class PowerKernel {
+  /// Default: the fused SpMV kernel (docs/power_iteration.md). Early
+  /// iterations from a sparse start vector run a frontier-aware push;
+  /// once the iterate's nonzero density crosses 1/8 the kernel switches
+  /// permanently to a pull SpMV over the rate-resolved SELL-8 layout
+  /// (graph/spmv_layout.h) with the L1 residual fused into the pass,
+  /// partitioned by cumulative in-edge count and executed on a
+  /// persistent thread pool (no per-iteration thread spawn).
+  kFused,
+  /// The pre-fused sequential push loop, ignoring num_threads. Kept as
+  /// the reference the equivalence suite compares every kernel against.
+  kSequentialPush,
+  /// The pre-fused implementation exactly as it shipped: per-iteration
+  /// std::thread spawn, per-edge rate resolution, node-count-only thread
+  /// clamp. Kept as the baseline bench_spmv_kernel measures against.
+  kLegacy,
+};
 
 /// Parameters of the ObjectRank2 power iteration (Equation 4).
 struct ObjectRankOptions {
@@ -26,8 +50,15 @@ struct ObjectRankOptions {
   /// Worker threads for the power iteration. The parallel path is
   /// pull-based (each node gathers over its in-edges), so results are
   /// bit-identical for any thread count — per-node sums always accumulate
-  /// in the same edge order. 1 = sequential push-based loop.
+  /// in the same edge order. The fused kernel additionally clamps this to
+  /// the available work (one worker per ~16K edges), so dense small-node
+  /// graphs still parallelize and tiny graphs don't pay dispatch
+  /// overhead. <= 1 = sequential.
   int num_threads = 1;
+
+  /// Inner kernel; see PowerKernel. The non-default kernels exist for
+  /// the equivalence suite and the old-vs-new benchmark.
+  PowerKernel kernel = PowerKernel::kFused;
 
   /// Cooperative cancellation hook, checked once before each power
   /// iteration. When it returns true the solver stops immediately and
@@ -65,12 +96,26 @@ struct ObjectRankResult {
 /// s_i = 1/|S(Q)| reproduces [BHP04] exactly, so we implement
 /// r = d*A*r + (1-d)*s-hat. This matches the worked example of Figure 6.
 ///
-/// The engine is stateless and const; callers pass warm-start vectors
-/// explicitly (Section 6.2 seeds a query with the previous query's scores).
+/// The engine carries no per-query state and is const; callers pass
+/// warm-start vectors explicitly (Section 6.2 seeds a query with the
+/// previous query's scores). Its only mutable member is a thread-safe
+/// FusedWeightCache — a memo of rate-resolved edge layouts shared by
+/// every Compute on this engine (and by other engines, when injected:
+/// ServeSnapshot owns one cache so all requests against a snapshot reuse
+/// one materialized layout).
 class ObjectRankEngine {
  public:
   explicit ObjectRankEngine(const graph::AuthorityGraph& graph)
-      : graph_(&graph) {}
+      : ObjectRankEngine(graph,
+                         std::make_shared<graph::FusedWeightCache>()) {}
+
+  ObjectRankEngine(const graph::AuthorityGraph& graph,
+                   std::shared_ptr<graph::FusedWeightCache> fused_cache)
+      : graph_(&graph), fused_cache_(std::move(fused_cache)) {
+    if (fused_cache_ == nullptr) {
+      fused_cache_ = std::make_shared<graph::FusedWeightCache>();
+    }
+  }
 
   /// Runs the power iteration. If `warm_start` is non-null and has one
   /// entry per node it is used as the initial vector; otherwise iteration
@@ -87,8 +132,20 @@ class ObjectRankEngine {
 
   const graph::AuthorityGraph& graph() const { return *graph_; }
 
+  /// Replaces the fused-weight cache (nullptr resets to a private one).
+  /// Used by the serving layer to share the snapshot-owned cache.
+  void set_fused_cache(std::shared_ptr<graph::FusedWeightCache> cache) {
+    fused_cache_ = cache != nullptr
+                       ? std::move(cache)
+                       : std::make_shared<graph::FusedWeightCache>();
+  }
+  const std::shared_ptr<graph::FusedWeightCache>& fused_cache() const {
+    return fused_cache_;
+  }
+
  private:
   const graph::AuthorityGraph* graph_;
+  std::shared_ptr<graph::FusedWeightCache> fused_cache_;
 };
 
 }  // namespace orx::core

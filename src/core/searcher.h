@@ -90,6 +90,14 @@ class Searcher {
   /// The cache must outlive the searcher.
   void AttachRankCache(const RankCache* cache) { rank_cache_ = cache; }
 
+  /// Shares a fused-weight cache (rate-resolved SpMV layouts; see
+  /// graph/spmv_layout.h) with this searcher's engine. The serving layer
+  /// passes the snapshot-owned cache so every request against a snapshot
+  /// reuses one materialized layout instead of building its own.
+  void AttachFusedCache(std::shared_ptr<graph::FusedWeightCache> cache) {
+    engine_.set_fused_cache(std::move(cache));
+  }
+
   /// Runs a search. Errors: kNotFound if no query keyword matches any
   /// node; kInvalidArgument on an empty query vector or on out-of-range
   /// options (k == 0, damping outside [0, 1) or non-finite, epsilon <= 0,

@@ -64,6 +64,13 @@ class AuthorityGraph {
   size_t num_nodes() const { return out_offsets_.size() - 1; }
   size_t num_edges() const { return out_edges_.size(); }
 
+  /// Raw CSR in-adjacency: cumulative in-edge counts (num_nodes() + 1
+  /// entries) and the flat edge array they index. Consumed by the fused
+  /// SpMV layout (graph/spmv_layout.h), which re-materializes the edges
+  /// rate-resolved, and by its edge-balanced node partition.
+  std::span<const uint64_t> in_offsets() const { return in_offsets_; }
+  std::span<const AuthorityEdge> in_edges() const { return in_edges_; }
+
   /// Approximate in-memory footprint in bytes.
   size_t MemoryFootprintBytes() const {
     return (out_edges_.size() + in_edges_.size()) * sizeof(AuthorityEdge) +

@@ -1,0 +1,173 @@
+#include "graph/spmv_layout.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace orx::graph {
+
+SellStructure::SellStructure(const AuthorityGraph& graph)
+    : num_rows(graph.num_nodes()) {
+  const std::span<const uint64_t> offsets = graph.in_offsets();
+  const std::span<const AuthorityEdge> edges = graph.in_edges();
+  const auto degree = [&](uint32_t v) {
+    return offsets[v + 1] - offsets[v];
+  };
+
+  row_order.resize(num_rows);
+  std::iota(row_order.begin(), row_order.end(), 0u);
+  // Full-range degree sort (SELL "sigma = n"): chunks group rows of
+  // similar length, which keeps the column padding negligible. Stable,
+  // so the layout is deterministic.
+  std::stable_sort(row_order.begin(), row_order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return degree(a) > degree(b);
+                   });
+
+  const size_t chunks = (num_rows + kChunkRows - 1) / kChunkRows;
+  chunk_offsets.assign(chunks + 1, 0);
+  for (size_t c = 0; c < chunks; ++c) {
+    uint64_t longest = 0;
+    for (size_t r = 0; r < kChunkRows && c * kChunkRows + r < num_rows; ++r) {
+      longest = std::max<uint64_t>(longest,
+                                   degree(row_order[c * kChunkRows + r]));
+    }
+    chunk_offsets[c + 1] = chunk_offsets[c] + longest * kChunkRows;
+  }
+
+  sources.assign(chunk_offsets[chunks], 0);
+  for (size_t c = 0; c < chunks; ++c) {
+    for (size_t r = 0; r < kChunkRows && c * kChunkRows + r < num_rows; ++r) {
+      const uint32_t v = row_order[c * kChunkRows + r];
+      const uint64_t begin = offsets[v];
+      for (uint64_t j = 0; j < degree(v); ++j) {
+        // e.target of an in-edge is the *source* u of the edge u -> v.
+        sources[chunk_offsets[c] + j * kChunkRows + r] =
+            edges[begin + j].target;
+      }
+    }
+  }
+}
+
+FusedLayout::FusedLayout(const AuthorityGraph& graph,
+                         const TransferRates& rates,
+                         std::shared_ptr<const SellStructure> structure)
+    : rates_fingerprint_(rates.Fingerprint()) {
+  if (structure != nullptr) {
+    ORX_CHECK_MSG(structure->num_rows == graph.num_nodes(),
+                  "shared SELL structure does not match the graph");
+    structure_ = std::move(structure);
+  } else {
+    structure_ = std::make_shared<const SellStructure>(graph);
+  }
+
+  const std::span<const uint64_t> offsets = graph.in_offsets();
+  const std::span<const AuthorityEdge> edges = graph.in_edges();
+  const SellStructure& s = *structure_;
+  weights_.assign(s.padded_slots(), 0.0);
+  for (size_t c = 0; c < s.num_chunks(); ++c) {
+    for (size_t r = 0;
+         r < SellStructure::kChunkRows &&
+         c * SellStructure::kChunkRows + r < s.num_rows;
+         ++r) {
+      const uint32_t v = s.row_order[c * SellStructure::kChunkRows + r];
+      const uint64_t begin = offsets[v];
+      const uint64_t deg = offsets[v + 1] - begin;
+      for (uint64_t j = 0; j < deg; ++j) {
+        weights_[s.chunk_offsets[c] + j * SellStructure::kChunkRows + r] =
+            AuthorityGraph::EdgeRate(edges[begin + j], rates);
+      }
+    }
+  }
+}
+
+std::vector<size_t> BalancedPartition(std::span<const uint64_t> offsets,
+                                      size_t parts) {
+  ORX_CHECK(!offsets.empty() && parts > 0);
+  const size_t n = offsets.size() - 1;
+  const uint64_t total = offsets[n];
+  std::vector<size_t> bounds(parts + 1, 0);
+  for (size_t t = 1; t < parts; ++t) {
+    // First item whose prefix covers t/parts of the weight; clamped so
+    // boundaries stay monotone when several targets land in one item.
+    const uint64_t target = total * t / parts;
+    const auto it =
+        std::lower_bound(offsets.begin(), offsets.end() - 1, target);
+    bounds[t] = std::max<size_t>(
+        bounds[t - 1], static_cast<size_t>(it - offsets.begin()));
+  }
+  bounds[parts] = n;
+  return bounds;
+}
+
+void FusedWeightCache::BindLocked(const AuthorityGraph& graph) {
+  if (graph_ == nullptr) {
+    graph_ = &graph;
+  } else {
+    ORX_CHECK_MSG(graph_ == &graph,
+                  "a FusedWeightCache serves exactly one graph");
+  }
+}
+
+const std::shared_ptr<const SellStructure>& FusedWeightCache::StructureLocked(
+    const AuthorityGraph& graph) {
+  if (structure_ == nullptr) {
+    structure_ = std::make_shared<const SellStructure>(graph);
+  }
+  return structure_;
+}
+
+std::shared_ptr<const FusedLayout> FusedWeightCache::Get(
+    const AuthorityGraph& graph, const TransferRates& rates) {
+  const uint64_t fingerprint = rates.Fingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  BindLocked(graph);
+  for (Slot& slot : layouts_) {
+    if (slot.fingerprint == fingerprint) {
+      slot.last_used = ++tick_;
+      return slot.layout;
+    }
+  }
+  // Miss: build under the lock — concurrent callers need this same
+  // layout, so blocking them is cheaper than building it twice.
+  auto layout = std::make_shared<const FusedLayout>(graph, rates,
+                                                    StructureLocked(graph));
+  if (layouts_.size() >= kMaxLayouts) {
+    auto lru = std::min_element(layouts_.begin(), layouts_.end(),
+                                [](const Slot& a, const Slot& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    *lru = Slot{fingerprint, ++tick_, layout};
+  } else {
+    layouts_.push_back(Slot{fingerprint, ++tick_, layout});
+  }
+  return layout;
+}
+
+std::shared_ptr<const std::vector<size_t>> FusedWeightCache::Partition(
+    const AuthorityGraph& graph, size_t parts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BindLocked(graph);
+  for (const auto& [p, bounds] : partitions_) {
+    if (p == parts) return bounds;
+  }
+  auto bounds = std::make_shared<const std::vector<size_t>>(
+      BalancedPartition(StructureLocked(graph)->chunk_offsets, parts));
+  partitions_.emplace_back(parts, bounds);
+  return bounds;
+}
+
+size_t FusedWeightCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return layouts_.size();
+}
+
+void FusedWeightCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  layouts_.clear();
+  partitions_.clear();
+  structure_.reset();
+}
+
+}  // namespace orx::graph

@@ -1,0 +1,172 @@
+#ifndef ORX_GRAPH_SPMV_LAYOUT_H_
+#define ORX_GRAPH_SPMV_LAYOUT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "graph/authority_graph.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::graph {
+
+/// The rates-independent half of the fused SpMV layout: the graph's
+/// in-adjacency resliced into SELL-8 (sliced ELLPACK) form, shareable
+/// across every TransferRates vector of the same graph.
+///
+/// Nodes are stably sorted by descending in-degree (row_order) and taken
+/// in chunks of kChunkRows rows. Each chunk is stored column-major and
+/// padded to its longest row:
+///
+///   slot(c, j, r) = chunk_offsets[c] + j * kChunkRows + r
+///
+/// holds in-edge j of row r's node (row_order[c * kChunkRows + r]), so a
+/// pull pass walks j with one independent accumulator per row — full
+/// 8-way instruction-level parallelism no matter how short the rows are,
+/// where a CSR row loop serializes on each node's sum. The degree sort
+/// keeps rows of a chunk similar, so padding is ~1% on authority graphs.
+/// Padding slots hold source 0 with weight 0.0: they add exactly +0.0 in
+/// edge order, leaving per-node sums identical to a sequential
+/// per-node accumulation.
+struct SellStructure {
+  /// Rows per chunk == accumulator lanes in the pull kernel.
+  static constexpr size_t kChunkRows = 8;
+
+  /// Node ids in processing order; row i of the layout is node
+  /// row_order[i]. Stable descending-in-degree sort of [0, n).
+  std::vector<uint32_t> row_order;
+  /// Cumulative padded slot counts per chunk (num_chunks() + 1 entries).
+  std::vector<uint64_t> chunk_offsets;
+  /// Edge sources in SELL order; padding slots are 0.
+  std::vector<uint32_t> sources;
+  /// Number of real rows (== the graph's node count).
+  size_t num_rows = 0;
+
+  explicit SellStructure(const AuthorityGraph& graph);
+
+  size_t num_chunks() const { return chunk_offsets.size() - 1; }
+  uint64_t padded_slots() const { return chunk_offsets.back(); }
+};
+
+/// Rate-resolved structure-of-arrays view of an AuthorityGraph's
+/// in-adjacency — the layout the fused pull SpMV of the power iteration
+/// streams (docs/power_iteration.md). For the SELL slot holding in-edge
+/// e of node v:
+///
+///   structure().sources[slot] = u, the source node of the edge u -> v
+///   weights()[slot]           = alpha(rate_index) * inv_out_deg  (Eq. 1)
+///
+/// i.e. the per-edge coefficient is materialized once per TransferRates
+/// vector instead of being re-resolved (slot gather + float conversion)
+/// per edge per iteration. Weights are stored as double so the fused
+/// kernel is interchangeable with the push/pull reference kernels to
+/// <= 1e-12 L-inf; with 4-byte sources a layout adds ~12 B/edge, and the
+/// structure half (sources + row order + chunk offsets) is shared across
+/// layouts of the same graph — only the weight array is per-rates.
+///
+/// A layout references nothing inside the graph after construction, but
+/// the cache binding below still requires the graph to outlive the cache.
+class FusedLayout {
+ public:
+  /// Builds the layout for (graph, rates). `structure` may share the
+  /// SELL structure of a previous layout of the same graph; pass nullptr
+  /// to build it.
+  FusedLayout(const AuthorityGraph& graph, const TransferRates& rates,
+              std::shared_ptr<const SellStructure> structure = nullptr);
+
+  /// Fingerprint of the TransferRates baked into weights().
+  uint64_t rates_fingerprint() const { return rates_fingerprint_; }
+
+  size_t num_nodes() const { return structure_->num_rows; }
+
+  const SellStructure& structure() const { return *structure_; }
+  /// Fused edge coefficients in SELL order; padding slots are 0.0.
+  const double* weights() const { return weights_.data(); }
+
+  /// The structure half of the layout, shareable across rate vectors.
+  const std::shared_ptr<const SellStructure>& shared_structure() const {
+    return structure_;
+  }
+
+  size_t MemoryFootprintBytes() const {
+    return structure_->sources.size() * sizeof(uint32_t) +
+           structure_->row_order.size() * sizeof(uint32_t) +
+           structure_->chunk_offsets.size() * sizeof(uint64_t) +
+           weights_.size() * sizeof(double);
+  }
+
+ private:
+  std::shared_ptr<const SellStructure> structure_;
+  std::vector<double> weights_;
+  uint64_t rates_fingerprint_ = 0;
+};
+
+/// Splits [0, num_items) into `parts` contiguous ranges balanced by
+/// cumulative weight (`offsets` is any CSR-style cumulative array with
+/// num_items + 1 entries). Returns parts + 1 ascending boundaries with
+/// front() == 0 and back() == num_items; range t is
+/// [result[t], result[t+1]). O(parts * log n).
+std::vector<size_t> BalancedPartition(std::span<const uint64_t> offsets,
+                                      size_t parts);
+
+/// Thread-safe memo of FusedLayouts keyed by TransferRates fingerprint,
+/// plus the graph-level state every layout shares: the SELL structure and
+/// the balanced chunk partitions. One cache serves one graph (bound on
+/// first use; rebinding is a programming error and CHECK-fails).
+///
+/// Lifecycle: steady-state serving runs one rates vector, so Get() is a
+/// lock + hash lookup after the first call; reformulation retraining
+/// produces a new rates vector per feedback round, whose layout replaces
+/// the least-recently-used entry once the small capacity is reached —
+/// stale weights can never be returned because the fingerprint is the
+/// key. The cache is logically immutable (a memo of pure functions of
+/// graph + rates), so sharing it from an otherwise-immutable
+/// ServeSnapshot is safe.
+class FusedWeightCache {
+ public:
+  /// Layouts retained before the least-recently-used one is evicted.
+  static constexpr size_t kMaxLayouts = 4;
+
+  /// Returns the layout for (graph, rates), building and memoizing it on
+  /// first use for this rates fingerprint.
+  std::shared_ptr<const FusedLayout> Get(const AuthorityGraph& graph,
+                                         const TransferRates& rates);
+
+  /// Returns the `parts`-way balanced partition of the graph's SELL
+  /// chunks (boundaries in chunk indices), computed once per
+  /// (graph, parts).
+  std::shared_ptr<const std::vector<size_t>> Partition(
+      const AuthorityGraph& graph, size_t parts);
+
+  /// Number of resident layouts.
+  size_t size() const;
+
+  /// Drops every memoized layout, structure, and partition (keeps the
+  /// graph binding).
+  void Clear();
+
+ private:
+  struct Slot {
+    uint64_t fingerprint = 0;
+    uint64_t last_used = 0;
+    std::shared_ptr<const FusedLayout> layout;
+  };
+
+  void BindLocked(const AuthorityGraph& graph);
+  const std::shared_ptr<const SellStructure>& StructureLocked(
+      const AuthorityGraph& graph);
+
+  mutable std::mutex mu_;
+  const AuthorityGraph* graph_ = nullptr;  // bound on first use
+  uint64_t tick_ = 0;
+  std::vector<Slot> layouts_;
+  std::shared_ptr<const SellStructure> structure_;
+  std::vector<std::pair<size_t, std::shared_ptr<const std::vector<size_t>>>>
+      partitions_;
+};
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_SPMV_LAYOUT_H_

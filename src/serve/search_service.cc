@@ -44,6 +44,8 @@ std::string SearchService::RequestKey(const text::QueryVector& query,
   key += std::to_string(options.objectrank.max_iterations);
   key += "|";
   key += std::to_string(options.objectrank.num_threads);
+  key += "|K";
+  key += std::to_string(static_cast<int>(options.objectrank.kernel));
   key += "|";
   AppendDouble(key, options.bm25.k1);
   AppendDouble(key, options.bm25.b);
@@ -62,6 +64,13 @@ std::string SearchService::RequestKey(const text::QueryVector& query,
     AppendDouble(key, query.weights()[i]);
   }
   return key;
+}
+
+int SearchService::CapIntraQueryThreads(int requested, size_t pool_workers) {
+  const size_t hardware = ThreadPool::HardwareThreads();
+  const int cap = static_cast<int>(
+      std::max<size_t>(1, hardware / std::max<size_t>(1, pool_workers)));
+  return std::clamp(requested, 1, cap);
 }
 
 SearchService::SearchService(std::shared_ptr<const ServeSnapshot> snapshot,
@@ -110,6 +119,10 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
     version = version_;
     options =
         request.options.has_value() ? *request.options : snap->default_options;
+    // Threading contract: a request may only parallelize its power
+    // iteration within the machine share its execution slot represents.
+    options.objectrank.num_threads = CapIntraQueryThreads(
+        options.objectrank.num_threads, pool_->num_threads());
     key = RequestKey(request.query, options, version);
 
     if (auto it = cached_.find(key); it != cached_.end()) {
@@ -194,6 +207,11 @@ void SearchService::Execute(std::string key, ServeRequest request,
                             *snapshot->corpus);
     if (snapshot->rank_cache != nullptr) {
       searcher.AttachRankCache(snapshot->rank_cache.get());
+    }
+    if (snapshot->fused_cache != nullptr) {
+      // Every request reuses the snapshot's materialized SpMV layouts
+      // instead of resolving rates per edge per iteration.
+      searcher.AttachFusedCache(snapshot->fused_cache);
     }
     result = searcher.Search(request.query, snapshot->rates, options);
   }

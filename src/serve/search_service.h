@@ -131,6 +131,15 @@ class SearchService {
 
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// The intra-query thread budget of one request on a service running
+  /// `pool_workers` concurrent executions: `requested` clamped to
+  /// [1, hardware_threads / pool_workers]. Submit() applies this to every
+  /// request (before the cache key is computed, so oversized requests
+  /// still coalesce), guaranteeing requests x intra-query threads never
+  /// oversubscribes the host — see "Threading contract" in
+  /// docs/serving.md.
+  static int CapIntraQueryThreads(int requested, size_t pool_workers);
+
  private:
   using Clock = std::chrono::steady_clock;
   using ResponseOr = StatusOr<ServeResponse>;

@@ -7,6 +7,7 @@
 #include "core/searcher.h"
 #include "graph/authority_graph.h"
 #include "graph/data_graph.h"
+#include "graph/spmv_layout.h"
 #include "graph/transfer_rates.h"
 #include "text/corpus.h"
 
@@ -35,6 +36,15 @@ struct ServeSnapshot {
   std::shared_ptr<const core::RankCache> rank_cache;
   /// Options a request uses when it doesn't bring its own.
   core::SearchOptions default_options;
+  /// Fused-weight cache shared by every request served from this
+  /// snapshot: the rate-resolved SpMV layout the power iteration streams
+  /// is materialized once per TransferRates fingerprint and reused, so
+  /// hot-swapping a snapshot (new graph and/or retrained rates) swaps the
+  /// layouts with it while in-flight requests keep the layouts their
+  /// pinned snapshot owns. A thread-safe memo of pure functions of
+  /// (authority, rates) — logically immutable, like everything else here.
+  std::shared_ptr<graph::FusedWeightCache> fused_cache =
+      std::make_shared<graph::FusedWeightCache>();
 
   /// True iff the mandatory components are present.
   bool Complete() const {

@@ -420,6 +420,52 @@ TEST(SearchServiceTest, MetricsReportLatencyAndQps) {
   EXPECT_FALSE(m.ToString().empty());
 }
 
+TEST(SearchServiceTest, CapIntraQueryThreadsNeverOversubscribes) {
+  const size_t hardware = ThreadPool::HardwareThreads();
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{8}, hardware}) {
+    for (const int requested : {-3, 0, 1, 2, 8, 1024}) {
+      const int cap = SearchService::CapIntraQueryThreads(requested, workers);
+      EXPECT_GE(cap, 1);
+      if (requested >= 1) {
+        EXPECT_LE(cap, requested);
+      }
+      // The threading contract (docs/serving.md): workers x intra-query
+      // threads stays within the machine whenever the pool itself does.
+      if (workers <= hardware) {
+        EXPECT_LE(static_cast<size_t>(cap) * workers, hardware)
+            << "workers=" << workers << " requested=" << requested;
+      }
+    }
+  }
+  // A lone worker may use the whole machine.
+  EXPECT_EQ(SearchService::CapIntraQueryThreads(
+                static_cast<int>(hardware) + 7, 1),
+            static_cast<int>(hardware));
+}
+
+TEST(SearchServiceTest, OversizedThreadRequestsShareOneCacheKey) {
+  auto snap = MakeDblpSnapshot(200, 17);
+  const std::string term = TopTerms(*snap->corpus, 1).front();
+  SearchService::Options service_options;
+  service_options.num_threads = 2;
+  SearchService service(snap, service_options);
+
+  // Both requests exceed the intra-query cap, so after clamping they are
+  // the same work item and the second must be a cache hit.
+  ServeRequest first = MakeRequest(term);
+  first.options = snap->default_options;
+  first.options->objectrank.num_threads = 64;
+  ASSERT_TRUE(service.Search(std::move(first)).ok());
+
+  ServeRequest second = MakeRequest(term);
+  second.options = snap->default_options;
+  second.options->objectrank.num_threads = 128;
+  auto response = service.Search(std::move(second));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->cache_hit);
+  EXPECT_EQ(service.Metrics().executed, 1u);
+}
+
 TEST(SearchServiceTest, DestructorDrainsInFlightRequests) {
   auto snap = MakeDblpSnapshot(200, 13);
   const std::vector<std::string> terms = TopTerms(*snap->corpus, 8);

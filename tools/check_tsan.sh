@@ -2,7 +2,7 @@
 # One-command data-race check: builds the concurrency-sensitive tests
 # under ThreadSanitizer and runs the ctest label that covers the thread
 # pool, the rank-cache parallel build, logging, the latency histogram,
-# and the serving subsystem.
+# the fused SpMV power-iteration kernel, and the serving subsystem.
 #
 #   tools/check_tsan.sh [build-dir]        (default: build-tsan)
 set -euo pipefail
@@ -17,6 +17,6 @@ cmake -B "$BUILD_DIR" -S . \
   -DORX_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test histogram_test logging_test rank_cache_test \
-           concurrent_search_test serve_test
+           concurrent_search_test serve_test spmv_kernel_test
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
 echo "TSan suite passed."
