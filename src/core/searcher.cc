@@ -62,6 +62,126 @@ StatusOr<SearchResult> Searcher::Search(const text::QueryVector& query,
   return SearchBaseline(query, rates, options);
 }
 
+std::vector<StatusOr<SearchResult>> Searcher::SearchBatch(
+    const std::vector<BatchSearchRequest>& requests,
+    const graph::TransferRates& rates, const SearchOptions& options) {
+  std::vector<StatusOr<SearchResult>> out;
+  out.reserve(requests.size());
+  if (Status valid = ValidateOptions(options); !valid.ok()) {
+    for (size_t i = 0; i < requests.size(); ++i) out.push_back(valid);
+    return out;
+  }
+
+  if (options.mode == RankMode::kObjectRankBaseline) {
+    // The Equation 16 per-keyword product has no block form: run the
+    // lanes one by one with each lane's hook chained in.
+    for (const BatchSearchRequest& request : requests) {
+      if (request.query.empty()) {
+        out.push_back(InvalidArgumentError("empty query vector"));
+        continue;
+      }
+      SearchOptions lane_options = options;
+      if (request.cancel) {
+        std::function<bool()> shared = options.objectrank.cancel;
+        std::function<bool()> mine = request.cancel;
+        lane_options.objectrank.cancel = [shared, mine] {
+          return (shared && shared()) || mine();
+        };
+      }
+      out.push_back(SearchBaseline(request.query, rates, lane_options));
+    }
+    return out;
+  }
+
+  // ObjectRank2: base-set construction and the rank-cache fast path run
+  // per lane; the remaining lanes share one block power iteration.
+  struct Lane {
+    size_t index;
+    BaseSet base;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const BatchSearchRequest& request = requests[i];
+    out.push_back(Status(StatusCode::kInternal, "unset"));
+    if (request.query.empty()) {
+      out[i] = InvalidArgumentError("empty query vector");
+      continue;
+    }
+    auto base = BuildBaseSet(*corpus_, request.query,
+                             BaseSetMode::kIrWeighted, options.bm25);
+    if (!base.ok()) {
+      out[i] = base.status();
+      continue;
+    }
+    if (rank_cache_ != nullptr &&
+        rank_cache_->rates_fingerprint() == rates.Fingerprint() &&
+        rank_cache_->MatchesBm25(options.bm25)) {
+      Timer cache_timer;
+      auto cached = rank_cache_->Query(request.query);
+      if (cached.ok() && cached->missing_terms.empty()) {
+        SearchResult result;
+        result.from_cache = true;
+        result.converged = true;
+        result.seconds = cache_timer.ElapsedSeconds();
+        result.base_set_size = base->size();
+        result.top = TopKOfType(cached->scores, options.k, *data_,
+                                options.result_type);
+        result.scores = std::move(cached->scores);
+        out[i] = std::move(result);
+        continue;
+      }
+    }
+    lanes.push_back(Lane{i, *std::move(base)});
+  }
+  if (lanes.empty()) return out;
+
+  // Every lane gets the session seed Search would use; the batch leaves
+  // the session state untouched (see the header contract).
+  const std::vector<double>* seed = nullptr;
+  if (options.use_warm_start) {
+    if (has_previous_) {
+      seed = &previous_scores_;
+    } else if (has_global_) {
+      seed = &global_scores_;
+    }
+  }
+
+  std::vector<BatchQuery> queries;
+  queries.reserve(lanes.size());
+  for (const Lane& lane : lanes) {
+    BatchQuery query;
+    query.base = &lane.base;
+    query.warm_start = seed;
+    query.cancel = requests[lane.index].cancel;
+    queries.push_back(std::move(query));
+  }
+  Timer timer;
+  std::vector<ObjectRankResult> ranks =
+      engine_.ComputeBatch(queries, rates, options.objectrank);
+  const double seconds = timer.ElapsedSeconds();
+
+  for (size_t k = 0; k < lanes.size(); ++k) {
+    if (ranks[k].cancelled) {
+      out[lanes[k].index] = DeadlineExceededError(
+          "search cancelled after " + std::to_string(ranks[k].iterations) +
+          " iterations");
+      continue;
+    }
+    SearchResult result;
+    // The block solve is shared, so each lane reports its wall time.
+    result.seconds = seconds;
+    result.iterations = ranks[k].iterations;
+    result.converged = ranks[k].converged;
+    result.base_set_size = lanes[k].base.size();
+    result.top =
+        TopKOfType(ranks[k].scores, options.k, *data_, options.result_type);
+    result.scores = std::move(ranks[k].scores);
+    out[lanes[k].index] = std::move(result);
+  }
+  return out;
+}
+
 StatusOr<SearchResult> Searcher::SearchObjectRank2(
     const text::QueryVector& query, const graph::TransferRates& rates,
     const SearchOptions& options) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -37,10 +38,17 @@ struct SellStructure {
   /// Node ids in processing order; row i of the layout is node
   /// row_order[i]. Stable descending-in-degree sort of [0, n).
   std::vector<uint32_t> row_order;
+  /// Inverse of row_order: node v is row node_row[v].
+  std::vector<uint32_t> node_row;
   /// Cumulative padded slot counts per chunk (num_chunks() + 1 entries).
   std::vector<uint64_t> chunk_offsets;
   /// Edge sources in SELL order; padding slots are 0.
   std::vector<uint32_t> sources;
+  /// Edge sources as row indices (node_row[sources[slot]]): the SpMM
+  /// block pass keeps its iterates in row order so its writeback is a
+  /// sequential stream, and gathers through this array instead of
+  /// sources. Padding slots are node_row[0].
+  std::vector<uint32_t> sources_row;
   /// Number of real rows (== the graph's node count).
   size_t num_rows = 0;
 
@@ -92,7 +100,9 @@ class FusedLayout {
 
   size_t MemoryFootprintBytes() const {
     return structure_->sources.size() * sizeof(uint32_t) +
+           structure_->sources_row.size() * sizeof(uint32_t) +
            structure_->row_order.size() * sizeof(uint32_t) +
+           structure_->node_row.size() * sizeof(uint32_t) +
            structure_->chunk_offsets.size() * sizeof(uint64_t) +
            weights_.size() * sizeof(double);
   }
@@ -102,6 +112,114 @@ class FusedLayout {
   std::vector<double> weights_;
   uint64_t rates_fingerprint_ = 0;
 };
+
+/// Minimal C++17 allocator that over-aligns every allocation to kAlign
+/// bytes via the aligned operator new. BlockVector uses it to pin its
+/// storage to cache-line alignment: with 8 lanes a row's block is
+/// exactly 64 bytes, so an aligned base makes every gather in the SpMM
+/// pass touch one cache line instead of straddling two (measured ~1.5x
+/// on the block pass — std::allocator only guarantees 16 bytes).
+template <class T, size_t kAlign>
+struct AlignedAllocator {
+  static_assert(kAlign >= alignof(T) && (kAlign & (kAlign - 1)) == 0);
+  using value_type = T;
+  // Spelled out because allocator_traits' default rebind only rewrites
+  // type parameters, and kAlign is a non-type one.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, kAlign>;
+  };
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, kAlign>&) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlign)));
+  }
+  void deallocate(T* p, size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(kAlign));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, kAlign>&) const {
+    return true;
+  }
+};
+
+/// A dense block of B power-iteration iterates stored lane-major per row
+/// in SELL *row order*: lane l of row r lives at values[r * lanes + l],
+/// where row r holds node row_order[r]. The B scores of one row are
+/// contiguous, so a gather of a source row's scores is one
+/// cache-line-friendly read serving all B lanes (B separate vectors
+/// would gather B scattered lines per edge), and keeping rows — not
+/// nodes — as the major index makes the SpMM writeback a purely
+/// sequential stream. CopyLaneOut/SetLane apply the row permutation at
+/// the block boundary. Used by ObjectRankEngine::ComputeBatch to run B
+/// queries through one streaming read of structure + weights per pass.
+struct BlockVector {
+  using Storage = std::vector<double, AlignedAllocator<double, 64>>;
+
+  size_t num_nodes = 0;
+  size_t lanes = 0;
+  /// num_nodes * lanes values, row-major (SELL row order), base
+  /// cache-line aligned.
+  Storage values;
+
+  BlockVector() = default;
+  BlockVector(size_t num_nodes, size_t lanes)
+      : num_nodes(num_nodes), lanes(lanes), values(num_nodes * lanes, 0.0) {}
+
+  double* data() { return values.data(); }
+  const double* data() const { return values.data(); }
+
+  double& At(size_t row, size_t lane) { return values[row * lanes + lane]; }
+  double At(size_t row, size_t lane) const {
+    return values[row * lanes + lane];
+  }
+
+  /// Copies lane `lane` out into a node-indexed vector of num_nodes
+  /// entries: out[row_order[r]] = At(r, lane).
+  void CopyLaneOut(size_t lane, std::span<const uint32_t> row_order,
+                   std::vector<double>& out) const;
+  /// Fills lane `lane` from a node-indexed array of num_nodes entries:
+  /// At(r, lane) = in[row_order[r]].
+  void SetLane(size_t lane, std::span<const uint32_t> row_order,
+               const double* in);
+};
+
+/// One fused pull SpMM pass over the SELL chunk range [begin, end) of a
+/// `lanes`-wide block: for every row r in the range and every lane l,
+///
+///   next[r*lanes + l] = d * sum_j cur[src_j*lanes + l] * w_j
+///                       + bvec[r*lanes + l]
+///
+/// with per-lane L1 residuals |next - cur| summed into l1_out[0..lanes).
+/// `sources` must be SellStructure::sources_row (row-space), and `cur`,
+/// `next`, and `bvec` are row-major BlockVector storage (bvec = the
+/// per-lane dense jump vectors (1-d)*s-hat, permuted into row order).
+/// `bvec_rowmask` is an optional per-row byte mask: rows whose mask byte
+/// is 0 must have bvec == +0.0 in every lane, and the kernel skips their
+/// bvec load — since power iterates are non-negative, d*sum is never
+/// -0.0 and dropping "+ 0.0" cannot change a bit. Pass nullptr to load
+/// bvec unconditionally (required if iterates may be negative).
+///
+/// Lane l's sum accumulates the same operands in the same SELL edge
+/// order as the single-vector pull pass, and its residual partial covers
+/// the same chunks in the same order, so each lane of a block solve is
+/// bit-identical to the corresponding single-vector solve — the batch
+/// guarantee tests/batch_kernel_test.cc pins down. To keep that promise
+/// across instruction sets, every code path (scalar tiles, and the
+/// runtime-dispatched AVX-512/AVX2 kernels on x86-64) performs plain
+/// IEEE mul-then-add: spmv_layout.cc is compiled with -ffp-contract=off
+/// so the compiler cannot fuse those into FMAs.
+void FusedPullBlockRange(const uint64_t* chunk_offsets,
+                         const uint32_t* sources, const double* weights,
+                         const double* bvec, const uint8_t* bvec_rowmask,
+                         double d, const double* cur, double* next,
+                         size_t lanes, size_t begin, size_t end,
+                         size_t num_rows, double* l1_out);
 
 /// Splits [0, num_items) into `parts` contiguous ranges balanced by
 /// cumulative weight (`offsets` is any CSR-style cumulative array with

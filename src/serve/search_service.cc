@@ -19,13 +19,11 @@ void AppendDouble(std::string& out, double value) {
   out += buf;
 }
 
-}  // namespace
-
-std::string SearchService::RequestKey(const text::QueryVector& query,
-                                      const core::SearchOptions& options,
-                                      uint64_t version) {
-  std::string key;
-  key.reserve(64 + query.size() * 24);
+// The version + numeric-options prefix shared by RequestKey (which
+// appends the normalized query) and BatchKey (which appends the rates
+// fingerprint instead).
+void AppendOptionsKey(std::string& key, const core::SearchOptions& options,
+                      uint64_t version) {
   key += "v";
   key += std::to_string(version);
   key += "|m";
@@ -50,6 +48,16 @@ std::string SearchService::RequestKey(const text::QueryVector& query,
   AppendDouble(key, options.bm25.k1);
   AppendDouble(key, options.bm25.b);
   AppendDouble(key, options.bm25.k3);
+}
+
+}  // namespace
+
+std::string SearchService::RequestKey(const text::QueryVector& query,
+                                      const core::SearchOptions& options,
+                                      uint64_t version) {
+  std::string key;
+  key.reserve(64 + query.size() * 24);
+  AppendOptionsKey(key, options, version);
   // Normalized query: (term, weight) pairs sorted by term, so the key is
   // insensitive to keyword order (the scores are — the base set is a sum
   // over terms).
@@ -63,6 +71,17 @@ std::string SearchService::RequestKey(const text::QueryVector& query,
     key += '=';
     AppendDouble(key, query.weights()[i]);
   }
+  return key;
+}
+
+std::string SearchService::BatchKey(const core::SearchOptions& options,
+                                    uint64_t version,
+                                    uint64_t rates_fingerprint) {
+  std::string key;
+  key.reserve(96);
+  AppendOptionsKey(key, options, version);
+  key += "r";
+  key += std::to_string(rates_fingerprint);
   return key;
 }
 
@@ -84,6 +103,17 @@ SearchService::SearchService(std::shared_ptr<const ServeSnapshot> snapshot,
 }
 
 SearchService::~SearchService() {
+  {
+    // Wake batch leaders sleeping on their collection window so shutdown
+    // doesn't have to sit out max_batch_delay_ms; their lanes run (and
+    // their futures resolve) during the pool drain below.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, batch] : open_batches_) {
+      batch->closed = true;
+      batch->cv.notify_all();
+    }
+    open_batches_.clear();
+  }
   // Drain before any other member dies: tasks touch the maps and metrics.
   pool_.reset();
 }
@@ -106,13 +136,16 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
                               std::chrono::duration<double>(deadline_seconds))
           : Clock::time_point::max();
 
-  enum class Action { kHit, kCoalesce, kReject, kLead };
+  enum class Action { kHit, kCoalesce, kReject, kLead, kJoinBatch,
+                      kLeadBatch };
   Action action;
   ServeResponse hit;
   std::shared_ptr<const ServeSnapshot> snap;
   uint64_t version = 0;
   core::SearchOptions options;
   std::string key;
+  std::shared_ptr<PendingBatch> new_batch;
+  std::string batch_key;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snap = snapshot_;
@@ -141,7 +174,48 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
       if (options_.single_flight) {
         flights_.emplace(key, std::make_shared<Flight>());
       }
-      action = Action::kLead;
+      if (options_.max_batch_size > 1) {
+        // Batch scheduler: this execution becomes a lane of an open
+        // collection window with a compatible fingerprint, or opens one.
+        // The lane keeps its own flight key, promise, and deadline; the
+        // caller's cancel hook moves out of the shared options (it is
+        // per lane, and not part of any key).
+        batch_key = BatchKey(options, version, snap->rates.Fingerprint());
+        BatchLane lane;
+        lane.key = std::move(key);
+        lane.query = std::move(request.query);
+        lane.caller_cancel = std::move(options.objectrank.cancel);
+        options.objectrank.cancel = nullptr;
+        lane.promise = promise;
+        lane.submit_time = submit_time;
+        lane.deadline = deadline;
+        lane.has_deadline = has_deadline;
+        if (auto it = open_batches_.find(batch_key);
+            it != open_batches_.end() && !it->second->closed &&
+            it->second->lanes.size() < options_.max_batch_size) {
+          it->second->lanes.push_back(std::move(lane));
+          if (it->second->lanes.size() >= options_.max_batch_size) {
+            // Full: flush now. Erasing under the same lock that joined
+            // the lane means late arrivals open a fresh window instead
+            // of racing this one's execution.
+            it->second->closed = true;
+            it->second->cv.notify_one();
+            open_batches_.erase(it);
+          }
+          action = Action::kJoinBatch;
+        } else {
+          new_batch = std::make_shared<PendingBatch>();
+          new_batch->snapshot = snap;
+          new_batch->version = version;
+          new_batch->options = options;
+          new_batch->created = submit_time;
+          new_batch->lanes.push_back(std::move(lane));
+          open_batches_[batch_key] = new_batch;
+          action = Action::kLeadBatch;
+        }
+      } else {
+        action = Action::kLead;
+      }
     }
   }
 
@@ -166,6 +240,14 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
         Execute(std::move(key), std::move(request), std::move(snap), version,
                 std::move(options), std::move(promise), submit_time, deadline,
                 has_deadline);
+      });
+      break;
+    case Action::kJoinBatch:
+      break;  // the window's leader task executes and fulfills us
+    case Action::kLeadBatch:
+      pool_->Submit([this, batch = std::move(new_batch),
+                     batch_key = std::move(batch_key)]() mutable {
+        ExecuteBatch(std::move(batch), std::move(batch_key));
       });
       break;
   }
@@ -216,6 +298,118 @@ void SearchService::Execute(std::string key, ServeRequest request,
     result = searcher.Search(request.query, snapshot->rates, options);
   }
 
+  FinishExecution(key, version, result, promise, submit_time, queue_seconds,
+                  /*batch_lanes=*/0);
+}
+
+void SearchService::ExecuteBatch(std::shared_ptr<PendingBatch> batch,
+                                 std::string batch_key) {
+  std::vector<BatchLane> lanes;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const Clock::time_point flush_at =
+        batch->created +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(options_.max_batch_delay_ms /
+                                          1e3));
+    // Sleep until the window fills (a joiner closes it and notifies) or
+    // its delay expires. Spurious wakeups just re-check the predicate.
+    batch->cv.wait_until(lock, flush_at, [&] { return batch->closed; });
+    if (!batch->closed) {
+      // Expired: close and unpublish it so late arrivals open a fresh
+      // window instead of joining one that is about to run.
+      batch->closed = true;
+      if (auto it = open_batches_.find(batch_key);
+          it != open_batches_.end() && it->second == batch) {
+        open_batches_.erase(it);
+      }
+    }
+    lanes = std::move(batch->lanes);
+  }
+  RunBatch(batch, std::move(lanes));
+}
+
+void SearchService::RunBatch(const std::shared_ptr<PendingBatch>& batch,
+                             std::vector<BatchLane> lanes) {
+  const Clock::time_point start = Clock::now();
+
+  // Lanes whose deadline expired while the window collected fail without
+  // computing — exactly the queued-expiry path of a solo execution; the
+  // rest of the batch goes on.
+  std::vector<size_t> live;
+  live.reserve(lanes.size());
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    BatchLane& lane = lanes[i];
+    if (lane.has_deadline && start >= lane.deadline) {
+      const double queue_seconds = ToSeconds(start - lane.submit_time);
+      const StatusOr<core::SearchResult> expired = DeadlineExceededError(
+          "deadline expired while queued (" + std::to_string(queue_seconds) +
+          "s)");
+      FinishExecution(lane.key, batch->version, expired, lane.promise,
+                      lane.submit_time, queue_seconds, /*batch_lanes=*/0);
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<core::BatchSearchRequest> requests;
+  requests.reserve(live.size());
+  for (const size_t i : live) {
+    BatchLane& lane = lanes[i];
+    core::BatchSearchRequest request;
+    request.query = std::move(lane.query);
+    if (lane.has_deadline) {
+      // Chain this lane's deadline onto its caller hook; either retires
+      // only this lane from the block.
+      const Clock::time_point deadline = lane.deadline;
+      std::function<bool()> caller = lane.caller_cancel;
+      request.cancel = [deadline, caller] {
+        return Clock::now() >= deadline || (caller && caller());
+      };
+    } else {
+      request.cancel = lane.caller_cancel;
+    }
+    requests.push_back(std::move(request));
+  }
+
+  const std::shared_ptr<const ServeSnapshot>& snapshot = batch->snapshot;
+  // One fresh Searcher serves the whole batch (it is one "session" of
+  // concurrent lanes); graphs, corpus, and caches are shared immutable
+  // snapshot members, as in Execute().
+  core::Searcher searcher(*snapshot->data, *snapshot->authority,
+                          *snapshot->corpus);
+  if (snapshot->rank_cache != nullptr) {
+    searcher.AttachRankCache(snapshot->rank_cache.get());
+  }
+  if (snapshot->fused_cache != nullptr) {
+    searcher.AttachFusedCache(snapshot->fused_cache);
+  }
+  const std::vector<StatusOr<core::SearchResult>> results =
+      searcher.SearchBatch(requests, snapshot->rates, batch->options);
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(live.size(), std::memory_order_relaxed);
+  uint64_t seen = batch_occupancy_max_.load(std::memory_order_relaxed);
+  while (seen < live.size() &&
+         !batch_occupancy_max_.compare_exchange_weak(
+             seen, live.size(), std::memory_order_relaxed)) {
+  }
+
+  for (size_t k = 0; k < live.size(); ++k) {
+    BatchLane& lane = lanes[live[k]];
+    FinishExecution(lane.key, batch->version, results[k], lane.promise,
+                    lane.submit_time, ToSeconds(start - lane.submit_time),
+                    live.size());
+  }
+}
+
+void SearchService::FinishExecution(const std::string& key, uint64_t version,
+                                    const StatusOr<core::SearchResult>& result,
+                                    const PromisePtr& promise,
+                                    Clock::time_point submit_time,
+                                    double queue_seconds,
+                                    size_t batch_lanes) {
   executed_.fetch_add(1, std::memory_order_relaxed);
   if (!result.ok()) {
     if (result.status().code() == StatusCode::kDeadlineExceeded) {
@@ -245,12 +439,14 @@ void SearchService::Execute(std::string key, ServeRequest request,
     response.result = *result;
     response.snapshot_version = version;
     response.queue_seconds = queue_seconds;
+    response.batch_lanes = batch_lanes;
     Fulfill(promise, std::move(response), submit_time);
     for (Waiter& w : waiters) {
       ServeResponse echoed;
       echoed.result = *result;
       echoed.coalesced = true;
       echoed.snapshot_version = version;
+      echoed.batch_lanes = batch_lanes;
       Fulfill(w.promise, std::move(echoed), w.submit_time);
     }
   } else {
@@ -321,6 +517,15 @@ ServeMetrics SearchService::Metrics() const {
   m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   m.failed = failed_.load(std::memory_order_relaxed);
   m.completed = completed_.load(std::memory_order_relaxed);
+  m.batches = batches_.load(std::memory_order_relaxed);
+  m.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  m.batch_occupancy_max =
+      batch_occupancy_max_.load(std::memory_order_relaxed);
+  m.batch_occupancy_mean =
+      m.batches > 0
+          ? static_cast<double>(m.batched_queries) /
+                static_cast<double>(m.batches)
+          : 0.0;
   m.uptime_seconds = ToSeconds(Clock::now() - start_time_);
   m.qps = m.uptime_seconds > 0.0
               ? static_cast<double>(m.completed) / m.uptime_seconds

@@ -2,6 +2,8 @@
 #define ORX_SERVE_SEARCH_SERVICE_H_
 
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -44,10 +46,15 @@ struct ServeResponse {
   /// Version of the snapshot the result was computed against.
   uint64_t snapshot_version = 0;
   /// Seconds the leader execution spent queued behind the pool (0 for
-  /// cache hits and coalesced waiters).
+  /// cache hits and coalesced waiters). For a batched execution this
+  /// includes the collection-window wait.
   double queue_seconds = 0.0;
   /// Submit() -> fulfillment, seconds.
   double total_seconds = 0.0;
+  /// Lanes in the block power iteration this result was computed in:
+  /// 0 = not executed via the batch scheduler (cache hit, coalesced
+  /// waiter, or batching off), >= 1 = ran as one of that many lanes.
+  size_t batch_lanes = 0;
 };
 
 /// A multi-threaded embedded query service over core::Searcher.
@@ -79,6 +86,15 @@ struct ServeResponse {
 /// the request completes with kDeadlineExceeded (partial scores are
 /// discarded). Requests still queued when their deadline expires fail
 /// without executing.
+///
+/// With Options::max_batch_size > 1 the service additionally runs a
+/// dynamic micro-batch scheduler: admitted cache-miss executions whose
+/// snapshot version, rates fingerprint, and numeric options agree collect
+/// in a bounded window (flushed when full or after max_batch_delay_ms)
+/// and run as one block power iteration — the graph is streamed once for
+/// all lanes, each lane keeps its own deadline, flight, and result-cache
+/// entry, and a lane whose deadline trips retires without aborting the
+/// batch. See docs/batching.md.
 class SearchService {
  public:
   struct Options {
@@ -95,6 +111,18 @@ class SearchService {
     /// Deadline applied to requests that don't carry their own;
     /// 0 = no default deadline.
     double default_deadline_seconds = 0.0;
+    /// Dynamic micro-batching (docs/batching.md): cache-miss executions
+    /// whose snapshot version, transfer-rates fingerprint, and numeric
+    /// option fingerprint all agree collect in a bounded window and run
+    /// as one block power iteration (core::ObjectRankEngine::ComputeBatch)
+    /// — the graph is streamed once for all lanes. <= 1 disables
+    /// batching (every execution runs alone, the pre-batching behavior).
+    size_t max_batch_size = 1;
+    /// How long an open batch window waits for more lanes before it
+    /// flushes, milliseconds. A window also flushes the moment it reaches
+    /// max_batch_size, so lightly loaded services pay at most this much
+    /// added latency and saturated ones pay none.
+    double max_batch_delay_ms = 2.0;
   };
 
   /// `snapshot` must be Complete(). Worker threads start immediately.
@@ -163,17 +191,72 @@ class SearchService {
     core::SearchResult result;
   };
 
+  /// One admitted cache-miss execution waiting in a batch window. Keeps
+  /// everything Execute() would have owned: its own flight key (so
+  /// single-flight waiters resolve per lane), promise, and deadline.
+  struct BatchLane {
+    std::string key;
+    text::QueryVector query;
+    std::function<bool()> caller_cancel;
+    PromisePtr promise;
+    Clock::time_point submit_time;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  /// An open collection window: lanes with the same batch key gathering
+  /// until the window fills or its delay expires. Guarded by mu_; the
+  /// leader task sleeps on cv until `closed`.
+  struct PendingBatch {
+    std::shared_ptr<const ServeSnapshot> snapshot;
+    uint64_t version = 0;
+    /// Shared numeric options (identical across lanes by construction of
+    /// the batch key); the cancel hook is per lane, not in here.
+    core::SearchOptions options;
+    Clock::time_point created;
+    std::vector<BatchLane> lanes;
+    bool closed = false;
+    std::condition_variable cv;
+  };
+
   /// Canonical cache key: snapshot version + numeric options fingerprint
   /// + term-sorted (term, weight) pairs.
   static std::string RequestKey(const text::QueryVector& query,
                                 const core::SearchOptions& options,
                                 uint64_t version);
 
+  /// The batch-compatibility fingerprint: RequestKey minus the query
+  /// terms, plus the snapshot's transfer-rates fingerprint. Two
+  /// executions may share a block power iteration iff their batch keys
+  /// are equal.
+  static std::string BatchKey(const core::SearchOptions& options,
+                              uint64_t version, uint64_t rates_fingerprint);
+
   void Execute(std::string key, ServeRequest request,
                std::shared_ptr<const ServeSnapshot> snapshot,
                uint64_t version, core::SearchOptions options,
                PromisePtr promise, Clock::time_point submit_time,
                Clock::time_point deadline, bool has_deadline);
+
+  /// Leader task of one batch window: waits (on cv, up to
+  /// max_batch_delay_ms) for the window to fill or expire, removes it
+  /// from open_batches_, and runs the collected lanes.
+  void ExecuteBatch(std::shared_ptr<PendingBatch> batch,
+                    std::string batch_key);
+
+  /// Runs the lanes of a flushed window through one
+  /// core::Searcher::SearchBatch call and completes each lane.
+  void RunBatch(const std::shared_ptr<PendingBatch>& batch,
+                std::vector<BatchLane> lanes);
+
+  /// Completes one admitted execution: error counters, slot release,
+  /// single-flight waiter resolution, result caching, and fulfillment.
+  /// Shared tail of Execute() and RunBatch().
+  void FinishExecution(const std::string& key, uint64_t version,
+                       const StatusOr<core::SearchResult>& result,
+                       const PromisePtr& promise,
+                       Clock::time_point submit_time, double queue_seconds,
+                       size_t batch_lanes);
 
   /// Fulfills a promise and records the completion metrics.
   void Fulfill(const PromisePtr& promise, ResponseOr response,
@@ -191,6 +274,11 @@ class SearchService {
   uint64_t version_ = 1;                           // guarded by mu_
   size_t pending_ = 0;                             // guarded by mu_
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  /// Open batch windows by batch key. An entry is always joinable: it is
+  /// erased the moment it closes (fills, expires, or service shutdown),
+  /// so a late arrival opens a fresh window instead of racing a flush.
+  std::unordered_map<std::string, std::shared_ptr<PendingBatch>>
+      open_batches_;
   std::list<CachedResult> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<CachedResult>::iterator> cached_;
 
@@ -202,6 +290,9 @@ class SearchService {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> batch_occupancy_max_{0};
   LatencyHistogram latency_;
 
   /// Last member: destroyed (drained) first, so tasks never touch dead

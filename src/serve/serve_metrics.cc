@@ -13,7 +13,11 @@ std::string ServeMetrics::ToString() const {
          " coalesced=" + std::to_string(coalesced) +
          " rejected=" + std::to_string(rejected) +
          " deadline_exceeded=" + std::to_string(deadline_exceeded) +
-         " failed=" + std::to_string(failed) + " p50=" + ms(latency_p50) +
+         " failed=" + std::to_string(failed) +
+         " batches=" + std::to_string(batches) +
+         " batched=" + std::to_string(batched_queries) +
+         " batch_occ=" + FormatDouble(batch_occupancy_mean, 2) + "/max=" +
+         std::to_string(batch_occupancy_max) + " p50=" + ms(latency_p50) +
          "ms p95=" + ms(latency_p95) + "ms p99=" + ms(latency_p99) +
          "ms mean=" + ms(latency_mean) + "ms";
 }

@@ -148,6 +148,34 @@ TEST(SpmvKernelEquivalence, ConvergedRunsAgreeLoosely) {
   EXPECT_LE(LInfDistance(a.scores, b.scores), 1e-8);
 }
 
+// ComputeGlobal (uniform all-nodes base set) starts fully dense, so the
+// fused kernel takes the pull path from iteration 1 — a code path the
+// sparse-start tests above never pin down globally. All kernels and
+// thread counts must agree on it.
+TEST(SpmvKernelEquivalence, ComputeGlobalAgreesAcrossKernelsAndThreads) {
+  RandomCase c = MakeRandomCase(12, /*papers=*/450, /*base_nodes=*/4);
+  ObjectRankEngine engine(c.dblp.dataset.authority());
+
+  const auto reference = engine.ComputeGlobal(
+      c.rates, FixedWorkOptions(PowerKernel::kSequentialPush, 1));
+  ASSERT_EQ(reference.iterations, 25);
+  ASSERT_EQ(reference.scores.size(),
+            c.dblp.dataset.authority().num_nodes());
+
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto fused = engine.ComputeGlobal(
+        c.rates, FixedWorkOptions(PowerKernel::kFused, threads));
+    EXPECT_LE(LInfDistance(reference.scores, fused.scores), kLInfTolerance)
+        << "fused global rank diverged at " << threads << " threads";
+  }
+  for (const int threads : {1, 4}) {
+    const auto legacy = engine.ComputeGlobal(
+        c.rates, FixedWorkOptions(PowerKernel::kLegacy, threads));
+    EXPECT_LE(LInfDistance(reference.scores, legacy.scores), kLInfTolerance)
+        << "legacy global rank diverged at " << threads << " threads";
+  }
+}
+
 TEST(SpmvKernelEquivalence, CancellationStopsFusedKernel) {
   RandomCase c = MakeRandomCase(4, /*papers=*/400, /*base_nodes=*/6);
   ObjectRankEngine engine(c.dblp.dataset.authority());

@@ -51,7 +51,8 @@ constexpr const char* kHelp = R"(commands:
   k <n>                       result-list size (default 10)
   precompute [threads [max-terms]]  build + attach per-keyword rank cache
   precompute off              detach the rank cache
-  serve-bench [clients [queries]]   load-test a SearchService on the dataset
+  serve-bench [clients [queries]] [--max_batch_size=N]
+              [--max_batch_delay_ms=X]   load-test a SearchService
   query <keywords...>         run ObjectRank2
   explain <rank>              explaining subgraph of a result
   feedback <rank> [rank...]   reformulate from relevant results
@@ -383,10 +384,33 @@ void DoServeBench(CliState& state, const std::string& args) {
   auto tokens = SplitWhitespace(args);
   int clients = 4;
   int queries_per_client = 50;
-  if (!tokens.empty()) clients = std::atoi(tokens[0].c_str());
-  if (tokens.size() > 1) queries_per_client = std::atoi(tokens[1].c_str());
-  if (clients < 1 || queries_per_client < 1) {
-    std::printf("usage: serve-bench [clients [queries-per-client]]\n");
+  size_t max_batch_size = 1;
+  double max_batch_delay_ms = 2.0;
+  bool ok = true;
+  size_t positional = 0;
+  for (const std::string& token : tokens) {
+    if (token.rfind("--max_batch_size=", 0) == 0) {
+      const int v = std::atoi(token.c_str() + 17);
+      if (v < 1) ok = false;
+      max_batch_size = static_cast<size_t>(std::max(v, 1));
+    } else if (token.rfind("--max_batch_delay_ms=", 0) == 0) {
+      max_batch_delay_ms = std::atof(token.c_str() + 21);
+      if (max_batch_delay_ms < 0.0) ok = false;
+    } else if (token.rfind("--", 0) == 0) {
+      ok = false;
+    } else if (positional == 0) {
+      clients = std::atoi(token.c_str());
+      ++positional;
+    } else if (positional == 1) {
+      queries_per_client = std::atoi(token.c_str());
+      ++positional;
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok || clients < 1 || queries_per_client < 1) {
+    std::printf("usage: serve-bench [clients [queries-per-client]] "
+                "[--max_batch_size=N] [--max_batch_delay_ms=X]\n");
     return;
   }
 
@@ -434,6 +458,8 @@ void DoServeBench(CliState& state, const std::string& args) {
       options.result_cache_entries = 0;
       options.single_flight = false;
     }
+    options.max_batch_size = max_batch_size;
+    options.max_batch_delay_ms = max_batch_delay_ms;
     serve::SearchService service(snapshot, options);
     std::vector<std::thread> workers;
     for (int c = 0; c < clients; ++c) {
