@@ -1,0 +1,29 @@
+// Fuzz target for the binary dataset deserializer (io/dataset_io.h,
+// "ORXD" format). The deserializer faces arbitrary on-disk bytes, so it
+// must reject anything malformed with a Status — never crash, never
+// allocate unboundedly from a hostile length field (the harness runs
+// under ASan+UBSan, which turn both into hard failures). Any stream it
+// accepts must finalize into a dataset whose authority graph passes the
+// structural validator.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/validate.h"
+#include "io/dataset_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  std::stringstream stream(
+      std::string(reinterpret_cast<const char*>(data), size));
+  auto dataset = orx::io::DeserializeDataset(stream);
+  if (!dataset.ok()) return 0;
+  if (!orx::graph::ValidateInvariants(dataset->authority(),
+                                      dataset->schema().num_rate_slots())
+           .ok()) {
+    __builtin_trap();
+  }
+  return 0;
+}

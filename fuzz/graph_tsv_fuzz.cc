@@ -1,0 +1,31 @@
+// Fuzz target for the TSV graph interchange parser (io/graph_tsv.h).
+// Properties checked beyond "no crash / no sanitizer report":
+//  * any accepted input yields a dataset whose authority graph passes
+//    the structural validator;
+//  * the writer/parser round-trip law holds — re-parsing what
+//    WriteGraphTsv emits for an accepted dataset must succeed (the
+//    writer escapes nothing, so this catches values the parser admits
+//    but the format cannot represent).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/validate.h"
+#include "io/graph_tsv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = orx::io::ParseGraphTsv(text);
+  if (!parsed.ok()) return 0;
+  if (!orx::graph::ValidateInvariants(parsed->authority(),
+                                      parsed->schema().num_rate_slots())
+           .ok()) {
+    __builtin_trap();
+  }
+  const std::string rewritten = orx::io::WriteGraphTsv(*parsed);
+  if (!orx::io::ParseGraphTsv(rewritten).ok()) __builtin_trap();
+  return 0;
+}

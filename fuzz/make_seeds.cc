@@ -1,0 +1,46 @@
+// Regenerates the binary seed corpora under fuzz/corpus/: the "ORXD"
+// dataset seed and the "ORXC" rank-cache seed are opaque bytes, so they
+// are produced by the real serializers from the Figure 1 dataset rather
+// than hand-maintained. Usage:
+//
+//   make_fuzz_seeds <corpus-root>   # e.g. make_fuzz_seeds fuzz/corpus
+//
+// writes <root>/dataset_io/figure1.orxd and
+// <root>/rank_cache/figure1.orxc. Rerun after a format version bump and
+// commit the refreshed files (the text seeds — XML, TSV, queries — are
+// edited directly).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/check.h"
+#include "core/rank_cache.h"
+#include "datasets/figure1.h"
+#include "graph/transfer_rates.h"
+#include "io/dataset_io.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  std::filesystem::create_directories(root / "dataset_io");
+  std::filesystem::create_directories(root / "rank_cache");
+
+  orx::datasets::Figure1Dataset fig = orx::datasets::MakeFigure1Dataset();
+  ORX_CHECK_OK(orx::io::SaveDataset(fig.dataset,
+                                    (root / "dataset_io" / "figure1.orxd")
+                                        .string()));
+
+  const orx::graph::TransferRates rates =
+      orx::datasets::DblpGroundTruthRates(fig.dataset.schema(), fig.types);
+  orx::core::RankCache cache = orx::core::RankCache::BuildForTerms(
+      fig.dataset.authority(), fig.dataset.corpus(), rates,
+      {"olap", "data", "cube"}, orx::core::RankCache::Options{});
+  ORX_CHECK_OK(cache.Save((root / "rank_cache" / "figure1.orxc").string()));
+
+  std::printf("seeds written under %s\n", root.string().c_str());
+  return 0;
+}

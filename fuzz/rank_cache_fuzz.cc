@@ -1,0 +1,38 @@
+// Fuzz target for the rank-cache deserializer (core/rank_cache.h,
+// "ORXC" format). Beyond "no crash / no sanitizer report":
+//  * Deserialize's structural promises are asserted with a trap — every
+//    accepted entry has a non-empty unique term and exactly num_nodes
+//    scores (a violation would make Query read out of bounds);
+//  * value-level state (masses/scores may be NaN/Inf from hostile float
+//    bytes) is exercised through ValidateInvariants and Query, which
+//    must degrade to a Status, never crash.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "core/rank_cache.h"
+#include "text/query.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  std::stringstream stream(
+      std::string(reinterpret_cast<const char*>(data), size));
+  auto cache = orx::core::RankCache::Deserialize(stream);
+  if (!cache.ok()) return 0;
+  orx::Status valid = cache->ValidateInvariants();
+  // Structural violations are deserializer bugs; value-level ones
+  // ("mass"/"score" out of range) are reachable from hostile bytes and
+  // merely exercised.
+  if (!valid.ok() && valid.message().find("scores") != std::string::npos) {
+    __builtin_trap();
+  }
+  if (!valid.ok() && valid.message().find("empty term") != std::string::npos) {
+    __builtin_trap();
+  }
+  orx::text::QueryVector query(orx::text::ParseQuery("olap data cube"));
+  orx::IgnoreError(cache->Query(query));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fuzz target for the text pipeline (text/tokenizer.h, text/query.h) —
+// the surface every user-typed query crosses. Properties trapped on:
+//  * every token is non-empty, lowercase ASCII alphanumeric (the
+//    documented contract the corpus index relies on);
+//  * indexed tokens are never single characters;
+//  * NormalizeTerm is idempotent;
+//  * ParseQuery on arbitrary bytes produces only normalized terms, and
+//    the QueryVector built from it answers weight lookups for each.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "text/query.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+bool IsIndexableToken(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    const bool lower_alnum =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    if (!lower_alnum) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  for (const std::string& token : orx::text::Tokenize(text)) {
+    if (!IsIndexableToken(token)) __builtin_trap();
+  }
+  for (const std::string& token : orx::text::TokenizeForIndex(text)) {
+    if (!IsIndexableToken(token) || token.size() < 2) __builtin_trap();
+  }
+
+  const std::string normalized = orx::text::NormalizeTerm(text);
+  if (orx::text::NormalizeTerm(normalized) != normalized) __builtin_trap();
+
+  const orx::text::Query parsed = orx::text::ParseQuery(text);
+  for (const std::string& term : parsed) {
+    if (!IsIndexableToken(term)) __builtin_trap();
+  }
+  orx::text::QueryVector query(parsed);
+  for (const std::string& term : parsed) {
+    if (query.Weight(term) <= 0.0) __builtin_trap();
+  }
+  if (!parsed.empty() && query.ToString().empty()) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef ORX_COMMON_BYTE_IO_H_
+#define ORX_COMMON_BYTE_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orx {
+
+/// Little-endian primitive reader over an std::istream for the binary
+/// (de)serializers (io/dataset_io, core/rank_cache). Two jobs beyond
+/// plain stream reads, both aimed at untrusted input:
+///
+///  * every read tracks the byte offset consumed so far, and every error
+///    is kDataLoss naming that offset — "truncated score vector at byte
+///    1 032" instead of "truncated stream";
+///  * length-prefixed reads (ReadString, ReadFloatArray) grow their
+///    destination in bounded chunks as bytes actually arrive, so a
+///    corrupt or hostile length field can never drive one huge eager
+///    allocation before the stream runs dry, and the count * element-size
+///    arithmetic cannot overflow.
+///
+/// The reader owns no state beyond the offset; interleaving it with
+/// direct stream reads would desynchronize offset() and is unsupported.
+class ByteReader {
+ public:
+  explicit ByteReader(std::istream& in) : in_(in) {}
+
+  /// Bytes successfully consumed so far (== the offset of the next read,
+  /// and the offset reported by a failing read).
+  uint64_t offset() const { return offset_; }
+
+  /// Reads exactly `n` bytes; kDataLoss("truncated <what> at byte N")
+  /// otherwise.
+  Status ReadBytes(char* out, size_t n, const char* what);
+
+  Status ReadU32(uint32_t* v, const char* what);
+  Status ReadU64(uint64_t* v, const char* what);
+  Status ReadDouble(double* v, const char* what);
+
+  /// Reads a u32-length-prefixed string. A length above `limit` is
+  /// kDataLoss ("implausible <what> length L at byte N") — limits are
+  /// per-field sanity bounds, not stream positions.
+  Status ReadString(std::string* s, uint64_t limit, const char* what);
+
+  /// Reads exactly `count` little-endian floats into `*out` (replacing
+  /// its contents), growing in bounded chunks.
+  Status ReadFloatArray(std::vector<float>* out, size_t count,
+                        const char* what);
+
+ private:
+  Status Truncated(const char* what) const;
+
+  std::istream& in_;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_BYTE_IO_H_

@@ -3,6 +3,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
 
 /// Invariant-checking macros. ORX_CHECK fires in all build modes; it guards
 /// internal invariants whose violation indicates a bug in the library (user
@@ -26,13 +30,104 @@
     }                                                                       \
   } while (0)
 
-/// ORX_DCHECK compiles out in NDEBUG builds; use on hot paths.
+namespace orx::check_internal {
+
+/// Renders an operand for a failed comparison check. Anything streamable
+/// prints its value; everything else prints a placeholder so the macros
+/// work with operands that have no operator<<.
+template <typename T, typename = void>
+struct Streamable : std::false_type {};
+template <typename T>
+struct Streamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                          << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string FormatOperand(const T& value) {
+  if constexpr (Streamable<T>::value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void CheckOpFail(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& lhs,
+                                     const std::string& rhs) {
+  std::fprintf(stderr, "ORX_CHECK failed at %s:%d: %s (%s vs. %s)\n", file,
+               line, expr, lhs.c_str(), rhs.c_str());
+  std::abort();
+}
+
+/// Shared implementation of ORX_CHECK_OK / ORX_DCHECK_OK. Templated so
+/// this header does not depend on common/status.h; any type with
+/// ok() / ToString() works (Status, StatusOr<T>).
+template <typename T, typename = void>
+struct HasToString : std::false_type {};
+template <typename T>
+struct HasToString<T, std::void_t<decltype(std::declval<const T&>()
+                                               .ToString())>>
+    : std::true_type {};
+
+template <typename S>
+void CheckOkImpl(const S& status, const char* file, int line,
+                 const char* expr) {
+  if (!status.ok()) {
+    std::string rendered;
+    if constexpr (HasToString<S>::value) {
+      rendered = status.ToString();
+    } else {
+      rendered = status.status().ToString();  // StatusOr<T>
+    }
+    std::fprintf(stderr, "ORX_CHECK_OK failed at %s:%d: %s is %s\n", file,
+                 line, expr, rendered.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace orx::check_internal
+
+/// Comparison checks that print both operand values on failure:
+///   ORX_CHECK_EQ(r.size(), num_nodes_);
+///   -> "ORX_CHECK failed at f.cc:12: r.size() == num_nodes_ (3 vs. 5)"
+/// Operands are evaluated exactly once.
+#define ORX_CHECK_OP_(op, a, b)                                             \
+  do {                                                                      \
+    auto&& orx_check_a_ = (a);                                              \
+    auto&& orx_check_b_ = (b);                                              \
+    if (!(orx_check_a_ op orx_check_b_)) {                                  \
+      ::orx::check_internal::CheckOpFail(                                   \
+          __FILE__, __LINE__, #a " " #op " " #b,                            \
+          ::orx::check_internal::FormatOperand(orx_check_a_),               \
+          ::orx::check_internal::FormatOperand(orx_check_b_));              \
+    }                                                                       \
+  } while (0)
+
+#define ORX_CHECK_EQ(a, b) ORX_CHECK_OP_(==, a, b)
+#define ORX_CHECK_NE(a, b) ORX_CHECK_OP_(!=, a, b)
+#define ORX_CHECK_LT(a, b) ORX_CHECK_OP_(<, a, b)
+#define ORX_CHECK_LE(a, b) ORX_CHECK_OP_(<=, a, b)
+
+/// Aborts (with the rendered Status) unless `expr` evaluates to an OK
+/// Status/StatusOr. For must-not-fail internal calls whose error path
+/// would otherwise be silently dropped.
+#define ORX_CHECK_OK(expr)                                                  \
+  ::orx::check_internal::CheckOkImpl((expr), __FILE__, __LINE__, #expr)
+
+/// ORX_DCHECK* compile out in NDEBUG builds; use on hot paths.
 #ifdef NDEBUG
 #define ORX_DCHECK(cond) \
   do {                   \
   } while (0)
+#define ORX_DCHECK_OK(expr) \
+  do {                      \
+  } while (0)
 #else
 #define ORX_DCHECK(cond) ORX_CHECK(cond)
+#define ORX_DCHECK_OK(expr) ORX_CHECK_OK(expr)
 #endif
 
 #endif  // ORX_COMMON_CHECK_H_

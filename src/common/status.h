@@ -37,7 +37,12 @@ const char* StatusCodeToString(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is almost always a bug (the
+/// error path vanishes); intentional drops must go through IgnoreError()
+/// below, which tools/orx_lint.py recognizes, instead of a bare (void)
+/// cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -81,9 +86,10 @@ Status UnavailableError(std::string message);
 Status DeadlineExceededError(std::string message);
 
 /// A value-or-error holder, modeled after absl::StatusOr. Exactly one of
-/// {value, non-OK status} is present.
+/// {value, non-OK status} is present. [[nodiscard]] for the same reason
+/// as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Calling with an OK status is an
   /// internal error (converted to kInternal).
@@ -114,6 +120,15 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Named sink for a deliberately dropped Status/StatusOr. Use when a
+/// failure is genuinely ignorable (e.g. best-effort cleanup) — the call
+/// reads as a decision, and tools/orx_lint.py treats it as the one
+/// sanctioned way to discard an error (bare `(void)Foo()` casts of calls
+/// are lint errors). Takes by const-ref so the argument still constructs
+/// normally under [[nodiscard]].
+template <typename S>
+inline void IgnoreError(const S&) {}
 
 }  // namespace orx
 

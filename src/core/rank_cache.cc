@@ -1,10 +1,12 @@
 #include "core/rank_cache.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <unordered_set>
 
+#include "common/byte_io.h"
 #include "common/check.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -246,7 +248,7 @@ StatusOr<RankCache::QueryResult> RankCache::Query(
   for (const Part& part : parts) {
     const double c = part.coefficient / total;
     const std::vector<float>& r = part.entry->scores;
-    ORX_CHECK(r.size() == num_nodes_);
+    ORX_CHECK_EQ(r.size(), num_nodes_);
     for (size_t v = 0; v < num_nodes_; ++v) {
       result.scores[v] += c * static_cast<double>(r[v]);
     }
@@ -259,6 +261,8 @@ namespace {
 constexpr char kCacheMagic[4] = {'O', 'R', 'X', 'C'};
 constexpr uint32_t kCacheVersion = 2;
 constexpr uint64_t kCacheSanityLimit = 1ull << 27;
+// A term is a normalized keyword; anything beyond this is corruption.
+constexpr uint64_t kTermLimit = 1ull << 16;
 
 void PutU32(std::ostream& out, uint32_t v) {
   char buf[4];
@@ -266,29 +270,11 @@ void PutU32(std::ostream& out, uint32_t v) {
   out.write(buf, 4);
 }
 
-Status GetU32(std::istream& in, uint32_t* v) {
-  char buf[4];
-  if (!in.read(buf, 4)) return DataLossError("truncated rank cache");
-  *v = 0;
-  for (int i = 0; i < 4; ++i) {
-    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
-          << (8 * i);
-  }
-  return Status::OK();
-}
-
 void PutDouble(std::ostream& out, double v) {
   static_assert(sizeof(double) == 8);
   char buf[8];
   std::memcpy(buf, &v, 8);
   out.write(buf, 8);
-}
-
-Status GetDouble(std::istream& in, double* v) {
-  char buf[8];
-  if (!in.read(buf, 8)) return DataLossError("truncated rank cache");
-  std::memcpy(v, buf, 8);
-  return Status::OK();
 }
 
 }  // namespace
@@ -332,53 +318,61 @@ Status RankCache::Serialize(std::ostream& out) const {
 }
 
 StatusOr<RankCache> RankCache::Deserialize(std::istream& in) {
+  ByteReader reader(in);
   char magic[4];
-  if (!in.read(magic, 4) || std::memcmp(magic, kCacheMagic, 4) != 0) {
+  ORX_RETURN_IF_ERROR(reader.ReadBytes(magic, 4, "rank cache magic"));
+  if (std::memcmp(magic, kCacheMagic, 4) != 0) {
     return DataLossError("not an ORX rank cache (bad magic)");
   }
   uint32_t version = 0;
-  ORX_RETURN_IF_ERROR(GetU32(in, &version));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&version, "rank cache version"));
   if (version != kCacheVersion) {
-    return DataLossError("unsupported rank cache version");
+    return DataLossError("unsupported rank cache version " +
+                         std::to_string(version));
   }
   RankCache cache;
   uint32_t num_nodes = 0;
-  ORX_RETURN_IF_ERROR(GetU32(in, &num_nodes));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&num_nodes, "rank cache node count"));
   if (num_nodes > kCacheSanityLimit) {
-    return DataLossError("implausible rank cache node count");
+    return DataLossError("implausible rank cache node count " +
+                         std::to_string(num_nodes) + " at byte " +
+                         std::to_string(reader.offset() - 4));
   }
   cache.num_nodes_ = num_nodes;
   uint32_t fp_lo = 0, fp_hi = 0;
-  ORX_RETURN_IF_ERROR(GetU32(in, &fp_lo));
-  ORX_RETURN_IF_ERROR(GetU32(in, &fp_hi));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&fp_lo, "rates fingerprint"));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&fp_hi, "rates fingerprint"));
   cache.rates_fingerprint_ = (static_cast<uint64_t>(fp_hi) << 32) | fp_lo;
-  ORX_RETURN_IF_ERROR(GetDouble(in, &cache.bm25_.k1));
-  ORX_RETURN_IF_ERROR(GetDouble(in, &cache.bm25_.b));
-  ORX_RETURN_IF_ERROR(GetDouble(in, &cache.bm25_.k3));
+  ORX_RETURN_IF_ERROR(reader.ReadDouble(&cache.bm25_.k1, "BM25 k1"));
+  ORX_RETURN_IF_ERROR(reader.ReadDouble(&cache.bm25_.b, "BM25 b"));
+  ORX_RETURN_IF_ERROR(reader.ReadDouble(&cache.bm25_.k3, "BM25 k3"));
   uint32_t num_entries = 0;
-  ORX_RETURN_IF_ERROR(GetU32(in, &num_entries));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&num_entries, "rank cache entry count"));
   if (num_entries > kCacheSanityLimit) {
-    return DataLossError("implausible rank cache entry count");
+    return DataLossError("implausible rank cache entry count " +
+                         std::to_string(num_entries) + " at byte " +
+                         std::to_string(reader.offset() - 4));
   }
   for (uint32_t i = 0; i < num_entries; ++i) {
-    uint32_t len = 0;
-    ORX_RETURN_IF_ERROR(GetU32(in, &len));
-    if (len > kCacheSanityLimit) {
-      return DataLossError("implausible term length");
-    }
-    std::string term(len, '\0');
-    if (len > 0 && !in.read(term.data(), len)) {
-      return DataLossError("truncated term");
+    std::string term;
+    ORX_RETURN_IF_ERROR(reader.ReadString(&term, kTermLimit, "term"));
+    if (term.empty()) {
+      // Serialize never writes one (terms come from the tokenizer, which
+      // drops empties), and an empty key would shadow real lookups.
+      return DataLossError("empty rank cache term at byte " +
+                           std::to_string(reader.offset() - 4));
     }
     Entry entry;
-    ORX_RETURN_IF_ERROR(GetDouble(in, &entry.mass));
-    entry.scores.resize(num_nodes);
-    if (num_nodes > 0 &&
-        !in.read(reinterpret_cast<char*>(entry.scores.data()),
-                 static_cast<std::streamsize>(num_nodes * sizeof(float)))) {
-      return DataLossError("truncated score vector");
+    ORX_RETURN_IF_ERROR(reader.ReadDouble(&entry.mass, "entry mass"));
+    // ReadFloatArray grows the vector chunk-by-chunk, so a truncated
+    // stream fails early instead of committing num_nodes * 4 bytes up
+    // front on the corrupt file's say-so.
+    ORX_RETURN_IF_ERROR(
+        reader.ReadFloatArray(&entry.scores, num_nodes, "score vector"));
+    if (!cache.entries_.emplace(std::move(term), std::move(entry)).second) {
+      return DataLossError("duplicate rank cache term at byte " +
+                           std::to_string(reader.offset()));
     }
-    cache.entries_.emplace(std::move(term), std::move(entry));
   }
   return cache;
 }
@@ -396,6 +390,34 @@ StatusOr<RankCache> RankCache::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open rank cache: " + path);
   return Deserialize(in);
+}
+
+Status RankCache::ValidateInvariants() const {
+  for (const auto& [term, entry] : entries_) {
+    if (term.empty()) {
+      return InternalError("invariant violation: rank cache holds an entry "
+                           "with an empty term");
+    }
+    if (!std::isfinite(entry.mass) || entry.mass < 0.0) {
+      return InternalError("invariant violation: term '" + term +
+                           "' has mass " + std::to_string(entry.mass));
+    }
+    if (entry.scores.size() != num_nodes_) {
+      return InternalError(
+          "invariant violation: term '" + term + "' has " +
+          std::to_string(entry.scores.size()) + " scores, want num_nodes " +
+          std::to_string(num_nodes_));
+    }
+    for (size_t v = 0; v < entry.scores.size(); ++v) {
+      const float s = entry.scores[v];
+      if (!std::isfinite(s) || s < 0.0f) {
+        return InternalError("invariant violation: term '" + term +
+                             "' has score " + std::to_string(s) +
+                             " at node " + std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 size_t RankCache::MemoryFootprintBytes() const {

@@ -160,6 +160,14 @@ class RankCache {
   Status Save(const std::string& path) const;
   static StatusOr<RankCache> Load(const std::string& path);
 
+  /// Deep structural check: every entry has a non-empty term, a finite
+  /// non-negative mass, and exactly num_nodes() finite non-negative
+  /// scores. Returns a descriptive non-OK Status on the first violation
+  /// — Query() on a cache that fails this check would read or combine
+  /// garbage. Called by the fuzz harnesses on every deserialized cache
+  /// and exposed through `orx_cli validate`.
+  Status ValidateInvariants() const;
+
  private:
   struct Entry {
     /// Unnormalized IR mass Z_t of the term's base set.

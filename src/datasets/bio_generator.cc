@@ -55,7 +55,7 @@ BioDataset GenerateBio(const BioGeneratorConfig& config) {
   ZipfSampler term_sampler(vocab.size(), config.zipf_s);
 
   auto must_node = [&](auto status_or) {
-    ORX_CHECK(status_or.ok());
+    ORX_CHECK_OK(status_or);
     return *status_or;
   };
 
@@ -129,7 +129,7 @@ BioDataset GenerateBio(const BioGeneratorConfig& config) {
     for (int p = 0; p < pubs_count; ++p) {
       const graph::NodeId pub = sample_topic_pub(gene_rng, topic);
       if (!targets.insert(pub).second) continue;
-      ORX_CHECK(data.AddEdge(gene, pub, types.gene_pubmed).ok());
+      ORX_CHECK_OK(data.AddEdge(gene, pub, types.gene_pubmed));
     }
   }
 
@@ -153,7 +153,7 @@ BioDataset GenerateBio(const BioGeneratorConfig& config) {
     for (int q = 0; q < pubs_count; ++q) {
       const graph::NodeId pub = sample_topic_pub(protein_rng, topic);
       if (!targets.insert(pub).second) continue;
-      ORX_CHECK(data.AddEdge(protein, pub, types.protein_pubmed).ok());
+      ORX_CHECK_OK(data.AddEdge(protein, pub, types.protein_pubmed));
     }
   }
   // avg_gene_proteins governs extra gene->protein links beyond the
@@ -168,7 +168,7 @@ BioDataset GenerateBio(const BioGeneratorConfig& config) {
     // by skipping failures is unnecessary since AddEdge allows parallel
     // edges only across types — it allows duplicates structurally, so we
     // simply add (ObjectRank treats them as extra flow capacity).
-    ORX_CHECK(data.AddEdge(gene, protein, types.gene_protein).ok());
+    ORX_CHECK_OK(data.AddEdge(gene, protein, types.gene_protein));
   }
 
   // Nucleotides: attach to a gene and to one of its proteins.

@@ -8,7 +8,7 @@ std::unique_ptr<graph::SchemaGraph> MakeBioSchema(BioTypes* types) {
   ORX_CHECK(types != nullptr);
   auto schema = std::make_unique<graph::SchemaGraph>();
   auto must = [](auto status_or) {
-    ORX_CHECK(status_or.ok());
+    ORX_CHECK_OK(status_or);
     return *status_or;
   };
   types->gene = must(schema->AddNodeType("EntrezGene"));
@@ -64,12 +64,12 @@ StatusOr<BioTypes> BioTypesFromSchema(const graph::SchemaGraph& schema) {
 graph::TransferRates BioGroundTruthRates(const graph::SchemaGraph& schema,
                                          const BioTypes& types) {
   graph::TransferRates rates(schema, 0.0);
-  ORX_CHECK(rates.SetBoth(types.pubmed_cites, 0.6, 0.0).ok());
-  ORX_CHECK(rates.SetBoth(types.gene_pubmed, 0.3, 0.2).ok());
-  ORX_CHECK(rates.SetBoth(types.protein_pubmed, 0.3, 0.2).ok());
-  ORX_CHECK(rates.SetBoth(types.nucleotide_gene, 0.3, 0.1).ok());
-  ORX_CHECK(rates.SetBoth(types.gene_protein, 0.3, 0.2).ok());
-  ORX_CHECK(rates.SetBoth(types.nucleotide_protein, 0.2, 0.1).ok());
+  ORX_CHECK_OK(rates.SetBoth(types.pubmed_cites, 0.6, 0.0));
+  ORX_CHECK_OK(rates.SetBoth(types.gene_pubmed, 0.3, 0.2));
+  ORX_CHECK_OK(rates.SetBoth(types.protein_pubmed, 0.3, 0.2));
+  ORX_CHECK_OK(rates.SetBoth(types.nucleotide_gene, 0.3, 0.1));
+  ORX_CHECK_OK(rates.SetBoth(types.gene_protein, 0.3, 0.2));
+  ORX_CHECK_OK(rates.SetBoth(types.nucleotide_protein, 0.2, 0.1));
   return rates;
 }
 

@@ -92,7 +92,7 @@ std::unique_ptr<graph::DataGraph> InducedSubgraph(
     std::vector<graph::Attribute> attrs;
     for (const graph::Attribute& a : data.Attributes(v)) attrs.push_back(a);
     auto added = out->AddNode(data.NodeType(v), std::move(attrs));
-    ORX_CHECK(added.ok());
+    ORX_CHECK_OK(added);
     remap[v] = *added;
   }
   for (const graph::DataEdge& e : data.edges()) {
@@ -100,7 +100,7 @@ std::unique_ptr<graph::DataGraph> InducedSubgraph(
         remap[e.to] == graph::kInvalidNodeId) {
       continue;
     }
-    ORX_CHECK(out->AddEdge(remap[e.from], remap[e.to], e.type).ok());
+    ORX_CHECK_OK(out->AddEdge(remap[e.from], remap[e.to], e.type));
   }
   return out;
 }

@@ -92,7 +92,7 @@ DblpDataset GenerateDblp(const DblpGeneratorConfig& config) {
   Rng cite_rng = root.Fork();
 
   auto must_node = [&](auto status_or) {
-    ORX_CHECK(status_or.ok());
+    ORX_CHECK_OK(status_or);
     return *status_or;
   };
 
@@ -115,7 +115,7 @@ DblpDataset GenerateDblp(const DblpGeneratorConfig& config) {
            {"Year", std::to_string(year_value)},
            {"Location",
             locations[conf_rng.UniformInt(locations.size())]}}));
-      ORX_CHECK(data.AddEdge(conf_node, year_node, types.has_instance).ok());
+      ORX_CHECK_OK(data.AddEdge(conf_node, year_node, types.has_instance));
       year_nodes.push_back(year_node);
       year_venue_strings.push_back(venue);
     }
@@ -181,9 +181,9 @@ DblpDataset GenerateDblp(const DblpGeneratorConfig& config) {
                       {"Authors", authors_attr},
                       {"Year", year_venue_strings[venue]}}));
     paper_nodes.push_back(paper);
-    ORX_CHECK(data.AddEdge(year_nodes[venue], paper, types.contains).ok());
+    ORX_CHECK_OK(data.AddEdge(year_nodes[venue], paper, types.contains));
     for (graph::NodeId author : paper_authors) {
-      ORX_CHECK(data.AddEdge(paper, author, types.by).ok());
+      ORX_CHECK_OK(data.AddEdge(paper, author, types.by));
     }
 
     // Citations to earlier papers: topic-affine / preferential / uniform.

@@ -8,7 +8,7 @@ std::unique_ptr<graph::SchemaGraph> MakeDblpSchema(DblpTypes* types) {
   ORX_CHECK(types != nullptr);
   auto schema = std::make_unique<graph::SchemaGraph>();
   auto must = [](auto status_or) {
-    ORX_CHECK(status_or.ok());
+    ORX_CHECK_OK(status_or);
     return *status_or;
   };
   types->paper = must(schema->AddNodeType("Paper"));
@@ -56,10 +56,10 @@ graph::TransferRates DblpGroundTruthRates(const graph::SchemaGraph& schema,
   graph::TransferRates rates(schema, 0.0);
   // Figure 3: PP=0.7 (citing), PF=0 (being cited confers nothing on the
   // citing paper), PA=0.2, AP=0.2, CY=0.3, YC=0.3, YP=0.3, PY=0.1.
-  ORX_CHECK(rates.SetBoth(types.cites, 0.7, 0.0).ok());
-  ORX_CHECK(rates.SetBoth(types.by, 0.2, 0.2).ok());
-  ORX_CHECK(rates.SetBoth(types.has_instance, 0.3, 0.3).ok());
-  ORX_CHECK(rates.SetBoth(types.contains, 0.3, 0.1).ok());
+  ORX_CHECK_OK(rates.SetBoth(types.cites, 0.7, 0.0));
+  ORX_CHECK_OK(rates.SetBoth(types.by, 0.2, 0.2));
+  ORX_CHECK_OK(rates.SetBoth(types.has_instance, 0.3, 0.3));
+  ORX_CHECK_OK(rates.SetBoth(types.contains, 0.3, 0.1));
   return rates;
 }
 

@@ -272,7 +272,7 @@ StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
   std::unordered_map<std::string, graph::NodeId> year_nodes;
   std::unordered_map<std::string, graph::NodeId> paper_by_key;
   auto must_node = [](auto status_or) {
-    ORX_CHECK(status_or.ok());
+    ORX_CHECK_OK(status_or);
     return *status_or;
   };
 
@@ -307,7 +307,7 @@ StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
                       {"Authors", std::move(authors_attr)},
                       {"Year", venue}}));
     ++result.papers;
-    ORX_CHECK(data.AddEdge(year_it->second, paper, types.contains).ok());
+    ORX_CHECK_OK(data.AddEdge(year_it->second, paper, types.contains));
     if (!record.key.empty()) paper_by_key.emplace(record.key, paper);
 
     for (const std::string& author_name : record.authors) {
@@ -319,7 +319,7 @@ StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
         author_it = author_nodes.emplace(author_name, author).first;
         ++result.authors;
       }
-      ORX_CHECK(data.AddEdge(paper, author_it->second, types.by).ok());
+      ORX_CHECK_OK(data.AddEdge(paper, author_it->second, types.by));
     }
     for (const std::string& cite : record.cites) {
       pending_cites.emplace_back(paper, cite);
@@ -333,7 +333,7 @@ StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
       ++result.citations_unresolved;  // includes DBLP's "..." placeholders
       continue;
     }
-    ORX_CHECK(data.AddEdge(paper, it->second, types.cites).ok());
+    ORX_CHECK_OK(data.AddEdge(paper, it->second, types.cites));
     ++result.citations_resolved;
   }
 

@@ -11,7 +11,7 @@ Figure1Dataset MakeFigure1Dataset() {
   graph::DataGraph& data = dataset.mutable_data();
 
   auto must_node = [&](auto status_or) {
-    ORX_CHECK(status_or.ok());
+    ORX_CHECK_OK(status_or);
     return *status_or;
   };
 
@@ -47,7 +47,7 @@ Figure1Dataset MakeFigure1Dataset() {
 
   auto must_edge = [&](graph::NodeId from, graph::NodeId to,
                        graph::EdgeTypeId type) {
-    ORX_CHECK(data.AddEdge(from, to, type).ok());
+    ORX_CHECK_OK(data.AddEdge(from, to, type));
   };
   must_edge(v1, v7, types.cites);
   must_edge(v4, v7, types.cites);

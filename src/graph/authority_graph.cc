@@ -1,6 +1,7 @@
 #include "graph/authority_graph.h"
 
 #include "common/check.h"
+#include "graph/validate.h"
 
 namespace orx::graph {
 
@@ -68,6 +69,7 @@ AuthorityGraph AuthorityGraph::Build(const DataGraph& data) {
     ORX_DCHECK(out_cursor[v] == g.out_offsets_[v + 1]);
     ORX_DCHECK(in_cursor[v] == g.in_offsets_[v + 1]);
   }
+  ORX_DCHECK_OK(ValidateInvariants(g, /*num_rate_slots=*/num_etypes * 2));
   return g;
 }
 

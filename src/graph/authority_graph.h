@@ -71,6 +71,12 @@ class AuthorityGraph {
   std::span<const uint64_t> in_offsets() const { return in_offsets_; }
   std::span<const AuthorityEdge> in_edges() const { return in_edges_; }
 
+  /// Raw CSR out-adjacency, mirroring in_offsets()/in_edges(). Consumed
+  /// by the structural validator (graph/validate.h), which checks both
+  /// halves and their cross-consistency.
+  std::span<const uint64_t> out_offsets() const { return out_offsets_; }
+  std::span<const AuthorityEdge> out_edges() const { return out_edges_; }
+
   /// Approximate in-memory footprint in bytes.
   size_t MemoryFootprintBytes() const {
     return (out_edges_.size() + in_edges_.size()) * sizeof(AuthorityEdge) +

@@ -37,7 +37,7 @@ Status DataGraph::AddEdge(NodeId from, NodeId to, EdgeTypeId type) {
 }
 
 std::span<const Attribute> DataGraph::Attributes(NodeId v) const {
-  ORX_CHECK(v < node_types_.size());
+  ORX_CHECK_LT(v, node_types_.size());
   uint32_t begin = attr_offsets_[v];
   uint32_t end = attr_offsets_[v + 1];
   return std::span<const Attribute>(attrs_.data() + begin, end - begin);

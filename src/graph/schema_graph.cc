@@ -74,12 +74,12 @@ StatusOr<EdgeTypeId> SchemaGraph::EdgeTypeBetween(TypeId from, TypeId to,
 }
 
 const std::string& SchemaGraph::NodeTypeLabel(TypeId id) const {
-  ORX_CHECK(id < node_labels_.size());
+  ORX_CHECK_LT(id, node_labels_.size());
   return node_labels_[id];
 }
 
 const SchemaEdge& SchemaGraph::EdgeType(EdgeTypeId id) const {
-  ORX_CHECK(id < edges_.size());
+  ORX_CHECK_LT(id, edges_.size());
   return edges_[id];
 }
 

@@ -9,6 +9,7 @@
 #endif
 
 #include "common/check.h"
+#include "graph/validate.h"
 
 namespace orx::graph {
 
@@ -60,6 +61,7 @@ SellStructure::SellStructure(const AuthorityGraph& graph)
   for (size_t i = 0; i < sources.size(); ++i) {
     sources_row[i] = node_row[sources[i]];
   }
+  ORX_DCHECK_OK(ValidateInvariants(*this));
 }
 
 FusedLayout::FusedLayout(const AuthorityGraph& graph,
@@ -92,6 +94,7 @@ FusedLayout::FusedLayout(const AuthorityGraph& graph,
       }
     }
   }
+  ORX_DCHECK_OK(ValidateInvariants(*this));
 }
 
 void BlockVector::CopyLaneOut(size_t lane,

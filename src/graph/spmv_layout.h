@@ -92,6 +92,9 @@ class FusedLayout {
   const SellStructure& structure() const { return *structure_; }
   /// Fused edge coefficients in SELL order; padding slots are 0.0.
   const double* weights() const { return weights_.data(); }
+  /// weights() with its extent (== structure().padded_slots() for a
+  /// well-formed layout — the structural validator checks exactly that).
+  std::span<const double> weight_span() const { return weights_; }
 
   /// The structure half of the layout, shareable across rate vectors.
   const std::shared_ptr<const SellStructure>& shared_structure() const {

@@ -1,0 +1,224 @@
+#include "graph/validate.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace orx::graph {
+namespace {
+
+Status Violation(const std::string& message) {
+  return InternalError("invariant violation: " + message);
+}
+
+/// splitmix64 finalizer — mixes one canonical edge tuple into a 64-bit
+/// value whose sum over all edges is order-independent.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Commutative fingerprint of an edge (u -> v, inv_out_deg, rate_index),
+/// independent of storage order. Both CSR halves describe the same edge
+/// multiset in canonical (source, target) form, so their sums must match.
+uint64_t EdgeFingerprint(uint64_t u, uint64_t v, float inv, uint32_t rate) {
+  uint32_t inv_bits;
+  static_assert(sizeof(inv_bits) == sizeof(inv));
+  __builtin_memcpy(&inv_bits, &inv, sizeof(inv_bits));
+  uint64_t h = Mix(u << 1);
+  h ^= Mix((v << 1) | 1);
+  h ^= Mix((uint64_t{inv_bits} << 32) | rate);
+  return Mix(h);
+}
+
+}  // namespace
+
+Status ValidateCsr(std::span<const uint64_t> offsets,
+                   std::span<const AuthorityEdge> edges, size_t num_nodes,
+                   size_t num_rate_slots, const char* name) {
+  std::ostringstream msg;
+  if (offsets.size() != num_nodes + 1) {
+    msg << name << ": offsets has " << offsets.size() << " entries, want "
+        << num_nodes + 1;
+    return Violation(msg.str());
+  }
+  if (offsets[0] != 0) {
+    msg << name << ": offsets[0] is " << offsets[0] << ", want 0";
+    return Violation(msg.str());
+  }
+  for (size_t v = 0; v < num_nodes; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      msg << name << ": offsets not monotone at node " << v << " ("
+          << offsets[v + 1] << " < " << offsets[v] << ")";
+      return Violation(msg.str());
+    }
+  }
+  if (offsets[num_nodes] != edges.size()) {
+    msg << name << ": offsets end at " << offsets[num_nodes] << " but "
+        << edges.size() << " edges are stored";
+    return Violation(msg.str());
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const AuthorityEdge& e = edges[i];
+    if (e.target >= num_nodes) {
+      msg << name << ": edge " << i << " endpoint " << e.target
+          << " out of range (num_nodes " << num_nodes << ")";
+      return Violation(msg.str());
+    }
+    if (!std::isfinite(e.inv_out_deg) || e.inv_out_deg <= 0.0f ||
+        e.inv_out_deg > 1.0f) {
+      msg << name << ": edge " << i << " inv_out_deg " << e.inv_out_deg
+          << " outside (0, 1]";
+      return Violation(msg.str());
+    }
+    if (e.rate_index >= num_rate_slots) {
+      msg << name << ": edge " << i << " rate_index " << e.rate_index
+          << " out of range (num_rate_slots " << num_rate_slots << ")";
+      return Violation(msg.str());
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateInvariants(const AuthorityGraph& graph, size_t num_rate_slots) {
+  const size_t n = graph.num_nodes();
+  ORX_RETURN_IF_ERROR(ValidateCsr(graph.out_offsets(), graph.out_edges(), n,
+                                  num_rate_slots, "out-adjacency"));
+  ORX_RETURN_IF_ERROR(ValidateCsr(graph.in_offsets(), graph.in_edges(), n,
+                                  num_rate_slots, "in-adjacency"));
+  std::ostringstream msg;
+  if (graph.out_edges().size() != graph.in_edges().size()) {
+    msg << "adjacency halves disagree on edge count ("
+        << graph.out_edges().size() << " out vs. " << graph.in_edges().size()
+        << " in)";
+    return Violation(msg.str());
+  }
+  // Every data edge (u -> v) contributes one authority out-edge at each
+  // endpoint (forward at u, backward at v) and symmetrically one in-edge
+  // at each, so out-degree(v) == in-degree(v) == data-degree(v).
+  for (size_t v = 0; v < n; ++v) {
+    const uint64_t out_deg = graph.out_offsets()[v + 1] - graph.out_offsets()[v];
+    const uint64_t in_deg = graph.in_offsets()[v + 1] - graph.in_offsets()[v];
+    if (out_deg != in_deg) {
+      msg << "node " << v << " has out-degree " << out_deg
+          << " but in-degree " << in_deg;
+      return Violation(msg.str());
+    }
+  }
+  // Order-independent fingerprint over each half's edge multiset in
+  // canonical (source, target) form: an out-edge at u targets v; an
+  // in-edge at v names its source u in `target`. An edge present in one
+  // half but missing or altered in the other breaks the sums' equality.
+  uint64_t out_sum = 0, in_sum = 0;
+  for (size_t v = 0; v < n; ++v) {
+    for (const AuthorityEdge& e : graph.OutEdges(static_cast<NodeId>(v))) {
+      out_sum += EdgeFingerprint(v, e.target, e.inv_out_deg, e.rate_index);
+    }
+    for (const AuthorityEdge& e : graph.InEdges(static_cast<NodeId>(v))) {
+      in_sum += EdgeFingerprint(e.target, v, e.inv_out_deg, e.rate_index);
+    }
+  }
+  if (out_sum != in_sum) {
+    return Violation(
+        "adjacency halves store different edge multisets "
+        "(order-independent fingerprints disagree)");
+  }
+  return Status::OK();
+}
+
+Status ValidateInvariants(const SellStructure& sell) {
+  std::ostringstream msg;
+  const size_t n = sell.num_rows;
+  if (sell.row_order.size() != n || sell.node_row.size() != n) {
+    msg << "SELL: row_order/node_row have " << sell.row_order.size() << "/"
+        << sell.node_row.size() << " entries, want num_rows " << n;
+    return Violation(msg.str());
+  }
+  // node_row being an exact left inverse of row_order over [0, n) forces
+  // row_order to be injective, hence a bijection on [0, n).
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t node = sell.row_order[r];
+    if (node >= n) {
+      msg << "SELL: row_order[" << r << "] = " << node
+          << " out of range (num_rows " << n << ")";
+      return Violation(msg.str());
+    }
+    if (sell.node_row[node] != r) {
+      msg << "SELL: row_order is not a bijection (node_row[row_order[" << r
+          << "]] = " << sell.node_row[node] << ")";
+      return Violation(msg.str());
+    }
+  }
+  const size_t want_chunks = (n + SellStructure::kChunkRows - 1) /
+                             SellStructure::kChunkRows;
+  if (sell.chunk_offsets.size() != want_chunks + 1) {
+    msg << "SELL: " << sell.chunk_offsets.size() - 1 << " chunks for " << n
+        << " rows, want " << want_chunks;
+    return Violation(msg.str());
+  }
+  if (sell.chunk_offsets[0] != 0) {
+    msg << "SELL: chunk_offsets[0] is " << sell.chunk_offsets[0]
+        << ", want 0";
+    return Violation(msg.str());
+  }
+  for (size_t c = 0; c < want_chunks; ++c) {
+    if (sell.chunk_offsets[c + 1] < sell.chunk_offsets[c]) {
+      msg << "SELL: chunk_offsets not monotone at chunk " << c;
+      return Violation(msg.str());
+    }
+    const uint64_t slots = sell.chunk_offsets[c + 1] - sell.chunk_offsets[c];
+    if (slots % SellStructure::kChunkRows != 0) {
+      msg << "SELL: chunk " << c << " holds " << slots
+          << " slots, not a multiple of " << SellStructure::kChunkRows;
+      return Violation(msg.str());
+    }
+  }
+  const uint64_t padded = sell.chunk_offsets.back();
+  if (sell.sources.size() != padded || sell.sources_row.size() != padded) {
+    msg << "SELL: sources/sources_row have " << sell.sources.size() << "/"
+        << sell.sources_row.size() << " slots, want padded_slots " << padded;
+    return Violation(msg.str());
+  }
+  for (uint64_t slot = 0; slot < padded; ++slot) {
+    const uint32_t src = sell.sources[slot];
+    if (src >= n) {
+      msg << "SELL: sources[" << slot << "] = " << src
+          << " out of range (num_rows " << n << ")";
+      return Violation(msg.str());
+    }
+    if (sell.sources_row[slot] != sell.node_row[src]) {
+      msg << "SELL: sources_row[" << slot << "] = " << sell.sources_row[slot]
+          << " but node_row[sources[" << slot << "]] = "
+          << sell.node_row[src];
+      return Violation(msg.str());
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateInvariants(const FusedLayout& layout) {
+  ORX_RETURN_IF_ERROR(ValidateInvariants(layout.structure()));
+  std::ostringstream msg;
+  std::span<const double> weights = layout.weight_span();
+  if (weights.size() != layout.structure().padded_slots()) {
+    msg << "fused layout: " << weights.size() << " weights for "
+        << layout.structure().padded_slots() << " padded slots";
+    return Violation(msg.str());
+  }
+  // A fused weight is alpha(rate_index) * inv_out_deg with alpha in
+  // [0, 1] and inv_out_deg in (0, 1]; padding slots hold exactly 0.0.
+  for (size_t slot = 0; slot < weights.size(); ++slot) {
+    const double w = weights[slot];
+    if (!std::isfinite(w) || w < 0.0 || w > 1.0) {
+      msg << "fused layout: weight[" << slot << "] = " << w
+          << " outside [0, 1]";
+      return Violation(msg.str());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace orx::graph

@@ -1,0 +1,60 @@
+#ifndef ORX_GRAPH_VALIDATE_H_
+#define ORX_GRAPH_VALIDATE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/status.h"
+#include "graph/authority_graph.h"
+#include "graph/spmv_layout.h"
+
+namespace orx::graph {
+
+/// Deep structural validators for the graph-side index structures. Each
+/// returns a descriptive non-OK Status on the first violated invariant
+/// instead of letting corrupt state turn into out-of-bounds reads or
+/// NaNs deep inside a kernel. They are pure read-only passes (O(nodes +
+/// edges)) over already-materialized memory, so they are safe to call on
+/// arbitrarily corrupt *values* — what they protect against is corrupt
+/// content, not wild pointers.
+///
+/// Callers:
+///  * the fuzz harnesses (fuzz/) validate every structure they build
+///    from untrusted bytes;
+///  * debug builds re-validate after construction via ORX_DCHECK_OK
+///    (AuthorityGraph::Build, SellStructure/FusedLayout constructors);
+///  * `orx_cli validate <file>` exposes them for on-disk artifacts.
+
+/// Validates one CSR adjacency half against the node universe:
+/// offsets has num_nodes + 1 monotone entries starting at 0 and ending
+/// at edges.size(); every edge's endpoint is < num_nodes, its
+/// inv_out_deg is finite and in (0, 1], and its rate_index is
+/// < num_rate_slots (pass SIZE_MAX when the rate universe is unknown).
+/// `name` tags messages ("out-adjacency", "in-adjacency").
+Status ValidateCsr(std::span<const uint64_t> offsets,
+                   std::span<const AuthorityEdge> edges, size_t num_nodes,
+                   size_t num_rate_slots, const char* name);
+
+/// Validates both CSR halves of an authority graph plus their
+/// cross-consistency: equal edge counts, equal per-node degree totals
+/// (out-degree(v) == in-degree(v) in D^A by construction), and an
+/// order-independent fingerprint match, so an edge present in one half
+/// but not the other is caught without materializing an edge multiset.
+Status ValidateInvariants(const AuthorityGraph& graph,
+                          size_t num_rate_slots = static_cast<size_t>(-1));
+
+/// Validates a SELL-8 structure: row_order a bijection on [0, num_rows)
+/// with node_row its exact inverse, chunk_offsets monotone from 0 with
+/// every chunk's padded slot count a multiple of kChunkRows, and
+/// sources/sources_row consistent ([i] < num_rows and
+/// sources_row[i] == node_row[sources[i]] everywhere).
+Status ValidateInvariants(const SellStructure& sell);
+
+/// Validates a fused layout: its structure (above), plus a weight array
+/// of exactly padded_slots() finite values in [0, 1] (a fused weight is
+/// alpha * inv_out_deg with both factors in [0, 1]).
+Status ValidateInvariants(const FusedLayout& layout);
+
+}  // namespace orx::graph
+
+#endif  // ORX_GRAPH_VALIDATE_H_

@@ -6,18 +6,22 @@
 #include <fstream>
 #include <vector>
 
+#include "common/byte_io.h"
+
 namespace orx::io {
 namespace {
 
 constexpr char kMagic[4] = {'O', 'R', 'X', 'D'};
 constexpr uint32_t kVersion = 1;
-// Sanity bound on any single string/collection size; a corrupt length
-// field must not trigger a multi-gigabyte allocation.
+// Sanity bound on any record/collection count; a corrupt count field
+// must not drive a near-endless parse loop.
 constexpr uint64_t kSanityLimit = 1ull << 31;
 // Corrupt length fields must not drive large eager allocations: strings
 // and per-node attribute lists get tight bounds, and reservations from
 // untrusted counts are capped (vectors still grow on demand if a huge
-// count turns out to be real).
+// count turns out to be real). ByteReader additionally grows string
+// payloads chunk-by-chunk, so even an in-bounds length allocates only as
+// bytes actually arrive.
 constexpr uint64_t kStringLimit = 1ull << 27;
 constexpr uint64_t kAttrLimit = 1ull << 16;
 constexpr uint64_t kReserveLimit = 1ull << 20;
@@ -37,39 +41,6 @@ void WriteU64(std::ostream& out, uint64_t v) {
 void WriteString(std::ostream& out, const std::string& s) {
   WriteU32(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-Status ReadU32(std::istream& in, uint32_t* v) {
-  char buf[4];
-  if (!in.read(buf, 4)) return DataLossError("truncated dataset stream");
-  *v = 0;
-  for (int i = 0; i < 4; ++i) {
-    *v |= static_cast<uint32_t>(static_cast<unsigned char>(buf[i]))
-          << (8 * i);
-  }
-  return Status::OK();
-}
-
-Status ReadU64(std::istream& in, uint64_t* v) {
-  char buf[8];
-  if (!in.read(buf, 8)) return DataLossError("truncated dataset stream");
-  *v = 0;
-  for (int i = 0; i < 8; ++i) {
-    *v |= static_cast<uint64_t>(static_cast<unsigned char>(buf[i]))
-          << (8 * i);
-  }
-  return Status::OK();
-}
-
-Status ReadString(std::istream& in, std::string* s) {
-  uint32_t len = 0;
-  ORX_RETURN_IF_ERROR(ReadU32(in, &len));
-  if (len > kStringLimit) return DataLossError("implausible string length");
-  s->resize(len);
-  if (len > 0 && !in.read(s->data(), len)) {
-    return DataLossError("truncated string");
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -116,12 +87,14 @@ Status SerializeDataset(const datasets::Dataset& dataset,
 }
 
 StatusOr<datasets::Dataset> DeserializeDataset(std::istream& in) {
+  ByteReader reader(in);
   char magic[4];
-  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+  ORX_RETURN_IF_ERROR(reader.ReadBytes(magic, 4, "dataset magic"));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
     return DataLossError("not an ORX dataset (bad magic)");
   }
   uint32_t version = 0;
-  ORX_RETURN_IF_ERROR(ReadU32(in, &version));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&version, "dataset version"));
   if (version != kVersion) {
     return DataLossError("unsupported dataset version " +
                          std::to_string(version));
@@ -129,65 +102,86 @@ StatusOr<datasets::Dataset> DeserializeDataset(std::istream& in) {
 
   auto schema = std::make_unique<graph::SchemaGraph>();
   uint32_t num_types = 0;
-  ORX_RETURN_IF_ERROR(ReadU32(in, &num_types));
-  if (num_types > kSanityLimit) return DataLossError("implausible type count");
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&num_types, "node type count"));
+  if (num_types > kSanityLimit) {
+    return DataLossError("implausible type count " +
+                         std::to_string(num_types) + " at byte " +
+                         std::to_string(reader.offset() - 4));
+  }
   for (uint32_t t = 0; t < num_types; ++t) {
     std::string label;
-    ORX_RETURN_IF_ERROR(ReadString(in, &label));
+    ORX_RETURN_IF_ERROR(reader.ReadString(&label, kStringLimit,
+                                          "node type label"));
     auto added = schema->AddNodeType(std::move(label));
     if (!added.ok()) return added.status();
     if (*added != t) return DataLossError("non-dense node type ids");
   }
   uint32_t num_edge_types = 0;
-  ORX_RETURN_IF_ERROR(ReadU32(in, &num_edge_types));
+  ORX_RETURN_IF_ERROR(reader.ReadU32(&num_edge_types, "edge type count"));
   if (num_edge_types > kSanityLimit) {
-    return DataLossError("implausible edge type count");
+    return DataLossError("implausible edge type count " +
+                         std::to_string(num_edge_types) + " at byte " +
+                         std::to_string(reader.offset() - 4));
   }
   for (uint32_t e = 0; e < num_edge_types; ++e) {
     uint32_t from = 0, to = 0;
     std::string role;
-    ORX_RETURN_IF_ERROR(ReadU32(in, &from));
-    ORX_RETURN_IF_ERROR(ReadU32(in, &to));
-    ORX_RETURN_IF_ERROR(ReadString(in, &role));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&from, "edge type endpoint"));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&to, "edge type endpoint"));
+    ORX_RETURN_IF_ERROR(reader.ReadString(&role, kStringLimit,
+                                          "edge type role"));
     auto added = schema->AddEdgeType(from, to, std::move(role));
     if (!added.ok()) return added.status();
     if (*added != e) return DataLossError("non-dense edge type ids");
   }
 
   std::string name;
-  ORX_RETURN_IF_ERROR(ReadString(in, &name));
+  ORX_RETURN_IF_ERROR(reader.ReadString(&name, kStringLimit,
+                                        "dataset name"));
   datasets::Dataset dataset(std::move(schema), std::move(name));
   graph::DataGraph& data = dataset.mutable_data();
 
   uint64_t num_nodes = 0;
-  ORX_RETURN_IF_ERROR(ReadU64(in, &num_nodes));
-  if (num_nodes > kSanityLimit) return DataLossError("implausible node count");
+  ORX_RETURN_IF_ERROR(reader.ReadU64(&num_nodes, "node count"));
+  if (num_nodes > kSanityLimit) {
+    return DataLossError("implausible node count " +
+                         std::to_string(num_nodes) + " at byte " +
+                         std::to_string(reader.offset() - 8));
+  }
   data.ReserveNodes(std::min(num_nodes, kReserveLimit));
   for (uint64_t v = 0; v < num_nodes; ++v) {
     uint32_t type = 0, num_attrs = 0;
-    ORX_RETURN_IF_ERROR(ReadU32(in, &type));
-    ORX_RETURN_IF_ERROR(ReadU32(in, &num_attrs));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&type, "node type"));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&num_attrs, "attribute count"));
     if (num_attrs > kAttrLimit) {
-      return DataLossError("implausible attribute count");
+      return DataLossError("implausible attribute count " +
+                           std::to_string(num_attrs) + " at byte " +
+                           std::to_string(reader.offset() - 4));
     }
     std::vector<graph::Attribute> attrs(num_attrs);
     for (graph::Attribute& a : attrs) {
-      ORX_RETURN_IF_ERROR(ReadString(in, &a.name));
-      ORX_RETURN_IF_ERROR(ReadString(in, &a.value));
+      ORX_RETURN_IF_ERROR(reader.ReadString(&a.name, kStringLimit,
+                                            "attribute name"));
+      ORX_RETURN_IF_ERROR(reader.ReadString(&a.value, kStringLimit,
+                                            "attribute value"));
     }
     auto added = data.AddNode(type, std::move(attrs));
     if (!added.ok()) return added.status();
   }
 
   uint64_t num_edges = 0;
-  ORX_RETURN_IF_ERROR(ReadU64(in, &num_edges));
-  if (num_edges > kSanityLimit) return DataLossError("implausible edge count");
+  ORX_RETURN_IF_ERROR(reader.ReadU64(&num_edges, "edge count"));
+  if (num_edges > kSanityLimit) {
+    return DataLossError("implausible edge count " +
+                         std::to_string(num_edges) + " at byte " +
+                         std::to_string(reader.offset() - 8));
+  }
   data.ReserveEdges(std::min(num_edges, kReserveLimit));
   for (uint64_t i = 0; i < num_edges; ++i) {
     uint32_t from = 0, to = 0, type = 0;
-    ORX_RETURN_IF_ERROR(ReadU32(in, &from));
-    ORX_RETURN_IF_ERROR(ReadU32(in, &to));
-    ORX_RETURN_IF_ERROR(ReadU32(in, &type));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&from, "edge source"));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&to, "edge target"));
+    ORX_RETURN_IF_ERROR(reader.ReadU32(&type, "edge type"));
     ORX_RETURN_IF_ERROR(data.AddEdge(from, to, type));
   }
 

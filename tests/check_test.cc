@@ -1,0 +1,91 @@
+// Death tests for the invariant-checking macros in common/check.h: the
+// comparison macros must print both operand values, ORX_CHECK_OK the
+// rendered Status, and none of them may evaluate an operand twice.
+
+#include "common/check.h"
+
+#include <string>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace orx {
+namespace {
+
+TEST(CheckTest, CheckPassesOnTrue) {
+  ORX_CHECK(1 + 1 == 2);
+  ORX_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, CheckPrintsConditionAndLocation) {
+  EXPECT_DEATH(ORX_CHECK(2 + 2 == 5), "ORX_CHECK failed at .*check_test.cc");
+}
+
+TEST(CheckTest, ComparisonMacrosPassOnSatisfiedRelation) {
+  ORX_CHECK_EQ(4, 2 + 2);
+  ORX_CHECK_NE(std::string("a"), std::string("b"));
+  ORX_CHECK_LT(1, 2);
+  ORX_CHECK_LE(2, 2);
+}
+
+TEST(CheckDeathTest, EqPrintsBothOperandValues) {
+  const size_t have = 3, want = 5;
+  EXPECT_DEATH(ORX_CHECK_EQ(have, want), "have == want \\(3 vs. 5\\)");
+}
+
+TEST(CheckDeathTest, NePrintsBothOperandValues) {
+  EXPECT_DEATH(ORX_CHECK_NE(7, 7), "7 != 7 \\(7 vs. 7\\)");
+}
+
+TEST(CheckDeathTest, LtPrintsBothOperandValues) {
+  EXPECT_DEATH(ORX_CHECK_LT(9, 4), "9 < 4 \\(9 vs. 4\\)");
+}
+
+TEST(CheckDeathTest, LePrintsBothOperandValues) {
+  EXPECT_DEATH(ORX_CHECK_LE(10, 4), "10 <= 4 \\(10 vs. 4\\)");
+}
+
+TEST(CheckDeathTest, StringOperandsRenderTheirContents) {
+  const std::string got = "apple", expected = "pear";
+  EXPECT_DEATH(ORX_CHECK_EQ(got, expected), "\\(apple vs. pear\\)");
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  ORX_CHECK_EQ(count(), 1);
+  EXPECT_EQ(evaluations, 1);
+  ORX_CHECK_LE(1, count());
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(CheckTest, CheckOkPassesOnOkStatusAndStatusOr) {
+  ORX_CHECK_OK(Status::OK());
+  StatusOr<int> ok_value(42);
+  ORX_CHECK_OK(ok_value);
+}
+
+TEST(CheckDeathTest, CheckOkPrintsRenderedStatus) {
+  EXPECT_DEATH(ORX_CHECK_OK(InvalidArgumentError("bad damping")),
+               "ORX_CHECK_OK failed at .* is INVALID_ARGUMENT: bad damping");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatusOrError) {
+  StatusOr<int> failed(NotFoundError("no such term"));
+  EXPECT_DEATH(ORX_CHECK_OK(failed), "NOT_FOUND: no such term");
+}
+
+TEST(CheckTest, DcheckOkCompiledInMatchesBuildMode) {
+#ifdef NDEBUG
+  // Compiles out: the failing expression must not be evaluated at all.
+  bool evaluated = false;
+  ORX_DCHECK_OK(
+      (evaluated = true, InvalidArgumentError("unreachable in NDEBUG")));
+  EXPECT_FALSE(evaluated);
+#else
+  ORX_DCHECK_OK(Status::OK());
+#endif
+}
+
+}  // namespace
+}  // namespace orx

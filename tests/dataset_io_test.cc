@@ -111,6 +111,52 @@ TEST(DatasetIoTest, CorruptStreamsAreDataLoss) {
   }
 }
 
+TEST(DatasetIoTest, CorruptLengthFieldsFailWithByteOffsets) {
+  datasets::Figure1Dataset fig = datasets::MakeFigure1Dataset();
+  std::stringstream full;
+  ASSERT_TRUE(SerializeDataset(fig.dataset, full).ok());
+  const std::string bytes = full.str();
+  auto patch_u32 = [&](size_t at, uint32_t v) {
+    std::string copy = bytes;
+    for (int i = 0; i < 4; ++i) {
+      copy[at + static_cast<size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    return copy;
+  };
+
+  {
+    // Layout: magic(4) version(4), then u32 node-type count at byte 8 and
+    // the first label's u32 length at byte 12. An absurd label length
+    // must fail with kDataLoss naming the offending offset, not allocate.
+    std::stringstream s(patch_u32(12, 0xFFFFFFF0u));
+    auto result = DeserializeDataset(s);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(result.status().message().find("implausible"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("at byte 12"),
+              std::string::npos);
+  }
+  {
+    // A length just under the sanity limit but far beyond the stream:
+    // the chunked string read fails at end-of-stream with the offset.
+    std::stringstream s(patch_u32(12, (1u << 27) - 1));
+    auto result = DeserializeDataset(s);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(result.status().message().find("at byte"), std::string::npos);
+  }
+  // Truncation anywhere reports the byte where the stream ran dry.
+  {
+    std::stringstream truncated(bytes.substr(0, 20));
+    auto result = DeserializeDataset(truncated);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("at byte"), std::string::npos)
+        << result.status().message();
+  }
+}
+
 TEST(DatasetIoTest, DanglingEdgeIdsAreRejected) {
   // Hand-craft a stream whose edge references a nonexistent node: take a
   // valid serialization and bump the edge count region... simpler: build

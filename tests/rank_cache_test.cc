@@ -185,6 +185,75 @@ TEST_F(RankCacheTest, DeserializeRejectsCorruptStreams) {
             StatusCode::kDataLoss);
 }
 
+TEST_F(RankCacheTest, CorruptedFixturesFailWithByteOffsets) {
+  RankCache cache = RankCache::BuildForTerms(
+      dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},
+      options_);
+  std::stringstream stream;
+  ASSERT_TRUE(cache.Serialize(stream).ok());
+  const std::string bytes = stream.str();
+  // Layout: magic(4) version(4) num_nodes(4) fingerprint(8) bm25(24)
+  // num_entries(4) = 48-byte header, then per entry: u32 term length.
+  auto patch_u32 = [&](size_t at, uint32_t v) {
+    std::string copy = bytes;
+    for (int i = 0; i < 4; ++i) {
+      copy[at + static_cast<size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    return copy;
+  };
+
+  {
+    // Oversized node count: rejected before any per-entry allocation.
+    std::stringstream s(patch_u32(8, 0xFFFFFFFFu));
+    auto result = RankCache::Deserialize(s);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(result.status().message().find("implausible"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("at byte 8"),
+              std::string::npos);
+  }
+  {
+    // Oversized term length field.
+    std::stringstream s(patch_u32(48, 0xFFFFFFFFu));
+    auto result = RankCache::Deserialize(s);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(result.status().message().find("term"), std::string::npos);
+  }
+  {
+    // Entry count far beyond the stream: the chunked reads must fail at
+    // end-of-stream instead of allocating for the claimed entries.
+    std::stringstream s(patch_u32(44, 1u << 26));
+    auto result = RankCache::Deserialize(s);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // Zero-length term (found by rank_cache_fuzz): Serialize never writes
+    // one, and an empty map key would shadow real lookups — reject it.
+    std::stringstream s(patch_u32(48, 0));
+    auto result = RankCache::Deserialize(s);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(result.status().message().find("empty"), std::string::npos)
+        << result.status().message();
+  }
+  // Truncation at every byte boundary: always kDataLoss naming the
+  // offset where the stream ran dry, never a crash (the suite runs under
+  // ASan in CI).
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto result = RankCache::Deserialize(truncated);
+    ASSERT_FALSE(result.ok()) << "cut at " << cut;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+        << "cut at " << cut;
+    EXPECT_NE(result.status().message().find("at byte"), std::string::npos)
+        << "cut at " << cut << ": " << result.status().message();
+  }
+}
+
 TEST_F(RankCacheTest, FileSaveAndLoad) {
   RankCache cache = RankCache::BuildForTerms(
       dblp_.dataset.authority(), dblp_.dataset.corpus(), rates_, {"data"},

@@ -1,0 +1,204 @@
+#include "graph/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/rank_cache.h"
+#include "datasets/figure1.h"
+#include "graph/spmv_layout.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::core {
+
+// Test-only backdoor for forging invalid internal states that the public
+// API cannot produce (mirrors the peer in rank_cache_test.cc; each test
+// binary carries its own copy).
+struct RankCacheTestPeer {
+  static void AppendScore(RankCache& cache, const std::string& term) {
+    cache.entries_.at(term).scores.push_back(0.0f);
+  }
+  static void SetMass(RankCache& cache, const std::string& term, double mass) {
+    cache.entries_.at(term).mass = mass;
+  }
+  static void SetScore(RankCache& cache, const std::string& term, size_t node,
+                       float value) {
+    cache.entries_.at(term).scores[node] = value;
+  }
+};
+
+}  // namespace orx::core
+
+namespace orx::graph {
+namespace {
+
+constexpr size_t kNoRateBound = static_cast<size_t>(-1);
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() : fig_(datasets::MakeFigure1Dataset()) {}
+
+  const AuthorityGraph& authority() const {
+    return fig_.dataset.authority();
+  }
+
+  datasets::Figure1Dataset fig_;
+};
+
+TEST_F(ValidateTest, WellFormedGraphPasses) {
+  EXPECT_TRUE(ValidateInvariants(authority()).ok());
+  // And under the true rate-slot bound of its schema.
+  EXPECT_TRUE(ValidateInvariants(authority(),
+                                 fig_.dataset.schema().num_rate_slots())
+                  .ok());
+}
+
+TEST_F(ValidateTest, CsrRejectsOutOfRangeColumn) {
+  const AuthorityGraph& g = authority();
+  std::vector<AuthorityEdge> edges(g.out_edges().begin(),
+                                   g.out_edges().end());
+  ASSERT_FALSE(edges.empty());
+  edges[2].target = static_cast<NodeId>(g.num_nodes());  // one past the end
+  Status status = ValidateCsr(g.out_offsets(), edges, g.num_nodes(),
+                              kNoRateBound, "out-adjacency");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("out of range"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ValidateTest, CsrRejectsNonMonotoneOffsets) {
+  const AuthorityGraph& g = authority();
+  std::vector<uint64_t> offsets(g.out_offsets().begin(),
+                                g.out_offsets().end());
+  ASSERT_GE(offsets.size(), 3u);
+  offsets[1] = offsets[2] + 1;  // row 1 now "ends" before it begins
+  Status status = ValidateCsr(offsets, g.out_edges(), g.num_nodes(),
+                              kNoRateBound, "out-adjacency");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("monotone"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ValidateTest, CsrRejectsBadNormalizationAndRateIndex) {
+  const AuthorityGraph& g = authority();
+  {
+    std::vector<AuthorityEdge> edges(g.out_edges().begin(),
+                                     g.out_edges().end());
+    edges[0].inv_out_deg = 0.0f;  // 1/deg can never be zero
+    EXPECT_FALSE(ValidateCsr(g.out_offsets(), edges, g.num_nodes(),
+                             kNoRateBound, "out-adjacency")
+                     .ok());
+    edges[0].inv_out_deg = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(ValidateCsr(g.out_offsets(), edges, g.num_nodes(),
+                             kNoRateBound, "out-adjacency")
+                     .ok());
+  }
+  {
+    std::vector<AuthorityEdge> edges(g.out_edges().begin(),
+                                     g.out_edges().end());
+    edges[0].rate_index = 10'000;
+    Status status =
+        ValidateCsr(g.out_offsets(), edges, g.num_nodes(),
+                    fig_.dataset.schema().num_rate_slots(), "out-adjacency");
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("rate_index"), std::string::npos);
+  }
+}
+
+TEST_F(ValidateTest, CsrRejectsOffsetEdgeCountMismatch) {
+  const AuthorityGraph& g = authority();
+  std::vector<uint64_t> offsets(g.out_offsets().begin(),
+                                g.out_offsets().end());
+  offsets.back() += 8;  // claims edges the array does not hold
+  EXPECT_FALSE(ValidateCsr(offsets, g.out_edges(), g.num_nodes(),
+                           kNoRateBound, "out-adjacency")
+                   .ok());
+}
+
+TEST_F(ValidateTest, WellFormedSellPasses) {
+  SellStructure sell(authority());
+  EXPECT_TRUE(ValidateInvariants(sell).ok());
+}
+
+TEST_F(ValidateTest, SellRejectsBadSlicePadding) {
+  SellStructure sell(authority());
+  // A chunk's slot count must be a multiple of kChunkRows; growing the
+  // final cumulative offset by a non-multiple breaks exactly that.
+  sell.chunk_offsets.back() += 3;
+  Status status = ValidateInvariants(sell);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("multiple"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ValidateTest, SellRejectsNonBijectivePermutation) {
+  SellStructure sell(authority());
+  ASSERT_GE(sell.num_rows, 2u);
+  sell.row_order[0] = sell.row_order[1];  // two rows claim one node
+  Status status = ValidateInvariants(sell);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bijection"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(ValidateTest, SellRejectsInconsistentSourcesRow) {
+  SellStructure sell(authority());
+  ASSERT_FALSE(sell.sources_row.empty());
+  sell.sources_row[0] =
+      (sell.sources_row[0] + 1) % static_cast<uint32_t>(sell.num_rows);
+  EXPECT_FALSE(ValidateInvariants(sell).ok());
+}
+
+TEST_F(ValidateTest, WellFormedFusedLayoutPasses) {
+  TransferRates rates(fig_.dataset.schema(), 0.3);
+  FusedLayout layout(authority(), rates);
+  EXPECT_TRUE(ValidateInvariants(layout).ok());
+}
+
+}  // namespace
+}  // namespace orx::graph
+
+namespace orx::core {
+namespace {
+
+class RankCacheValidateTest : public ::testing::Test {
+ protected:
+  RankCacheValidateTest()
+      : fig_(datasets::MakeFigure1Dataset()),
+        cache_(RankCache::BuildForTerms(
+            fig_.dataset.authority(), fig_.dataset.corpus(),
+            graph::TransferRates(fig_.dataset.schema(), 0.3), {"olap"},
+            RankCache::Options{})) {}
+
+  datasets::Figure1Dataset fig_;
+  RankCache cache_;
+};
+
+TEST_F(RankCacheValidateTest, WellFormedCachePasses) {
+  ASSERT_TRUE(cache_.Contains("olap"));
+  EXPECT_TRUE(cache_.ValidateInvariants().ok());
+}
+
+TEST_F(RankCacheValidateTest, RejectsScoreVectorLengthMismatch) {
+  RankCacheTestPeer::AppendScore(cache_, "olap");
+  Status status = cache_.ValidateInvariants();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("scores"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(RankCacheValidateTest, RejectsNonFiniteMassAndScores) {
+  RankCacheTestPeer::SetMass(cache_, "olap",
+                             std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(cache_.ValidateInvariants().ok());
+  RankCacheTestPeer::SetMass(cache_, "olap", 1.0);
+  ASSERT_TRUE(cache_.ValidateInvariants().ok());
+  RankCacheTestPeer::SetScore(cache_, "olap", 0,
+                              std::numeric_limits<float>::quiet_NaN());
+  EXPECT_FALSE(cache_.ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace orx::core

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-command memory-safety check: builds the FULL test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer and runs every ctest.
+# Any heap error, leak, or UB report fails the run.
+#
+#   tools/check_asan.sh [build-dir]        (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DORX_SANITIZE=address,undefined \
+  -DORX_BUILD_BENCHMARKS=OFF \
+  -DORX_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j
+ASAN_OPTIONS=abort_on_error=1:detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+echo "ASan+UBSan suite passed."

@@ -11,6 +11,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "datasets/figure1.h"
 #include "datasets/zipf.h"
 #include "explain/explainer.h"
+#include "graph/validate.h"
 #include "io/dataset_io.h"
 #include "io/graph_tsv.h"
 #include "reformulate/reformulator.h"
@@ -53,6 +55,8 @@ constexpr const char* kHelp = R"(commands:
   precompute off              detach the rank cache
   serve-bench [clients [queries]] [--max_batch_size=N]
               [--max_batch_delay_ms=X]   load-test a SearchService
+  validate [file]             deep structural check of an .orxd dataset or
+                              .orxc rank cache (no file: current dataset)
   query <keywords...>         run ObjectRank2
   explain <rank>              explaining subgraph of a result
   feedback <rank> [rank...]   reformulate from relevant results
@@ -483,6 +487,62 @@ void DoServeBench(CliState& state, const std::string& args) {
   }
 }
 
+// Runs the full graph-side validator stack on an in-memory dataset:
+// authority CSR (bounded by the schema's rate slots), the SELL-8
+// restructuring of its in-adjacency, and a fused layout materialized
+// under the current rates. Returns the first violation.
+Status ValidateDataset(const datasets::Dataset& dataset,
+                       const graph::TransferRates& rates) {
+  ORX_RETURN_IF_ERROR(graph::ValidateInvariants(
+      dataset.authority(), dataset.schema().num_rate_slots()));
+  graph::FusedLayout layout(dataset.authority(), rates);
+  ORX_RETURN_IF_ERROR(graph::ValidateInvariants(layout));
+  return Status::OK();
+}
+
+void DoValidate(CliState& state, const std::string& args) {
+  const std::string path(orx::StripWhitespace(args));
+  if (path.empty()) {
+    if (!state.Ready()) return;
+    Status status = ValidateDataset(*state.dataset, state.rates);
+    std::printf("%s\n", status.ok() ? "dataset OK" : status.ToString().c_str());
+    return;
+  }
+  // Dispatch on the file's magic: "ORXD" datasets, "ORXC" rank caches.
+  char magic[4] = {};
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in || !in.read(magic, 4)) {
+      std::printf("cannot read %s\n", path.c_str());
+      return;
+    }
+  }
+  if (std::string_view(magic, 4) == "ORXD") {
+    auto loaded = orx::io::LoadDataset(path);
+    if (!loaded.ok()) {
+      std::printf("%s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    if (!loaded->finalized()) loaded->Finalize();
+    graph::TransferRates rates(loaded->schema(), 0.3);
+    Status status = ValidateDataset(*loaded, rates);
+    std::printf("%s\n",
+                status.ok() ? "dataset OK" : status.ToString().c_str());
+  } else if (std::string_view(magic, 4) == "ORXC") {
+    auto cache = core::RankCache::Load(path);
+    if (!cache.ok()) {
+      std::printf("%s\n", cache.status().ToString().c_str());
+      return;
+    }
+    Status status = cache->ValidateInvariants();
+    std::printf("%s\n",
+                status.ok() ? "rank cache OK" : status.ToString().c_str());
+  } else {
+    std::printf("%s: unrecognized magic (expected ORXD or ORXC)\n",
+                path.c_str());
+  }
+}
+
 void DoGenerate(CliState& state, const std::string& args) {
   auto tokens = SplitWhitespace(args);
   if (tokens.size() < 2) {
@@ -590,6 +650,8 @@ int main() {
       const int k = std::atoi(args.c_str());
       if (k >= 1) state.search_options.k = static_cast<size_t>(k);
       std::printf("k = %zu\n", state.search_options.k);
+    } else if (command == "validate") {
+      DoValidate(state, args);
     } else if (command == "precompute") {
       DoPrecompute(state, args);
     } else if (command == "serve-bench") {
