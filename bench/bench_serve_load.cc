@@ -130,7 +130,7 @@ int main() {
       point.clients = clients;
       point.queries = total_queries;
       point.wall_seconds = timer.ElapsedSeconds();
-      point.metrics = service.Metrics();
+      point.metrics = service.Snapshot();
       points.push_back(point);
     }
   }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "common/check.h"
@@ -19,6 +20,18 @@
 #include "datasets/figure1.h"
 #include "graph/transfer_rates.h"
 #include "io/dataset_io.h"
+#include "net/frame.h"
+
+namespace {
+
+void WriteSeed(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ORX_CHECK_MSG(out.good(), "cannot open seed file");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ORX_CHECK_MSG(out.good(), "seed write failed");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 2) {
@@ -40,6 +53,48 @@ int main(int argc, char** argv) {
       fig.dataset.authority(), fig.dataset.corpus(), rates,
       {"olap", "data", "cube"}, orx::core::RankCache::Options{});
   ORX_CHECK_OK(cache.Save((root / "rank_cache" / "figure1.orxc").string()));
+
+  // ORXN wire-protocol seeds: one representative frame per op so the
+  // net_frame fuzzer starts from structurally valid inputs.
+  std::filesystem::create_directories(root / "net_frame");
+  {
+    using namespace orx::net;
+    WriteSeed(root / "net_frame" / "ping.bin",
+              EncodeFrame(Op::kPing, 1, std::string()));
+    WriteSeed(root / "net_frame" / "search_request.bin",
+              EncodeFrame(Op::kSearch, 2,
+                          EncodeSearchRequest({"data cube olap", 10, 0.5})));
+    SearchResponse search;
+    search.results.push_back({42, 0.125, "paper", "Data Cube"});
+    search.results.push_back({7, 0.0625, "author", "Gray"});
+    search.iterations = 12;
+    search.snapshot_version = 1;
+    WriteSeed(root / "net_frame" / "search_response.bin",
+              EncodeFrame(Op::kSearch, 2, EncodeSearchResponse(search)));
+    WriteSeed(root / "net_frame" / "explain_request.bin",
+              EncodeFrame(Op::kExplain, 3,
+                          EncodeExplainRequest({"data cube", 2})));
+    WriteSeed(root / "net_frame" / "reformulate_request.bin",
+              EncodeFrame(Op::kReformulate, 4,
+                          EncodeReformulateRequest({"data", {1, 3}})));
+    ReformulateResponse reform;
+    reform.reformulated_query = "data mining:0.5";
+    reform.top_expansion_terms = {{"mining", 0.5}};
+    WriteSeed(root / "net_frame" / "reformulate_response.bin",
+              EncodeFrame(Op::kReformulate, 4,
+                          EncodeReformulateResponse(reform)));
+    WriteSeed(root / "net_frame" / "validate_response.bin",
+              EncodeFrame(Op::kValidate, 5,
+                          EncodeValidateResponse({true, "snapshot OK"})));
+    MetricsResponse metrics;
+    metrics.serve.submitted = 100;
+    metrics.serve.completed = 99;
+    metrics.frames_received = 123;
+    WriteSeed(root / "net_frame" / "metrics_response.bin",
+              EncodeFrame(Op::kMetrics, 6, EncodeMetricsResponse(metrics)));
+    WriteSeed(root / "net_frame" / "error_response.bin",
+              EncodeErrorFrame(7, orx::UnavailableError("queue full")));
+  }
 
   std::printf("seeds written under %s\n", root.string().c_str());
   return 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
 
@@ -13,14 +14,25 @@ namespace {
 constexpr double kMinSeconds = 1e-7;
 const double kLogRatio = std::log(10.0) / 10.0;
 
+// Negative/NaN inputs are operational nonsense (a backwards clock); they
+// must not poison the recorded min/max used for percentile clamping.
+double Sanitize(double seconds) {
+  return std::isfinite(seconds) && seconds > 0.0 ? seconds : 0.0;
+}
+
 }  // namespace
 
 LatencyHistogram::LatencyHistogram() { Reset(); }
 
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_seconds_.store(0.0, std::memory_order_relaxed);
+  for (auto& s : stripes_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_seconds_.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+  max_seconds_.store(0.0, std::memory_order_relaxed);
 }
 
 size_t LatencyHistogram::BucketIndex(double seconds) {
@@ -30,30 +42,76 @@ size_t LatencyHistogram::BucketIndex(double seconds) {
   return static_cast<size_t>(idx);
 }
 
+size_t LatencyHistogram::StripeIndex() {
+  // Round-robin stripe assignment at first use per thread: adjacent
+  // threads land on different stripes regardless of the thread-id hash
+  // quality.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
 double LatencyHistogram::BucketLowerBound(size_t i) {
   return kMinSeconds * std::exp(kLogRatio * static_cast<double>(i));
 }
 
 void LatencyHistogram::Record(double seconds) {
-  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  double sum = sum_seconds_.load(std::memory_order_relaxed);
-  while (!sum_seconds_.compare_exchange_weak(sum, sum + seconds,
-                                             std::memory_order_relaxed)) {
+  const double sample = Sanitize(seconds);
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  Stripe& stripe = stripes_[StripeIndex()];
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = stripe.sum.load(std::memory_order_relaxed);
+  while (!stripe.sum.compare_exchange_weak(sum, sum + sample,
+                                           std::memory_order_relaxed)) {
+  }
+  double mn = min_seconds_.load(std::memory_order_relaxed);
+  while (sample < mn && !min_seconds_.compare_exchange_weak(
+                            mn, sample, std::memory_order_relaxed)) {
+  }
+  double mx = max_seconds_.load(std::memory_order_relaxed);
+  while (sample > mx && !max_seconds_.compare_exchange_weak(
+                            mx, sample, std::memory_order_relaxed)) {
   }
 }
 
 uint64_t LatencyHistogram::TotalCount() const {
-  return count_.load(std::memory_order_relaxed);
+  uint64_t n = 0;
+  for (const Stripe& s : stripes_) {
+    n += s.count.load(std::memory_order_relaxed);
+  }
+  return n;
 }
 
 double LatencyHistogram::TotalSeconds() const {
-  return sum_seconds_.load(std::memory_order_relaxed);
+  double sum = 0.0;
+  for (const Stripe& s : stripes_) {
+    sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 double LatencyHistogram::MeanSeconds() const {
-  const uint64_t n = TotalCount();
-  return n == 0 ? 0.0 : TotalSeconds() / static_cast<double>(n);
+  // One pass deriving count and sum together — a count from one instant
+  // and a sum from a visibly later one would report a mean no sample set
+  // ever had (the Percentile() snapshot discipline, applied to the
+  // stripes).
+  uint64_t n = 0;
+  double sum = 0.0;
+  for (const Stripe& s : stripes_) {
+    n += s.count.load(std::memory_order_relaxed);
+    sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double LatencyHistogram::MinSeconds() const {
+  const double mn = min_seconds_.load(std::memory_order_relaxed);
+  return std::isinf(mn) ? 0.0 : mn;
+}
+
+double LatencyHistogram::MaxSeconds() const {
+  return max_seconds_.load(std::memory_order_relaxed);
 }
 
 double LatencyHistogram::Percentile(double p) const {
@@ -67,6 +125,8 @@ double LatencyHistogram::Percentile(double p) const {
     total += counts[i];
   }
   if (total == 0) return 0.0;
+  const double mn = MinSeconds();
+  const double mx = MaxSeconds();
   // Rank of the percentile sample, 1-based nearest-rank definition.
   const uint64_t rank = std::max<uint64_t>(
       1, static_cast<uint64_t>(std::ceil(p / 100.0 *
@@ -75,11 +135,22 @@ double LatencyHistogram::Percentile(double p) const {
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += counts[i];
     if (seen >= rank) {
-      // Geometric midpoint of [lower, lower * ratio).
-      return BucketLowerBound(i) * std::exp(kLogRatio * 0.5);
+      if (i == kNumBuckets - 1) {
+        // The overflow bucket is unbounded above; its midpoint is
+        // meaningless, but the recorded max is a sample that truly
+        // landed here (or below, in which case the clamp is still an
+        // upper bound on the rank's sample).
+        return mx;
+      }
+      // Geometric midpoint of [lower, lower * ratio), clamped to the
+      // recorded range: the true rank-th sample can't lie outside
+      // [min, max], so never report a value no request experienced.
+      const double midpoint =
+          BucketLowerBound(i) * std::exp(kLogRatio * 0.5);
+      return std::clamp(midpoint, mn, mx);
     }
   }
-  return BucketLowerBound(kNumBuckets - 1);
+  return mx;
 }
 
 std::string LatencyHistogram::ToString() const {

@@ -10,23 +10,31 @@
 namespace orx {
 
 /// A fixed-bucket log-spaced latency histogram for concurrent recording on
-/// the serving hot path. Record() is lock-free (one relaxed fetch_add per
-/// sample); Percentile() walks a racy-but-monotone snapshot of the bucket
-/// counters, which is exact once recording threads quiesce and off by at
-/// most the in-flight samples while they don't — fine for operational
-/// metrics, not for billing.
+/// the serving hot path. Record() is lock-free (a relaxed fetch_add on the
+/// bucket plus a striped accumulator update — stripes keep concurrent
+/// recorders off each other's cache lines, so there is no global CAS to
+/// spin on under contention); Percentile() walks a racy-but-monotone
+/// snapshot of the bucket counters, which is exact once recording threads
+/// quiesce and off by at most the in-flight samples while they don't —
+/// fine for operational metrics, not for billing.
 ///
 /// Buckets cover [100 ns, ~350 s) with ~10 buckets per decade; samples
 /// outside the range clamp into the first/last bucket. A percentile is
-/// reported as the geometric midpoint of its bucket, so the error is
-/// bounded by the bucket ratio (~25%), independent of the sample count.
+/// reported as the geometric midpoint of its bucket, clamped to the
+/// recorded sample min/max, so the error is bounded by the bucket ratio
+/// (~25%) *within* the recorded range: a degenerate distribution (all
+/// samples equal) reports that exact value, samples below the first
+/// bucket bound never inflate to the bucket midpoint, and the unbounded
+/// overflow bucket reports the recorded max instead of a meaningless
+/// midpoint.
 class LatencyHistogram {
  public:
   static constexpr size_t kNumBuckets = 96;
 
   LatencyHistogram();
 
-  /// Adds one sample. Thread-safe, lock-free.
+  /// Adds one sample. Thread-safe, lock-free. Non-finite or negative
+  /// samples count as 0 (first bucket).
   void Record(double seconds);
 
   /// Total samples recorded.
@@ -35,11 +43,20 @@ class LatencyHistogram {
   /// Sum of all recorded samples in seconds (for means).
   double TotalSeconds() const;
 
-  /// Mean sample, or 0 with no samples.
+  /// Mean sample, or 0 with no samples. Count and sum are derived from
+  /// one pass over the accumulator stripes (the same snapshot
+  /// discipline Percentile() applies to the buckets), so the mean is
+  /// never computed from a count and a sum taken at visibly different
+  /// times.
   double MeanSeconds() const;
 
-  /// The p-th percentile (p in [0, 100]) as the geometric midpoint of the
-  /// bucket holding that rank; 0 with no samples.
+  /// Smallest / largest recorded sample; 0 with no samples.
+  double MinSeconds() const;
+  double MaxSeconds() const;
+
+  /// The p-th percentile (p in [0, 100]): the geometric midpoint of the
+  /// bucket holding that rank, clamped to [MinSeconds(), MaxSeconds()]
+  /// (the overflow bucket reports MaxSeconds()); 0 with no samples.
   double Percentile(double p) const;
 
   /// Resets every counter to zero. Not atomic with concurrent Record()
@@ -53,13 +70,28 @@ class LatencyHistogram {
   static double BucketLowerBound(size_t i);
 
  private:
+  /// Accumulator stripes: each recording thread owns (round-robin) one
+  /// cache-line-sized stripe, so the per-sample count/sum updates of
+  /// different threads never contend on one atomic. Readers sum over
+  /// stripes.
+  static constexpr size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> count;
+    /// Maintained with a CAS loop (atomic<double>::fetch_add is C++20
+    /// but not yet universal across the toolchains we build on); the
+    /// striping keeps the loop effectively contention-free.
+    std::atomic<double> sum;
+  };
+
   static size_t BucketIndex(double seconds);
+  static size_t StripeIndex();
 
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
-  std::atomic<uint64_t> count_;
-  /// Sum maintained with a CAS loop (atomic<double>::fetch_add is C++20
-  /// but not yet universal across the toolchains we build on).
-  std::atomic<double> sum_seconds_;
+  std::array<Stripe, kStripes> stripes_;
+  /// Recorded sample range (min starts at +inf, max at 0); used to clamp
+  /// percentile estimates to values that were actually observed.
+  std::atomic<double> min_seconds_;
+  std::atomic<double> max_seconds_;
 };
 
 }  // namespace orx

@@ -1,0 +1,119 @@
+#include "net/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "net/net_util.h"
+
+namespace orx::net {
+
+BlockingClient::~BlockingClient() { Close(); }
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port) {
+  IgnoreSigpipe();
+  Close();
+  auto fd = ConnectTcp(host, port);
+  ORX_RETURN_IF_ERROR(fd.status());
+  fd_ = *fd;
+  return Status::OK();
+}
+
+void BlockingClient::Close() {
+  if (fd_ != -1) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Frame> BlockingClient::Call(Op op, const std::string& payload) {
+  if (fd_ == -1) return FailedPreconditionError("client not connected");
+  const uint64_t id = next_request_id_++;
+  const std::string wire = EncodeFrame(op, id, payload);
+  Status sent = WriteAll(fd_, wire.data(), wire.size());
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+
+  char header_bytes[kHeaderSize];
+  Status got = ReadAll(fd_, header_bytes, kHeaderSize, "frame header");
+  if (!got.ok()) {
+    Close();
+    return got;
+  }
+  auto header = DecodeHeader(header_bytes);
+  if (!header.ok()) {
+    Close();  // framing lost; the connection is unusable
+    return header.status();
+  }
+  Frame frame;
+  frame.header = *header;
+  frame.payload.resize(header->payload_size);
+  if (header->payload_size > 0) {
+    got = ReadAll(fd_, frame.payload.data(), header->payload_size,
+                  "frame payload");
+    if (!got.ok()) {
+      Close();
+      return got;
+    }
+  }
+  if (frame.header.request_id != id) {
+    Close();
+    return DataLossError(
+        "response id " + std::to_string(frame.header.request_id) +
+        " does not match request id " + std::to_string(id));
+  }
+  if (frame.header.op == Op::kError) {
+    auto error = DecodeErrorResponse(frame.payload);
+    ORX_RETURN_IF_ERROR(error.status());
+    return Status(error->code, error->message);
+  }
+  if (frame.header.op != op) {
+    Close();
+    return DataLossError("response op " +
+                         std::to_string(static_cast<int>(frame.header.op)) +
+                         " does not match request op " +
+                         std::to_string(static_cast<int>(op)));
+  }
+  return frame;
+}
+
+StatusOr<SearchResponse> BlockingClient::Search(
+    const SearchRequest& request) {
+  auto frame = Call(Op::kSearch, EncodeSearchRequest(request));
+  ORX_RETURN_IF_ERROR(frame.status());
+  return DecodeSearchResponse(frame->payload);
+}
+
+StatusOr<ExplainResponse> BlockingClient::Explain(
+    const ExplainRequest& request) {
+  auto frame = Call(Op::kExplain, EncodeExplainRequest(request));
+  ORX_RETURN_IF_ERROR(frame.status());
+  return DecodeExplainResponse(frame->payload);
+}
+
+StatusOr<ReformulateResponse> BlockingClient::Reformulate(
+    const ReformulateRequest& request) {
+  auto frame = Call(Op::kReformulate, EncodeReformulateRequest(request));
+  ORX_RETURN_IF_ERROR(frame.status());
+  return DecodeReformulateResponse(frame->payload);
+}
+
+StatusOr<ValidateResponse> BlockingClient::Validate() {
+  auto frame = Call(Op::kValidate, std::string());
+  ORX_RETURN_IF_ERROR(frame.status());
+  return DecodeValidateResponse(frame->payload);
+}
+
+StatusOr<MetricsResponse> BlockingClient::Metrics() {
+  auto frame = Call(Op::kMetrics, std::string());
+  ORX_RETURN_IF_ERROR(frame.status());
+  return DecodeMetricsResponse(frame->payload);
+}
+
+Status BlockingClient::Ping() {
+  return Call(Op::kPing, std::string()).status();
+}
+
+}  // namespace orx::net

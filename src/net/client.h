@@ -1,0 +1,52 @@
+#ifndef ORX_NET_CLIENT_H_
+#define ORX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace orx::net {
+
+/// A simple blocking ORXN client: one connection, synchronous
+/// call-response. Used by orx_client's interactive/e2e/bench modes and
+/// the loopback tests; the load mode drives many non-blocking
+/// connections itself (tools/orx_client.cpp).
+///
+/// Not thread-safe: one BlockingClient per thread.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ != -1; }
+
+  /// Sends one frame and blocks for its response (matched by request
+  /// id — the server may interleave pushes for pipelined ids, but this
+  /// client never pipelines, so the next response is ours). A kError
+  /// response is surfaced as the Status it carries.
+  StatusOr<Frame> Call(Op op, const std::string& payload);
+
+  /// Typed conveniences over Call().
+  StatusOr<SearchResponse> Search(const SearchRequest& request);
+  StatusOr<ExplainResponse> Explain(const ExplainRequest& request);
+  StatusOr<ReformulateResponse> Reformulate(
+      const ReformulateRequest& request);
+  StatusOr<ValidateResponse> Validate();
+  StatusOr<MetricsResponse> Metrics();
+  Status Ping();
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace orx::net
+
+#endif  // ORX_NET_CLIENT_H_

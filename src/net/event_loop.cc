@@ -1,0 +1,120 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/check.h"
+#include "net/net_util.h"
+
+namespace orx::net {
+
+EventLoop::EventLoop(Task tick, int tick_interval_ms)
+    : tick_interval_ms_(tick_interval_ms), tick_(std::move(tick)) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  ORX_CHECK_MSG(epoll_fd_ != -1, "epoll_create1 failed");
+  wakeup_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  ORX_CHECK_MSG(wakeup_fd_ != -1, "eventfd failed");
+  epoll_event event;
+  event.events = EPOLLIN | EPOLLET;
+  event.data.fd = wakeup_fd_;
+  ORX_CHECK_MSG(
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &event) == 0,
+      "epoll_ctl(wakeup) failed");
+}
+
+EventLoop::~EventLoop() {
+  close(wakeup_fd_);
+  close(epoll_fd_);
+}
+
+Status EventLoop::AddFd(int fd, uint32_t events, Handler handler) {
+  epoll_event event;
+  event.events = events | EPOLLET;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) == -1) {
+    return ErrnoError("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::move(handler);
+  return Status::OK();
+}
+
+Status EventLoop::ModFd(int fd, uint32_t events) {
+  epoll_event event;
+  event.events = events | EPOLLET;
+  event.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) == -1) {
+    return ErrnoError("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::RemoveFd(int fd) {
+  // The fd may already be gone (closed elsewhere implicitly removes it);
+  // a failing DEL is not an error worth surfacing.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = RetryEintr([&] {
+      return epoll_wait(epoll_fd_, events, kMaxEvents, tick_interval_ms_);
+    });
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      // Re-look-up per event: an earlier handler in this batch may have
+      // closed this fd (e.g. a drain task tore the connection down).
+      if (auto it = handlers_.find(fd); it != handlers_.end()) {
+        it->second(events[i].events);
+      }
+    }
+    // Tasks after events: a task enqueued by a handler runs in the same
+    // iteration.
+    std::vector<Task> tasks;
+    {
+      std::lock_guard<std::mutex> lock(task_mu_);
+      tasks.swap(tasks_);
+    }
+    for (Task& task : tasks) task();
+    if (tick_) tick_();
+  }
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wakeup();
+}
+
+void EventLoop::RunInLoop(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_.push_back(std::move(task));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  IgnoreError(WriteAll(wakeup_fd_, reinterpret_cast<const char*>(&one),
+                       sizeof(one)));
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t value = 0;
+  // Edge-triggered: one read clears the eventfd counter entirely.
+  while (RetryEintr([&] {
+           return read(wakeup_fd_, &value, sizeof(value));
+         }) > 0) {
+  }
+}
+
+}  // namespace orx::net

@@ -1,0 +1,85 @@
+#ifndef ORX_NET_EVENT_LOOP_H_
+#define ORX_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orx::net {
+
+/// One epoll-driven event loop: a thread parks in epoll_wait and
+/// dispatches readiness events to per-fd handlers. Registration is
+/// edge-triggered (EPOLLET) — a handler must drain its fd to EAGAIN on
+/// every callback, or the edge is lost and the connection stalls.
+///
+/// Threading: Run() is called by exactly one thread (the loop thread);
+/// AddFd/ModFd/RemoveFd and the handlers are loop-thread-only. The two
+/// cross-thread entry points are RunInLoop() (enqueue a task; an eventfd
+/// wakes the epoll_wait) and Stop(). This keeps every connection
+/// single-threaded — no per-connection locks anywhere in the server.
+///
+/// The loop also runs a coarse periodic tick (epoll_wait with a bounded
+/// timeout) for time-based policies: idle-connection sweeps don't need
+/// their own timerfd precision.
+class EventLoop {
+ public:
+  using Handler = std::function<void(uint32_t epoll_events)>;
+  using Task = std::function<void()>;
+
+  /// `tick` runs on the loop thread roughly every `tick_interval_ms`
+  /// (and possibly more often — after any event batch); may be empty.
+  EventLoop(Task tick, int tick_interval_ms);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` edge-triggered for `events` (EPOLLIN and friends;
+  /// EPOLLET is added internally). Loop thread only.
+  Status AddFd(int fd, uint32_t events, Handler handler);
+
+  /// Rearms `fd` with a new event mask (the handler stays). Loop thread
+  /// only.
+  Status ModFd(int fd, uint32_t events);
+
+  /// Unregisters `fd`. Does not close it. Loop thread only.
+  void RemoveFd(int fd);
+
+  /// Runs the loop until Stop(). Dispatches events, then queued tasks,
+  /// then the tick.
+  void Run();
+
+  /// Requests exit; safe from any thread (and from handlers).
+  void Stop();
+
+  /// Enqueues `task` to run on the loop thread; safe from any thread.
+  /// Tasks enqueued from the loop thread itself run in the same
+  /// iteration, after event dispatch.
+  void RunInLoop(Task task);
+
+  /// Number of fds currently registered (loop thread only; for tests).
+  size_t num_fds() const { return handlers_.size(); }
+
+ private:
+  void Wakeup();
+  void DrainWakeup();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;  // eventfd: cross-thread RunInLoop/Stop kicks
+  const int tick_interval_ms_;
+  Task tick_;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, Handler> handlers_;
+
+  std::mutex task_mu_;
+  std::vector<Task> tasks_;  // guarded by task_mu_
+};
+
+}  // namespace orx::net
+
+#endif  // ORX_NET_EVENT_LOOP_H_

@@ -1,0 +1,466 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/byte_io.h"
+
+namespace orx::net {
+namespace {
+
+// Per-field sanity bounds, in the dataset deserializer's spirit: a
+// hostile length field fails fast instead of driving one huge eager
+// allocation. Queries and error messages are short; only rendered
+// explanation text and result labels get room.
+constexpr uint64_t kQueryLimit = 1u << 16;
+constexpr uint64_t kLabelLimit = 1u << 16;
+constexpr uint64_t kTextLimit = kMaxPayload;
+constexpr uint64_t kCountLimit = 1u << 20;
+
+// ByteReader is the hardened offset-tracking reader the binary
+// deserializers share; wrapping the payload in a stream reuses it
+// verbatim (payloads are already bounded by kMaxPayload, so the copy
+// into the stream is bounded too).
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload)
+      : stream_(payload), reader_(stream_) {}
+
+  ByteReader& reader() { return reader_; }
+
+  /// Trailing bytes after the last field are a malformed frame, not
+  /// padding: flag them so a fuzzer (or an attacker) can't smuggle
+  /// unparsed bytes past the codec.
+  Status ExpectExhausted(const char* what) {
+    stream_.peek();
+    if (!stream_.eof()) {
+      return DataLossError(std::string("trailing bytes after ") + what +
+                           " at byte " + std::to_string(reader_.offset()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::istringstream stream_;
+  ByteReader reader_;
+};
+
+Status ReadU8(ByteReader& reader, uint8_t* v, const char* what) {
+  char c;
+  ORX_RETURN_IF_ERROR(reader.ReadBytes(&c, 1, what));
+  *v = static_cast<uint8_t>(c);
+  return Status::OK();
+}
+
+Status ReadBoundedCount(ByteReader& reader, uint32_t* count, uint64_t limit,
+                        const char* what) {
+  ORX_RETURN_IF_ERROR(reader.ReadU32(count, what));
+  if (*count > limit) {
+    return DataLossError("implausible " + std::string(what) + " count " +
+                         std::to_string(*count) + " at byte " +
+                         std::to_string(reader.offset()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void AppendHeader(std::string* out, Op op, uint64_t request_id,
+                  uint32_t payload_size) {
+  AppendU32(out, kMagic);
+  out->push_back(static_cast<char>(kVersion));
+  out->push_back(static_cast<char>(op));
+  out->push_back(0);  // reserved
+  out->push_back(0);
+  AppendU64(out, request_id);
+  AppendU32(out, payload_size);
+}
+
+std::string EncodeFrame(Op op, uint64_t request_id,
+                        const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  AppendHeader(&out, op, request_id,
+               static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+StatusOr<FrameHeader> DecodeHeader(const char* data, uint32_t max_payload) {
+  auto u32_at = [&](size_t off) {
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
+    }
+    return v;
+  };
+  auto u64_at = [&](size_t off) {
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
+    }
+    return v;
+  };
+  const uint32_t magic = u32_at(0);
+  if (magic != kMagic) {
+    return DataLossError("bad frame magic 0x" + [&] {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%08x", magic);
+      return std::string(buf);
+    }() + " at byte 0");
+  }
+  const uint8_t version = static_cast<uint8_t>(data[4]);
+  if (version != kVersion) {
+    return DataLossError("unsupported frame version " +
+                         std::to_string(version) + " at byte 4");
+  }
+  const uint8_t op = static_cast<uint8_t>(data[5]);
+  if (op > static_cast<uint8_t>(Op::kError)) {
+    return DataLossError("unknown frame op " + std::to_string(op) +
+                         " at byte 5");
+  }
+  FrameHeader header;
+  header.op = static_cast<Op>(op);
+  header.request_id = u64_at(8);
+  header.payload_size = u32_at(16);
+  if (header.payload_size > max_payload) {
+    return DataLossError("implausible payload size " +
+                         std::to_string(header.payload_size) +
+                         " at byte 16 (limit " +
+                         std::to_string(max_payload) + ")");
+  }
+  return header;
+}
+
+std::string EncodeSearchRequest(const SearchRequest& request) {
+  std::string out;
+  AppendString(&out, request.query);
+  AppendU32(&out, request.k);
+  AppendDouble(&out, request.deadline_seconds);
+  return out;
+}
+
+StatusOr<SearchRequest> DecodeSearchRequest(const std::string& payload) {
+  PayloadReader in(payload);
+  SearchRequest request;
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadString(&request.query, kQueryLimit, "search query"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU32(&request.k, "search k"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadDouble(&request.deadline_seconds, "search deadline"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("search request"));
+  return request;
+}
+
+std::string EncodeSearchResponse(const SearchResponse& response) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(response.results.size()));
+  for (const WireResult& r : response.results) {
+    AppendU64(&out, r.node);
+    AppendDouble(&out, r.score);
+    AppendString(&out, r.type_label);
+    AppendString(&out, r.display_label);
+  }
+  AppendU32(&out, response.iterations);
+  out.push_back(response.from_rank_cache ? 1 : 0);
+  out.push_back(response.cache_hit ? 1 : 0);
+  out.push_back(response.coalesced ? 1 : 0);
+  AppendU64(&out, response.snapshot_version);
+  AppendDouble(&out, response.total_seconds);
+  return out;
+}
+
+StatusOr<SearchResponse> DecodeSearchResponse(const std::string& payload) {
+  PayloadReader in(payload);
+  SearchResponse response;
+  uint32_t count = 0;
+  ORX_RETURN_IF_ERROR(
+      ReadBoundedCount(in.reader(), &count, kCountLimit, "search result"));
+  response.results.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    WireResult r;
+    ORX_RETURN_IF_ERROR(in.reader().ReadU64(&r.node, "result node"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&r.score, "result score"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadString(&r.type_label, kLabelLimit, "result type"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadString(&r.display_label, kLabelLimit,
+                                               "result label"));
+    response.results.push_back(std::move(r));
+  }
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU32(&response.iterations, "iterations"));
+  uint8_t flag = 0;
+  ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &flag, "from_rank_cache"));
+  response.from_rank_cache = flag != 0;
+  ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &flag, "cache_hit"));
+  response.cache_hit = flag != 0;
+  ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &flag, "coalesced"));
+  response.coalesced = flag != 0;
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.snapshot_version, "snapshot version"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadDouble(&response.total_seconds, "total seconds"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("search response"));
+  return response;
+}
+
+std::string EncodeExplainRequest(const ExplainRequest& request) {
+  std::string out;
+  AppendString(&out, request.query);
+  AppendU32(&out, request.target_rank);
+  return out;
+}
+
+StatusOr<ExplainRequest> DecodeExplainRequest(const std::string& payload) {
+  PayloadReader in(payload);
+  ExplainRequest request;
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadString(&request.query, kQueryLimit, "explain query"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU32(&request.target_rank, "explain target rank"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("explain request"));
+  return request;
+}
+
+std::string EncodeExplainResponse(const ExplainResponse& response) {
+  std::string out;
+  AppendString(&out, response.text);
+  AppendU32(&out, response.iterations);
+  AppendDouble(&out, response.construction_seconds);
+  AppendDouble(&out, response.adjustment_seconds);
+  return out;
+}
+
+StatusOr<ExplainResponse> DecodeExplainResponse(const std::string& payload) {
+  PayloadReader in(payload);
+  ExplainResponse response;
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadString(&response.text, kTextLimit, "explain text"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU32(&response.iterations, "explain iterations"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&response.construction_seconds,
+                                             "construction seconds"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&response.adjustment_seconds,
+                                             "adjustment seconds"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("explain response"));
+  return response;
+}
+
+std::string EncodeReformulateRequest(const ReformulateRequest& request) {
+  std::string out;
+  AppendString(&out, request.query);
+  AppendU32(&out, static_cast<uint32_t>(request.feedback_ranks.size()));
+  for (uint32_t rank : request.feedback_ranks) AppendU32(&out, rank);
+  return out;
+}
+
+StatusOr<ReformulateRequest> DecodeReformulateRequest(
+    const std::string& payload) {
+  PayloadReader in(payload);
+  ReformulateRequest request;
+  ORX_RETURN_IF_ERROR(in.reader().ReadString(&request.query, kQueryLimit,
+                                             "reformulate query"));
+  uint32_t count = 0;
+  ORX_RETURN_IF_ERROR(
+      ReadBoundedCount(in.reader(), &count, kCountLimit, "feedback rank"));
+  request.feedback_ranks.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t rank = 0;
+    ORX_RETURN_IF_ERROR(in.reader().ReadU32(&rank, "feedback rank"));
+    request.feedback_ranks.push_back(rank);
+  }
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("reformulate request"));
+  return request;
+}
+
+std::string EncodeReformulateResponse(const ReformulateResponse& response) {
+  std::string out;
+  AppendString(&out, response.reformulated_query);
+  AppendU32(&out,
+            static_cast<uint32_t>(response.top_expansion_terms.size()));
+  for (const auto& [term, weight] : response.top_expansion_terms) {
+    AppendString(&out, term);
+    AppendDouble(&out, weight);
+  }
+  AppendDouble(&out, response.reformulation_seconds);
+  return out;
+}
+
+StatusOr<ReformulateResponse> DecodeReformulateResponse(
+    const std::string& payload) {
+  PayloadReader in(payload);
+  ReformulateResponse response;
+  ORX_RETURN_IF_ERROR(in.reader().ReadString(
+      &response.reformulated_query, kQueryLimit, "reformulated query"));
+  uint32_t count = 0;
+  ORX_RETURN_IF_ERROR(
+      ReadBoundedCount(in.reader(), &count, kCountLimit, "expansion term"));
+  response.top_expansion_terms.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string term;
+    double weight = 0.0;
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadString(&term, kLabelLimit, "expansion term"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadDouble(&weight, "expansion weight"));
+    response.top_expansion_terms.emplace_back(std::move(term), weight);
+  }
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&response.reformulation_seconds,
+                                             "reformulation seconds"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("reformulate response"));
+  return response;
+}
+
+std::string EncodeValidateResponse(const ValidateResponse& response) {
+  std::string out;
+  out.push_back(response.ok ? 1 : 0);
+  AppendString(&out, response.report);
+  return out;
+}
+
+StatusOr<ValidateResponse> DecodeValidateResponse(
+    const std::string& payload) {
+  PayloadReader in(payload);
+  ValidateResponse response;
+  uint8_t ok = 0;
+  ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &ok, "validate ok"));
+  response.ok = ok != 0;
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadString(&response.report, kTextLimit, "validate report"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("validate response"));
+  return response;
+}
+
+std::string EncodeMetricsResponse(const MetricsResponse& response) {
+  std::string out;
+  const serve::ServeMetrics& m = response.serve;
+  AppendU64(&out, m.submitted);
+  AppendU64(&out, m.rejected);
+  AppendU64(&out, m.cache_hits);
+  AppendU64(&out, m.coalesced);
+  AppendU64(&out, m.executed);
+  AppendU64(&out, m.deadline_exceeded);
+  AppendU64(&out, m.failed);
+  AppendU64(&out, m.completed);
+  AppendU64(&out, m.batches);
+  AppendU64(&out, m.batched_queries);
+  AppendU64(&out, m.batch_occupancy_max);
+  AppendDouble(&out, m.batch_occupancy_mean);
+  AppendDouble(&out, m.uptime_seconds);
+  AppendDouble(&out, m.qps);
+  AppendDouble(&out, m.latency_mean);
+  AppendDouble(&out, m.latency_p50);
+  AppendDouble(&out, m.latency_p95);
+  AppendDouble(&out, m.latency_p99);
+  AppendU64(&out, response.connections_accepted);
+  AppendU64(&out, response.connections_open);
+  AppendU64(&out, response.frames_received);
+  AppendU64(&out, response.frames_sent);
+  AppendU64(&out, response.error_frames_sent);
+  AppendU64(&out, response.decode_errors);
+  AppendU64(&out, response.backpressure_closes);
+  AppendU64(&out, response.idle_closes);
+  return out;
+}
+
+StatusOr<MetricsResponse> DecodeMetricsResponse(const std::string& payload) {
+  PayloadReader in(payload);
+  MetricsResponse response;
+  serve::ServeMetrics& m = response.serve;
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.submitted, "submitted"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.rejected, "rejected"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.cache_hits, "cache_hits"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.coalesced, "coalesced"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.executed, "executed"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&m.deadline_exceeded, "deadline_exceeded"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.failed, "failed"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.completed, "completed"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.batches, "batches"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&m.batched_queries, "batched_queries"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&m.batch_occupancy_max, "batch_occupancy_max"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.batch_occupancy_mean,
+                                             "batch_occupancy_mean"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadDouble(&m.uptime_seconds, "uptime_seconds"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.qps, "qps"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadDouble(&m.latency_mean, "latency_mean"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.latency_p50, "latency_p50"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.latency_p95, "latency_p95"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.latency_p99, "latency_p99"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.connections_accepted,
+                                          "connections_accepted"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.connections_open, "connections_open"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.frames_received, "frames_received"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.frames_sent, "frames_sent"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.error_frames_sent,
+                                          "error_frames_sent"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.decode_errors, "decode_errors"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.backpressure_closes,
+                                          "backpressure_closes"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.idle_closes, "idle_closes"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("metrics response"));
+  return response;
+}
+
+std::string EncodeErrorResponse(const Status& status) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(status.code()));
+  AppendString(&out, status.message());
+  return out;
+}
+
+StatusOr<ErrorResponse> DecodeErrorResponse(const std::string& payload) {
+  PayloadReader in(payload);
+  ErrorResponse response;
+  uint32_t code = 0;
+  ORX_RETURN_IF_ERROR(in.reader().ReadU32(&code, "error code"));
+  if (code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+    return DataLossError("unknown status code " + std::to_string(code) +
+                         " at byte " + std::to_string(in.reader().offset()));
+  }
+  response.code = static_cast<StatusCode>(code);
+  ORX_RETURN_IF_ERROR(in.reader().ReadString(&response.message, kQueryLimit,
+                                             "error message"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("error response"));
+  return response;
+}
+
+std::string EncodeErrorFrame(uint64_t request_id, const Status& status) {
+  return EncodeFrame(Op::kError, request_id, EncodeErrorResponse(status));
+}
+
+}  // namespace orx::net

@@ -1,0 +1,143 @@
+#include "net/net_util.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <mutex>
+
+namespace orx::net {
+
+Status ErrnoError(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+void IgnoreSigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &action, nullptr);
+  });
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = RetryEintr([&] { return fcntl(fd, F_GETFL, 0); });
+  if (flags == -1) return ErrnoError("fcntl(F_GETFL)");
+  if (RetryEintr([&] { return fcntl(fd, F_SETFL, flags | O_NONBLOCK); }) ==
+      -1) {
+    return ErrnoError("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetCloexec(int fd) {
+  if (RetryEintr([&] { return fcntl(fd, F_SETFD, FD_CLOEXEC); }) == -1) {
+    return ErrnoError("fcntl(F_SETFD, FD_CLOEXEC)");
+  }
+  return Status::OK();
+}
+
+StatusOr<ListenSocket> ListenTcp(const std::string& host, uint16_t port,
+                                 int backlog) {
+  const int fd =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd == -1) return ErrnoError("socket");
+  int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) == -1) {
+    const Status status = ErrnoError("setsockopt(SO_REUSEADDR)");
+    close(fd);
+    return status;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return InvalidArgumentError("bad listen address '" + host + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == -1) {
+    const Status status = ErrnoError("bind " + host + ":" +
+                                     std::to_string(port));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, backlog) == -1) {
+    const Status status = ErrnoError("listen");
+    close(fd);
+    return status;
+  }
+  // Recover the bound port (the caller may have asked for 0 = ephemeral).
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == -1) {
+    const Status status = ErrnoError("getsockname");
+    close(fd);
+    return status;
+  }
+  ListenSocket result;
+  result.fd = fd;
+  result.port = ntohs(bound.sin_port);
+  return result;
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd == -1) return ErrnoError("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return InvalidArgumentError("bad connect address '" + host + "'");
+  }
+  if (RetryEintr([&] {
+        return connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr));
+      }) == -1) {
+    const Status status =
+        ErrnoError("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return status;
+  }
+  // Frames are small and latency-sensitive; never sit on a Nagle timer.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = RetryEintr(
+        [&] { return write(fd, data + written, n - written); });
+    if (rc <= 0) return ErrnoError("write");
+    written += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, char* out, size_t n, const char* what) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t rc =
+        RetryEintr([&] { return read(fd, out + got, n - got); });
+    if (rc == 0) {
+      return DataLossError(std::string("peer closed mid-") + what +
+                           " after " + std::to_string(got) + " bytes");
+    }
+    if (rc < 0) return ErrnoError(std::string("read ") + what);
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+}  // namespace orx::net

@@ -1,0 +1,65 @@
+#ifndef ORX_NET_NET_UTIL_H_
+#define ORX_NET_NET_UTIL_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace orx::net {
+
+/// Retries `call` (a lambda wrapping one syscall returning -1 on error)
+/// while it fails with EINTR. Signals — SIGTERM for drain, profiler
+/// timers — must never surface as phantom I/O errors on the serve path.
+template <typename F>
+auto RetryEintr(F&& call) -> decltype(call()) {
+  decltype(call()) result;
+  do {
+    result = call();
+  } while (result == -1 && errno == EINTR);
+  return result;
+}
+
+/// kUnavailable carrying strerror(errno) — "<what>: <strerror>".
+Status ErrnoError(const std::string& what);
+
+/// Ignores SIGPIPE process-wide, once. Every binary that writes to
+/// sockets calls this at startup: a peer that disappears mid-write must
+/// surface as EPIPE on that one connection, not kill the process.
+void IgnoreSigpipe();
+
+/// Marks the descriptor non-blocking / close-on-exec. Every fd the net
+/// layer creates gets CLOEXEC so a fork+exec (e.g. a debug helper) can
+/// never leak a client connection into a child process.
+Status SetNonBlocking(int fd);
+Status SetCloexec(int fd);
+
+/// A bound, listening TCP socket (IPv4 loopback + any). `port` is the
+/// actual bound port, so callers may listen on 0 and discover the
+/// ephemeral port the kernel picked (the CI smoke test does).
+struct ListenSocket {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+/// Opens a non-blocking, CLOEXEC, SO_REUSEADDR listener on `port` (0 =
+/// ephemeral) bound to `host` ("0.0.0.0" or "127.0.0.1").
+StatusOr<ListenSocket> ListenTcp(const std::string& host, uint16_t port,
+                                 int backlog);
+
+/// Blocking connect to host:port; the returned fd is CLOEXEC and
+/// blocking (callers flip it non-blocking if they need to).
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Writes all `n` bytes to a blocking fd, retrying EINTR and short
+/// writes.
+Status WriteAll(int fd, const char* data, size_t n);
+
+/// Reads exactly `n` bytes from a blocking fd; kDataLoss on EOF
+/// mid-read ("peer closed mid-<what>").
+Status ReadAll(int fd, char* out, size_t n, const char* what);
+
+}  // namespace orx::net
+
+#endif  // ORX_NET_NET_UTIL_H_

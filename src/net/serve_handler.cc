@@ -1,0 +1,290 @@
+#include "net/serve_handler.h"
+
+#include <string>
+#include <vector>
+
+#include "core/base_set.h"
+#include "explain/explainer.h"
+#include "graph/validate.h"
+#include "reformulate/reformulator.h"
+#include "text/query.h"
+
+namespace orx::net {
+namespace {
+
+/// Renders the service's ServeResponse (plus labels resolved against the
+/// snapshot) into the wire shape.
+SearchResponse ToWire(const serve::ServeResponse& response,
+                      const serve::ServeSnapshot& snap) {
+  SearchResponse wire;
+  wire.results.reserve(response.result.top.size());
+  for (const core::ScoredNode& r : response.result.top) {
+    WireResult row;
+    row.node = r.node;
+    row.score = r.score;
+    if (r.node < snap.data->num_nodes()) {
+      row.type_label =
+          snap.data->schema().NodeTypeLabel(snap.data->NodeType(r.node));
+      row.display_label = snap.data->DisplayLabel(r.node);
+    }
+    wire.results.push_back(std::move(row));
+  }
+  wire.iterations = static_cast<uint32_t>(response.result.iterations);
+  wire.from_rank_cache = response.result.from_cache;
+  wire.cache_hit = response.cache_hit;
+  wire.coalesced = response.coalesced;
+  wire.snapshot_version = response.snapshot_version;
+  wire.total_seconds = response.total_seconds;
+  return wire;
+}
+
+/// Decodes a query string into a QueryVector, mapping emptiness to
+/// kInvalidArgument (ParseQuery drops stopwords/garbage silently).
+StatusOr<text::QueryVector> ParseWireQuery(const std::string& query) {
+  text::QueryVector parsed(text::ParseQuery(query));
+  if (parsed.empty()) {
+    return InvalidArgumentError("empty query '" + query + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+void ServeHandler::Handle(Frame frame, ResponderPtr respond) {
+  switch (frame.header.op) {
+    case Op::kPing:
+      respond->Send(
+          EncodeFrame(Op::kPing, frame.header.request_id, std::string()));
+      return;
+    case Op::kSearch:
+      HandleSearch(std::move(frame), std::move(respond));
+      return;
+    case Op::kExplain:
+      HandleExplain(std::move(frame), std::move(respond));
+      return;
+    case Op::kReformulate:
+      HandleReformulate(std::move(frame), std::move(respond));
+      return;
+    case Op::kValidate:
+      HandleValidate(frame, respond);
+      return;
+    case Op::kMetrics:
+      HandleMetrics(frame, respond);
+      return;
+    case Op::kError:
+      // kError is response-only; a client sending one is a protocol
+      // violation answered in kind.
+      respond->Send(EncodeErrorFrame(
+          frame.header.request_id,
+          InvalidArgumentError("kError is a response-only op")));
+      return;
+  }
+  respond->Send(EncodeErrorFrame(
+      frame.header.request_id,
+      InternalError("unhandled op " +
+                    std::to_string(static_cast<int>(frame.header.op)))));
+}
+
+void ServeHandler::HandleSearch(Frame frame, ResponderPtr respond) {
+  const uint64_t id = frame.header.request_id;
+  auto request = DecodeSearchRequest(frame.payload);
+  if (!request.ok()) {
+    respond->Send(EncodeErrorFrame(id, request.status()));
+    return;
+  }
+  auto query = ParseWireQuery(request->query);
+  if (!query.ok()) {
+    respond->Send(EncodeErrorFrame(id, query.status()));
+    return;
+  }
+  auto snap = service_->snapshot();
+  serve::ServeRequest serve_request;
+  serve_request.query = std::move(*query);
+  serve_request.deadline_seconds = request->deadline_seconds;
+  if (request->k != 0) {
+    core::SearchOptions options = snap->default_options;
+    options.k = request->k;
+    serve_request.options = options;
+  }
+  service_->SubmitAsync(
+      std::move(serve_request),
+      [respond = std::move(respond), id,
+       snap = std::move(snap)](StatusOr<serve::ServeResponse> response) {
+        if (!response.ok()) {
+          respond->Send(EncodeErrorFrame(id, response.status()));
+          return;
+        }
+        respond->Send(EncodeFrame(
+            Op::kSearch, id,
+            EncodeSearchResponse(ToWire(*response, *snap))));
+      });
+}
+
+void ServeHandler::HandleExplain(Frame frame, ResponderPtr respond) {
+  const uint64_t id = frame.header.request_id;
+  auto request = DecodeExplainRequest(frame.payload);
+  if (!request.ok()) {
+    respond->Send(EncodeErrorFrame(id, request.status()));
+    return;
+  }
+  auto query = ParseWireQuery(request->query);
+  if (!query.ok()) {
+    respond->Send(EncodeErrorFrame(id, query.status()));
+    return;
+  }
+  auto snap = service_->snapshot();
+  const uint32_t target_rank = request->target_rank;
+  serve::ServeRequest serve_request;
+  serve_request.query = *query;
+  // The search result (scores + top list) feeds the explainer; repeats
+  // of the same query hit the service's result cache, so "search then
+  // explain rank 2, then rank 3" pays one power iteration total.
+  service_->SubmitAsync(
+      std::move(serve_request),
+      [respond = std::move(respond), id, snap = std::move(snap),
+       query = std::move(*query),
+       target_rank](StatusOr<serve::ServeResponse> response) {
+        if (!response.ok()) {
+          respond->Send(EncodeErrorFrame(id, response.status()));
+          return;
+        }
+        const auto& top = response->result.top;
+        if (target_rank == 0 || target_rank > top.size()) {
+          respond->Send(EncodeErrorFrame(
+              id, InvalidArgumentError(
+                      "target rank " + std::to_string(target_rank) +
+                      " out of range 1.." + std::to_string(top.size()))));
+          return;
+        }
+        auto base = core::BuildBaseSet(*snap->corpus, query,
+                                       core::BaseSetMode::kIrWeighted,
+                                       snap->default_options.bm25);
+        if (!base.ok()) {
+          respond->Send(EncodeErrorFrame(id, base.status()));
+          return;
+        }
+        explain::Explainer explainer(*snap->data, *snap->authority);
+        auto explanation = explainer.Explain(
+            top[target_rank - 1].node, *base, response->result.scores,
+            snap->rates, snap->default_options.objectrank.damping,
+            explain::ExplainOptions{});
+        if (!explanation.ok()) {
+          respond->Send(EncodeErrorFrame(id, explanation.status()));
+          return;
+        }
+        ExplainResponse wire;
+        wire.text = explanation->subgraph.ToString(*snap->data);
+        wire.iterations = static_cast<uint32_t>(explanation->iterations);
+        wire.construction_seconds = explanation->construction_seconds;
+        wire.adjustment_seconds = explanation->adjustment_seconds;
+        respond->Send(
+            EncodeFrame(Op::kExplain, id, EncodeExplainResponse(wire)));
+      });
+}
+
+void ServeHandler::HandleReformulate(Frame frame, ResponderPtr respond) {
+  const uint64_t id = frame.header.request_id;
+  auto request = DecodeReformulateRequest(frame.payload);
+  if (!request.ok()) {
+    respond->Send(EncodeErrorFrame(id, request.status()));
+    return;
+  }
+  if (request->feedback_ranks.empty()) {
+    respond->Send(EncodeErrorFrame(
+        id, InvalidArgumentError("reformulate needs at least one "
+                                 "feedback rank")));
+    return;
+  }
+  auto query = ParseWireQuery(request->query);
+  if (!query.ok()) {
+    respond->Send(EncodeErrorFrame(id, query.status()));
+    return;
+  }
+  auto snap = service_->snapshot();
+  serve::ServeRequest serve_request;
+  serve_request.query = *query;
+  service_->SubmitAsync(
+      std::move(serve_request),
+      [respond = std::move(respond), id, snap = std::move(snap),
+       query = std::move(*query), ranks = std::move(request->feedback_ranks)](
+          StatusOr<serve::ServeResponse> response) {
+        if (!response.ok()) {
+          respond->Send(EncodeErrorFrame(id, response.status()));
+          return;
+        }
+        const auto& top = response->result.top;
+        std::vector<graph::NodeId> feedback;
+        feedback.reserve(ranks.size());
+        for (uint32_t rank : ranks) {
+          if (rank == 0 || rank > top.size()) {
+            respond->Send(EncodeErrorFrame(
+                id, InvalidArgumentError(
+                        "feedback rank " + std::to_string(rank) +
+                        " out of range 1.." + std::to_string(top.size()))));
+            return;
+          }
+          feedback.push_back(top[rank - 1].node);
+        }
+        auto base = core::BuildBaseSet(*snap->corpus, query,
+                                       core::BaseSetMode::kIrWeighted,
+                                       snap->default_options.bm25);
+        if (!base.ok()) {
+          respond->Send(EncodeErrorFrame(id, base.status()));
+          return;
+        }
+        reform::Reformulator reformulator(*snap->data, *snap->authority,
+                                          *snap->corpus);
+        auto result = reformulator.Reformulate(
+            query, snap->rates, *base, response->result.scores, feedback,
+            reform::ReformulationOptions{});
+        if (!result.ok()) {
+          respond->Send(EncodeErrorFrame(id, result.status()));
+          return;
+        }
+        ReformulateResponse wire;
+        wire.reformulated_query = result->query.ToString();
+        wire.top_expansion_terms = result->top_expansion_terms;
+        wire.reformulation_seconds = result->reformulation_seconds;
+        respond->Send(EncodeFrame(Op::kReformulate, id,
+                                  EncodeReformulateResponse(wire)));
+      });
+}
+
+void ServeHandler::HandleValidate(const Frame& frame,
+                                  const ResponderPtr& respond) {
+  auto snap = service_->snapshot();
+  ValidateResponse wire;
+  Status status = graph::ValidateInvariants(
+      *snap->authority, snap->rates.num_slots());
+  if (status.ok() && snap->fused_cache != nullptr) {
+    // Validate the layout requests actually stream (memoized; this does
+    // not build a second copy on the serve path).
+    auto layout = snap->fused_cache->Get(*snap->authority, snap->rates);
+    status = graph::ValidateInvariants(*layout);
+  }
+  wire.ok = status.ok();
+  wire.report = status.ok() ? "snapshot OK" : status.ToString();
+  respond->Send(EncodeFrame(Op::kValidate, frame.header.request_id,
+                            EncodeValidateResponse(wire)));
+}
+
+void ServeHandler::HandleMetrics(const Frame& frame,
+                                 const ResponderPtr& respond) {
+  MetricsResponse wire;
+  wire.serve = service_->Snapshot();
+  if (server_stats_) {
+    const ServerStats stats = server_stats_();
+    wire.connections_accepted = stats.accepted;
+    wire.connections_open = stats.open;
+    wire.frames_received = stats.frames_received;
+    wire.frames_sent = stats.frames_sent;
+    wire.error_frames_sent = stats.error_frames_sent;
+    wire.decode_errors = stats.decode_errors;
+    wire.backpressure_closes = stats.backpressure_closes;
+    wire.idle_closes = stats.idle_closes;
+  }
+  respond->Send(EncodeFrame(Op::kMetrics, frame.header.request_id,
+                            EncodeMetricsResponse(wire)));
+}
+
+}  // namespace orx::net

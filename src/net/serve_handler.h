@@ -1,0 +1,56 @@
+#ifndef ORX_NET_SERVE_HANDLER_H_
+#define ORX_NET_SERVE_HANDLER_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/frame.h"
+#include "net/server.h"
+#include "serve/search_service.h"
+
+namespace orx::net {
+
+/// Binds the ORXN protocol ops to a serve::SearchService (and, through
+/// the service's pinned snapshots, to the explainer and reformulator).
+/// One instance serves every connection; it owns no mutable state beyond
+/// the wiring, so Handle() is safe from any worker loop concurrently.
+///
+/// Threading: cheap ops (ping, metrics, validate) answer synchronously
+/// on the worker loop thread. search/explain/reformulate go through
+/// SearchService::SubmitAsync, so the loop thread never blocks on a
+/// power iteration — the completion callback (service pool thread) does
+/// the explain/reformulate stage work and encodes the response there.
+/// Admission rejections surface as kError frames carrying kUnavailable:
+/// under overload every frame is still *answered* (load shedding is an
+/// answer), which is what the load client's zero-dropped-frames
+/// accounting measures.
+class ServeHandler {
+ public:
+  explicit ServeHandler(serve::SearchService* service)
+      : service_(service) {}
+
+  /// Optional: lets the kMetrics op report the transport's counters next
+  /// to the service's. Set after the Server exists (the server needs the
+  /// handler first, so this closes the construction cycle).
+  void set_server_stats(std::function<ServerStats()> stats) {
+    server_stats_ = std::move(stats);
+  }
+
+  /// The Server::FrameHandler entry point.
+  void Handle(Frame frame, ResponderPtr respond);
+
+ private:
+  void HandleSearch(Frame frame, ResponderPtr respond);
+  void HandleExplain(Frame frame, ResponderPtr respond);
+  void HandleReformulate(Frame frame, ResponderPtr respond);
+  void HandleValidate(const Frame& frame, const ResponderPtr& respond);
+  void HandleMetrics(const Frame& frame, const ResponderPtr& respond);
+
+  serve::SearchService* service_;
+  std::function<ServerStats()> server_stats_;
+};
+
+}  // namespace orx::net
+
+#endif  // ORX_NET_SERVE_HANDLER_H_

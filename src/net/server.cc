@@ -1,0 +1,448 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/net_util.h"
+
+namespace orx::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One accepted connection; owned by exactly one worker and touched only
+/// on that worker's loop thread.
+struct Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  /// Inbound bytes not yet framed. `parse_pos` tracks how far framing
+  /// has consumed; the prefix is compacted away once it dominates the
+  /// buffer, so a pipelining client never forces quadratic memmoves.
+  std::string inbuf;
+  size_t parse_pos = 0;
+  /// Outbound bytes not yet written. Bounded by
+  /// ServerOptions::max_write_buffer_bytes.
+  std::string outbuf;
+  size_t write_pos = 0;
+  Clock::time_point last_active;
+  /// Framing is lost (or the server is draining): close as soon as the
+  /// outbuf flushes, read nothing more.
+  bool closing = false;
+};
+
+}  // namespace
+
+/// Per-thread worker: one edge-triggered event loop plus the connections
+/// it owns. All mutable state is loop-thread-only; the cross-thread
+/// surface is EventLoop::RunInLoop plus a handful of atomics.
+struct Server::Worker : std::enable_shared_from_this<Server::Worker> {
+  explicit Worker(Server* server)
+      : server(server),
+        loop([this] { Tick(); }, server->options_.tick_interval_ms) {}
+
+  Server* server;
+  EventLoop loop;
+  std::thread thread;
+  /// Once set, enqueues are dropped: the loop may already be stopped.
+  std::atomic<bool> stopped{false};
+  /// Sum of unflushed outbuf bytes across this worker's connections;
+  /// Shutdown() polls it (with inflight_) to decide the drain is done.
+  std::atomic<uint64_t> queued_bytes{0};
+  /// Draining: close connections as they go quiet instead of idling.
+  std::atomic<bool> draining{false};
+
+  uint64_t next_id = 1;                                  // loop thread
+  std::unordered_map<uint64_t, Connection> connections;  // loop thread
+  std::unordered_map<int, uint64_t> by_fd;               // loop thread
+
+  void AdoptOnLoop(int fd) {
+    if (stopped.load(std::memory_order_acquire)) {
+      close(fd);
+      return;
+    }
+    const uint64_t id = next_id++;
+    Connection& conn = connections[id];
+    conn.fd = fd;
+    conn.id = id;
+    conn.last_active = Clock::now();
+    by_fd[fd] = id;
+    const Status added =
+        loop.AddFd(fd, EPOLLIN | EPOLLOUT | EPOLLRDHUP,
+                   [this, id](uint32_t events) { OnEvent(id, events); });
+    if (!added.ok()) {
+      by_fd.erase(fd);
+      connections.erase(id);
+      close(fd);
+      server->closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void OnEvent(uint64_t id, uint32_t events) {
+    auto it = connections.find(id);
+    if (it == connections.end()) return;
+    Connection& conn = it->second;
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      CloseConn(conn);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      if (!FlushWrites(conn)) return;  // closed
+    }
+    if (events & (EPOLLIN | EPOLLRDHUP)) {
+      ReadReady(conn);
+    }
+  }
+
+  /// Drains the socket to EAGAIN (edge-triggered contract), framing and
+  /// dispatching as complete frames appear.
+  void ReadReady(Connection& conn) {
+    if (conn.closing) return;
+    char chunk[16384];
+    bool peer_closed = false;
+    while (true) {
+      const ssize_t n = RetryEintr(
+          [&] { return read(conn.fd, chunk, sizeof(chunk)); });
+      if (n > 0) {
+        conn.inbuf.append(chunk, static_cast<size_t>(n));
+        conn.last_active = Clock::now();
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      peer_closed = true;  // ECONNRESET and friends
+      break;
+    }
+    ParseFrames(conn);
+    if (peer_closed) {
+      // Answers to already-dispatched frames can't reach the peer; just
+      // tear down.
+      CloseConn(conn);
+    }
+  }
+
+  void ParseFrames(Connection& conn) {
+    while (!conn.closing) {
+      const size_t available = conn.inbuf.size() - conn.parse_pos;
+      if (available < kHeaderSize) break;
+      auto header = DecodeHeader(conn.inbuf.data() + conn.parse_pos,
+                                 server->options_.max_payload);
+      if (!header.ok()) {
+        // Framing is lost: nothing after these bytes can be re-synced.
+        // Answer with one error frame (request id 0 — the id field
+        // itself is untrusted) and close once it flushes.
+        server->decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        server->error_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        EnqueueFrame(conn, EncodeErrorFrame(0, header.status()));
+        conn.closing = true;
+        FlushWrites(conn);  // closes once the error frame is out
+        return;
+      }
+      if (available < kHeaderSize + header->payload_size) break;
+      Frame frame;
+      frame.header = *header;
+      frame.payload.assign(
+          conn.inbuf.data() + conn.parse_pos + kHeaderSize,
+          header->payload_size);
+      conn.parse_pos += kHeaderSize + header->payload_size;
+      server->frames_received_.fetch_add(1, std::memory_order_relaxed);
+      server->inflight_.fetch_add(1, std::memory_order_acq_rel);
+      const uint64_t conn_id = conn.id;  // `conn` may die in the handler
+      ResponderPtr respond = std::make_shared<Responder>(
+          Responder::Passkey{}, shared_from_this(), conn_id,
+          frame.header.request_id);
+      server->handler_(std::move(frame), std::move(respond));
+      // The handler may have sent synchronously and tripped
+      // backpressure, closing the connection under us.
+      if (connections.find(conn_id) == connections.end()) return;
+    }
+    // Compact once the consumed prefix dominates; amortized O(1).
+    if (conn.parse_pos > 4096 && conn.parse_pos * 2 > conn.inbuf.size()) {
+      conn.inbuf.erase(0, conn.parse_pos);
+      conn.parse_pos = 0;
+    }
+  }
+
+  /// Loop-thread send: append + try to flush. Returns false if the
+  /// connection was closed (backpressure or write error).
+  void SendOnLoop(uint64_t id, std::string frame) {
+    auto it = connections.find(id);
+    if (it == connections.end()) return;  // peer already left
+    Connection& conn = it->second;
+    const size_t queued = conn.outbuf.size() - conn.write_pos;
+    if (queued + frame.size() > server->options_.max_write_buffer_bytes) {
+      // The peer is not reading its responses; disconnecting it is the
+      // bounded-memory answer (the alternative is an unbounded buffer).
+      server->backpressure_closes_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn);
+      return;
+    }
+    // Count error frames at the transport: every path that answers with
+    // kError funnels through here (op byte 5 of the header).
+    if (frame.size() > 5 &&
+        static_cast<uint8_t>(frame[5]) == static_cast<uint8_t>(Op::kError)) {
+      server->error_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    server->frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueFrame(conn, std::move(frame));
+    FlushWrites(conn);
+  }
+
+  void EnqueueFrame(Connection& conn, std::string frame) {
+    queued_bytes.fetch_add(frame.size(), std::memory_order_relaxed);
+    if (conn.outbuf.empty()) {
+      conn.outbuf = std::move(frame);
+      conn.write_pos = 0;
+    } else {
+      conn.outbuf.append(frame);
+    }
+  }
+
+  /// Writes until EAGAIN or empty. Returns false if the connection was
+  /// closed.
+  bool FlushWrites(Connection& conn) {
+    while (conn.write_pos < conn.outbuf.size()) {
+      const ssize_t n = RetryEintr([&] {
+        return write(conn.fd, conn.outbuf.data() + conn.write_pos,
+                     conn.outbuf.size() - conn.write_pos);
+      });
+      if (n > 0) {
+        conn.write_pos += static_cast<size_t>(n);
+        queued_bytes.fetch_sub(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+        continue;
+      }
+      if (n == -1 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;  // EPOLLOUT edge resumes us
+      }
+      CloseConn(conn);  // EPIPE/ECONNRESET: peer is gone
+      return false;
+    }
+    if (conn.write_pos == conn.outbuf.size() && !conn.outbuf.empty()) {
+      conn.outbuf.clear();
+      conn.write_pos = 0;
+    }
+    if (conn.closing) {
+      CloseConn(conn);
+      return false;
+    }
+    return true;
+  }
+
+  void CloseConn(Connection& conn) {
+    queued_bytes.fetch_sub(conn.outbuf.size() - conn.write_pos,
+                           std::memory_order_relaxed);
+    loop.RemoveFd(conn.fd);
+    close(conn.fd);
+    by_fd.erase(conn.fd);
+    server->closed_.fetch_add(1, std::memory_order_relaxed);
+    connections.erase(conn.id);  // invalidates `conn`
+  }
+
+  /// Periodic sweep: idle timeouts, and during drain, connections with
+  /// nothing left to say.
+  void Tick() {
+    // During drain a flushed connection is only retired once no frame is
+    // awaiting its answer anywhere — a handler may still be computing a
+    // response destined for it.
+    const bool drain =
+        draining.load(std::memory_order_acquire) &&
+        server->inflight_.load(std::memory_order_acquire) == 0;
+    const double idle_limit = server->options_.idle_timeout_seconds;
+    if (idle_limit <= 0.0 && !drain) return;
+    const Clock::time_point now = Clock::now();
+    std::vector<uint64_t> to_close;
+    for (auto& [id, conn] : connections) {
+      const bool flushed = conn.write_pos >= conn.outbuf.size();
+      if (drain && flushed) {
+        to_close.push_back(id);
+        continue;
+      }
+      if (idle_limit > 0.0 && flushed &&
+          std::chrono::duration<double>(now - conn.last_active).count() >
+              idle_limit) {
+        server->idle_closes_.fetch_add(1, std::memory_order_relaxed);
+        to_close.push_back(id);
+      }
+    }
+    for (uint64_t id : to_close) {
+      if (auto it = connections.find(id); it != connections.end()) {
+        CloseConn(it->second);
+      }
+    }
+  }
+
+  /// Called after the loop thread is joined: release whatever is left.
+  void CloseAll() {
+    for (auto& [id, conn] : connections) {
+      close(conn.fd);
+      server->closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    connections.clear();
+    by_fd.clear();
+  }
+};
+
+Responder::Responder(Passkey, std::shared_ptr<void> worker,
+                     uint64_t connection_id, uint64_t request_id)
+    : worker_(std::move(worker)),
+      connection_id_(connection_id),
+      request_id_(request_id) {}
+
+Responder::~Responder() {
+  if (!sent_.exchange(true, std::memory_order_acq_rel)) {
+    // The handler dropped the frame without answering — a handler bug,
+    // but one that must not wedge the drain count.
+    auto* worker = static_cast<Server::Worker*>(worker_.get());
+    worker->server->unanswered_frames_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    worker->server->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Responder::Send(std::string frame) {
+  if (sent_.exchange(true, std::memory_order_acq_rel)) return;
+  auto worker =
+      std::static_pointer_cast<Server::Worker>(worker_);
+  Server* server = worker->server;
+  if (worker->stopped.load(std::memory_order_acquire)) {
+    // Late send racing shutdown: degrade to a drop, never a UAF.
+    server->unanswered_frames_.fetch_add(1, std::memory_order_relaxed);
+    server->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  // inflight_ is decremented on the loop thread AFTER the frame's bytes
+  // are accounted in queued_bytes, so Shutdown()'s drain predicate
+  // (inflight == 0 && queued == 0) can never be transiently true while a
+  // response is still sitting in the loop's task queue.
+  const uint64_t id = connection_id_;
+  worker->loop.RunInLoop(
+      [worker, id, frame = std::move(frame)]() mutable {
+        worker->SendOnLoop(id, std::move(frame));
+        worker->server->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+}
+
+Server::Server(ServerOptions options, FrameHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  IgnoreSigpipe();
+  auto listener =
+      ListenTcp(options_.host, options_.port, options_.backlog);
+  ORX_RETURN_IF_ERROR(listener.status());
+  listen_fd_ = listener->fd;
+  port_ = listener->port;
+
+  for (size_t i = 0; i < std::max<size_t>(1, options_.num_workers); ++i) {
+    workers_.push_back(std::make_shared<Worker>(this));
+  }
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([worker] { worker->loop.Run(); });
+  }
+
+  accept_loop_ = std::make_unique<EventLoop>(nullptr, 500);
+  const Status added = accept_loop_->AddFd(
+      listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); });
+  if (!added.ok()) return added;
+  accept_thread_ = std::thread([this] { accept_loop_->Run(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::AcceptReady() {
+  // Edge-triggered: accept until EAGAIN or the kernel runs us dry.
+  while (true) {
+    const int fd = RetryEintr([&] {
+      return accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    });
+    if (fd == -1) {
+      // EAGAIN: drained. EMFILE/ENFILE: shed by not accepting; the
+      // backlog holds the peer until descriptors free up.
+      break;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto& worker = workers_[next_worker_++ % workers_.size()];
+    worker->loop.RunInLoop([worker, fd] { worker->AdoptOnLoop(fd); });
+  }
+}
+
+void Server::Shutdown() {
+  if (!started_ || shut_down_.exchange(true)) return;
+  // 1. Stop accepting: no new connections during the drain.
+  accept_loop_->Stop();
+  accept_thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Drain: every dispatched frame answered and every answer flushed
+  //    (or the timeout expires — a hung client can't hold shutdown
+  //    hostage).
+  for (auto& worker : workers_) {
+    worker->draining.store(true, std::memory_order_release);
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options_.drain_timeout_seconds));
+  while (Clock::now() < deadline) {
+    // Read inflight_ BEFORE summing queued bytes: a responder's bytes
+    // are accounted before its inflight decrement, so this order can't
+    // observe {inflight == 0, queued == 0} with a response in between.
+    const int64_t inflight = inflight_.load(std::memory_order_acquire);
+    uint64_t queued = 0;
+    for (const auto& worker : workers_) {
+      queued += worker->queued_bytes.load(std::memory_order_relaxed);
+    }
+    if (inflight == 0 && queued == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 3. Stop the loops and release what remains.
+  for (auto& worker : workers_) {
+    worker->stopped.store(true, std::memory_order_release);
+    worker->loop.Stop();
+  }
+  for (auto& worker : workers_) {
+    worker->thread.join();
+    worker->CloseAll();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.closed = closed_.load(std::memory_order_relaxed);
+  stats.open = stats.accepted - stats.closed;
+  stats.frames_received = frames_received_.load(std::memory_order_relaxed);
+  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.error_frames_sent =
+      error_frames_sent_.load(std::memory_order_relaxed);
+  stats.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  stats.backpressure_closes =
+      backpressure_closes_.load(std::memory_order_relaxed);
+  stats.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  stats.unanswered_frames =
+      unanswered_frames_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace orx::net

@@ -1,0 +1,172 @@
+#ifndef ORX_NET_SERVER_H_
+#define ORX_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+
+namespace orx::net {
+
+/// Counters of the network front end, sampled racily-but-monotonically
+/// (each field is one relaxed atomic load; operational metrics, not
+/// invariants).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t open = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t error_frames_sent = 0;
+  uint64_t decode_errors = 0;
+  uint64_t backpressure_closes = 0;
+  uint64_t idle_closes = 0;
+  uint64_t unanswered_frames = 0;
+};
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the actual port back with port().
+  uint16_t port = 0;
+  /// Worker event loops (one thread each), fed round-robin by one
+  /// acceptor thread.
+  size_t num_workers = 2;
+  int backlog = 512;
+  /// Per-frame payload bound enforced before any payload allocation.
+  uint32_t max_payload = kMaxPayload;
+  /// Per-connection outbound-buffer bound: a client that stops reading
+  /// its responses is disconnected once this many bytes are queued,
+  /// instead of growing the buffer without bound (graceful degradation —
+  /// the slow client pays, not the process).
+  size_t max_write_buffer_bytes = 8u << 20;
+  /// Connections with no inbound traffic for this long are closed by the
+  /// idle sweep; 0 disables the sweep.
+  double idle_timeout_seconds = 300.0;
+  /// How long Shutdown() waits for in-flight requests to answer and
+  /// outbound buffers to flush before closing what remains.
+  double drain_timeout_seconds = 5.0;
+  /// Worker tick period (idle sweep / drain checks), milliseconds.
+  int tick_interval_ms = 200;
+};
+
+class Server;
+
+/// The reply channel for one received frame. Thread-safe; exactly one
+/// Send() is expected per frame (the frame handler's contract). Extra
+/// sends are dropped; a Responder destroyed without sending counts as an
+/// unanswered frame. Holding the pointer keeps the worker alive, so a
+/// late completion (e.g. a search callback racing shutdown) degrades to
+/// a dropped reply, never a use-after-free.
+class Responder {
+ private:
+  /// Passkey: only Server can name this, so construction stays
+  /// Server-only while the constructor itself is public enough for
+  /// std::make_shared.
+  struct Passkey {
+    explicit Passkey() = default;
+  };
+
+ public:
+  Responder(Passkey, std::shared_ptr<void> worker, uint64_t connection_id,
+            uint64_t request_id);
+  ~Responder();
+
+  /// Enqueues one complete frame (EncodeFrame output) to the connection.
+  /// If the connection is already gone the frame is dropped silently —
+  /// the peer left; there is nobody to answer.
+  void Send(std::string frame);
+
+  uint64_t request_id() const { return request_id_; }
+
+ private:
+  friend class Server;
+
+  std::shared_ptr<void> worker_;  // type-erased Server::Worker
+  const uint64_t connection_id_;
+  const uint64_t request_id_;
+  std::atomic<bool> sent_{false};
+};
+
+using ResponderPtr = std::shared_ptr<Responder>;
+
+/// The epoll front end: one acceptor thread plus num_workers
+/// edge-triggered event loops, speaking the ORXN framing protocol.
+///
+/// The server owns transport only — framing, backpressure, idle
+/// timeouts, drain. Every structurally valid frame is handed to the
+/// FrameHandler on the owning worker's loop thread together with a
+/// Responder; the handler must arrange exactly one Send() per frame
+/// (from any thread — a SearchService completion callback typically
+/// sends from a pool thread). Malformed headers (bad magic/version/op,
+/// oversized payload) are answered with one kError frame and the
+/// connection is closed: framing is lost, nothing after those bytes can
+/// be trusted.
+class Server {
+ public:
+  using FrameHandler = std::function<void(Frame frame, ResponderPtr respond)>;
+
+  Server(ServerOptions options, FrameHandler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and spawns the acceptor + worker threads.
+  Status Start();
+
+  /// The bound port (valid after Start(); useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, wait up to drain_timeout_seconds
+  /// for in-flight frames to be answered and outbound buffers to flush,
+  /// then stop the loops and close everything. Idempotent; called by the
+  /// destructor if not called explicitly. Safe to call from a signal
+  /// watcher thread (orx_serve's SIGTERM path).
+  void Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Worker;
+  friend struct Worker;
+  friend class Responder;
+
+  void AcceptReady();
+
+  const ServerOptions options_;
+  const FrameHandler handler_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::unique_ptr<EventLoop> accept_loop_;
+  std::thread accept_thread_;
+  std::vector<std::shared_ptr<Worker>> workers_;
+  size_t next_worker_ = 0;  // acceptor thread only
+  bool started_ = false;
+  std::atomic<bool> shut_down_{false};
+
+  /// Frames dispatched to the handler whose Responder has not sent yet;
+  /// Shutdown() drains to zero before stopping the loops.
+  std::atomic<int64_t> inflight_{0};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> error_frames_sent_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> backpressure_closes_{0};
+  std::atomic<uint64_t> idle_closes_{0};
+  std::atomic<uint64_t> unanswered_frames_{0};
+};
+
+}  // namespace orx::net
+
+#endif  // ORX_NET_SERVER_H_

@@ -120,9 +120,22 @@ SearchService::~SearchService() {
 
 std::future<StatusOr<ServeResponse>> SearchService::Submit(
     ServeRequest request) {
+  auto completion = std::make_shared<Completion>();
+  completion->promise.emplace();
+  std::future<ResponseOr> future = completion->promise->get_future();
+  SubmitInternal(std::move(request), std::move(completion));
+  return future;
+}
+
+void SearchService::SubmitAsync(ServeRequest request, Callback done) {
+  auto completion = std::make_shared<Completion>();
+  completion->callback = std::move(done);
+  SubmitInternal(std::move(request), std::move(completion));
+}
+
+void SearchService::SubmitInternal(ServeRequest request,
+                                   CompletionPtr completion) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  auto promise = std::make_shared<std::promise<ResponseOr>>();
-  std::future<ResponseOr> future = promise->get_future();
   const Clock::time_point submit_time = Clock::now();
 
   double deadline_seconds = request.deadline_seconds;
@@ -165,7 +178,13 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
       hit.snapshot_version = it->second->snapshot_version;
       action = Action::kHit;
     } else if (auto flight = flights_.find(key); flight != flights_.end()) {
-      flight->second->waiters.push_back(Waiter{promise, submit_time});
+      // Count the coalesce *before* the waiter is published (still under
+      // mu_): the leader may deliver this waiter's completion the moment
+      // the lock drops, and a metrics snapshot taken then must already
+      // see the coalesced counter — otherwise `completed` can transiently
+      // exceed `cache_hits + coalesced + executed` (see Snapshot()).
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      flight->second->waiters.push_back(Waiter{completion, submit_time});
       action = Action::kCoalesce;
     } else if (pending_ >= options_.max_pending) {
       action = Action::kReject;
@@ -186,7 +205,7 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
         lane.query = std::move(request.query);
         lane.caller_cancel = std::move(options.objectrank.cancel);
         options.objectrank.cancel = nullptr;
-        lane.promise = promise;
+        lane.completion = completion;
         lane.submit_time = submit_time;
         lane.deadline = deadline;
         lane.has_deadline = has_deadline;
@@ -222,24 +241,23 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
   switch (action) {
     case Action::kHit:
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      Fulfill(promise, std::move(hit), submit_time);
+      Fulfill(completion, std::move(hit), submit_time);
       break;
     case Action::kCoalesce:
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
-      break;  // the leader fulfills us
+      break;  // counted under mu_ above; the leader fulfills us
     case Action::kReject:
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      promise->set_value(UnavailableError(
+      completion->Deliver(UnavailableError(
           "admission queue full (" + std::to_string(options_.max_pending) +
           " executions pending)"));
       break;
     case Action::kLead:
       pool_->Submit([this, key = std::move(key), request = std::move(request),
-                     snap = std::move(snap), version, options, promise,
+                     snap = std::move(snap), version, options, completion,
                      submit_time, deadline, has_deadline]() mutable {
         Execute(std::move(key), std::move(request), std::move(snap), version,
-                std::move(options), std::move(promise), submit_time, deadline,
-                has_deadline);
+                std::move(options), std::move(completion), submit_time,
+                deadline, has_deadline);
       });
       break;
     case Action::kJoinBatch:
@@ -251,7 +269,6 @@ std::future<StatusOr<ServeResponse>> SearchService::Submit(
       });
       break;
   }
-  return future;
 }
 
 StatusOr<ServeResponse> SearchService::Search(ServeRequest request) {
@@ -261,7 +278,8 @@ StatusOr<ServeResponse> SearchService::Search(ServeRequest request) {
 void SearchService::Execute(std::string key, ServeRequest request,
                             std::shared_ptr<const ServeSnapshot> snapshot,
                             uint64_t version, core::SearchOptions options,
-                            PromisePtr promise, Clock::time_point submit_time,
+                            CompletionPtr completion,
+                            Clock::time_point submit_time,
                             Clock::time_point deadline, bool has_deadline) {
   const Clock::time_point start = Clock::now();
   const double queue_seconds = ToSeconds(start - submit_time);
@@ -298,8 +316,8 @@ void SearchService::Execute(std::string key, ServeRequest request,
     result = searcher.Search(request.query, snapshot->rates, options);
   }
 
-  FinishExecution(key, version, result, promise, submit_time, queue_seconds,
-                  /*batch_lanes=*/0);
+  FinishExecution(key, version, result, completion, submit_time,
+                  queue_seconds, /*batch_lanes=*/0);
 }
 
 void SearchService::ExecuteBatch(std::shared_ptr<PendingBatch> batch,
@@ -345,7 +363,7 @@ void SearchService::RunBatch(const std::shared_ptr<PendingBatch>& batch,
       const StatusOr<core::SearchResult> expired = DeadlineExceededError(
           "deadline expired while queued (" + std::to_string(queue_seconds) +
           "s)");
-      FinishExecution(lane.key, batch->version, expired, lane.promise,
+      FinishExecution(lane.key, batch->version, expired, lane.completion,
                       lane.submit_time, queue_seconds, /*batch_lanes=*/0);
     } else {
       live.push_back(i);
@@ -398,7 +416,7 @@ void SearchService::RunBatch(const std::shared_ptr<PendingBatch>& batch,
 
   for (size_t k = 0; k < live.size(); ++k) {
     BatchLane& lane = lanes[live[k]];
-    FinishExecution(lane.key, batch->version, results[k], lane.promise,
+    FinishExecution(lane.key, batch->version, results[k], lane.completion,
                     lane.submit_time, ToSeconds(start - lane.submit_time),
                     live.size());
   }
@@ -406,7 +424,7 @@ void SearchService::RunBatch(const std::shared_ptr<PendingBatch>& batch,
 
 void SearchService::FinishExecution(const std::string& key, uint64_t version,
                                     const StatusOr<core::SearchResult>& result,
-                                    const PromisePtr& promise,
+                                    const CompletionPtr& completion,
                                     Clock::time_point submit_time,
                                     double queue_seconds,
                                     size_t batch_lanes) {
@@ -440,32 +458,38 @@ void SearchService::FinishExecution(const std::string& key, uint64_t version,
     response.snapshot_version = version;
     response.queue_seconds = queue_seconds;
     response.batch_lanes = batch_lanes;
-    Fulfill(promise, std::move(response), submit_time);
+    Fulfill(completion, std::move(response), submit_time);
     for (Waiter& w : waiters) {
       ServeResponse echoed;
       echoed.result = *result;
       echoed.coalesced = true;
       echoed.snapshot_version = version;
       echoed.batch_lanes = batch_lanes;
-      Fulfill(w.promise, std::move(echoed), w.submit_time);
+      Fulfill(w.completion, std::move(echoed), w.submit_time);
     }
   } else {
-    Fulfill(promise, result.status(), submit_time);
+    Fulfill(completion, result.status(), submit_time);
     for (Waiter& w : waiters) {
-      Fulfill(w.promise, result.status(), w.submit_time);
+      Fulfill(w.completion, result.status(), w.submit_time);
     }
   }
 }
 
-void SearchService::Fulfill(const PromisePtr& promise, ResponseOr response,
+void SearchService::Fulfill(const CompletionPtr& completion,
+                            ResponseOr response,
                             Clock::time_point submit_time) {
   const double total = ToSeconds(Clock::now() - submit_time);
   if (response.ok()) response->total_seconds = total;
-  // Metrics first: a caller unblocked by set_value must already see this
-  // completion in Metrics().
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  // Metrics first: a caller unblocked by Deliver must already see this
+  // completion in Snapshot(). The release pairs with Snapshot()'s acquire
+  // load of completed_: every action counter (cache_hits_, coalesced_,
+  // executed_, rejected_) incremented before this line is visible to a
+  // snapshot that observes this completion, so the invariant
+  //   completed <= cache_hits + coalesced + executed
+  // holds in every cut.
   latency_.Record(total);
-  promise->set_value(std::move(response));
+  completed_.fetch_add(1, std::memory_order_release);
+  completion->Deliver(std::move(response));
 }
 
 void SearchService::CacheResultLocked(const std::string& key,
@@ -507,8 +531,16 @@ uint64_t SearchService::snapshot_version() const {
   return version_;
 }
 
-ServeMetrics SearchService::Metrics() const {
+ServeMetrics SearchService::Snapshot() const {
   ServeMetrics m;
+  // completed_ is read FIRST, with acquire: it is the publication counter
+  // (incremented with release in Fulfill, after the action counters).
+  // Reading it before the others guarantees every completion this
+  // snapshot counts has its cache-hit/coalesce/execute increment already
+  // visible, so `completed <= cache_hits + coalesced + executed` and
+  // `completed <= submitted` hold in every snapshot — the counters can
+  // only read *ahead* of the completed cut, never behind it.
+  m.completed = completed_.load(std::memory_order_acquire);
   m.submitted = submitted_.load(std::memory_order_relaxed);
   m.rejected = rejected_.load(std::memory_order_relaxed);
   m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
@@ -516,7 +548,6 @@ ServeMetrics SearchService::Metrics() const {
   m.executed = executed_.load(std::memory_order_relaxed);
   m.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   m.failed = failed_.load(std::memory_order_relaxed);
-  m.completed = completed_.load(std::memory_order_relaxed);
   m.batches = batches_.load(std::memory_order_relaxed);
   m.batched_queries = batched_queries_.load(std::memory_order_relaxed);
   m.batch_occupancy_max =

@@ -141,6 +141,19 @@ class SearchService {
   /// Never blocks on the queue.
   std::future<StatusOr<ServeResponse>> Submit(ServeRequest request);
 
+  /// Completion hook for SubmitAsync: invoked exactly once with the same
+  /// response Submit()'s future would carry.
+  using Callback = std::function<void(StatusOr<ServeResponse>)>;
+
+  /// Callback-style submission for event-driven callers (the network
+  /// front end): no future to park a thread on. `done` runs exactly once
+  /// — synchronously on the calling thread for requests resolved at
+  /// Submit time (cache hits, admission rejections), otherwise on the
+  /// pool thread that completes the execution. It runs outside the
+  /// service mutex, so it may re-enter the service, but it occupies its
+  /// worker while it runs — keep it short (hand heavy work elsewhere).
+  void SubmitAsync(ServeRequest request, Callback done);
+
   /// Blocking convenience: Submit(request).get().
   StatusOr<ServeResponse> Search(ServeRequest request);
 
@@ -154,8 +167,18 @@ class SearchService {
   std::shared_ptr<const ServeSnapshot> snapshot() const;
   uint64_t snapshot_version() const;
 
-  /// Point-in-time counters and latency percentiles.
-  ServeMetrics Metrics() const;
+  /// Point-in-time counters and latency percentiles, read as one
+  /// consistent cut: `completed` is loaded first with acquire ordering
+  /// and every completion publishes with release ordering *after* its
+  /// action counter (cache hit / coalesced / executed), so a snapshot
+  /// never shows a completion whose action counter is missing —
+  /// `completed <= cache_hits + coalesced + executed` and
+  /// `completed <= submitted` hold in every snapshot, even mid-burst.
+  /// Rates (qps, occupancy mean) are derived from this one cut.
+  ServeMetrics Snapshot() const;
+
+  /// Deprecated alias for Snapshot(), kept for existing callers.
+  ServeMetrics Metrics() const { return Snapshot(); }
 
   size_t num_threads() const { return pool_->num_threads(); }
 
@@ -171,11 +194,26 @@ class SearchService {
  private:
   using Clock = std::chrono::steady_clock;
   using ResponseOr = StatusOr<ServeResponse>;
-  using PromisePtr = std::shared_ptr<std::promise<ResponseOr>>;
+
+  /// How one request's outcome is delivered: a promise (Submit) or a
+  /// callback (SubmitAsync). Exactly one delivery happens per request.
+  struct Completion {
+    std::optional<std::promise<ResponseOr>> promise;
+    Callback callback;
+
+    void Deliver(ResponseOr response) {
+      if (callback) {
+        callback(std::move(response));
+      } else {
+        promise->set_value(std::move(response));
+      }
+    }
+  };
+  using CompletionPtr = std::shared_ptr<Completion>;
 
   /// A coalesced request waiting on an in-flight leader.
   struct Waiter {
-    PromisePtr promise;
+    CompletionPtr completion;
     Clock::time_point submit_time;
   };
 
@@ -198,7 +236,7 @@ class SearchService {
     std::string key;
     text::QueryVector query;
     std::function<bool()> caller_cancel;
-    PromisePtr promise;
+    CompletionPtr completion;
     Clock::time_point submit_time;
     Clock::time_point deadline;
     bool has_deadline = false;
@@ -232,10 +270,15 @@ class SearchService {
   static std::string BatchKey(const core::SearchOptions& options,
                               uint64_t version, uint64_t rates_fingerprint);
 
+  /// Shared body of Submit/SubmitAsync: admission, coalescing, cache
+  /// lookup, and dispatch for one request whose delivery target is
+  /// already packaged in `completion`.
+  void SubmitInternal(ServeRequest request, CompletionPtr completion);
+
   void Execute(std::string key, ServeRequest request,
                std::shared_ptr<const ServeSnapshot> snapshot,
                uint64_t version, core::SearchOptions options,
-               PromisePtr promise, Clock::time_point submit_time,
+               CompletionPtr completion, Clock::time_point submit_time,
                Clock::time_point deadline, bool has_deadline);
 
   /// Leader task of one batch window: waits (on cv, up to
@@ -254,12 +297,12 @@ class SearchService {
   /// Shared tail of Execute() and RunBatch().
   void FinishExecution(const std::string& key, uint64_t version,
                        const StatusOr<core::SearchResult>& result,
-                       const PromisePtr& promise,
+                       const CompletionPtr& completion,
                        Clock::time_point submit_time, double queue_seconds,
                        size_t batch_lanes);
 
-  /// Fulfills a promise and records the completion metrics.
-  void Fulfill(const PromisePtr& promise, ResponseOr response,
+  /// Delivers a response and records the completion metrics.
+  void Fulfill(const CompletionPtr& completion, ResponseOr response,
                Clock::time_point submit_time);
 
   /// Inserts a completed result into the LRU (caller holds mu_).

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/thread_pool.h"
 
 namespace orx {
@@ -68,6 +70,80 @@ TEST(LatencyHistogramTest, ResetClearsEverything) {
   h.Reset();
   EXPECT_EQ(h.TotalCount(), 0u);
   EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.MinSeconds(), 0.0);
+  EXPECT_EQ(h.MaxSeconds(), 0.0);
+}
+
+// Regression: the pre-clamp implementation reported the geometric
+// midpoint of the matched bucket unconditionally, so a degenerate
+// distribution (every sample identical) over-reported p50/p95/p99 by up
+// to half a bucket width (~12%). With min/max tracking the estimate is
+// clamped to the recorded range, which pins it exactly.
+TEST(LatencyHistogramTest, ConstantDistributionReportsExactValue) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(0.01);
+  EXPECT_DOUBLE_EQ(h.MinSeconds(), 0.01);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 0.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.01);
+}
+
+// Regression: samples below the first bucket bound (100 ns) used to be
+// reported as the first bucket's midpoint (~112 ns) — an over-report of
+// 10x for a 10 ns sample. The max clamp caps the estimate at the largest
+// recorded sample.
+TEST(LatencyHistogramTest, SubRangeSamplesClampToRecordedMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(1e-8);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1e-8);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 1e-8);
+}
+
+// Regression: the unbounded overflow bucket used to report its
+// (meaningless) lower-edge midpoint ~316 s for any sample >= ~398 s.
+// It now reports the recorded max.
+TEST(LatencyHistogramTest, OverflowBucketReportsRecordedMax) {
+  LatencyHistogram h;
+  h.Record(1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+}
+
+// Known two-point distribution with exact expected values: 50 samples at
+// 1 ms and 50 at 80 ms. 80 ms sits mid-bucket in [79.4 ms, 100 ms),
+// whose geometric midpoint ~89.1 ms exceeds every recorded sample, so
+// the max clamp must engage. The pre-fix code returns ~0.0891 for p75
+// and fails.
+TEST(LatencyHistogramTest, KnownDistributionPinsClampedPercentiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.Record(0.001);
+  for (int i = 0; i < 50; ++i) h.Record(0.08);
+  EXPECT_DOUBLE_EQ(h.MinSeconds(), 0.001);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.08);
+  // Rank 75 lands in the 80 ms bucket; its midpoint (~0.0891) is above
+  // the recorded max, so the clamp pins the estimate to exactly 0.08.
+  EXPECT_DOUBLE_EQ(h.Percentile(75), 0.08);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.08);
+  // Rank 25 lands in the 1 ms bucket; the midpoint is within the
+  // recorded range, so the usual bucket-resolution bound applies and
+  // the estimate stays inside the bucket.
+  const double p25 = h.Percentile(25);
+  EXPECT_GE(p25, 0.001);
+  EXPECT_LT(p25, 0.001 * 1.26);
+}
+
+TEST(LatencyHistogramTest, NonFiniteSamplesDoNotPoisonMinMax) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(-5.0);
+  h.Record(0.01);
+  EXPECT_EQ(h.TotalCount(), 3u);
+  // Nonsense samples count as 0; min/max stay finite and ordered.
+  EXPECT_DOUBLE_EQ(h.MinSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.01);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.01);
 }
 
 TEST(LatencyHistogramTest, ConcurrentRecordingLosesNoSamples) {

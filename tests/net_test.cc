@@ -1,0 +1,570 @@
+// Tests for the network front end (src/net/): the ORXN frame codec's
+// round-trips and hardened rejection paths, the epoll server's lifecycle
+// (loopback connections, malformed-frame handling, admission-overflow
+// error frames, idle timeouts, graceful drain), and the full protocol
+// stack over a generated DBLP snapshot. The concurrent-clients test is
+// tsan-labeled (tools/check_tsan.sh).
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datasets/dblp_generator.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/net_util.h"
+#include "net/serve_handler.h"
+#include "serve/search_service.h"
+#include "serve/snapshot.h"
+#include "text/query.h"
+
+namespace orx::net {
+namespace {
+
+// --- frame codec -----------------------------------------------------------
+
+TEST(FrameCodecTest, HeaderRoundTrip) {
+  const std::string frame = EncodeFrame(Op::kSearch, 0x1122334455667788ull,
+                                        "payload");
+  ASSERT_GE(frame.size(), kHeaderSize);
+  auto header = DecodeHeader(frame.data());
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->op, Op::kSearch);
+  EXPECT_EQ(header->request_id, 0x1122334455667788ull);
+  EXPECT_EQ(header->payload_size, 7u);
+  EXPECT_EQ(frame.substr(kHeaderSize), "payload");
+}
+
+TEST(FrameCodecTest, HeaderRejectsBadMagicVersionOpAndOversize) {
+  std::string good = EncodeFrame(Op::kPing, 1, "");
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    auto header = DecodeHeader(bad.data());
+    ASSERT_FALSE(header.ok());
+    EXPECT_EQ(header.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(header.status().ToString().find("magic"), std::string::npos);
+  }
+  {
+    std::string bad = good;
+    bad[4] = 99;  // version
+    EXPECT_FALSE(DecodeHeader(bad.data()).ok());
+  }
+  {
+    std::string bad = good;
+    bad[5] = 42;  // op beyond kError
+    EXPECT_FALSE(DecodeHeader(bad.data()).ok());
+  }
+  {
+    // payload_size above the decoder's bound is refused before any
+    // allocation could happen.
+    std::string bad = good;
+    const uint32_t huge = kMaxPayload + 1;
+    std::memcpy(&bad[16], &huge, sizeof(huge));
+    auto header = DecodeHeader(bad.data());
+    ASSERT_FALSE(header.ok());
+    EXPECT_EQ(header.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FrameCodecTest, SearchRequestRoundTrip) {
+  SearchRequest request;
+  request.query = "data cube olap";
+  request.k = 25;
+  request.deadline_seconds = 1.5;
+  auto decoded = DecodeSearchRequest(EncodeSearchRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->query, request.query);
+  EXPECT_EQ(decoded->k, request.k);
+  EXPECT_EQ(decoded->deadline_seconds, request.deadline_seconds);
+}
+
+TEST(FrameCodecTest, SearchResponseRoundTrip) {
+  SearchResponse response;
+  for (int i = 0; i < 3; ++i) {
+    WireResult r;
+    r.node = static_cast<uint64_t>(i) * 17;
+    r.score = 0.25 / (i + 1);
+    r.type_label = "paper";
+    r.display_label = "Title #" + std::to_string(i);
+    response.results.push_back(std::move(r));
+  }
+  response.iterations = 12;
+  response.from_rank_cache = true;
+  response.cache_hit = true;
+  response.coalesced = false;
+  response.snapshot_version = 7;
+  response.total_seconds = 0.0625;
+  auto decoded = DecodeSearchResponse(EncodeSearchResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->results.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->results[i].node, response.results[i].node);
+    EXPECT_EQ(decoded->results[i].score, response.results[i].score);
+    EXPECT_EQ(decoded->results[i].display_label,
+              response.results[i].display_label);
+  }
+  EXPECT_EQ(decoded->iterations, 12u);
+  EXPECT_TRUE(decoded->from_rank_cache);
+  EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_EQ(decoded->snapshot_version, 7u);
+  EXPECT_EQ(decoded->total_seconds, 0.0625);
+}
+
+TEST(FrameCodecTest, RemainingPayloadCodecsRoundTrip) {
+  {
+    ExplainRequest request{"data cube", 3};
+    auto decoded = DecodeExplainRequest(EncodeExplainRequest(request));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->query, "data cube");
+    EXPECT_EQ(decoded->target_rank, 3u);
+  }
+  {
+    ExplainResponse response{"subgraph text", 9, 0.5, 0.25};
+    auto decoded = DecodeExplainResponse(EncodeExplainResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->text, "subgraph text");
+    EXPECT_EQ(decoded->iterations, 9u);
+  }
+  {
+    ReformulateRequest request{"data", {1, 4, 9}};
+    auto decoded =
+        DecodeReformulateRequest(EncodeReformulateRequest(request));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->feedback_ranks, (std::vector<uint32_t>{1, 4, 9}));
+  }
+  {
+    ReformulateResponse response;
+    response.reformulated_query = "data mining:0.5";
+    response.top_expansion_terms = {{"mining", 0.5}, {"olap", 0.25}};
+    response.reformulation_seconds = 0.125;
+    auto decoded =
+        DecodeReformulateResponse(EncodeReformulateResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->reformulated_query, "data mining:0.5");
+    ASSERT_EQ(decoded->top_expansion_terms.size(), 2u);
+    EXPECT_EQ(decoded->top_expansion_terms[1].first, "olap");
+    EXPECT_EQ(decoded->top_expansion_terms[1].second, 0.25);
+  }
+  {
+    ValidateResponse response{false, "edge 7 dangling"};
+    auto decoded = DecodeValidateResponse(EncodeValidateResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded->ok);
+    EXPECT_EQ(decoded->report, "edge 7 dangling");
+  }
+  {
+    MetricsResponse response;
+    response.serve.submitted = 100;
+    response.serve.completed = 90;
+    response.serve.latency_p99 = 0.25;
+    response.frames_received = 123;
+    response.error_frames_sent = 4;
+    auto decoded = DecodeMetricsResponse(EncodeMetricsResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->serve.submitted, 100u);
+    EXPECT_EQ(decoded->serve.completed, 90u);
+    EXPECT_EQ(decoded->serve.latency_p99, 0.25);
+    EXPECT_EQ(decoded->frames_received, 123u);
+    EXPECT_EQ(decoded->error_frames_sent, 4u);
+  }
+  {
+    auto decoded = DecodeErrorResponse(
+        EncodeErrorResponse(UnavailableError("admission queue full")));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->code, StatusCode::kUnavailable);
+    EXPECT_EQ(decoded->message, "admission queue full");
+  }
+}
+
+TEST(FrameCodecTest, DecodersRejectEveryTruncation) {
+  // Every strict prefix of a valid payload must decode to kDataLoss —
+  // never a crash, never silent acceptance.
+  SearchResponse response;
+  WireResult r;
+  r.node = 5;
+  r.score = 0.5;
+  r.type_label = "paper";
+  r.display_label = "A Title";
+  response.results.push_back(r);
+  const std::string search_payload = EncodeSearchResponse(response);
+  for (size_t len = 0; len < search_payload.size(); ++len) {
+    auto decoded = DecodeSearchResponse(search_payload.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+
+  const std::string metrics_payload =
+      EncodeMetricsResponse(MetricsResponse{});
+  for (size_t len = 0; len < metrics_payload.size(); ++len) {
+    ASSERT_FALSE(DecodeMetricsResponse(metrics_payload.substr(0, len)).ok());
+  }
+}
+
+TEST(FrameCodecTest, DecodersRejectTrailingGarbage) {
+  const std::string payload =
+      EncodeSearchRequest(SearchRequest{"data", 10, 0.0});
+  auto decoded = DecodeSearchRequest(payload + "x");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, HostileCountsAreBoundedBeforeAllocation) {
+  // A reformulate request claiming 2^31 feedback ranks in a 12-byte
+  // payload must be rejected by the count bound, not by attempting the
+  // allocation.
+  std::string payload;
+  AppendString(&payload, "q");
+  AppendU32(&payload, 0x7FFFFFFFu);
+  auto decoded = DecodeReformulateRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+// --- server lifecycle over loopback ---------------------------------------
+
+ServerOptions TestServerOptions() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.num_workers = 2;
+  options.tick_interval_ms = 20;
+  return options;
+}
+
+/// An echo handler: answers every frame with the same op + payload.
+Server::FrameHandler EchoHandler() {
+  return [](Frame frame, ResponderPtr respond) {
+    respond->Send(EncodeFrame(frame.header.op, frame.header.request_id,
+                              frame.payload));
+  };
+}
+
+TEST(NetServerTest, LifecycleAndPing) {
+  Server server(TestServerOptions(), EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.Ping().ok());
+  }
+  client.Close();
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.frames_received, 10u);
+  EXPECT_EQ(stats.frames_sent, 10u);
+  EXPECT_EQ(stats.unanswered_frames, 0u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+}
+
+TEST(NetServerTest, PipelinedFramesAllAnswered) {
+  Server server(TestServerOptions(), EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+
+  // Fire 64 pipelined frames in one write burst, then collect 64
+  // responses; ids must come back bijectively (order is unspecified).
+  std::string burst;
+  for (uint64_t id = 1; id <= 64; ++id) {
+    burst += EncodeFrame(Op::kPing, id, "p" + std::to_string(id));
+  }
+  ASSERT_TRUE(WriteAll(*fd, burst.data(), burst.size()).ok());
+  std::vector<bool> seen(65, false);
+  for (int i = 0; i < 64; ++i) {
+    char header_bytes[kHeaderSize];
+    ASSERT_TRUE(ReadAll(*fd, header_bytes, kHeaderSize, "header").ok());
+    auto header = DecodeHeader(header_bytes);
+    ASSERT_TRUE(header.ok());
+    std::string payload(header->payload_size, '\0');
+    ASSERT_TRUE(
+        ReadAll(*fd, payload.data(), payload.size(), "payload").ok());
+    ASSERT_GE(header->request_id, 1u);
+    ASSERT_LE(header->request_id, 64u);
+    EXPECT_FALSE(seen[header->request_id]);
+    seen[header->request_id] = true;
+    EXPECT_EQ(payload, "p" + std::to_string(header->request_id));
+  }
+  close(*fd);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().frames_received, 64u);
+  EXPECT_EQ(server.stats().unanswered_frames, 0u);
+}
+
+TEST(NetServerTest, MalformedHeaderAnsweredWithErrorFrameThenClose) {
+  Server server(TestServerOptions(), EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+
+  std::string garbage(kHeaderSize, '\xFF');
+  ASSERT_TRUE(WriteAll(*fd, garbage.data(), garbage.size()).ok());
+
+  char header_bytes[kHeaderSize];
+  ASSERT_TRUE(ReadAll(*fd, header_bytes, kHeaderSize, "header").ok());
+  auto header = DecodeHeader(header_bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->op, Op::kError);
+  std::string payload(header->payload_size, '\0');
+  ASSERT_TRUE(ReadAll(*fd, payload.data(), payload.size(), "payload").ok());
+  auto error = DecodeErrorResponse(payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, StatusCode::kDataLoss);
+
+  // Framing is lost, so the server closes after the error frame: the
+  // next read sees EOF.
+  char byte;
+  Status eof = ReadAll(*fd, &byte, 1, "post-error");
+  EXPECT_FALSE(eof.ok());
+  close(*fd);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().decode_errors, 1u);
+  EXPECT_EQ(server.stats().error_frames_sent, 1u);
+}
+
+TEST(NetServerTest, OversizedPayloadHeaderRejected) {
+  ServerOptions options = TestServerOptions();
+  options.max_payload = 1024;
+  Server server(options, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+
+  std::string frame;
+  AppendHeader(&frame, Op::kPing, 1, 2048);  // above the server's bound
+  ASSERT_TRUE(WriteAll(*fd, frame.data(), frame.size()).ok());
+  char header_bytes[kHeaderSize];
+  ASSERT_TRUE(ReadAll(*fd, header_bytes, kHeaderSize, "header").ok());
+  auto header = DecodeHeader(header_bytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->op, Op::kError);
+  close(*fd);
+  server.Shutdown();
+}
+
+TEST(NetServerTest, IdleConnectionsAreSweptByTimeout) {
+  ServerOptions options = TestServerOptions();
+  options.idle_timeout_seconds = 0.15;
+  Server server(options, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // Wait out the idle sweep, then expect the connection to be gone.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().idle_closes == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.stats().idle_closes, 1u);
+  EXPECT_FALSE(client.Ping().ok());
+  server.Shutdown();
+}
+
+TEST(NetServerTest, GracefulShutdownAnswersInflightFrames) {
+  // The handler parks each frame's responder on a detached timer thread;
+  // Shutdown() must wait for those sends instead of dropping them.
+  Server server(TestServerOptions(), [](Frame frame, ResponderPtr respond) {
+    std::thread([frame = std::move(frame),
+                 respond = std::move(respond)]() mutable {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      respond->Send(EncodeFrame(frame.header.op, frame.header.request_id,
+                                frame.payload));
+    }).detach();
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  std::atomic<bool> answered{false};
+  std::thread caller([&] {
+    if (client.Ping().ok()) answered.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Shutdown();
+  caller.join();
+  EXPECT_TRUE(answered.load());
+  EXPECT_EQ(server.stats().unanswered_frames, 0u);
+}
+
+// --- full protocol stack over a DBLP snapshot ------------------------------
+
+std::shared_ptr<const serve::ServeSnapshot> MakeSnapshot(uint32_t papers,
+                                                         uint64_t seed) {
+  auto owner = std::make_shared<datasets::DblpDataset>(datasets::GenerateDblp(
+      datasets::DblpGeneratorConfig::Tiny(papers, seed)));
+  graph::TransferRates rates = datasets::DblpGroundTruthRates(
+      owner->dataset.schema(), owner->types);
+  return std::make_shared<serve::ServeSnapshot>(serve::SnapshotFromOwner(
+      owner, owner->dataset.data(), owner->dataset.authority(),
+      owner->dataset.corpus(), std::move(rates)));
+}
+
+/// The corpus term with the highest document frequency — a query
+/// guaranteed to have a non-empty base set.
+std::string HeadTerm(const text::Corpus& corpus) {
+  text::TermId best = 0;
+  uint32_t best_df = 0;
+  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+    if (corpus.Df(t) > best_df) {
+      best_df = corpus.Df(t);
+      best = t;
+    }
+  }
+  return corpus.TermString(best);
+}
+
+struct FullStack {
+  std::shared_ptr<const serve::ServeSnapshot> snapshot;
+  std::unique_ptr<serve::SearchService> service;
+  std::unique_ptr<ServeHandler> handler;
+  std::unique_ptr<Server> server;
+
+  explicit FullStack(serve::SearchService::Options service_options = {}) {
+    snapshot = MakeSnapshot(80, 11);
+    service = std::make_unique<serve::SearchService>(snapshot,
+                                                     service_options);
+    handler = std::make_unique<ServeHandler>(service.get());
+    server = std::make_unique<Server>(
+        TestServerOptions(), [this](Frame frame, ResponderPtr respond) {
+          handler->Handle(std::move(frame), std::move(respond));
+        });
+    handler->set_server_stats(
+        [server = server.get()] { return server->stats(); });
+  }
+};
+
+TEST(NetFullStackTest, SearchExplainReformulateValidateMetrics) {
+  FullStack stack;
+  ASSERT_TRUE(stack.server->Start().ok());
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()).ok());
+
+  const std::string query = HeadTerm(*stack.snapshot->corpus);
+  auto search = client.Search({query, 10, 0.0});
+  ASSERT_TRUE(search.ok()) << search.status();
+  ASSERT_FALSE(search->results.empty());
+  for (size_t i = 1; i < search->results.size(); ++i) {
+    EXPECT_GE(search->results[i - 1].score, search->results[i].score);
+  }
+  EXPECT_FALSE(search->results[0].display_label.empty());
+  EXPECT_FALSE(search->results[0].type_label.empty());
+
+  // The same query again is a result-cache hit end to end.
+  auto again = client.Search({query, 10, 0.0});
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->cache_hit);
+  ASSERT_EQ(again->results.size(), search->results.size());
+  EXPECT_EQ(again->results[0].node, search->results[0].node);
+  EXPECT_EQ(again->results[0].score, search->results[0].score);
+
+  auto explain = client.Explain({query, 1});
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_FALSE(explain->text.empty());
+
+  auto reform = client.Reformulate({query, {1}});
+  ASSERT_TRUE(reform.ok()) << reform.status();
+  EXPECT_FALSE(reform->reformulated_query.empty());
+
+  auto validate = client.Validate();
+  ASSERT_TRUE(validate.ok());
+  EXPECT_TRUE(validate->ok) << validate->report;
+
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(metrics->serve.submitted, 4u);
+  EXPECT_LE(metrics->serve.completed, metrics->serve.submitted);
+  EXPECT_GT(metrics->frames_received, 0u);
+
+  auto empty = client.Search({"", 10, 0.0});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  stack.server->Shutdown();
+}
+
+TEST(NetFullStackTest, AdmissionOverflowArrivesAsUnavailableErrorFrame) {
+  // max_pending = 0 rejects every execution at admission; with the cache
+  // and single flight off, every search must come back as a
+  // kError/kUnavailable frame — never silence, never a dropped
+  // connection.
+  serve::SearchService::Options options;
+  options.max_pending = 0;
+  options.result_cache_entries = 0;
+  options.single_flight = false;
+  FullStack stack(options);
+  ASSERT_TRUE(stack.server->Start().ok());
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()).ok());
+
+  const std::string query = HeadTerm(*stack.snapshot->corpus);
+  for (int i = 0; i < 5; ++i) {
+    auto search = client.Search({query, 10, 0.0});
+    ASSERT_FALSE(search.ok());
+    EXPECT_EQ(search.status().code(), StatusCode::kUnavailable);
+  }
+  // The rejections all flowed through the same still-healthy connection.
+  ASSERT_TRUE(client.Ping().ok());
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->stats().error_frames_sent, 5u);
+  EXPECT_EQ(stack.server->stats().unanswered_frames, 0u);
+}
+
+TEST(NetFullStackTest, ConcurrentClientsAllAnswered) {
+  FullStack stack;
+  ASSERT_TRUE(stack.server->Start().ok());
+  const std::string query = HeadTerm(*stack.snapshot->corpus);
+  const uint16_t port = stack.server->port();
+
+  constexpr int kThreads = 6;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      BlockingClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failures.fetch_add(kCallsPerThread);
+        return;
+      }
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        const bool ping = (i + t) % 3 == 0;
+        const Status status =
+            ping ? client.Ping()
+                 : client.Search({query, 10, 0.0}).status();
+        // kUnavailable is an acceptable answer under load; silence or
+        // transport errors are not.
+        if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  stack.server->Shutdown();
+
+  const ServerStats stats = stack.server->stats();
+  EXPECT_EQ(stats.frames_received, kThreads * kCallsPerThread);
+  EXPECT_EQ(stats.frames_sent, kThreads * kCallsPerThread);
+  EXPECT_EQ(stats.unanswered_frames, 0u);
+}
+
+}  // namespace
+}  // namespace orx::net

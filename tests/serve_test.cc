@@ -420,6 +420,157 @@ TEST(SearchServiceTest, MetricsReportLatencyAndQps) {
   EXPECT_FALSE(m.ToString().empty());
 }
 
+TEST(SearchServiceTest, SubmitAsyncDeliversSameResponseAsFutures) {
+  auto snap = MakeDblpSnapshot(200, 18);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService service(snap, SearchService::Options{});
+  const core::SearchResult expected = DirectSearch(*snap, term);
+
+  std::promise<StatusOr<ServeResponse>> delivered;
+  auto future = delivered.get_future();
+  service.SubmitAsync(MakeRequest(term),
+                      [&delivered](StatusOr<ServeResponse> response) {
+                        delivered.set_value(std::move(response));
+                      });
+  auto response = future.get();
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->result.scores, expected.scores);
+  EXPECT_EQ(response->result.top, expected.top);
+  EXPECT_FALSE(response->cache_hit);
+
+  // The repeat resolves at Submit time: the callback runs synchronously
+  // on the calling thread, before SubmitAsync returns.
+  bool ran = false;
+  service.SubmitAsync(MakeRequest(term),
+                      [&ran, &expected](StatusOr<ServeResponse> response) {
+                        ran = true;
+                        ASSERT_TRUE(response.ok()) << response.status();
+                        EXPECT_TRUE(response->cache_hit);
+                        EXPECT_EQ(response->result.scores, expected.scores);
+                      });
+  EXPECT_TRUE(ran);
+}
+
+TEST(SearchServiceTest, SubmitAsyncRejectionRunsCallbackSynchronously) {
+  auto snap = MakeDblpSnapshot(200, 18);
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 2);
+  ASSERT_GE(terms.size(), 2u);
+  SearchService::Options options;
+  options.num_threads = 1;
+  options.max_pending = 1;
+  SearchService service(snap, options);
+
+  auto gate = std::make_shared<Gate>();
+  ServeRequest blocker = MakeRequest(terms[0]);
+  blocker.options = GatedOptions(*snap, gate);
+  auto running = service.Submit(std::move(blocker));
+  gate->WaitUntilEntered();  // the only admission slot is taken
+
+  bool ran = false;
+  service.SubmitAsync(MakeRequest(terms[1]),
+                      [&ran](StatusOr<ServeResponse> response) {
+                        ran = true;
+                        EXPECT_EQ(response.status().code(),
+                                  StatusCode::kUnavailable);
+                      });
+  EXPECT_TRUE(ran);  // rejection delivered before SubmitAsync returned
+  EXPECT_EQ(service.Metrics().rejected, 1u);
+
+  gate->Open();
+  EXPECT_TRUE(running.get().ok());
+}
+
+TEST(SearchServiceTest, SubmitAsyncCoalescedWaitersGetCallbacks) {
+  auto snap = MakeDblpSnapshot(200, 19);
+  const std::string term = TopTerms(*snap->corpus, 1).at(0);
+  SearchService::Options options;
+  options.num_threads = 2;
+  SearchService service(snap, options);
+
+  auto gate = std::make_shared<Gate>();
+  ServeRequest leader = MakeRequest(term);
+  leader.options = GatedOptions(*snap, gate);
+  auto leader_future = service.Submit(std::move(leader));
+  gate->WaitUntilEntered();
+
+  constexpr int kFollowers = 4;
+  std::atomic<int> coalesced_callbacks{0};
+  std::vector<std::future<StatusOr<ServeResponse>>> followers;
+  for (int i = 0; i < kFollowers; ++i) {
+    auto delivered = std::make_shared<std::promise<StatusOr<ServeResponse>>>();
+    followers.push_back(delivered->get_future());
+    ServeRequest follower = MakeRequest(term);
+    follower.options = GatedOptions(*snap, gate);  // identical key
+    service.SubmitAsync(std::move(follower),
+                        [delivered, &coalesced_callbacks](
+                            StatusOr<ServeResponse> response) {
+                          if (response.ok() && response->coalesced) {
+                            coalesced_callbacks.fetch_add(1);
+                          }
+                          delivered->set_value(std::move(response));
+                        });
+  }
+  gate->Open();
+  ASSERT_TRUE(leader_future.get().ok());
+  for (auto& f : followers) {
+    auto response = f.get();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_TRUE(response->coalesced);
+  }
+  EXPECT_EQ(coalesced_callbacks.load(), kFollowers);
+  EXPECT_EQ(service.Metrics().executed, 1u);
+}
+
+TEST(SearchServiceTest, MetricsSnapshotConsistentUnderLoad) {
+  // Regression for non-atomic counter sampling: a snapshot taken
+  // mid-burst used to show `completed` ahead of the action counters
+  // (each completion incremented completed_ before its observer could
+  // see the matching cache_hit/coalesced/executed increment ordered).
+  // Snapshot() now loads completed_ first with acquire against Fulfill's
+  // release, so these invariants must hold in EVERY cut, not just at
+  // quiescence.
+  auto snap = MakeDblpSnapshot(200, 20);
+  const std::vector<std::string> terms = TopTerms(*snap->corpus, 6);
+  ASSERT_GE(terms.size(), 4u);
+  SearchService::Options options;
+  options.num_threads = 4;
+  SearchService service(snap, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      const ServeMetrics m = service.Snapshot();
+      if (m.completed > m.cache_hits + m.coalesced + m.executed ||
+          m.completed > m.submitted) {
+        violated.store(true);
+      }
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 60;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string& term = terms[(c * 7 + i) % terms.size()];
+        auto response = service.Search(MakeRequest(term));
+        EXPECT_TRUE(response.ok()) << response.status();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_FALSE(violated.load())
+      << "a metrics snapshot showed completed ahead of its action counters";
+  const ServeMetrics m = service.Snapshot();
+  EXPECT_EQ(m.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(m.executed + m.cache_hits + m.coalesced, m.completed);
+}
+
 TEST(SearchServiceTest, CapIntraQueryThreadsNeverOversubscribes) {
   const size_t hardware = ThreadPool::HardwareThreads();
   for (const size_t workers : {size_t{1}, size_t{2}, size_t{8}, hardware}) {

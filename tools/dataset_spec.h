@@ -1,0 +1,68 @@
+#ifndef ORX_TOOLS_DATASET_SPEC_H_
+#define ORX_TOOLS_DATASET_SPEC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "datasets/dblp_generator.h"
+#include "serve/snapshot.h"
+#include "text/corpus.h"
+
+namespace orx::tools {
+
+/// The dataset orx_serve and orx_client agree on: a deterministic scaled
+/// DblpTop generation with ground-truth transfer rates. Generation is
+/// seeded, so a client started with the same --scale as the server
+/// reproduces the server's snapshot exactly — the e2e mode leans on that
+/// to compare wire responses against in-process golden results.
+struct ServingDataset {
+  std::shared_ptr<datasets::DblpDataset> dblp;
+  std::shared_ptr<serve::ServeSnapshot> snapshot;
+  std::string description;
+  /// Highest-document-frequency terms, most frequent first: the load
+  /// generator's Zipf query universe, and the default interactive
+  /// suggestions.
+  std::vector<std::string> head_terms;
+};
+
+inline ServingDataset BuildServingDataset(double scale,
+                                          size_t max_head_terms = 64) {
+  ServingDataset out;
+  out.dblp = std::make_shared<datasets::DblpDataset>(
+      datasets::GenerateDblp(bench::ScaledDblp(
+          datasets::DblpGeneratorConfig::DblpTop(), scale)));
+  graph::TransferRates rates = datasets::DblpGroundTruthRates(
+      out.dblp->dataset.schema(), out.dblp->types);
+  out.snapshot = std::make_shared<serve::ServeSnapshot>(
+      serve::SnapshotFromOwner(out.dblp, out.dblp->dataset.data(),
+                               out.dblp->dataset.authority(),
+                               out.dblp->dataset.corpus(), rates));
+  out.description =
+      std::to_string(out.dblp->dataset.data().num_nodes()) + " nodes, " +
+      std::to_string(out.dblp->dataset.authority().num_edges()) + " edges";
+
+  const text::Corpus& corpus = out.dblp->dataset.corpus();
+  std::vector<std::pair<uint32_t, std::string>> by_df;
+  by_df.reserve(corpus.vocab_size());
+  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+    by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (size_t i = 0; i < by_df.size() && out.head_terms.size() < max_head_terms;
+       ++i) {
+    out.head_terms.push_back(by_df[i].second);
+  }
+  return out;
+}
+
+}  // namespace orx::tools
+
+#endif  // ORX_TOOLS_DATASET_SPEC_H_

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the network front end (the "net-smoke" CI gate):
+# starts orx_serve on an ephemeral port, runs the client's e2e mode
+# (wire responses vs in-process goldens) and a short load burst, then
+# checks the accounting: zero dropped (unanswered) frames, zero
+# unexpected error frames, and a clean SIGTERM drain.
+#
+# usage: tools/net_smoke.sh [build-dir] [load-seconds] [connections]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+LOAD_SECONDS="${2:-5}"
+CONNECTIONS="${3:-200}"
+SCALE="${ORX_NET_SMOKE_SCALE:-0.05}"
+SERVE_LOG="$(mktemp)"
+ulimit -n 4096 || true
+
+"$BUILD_DIR/tools/orx_serve" --port 0 --scale "$SCALE" >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -f "$SERVE_LOG"' EXIT
+
+PORT=""
+for _ in $(seq 1 120); do
+  PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' "$SERVE_LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG"; exit 1; }
+  sleep 0.5
+done
+[ -n "$PORT" ] || { echo "server never reported its port"; cat "$SERVE_LOG"; exit 1; }
+echo "=== orx_serve up on port $PORT ==="
+
+echo "=== e2e: wire vs in-process goldens ==="
+"$BUILD_DIR/tools/orx_client" --mode e2e --port "$PORT" --scale "$SCALE"
+
+echo "=== load: $CONNECTIONS connections, ${LOAD_SECONDS}s burst ==="
+LOAD_OUT="$("$BUILD_DIR/tools/orx_client" --mode load --port "$PORT" \
+  --scale "$SCALE" --connections "$CONNECTIONS" --threads 4 \
+  --duration "$LOAD_SECONDS" --churn 0.02 --json /dev/null | tee /dev/stderr)"
+
+# The load client already fails on dropped frames; additionally require
+# that the healthy burst produced no error frames at all (nothing here
+# should be rejected or malformed).
+ERRORS="$(sed -n 's/^error_frames=\([0-9]*\) .*/\1/p' <<<"$LOAD_OUT")"
+if [ -z "$ERRORS" ] || [ "$ERRORS" -ne 0 ]; then
+  echo "FAILED: expected zero error frames, saw '${ERRORS:-unparsed}'"
+  exit 1
+fi
+
+echo "=== SIGTERM drain ==="
+kill -TERM "$SERVE_PID"
+for _ in $(seq 1 40); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.5
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "FAILED: server did not exit after SIGTERM"
+  cat "$SERVE_LOG"
+  exit 1
+fi
+wait "$SERVE_PID" || { echo "FAILED: server exited non-zero"; cat "$SERVE_LOG"; exit 1; }
+grep -q "unanswered=0" "$SERVE_LOG" || {
+  echo "FAILED: drain left unanswered frames"; cat "$SERVE_LOG"; exit 1; }
+tail -3 "$SERVE_LOG"
+echo "net-smoke: PASS"

@@ -30,6 +30,7 @@
 #include "graph/validate.h"
 #include "io/dataset_io.h"
 #include "io/graph_tsv.h"
+#include "net/net_util.h"
 #include "reformulate/reformulator.h"
 #include "serve/search_service.h"
 #include "serve/snapshot.h"
@@ -483,7 +484,7 @@ void DoServeBench(CliState& state, const std::string& args) {
     for (std::thread& t : workers) t.join();
     std::printf("%-16s %s\n",
                 use_cache ? "result-cache on" : "result-cache off",
-                service.Metrics().ToString().c_str());
+                service.Snapshot().ToString().c_str());
   }
 }
 
@@ -567,6 +568,11 @@ void DoGenerate(CliState& state, const std::string& args) {
 }  // namespace
 
 int main() {
+  // The shell itself never writes to sockets, but serve-bench's client
+  // threads do, and a reader that disconnects mid-response must surface
+  // as EPIPE rather than kill the process. Piped stdout gets the same
+  // courtesy.
+  orx::net::IgnoreSigpipe();
   CliState state;
   std::printf("ORX shell — authority-flow search with explanations "
               "(type 'help')\n");

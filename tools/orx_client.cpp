@@ -1,0 +1,909 @@
+// orx_client: the ORXN protocol client. Four modes:
+//
+//   interactive  REPL over one blocking connection (query / explain /
+//                feedback / validate / metrics / ping).
+//   e2e          drives the wire protocol and compares every response
+//                against in-process golden results computed from the same
+//                deterministic dataset (requires the server's --scale).
+//   load         many non-blocking connections across a few poll() threads;
+//                closed-loop (bounded outstanding per connection) or
+//                open-loop (--rate RPS) with a Zipf query mix and optional
+//                connection churn. Accounts for every frame sent: answered,
+//                error frames (admission rejections separately), dropped.
+//   bench        per-op latency percentiles over one connection.
+//
+// load and bench append records to BENCH_net_serve.json (shared
+// bench-record schema). load exits non-zero if any sent frame went
+// unanswered — load shedding must arrive as kError/kUnavailable frames,
+// never as silence.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <latch>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/base_set.h"
+#include "dataset_spec.h"
+#include "datasets/zipf.h"
+#include "explain/explainer.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/net_util.h"
+#include "reformulate/reformulator.h"
+#include "serve/search_service.h"
+#include "text/query.h"
+
+namespace {
+
+using namespace orx;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+struct ClientFlags {
+  std::string mode = "interactive";
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double scale = 0.05;
+  // load:
+  int threads = 4;
+  int connections = 64;
+  double duration = 5.0;
+  int pipeline = 1;     // closed-loop outstanding frames per connection
+  double rate = 0.0;    // > 0: open loop at this aggregate RPS
+  double churn = 0.0;   // P(reconnect) after a response, per connection
+  double drain_grace = 5.0;
+  // query mix:
+  int zipf_terms = 64;
+  double zipf_s = 1.0;
+  uint32_t k = 10;
+  uint64_t seed = 1;
+  // bench:
+  int iters = 200;
+  std::string json_path = "BENCH_net_serve.json";
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --mode interactive|e2e|load|bench --port P [--host H]\n"
+      "  common: --scale S (dataset for query mix / e2e goldens)\n"
+      "  load:   --threads N --connections N --duration SEC --pipeline N\n"
+      "          --rate RPS (0 = closed loop) --churn P --zipf-terms N\n"
+      "          --zipf-s S --k K --seed N --json PATH --drain-grace SEC\n"
+      "  bench:  --iters N --json PATH\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, ClientFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--mode" && (v = value())) {
+      flags->mode = v;
+    } else if (arg == "--host" && (v = value())) {
+      flags->host = v;
+    } else if (arg == "--port" && (v = value())) {
+      flags->port = std::atoi(v);
+    } else if (arg == "--scale" && (v = value())) {
+      flags->scale = std::atof(v);
+    } else if (arg == "--threads" && (v = value())) {
+      flags->threads = std::atoi(v);
+    } else if (arg == "--connections" && (v = value())) {
+      flags->connections = std::atoi(v);
+    } else if (arg == "--duration" && (v = value())) {
+      flags->duration = std::atof(v);
+    } else if (arg == "--pipeline" && (v = value())) {
+      flags->pipeline = std::atoi(v);
+    } else if (arg == "--rate" && (v = value())) {
+      flags->rate = std::atof(v);
+    } else if (arg == "--churn" && (v = value())) {
+      flags->churn = std::atof(v);
+    } else if (arg == "--drain-grace" && (v = value())) {
+      flags->drain_grace = std::atof(v);
+    } else if (arg == "--zipf-terms" && (v = value())) {
+      flags->zipf_terms = std::atoi(v);
+    } else if (arg == "--zipf-s" && (v = value())) {
+      flags->zipf_s = std::atof(v);
+    } else if (arg == "--k" && (v = value())) {
+      flags->k = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--seed" && (v = value())) {
+      flags->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--iters" && (v = value())) {
+      flags->iters = std::atoi(v);
+    } else if (arg == "--json" && (v = value())) {
+      flags->json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return flags->port > 0 && flags->port <= 65535;
+}
+
+// --- interactive -----------------------------------------------------------
+
+void PrintSearchResponse(const net::SearchResponse& response) {
+  TablePrinter table({"rank", "score", "type", "label"});
+  int rank = 1;
+  for (const net::WireResult& r : response.results) {
+    table.AddRow({std::to_string(rank++), FormatDouble(r.score, 6),
+                  r.type_label, r.display_label});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("(%u iterations%s%s%s, %.2f ms)\n", response.iterations,
+              response.from_rank_cache ? ", rank-cache warm start" : "",
+              response.cache_hit ? ", result-cache hit" : "",
+              response.coalesced ? ", coalesced" : "",
+              response.total_seconds * 1e3);
+}
+
+int RunInteractive(const ClientFlags& flags) {
+  net::BlockingClient client;
+  Status connected =
+      client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%d; commands: query <terms>, explain <rank>, "
+              "feedback <ranks...>, validate, metrics, ping, quit\n",
+              flags.host.c_str(), flags.port);
+  std::string last_query;
+  std::string line;
+  while (std::printf("orx> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "ping") {
+      Timer timer;
+      Status status = client.Ping();
+      std::printf("%s (%.2f ms)\n",
+                  status.ok() ? "pong" : status.ToString().c_str(),
+                  timer.ElapsedSeconds() * 1e3);
+    } else if (command == "query" || command == "search") {
+      std::string terms;
+      std::getline(in, terms);
+      net::SearchRequest request;
+      request.query = terms;
+      request.k = flags.k;
+      auto response = client.Search(request);
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
+        continue;
+      }
+      last_query = terms;
+      PrintSearchResponse(*response);
+    } else if (command == "explain") {
+      uint32_t rank = 1;
+      in >> rank;
+      if (last_query.empty()) {
+        std::printf("no previous query\n");
+        continue;
+      }
+      auto response = client.Explain({last_query, rank});
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s(%u iterations, build %.2f ms + adjust %.2f ms)\n",
+                  response->text.c_str(), response->iterations,
+                  response->construction_seconds * 1e3,
+                  response->adjustment_seconds * 1e3);
+    } else if (command == "feedback") {
+      std::vector<uint32_t> ranks;
+      uint32_t rank = 0;
+      while (in >> rank) ranks.push_back(rank);
+      if (last_query.empty()) {
+        std::printf("no previous query\n");
+        continue;
+      }
+      auto response = client.Reformulate({last_query, ranks});
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
+        continue;
+      }
+      std::printf("reformulated: %s\n",
+                  response->reformulated_query.c_str());
+      for (const auto& [term, weight] : response->top_expansion_terms) {
+        std::printf("  + %s (%.4f)\n", term.c_str(), weight);
+      }
+      last_query = response->reformulated_query;
+    } else if (command == "validate") {
+      auto response = client.Validate();
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s: %s\n", response->ok ? "OK" : "FAILED",
+                  response->report.c_str());
+    } else if (command == "metrics") {
+      auto response = client.Metrics();
+      if (!response.ok()) {
+        std::printf("error: %s\n", response.status().ToString().c_str());
+        continue;
+      }
+      const serve::ServeMetrics& m = response->serve;
+      std::printf(
+          "serve: submitted=%llu completed=%llu rejected=%llu hits=%llu "
+          "coalesced=%llu executed=%llu p50=%.2fms p99=%.2fms qps=%.1f\n",
+          static_cast<unsigned long long>(m.submitted),
+          static_cast<unsigned long long>(m.completed),
+          static_cast<unsigned long long>(m.rejected),
+          static_cast<unsigned long long>(m.cache_hits),
+          static_cast<unsigned long long>(m.coalesced),
+          static_cast<unsigned long long>(m.executed),
+          m.latency_p50 * 1e3, m.latency_p99 * 1e3, m.qps);
+      std::printf(
+          "net: accepted=%llu open=%llu frames in=%llu out=%llu errors=%llu "
+          "decode=%llu backpressure=%llu idle=%llu\n",
+          static_cast<unsigned long long>(response->connections_accepted),
+          static_cast<unsigned long long>(response->connections_open),
+          static_cast<unsigned long long>(response->frames_received),
+          static_cast<unsigned long long>(response->frames_sent),
+          static_cast<unsigned long long>(response->error_frames_sent),
+          static_cast<unsigned long long>(response->decode_errors),
+          static_cast<unsigned long long>(response->backpressure_closes),
+          static_cast<unsigned long long>(response->idle_closes));
+    } else {
+      std::printf("unknown command '%s'\n", command.c_str());
+    }
+  }
+  return 0;
+}
+
+// --- e2e -------------------------------------------------------------------
+
+#define E2E_CHECK(cond, what)                                       \
+  do {                                                              \
+    if (cond) {                                                     \
+      std::printf("  ok: %s\n", what);                              \
+    } else {                                                        \
+      std::printf("  FAIL: %s\n", what);                            \
+      ++failures;                                                   \
+    }                                                               \
+  } while (0)
+
+int RunE2e(const ClientFlags& flags) {
+  std::printf("e2e: building golden dataset (scale=%.3f)...\n", flags.scale);
+  tools::ServingDataset dataset = tools::BuildServingDataset(flags.scale);
+  serve::SearchService golden(dataset.snapshot, {});
+  const serve::ServeSnapshot& snap = *dataset.snapshot;
+
+  net::BlockingClient client;
+  Status connected =
+      client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  int failures = 0;
+
+  E2E_CHECK(client.Ping().ok(), "ping");
+
+  // Search: wire results must match the in-process service bit-for-bit —
+  // same deterministic generation, same snapshot, same kernels (the
+  // power iteration promises per-lane bit-identity across paths).
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < dataset.head_terms.size() && queries.size() < 6; ++i) {
+    queries.push_back(dataset.head_terms[i]);
+  }
+  if (dataset.head_terms.size() >= 2) {
+    queries.push_back(dataset.head_terms[0] + " " + dataset.head_terms[1]);
+  }
+  for (const std::string& q : queries) {
+    auto wire = client.Search({q, flags.k, 0.0});
+    serve::ServeRequest request;
+    request.query = text::QueryVector(text::ParseQuery(q));
+    core::SearchOptions options = snap.default_options;
+    options.k = flags.k;
+    request.options = options;
+    auto local = golden.Search(std::move(request));
+    const std::string what = "search '" + q + "'";
+    if (!wire.ok() || !local.ok()) {
+      E2E_CHECK(!wire.ok() && !local.ok() &&
+                    wire.status().code() == local.status().code(),
+                (what + " (status parity)").c_str());
+      continue;
+    }
+    bool same = wire->results.size() == local->result.top.size();
+    for (size_t i = 0; same && i < wire->results.size(); ++i) {
+      const net::WireResult& w = wire->results[i];
+      const core::ScoredNode& g = local->result.top[i];
+      same = w.node == g.node && w.score == g.score &&
+             w.display_label == snap.data->DisplayLabel(g.node);
+    }
+    E2E_CHECK(same, what.c_str());
+  }
+
+  // Explain: wire text equals the locally computed explaining subgraph.
+  {
+    const std::string& q = queries.front();
+    const uint32_t rank = 2;
+    auto wire = client.Explain({q, rank});
+    text::QueryVector query(text::ParseQuery(q));
+    serve::ServeRequest request;
+    request.query = query;
+    auto local = golden.Search(std::move(request));
+    bool same = false;
+    if (wire.ok() && local.ok() && local->result.top.size() >= rank) {
+      auto base =
+          core::BuildBaseSet(*snap.corpus, query,
+                             core::BaseSetMode::kIrWeighted,
+                             snap.default_options.bm25);
+      if (base.ok()) {
+        explain::Explainer explainer(*snap.data, *snap.authority);
+        auto explanation = explainer.Explain(
+            local->result.top[rank - 1].node, *base, local->result.scores,
+            snap.rates, snap.default_options.objectrank.damping,
+            explain::ExplainOptions{});
+        same = explanation.ok() &&
+               wire->text == explanation->subgraph.ToString(*snap.data);
+      }
+    }
+    E2E_CHECK(same, "explain rank 2 matches local explainer");
+
+    auto out_of_range = client.Explain({q, 9999});
+    E2E_CHECK(!out_of_range.ok() && out_of_range.status().code() ==
+                                        StatusCode::kInvalidArgument,
+              "explain rank 9999 -> kInvalidArgument error frame");
+  }
+
+  // Reformulate: wire query string equals the local reformulator's.
+  {
+    const std::string& q = queries.front();
+    auto wire = client.Reformulate({q, {1, 3}});
+    text::QueryVector query(text::ParseQuery(q));
+    serve::ServeRequest request;
+    request.query = query;
+    auto local = golden.Search(std::move(request));
+    bool same = false;
+    if (wire.ok() && local.ok() && local->result.top.size() >= 3) {
+      auto base =
+          core::BuildBaseSet(*snap.corpus, query,
+                             core::BaseSetMode::kIrWeighted,
+                             snap.default_options.bm25);
+      if (base.ok()) {
+        reform::Reformulator reformulator(*snap.data, *snap.authority,
+                                          *snap.corpus);
+        std::vector<graph::NodeId> feedback = {local->result.top[0].node,
+                                               local->result.top[2].node};
+        auto result = reformulator.Reformulate(
+            query, snap.rates, *base, local->result.scores, feedback,
+            reform::ReformulationOptions{});
+        same = result.ok() &&
+               wire->reformulated_query == result->query.ToString();
+      }
+    }
+    E2E_CHECK(same, "reformulate {1,3} matches local reformulator");
+  }
+
+  {
+    auto empty = client.Search({"", flags.k, 0.0});
+    E2E_CHECK(!empty.ok() &&
+                  empty.status().code() == StatusCode::kInvalidArgument,
+              "empty query -> kInvalidArgument error frame");
+  }
+  {
+    auto validate = client.Validate();
+    E2E_CHECK(validate.ok() && validate->ok,
+              "validate reports a structurally sound snapshot");
+  }
+  {
+    auto metrics = client.Metrics();
+    E2E_CHECK(metrics.ok() && metrics->frames_received > 0 &&
+                  metrics->serve.completed <= metrics->serve.submitted,
+              "metrics consistent (frames seen, completed <= submitted)");
+  }
+
+  std::printf("e2e: %s (%d failure%s)\n", failures == 0 ? "PASS" : "FAIL",
+              failures, failures == 1 ? "" : "s");
+  return failures == 0 ? 0 : 1;
+}
+
+// --- load ------------------------------------------------------------------
+
+/// Aggregated per-thread accounting. "dropped" are frames we sent that
+/// were never answered by anything — not even an error frame. The
+/// acceptance bar is dropped == 0: under overload the server sheds load
+/// with kError/kUnavailable, it does not go silent.
+struct LoadCounters {
+  uint64_t sent = 0;
+  uint64_t answered = 0;
+  uint64_t error_frames = 0;
+  uint64_t rejected = 0;  // error frames carrying kUnavailable
+  uint64_t dropped = 0;
+  uint64_t reconnects = 0;
+  uint64_t connect_failures = 0;
+
+  void MergeInto(LoadCounters* total) const {
+    total->sent += sent;
+    total->answered += answered;
+    total->error_frames += error_frames;
+    total->rejected += rejected;
+    total->dropped += dropped;
+    total->reconnects += reconnects;
+    total->connect_failures += connect_failures;
+  }
+};
+
+struct LoadConn {
+  int fd = -1;
+  std::string outbuf;
+  size_t write_pos = 0;
+  std::string inbuf;
+  std::unordered_map<uint64_t, Clock::time_point> inflight;
+  uint64_t next_id = 1;
+  double next_send = 0.0;  // open-loop schedule, seconds since thread start
+};
+
+struct LoadShared {
+  const ClientFlags* flags = nullptr;
+  const std::vector<std::string>* terms = nullptr;
+  const datasets::ZipfSampler* popularity = nullptr;
+  LatencyHistogram* histogram = nullptr;
+  std::latch* ready = nullptr;
+};
+
+int ConnectLoad(const ClientFlags& flags, LoadCounters* counters) {
+  // A burst of N simultaneous connects can overflow the listen backlog;
+  // brief retries keep the ramp honest instead of under-provisioning the
+  // fleet silently.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    auto fd = net::ConnectTcp(flags.host, static_cast<uint16_t>(flags.port));
+    if (fd.ok()) {
+      IgnoreError(net::SetNonBlocking(*fd));
+      return *fd;
+    }
+    usleep(2000 * (attempt + 1));
+  }
+  ++counters->connect_failures;
+  return -1;
+}
+
+/// Flushes as much of the outbound buffer as the socket accepts.
+/// Returns false when the connection died under us.
+bool FlushConn(LoadConn* conn) {
+  while (conn->write_pos < conn->outbuf.size()) {
+    const ssize_t n = net::RetryEintr([&] {
+      return write(conn->fd, conn->outbuf.data() + conn->write_pos,
+                   conn->outbuf.size() - conn->write_pos);
+    });
+    if (n > 0) {
+      conn->write_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == -1 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  conn->outbuf.clear();
+  conn->write_pos = 0;
+  return true;
+}
+
+void CloseLoadConn(LoadConn* conn, LoadCounters* counters) {
+  counters->dropped += conn->inflight.size();
+  conn->inflight.clear();
+  if (conn->fd != -1) close(conn->fd);
+  conn->fd = -1;
+  conn->outbuf.clear();
+  conn->write_pos = 0;
+  conn->inbuf.clear();
+}
+
+void SendSearch(LoadConn* conn, const LoadShared& shared, Rng& rng,
+                LoadCounters* counters, Clock::time_point now) {
+  net::SearchRequest request;
+  request.query = (*shared.terms)[shared.popularity->Sample(rng)];
+  request.k = shared.flags->k;
+  const uint64_t id = conn->next_id++;
+  conn->outbuf += net::EncodeFrame(net::Op::kSearch, id,
+                                   net::EncodeSearchRequest(request));
+  conn->inflight.emplace(id, now);
+  ++counters->sent;
+}
+
+/// Consumes complete frames from the connection's read buffer. Returns
+/// false if framing was lost (the connection must be closed).
+bool ParseLoadFrames(LoadConn* conn, const LoadShared& shared,
+                     LoadCounters* counters) {
+  size_t pos = 0;
+  while (conn->inbuf.size() - pos >= net::kHeaderSize) {
+    auto header = net::DecodeHeader(conn->inbuf.data() + pos);
+    if (!header.ok()) return false;
+    if (conn->inbuf.size() - pos < net::kHeaderSize + header->payload_size) {
+      break;
+    }
+    const Clock::time_point now = Clock::now();
+    auto it = conn->inflight.find(header->request_id);
+    if (it != conn->inflight.end()) {
+      shared.histogram->Record(Seconds(it->second, now));
+      conn->inflight.erase(it);
+      ++counters->answered;
+    }
+    if (header->op == net::Op::kError) {
+      ++counters->error_frames;
+      const std::string payload = conn->inbuf.substr(
+          pos + net::kHeaderSize, header->payload_size);
+      auto error = net::DecodeErrorResponse(payload);
+      if (error.ok() && error->code == StatusCode::kUnavailable) {
+        ++counters->rejected;
+      }
+    }
+    pos += net::kHeaderSize + header->payload_size;
+  }
+  conn->inbuf.erase(0, pos);
+  return true;
+}
+
+void RunLoadThread(int thread_index, int num_conns, LoadShared shared,
+                   LoadCounters* counters) {
+  const ClientFlags& flags = *shared.flags;
+  Rng rng(flags.seed * 7919 + static_cast<uint64_t>(thread_index) + 1);
+  std::vector<LoadConn> conns(static_cast<size_t>(num_conns));
+  for (LoadConn& conn : conns) conn.fd = ConnectLoad(flags, counters);
+
+  // Open-loop pacing: each connection owns an equal slice of the target
+  // rate, with a jittered start so the fleet doesn't fire in phase.
+  const double interval =
+      flags.rate > 0.0
+          ? static_cast<double>(flags.threads) * num_conns / flags.rate
+          : 0.0;
+  for (LoadConn& conn : conns) {
+    conn.next_send = interval * rng.UniformDouble();
+  }
+
+  shared.ready->arrive_and_wait();
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(flags.duration));
+  const Clock::time_point drain_deadline =
+      end + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(flags.drain_grace));
+
+  std::vector<pollfd> fds;
+  std::vector<size_t> index;  // fds[i] -> conns[index[i]]
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    const bool sending = now < end;
+    if (!sending) {
+      bool idle = true;
+      for (const LoadConn& conn : conns) {
+        if (conn.fd != -1 &&
+            (!conn.inflight.empty() || conn.write_pos < conn.outbuf.size())) {
+          idle = false;
+          break;
+        }
+      }
+      if (idle || now >= drain_deadline) break;
+    }
+
+    const double elapsed = Seconds(start, now);
+    for (LoadConn& conn : conns) {
+      if (conn.fd == -1) {
+        if (sending) {
+          conn.fd = ConnectLoad(flags, counters);
+          if (conn.fd != -1) ++counters->reconnects;
+        }
+        if (conn.fd == -1) continue;
+      }
+      if (!sending) continue;
+      if (flags.rate > 0.0) {
+        // Open loop: send on schedule regardless of outstanding frames
+        // (bounded only by a sanity cap so a stalled server can't grow
+        // the map without limit — those sends are simply not offered).
+        while (conn.next_send <= elapsed &&
+               conn.inflight.size() < 4096) {
+          SendSearch(&conn, shared, rng, counters, now);
+          conn.next_send += interval;
+        }
+      } else {
+        while (conn.inflight.size() <
+               static_cast<size_t>(flags.pipeline)) {
+          SendSearch(&conn, shared, rng, counters, now);
+        }
+      }
+      if (!FlushConn(&conn)) CloseLoadConn(&conn, counters);
+    }
+
+    fds.clear();
+    index.clear();
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i].fd == -1) continue;
+      pollfd p{};
+      p.fd = conns[i].fd;
+      p.events = POLLIN;
+      if (conns[i].write_pos < conns[i].outbuf.size()) p.events |= POLLOUT;
+      fds.push_back(p);
+      index.push_back(i);
+    }
+    if (fds.empty()) {
+      if (!sending) break;
+      usleep(1000);
+      continue;
+    }
+    const int ready = net::RetryEintr([&] {
+      return poll(fds.data(), fds.size(), 2);
+    });
+    if (ready <= 0) continue;
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      LoadConn& conn = conns[index[i]];
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        CloseLoadConn(&conn, counters);
+        continue;
+      }
+      if (fds[i].revents & POLLOUT) {
+        if (!FlushConn(&conn)) {
+          CloseLoadConn(&conn, counters);
+          continue;
+        }
+      }
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      bool dead = false;
+      char buffer[65536];
+      for (;;) {
+        const ssize_t n = net::RetryEintr([&] {
+          return read(conn.fd, buffer, sizeof(buffer));
+        });
+        if (n > 0) {
+          conn.inbuf.append(buffer, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == -1 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        dead = true;  // EOF or a hard error
+        break;
+      }
+      if (!ParseLoadFrames(&conn, shared, counters)) dead = true;
+      if (dead) {
+        CloseLoadConn(&conn, counters);
+        continue;
+      }
+      // Churn: once quiescent, occasionally cycle the connection to
+      // exercise accept/close under load. Only when nothing is in
+      // flight, so churn never manufactures dropped frames.
+      if (Clock::now() < end && flags.churn > 0.0 &&
+          conn.inflight.empty() && rng.UniformDouble() < flags.churn) {
+        CloseLoadConn(&conn, counters);
+        conn.fd = ConnectLoad(flags, counters);
+        if (conn.fd != -1) ++counters->reconnects;
+      }
+    }
+  }
+
+  for (LoadConn& conn : conns) {
+    if (conn.fd != -1) CloseLoadConn(&conn, counters);
+  }
+}
+
+int RunLoad(const ClientFlags& flags) {
+  net::IgnoreSigpipe();
+  std::printf("load: building query mix (scale=%.3f)...\n", flags.scale);
+  tools::ServingDataset dataset = tools::BuildServingDataset(
+      flags.scale, static_cast<size_t>(flags.zipf_terms));
+  if (dataset.head_terms.empty()) {
+    std::fprintf(stderr, "load: empty query universe\n");
+    return 1;
+  }
+  const datasets::ZipfSampler popularity(dataset.head_terms.size(),
+                                         flags.zipf_s);
+  LatencyHistogram histogram;
+
+  const int threads = std::max(1, flags.threads);
+  const int connections = std::max(1, flags.connections);
+  std::latch ready(threads + 1);
+  LoadShared shared;
+  shared.flags = &flags;
+  shared.terms = &dataset.head_terms;
+  shared.popularity = &popularity;
+  shared.histogram = &histogram;
+  shared.ready = &ready;
+
+  std::printf("load: %d connections on %d threads for %.1fs (%s%s)\n",
+              connections, threads, flags.duration,
+              flags.rate > 0.0
+                  ? ("open loop @ " + FormatDouble(flags.rate, 0) + " rps")
+                        .c_str()
+                  : ("closed loop, pipeline " +
+                     std::to_string(flags.pipeline))
+                        .c_str(),
+              flags.churn > 0.0 ? ", with churn" : "");
+  std::vector<LoadCounters> per_thread(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    const int conns =
+        connections / threads + (t < connections % threads ? 1 : 0);
+    workers.emplace_back(RunLoadThread, t, conns, shared,
+                         &per_thread[static_cast<size_t>(t)]);
+  }
+  ready.arrive_and_wait();
+  const Clock::time_point start = Clock::now();
+  for (std::thread& w : workers) w.join();
+  const double wall = Seconds(start, Clock::now());
+
+  LoadCounters total;
+  for (const LoadCounters& c : per_thread) c.MergeInto(&total);
+  const double rps = wall > 0.0 ? total.answered / wall : 0.0;
+  const double p50 = histogram.Percentile(50) * 1e3;
+  const double p95 = histogram.Percentile(95) * 1e3;
+  const double p99 = histogram.Percentile(99) * 1e3;
+  const double mean = histogram.MeanSeconds() * 1e3;
+
+  TablePrinter table({"sent", "answered", "errors", "rejected", "dropped",
+                      "reconnects", "rps", "p50 (ms)", "p95 (ms)",
+                      "p99 (ms)", "mean (ms)"});
+  table.AddRow({std::to_string(total.sent), std::to_string(total.answered),
+                std::to_string(total.error_frames),
+                std::to_string(total.rejected),
+                std::to_string(total.dropped),
+                std::to_string(total.reconnects), FormatDouble(rps, 0),
+                FormatDouble(p50, 2), FormatDouble(p95, 2),
+                FormatDouble(p99, 2), FormatDouble(mean, 2)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("error_frames=%llu dropped=%llu connect_failures=%llu\n",
+              static_cast<unsigned long long>(total.error_frames),
+              static_cast<unsigned long long>(total.dropped),
+              static_cast<unsigned long long>(total.connect_failures));
+
+  bench::JsonObject record = bench::BenchRecord(
+      "net_serve_load", dataset.description, threads, wall);
+  record.Add("mode", flags.rate > 0.0 ? "open" : "closed")
+      .Add("connections", connections)
+      .Add("pipeline", flags.pipeline)
+      .Add("target_rate", flags.rate)
+      .Add("churn", flags.churn)
+      .Add("duration_seconds", flags.duration)
+      .Add("sent", static_cast<unsigned long long>(total.sent))
+      .Add("answered", static_cast<unsigned long long>(total.answered))
+      .Add("error_frames",
+           static_cast<unsigned long long>(total.error_frames))
+      .Add("rejected", static_cast<unsigned long long>(total.rejected))
+      .Add("dropped", static_cast<unsigned long long>(total.dropped))
+      .Add("reconnects", static_cast<unsigned long long>(total.reconnects))
+      .Add("rps", rps)
+      .Add("latency_p50_ms", p50)
+      .Add("latency_p95_ms", p95)
+      .Add("latency_p99_ms", p99)
+      .Add("latency_mean_ms", mean);
+  bench::WriteJsonFile(flags.json_path,
+                       bench::JsonArray({record.ToString()}));
+
+  if (total.dropped > 0) {
+    std::fprintf(stderr,
+                 "load: FAIL — %llu sent frames were never answered\n",
+                 static_cast<unsigned long long>(total.dropped));
+    return 1;
+  }
+  std::printf("load: PASS — every sent frame was answered\n");
+  return 0;
+}
+
+// --- bench -----------------------------------------------------------------
+
+int RunBench(const ClientFlags& flags) {
+  std::printf("bench: building query mix (scale=%.3f)...\n", flags.scale);
+  tools::ServingDataset dataset = tools::BuildServingDataset(
+      flags.scale, static_cast<size_t>(flags.zipf_terms));
+  if (dataset.head_terms.empty()) {
+    std::fprintf(stderr, "bench: empty query universe\n");
+    return 1;
+  }
+  const datasets::ZipfSampler popularity(dataset.head_terms.size(),
+                                         flags.zipf_s);
+  Rng rng(flags.seed);
+  net::BlockingClient client;
+  Status connected =
+      client.Connect(flags.host, static_cast<uint16_t>(flags.port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+
+  struct OpBench {
+    std::string name;
+    std::function<Status()> call;
+    int iters;
+  };
+  const std::string& head = dataset.head_terms.front();
+  std::vector<OpBench> ops;
+  ops.push_back({"ping", [&] { return client.Ping(); }, flags.iters});
+  ops.push_back({"search_zipf",
+                 [&] {
+                   net::SearchRequest request;
+                   request.query =
+                       dataset.head_terms[popularity.Sample(rng)];
+                   request.k = flags.k;
+                   return client.Search(request).status();
+                 },
+                 flags.iters});
+  ops.push_back({"explain_rank1",
+                 [&] { return client.Explain({head, 1}).status(); },
+                 std::max(1, flags.iters / 10)});
+  ops.push_back({"reformulate",
+                 [&] { return client.Reformulate({head, {1}}).status(); },
+                 std::max(1, flags.iters / 10)});
+  ops.push_back({"validate", [&] { return client.Validate().status(); },
+                 std::max(1, flags.iters / 10)});
+  ops.push_back({"metrics", [&] { return client.Metrics().status(); },
+                 flags.iters});
+
+  TablePrinter table({"op", "iters", "errors", "p50 (ms)", "p95 (ms)",
+                      "p99 (ms)", "mean (ms)"});
+  std::vector<std::string> records;
+  for (OpBench& op : ops) {
+    LatencyHistogram histogram;
+    int errors = 0;
+    IgnoreError(op.call());  // warm-up round
+    Timer wall;
+    for (int i = 0; i < op.iters; ++i) {
+      Timer timer;
+      if (!op.call().ok()) ++errors;
+      histogram.Record(timer.ElapsedSeconds());
+    }
+    const double wall_seconds = wall.ElapsedSeconds();
+    const double p50 = histogram.Percentile(50) * 1e3;
+    const double p95 = histogram.Percentile(95) * 1e3;
+    const double p99 = histogram.Percentile(99) * 1e3;
+    const double mean = histogram.MeanSeconds() * 1e3;
+    table.AddRow({op.name, std::to_string(op.iters),
+                  std::to_string(errors), FormatDouble(p50, 3),
+                  FormatDouble(p95, 3), FormatDouble(p99, 3),
+                  FormatDouble(mean, 3)});
+    bench::JsonObject record = bench::BenchRecord(
+        "net_serve_bench", dataset.description, 1, wall_seconds);
+    record.Add("op", op.name)
+        .Add("iters", op.iters)
+        .Add("errors", errors)
+        .Add("latency_p50_ms", p50)
+        .Add("latency_p95_ms", p95)
+        .Add("latency_p99_ms", p99)
+        .Add("latency_mean_ms", mean);
+    records.push_back(record.ToString());
+  }
+  std::printf("%s", table.ToString().c_str());
+  bench::WriteJsonFile(flags.json_path, bench::JsonArray(records));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
+  if (flags.mode == "interactive") return RunInteractive(flags);
+  if (flags.mode == "e2e") return RunE2e(flags);
+  if (flags.mode == "load") return RunLoad(flags);
+  if (flags.mode == "bench") return RunBench(flags);
+  std::fprintf(stderr, "unknown mode '%s'\n", flags.mode.c_str());
+  return Usage(argv[0]);
+}

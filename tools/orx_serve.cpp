@@ -1,0 +1,177 @@
+// orx_serve: the ORXN network front end. Generates a deterministic DBLP
+// dataset, stands up one serve::SearchService behind a net::Server, and
+// runs until SIGTERM/SIGINT, then drains gracefully (stops accepting,
+// answers in-flight frames, flushes outbound buffers) before exiting.
+//
+//   orx_serve --port 7411 --scale 0.05 --workers 2
+//
+// With --port 0 the kernel picks an ephemeral port; the chosen port is
+// printed on the "listening" line, which scripts (the CI net-smoke job)
+// parse.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "dataset_spec.h"
+#include "net/net_util.h"
+#include "net/serve_handler.h"
+#include "net/server.h"
+#include "serve/search_service.h"
+
+namespace {
+
+using namespace orx;
+
+struct ServeFlags {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  double scale = 0.05;
+  size_t workers = 2;
+  size_t threads = 0;        // SearchService pool; 0 = hardware threads
+  size_t max_pending = 64;   // admission bound
+  size_t cache_entries = 512;
+  size_t batch = 1;          // micro-batch size; <= 1 = off
+  double idle_timeout = 300.0;
+  double drain_timeout = 5.0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--scale S] [--workers N]\n"
+      "          [--threads N] [--max-pending N] [--cache-entries N]\n"
+      "          [--batch N] [--idle-timeout SEC] [--drain-timeout SEC]\n"
+      "Serves the ORXN protocol (search/explain/reformulate/validate/\n"
+      "metrics/ping) over a generated DBLP dataset. --port 0 picks an\n"
+      "ephemeral port (printed on the 'listening' line). Runs until\n"
+      "SIGTERM/SIGINT, then drains.\n",
+      argv0);
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = value())) {
+      flags->host = v;
+    } else if (arg == "--port" && (v = value())) {
+      flags->port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--scale" && (v = value())) {
+      flags->scale = std::atof(v);
+    } else if (arg == "--workers" && (v = value())) {
+      flags->workers = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--threads" && (v = value())) {
+      flags->threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-pending" && (v = value())) {
+      flags->max_pending = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--cache-entries" && (v = value())) {
+      flags->cache_entries = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--batch" && (v = value())) {
+      flags->batch = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--idle-timeout" && (v = value())) {
+      flags->idle_timeout = std::atof(v);
+    } else if (arg == "--drain-timeout" && (v = value())) {
+      flags->drain_timeout = std::atof(v);
+    } else {
+      std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return flags->scale > 0.0 && flags->workers > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage(argv[0]);
+
+  // Socket/signal hygiene before any thread exists: SIGPIPE ignored
+  // process-wide, and the termination signals blocked in every thread so
+  // only main's sigwait() sees them (worker loops inherit the mask).
+  net::IgnoreSigpipe();
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  std::printf("orx_serve: generating dataset (scale=%.3f)...\n", flags.scale);
+  std::fflush(stdout);
+  Timer build_timer;
+  tools::ServingDataset dataset = tools::BuildServingDataset(flags.scale);
+  std::printf("orx_serve: dataset ready in %.2fs (%s)\n",
+              build_timer.ElapsedSeconds(), dataset.description.c_str());
+
+  serve::SearchService::Options service_options;
+  service_options.num_threads = flags.threads;
+  service_options.max_pending = flags.max_pending;
+  service_options.result_cache_entries = flags.cache_entries;
+  service_options.max_batch_size = flags.batch;
+  serve::SearchService service(dataset.snapshot, service_options);
+  net::ServeHandler handler(&service);
+
+  net::ServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = flags.port;
+  server_options.num_workers = flags.workers;
+  server_options.idle_timeout_seconds = flags.idle_timeout;
+  server_options.drain_timeout_seconds = flags.drain_timeout;
+  net::Server server(server_options,
+                     [&handler](net::Frame frame, net::ResponderPtr respond) {
+                       handler.Handle(std::move(frame), std::move(respond));
+                     });
+  handler.set_server_stats([&server] { return server.stats(); });
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "orx_serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("orx_serve listening on %s:%u\n", flags.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&mask, &signal_number);
+  std::printf("orx_serve: signal %d (%s), draining...\n", signal_number,
+              strsignal(signal_number));
+  std::fflush(stdout);
+  server.Shutdown();
+
+  const net::ServerStats stats = server.stats();
+  const serve::ServeMetrics metrics = service.Snapshot();
+  std::printf(
+      "orx_serve: drained. connections accepted=%llu closed=%llu | frames "
+      "received=%llu sent=%llu errors=%llu unanswered=%llu | decode=%llu "
+      "backpressure=%llu idle=%llu\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.closed),
+      static_cast<unsigned long long>(stats.frames_received),
+      static_cast<unsigned long long>(stats.frames_sent),
+      static_cast<unsigned long long>(stats.error_frames_sent),
+      static_cast<unsigned long long>(stats.unanswered_frames),
+      static_cast<unsigned long long>(stats.decode_errors),
+      static_cast<unsigned long long>(stats.backpressure_closes),
+      static_cast<unsigned long long>(stats.idle_closes));
+  std::printf(
+      "orx_serve: service submitted=%llu completed=%llu rejected=%llu "
+      "hits=%llu coalesced=%llu executed=%llu p50=%.2fms p99=%.2fms\n",
+      static_cast<unsigned long long>(metrics.submitted),
+      static_cast<unsigned long long>(metrics.completed),
+      static_cast<unsigned long long>(metrics.rejected),
+      static_cast<unsigned long long>(metrics.cache_hits),
+      static_cast<unsigned long long>(metrics.coalesced),
+      static_cast<unsigned long long>(metrics.executed),
+      metrics.latency_p50 * 1e3, metrics.latency_p99 * 1e3);
+  return 0;
+}
