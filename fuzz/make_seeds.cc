@@ -94,6 +94,28 @@ int main(int argc, char** argv) {
               EncodeFrame(Op::kMetrics, 6, EncodeMetricsResponse(metrics)));
     WriteSeed(root / "net_frame" / "error_response.bin",
               EncodeErrorFrame(7, orx::UnavailableError("queue full")));
+
+    // Mutation-path seeds: the same valid batch feeds both fuzzers —
+    // framed for net_frame, bare payload for the mutation harness.
+    std::filesystem::create_directories(root / "mutation");
+    MutateRequest mutate;
+    mutate.batch.mutations.push_back(orx::mutate::Mutation::AddNode(
+        fig.types.paper, {{"title", "Fuzzed Cube Paper"}}));
+    mutate.batch.mutations.push_back(orx::mutate::Mutation::AddEdge(
+        static_cast<orx::graph::NodeId>(fig.dataset.data().num_nodes()),
+        fig.v7_data_cube, fig.types.cites));
+    mutate.batch.mutations.push_back(orx::mutate::Mutation::UpdateNodeText(
+        fig.v1_index_selection, {{"title", "Index Selection rev"}}));
+    mutate.batch.mutations.push_back(orx::mutate::Mutation::RemoveEdge(
+        fig.v4_range_queries, fig.v5_modeling, fig.types.cites));
+    const std::string mutate_payload = EncodeMutateRequest(mutate);
+    WriteSeed(root / "net_frame" / "mutate_request.bin",
+              EncodeFrame(Op::kMutate, 8, mutate_payload));
+    WriteSeed(root / "net_frame" / "mutate_response.bin",
+              EncodeFrame(Op::kMutate, 8, EncodeMutateResponse({41, 3})));
+    WriteSeed(root / "mutation" / "mutate_request.bin", mutate_payload);
+    WriteSeed(root / "mutation" / "mutate_response.bin",
+              EncodeMutateResponse({41, 3}));
   }
 
   std::printf("seeds written under %s\n", root.string().c_str());

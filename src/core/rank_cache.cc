@@ -42,7 +42,8 @@ TermBuildResult RankOneTerm(const ObjectRankEngine& engine,
                             const text::Corpus& corpus,
                             const graph::TransferRates& rates,
                             const std::string& term,
-                            const RankCache::Options& options) {
+                            const RankCache::Options& options,
+                            const std::vector<double>* warm_start = nullptr) {
   TermBuildResult result;
   Timer timer;
   // The term's unnormalized IR scores: a single-term query vector with
@@ -71,7 +72,8 @@ TermBuildResult RankOneTerm(const ObjectRankEngine& engine,
     }
   }
 
-  ObjectRankResult rank = engine.Compute(base, rates, options.objectrank);
+  ObjectRankResult rank =
+      engine.Compute(base, rates, options.objectrank, warm_start);
   result.built = true;
   result.mass = mass;
   result.scores.assign(rank.scores.begin(), rank.scores.end());
@@ -200,6 +202,156 @@ RankCache RankCache::BuildForTerms(const graph::AuthorityGraph& graph,
     stats->term_seconds_p95 = SortedPercentile(durations, 0.95);
     stats->wall_seconds = wall_timer.ElapsedSeconds();
   }
+  return cache;
+}
+
+std::vector<std::string> RankCache::Terms() const {
+  std::vector<std::string> terms;
+  terms.reserve(entries_.size());
+  for (const auto& [term, entry] : entries_) terms.push_back(term);
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+bool RankCache::TermTouchesRegion(const std::string& term,
+                                  std::span<const uint8_t> dirty) const {
+  auto it = entries_.find(term);
+  if (it == entries_.end()) return false;
+  const std::vector<float>& scores = it->second.scores;
+  const size_t n = std::min(scores.size(), dirty.size());
+  for (size_t v = 0; v < n; ++v) {
+    if (dirty[v] != 0 && scores[v] > 0.0f) return true;
+  }
+  return false;
+}
+
+RankCache RankCache::IncrementalBuild(
+    const RankCache& previous, const graph::AuthorityGraph& graph,
+    const text::Corpus& corpus, const graph::TransferRates& rates,
+    const std::vector<std::string>& terms,
+    std::span<const uint8_t> dirty_nodes, bool stats_changed,
+    const IncrementalOptions& incremental_options, IncrementalStats* stats) {
+  const Options options = SanitizeOptions(incremental_options.options);
+  Timer wall_timer;
+  IncrementalStats local;
+  IncrementalStats* out = stats != nullptr ? stats : &local;
+  *out = IncrementalStats{};
+
+  size_t num_dirty = 0;
+  for (uint8_t flag : dirty_nodes) num_dirty += flag != 0 ? 1 : 0;
+  const double dirty_fraction =
+      graph.num_nodes() == 0
+          ? 0.0
+          : static_cast<double>(num_dirty) /
+                static_cast<double>(graph.num_nodes());
+
+  // The previous cache only speaks for this build's vector space when the
+  // rates and Okapi parameters match; a node count that shrank cannot
+  // happen under detach-style removal and means the caches are unrelated.
+  const bool compatible = previous.rates_fingerprint_ == rates.Fingerprint() &&
+                          previous.MatchesBm25(options.bm25) &&
+                          previous.num_nodes_ <= graph.num_nodes();
+  if (!compatible ||
+      dirty_fraction > incremental_options.full_rebuild_threshold) {
+    RankCache cold =
+        BuildForTerms(graph, corpus, rates, terms, options, &out->build);
+    out->full_rebuild = true;
+    out->terms_refreshed = cold.entries_.size();
+    out->build.wall_seconds = wall_timer.ElapsedSeconds();
+    return cold;
+  }
+
+  // Unique terms in first-appearance order — the same determinism
+  // discipline as BuildForTerms: workers write disjoint slots, the merge
+  // walks them in this fixed order.
+  std::vector<std::string> unique;
+  unique.reserve(terms.size());
+  {
+    std::unordered_set<std::string> seen;
+    for (const std::string& term : terms) {
+      if (seen.insert(term).second) unique.push_back(term);
+    }
+  }
+
+  // Classify: a term is clean iff the corpus statistics held still, it is
+  // cached, the node count did not change (new nodes carry new text, so
+  // equality is implied by !stats_changed — kept as a guard), and its
+  // cached flow never scores positive on the dirty region.
+  const bool reusable =
+      !stats_changed && previous.num_nodes_ == graph.num_nodes();
+  std::vector<uint8_t> dirty_term(unique.size(), 1);
+  if (reusable) {
+    for (size_t i = 0; i < unique.size(); ++i) {
+      const bool cached = previous.Contains(unique[i]);
+      dirty_term[i] = static_cast<uint8_t>(
+          !cached || previous.TermTouchesRegion(unique[i], dirty_nodes));
+    }
+  }
+
+  RankCache cache;
+  cache.num_nodes_ = graph.num_nodes();
+  cache.rates_fingerprint_ = rates.Fingerprint();
+  cache.bm25_ = options.bm25;
+
+  std::vector<size_t> work;
+  for (size_t i = 0; i < unique.size(); ++i) {
+    if (dirty_term[i] != 0) work.push_back(i);
+  }
+
+  ObjectRankEngine engine(graph);
+  std::vector<TermBuildResult> results(unique.size());
+  const auto refresh_one = [&](size_t w) {
+    const size_t i = work[w];
+    std::vector<double> warm;
+    const std::vector<double>* warm_ptr = nullptr;
+    auto prev_it = previous.entries_.find(unique[i]);
+    if (prev_it != previous.entries_.end()) {
+      const std::vector<float>& prev_scores = prev_it->second.scores;
+      warm.assign(prev_scores.begin(), prev_scores.end());
+      warm.resize(graph.num_nodes(), 0.0);
+      warm_ptr = &warm;
+    }
+    results[i] = RankOneTerm(engine, corpus, rates, unique[i], options,
+                             warm_ptr);
+  };
+  const int threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(options.build_threads),
+                       std::max<size_t>(1, work.size())));
+  if (threads <= 1) {
+    for (size_t w = 0; w < work.size(); ++w) refresh_one(w);
+  } else {
+    ThreadPool pool(static_cast<size_t>(threads));
+    pool.ParallelFor(work.size(), refresh_one);
+  }
+
+  std::vector<double> durations;
+  durations.reserve(work.size());
+  for (size_t i = 0; i < unique.size(); ++i) {
+    if (dirty_term[i] == 0) {
+      cache.entries_.emplace(unique[i], previous.entries_.at(unique[i]));
+      ++out->terms_reused;
+      continue;
+    }
+    TermBuildResult& r = results[i];
+    if (!r.built) continue;
+    Entry entry;
+    entry.mass = r.mass;
+    entry.scores = std::move(r.scores);
+    cache.entries_.emplace(unique[i], std::move(entry));
+    ++out->terms_refreshed;
+    ++out->build.terms_built;
+    out->build.total_iterations += r.iterations;
+    if (!r.converged) ++out->build.terms_not_converged;
+    durations.push_back(r.seconds);
+  }
+  out->build.terms_requested = terms.size();
+  out->build.terms_skipped = out->build.terms_requested -
+                             out->build.terms_built - out->terms_reused;
+  out->build.threads = threads;
+  std::sort(durations.begin(), durations.end());
+  out->build.term_seconds_p50 = SortedPercentile(durations, 0.50);
+  out->build.term_seconds_p95 = SortedPercentile(durations, 0.95);
+  out->build.wall_seconds = wall_timer.ElapsedSeconds();
   return cache;
 }
 

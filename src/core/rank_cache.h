@@ -3,6 +3,7 @@
 
 #include <istream>
 #include <ostream>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -112,10 +113,76 @@ class RankCache {
                                  const Options& options,
                                  BuildStats* stats = nullptr);
 
+  /// Knobs of IncrementalBuild on top of the regular build options.
+  struct IncrementalOptions {
+    Options options;
+    /// When more than this fraction of the graph's nodes is dirty the
+    /// selective path degenerates (almost every term's base set touches
+    /// the region and the bookkeeping costs more than it saves), so
+    /// IncrementalBuild runs a cold BuildForTerms instead.
+    double full_rebuild_threshold = 0.5;
+  };
+
+  /// Counters of one IncrementalBuild run.
+  struct IncrementalStats {
+    /// Build counters for the terms actually recomputed (refreshed or,
+    /// on the fallback path, all of them).
+    BuildStats build;
+    /// Previous entries carried over unchanged.
+    size_t terms_reused = 0;
+    /// Terms recomputed, warm-started from the previous vector when one
+    /// existed.
+    size_t terms_refreshed = 0;
+    /// True iff the cold-rebuild fallback ran (incompatible previous
+    /// cache or dirty fraction past the threshold).
+    bool full_rebuild = false;
+  };
+
+  /// Rebuilds the cache for `terms` after a graph mutation, reusing
+  /// `previous` where the mutation provably cannot have moved a term's
+  /// fixpoint. `dirty_nodes` flags (per node of the *new* graph) every
+  /// node whose in-edges, out-degree, or text changed, expanded by one
+  /// authority-transfer hop; `stats_changed` says the corpus-wide BM25
+  /// statistics (N, avdl, df) moved, which perturbs every base set.
+  ///
+  /// A term is *clean* — its previous entry is reused verbatim — iff the
+  /// stats did not change, it is cached in `previous`, and no flagged
+  /// node has a strictly positive cached score: authority flow only
+  /// crosses a changed edge when the source scores positive, and a
+  /// base-set member always scores at least (1-d) times its base weight,
+  /// so zero everywhere on the region means no flow in or out of it and
+  /// the old vector still satisfies the new fixpoint equations. Every
+  /// other term is recomputed, warm-started from its previous vector
+  /// (padded with zeros for newly added nodes) per Section 6.2.
+  ///
+  /// Falls back to a cold BuildForTerms when `previous` is incompatible
+  /// (different rates fingerprint or BM25 parameters) or the dirty-node
+  /// fraction exceeds options.full_rebuild_threshold.
+  static RankCache IncrementalBuild(const RankCache& previous,
+                                    const graph::AuthorityGraph& graph,
+                                    const text::Corpus& corpus,
+                                    const graph::TransferRates& rates,
+                                    const std::vector<std::string>& terms,
+                                    std::span<const uint8_t> dirty_nodes,
+                                    bool stats_changed,
+                                    const IncrementalOptions& options,
+                                    IncrementalStats* stats = nullptr);
+
   /// True if `term` (normalized) has a cached vector.
   bool Contains(const std::string& term) const {
     return entries_.count(term) > 0;
   }
+
+  /// Every cached term, sorted (the serialization order).
+  std::vector<std::string> Terms() const;
+
+  /// True iff `term` is cached and some node flagged in `dirty` (indexed
+  /// by NodeId, value != 0 = dirty) has a strictly positive cached score
+  /// — i.e. the term's authority flow reaches the dirty region and its
+  /// entry cannot be reused after a mutation there. False for uncached
+  /// terms (they have no entry to reuse in the first place).
+  bool TermTouchesRegion(const std::string& term,
+                         std::span<const uint8_t> dirty) const;
 
   /// Combines the cached per-term vectors for `query`. Errors:
   /// kInvalidArgument on an empty query, kNotFound if no query term

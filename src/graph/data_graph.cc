@@ -36,6 +36,44 @@ Status DataGraph::AddEdge(NodeId from, NodeId to, EdgeTypeId type) {
   return Status::OK();
 }
 
+Status DataGraph::RemoveEdge(NodeId from, NodeId to, EdgeTypeId type) {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const DataEdge& e = edges_[i];
+    if (e.from == from && e.to == to && e.type == type) {
+      edges_.erase(edges_.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return NotFoundError("no such edge");
+}
+
+Status DataGraph::DetachNode(NodeId v) {
+  if (v >= node_types_.size()) {
+    return InvalidArgumentError("node does not exist");
+  }
+  std::erase_if(edges_,
+                [v](const DataEdge& e) { return e.from == v || e.to == v; });
+  return SetAttributes(v, {});
+}
+
+Status DataGraph::SetAttributes(NodeId v, std::vector<Attribute> attributes) {
+  if (v >= node_types_.size()) {
+    return InvalidArgumentError("node does not exist");
+  }
+  const uint32_t begin = attr_offsets_[v];
+  const uint32_t end = attr_offsets_[v + 1];
+  const int64_t delta =
+      static_cast<int64_t>(attributes.size()) - (end - begin);
+  attrs_.erase(attrs_.begin() + begin, attrs_.begin() + end);
+  attrs_.insert(attrs_.begin() + begin,
+                std::make_move_iterator(attributes.begin()),
+                std::make_move_iterator(attributes.end()));
+  for (size_t i = v + 1; i < attr_offsets_.size(); ++i) {
+    attr_offsets_[i] = static_cast<uint32_t>(attr_offsets_[i] + delta);
+  }
+  return Status::OK();
+}
+
 std::span<const Attribute> DataGraph::Attributes(NodeId v) const {
   ORX_CHECK_LT(v, node_types_.size());
   uint32_t begin = attr_offsets_[v];

@@ -51,6 +51,21 @@ class DataGraph {
   /// disabled — callers must not insert duplicates (checked in debug).
   Status AddEdge(NodeId from, NodeId to, EdgeTypeId type);
 
+  /// Removes one edge (from, to, type). Stable: the relative order of the
+  /// remaining edges is preserved, so rebuilt CSR layouts keep the same
+  /// edge order for untouched rows. kNotFound if no such edge exists.
+  Status RemoveEdge(NodeId from, NodeId to, EdgeTypeId type);
+
+  /// Detaches node `v`: removes every incident edge and clears its
+  /// attributes. The id itself remains allocated (an empty husk) so node
+  /// ids stay dense and stable — authority layouts and cached rank
+  /// vectors index by NodeId. kInvalidArgument if `v` does not exist.
+  Status DetachNode(NodeId v);
+
+  /// Replaces the attribute set of `v` (the node's indexed "document").
+  /// kInvalidArgument if `v` does not exist.
+  Status SetAttributes(NodeId v, std::vector<Attribute> attributes);
+
   /// Accessors. Pre: `v` is a valid node id.
   TypeId NodeType(NodeId v) const { return node_types_[v]; }
   std::span<const Attribute> Attributes(NodeId v) const;

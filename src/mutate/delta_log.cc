@@ -1,0 +1,82 @@
+#include "mutate/delta_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace orx::mutate {
+
+DeltaLog::DeltaLog(const graph::SchemaGraph& schema)
+    : DeltaLog(schema, Options()) {}
+
+DeltaLog::DeltaLog(const graph::SchemaGraph& schema, Options options)
+    : schema_(&schema), options_(options) {}
+
+StatusOr<uint64_t> DeltaLog::Append(MutationBatch batch) {
+  Status valid = ValidateStatic(batch, *schema_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!valid.ok()) {
+    ++rejected_;
+    return valid;
+  }
+  if (closed_) {
+    ++rejected_;
+    return FailedPreconditionError("delta log is closed");
+  }
+  if (queue_.size() >= options_.capacity) {
+    ++rejected_;
+    return UnavailableError("delta log full (" +
+                            std::to_string(queue_.size()) +
+                            " batches queued); retry later");
+  }
+  PendingBatch pending;
+  pending.sequence = next_sequence_++;
+  mutations_appended_ += batch.size();
+  pending.batch = std::move(batch);
+  queue_.push_back(std::move(pending));
+  ++appended_;
+  const uint64_t sequence = queue_.back().sequence;
+  lock.unlock();
+  cv_.notify_one();
+  return sequence;
+}
+
+std::vector<DeltaLog::PendingBatch> DeltaLog::Drain(size_t max_batches) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  std::vector<PendingBatch> out;
+  const size_t take = std::min(max_batches, queue_.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  drained_ += take;
+  return out;
+}
+
+void DeltaLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool DeltaLog::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+DeltaLog::Stats DeltaLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.appended = appended_;
+  stats.rejected = rejected_;
+  stats.drained = drained_;
+  stats.mutations_appended = mutations_appended_;
+  stats.next_sequence = next_sequence_;
+  stats.queued = queue_.size();
+  return stats;
+}
+
+}  // namespace orx::mutate

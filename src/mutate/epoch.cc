@@ -1,0 +1,67 @@
+#include "mutate/epoch.h"
+
+#include <chrono>
+#include <utility>
+
+namespace orx::mutate {
+
+EpochManager::EpochManager() : state_(std::make_shared<State>()) {}
+
+std::shared_ptr<const serve::ServeSnapshot> EpochManager::Publish(
+    std::shared_ptr<const serve::ServeSnapshot> snapshot) {
+  if (snapshot == nullptr) return nullptr;
+  std::shared_ptr<State> state = state_;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->published;
+  }
+  const serve::ServeSnapshot* raw = snapshot.get();
+  // The deleter owns the inner shared_ptr: when the wrapper's count hits
+  // zero the snapshot itself is released first, then the epoch is
+  // reported reclaimed — so WaitForReclaimUnder's bound really means the
+  // storage is gone, not merely unreachable.
+  auto deleter = [state, inner = std::move(snapshot)](
+                     const serve::ServeSnapshot*) mutable {
+    inner.reset();
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->reclaimed;
+    }
+    state->cv.notify_all();
+  };
+  return std::shared_ptr<const serve::ServeSnapshot>(raw, std::move(deleter));
+}
+
+uint64_t EpochManager::published() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->published;
+}
+
+uint64_t EpochManager::reclaimed() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reclaimed;
+}
+
+uint64_t EpochManager::live() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->published - state_->reclaimed;
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  Stats stats;
+  stats.published = state_->published;
+  stats.reclaimed = state_->reclaimed;
+  stats.live = state_->published - state_->reclaimed;
+  return stats;
+}
+
+bool EpochManager::WaitForReclaimUnder(uint64_t limit,
+                                       double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&] { return state_->published - state_->reclaimed < limit; });
+}
+
+}  // namespace orx::mutate

@@ -1,0 +1,79 @@
+#ifndef ORX_MUTATE_EPOCH_H_
+#define ORX_MUTATE_EPOCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "serve/snapshot.h"
+
+namespace orx::mutate {
+
+/// Epoch-based reclamation of published snapshots.
+///
+/// The serving layer already keeps every in-flight reader safe: a request
+/// pins the shared_ptr of the snapshot it admitted with, so a snapshot's
+/// storage is freed only when its reference count hits zero. What the
+/// write path adds is *observability and backpressure* on that event:
+/// the builder must not race ahead publishing snapshots faster than
+/// readers release old ones (unbounded memory — every live epoch holds a
+/// full graph + corpus + cache), and the reclamation tests need to assert
+/// "the old epoch was destroyed only after its last reader left".
+///
+/// Publish() wraps a snapshot so that the destruction of its *last*
+/// reference — service, readers, builder alike — is counted: the
+/// returned pointer's control block owns the inner snapshot and a hook
+/// that bumps `reclaimed` and wakes WaitForReclaimUnder. The hook state
+/// is itself shared with the control block, so reclamation reporting
+/// stays safe even if the manager is destroyed while snapshots are live.
+class EpochManager {
+ public:
+  struct Stats {
+    /// Epochs published.
+    uint64_t published = 0;
+    /// Epochs whose last reference has been dropped.
+    uint64_t reclaimed = 0;
+    /// published - reclaimed: snapshots still reachable somewhere.
+    uint64_t live = 0;
+  };
+
+  EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Registers `snapshot` as a new epoch and returns the tracked handle
+  /// callers must use from here on (handing out the original would
+  /// bypass the count).
+  std::shared_ptr<const serve::ServeSnapshot> Publish(
+      std::shared_ptr<const serve::ServeSnapshot> snapshot);
+
+  uint64_t published() const;
+  uint64_t reclaimed() const;
+  /// Epochs not yet reclaimed. A steady-state server holds one (the
+  /// current snapshot) plus whatever in-flight readers pin.
+  uint64_t live() const;
+  Stats stats() const;
+
+  /// Blocks until live() < `limit` or `timeout_seconds` elapsed; returns
+  /// true iff the bound was reached. The builder calls this before
+  /// publishing so unreclaimed epochs never pile up past its window.
+  bool WaitForReclaimUnder(uint64_t limit, double timeout_seconds) const;
+
+ private:
+  /// Shared with every published snapshot's control block; outlives the
+  /// manager if snapshots do.
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    uint64_t published = 0;
+    uint64_t reclaimed = 0;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace orx::mutate
+
+#endif  // ORX_MUTATE_EPOCH_H_

@@ -1,0 +1,52 @@
+#include "mutate/incremental.h"
+
+#include <utility>
+
+namespace orx::mutate {
+
+void MergeEffects(ApplyEffects& into, ApplyEffects from) {
+  into.new_nodes.insert(into.new_nodes.end(), from.new_nodes.begin(),
+                        from.new_nodes.end());
+  into.text_changed.insert(into.text_changed.end(), from.text_changed.begin(),
+                           from.text_changed.end());
+  into.edge_endpoints.insert(into.edge_endpoints.end(),
+                             from.edge_endpoints.begin(),
+                             from.edge_endpoints.end());
+  into.stats_changed = into.stats_changed || from.stats_changed;
+}
+
+DirtyRegion ComputeDirtyRegion(const ApplyEffects& effects,
+                               const graph::AuthorityGraph& authority) {
+  DirtyRegion region;
+  region.stats_changed = effects.stats_changed;
+  const size_t n = authority.num_nodes();
+  region.dirty.assign(n, 0);
+
+  std::vector<graph::NodeId> seeds;
+  seeds.reserve(effects.new_nodes.size() + effects.text_changed.size() +
+                effects.edge_endpoints.size());
+  auto seed = [&](graph::NodeId v) {
+    if (v < n && region.dirty[v] == 0) {
+      region.dirty[v] = 1;
+      seeds.push_back(v);
+    }
+  };
+  for (graph::NodeId v : effects.new_nodes) seed(v);
+  for (graph::NodeId v : effects.text_changed) seed(v);
+  for (graph::NodeId v : effects.edge_endpoints) seed(v);
+
+  // One authority-transfer hop outward from the seeds, both directions:
+  // anyone a seed transfers to, and anyone transferring onto a seed.
+  for (graph::NodeId v : seeds) {
+    for (const graph::AuthorityEdge& e : authority.OutEdges(v)) {
+      if (e.target < n) region.dirty[e.target] = 1;
+    }
+    for (const graph::AuthorityEdge& e : authority.InEdges(v)) {
+      if (e.target < n) region.dirty[e.target] = 1;
+    }
+  }
+  for (uint8_t flag : region.dirty) region.num_dirty += flag != 0 ? 1 : 0;
+  return region;
+}
+
+}  // namespace orx::mutate

@@ -1,0 +1,44 @@
+#ifndef ORX_MUTATE_INCREMENTAL_H_
+#define ORX_MUTATE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/authority_graph.h"
+#include "mutate/mutation.h"
+
+namespace orx::mutate {
+
+/// The set of nodes a mutation window may have perturbed, in the form
+/// RankCache::IncrementalBuild consumes.
+struct DirtyRegion {
+  /// Per-node flag over the *new* graph; != 0 means dirty.
+  std::vector<uint8_t> dirty;
+  size_t num_dirty = 0;
+  /// Mirrors ApplyEffects::stats_changed for the merged window.
+  bool stats_changed = false;
+
+  double Fraction() const {
+    return dirty.empty() ? 0.0
+                         : static_cast<double>(num_dirty) /
+                               static_cast<double>(dirty.size());
+  }
+};
+
+/// Accumulates `from` into `into` (the builder merges the effects of
+/// every batch applied in one publish window).
+void MergeEffects(ApplyEffects& into, ApplyEffects from);
+
+/// Computes the dirty region of one publish window: the seed set — nodes
+/// whose in-edges, out-degree, or text changed (new nodes, text updates,
+/// endpoints of added/removed edges) — expanded by one authority-transfer
+/// hop over the *new* authority graph. One hop suffices for RankCache
+/// reuse decisions because flow onto a changed edge is detected at its
+/// endpoints (see RankCache::IncrementalBuild); the expansion makes the
+/// region conservative against out-degree rescaling of neighboring edges.
+DirtyRegion ComputeDirtyRegion(const ApplyEffects& effects,
+                               const graph::AuthorityGraph& authority);
+
+}  // namespace orx::mutate
+
+#endif  // ORX_MUTATE_INCREMENTAL_H_

@@ -1,0 +1,209 @@
+#include "mutate/mutation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace orx::mutate {
+
+Mutation Mutation::AddNode(graph::TypeId type,
+                           std::vector<graph::Attribute> attributes) {
+  Mutation m;
+  m.kind = MutationKind::kAddNode;
+  m.node_type = type;
+  m.attributes = std::move(attributes);
+  return m;
+}
+
+Mutation Mutation::RemoveNode(graph::NodeId node) {
+  Mutation m;
+  m.kind = MutationKind::kRemoveNode;
+  m.node = node;
+  return m;
+}
+
+Mutation Mutation::AddEdge(graph::NodeId from, graph::NodeId to,
+                           graph::EdgeTypeId type) {
+  Mutation m;
+  m.kind = MutationKind::kAddEdge;
+  m.from = from;
+  m.to = to;
+  m.edge_type = type;
+  return m;
+}
+
+Mutation Mutation::RemoveEdge(graph::NodeId from, graph::NodeId to,
+                              graph::EdgeTypeId type) {
+  Mutation m;
+  m.kind = MutationKind::kRemoveEdge;
+  m.from = from;
+  m.to = to;
+  m.edge_type = type;
+  return m;
+}
+
+Mutation Mutation::UpdateNodeText(graph::NodeId node,
+                                  std::vector<graph::Attribute> attributes) {
+  Mutation m;
+  m.kind = MutationKind::kUpdateNodeText;
+  m.node = node;
+  m.attributes = std::move(attributes);
+  return m;
+}
+
+namespace {
+
+std::string At(size_t index) {
+  return "mutation #" + std::to_string(index) + ": ";
+}
+
+/// Prefixes an error's message with the offending mutation's position.
+Status Annotate(const std::string& prefix, const Status& status) {
+  return Status(status.code(), prefix + status.message());
+}
+
+}  // namespace
+
+Status ValidateStatic(const MutationBatch& batch,
+                      const graph::SchemaGraph& schema) {
+  if (batch.empty()) {
+    return InvalidArgumentError("empty mutation batch");
+  }
+  for (size_t i = 0; i < batch.mutations.size(); ++i) {
+    const Mutation& m = batch.mutations[i];
+    switch (m.kind) {
+      case MutationKind::kAddNode:
+        if (m.node_type >= schema.num_node_types()) {
+          return InvalidArgumentError(At(i) + "unknown node type id " +
+                                      std::to_string(m.node_type));
+        }
+        break;
+      case MutationKind::kRemoveNode:
+      case MutationKind::kUpdateNodeText:
+        if (m.node == graph::kInvalidNodeId) {
+          return InvalidArgumentError(At(i) + "invalid node id");
+        }
+        break;
+      case MutationKind::kAddEdge:
+      case MutationKind::kRemoveEdge:
+        if (m.from == graph::kInvalidNodeId || m.to == graph::kInvalidNodeId) {
+          return InvalidArgumentError(At(i) + "invalid edge endpoint id");
+        }
+        if (m.edge_type >= schema.num_edge_types()) {
+          return InvalidArgumentError(At(i) + "unknown edge type id " +
+                                      std::to_string(m.edge_type));
+        }
+        break;
+      default:
+        return InvalidArgumentError(At(i) + "unknown mutation kind " +
+                                    std::to_string(static_cast<int>(m.kind)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyBatch(graph::DataGraph& graph, const MutationBatch& batch,
+                  ApplyEffects* effects) {
+  ORX_RETURN_IF_ERROR(ValidateStatic(batch, graph.schema()));
+
+  // Atomicity by trial copy: mutations interact within a batch (an edge
+  // may reference a node the batch just added), so a side-effect-free
+  // validation pass would have to simulate the whole apply anyway. The
+  // copy is O(|V| + |E|) — the same order as the authority/corpus rebuild
+  // the caller performs after a successful apply.
+  graph::DataGraph trial = graph;
+  ApplyEffects out;
+
+  // Duplicate-edge guard: DataGraph::AddEdge trusts its callers not to
+  // insert parallel duplicates, but mutations are untrusted input. Keyed
+  // exactly: endpoint pair -> the edge types present between them.
+  auto pair_key = [](graph::NodeId from, graph::NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | static_cast<uint64_t>(to);
+  };
+  std::unordered_map<uint64_t, std::vector<graph::EdgeTypeId>> edge_set;
+  edge_set.reserve(trial.num_edges());
+  for (const graph::DataEdge& e : trial.edges()) {
+    edge_set[pair_key(e.from, e.to)].push_back(e.type);
+  }
+  auto has_edge = [&](graph::NodeId from, graph::NodeId to,
+                      graph::EdgeTypeId type) {
+    auto it = edge_set.find(pair_key(from, to));
+    if (it == edge_set.end()) return false;
+    return std::find(it->second.begin(), it->second.end(), type) !=
+           it->second.end();
+  };
+  auto erase_edge = [&](graph::NodeId from, graph::NodeId to,
+                        graph::EdgeTypeId type) {
+    auto it = edge_set.find(pair_key(from, to));
+    if (it == edge_set.end()) return;
+    auto pos = std::find(it->second.begin(), it->second.end(), type);
+    if (pos != it->second.end()) it->second.erase(pos);
+  };
+
+  for (size_t i = 0; i < batch.mutations.size(); ++i) {
+    const Mutation& m = batch.mutations[i];
+    switch (m.kind) {
+      case MutationKind::kAddNode: {
+        auto id = trial.AddNode(m.node_type, m.attributes);
+        if (!id.ok()) return Annotate(At(i), id.status());
+        out.new_nodes.push_back(*id);
+        out.text_changed.push_back(*id);
+        out.stats_changed = true;
+        break;
+      }
+      case MutationKind::kRemoveNode: {
+        if (m.node >= trial.num_nodes()) {
+          return InvalidArgumentError(At(i) + "node " +
+                                      std::to_string(m.node) +
+                                      " does not exist");
+        }
+        // The neighbors of the detached edges are part of the change set;
+        // collect them before DetachNode erases the edges.
+        for (const graph::DataEdge& e : trial.edges()) {
+          if (e.from == m.node || e.to == m.node) {
+            out.edge_endpoints.push_back(e.from);
+            out.edge_endpoints.push_back(e.to);
+            erase_edge(e.from, e.to, e.type);
+          }
+        }
+        Status detached = trial.DetachNode(m.node);
+        if (!detached.ok()) return Annotate(At(i), detached);
+        out.text_changed.push_back(m.node);
+        out.stats_changed = true;
+        break;
+      }
+      case MutationKind::kAddEdge: {
+        if (has_edge(m.from, m.to, m.edge_type)) {
+          return AlreadyExistsError(At(i) + "duplicate edge");
+        }
+        Status added = trial.AddEdge(m.from, m.to, m.edge_type);
+        if (!added.ok()) return Annotate(At(i), added);
+        edge_set[pair_key(m.from, m.to)].push_back(m.edge_type);
+        out.edge_endpoints.push_back(m.from);
+        out.edge_endpoints.push_back(m.to);
+        break;
+      }
+      case MutationKind::kRemoveEdge: {
+        Status removed = trial.RemoveEdge(m.from, m.to, m.edge_type);
+        if (!removed.ok()) return Annotate(At(i), removed);
+        erase_edge(m.from, m.to, m.edge_type);
+        out.edge_endpoints.push_back(m.from);
+        out.edge_endpoints.push_back(m.to);
+        break;
+      }
+      case MutationKind::kUpdateNodeText: {
+        Status updated = trial.SetAttributes(m.node, m.attributes);
+        if (!updated.ok()) return Annotate(At(i), updated);
+        out.text_changed.push_back(m.node);
+        out.stats_changed = true;
+        break;
+      }
+    }
+  }
+
+  graph = std::move(trial);
+  if (effects != nullptr) *effects = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace orx::mutate

@@ -1,0 +1,109 @@
+#ifndef ORX_MUTATE_MUTATION_H_
+#define ORX_MUTATE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+#include "graph/schema_graph.h"
+
+namespace orx::mutate {
+
+/// What one mutation does to the data graph.
+enum class MutationKind : uint8_t {
+  /// Allocates a new node of `node_type` with `attributes`. The id is
+  /// assigned at apply time (dense, insertion order); within the same
+  /// batch, later mutations may address it as num_nodes-at-batch-start +
+  /// (index of this kAddNode among the batch's kAddNodes).
+  kAddNode = 0,
+  /// Detaches `node`: removes every incident edge and clears its text.
+  /// The id remains allocated as an empty husk so NodeIds stay dense and
+  /// stable (authority layouts and cached rank vectors index by NodeId).
+  kRemoveNode = 1,
+  /// Adds the data edge (from, to, edge_type).
+  kAddEdge = 2,
+  /// Removes the data edge (from, to, edge_type).
+  kRemoveEdge = 3,
+  /// Replaces the attribute set (the indexed "document") of `node`.
+  kUpdateNodeText = 4,
+};
+
+inline constexpr uint8_t kMaxMutationKind =
+    static_cast<uint8_t>(MutationKind::kUpdateNodeText);
+
+/// One mutation; which fields are meaningful depends on `kind`.
+struct Mutation {
+  MutationKind kind = MutationKind::kAddNode;
+  /// kAddNode: the schema node type of the new node.
+  graph::TypeId node_type = 0;
+  /// kRemoveNode / kUpdateNodeText: the target node.
+  graph::NodeId node = graph::kInvalidNodeId;
+  /// kAddEdge / kRemoveEdge: the edge endpoints and type.
+  graph::NodeId from = graph::kInvalidNodeId;
+  graph::NodeId to = graph::kInvalidNodeId;
+  graph::EdgeTypeId edge_type = graph::kInvalidEdgeTypeId;
+  /// kAddNode / kUpdateNodeText: the attribute set.
+  std::vector<graph::Attribute> attributes;
+
+  static Mutation AddNode(graph::TypeId type,
+                          std::vector<graph::Attribute> attributes);
+  static Mutation RemoveNode(graph::NodeId node);
+  static Mutation AddEdge(graph::NodeId from, graph::NodeId to,
+                          graph::EdgeTypeId type);
+  static Mutation RemoveEdge(graph::NodeId from, graph::NodeId to,
+                             graph::EdgeTypeId type);
+  static Mutation UpdateNodeText(graph::NodeId node,
+                                 std::vector<graph::Attribute> attributes);
+};
+
+/// An ordered group of mutations applied atomically: either every
+/// mutation applies (in order, with intra-batch visibility — an edge may
+/// reference a node added earlier in the same batch) or none does.
+struct MutationBatch {
+  std::vector<Mutation> mutations;
+
+  bool empty() const { return mutations.empty(); }
+  size_t size() const { return mutations.size(); }
+};
+
+/// Static (graph-independent) validation against the schema: every type
+/// id in range, every referenced kind well-formed. This is the check the
+/// DeltaLog runs at Append time, before the batch is queued — violations
+/// that need graph state (missing endpoints, type conformance, duplicate
+/// edges) surface at apply time in the snapshot builder instead.
+[[nodiscard]] Status ValidateStatic(const MutationBatch& batch,
+                                    const graph::SchemaGraph& schema);
+
+/// What applying a batch changed, in the vocabulary the incremental
+/// recompute needs (see ComputeDirtyRegion in mutate/incremental.h).
+struct ApplyEffects {
+  /// Ids allocated by kAddNode, in batch order.
+  std::vector<graph::NodeId> new_nodes;
+  /// Nodes whose indexed text changed (added, detached, or updated).
+  std::vector<graph::NodeId> text_changed;
+  /// Endpoints of every added or removed edge, including the incident
+  /// edges a kRemoveNode detached.
+  std::vector<graph::NodeId> edge_endpoints;
+  /// True iff the corpus-wide BM25 statistics (N, avdl, df) moved — any
+  /// node addition, removal, or text update. Edge-only batches leave the
+  /// corpus untouched and keep this false.
+  bool stats_changed = false;
+};
+
+/// Applies `batch` to `graph` atomically: validates and applies against a
+/// trial copy, committing only if every mutation succeeds. On failure the
+/// graph is untouched and the error names the offending mutation. On
+/// success `effects` (optional) receives the change summary.
+///
+/// Intra-batch node references: a kAddNode's id is assigned on apply;
+/// later mutations in the same batch may use the resulting dense id
+/// (batch-start num_nodes + ordinal of the kAddNode).
+[[nodiscard]] Status ApplyBatch(graph::DataGraph& graph,
+                                const MutationBatch& batch,
+                                ApplyEffects* effects = nullptr);
+
+}  // namespace orx::mutate
+
+#endif  // ORX_MUTATE_MUTATION_H_

@@ -1,0 +1,177 @@
+#include "mutate/snapshot_builder.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "graph/authority_graph.h"
+
+namespace orx::mutate {
+
+SnapshotBuilder::SnapshotBuilder(
+    serve::SearchService* service, DeltaLog* log, EpochManager* epochs,
+    std::shared_ptr<const serve::ServeSnapshot> seed)
+    : SnapshotBuilder(service, log, epochs, std::move(seed), Options()) {}
+
+SnapshotBuilder::SnapshotBuilder(
+    serve::SearchService* service, DeltaLog* log, EpochManager* epochs,
+    std::shared_ptr<const serve::ServeSnapshot> seed, Options options)
+    : service_(service),
+      log_(log),
+      epochs_(epochs),
+      options_(options),
+      working_(*seed->data),
+      rates_(seed->rates),
+      default_options_(seed->default_options),
+      corpus_(seed->corpus),
+      cache_(seed->rank_cache) {
+  ORX_CHECK(seed->Complete());
+  if (cache_ != nullptr) cache_terms_ = cache_->Terms();
+}
+
+SnapshotBuilder::~SnapshotBuilder() { Stop(); }
+
+void SnapshotBuilder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ORX_CHECK(!started_);
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void SnapshotBuilder::Stop() {
+  log_->Close();
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    joinable = std::move(thread_);
+  }
+  if (joinable.joinable()) joinable.join();
+}
+
+bool SnapshotBuilder::WaitForSequence(uint64_t sequence,
+                                      double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                      [&] { return stats_.applied_sequence >= sequence; });
+}
+
+SnapshotBuilder::Stats SnapshotBuilder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SnapshotBuilder::Loop() {
+  while (true) {
+    std::vector<DeltaLog::PendingBatch> batches =
+        log_->Drain(options_.max_batches_per_publish);
+    if (batches.empty()) return;  // closed and fully drained
+
+    ApplyEffects window;
+    size_t applied = 0;
+    size_t mutations = 0;
+    std::string last_reject;
+    size_t rejected = 0;
+    const uint64_t last_sequence = batches.back().sequence;
+    for (DeltaLog::PendingBatch& pending : batches) {
+      ApplyEffects effects;
+      Status status = ApplyBatch(working_, pending.batch, &effects);
+      if (status.ok()) {
+        mutations += pending.batch.size();
+        ++applied;
+        MergeEffects(window, std::move(effects));
+      } else {
+        ++rejected;
+        last_reject = "seq " + std::to_string(pending.sequence) + ": " +
+                      status.ToString();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.batches_applied += applied;
+      stats_.batches_rejected += rejected;
+      stats_.mutations_applied += mutations;
+      if (!last_reject.empty()) stats_.last_reject = std::move(last_reject);
+    }
+
+    if (applied > 0) {
+      PublishWindow(window);
+    }
+    // Rejected-only windows still advance the consumed sequence so
+    // WaitForSequence callers observe their batch's fate either way.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.applied_sequence = last_sequence;
+    }
+    cv_.notify_all();
+  }
+}
+
+void SnapshotBuilder::PublishWindow(const ApplyEffects& window) {
+  Timer timer;
+  auto data = std::make_shared<const graph::DataGraph>(working_);
+  auto authority = std::make_shared<const graph::AuthorityGraph>(
+      graph::AuthorityGraph::Build(*data));
+
+  std::shared_ptr<const text::Corpus> corpus = corpus_;
+  bool corpus_rebuilt = false;
+  if (window.stats_changed || corpus == nullptr) {
+    corpus = std::make_shared<const text::Corpus>(
+        text::Corpus::Build(*data, options_.corpus));
+    corpus_rebuilt = true;
+  }
+
+  const DirtyRegion region = ComputeDirtyRegion(window, *authority);
+
+  std::shared_ptr<const core::RankCache> cache = cache_;
+  core::RankCache::IncrementalStats cache_stats;
+  const bool refresh_cache =
+      options_.maintain_rank_cache && cache_ != nullptr;
+  if (refresh_cache) {
+    cache = std::make_shared<const core::RankCache>(
+        core::RankCache::IncrementalBuild(
+            *cache_, *authority, *corpus, rates_, cache_terms_, region.dirty,
+            region.stats_changed, options_.rank_cache, &cache_stats));
+  }
+
+  auto next = std::make_shared<serve::ServeSnapshot>();
+  next->data = data;
+  next->authority = authority;
+  next->corpus = corpus;
+  next->rates = rates_;
+  next->rank_cache = cache;
+  next->default_options = default_options_;
+  // Prewarm the fused SELL layout so the first post-swap query doesn't
+  // pay the materialization on its own latency.
+  next->fused_cache->Get(*authority, rates_);
+
+  // Backpressure: stall while too many published epochs remain
+  // unreclaimed (slow readers still pin them). A closed log means the
+  // server is draining — publish what we have rather than deadlock the
+  // join on a reader that never lets go.
+  uint64_t reclaim_waits = 0;
+  while (!epochs_->WaitForReclaimUnder(options_.max_live_epochs,
+                                       options_.reclaim_timeout_seconds) &&
+         !log_->closed()) {
+    ++reclaim_waits;
+  }
+
+  std::shared_ptr<const serve::ServeSnapshot> tracked =
+      epochs_->Publish(std::move(next));
+  service_->SwapSnapshot(tracked);
+
+  corpus_ = std::move(corpus);
+  cache_ = std::move(cache);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.publications;
+  if (corpus_rebuilt) ++stats_.corpus_rebuilds;
+  if (refresh_cache) {
+    stats_.terms_reused += cache_stats.terms_reused;
+    stats_.terms_refreshed += cache_stats.terms_refreshed;
+    if (cache_stats.full_rebuild) ++stats_.cache_full_rebuilds;
+  }
+  stats_.reclaim_waits += reclaim_waits;
+  stats_.last_publish_seconds = timer.ElapsedSeconds();
+}
+
+}  // namespace orx::mutate

@@ -1,0 +1,147 @@
+#ifndef ORX_MUTATE_SNAPSHOT_BUILDER_H_
+#define ORX_MUTATE_SNAPSHOT_BUILDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rank_cache.h"
+#include "graph/data_graph.h"
+#include "mutate/delta_log.h"
+#include "mutate/epoch.h"
+#include "mutate/incremental.h"
+#include "serve/search_service.h"
+#include "serve/snapshot.h"
+#include "text/corpus.h"
+
+namespace orx::mutate {
+
+/// The consumer half of the write path: one background thread that
+/// drains the DeltaLog, applies mutation batches to a private copy of
+/// the data graph, rebuilds the derived structures (authority CSR —
+/// which the fused SELL layout reslices from — plus, when the text
+/// changed, the inverted index and BM25 statistics), refreshes the
+/// RankCache incrementally (see core::RankCache::IncrementalBuild), and
+/// publishes the result as a new ServeSnapshot through the service's
+/// hot-swap path under EpochManager accounting.
+///
+/// Memory discipline: readers never see the working copy — every
+/// publication deep-copies the graph into a fresh immutable snapshot, so
+/// the builder can keep mutating its private state while the published
+/// epochs drain at their own pace. The EpochManager bounds how many
+/// published-but-unreclaimed epochs may exist before the builder stalls
+/// (max_live_epochs) — the backpressure that keeps slow readers from
+/// turning high write rates into unbounded snapshot memory.
+///
+/// Lifetime: the schema behind the seed snapshot's DataGraph must
+/// outlive the builder and every snapshot it publishes (copies share the
+/// schema pointer).
+class SnapshotBuilder {
+ public:
+  struct Options {
+    /// Batches folded into one publication window; higher values
+    /// amortize the rebuild across more writes under load.
+    size_t max_batches_per_publish = 64;
+    /// Publish stalls (in reclaim-timeout steps) until fewer than this
+    /// many published epochs remain unreclaimed.
+    uint64_t max_live_epochs = 8;
+    double reclaim_timeout_seconds = 0.5;
+    /// Maintain the RankCache across publications (only if the seed
+    /// snapshot carried one).
+    bool maintain_rank_cache = true;
+    core::RankCache::IncrementalOptions rank_cache;
+    /// Corpus build options; must match how the seed corpus was built or
+    /// the first text-changing publication silently reindexes under
+    /// different semantics.
+    text::CorpusOptions corpus;
+  };
+
+  struct Stats {
+    /// Batches applied / refused (validation against live graph state).
+    uint64_t batches_applied = 0;
+    uint64_t batches_rejected = 0;
+    uint64_t mutations_applied = 0;
+    /// Snapshots published through the service.
+    uint64_t publications = 0;
+    /// Corpus reindex passes (text-changing windows only).
+    uint64_t corpus_rebuilds = 0;
+    /// RankCache refresh accounting, summed over publications.
+    uint64_t terms_reused = 0;
+    uint64_t terms_refreshed = 0;
+    uint64_t cache_full_rebuilds = 0;
+    /// Publish stalls waiting on epoch reclamation.
+    uint64_t reclaim_waits = 0;
+    /// Highest delta-log sequence covered by the published snapshot.
+    uint64_t applied_sequence = 0;
+    /// Wall seconds of the most recent publication (apply excluded).
+    double last_publish_seconds = 0.0;
+    /// Message of the most recent batch rejection ("" = none yet).
+    std::string last_reject;
+  };
+
+  /// `service`, `log`, and `epochs` must outlive the builder. `seed` is
+  /// the snapshot the service is currently serving; the builder copies
+  /// its graph as the working state and carries its rates, default
+  /// options, and RankCache term set forward.
+  SnapshotBuilder(serve::SearchService* service, DeltaLog* log,
+                  EpochManager* epochs,
+                  std::shared_ptr<const serve::ServeSnapshot> seed);
+  SnapshotBuilder(serve::SearchService* service, DeltaLog* log,
+                  EpochManager* epochs,
+                  std::shared_ptr<const serve::ServeSnapshot> seed,
+                  Options options);
+  ~SnapshotBuilder();
+
+  SnapshotBuilder(const SnapshotBuilder&) = delete;
+  SnapshotBuilder& operator=(const SnapshotBuilder&) = delete;
+
+  /// Spawns the consumer thread. Call once.
+  void Start();
+
+  /// Closes the delta log, drains what is already queued (each remaining
+  /// window is still applied and published), and joins the thread.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// Blocks until every batch with sequence <= `sequence` has been
+  /// consumed (applied or rejected) and the covering snapshot published.
+  /// Returns false on timeout. The read-your-writes barrier for tests
+  /// and tools.
+  bool WaitForSequence(uint64_t sequence, double timeout_seconds) const;
+
+  Stats stats() const;
+
+ private:
+  void Loop();
+
+  /// Rebuilds derived state for one applied window and publishes it.
+  void PublishWindow(const ApplyEffects& window);
+
+  serve::SearchService* const service_;
+  DeltaLog* const log_;
+  EpochManager* const epochs_;
+  const Options options_;
+
+  /// Consumer-thread state (no lock: only Loop touches these).
+  graph::DataGraph working_;
+  graph::TransferRates rates_;
+  core::SearchOptions default_options_;
+  std::shared_ptr<const text::Corpus> corpus_;
+  std::shared_ptr<const core::RankCache> cache_;
+  std::vector<std::string> cache_terms_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  Stats stats_;  // guarded by mu_
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace orx::mutate
+
+#endif  // ORX_MUTATE_SNAPSHOT_BUILDER_H_

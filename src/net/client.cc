@@ -112,6 +112,13 @@ StatusOr<MetricsResponse> BlockingClient::Metrics() {
   return DecodeMetricsResponse(frame->payload);
 }
 
+StatusOr<MutateResponse> BlockingClient::Mutate(
+    const MutateRequest& request) {
+  auto frame = Call(Op::kMutate, EncodeMutateRequest(request));
+  ORX_RETURN_IF_ERROR(frame.status());
+  return DecodeMutateResponse(frame->payload);
+}
+
 Status BlockingClient::Ping() {
   return Call(Op::kPing, std::string()).status();
 }

@@ -40,6 +40,7 @@ class BlockingClient {
       const ReformulateRequest& request);
   StatusOr<ValidateResponse> Validate();
   StatusOr<MetricsResponse> Metrics();
+  StatusOr<MutateResponse> Mutate(const MutateRequest& request);
   Status Ping();
 
  private:

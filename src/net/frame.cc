@@ -18,6 +18,8 @@ constexpr uint64_t kQueryLimit = 1u << 16;
 constexpr uint64_t kLabelLimit = 1u << 16;
 constexpr uint64_t kTextLimit = kMaxPayload;
 constexpr uint64_t kCountLimit = 1u << 20;
+constexpr uint64_t kMutationLimit = 1u << 16;
+constexpr uint64_t kAttributeLimit = 1u << 12;
 
 // ByteReader is the hardened offset-tracking reader the binary
 // deserializers share; wrapping the payload in a stream reuses it
@@ -140,7 +142,7 @@ StatusOr<FrameHeader> DecodeHeader(const char* data, uint32_t max_payload) {
                          std::to_string(version) + " at byte 4");
   }
   const uint8_t op = static_cast<uint8_t>(data[5]);
-  if (op > static_cast<uint8_t>(Op::kError)) {
+  if (op > static_cast<uint8_t>(Op::kMutate)) {
     return DataLossError("unknown frame op " + std::to_string(op) +
                          " at byte 5");
   }
@@ -385,6 +387,13 @@ std::string EncodeMetricsResponse(const MetricsResponse& response) {
   AppendU64(&out, response.decode_errors);
   AppendU64(&out, response.backpressure_closes);
   AppendU64(&out, response.idle_closes);
+  AppendU64(&out, response.mutate_accepted);
+  AppendU64(&out, response.mutate_rejected);
+  AppendU64(&out, response.mutate_queued);
+  AppendU64(&out, response.snapshots_published);
+  AppendU64(&out, response.epochs_live);
+  AppendU64(&out, response.rank_terms_reused);
+  AppendU64(&out, response.rank_terms_refreshed);
   return out;
 }
 
@@ -432,7 +441,96 @@ StatusOr<MetricsResponse> DecodeMetricsResponse(const std::string& payload) {
                                           "backpressure_closes"));
   ORX_RETURN_IF_ERROR(
       in.reader().ReadU64(&response.idle_closes, "idle_closes"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.mutate_accepted, "mutate_accepted"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.mutate_rejected, "mutate_rejected"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.mutate_queued, "mutate_queued"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.snapshots_published,
+                                          "snapshots_published"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.epochs_live, "epochs_live"));
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.rank_terms_reused, "rank_terms_reused"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.rank_terms_refreshed,
+                                          "rank_terms_refreshed"));
   ORX_RETURN_IF_ERROR(in.ExpectExhausted("metrics response"));
+  return response;
+}
+
+std::string EncodeMutateRequest(const MutateRequest& request) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(request.batch.mutations.size()));
+  for (const mutate::Mutation& m : request.batch.mutations) {
+    out.push_back(static_cast<char>(m.kind));
+    AppendU32(&out, m.node_type);
+    AppendU32(&out, m.node);
+    AppendU32(&out, m.from);
+    AppendU32(&out, m.to);
+    AppendU32(&out, m.edge_type);
+    AppendU32(&out, static_cast<uint32_t>(m.attributes.size()));
+    for (const graph::Attribute& a : m.attributes) {
+      AppendString(&out, a.name);
+      AppendString(&out, a.value);
+    }
+  }
+  return out;
+}
+
+StatusOr<MutateRequest> DecodeMutateRequest(const std::string& payload) {
+  PayloadReader in(payload);
+  MutateRequest request;
+  uint32_t count = 0;
+  ORX_RETURN_IF_ERROR(
+      ReadBoundedCount(in.reader(), &count, kMutationLimit, "mutation"));
+  request.batch.mutations.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    mutate::Mutation m;
+    uint8_t kind = 0;
+    ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &kind, "mutation kind"));
+    if (kind > mutate::kMaxMutationKind) {
+      return DataLossError("unknown mutation kind " + std::to_string(kind) +
+                           " at byte " + std::to_string(in.reader().offset()));
+    }
+    m.kind = static_cast<mutate::MutationKind>(kind);
+    ORX_RETURN_IF_ERROR(in.reader().ReadU32(&m.node_type, "node type"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadU32(&m.node, "mutation node"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadU32(&m.from, "edge from"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadU32(&m.to, "edge to"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadU32(&m.edge_type, "edge type"));
+    uint32_t attrs = 0;
+    ORX_RETURN_IF_ERROR(
+        ReadBoundedCount(in.reader(), &attrs, kAttributeLimit, "attribute"));
+    m.attributes.reserve(std::min<uint32_t>(attrs, 256));
+    for (uint32_t a = 0; a < attrs; ++a) {
+      graph::Attribute attribute;
+      ORX_RETURN_IF_ERROR(in.reader().ReadString(&attribute.name, kLabelLimit,
+                                                 "attribute name"));
+      ORX_RETURN_IF_ERROR(in.reader().ReadString(&attribute.value, kLabelLimit,
+                                                 "attribute value"));
+      m.attributes.push_back(std::move(attribute));
+    }
+    request.batch.mutations.push_back(std::move(m));
+  }
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("mutate request"));
+  return request;
+}
+
+std::string EncodeMutateResponse(const MutateResponse& response) {
+  std::string out;
+  AppendU64(&out, response.sequence);
+  AppendU64(&out, response.queued);
+  return out;
+}
+
+StatusOr<MutateResponse> DecodeMutateResponse(const std::string& payload) {
+  PayloadReader in(payload);
+  MutateResponse response;
+  ORX_RETURN_IF_ERROR(
+      in.reader().ReadU64(&response.sequence, "mutate sequence"));
+  ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.queued, "mutate queued"));
+  ORX_RETURN_IF_ERROR(in.ExpectExhausted("mutate response"));
   return response;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "mutate/mutation.h"
 #include "serve/serve_metrics.h"
 
 namespace orx::net {
@@ -44,6 +45,8 @@ enum class Op : uint8_t {
   kMetrics = 5,
   /// Response-only: status code + message.
   kError = 6,
+  /// Append a mutation batch to the server's delta log (the write path).
+  kMutate = 7,
 };
 
 constexpr uint32_t kMagic = 0x4E58524F;  // "ORXN" read little-endian
@@ -172,7 +175,9 @@ StatusOr<ValidateResponse> DecodeValidateResponse(
     const std::string& payload);
 
 /// kMetrics response (the request has no payload): the service's
-/// consistent-cut ServeMetrics plus the front end's own counters.
+/// consistent-cut ServeMetrics plus the front end's own counters and,
+/// when the server runs a write path, the mutation-side counters (all
+/// zero on a read-only server).
 struct MetricsResponse {
   serve::ServeMetrics serve;
   uint64_t connections_accepted = 0;
@@ -183,9 +188,39 @@ struct MetricsResponse {
   uint64_t decode_errors = 0;
   uint64_t backpressure_closes = 0;
   uint64_t idle_closes = 0;
+  /// Write path (mutate/): delta-log and snapshot-builder counters.
+  uint64_t mutate_accepted = 0;
+  uint64_t mutate_rejected = 0;
+  uint64_t mutate_queued = 0;
+  uint64_t snapshots_published = 0;
+  uint64_t epochs_live = 0;
+  uint64_t rank_terms_reused = 0;
+  uint64_t rank_terms_refreshed = 0;
 };
 std::string EncodeMetricsResponse(const MetricsResponse& response);
 StatusOr<MetricsResponse> DecodeMetricsResponse(const std::string& payload);
+
+/// kMutate request: one mutation batch for the server's delta log. A
+/// success response acknowledges *acceptance into the log*, not reader
+/// visibility — that arrives with the next snapshot publication covering
+/// the sequence. Rejections (static validation, log full, read-only
+/// server) arrive as kError frames carrying the corresponding status.
+struct MutateRequest {
+  mutate::MutationBatch batch;
+};
+std::string EncodeMutateRequest(const MutateRequest& request);
+StatusOr<MutateRequest> DecodeMutateRequest(const std::string& payload);
+
+/// kMutate response.
+struct MutateResponse {
+  /// The delta-log sequence number assigned to the accepted batch.
+  uint64_t sequence = 0;
+  /// Batches still queued behind the snapshot builder right after this
+  /// append — a congestion signal write clients can self-throttle on.
+  uint64_t queued = 0;
+};
+std::string EncodeMutateResponse(const MutateResponse& response);
+StatusOr<MutateResponse> DecodeMutateResponse(const std::string& payload);
 
 /// kError response payload.
 struct ErrorResponse {

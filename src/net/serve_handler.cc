@@ -71,6 +71,9 @@ void ServeHandler::Handle(Frame frame, ResponderPtr respond) {
     case Op::kMetrics:
       HandleMetrics(frame, respond);
       return;
+    case Op::kMutate:
+      HandleMutate(frame, respond);
+      return;
     case Op::kError:
       // kError is response-only; a client sending one is a protocol
       // violation answered in kind.
@@ -283,8 +286,53 @@ void ServeHandler::HandleMetrics(const Frame& frame,
     wire.backpressure_closes = stats.backpressure_closes;
     wire.idle_closes = stats.idle_closes;
   }
+  if (mutation_.log != nullptr) {
+    const mutate::DeltaLog::Stats log = mutation_.log->stats();
+    wire.mutate_accepted = log.appended;
+    wire.mutate_rejected = log.rejected;
+    wire.mutate_queued = log.queued;
+  }
+  if (mutation_.epochs != nullptr) {
+    wire.epochs_live = mutation_.epochs->live();
+  }
+  if (mutation_.builder != nullptr) {
+    const mutate::SnapshotBuilder::Stats builder = mutation_.builder->stats();
+    wire.snapshots_published = builder.publications;
+    wire.rank_terms_reused = builder.terms_reused;
+    wire.rank_terms_refreshed = builder.terms_refreshed;
+  }
   respond->Send(EncodeFrame(Op::kMetrics, frame.header.request_id,
                             EncodeMetricsResponse(wire)));
+}
+
+void ServeHandler::HandleMutate(const Frame& frame,
+                                const ResponderPtr& respond) {
+  const uint64_t id = frame.header.request_id;
+  if (mutation_.log == nullptr) {
+    respond->Send(EncodeErrorFrame(
+        id, FailedPreconditionError(
+                "server is read-only (no write path configured)")));
+    return;
+  }
+  auto request = DecodeMutateRequest(frame.payload);
+  if (!request.ok()) {
+    respond->Send(EncodeErrorFrame(id, request.status()));
+    return;
+  }
+  // Append is cheap (static validation + a queue push), so it runs
+  // synchronously on the worker loop; the heavy rebuild work happens on
+  // the snapshot builder's thread. kUnavailable on a full log is the
+  // same shed-don't-queue contract as search admission.
+  auto sequence = mutation_.log->Append(std::move(request->batch));
+  if (!sequence.ok()) {
+    respond->Send(EncodeErrorFrame(id, sequence.status()));
+    return;
+  }
+  MutateResponse wire;
+  wire.sequence = *sequence;
+  wire.queued = mutation_.log->stats().queued;
+  respond->Send(
+      EncodeFrame(Op::kMutate, id, EncodeMutateResponse(wire)));
 }
 
 }  // namespace orx::net

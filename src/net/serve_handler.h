@@ -5,6 +5,9 @@
 #include <memory>
 #include <utility>
 
+#include "mutate/delta_log.h"
+#include "mutate/epoch.h"
+#include "mutate/snapshot_builder.h"
 #include "net/frame.h"
 #include "net/server.h"
 #include "serve/search_service.h"
@@ -37,6 +40,18 @@ class ServeHandler {
     server_stats_ = std::move(stats);
   }
 
+  /// The write-path wiring the kMutate op appends through; all three
+  /// pointers must outlive the handler. A handler without hooks is a
+  /// read-only server: kMutate answers kError/kFailedPrecondition.
+  struct MutationHooks {
+    mutate::DeltaLog* log = nullptr;
+    mutate::EpochManager* epochs = nullptr;
+    /// Optional: the builder whose stats back the kMetrics write-side
+    /// counters (null = log/epoch counters only).
+    mutate::SnapshotBuilder* builder = nullptr;
+  };
+  void set_mutation_hooks(MutationHooks hooks) { mutation_ = hooks; }
+
   /// The Server::FrameHandler entry point.
   void Handle(Frame frame, ResponderPtr respond);
 
@@ -46,9 +61,11 @@ class ServeHandler {
   void HandleReformulate(Frame frame, ResponderPtr respond);
   void HandleValidate(const Frame& frame, const ResponderPtr& respond);
   void HandleMetrics(const Frame& frame, const ResponderPtr& respond);
+  void HandleMutate(const Frame& frame, const ResponderPtr& respond);
 
   serve::SearchService* service_;
   std::function<ServerStats()> server_stats_;
+  MutationHooks mutation_;
 };
 
 }  // namespace orx::net

@@ -19,14 +19,22 @@ void AppendDouble(std::string& out, double value) {
   out += buf;
 }
 
-// The version + numeric-options prefix shared by RequestKey (which
+// "v<version>|": the key prefix that scopes cache entries and batch
+// windows to one snapshot version. Kept separate from the options/query
+// suffix so the cache lookup can probe retained older versions by
+// re-prefixing the same suffix.
+std::string VersionPrefix(uint64_t version) {
+  std::string prefix = "v";
+  prefix += std::to_string(version);
+  prefix += "|";
+  return prefix;
+}
+
+// The numeric-options fingerprint shared by RequestKeySuffix (which
 // appends the normalized query) and BatchKey (which appends the rates
 // fingerprint instead).
-void AppendOptionsKey(std::string& key, const core::SearchOptions& options,
-                      uint64_t version) {
-  key += "v";
-  key += std::to_string(version);
-  key += "|m";
+void AppendOptionsKey(std::string& key, const core::SearchOptions& options) {
+  key += "m";
   key += std::to_string(static_cast<int>(options.mode));
   key += "|k";
   key += std::to_string(options.k);
@@ -52,12 +60,11 @@ void AppendOptionsKey(std::string& key, const core::SearchOptions& options,
 
 }  // namespace
 
-std::string SearchService::RequestKey(const text::QueryVector& query,
-                                      const core::SearchOptions& options,
-                                      uint64_t version) {
+std::string SearchService::RequestKeySuffix(
+    const text::QueryVector& query, const core::SearchOptions& options) {
   std::string key;
   key.reserve(64 + query.size() * 24);
-  AppendOptionsKey(key, options, version);
+  AppendOptionsKey(key, options);
   // Normalized query: (term, weight) pairs sorted by term, so the key is
   // insensitive to keyword order (the scores are — the base set is a sum
   // over terms).
@@ -77,9 +84,9 @@ std::string SearchService::RequestKey(const text::QueryVector& query,
 std::string SearchService::BatchKey(const core::SearchOptions& options,
                                     uint64_t version,
                                     uint64_t rates_fingerprint) {
-  std::string key;
+  std::string key = VersionPrefix(version);
   key.reserve(96);
-  AppendOptionsKey(key, options, version);
+  AppendOptionsKey(key, options);
   key += "r";
   key += std::to_string(rates_fingerprint);
   return key;
@@ -169,13 +176,10 @@ void SearchService::SubmitInternal(ServeRequest request,
     // iteration within the machine share its execution slot represents.
     options.objectrank.num_threads = CapIntraQueryThreads(
         options.objectrank.num_threads, pool_->num_threads());
-    key = RequestKey(request.query, options, version);
+    const std::string suffix = RequestKeySuffix(request.query, options);
+    key = VersionPrefix(version) + suffix;
 
-    if (auto it = cached_.find(key); it != cached_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
-      hit.result = it->second->result;
-      hit.cache_hit = true;
-      hit.snapshot_version = it->second->snapshot_version;
+    if (LookupCacheLocked(suffix, hit)) {
       action = Action::kHit;
     } else if (auto flight = flights_.find(key); flight != flights_.end()) {
       // Count the coalesce *before* the waiter is published (still under
@@ -445,9 +449,13 @@ void SearchService::FinishExecution(const std::string& key, uint64_t version,
       waiters = std::move(it->second->waiters);
       flights_.erase(it);
     }
-    // Only cache results that are still current: a swap concurrent with
-    // this execution already invalidated version's keyspace.
-    if (result.ok() && version == version_) {
+    // Cache any result whose version is still inside the retention
+    // window: a result computed against the previous snapshot can keep
+    // serving hits until retention slides past it. Versions a concurrent
+    // swap already aged out stay uncached — their keyspace is dead.
+    const uint64_t keep =
+        std::max<uint64_t>(1, options_.result_cache_versions);
+    if (result.ok() && version <= version_ && version_ - version < keep) {
       CacheResultLocked(key, version, *result);
     }
   }
@@ -492,6 +500,25 @@ void SearchService::Fulfill(const CompletionPtr& completion,
   completion->Deliver(std::move(response));
 }
 
+bool SearchService::LookupCacheLocked(const std::string& suffix,
+                                      ServeResponse& hit) {
+  // Probe newest-first so a request always prefers the freshest retained
+  // result for its query; older versions only answer when the current one
+  // has no entry yet (the window right after a hot swap).
+  const uint64_t keep = std::max<uint64_t>(1, options_.result_cache_versions);
+  for (uint64_t back = 0; back < keep && back < version_; ++back) {
+    const std::string probe = VersionPrefix(version_ - back) + suffix;
+    if (auto it = cached_.find(probe); it != cached_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      hit.result = it->second->result;
+      hit.cache_hit = true;
+      hit.snapshot_version = it->second->snapshot_version;
+      return true;
+    }
+  }
+  return false;
+}
+
 void SearchService::CacheResultLocked(const std::string& key,
                                       uint64_t version,
                                       const core::SearchResult& result) {
@@ -515,10 +542,18 @@ void SearchService::SwapSnapshot(
   std::lock_guard<std::mutex> lock(mu_);
   snapshot_ = std::move(snapshot);
   ++version_;
-  // Every cached key embeds the old version; drop them eagerly instead of
-  // letting dead entries squat in the LRU.
-  lru_.clear();
-  cached_.clear();
+  // Evict only the entries that slid out of the retention window; the
+  // rest keep serving (slightly stale) hits, so a steady read workload
+  // doesn't pay a full cold cache on every publication.
+  const uint64_t keep = std::max<uint64_t>(1, options_.result_cache_versions);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->snapshot_version + keep <= version_) {
+      cached_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::shared_ptr<const ServeSnapshot> SearchService::snapshot() const {

@@ -77,8 +77,11 @@ struct ServeResponse {
 /// The dataset is swapped atomically: each request pins the
 /// shared_ptr<const ServeSnapshot> that was current at submission and uses
 /// it for its whole lifetime, so SwapSnapshot() never races with queries
-/// in flight. A swap bumps the snapshot version, which invalidates the
-/// result cache (keys embed the version).
+/// in flight. A swap bumps the snapshot version; cached results are kept
+/// for the Options::result_cache_versions most recent versions (keys
+/// embed the version they were computed against) and only entries that
+/// slide out of that window are evicted, so a steady read workload keeps
+/// its hit rate across hot swaps.
 ///
 /// Per-request deadlines are enforced cooperatively: the service installs
 /// a cancellation hook on ObjectRankOptions that trips once the deadline
@@ -106,6 +109,13 @@ class SearchService {
     /// Completed-result LRU capacity in entries; 0 disables result
     /// caching (single-flight coalescing is controlled separately).
     size_t result_cache_entries = 512;
+    /// How many of the most recent snapshot versions keep their cached
+    /// results across SwapSnapshot(). 1 = a swap drops the whole cache
+    /// (every hit is computed against the current snapshot); N > 1 =
+    /// entries from the previous N-1 versions may still be served — the
+    /// response reports the snapshot_version the result was computed
+    /// against, and lookups prefer the newest version's entry.
+    size_t result_cache_versions = 2;
     /// Collapse identical concurrent queries into one execution.
     bool single_flight = true;
     /// Deadline applied to requests that don't carry their own;
@@ -159,8 +169,9 @@ class SearchService {
 
   /// Atomically replaces the dataset snapshot for *future* requests;
   /// requests in flight finish against the snapshot they admitted with.
-  /// Bumps the snapshot version and drops cached results. `snapshot`
-  /// must be Complete().
+  /// Bumps the snapshot version and evicts only the cached results that
+  /// fell out of the Options::result_cache_versions retention window.
+  /// `snapshot` must be Complete().
   void SwapSnapshot(std::shared_ptr<const ServeSnapshot> snapshot);
 
   /// The snapshot new requests would currently use, and its version.
@@ -176,9 +187,6 @@ class SearchService {
   /// `completed <= submitted` hold in every snapshot, even mid-burst.
   /// Rates (qps, occupancy mean) are derived from this one cut.
   ServeMetrics Snapshot() const;
-
-  /// Deprecated alias for Snapshot(), kept for existing callers.
-  ServeMetrics Metrics() const { return Snapshot(); }
 
   size_t num_threads() const { return pool_->num_threads(); }
 
@@ -257,11 +265,18 @@ class SearchService {
     std::condition_variable cv;
   };
 
-  /// Canonical cache key: snapshot version + numeric options fingerprint
-  /// + term-sorted (term, weight) pairs.
-  static std::string RequestKey(const text::QueryVector& query,
-                                const core::SearchOptions& options,
-                                uint64_t version);
+  /// The version-independent part of the cache key: numeric options
+  /// fingerprint + term-sorted (term, weight) pairs. The canonical key is
+  /// "v<version>|" + suffix; the prefix is kept separable so the cache
+  /// lookup can probe the retained older versions too (see
+  /// Options::result_cache_versions).
+  static std::string RequestKeySuffix(const text::QueryVector& query,
+                                      const core::SearchOptions& options);
+
+  /// Probes the result cache for `suffix` under every retained snapshot
+  /// version, newest first (caller holds mu_). On a hit promotes the
+  /// entry, fills `hit`, and returns true.
+  bool LookupCacheLocked(const std::string& suffix, ServeResponse& hit);
 
   /// The batch-compatibility fingerprint: RequestKey minus the query
   /// terms, plus the snapshot's transfer-rates fingerprint. Two

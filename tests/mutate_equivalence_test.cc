@@ -1,0 +1,360 @@
+// Randomized equivalence of the incremental ObjectRank recompute: 200+
+// random mutation batches stream through the same pipeline the
+// SnapshotBuilder runs (apply -> dirty region -> incremental RankCache
+// refresh), and every round is checked against ground truth:
+//
+//  * at the solver level, the warm-started power iteration agrees with a
+//    cold solve on the mutated graph to <= 1e-12 L-inf (both at a 1e-14
+//    L1 tolerance) while spending no more iterations — the paper's
+//    Section 6.2 warm-start claim, quantified;
+//  * at the cache level, entries reused verbatim are bit-identical to
+//    the previous cache (reuse must be provably safe, not re-derived),
+//    and refreshed entries match a cold BuildForTerms of the new graph
+//    to float storage precision.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/base_set.h"
+#include "core/objectrank.h"
+#include "core/rank_cache.h"
+#include "datasets/dblp_generator.h"
+#include "graph/authority_graph.h"
+#include "mutate/incremental.h"
+#include "mutate/mutation.h"
+#include "text/corpus.h"
+#include "text/query.h"
+
+namespace orx::core {
+
+/// Test-only backdoor into the cache's entry table for bit-identity
+/// assertions (a friend of RankCache).
+struct RankCacheTestPeer {
+  static double Mass(const RankCache& cache, const std::string& term) {
+    return cache.entries_.at(term).mass;
+  }
+  static const std::vector<float>& Scores(const RankCache& cache,
+                                          const std::string& term) {
+    return cache.entries_.at(term).scores;
+  }
+};
+
+}  // namespace orx::core
+
+namespace orx::mutate {
+namespace {
+
+using core::RankCache;
+using core::RankCacheTestPeer;
+
+class MutateEquivalenceTest : public ::testing::Test {
+ protected:
+  MutateEquivalenceTest()
+      : dblp_(datasets::GenerateDblp(
+            datasets::DblpGeneratorConfig::Tiny(/*papers=*/120,
+                                                /*seed=*/29))),
+        rates_(datasets::DblpGroundTruthRates(dblp_.dataset.schema(),
+                                              dblp_.types)),
+        graph_(dblp_.dataset.data()) {
+    // Tight solver tolerance so warm and cold solves are comparable at
+    // 1e-12: both iterates end within ~eps of the shared fixpoint.
+    options_.objectrank.epsilon = 1e-14;
+    options_.objectrank.max_iterations = 400;
+    // The term universe stays fixed across mutations: the cache's job is
+    // to keep exactly these terms fresh as the graph changes underneath.
+    const text::Corpus& corpus = dblp_.dataset.corpus();
+    std::vector<std::pair<uint32_t, std::string>> by_df;
+    for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+      by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+    }
+    std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < by_df.size() && df_terms_.size() < 8; ++i) {
+      df_terms_.push_back(by_df[i].second);
+    }
+    terms_ = df_terms_;
+    // A hermit paper that no edge ever touches and whose term appears
+    // nowhere else: its rank vector is nonzero only at the hermit itself,
+    // so edge-only mutation windows elsewhere leave it provably reusable.
+    auto hermit = graph_.AddNode(dblp_.types.paper, {{"title", "hermitterm"}});
+    hermit_ = *hermit;
+    terms_.push_back("hermitterm");
+  }
+
+  /// One random mutation against the current graph (always statically
+  /// valid; apply-time rejections — duplicate edges and the like — are
+  /// part of the exercise). With `edge_only` the mutation is drawn from
+  /// the edge kinds alone, so the window keeps corpus stats unchanged.
+  /// The hermit node is never picked: no mutation may reach it.
+  Mutation RandomMutation(Rng& rng, bool edge_only = false) {
+    const auto node_of_type = [&](graph::TypeId type) -> graph::NodeId {
+      for (int tries = 0; tries < 64; ++tries) {
+        const auto v = static_cast<graph::NodeId>(
+            rng.UniformInt(graph_.num_nodes()));
+        if (v != hermit_ && graph_.NodeType(v) == type) return v;
+      }
+      return graph::kInvalidNodeId;
+    };
+    const std::string text =
+        df_terms_[rng.UniformInt(df_terms_.size())] + " " +
+        df_terms_[rng.UniformInt(df_terms_.size())] + " edit" +
+        std::to_string(rng.UniformInt(1000));
+    switch (edge_only ? 2 + rng.UniformInt(2) : rng.UniformInt(5)) {
+      case 0:
+        return Mutation::AddNode(dblp_.types.paper, {{"title", text}});
+      case 1: {
+        const graph::NodeId v = node_of_type(dblp_.types.paper);
+        if (v == graph::kInvalidNodeId) break;
+        return Mutation::UpdateNodeText(v, {{"title", text}});
+      }
+      case 2: {
+        const graph::NodeId a = node_of_type(dblp_.types.paper);
+        const graph::NodeId b = node_of_type(dblp_.types.paper);
+        if (a == graph::kInvalidNodeId || b == graph::kInvalidNodeId ||
+            a == b) {
+          break;
+        }
+        return Mutation::AddEdge(a, b, dblp_.types.cites);
+      }
+      case 3: {
+        if (graph_.edges().empty()) break;
+        const graph::DataEdge e =
+            graph_.edges()[rng.UniformInt(graph_.edges().size())];
+        return Mutation::RemoveEdge(e.from, e.to, e.type);
+      }
+      default: {
+        const graph::NodeId v = node_of_type(dblp_.types.paper);
+        if (v != graph::kInvalidNodeId) return Mutation::RemoveNode(v);
+        break;
+      }
+    }
+    if (edge_only) {
+      // Stats-neutral fallback; a duplicate-edge rejection at apply time
+      // is fine, the window must just never touch corpus stats.
+      const graph::DataEdge e = graph_.edges().front();
+      return Mutation::RemoveEdge(e.from, e.to, e.type);
+    }
+    return Mutation::AddNode(dblp_.types.paper, {{"title", text}});
+  }
+
+  datasets::DblpDataset dblp_;
+  graph::TransferRates rates_;
+  graph::DataGraph graph_;
+  RankCache::Options options_;
+  std::vector<std::string> df_terms_;
+  std::vector<std::string> terms_;
+  graph::NodeId hermit_ = graph::kInvalidNodeId;
+};
+
+TEST_F(MutateEquivalenceTest, IncrementalMatchesFullRebuildOver200Batches) {
+  ASSERT_GE(terms_.size(), 4u);
+  Rng rng(4242);
+
+  graph::AuthorityGraph authority = graph::AuthorityGraph::Build(graph_);
+  auto corpus = std::make_shared<text::Corpus>(text::Corpus::Build(graph_));
+  RankCache cache = RankCache::BuildForTerms(authority, *corpus, rates_,
+                                             terms_, options_);
+  // Ground-truth double-precision rank vectors per term, maintained
+  // alongside the cache for the warm-start comparisons.
+  std::unordered_map<std::string, std::vector<double>> prev_scores;
+  {
+    core::ObjectRankEngine engine(authority);
+    for (const std::string& term : terms_) {
+      auto base = core::BuildBaseSet(*corpus,
+                                     text::QueryVector(text::ParseQuery(term)),
+                                     core::BaseSetMode::kIrWeighted,
+                                     options_.bm25);
+      ASSERT_TRUE(base.ok()) << base.status();
+      prev_scores[term] =
+          engine.Compute(*base, rates_, options_.objectrank).scores;
+    }
+  }
+
+  RankCache::IncrementalOptions iopts;
+  iopts.options = options_;
+
+  size_t batches_applied = 0;
+  size_t total_reused = 0;
+  size_t total_refreshed = 0;
+  long long warm_iterations = 0;
+  long long cold_iterations = 0;
+  int round = 0;
+  while (batches_applied < 200) {
+    ++round;
+    // A window of up to 4 random batches, merged like the builder does.
+    // Every fourth window is edge-only so stats-unchanged rounds (the
+    // only rounds where verbatim reuse is legal) are actually exercised.
+    const bool edge_only = round % 4 == 0;
+    ApplyEffects window;
+    const size_t batches = 1 + rng.UniformInt(4);
+    for (size_t b = 0; b < batches; ++b) {
+      MutationBatch batch;
+      const size_t count = 1 + rng.UniformInt(3);
+      for (size_t m = 0; m < count; ++m) {
+        batch.mutations.push_back(RandomMutation(rng, edge_only));
+      }
+      ApplyEffects effects;
+      if (ApplyBatch(graph_, batch, &effects).ok()) {
+        MergeEffects(window, std::move(effects));
+        ++batches_applied;
+      }
+    }
+
+    authority = graph::AuthorityGraph::Build(graph_);
+    corpus = std::make_shared<text::Corpus>(text::Corpus::Build(graph_));
+    const DirtyRegion dirty = ComputeDirtyRegion(window, authority);
+
+    RankCache::IncrementalStats istats;
+    RankCache incremental = RankCache::IncrementalBuild(
+        cache, authority, *corpus, rates_, terms_, dirty.dirty,
+        dirty.stats_changed, iopts, &istats);
+    RankCache full = RankCache::BuildForTerms(authority, *corpus, rates_,
+                                              terms_, options_);
+    total_reused += istats.terms_reused;
+    total_refreshed += istats.terms_refreshed;
+
+    core::ObjectRankEngine engine(authority);
+    for (const std::string& term : terms_) {
+      auto base = core::BuildBaseSet(*corpus,
+                                     text::QueryVector(text::ParseQuery(term)),
+                                     core::BaseSetMode::kIrWeighted,
+                                     options_.bm25);
+      ASSERT_TRUE(base.ok()) << term << " round " << round;
+
+      // Solver-level equivalence: cold vs warm-started (previous vector
+      // padded to the new node count, exactly what IncrementalBuild
+      // feeds the engine).
+      const core::ObjectRankResult cold =
+          engine.Compute(*base, rates_, options_.objectrank);
+      std::vector<double> warm_start = prev_scores[term];
+      warm_start.resize(graph_.num_nodes(), 0.0);
+      const core::ObjectRankResult warm = engine.Compute(
+          *base, rates_, options_.objectrank, &warm_start);
+      ASSERT_EQ(cold.scores.size(), warm.scores.size());
+      double linf = 0.0;
+      for (size_t v = 0; v < cold.scores.size(); ++v) {
+        linf = std::max(linf, std::fabs(cold.scores[v] - warm.scores[v]));
+      }
+      EXPECT_LE(linf, 1e-12) << term << " round " << round;
+      EXPECT_LE(warm.iterations, cold.iterations)
+          << term << " round " << round;
+      warm_iterations += warm.iterations;
+      cold_iterations += cold.iterations;
+      prev_scores[term] = cold.scores;
+
+      // Cache-level equivalence against the cold full rebuild.
+      if (!full.Contains(term)) {
+        EXPECT_FALSE(incremental.Contains(term)) << term;
+        continue;
+      }
+      ASSERT_TRUE(incremental.Contains(term)) << term << " round " << round;
+      EXPECT_EQ(RankCacheTestPeer::Mass(incremental, term),
+                RankCacheTestPeer::Mass(full, term))
+          << term << " round " << round;
+      const std::vector<float>& inc_scores =
+          RankCacheTestPeer::Scores(incremental, term);
+      const std::vector<float>& full_scores =
+          RankCacheTestPeer::Scores(full, term);
+      ASSERT_EQ(inc_scores.size(), full_scores.size());
+      const bool reused =
+          !dirty.stats_changed && cache.Contains(term) &&
+          cache.num_nodes() == incremental.num_nodes() &&
+          !cache.TermTouchesRegion(term, std::span<const uint8_t>(
+                                             dirty.dirty));
+      for (size_t v = 0; v < inc_scores.size(); ++v) {
+        EXPECT_NEAR(inc_scores[v], full_scores[v], 1e-6)
+            << term << " node " << v << " round " << round;
+      }
+      if (reused) {
+        // Reused verbatim: bit-identical to the previous cache.
+        const std::vector<float>& old_scores =
+            RankCacheTestPeer::Scores(cache, term);
+        ASSERT_EQ(inc_scores.size(), old_scores.size());
+        for (size_t v = 0; v < inc_scores.size(); ++v) {
+          ASSERT_EQ(inc_scores[v], old_scores[v])
+              << term << " node " << v << " round " << round;
+        }
+      }
+    }
+    cache = std::move(incremental);
+  }
+
+  // The incremental path must be measurably cheaper than recomputing
+  // everything: some entries are reused outright, and warm starts save
+  // iterations over cold solves in aggregate.
+  EXPECT_GT(total_reused, 0u);
+  EXPECT_GT(total_refreshed, 0u);
+  EXPECT_LT(warm_iterations, cold_iterations)
+      << "warm starts saved nothing over " << round << " rounds";
+  std::printf(
+      "equivalence: %zu batches in %d rounds, %zu terms reused / %zu "
+      "refreshed, warm %lld vs cold %lld iterations (%.1f%% saved)\n",
+      batches_applied, round, total_reused, total_refreshed, warm_iterations,
+      cold_iterations,
+      100.0 * static_cast<double>(cold_iterations - warm_iterations) /
+          static_cast<double>(cold_iterations));
+}
+
+TEST_F(MutateEquivalenceTest, MassiveDirtyRegionFallsBackToFullRebuild) {
+  graph::AuthorityGraph authority = graph::AuthorityGraph::Build(graph_);
+  auto corpus = std::make_shared<text::Corpus>(text::Corpus::Build(graph_));
+  RankCache cache = RankCache::BuildForTerms(authority, *corpus, rates_,
+                                             terms_, options_);
+
+  // Touch well over half the graph in one window.
+  ApplyEffects window;
+  MutationBatch batch;
+  for (graph::NodeId v = 0;
+       v < static_cast<graph::NodeId>(graph_.num_nodes()); ++v) {
+    if (graph_.NodeType(v) != dblp_.types.paper) continue;
+    batch.mutations.push_back(Mutation::UpdateNodeText(
+        v, {{"title", terms_[v % terms_.size()] + " rewrite"}}));
+  }
+  ApplyEffects effects;
+  ASSERT_TRUE(ApplyBatch(graph_, batch, &effects).ok());
+  MergeEffects(window, std::move(effects));
+
+  authority = graph::AuthorityGraph::Build(graph_);
+  corpus = std::make_shared<text::Corpus>(text::Corpus::Build(graph_));
+  const DirtyRegion dirty = ComputeDirtyRegion(window, authority);
+  ASSERT_GT(dirty.Fraction(), 0.5);
+
+  RankCache::IncrementalOptions iopts;
+  iopts.options = options_;
+  RankCache::IncrementalStats istats;
+  RankCache incremental = RankCache::IncrementalBuild(
+      cache, authority, *corpus, rates_, terms_, dirty.dirty,
+      dirty.stats_changed, iopts, &istats);
+  EXPECT_TRUE(istats.full_rebuild);
+  EXPECT_EQ(istats.terms_reused, 0u);
+
+  // The fallback must still agree with a direct cold build.
+  RankCache full = RankCache::BuildForTerms(authority, *corpus, rates_,
+                                            terms_, options_);
+  for (const std::string& term : terms_) {
+    ASSERT_EQ(incremental.Contains(term), full.Contains(term)) << term;
+    if (!full.Contains(term)) continue;
+    const std::vector<float>& a = RankCacheTestPeer::Scores(incremental, term);
+    const std::vector<float>& b = RankCacheTestPeer::Scores(full, term);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t v = 0; v < a.size(); ++v) {
+      ASSERT_EQ(a[v], b[v]) << term << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orx::mutate

@@ -19,6 +19,10 @@
 #include <vector>
 
 #include "datasets/dblp_generator.h"
+#include "mutate/delta_log.h"
+#include "mutate/epoch.h"
+#include "mutate/mutation.h"
+#include "mutate/snapshot_builder.h"
 #include "net/client.h"
 #include "net/frame.h"
 #include "net/net_util.h"
@@ -183,6 +187,65 @@ TEST(FrameCodecTest, RemainingPayloadCodecsRoundTrip) {
     ASSERT_TRUE(decoded.ok());
     EXPECT_EQ(decoded->code, StatusCode::kUnavailable);
     EXPECT_EQ(decoded->message, "admission queue full");
+  }
+  {
+    // Write-side metrics ride at the end of the payload and must
+    // round-trip alongside the serve counters.
+    MetricsResponse response;
+    response.mutate_accepted = 11;
+    response.mutate_rejected = 2;
+    response.mutate_queued = 3;
+    response.snapshots_published = 5;
+    response.epochs_live = 1;
+    response.rank_terms_reused = 40;
+    response.rank_terms_refreshed = 8;
+    auto decoded = DecodeMetricsResponse(EncodeMetricsResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->mutate_accepted, 11u);
+    EXPECT_EQ(decoded->mutate_rejected, 2u);
+    EXPECT_EQ(decoded->mutate_queued, 3u);
+    EXPECT_EQ(decoded->snapshots_published, 5u);
+    EXPECT_EQ(decoded->epochs_live, 1u);
+    EXPECT_EQ(decoded->rank_terms_reused, 40u);
+    EXPECT_EQ(decoded->rank_terms_refreshed, 8u);
+  }
+  {
+    MutateRequest request;
+    request.batch.mutations.push_back(
+        mutate::Mutation::AddNode(2, {{"title", "wire paper"}}));
+    request.batch.mutations.push_back(mutate::Mutation::AddEdge(7, 3, 1));
+    request.batch.mutations.push_back(
+        mutate::Mutation::UpdateNodeText(4, {{"title", "rev"}}));
+    request.batch.mutations.push_back(mutate::Mutation::RemoveEdge(5, 6, 0));
+    request.batch.mutations.push_back(mutate::Mutation::RemoveNode(9));
+    auto decoded = DecodeMutateRequest(EncodeMutateRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(decoded->batch.mutations.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(decoded->batch.mutations[i].kind,
+                request.batch.mutations[i].kind)
+          << i;
+    }
+    EXPECT_EQ(decoded->batch.mutations[0].attributes.size(), 1u);
+    EXPECT_EQ(decoded->batch.mutations[0].attributes[0].value, "wire paper");
+    EXPECT_EQ(decoded->batch.mutations[1].from, 7u);
+    EXPECT_EQ(decoded->batch.mutations[1].to, 3u);
+    EXPECT_EQ(decoded->batch.mutations[4].node, 9u);
+
+    // Truncation hardening, same contract as every other codec.
+    const std::string payload = EncodeMutateRequest(request);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      auto prefix = DecodeMutateRequest(payload.substr(0, len));
+      ASSERT_FALSE(prefix.ok()) << "prefix length " << len;
+      EXPECT_EQ(prefix.status().code(), StatusCode::kDataLoss);
+    }
+  }
+  {
+    MutateResponse response{77, 4};
+    auto decoded = DecodeMutateResponse(EncodeMutateResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->sequence, 77u);
+    EXPECT_EQ(decoded->queued, 4u);
   }
 }
 
@@ -564,6 +627,99 @@ TEST(NetFullStackTest, ConcurrentClientsAllAnswered) {
   EXPECT_EQ(stats.frames_received, kThreads * kCallsPerThread);
   EXPECT_EQ(stats.frames_sent, kThreads * kCallsPerThread);
   EXPECT_EQ(stats.unanswered_frames, 0u);
+}
+
+TEST(NetFullStackTest, MutateOnReadOnlyServerIsFailedPrecondition) {
+  // A handler without mutation hooks is a read-only server: kMutate must
+  // come back as kError/kFailedPrecondition on a still-healthy
+  // connection, never silence or a close.
+  FullStack stack;
+  ASSERT_TRUE(stack.server->Start().ok());
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.server->port()).ok());
+
+  MutateRequest request;
+  request.batch.mutations.push_back(
+      mutate::Mutation::UpdateNodeText(0, {{"title", "nope"}}));
+  auto response = client.Mutate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(client.Ping().ok());
+  stack.server->Shutdown();
+  EXPECT_EQ(stack.server->stats().unanswered_frames, 0u);
+}
+
+TEST(NetFullStackTest, MutateAcceptedAndBecomesSearchableOverTheWire) {
+  // The whole write path end to end over loopback: kMutate append ->
+  // builder drain -> snapshot publication -> the new document answers a
+  // search on the SAME connection, and kMetrics reports the write-side
+  // counters.
+  auto owner = std::make_shared<datasets::DblpDataset>(datasets::GenerateDblp(
+      datasets::DblpGeneratorConfig::Tiny(60, 13)));
+  graph::TransferRates rates = datasets::DblpGroundTruthRates(
+      owner->dataset.schema(), owner->types);
+  auto snapshot = std::make_shared<serve::ServeSnapshot>(
+      serve::SnapshotFromOwner(owner, owner->dataset.data(),
+                               owner->dataset.authority(),
+                               owner->dataset.corpus(), std::move(rates)));
+
+  serve::SearchService service(snapshot, {});
+  mutate::DeltaLog log(owner->dataset.schema());
+  mutate::EpochManager epochs;
+  mutate::SnapshotBuilder builder(&service, &log, &epochs, snapshot, {});
+  ServeHandler handler(&service);
+  handler.set_mutation_hooks({&log, &epochs, &builder});
+  Server server(TestServerOptions(),
+                [&handler](Frame frame, ResponderPtr respond) {
+                  handler.Handle(std::move(frame), std::move(respond));
+                });
+  builder.Start();
+  ASSERT_TRUE(server.Start().ok());
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Unknown term before the write.
+  auto before = client.Search({"xylocarp", 10, 0.0});
+  const bool absent_before =
+      !before.ok() || before->results.empty();
+  EXPECT_TRUE(absent_before);
+
+  MutateRequest request;
+  request.batch.mutations.push_back(mutate::Mutation::AddNode(
+      owner->types.paper, {{"title", "xylocarp indexing methods"}}));
+  auto accepted = client.Mutate(request);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_GT(accepted->sequence, 0u);
+
+  // Acceptance is log-side only; poll until the covering snapshot
+  // publishes and the document becomes visible to readers.
+  ASSERT_TRUE(builder.WaitForSequence(accepted->sequence, 30.0));
+  auto after = client.Search({"xylocarp", 10, 0.0});
+  ASSERT_TRUE(after.ok()) << after.status();
+  ASSERT_FALSE(after->results.empty());
+  EXPECT_EQ(after->results[0].display_label, "xylocarp indexing methods");
+  EXPECT_GT(after->snapshot_version, 1u);
+
+  // A statically invalid batch (unknown edge type — node-id dangling is
+  // an apply-time concern) is rejected at the log with kInvalidArgument
+  // and counted.
+  MutateRequest bad;
+  bad.batch.mutations.push_back(mutate::Mutation::AddEdge(0, 1, 250));
+  auto rejected = client.Mutate(bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(metrics->mutate_accepted, 1u);
+  EXPECT_GE(metrics->mutate_rejected, 1u);
+  EXPECT_GE(metrics->snapshots_published, 1u);
+  EXPECT_GE(metrics->epochs_live, 1u);
+
+  server.Shutdown();
+  builder.Stop();
+  EXPECT_EQ(server.stats().unanswered_frames, 0u);
+  EXPECT_GE(builder.stats().publications, 1u);
 }
 
 }  // namespace

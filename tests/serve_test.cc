@@ -130,7 +130,7 @@ TEST(SearchServiceTest, ConcurrentSubmitsMatchSequentialResults) {
     EXPECT_EQ(response->result.scores, expected.scores) << submitted[i];
     EXPECT_EQ(response->result.top, expected.top) << submitted[i];
   }
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.submitted, futures.size());
   EXPECT_EQ(m.completed, futures.size());
   EXPECT_EQ(m.rejected, 0u);
@@ -160,7 +160,7 @@ TEST(SearchServiceTest, SingleFlightCoalescesIdenticalQueries) {
     follower.options = GatedOptions(*snap, gate);  // identical key
     followers.push_back(service.Submit(std::move(follower)));
   }
-  EXPECT_EQ(service.Metrics().coalesced, static_cast<uint64_t>(kFollowers));
+  EXPECT_EQ(service.Snapshot().coalesced, static_cast<uint64_t>(kFollowers));
 
   gate->Open();
   auto led = leader_future.get();
@@ -172,7 +172,7 @@ TEST(SearchServiceTest, SingleFlightCoalescesIdenticalQueries) {
     EXPECT_TRUE(response->coalesced);
     EXPECT_EQ(response->result.scores, led->result.scores);
   }
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.executed, 1u);  // one power iteration served 7 requests
   EXPECT_EQ(m.coalesced, static_cast<uint64_t>(kFollowers));
   EXPECT_EQ(m.completed, static_cast<uint64_t>(kFollowers) + 1);
@@ -199,12 +199,12 @@ TEST(SearchServiceTest, AdmissionOverflowReturnsUnavailable) {
   ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
             std::future_status::ready);
   EXPECT_EQ(rejected.get().status().code(), StatusCode::kUnavailable);
-  EXPECT_EQ(service.Metrics().rejected, 1u);
+  EXPECT_EQ(service.Snapshot().rejected, 1u);
 
   gate->Open();
   EXPECT_TRUE(running.get().ok());
   EXPECT_TRUE(queued.get().ok());
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.executed, 2u);
   EXPECT_EQ(m.completed, 2u);  // the rejection is not a completion
 }
@@ -218,7 +218,7 @@ TEST(SearchServiceTest, DeadlineExpiredInQueueFailsWithoutExecuting) {
   request.deadline_seconds = 1e-7;  // expired by the time a worker starts
   auto response = service.Search(std::move(request));
   EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(service.Metrics().deadline_exceeded, 1u);
+  EXPECT_EQ(service.Snapshot().deadline_exceeded, 1u);
 }
 
 TEST(SearchServiceTest, MidIterationCancellationSurfacesDeadlineExceeded) {
@@ -236,7 +236,7 @@ TEST(SearchServiceTest, MidIterationCancellationSurfacesDeadlineExceeded) {
   };
   auto response = service.Search(std::move(request));
   EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(service.Metrics().deadline_exceeded, 1u);
+  EXPECT_EQ(service.Snapshot().deadline_exceeded, 1u);
   EXPECT_GE(calls->load(), 3);
 }
 
@@ -265,7 +265,7 @@ TEST(SearchServiceTest, ResultCacheServesRepeatsWithoutExecution) {
   EXPECT_TRUE(b->cache_hit);
   EXPECT_EQ(b->result.scores, a->result.scores);
 
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.executed, 2u);
   EXPECT_EQ(m.cache_hits, 2u);
 }
@@ -284,7 +284,7 @@ TEST(SearchServiceTest, CacheOffExecutesEveryRequest) {
     EXPECT_FALSE(response->cache_hit);
     EXPECT_FALSE(response->coalesced);
   }
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.executed, 3u);
   EXPECT_EQ(m.cache_hits, 0u);
   EXPECT_EQ(m.coalesced, 0u);
@@ -303,7 +303,7 @@ TEST(SearchServiceTest, LruEvictsLeastRecentlyUsedEntry) {
   auto again = service.Search(MakeRequest(terms[0]));       // recompute
   ASSERT_TRUE(again.ok());
   EXPECT_FALSE(again->cache_hit);
-  EXPECT_EQ(service.Metrics().executed, 3u);
+  EXPECT_EQ(service.Snapshot().executed, 3u);
 }
 
 TEST(SearchServiceTest, SearchErrorsPropagateToTheFuture) {
@@ -317,7 +317,7 @@ TEST(SearchServiceTest, SearchErrorsPropagateToTheFuture) {
   bad.options->k = 0;
   EXPECT_EQ(service.Search(std::move(bad)).status().code(),
             StatusCode::kInvalidArgument);
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.failed, 2u);
   EXPECT_EQ(m.deadline_exceeded, 0u);
 }
@@ -348,6 +348,9 @@ TEST(SearchServiceTest, SnapshotSwapMidTrafficIsSeamless) {
 
   SearchService::Options options;
   options.num_threads = 4;
+  // This test requires every post-swap response to be computed on (or
+  // cached from) snapshot 2, so retained stale hits are off.
+  options.result_cache_versions = 1;
   SearchService service(snap1, options);
 
   constexpr int kClients = 4;
@@ -391,8 +394,44 @@ TEST(SearchServiceTest, SnapshotSwapMidTrafficIsSeamless) {
   EXPECT_EQ(service.snapshot_version(), 2u);
   // Everything submitted after the swap ran (or was cached) on v2.
   EXPECT_GE(new_version_responses.load(), kClients * kPerClient / 2);
-  EXPECT_EQ(service.Metrics().completed,
+  EXPECT_EQ(service.Snapshot().completed,
             static_cast<uint64_t>(kClients * kPerClient));
+}
+
+TEST(SearchServiceTest, ResultCacheRetainsRecentVersionsAcrossSwap) {
+  // Two snapshots over the identical dataset: only the version changes,
+  // so a retained stale hit is observable purely via snapshot_version.
+  auto snap1 = MakeDblpSnapshot(200, 21);
+  auto snap2 = MakeDblpSnapshot(200, 21);
+  const std::string term = TopTerms(*snap1->corpus, 1).at(0);
+  SearchService::Options options;  // result_cache_versions = 2 (default)
+  SearchService service(snap1, options);
+
+  auto warm = service.Search(MakeRequest(term));
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_FALSE(warm->cache_hit);
+
+  // One swap: the v1 entry is still inside the retention window and must
+  // keep serving hits, reported against the version it was computed on —
+  // the hit-rate does not fall off a cliff at every publication.
+  service.SwapSnapshot(snap2);
+  auto retained = service.Search(MakeRequest(term));
+  ASSERT_TRUE(retained.ok()) << retained.status();
+  EXPECT_TRUE(retained->cache_hit);
+  EXPECT_EQ(retained->snapshot_version, 1u);
+  EXPECT_EQ(retained->result.scores, warm->result.scores);
+
+  // A second swap slides v1 out of the window; the same query must now
+  // recompute against the current snapshot.
+  service.SwapSnapshot(snap1);
+  auto recomputed = service.Search(MakeRequest(term));
+  ASSERT_TRUE(recomputed.ok()) << recomputed.status();
+  EXPECT_FALSE(recomputed->cache_hit);
+  EXPECT_EQ(recomputed->snapshot_version, 3u);
+
+  const ServeMetrics m = service.Snapshot();
+  EXPECT_EQ(m.executed, 2u);
+  EXPECT_EQ(m.cache_hits, 1u);
 }
 
 TEST(SearchServiceTest, SnapshotAliasingKeepsOwnerAlive) {
@@ -411,7 +450,7 @@ TEST(SearchServiceTest, MetricsReportLatencyAndQps) {
   for (const std::string& t : terms) {
     ASSERT_TRUE(service.Search(MakeRequest(t)).ok());
   }
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.completed, terms.size());
   EXPECT_GT(m.latency_p50, 0.0);
   EXPECT_LE(m.latency_p50, m.latency_p99);
@@ -474,7 +513,7 @@ TEST(SearchServiceTest, SubmitAsyncRejectionRunsCallbackSynchronously) {
                                   StatusCode::kUnavailable);
                       });
   EXPECT_TRUE(ran);  // rejection delivered before SubmitAsync returned
-  EXPECT_EQ(service.Metrics().rejected, 1u);
+  EXPECT_EQ(service.Snapshot().rejected, 1u);
 
   gate->Open();
   EXPECT_TRUE(running.get().ok());
@@ -518,7 +557,7 @@ TEST(SearchServiceTest, SubmitAsyncCoalescedWaitersGetCallbacks) {
     EXPECT_TRUE(response->coalesced);
   }
   EXPECT_EQ(coalesced_callbacks.load(), kFollowers);
-  EXPECT_EQ(service.Metrics().executed, 1u);
+  EXPECT_EQ(service.Snapshot().executed, 1u);
 }
 
 TEST(SearchServiceTest, MetricsSnapshotConsistentUnderLoad) {
@@ -614,7 +653,7 @@ TEST(SearchServiceTest, OversizedThreadRequestsShareOneCacheKey) {
   auto response = service.Search(std::move(second));
   ASSERT_TRUE(response.ok());
   EXPECT_TRUE(response->cache_hit);
-  EXPECT_EQ(service.Metrics().executed, 1u);
+  EXPECT_EQ(service.Snapshot().executed, 1u);
 }
 
 // --- Dynamic micro-batching (docs/batching.md) -----------------------------
@@ -648,7 +687,7 @@ TEST(SearchServiceBatchingTest, WindowFlushesWhenMaxBatchSizeReached) {
   EXPECT_EQ(r1->result.scores, DirectSearch(*snap, terms[0]).scores);
   EXPECT_EQ(r2->result.scores, DirectSearch(*snap, terms[1]).scores);
 
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.batches, 1u);
   EXPECT_EQ(m.batched_queries, 2u);
   EXPECT_EQ(m.batch_occupancy_max, 2u);
@@ -669,7 +708,7 @@ TEST(SearchServiceBatchingTest, WindowFlushesWhenDelayExpires) {
   // The wait for the window shows up as queue time, not compute time.
   EXPECT_GE(response->queue_seconds, 0.04);
 
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.batches, 1u);
   EXPECT_EQ(m.batched_queries, 1u);
 }
@@ -694,7 +733,7 @@ TEST(SearchServiceBatchingTest, QueuedDeadlineExpiryDoesNotAbortTheBatch) {
   EXPECT_EQ(rb->batch_lanes, 1u);  // the expired lane never joined the solve
   EXPECT_EQ(rb->result.scores, DirectSearch(*snap, terms[1]).scores);
 
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.deadline_exceeded, 1u);
   EXPECT_EQ(m.batches, 1u);
   EXPECT_EQ(m.batched_queries, 1u);
@@ -725,7 +764,7 @@ TEST(SearchServiceBatchingTest, MidIterationCancelRetiresOnlyItsLane) {
   EXPECT_EQ(rb->batch_lanes, 2u);  // both lanes entered the solve
   EXPECT_EQ(rb->result.scores, DirectSearch(*snap, terms[1]).scores);
 
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.deadline_exceeded, 1u);
   EXPECT_EQ(m.batches, 1u);
   EXPECT_EQ(m.batched_queries, 2u);
@@ -737,7 +776,11 @@ TEST(SearchServiceBatchingTest, NoCrossBatchingAcrossSnapshotVersions) {
   auto snap1 = MakeDblpSnapshot(200, 16);
   auto snap2 = MakeDblpSnapshot(200, 16);
   const std::string term = TopTerms(*snap1->corpus, 1).at(0);
-  SearchService service(snap1, BatchingOptions(2, /*delay_ms=*/150));
+  SearchService::Options options = BatchingOptions(2, /*delay_ms=*/150);
+  // Cache retention would let the pre-swap result answer the post-swap
+  // submit on a slow machine; this test is about batch-window separation.
+  options.result_cache_versions = 1;
+  SearchService service(snap1, options);
 
   auto f1 = service.Submit(MakeRequest(term));
   service.SwapSnapshot(snap2);
@@ -756,7 +799,7 @@ TEST(SearchServiceBatchingTest, NoCrossBatchingAcrossSnapshotVersions) {
 
   // Each version got its own window: no lane may run against the wrong
   // snapshot even though both windows were open simultaneously.
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.batches, 2u);
   EXPECT_EQ(m.batch_occupancy_max, 1u);
 }
@@ -783,7 +826,7 @@ TEST(SearchServiceBatchingTest, NoCrossBatchingAcrossOptionFingerprints) {
   EXPECT_EQ(r1->batch_lanes, 1u);
   EXPECT_EQ(r2->batch_lanes, 1u);
 
-  const ServeMetrics m = service.Metrics();
+  const ServeMetrics m = service.Snapshot();
   EXPECT_EQ(m.batches, 2u);
   EXPECT_EQ(m.batched_queries, 2u);
   EXPECT_EQ(m.batch_occupancy_max, 1u);

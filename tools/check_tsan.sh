@@ -17,7 +17,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DORX_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test histogram_test logging_test rank_cache_test \
-           concurrent_search_test serve_test spmv_kernel_test \
-           batch_kernel_test
+           concurrent_search_test serve_test net_test mutate_test \
+           epoch_reclaim_test spmv_kernel_test batch_kernel_test
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
 echo "TSan suite passed."

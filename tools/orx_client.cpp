@@ -10,6 +10,12 @@
 //                open-loop (--rate RPS) with a Zipf query mix and optional
 //                connection churn. Accounts for every frame sent: answered,
 //                error frames (admission rejections separately), dropped.
+//                With --write-fraction F, fraction F of sends are kMutate
+//                batches (the server must run --mutate): read and write
+//                latencies are split, the read p99 is tracked per time
+//                window to expose publication-induced cliffs, and the
+//                record lands in BENCH_mutate.json with the server's
+//                write-path counters (snapshots published, epochs live).
 //   bench        per-op latency percentiles over one connection.
 //
 // load and bench append records to BENCH_net_serve.json (shared
@@ -20,6 +26,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -75,6 +82,8 @@ struct ClientFlags {
   double rate = 0.0;    // > 0: open loop at this aggregate RPS
   double churn = 0.0;   // P(reconnect) after a response, per connection
   double drain_grace = 5.0;
+  double write_fraction = 0.0;  // P(a send is a kMutate batch)
+  bool json_path_set = false;   // --json given (else mixed mode retargets)
   // query mix:
   int zipf_terms = 64;
   double zipf_s = 1.0;
@@ -93,6 +102,8 @@ int Usage(const char* argv0) {
       "  load:   --threads N --connections N --duration SEC --pipeline N\n"
       "          --rate RPS (0 = closed loop) --churn P --zipf-terms N\n"
       "          --zipf-s S --k K --seed N --json PATH --drain-grace SEC\n"
+      "          --write-fraction F (mix kMutate sends; server needs\n"
+      "          --mutate; records land in BENCH_mutate.json)\n"
       "  bench:  --iters N --json PATH\n",
       argv0);
   return 2;
@@ -127,6 +138,8 @@ bool ParseFlags(int argc, char** argv, ClientFlags* flags) {
       flags->churn = std::atof(v);
     } else if (arg == "--drain-grace" && (v = value())) {
       flags->drain_grace = std::atof(v);
+    } else if (arg == "--write-fraction" && (v = value())) {
+      flags->write_fraction = std::atof(v);
     } else if (arg == "--zipf-terms" && (v = value())) {
       flags->zipf_terms = std::atoi(v);
     } else if (arg == "--zipf-s" && (v = value())) {
@@ -139,6 +152,7 @@ bool ParseFlags(int argc, char** argv, ClientFlags* flags) {
       flags->iters = std::atoi(v);
     } else if (arg == "--json" && (v = value())) {
       flags->json_path = v;
+      flags->json_path_set = true;
     } else {
       std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
       return false;
@@ -443,6 +457,9 @@ struct LoadCounters {
   uint64_t dropped = 0;
   uint64_t reconnects = 0;
   uint64_t connect_failures = 0;
+  uint64_t writes_sent = 0;
+  uint64_t writes_answered = 0;
+  uint64_t writes_rejected = 0;  // kUnavailable on a kMutate (log full)
 
   void MergeInto(LoadCounters* total) const {
     total->sent += sent;
@@ -452,7 +469,15 @@ struct LoadCounters {
     total->dropped += dropped;
     total->reconnects += reconnects;
     total->connect_failures += connect_failures;
+    total->writes_sent += writes_sent;
+    total->writes_answered += writes_answered;
+    total->writes_rejected += writes_rejected;
   }
+};
+
+struct InflightFrame {
+  Clock::time_point sent;
+  bool is_write = false;
 };
 
 struct LoadConn {
@@ -460,16 +485,35 @@ struct LoadConn {
   std::string outbuf;
   size_t write_pos = 0;
   std::string inbuf;
-  std::unordered_map<uint64_t, Clock::time_point> inflight;
+  std::unordered_map<uint64_t, InflightFrame> inflight;
   uint64_t next_id = 1;
   double next_send = 0.0;  // open-loop schedule, seconds since thread start
+};
+
+/// Node/type handles the mixed mode mutates against. Writes only ever
+/// reference *initial* nodes: RemoveNode is detach-only (dense stable
+/// ids) and the load mode never removes, so ids valid at dataset build
+/// time stay valid on the server no matter how many writes land first.
+struct WritePlan {
+  std::vector<graph::NodeId> papers;
+  std::vector<graph::NodeId> authors;
+  graph::TypeId paper_type = 0;
+  graph::EdgeTypeId cites = 0;
+  graph::EdgeTypeId by = 0;
 };
 
 struct LoadShared {
   const ClientFlags* flags = nullptr;
   const std::vector<std::string>* terms = nullptr;
   const datasets::ZipfSampler* popularity = nullptr;
-  LatencyHistogram* histogram = nullptr;
+  LatencyHistogram* histogram = nullptr;        // reads
+  LatencyHistogram* write_histogram = nullptr;  // kMutate acks
+  /// Read latencies bucketed by send-period time window; a snapshot
+  /// publication that stalls readers shows up as one window's p99
+  /// spiking above the others (the "cliff" the acceptance bar forbids).
+  std::vector<LatencyHistogram>* read_windows = nullptr;
+  double window_seconds = 1.0;
+  const WritePlan* writes = nullptr;  // null = read-only load
   std::latch* ready = nullptr;
 };
 
@@ -527,14 +571,78 @@ void SendSearch(LoadConn* conn, const LoadShared& shared, Rng& rng,
   const uint64_t id = conn->next_id++;
   conn->outbuf += net::EncodeFrame(net::Op::kSearch, id,
                                    net::EncodeSearchRequest(request));
-  conn->inflight.emplace(id, now);
+  conn->inflight.emplace(id, InflightFrame{now, false});
   ++counters->sent;
 }
 
+/// One kMutate batch of 1–3 mutations against the write plan: title
+/// rewrites on existing papers (text + BM25 stats churn), new citation /
+/// authorship edges (authority churn; an occasional exact duplicate is
+/// rejected at apply time, which the rejected-batch accounting absorbs),
+/// and fresh paper nodes built from head terms.
+void SendMutate(LoadConn* conn, const LoadShared& shared, Rng& rng,
+                LoadCounters* counters, Clock::time_point now) {
+  const WritePlan& plan = *shared.writes;
+  const std::vector<std::string>& terms = *shared.terms;
+  auto term = [&]() -> const std::string& {
+    return terms[rng.UniformInt(terms.size())];
+  };
+  auto paper = [&]() -> graph::NodeId {
+    return plan.papers[rng.UniformInt(plan.papers.size())];
+  };
+  net::MutateRequest request;
+  const size_t count = 1 + rng.UniformInt(3);
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.UniformInt(3)) {
+      case 0:
+        request.batch.mutations.push_back(mutate::Mutation::UpdateNodeText(
+            paper(), {{"title", term() + " " + term() + " revised"}}));
+        break;
+      case 1:
+        if (!plan.authors.empty() && rng.UniformInt(2) == 0) {
+          request.batch.mutations.push_back(mutate::Mutation::AddEdge(
+              paper(), plan.authors[rng.UniformInt(plan.authors.size())],
+              plan.by));
+        } else {
+          const size_t a = rng.UniformInt(plan.papers.size());
+          const size_t b =
+              (a + 1 + rng.UniformInt(plan.papers.size() - 1)) %
+              plan.papers.size();
+          request.batch.mutations.push_back(mutate::Mutation::AddEdge(
+              plan.papers[a], plan.papers[b], plan.cites));
+        }
+        break;
+      default:
+        request.batch.mutations.push_back(mutate::Mutation::AddNode(
+            plan.paper_type,
+            {{"title", term() + " " + term() + " " + term()}}));
+        break;
+    }
+  }
+  const uint64_t id = conn->next_id++;
+  conn->outbuf += net::EncodeFrame(net::Op::kMutate, id,
+                                   net::EncodeMutateRequest(request));
+  conn->inflight.emplace(id, InflightFrame{now, true});
+  ++counters->sent;
+  ++counters->writes_sent;
+}
+
+/// Picks read vs write per the configured mix.
+void SendOne(LoadConn* conn, const LoadShared& shared, Rng& rng,
+             LoadCounters* counters, Clock::time_point now) {
+  if (shared.writes != nullptr &&
+      rng.UniformDouble() < shared.flags->write_fraction) {
+    SendMutate(conn, shared, rng, counters, now);
+  } else {
+    SendSearch(conn, shared, rng, counters, now);
+  }
+}
+
 /// Consumes complete frames from the connection's read buffer. Returns
-/// false if framing was lost (the connection must be closed).
+/// false if framing was lost (the connection must be closed). `start` is
+/// the thread's send-period origin, for windowed read latencies.
 bool ParseLoadFrames(LoadConn* conn, const LoadShared& shared,
-                     LoadCounters* counters) {
+                     LoadCounters* counters, Clock::time_point start) {
   size_t pos = 0;
   while (conn->inbuf.size() - pos >= net::kHeaderSize) {
     auto header = net::DecodeHeader(conn->inbuf.data() + pos);
@@ -543,9 +651,24 @@ bool ParseLoadFrames(LoadConn* conn, const LoadShared& shared,
       break;
     }
     const Clock::time_point now = Clock::now();
+    bool is_write = false;
     auto it = conn->inflight.find(header->request_id);
     if (it != conn->inflight.end()) {
-      shared.histogram->Record(Seconds(it->second, now));
+      is_write = it->second.is_write;
+      const double latency = Seconds(it->second.sent, now);
+      if (is_write) {
+        shared.write_histogram->Record(latency);
+        ++counters->writes_answered;
+      } else {
+        shared.histogram->Record(latency);
+        if (shared.read_windows != nullptr && !shared.read_windows->empty()) {
+          const size_t window = std::min(
+              shared.read_windows->size() - 1,
+              static_cast<size_t>(std::max(0.0, Seconds(start, now)) /
+                                  shared.window_seconds));
+          (*shared.read_windows)[window].Record(latency);
+        }
+      }
       conn->inflight.erase(it);
       ++counters->answered;
     }
@@ -556,6 +679,7 @@ bool ParseLoadFrames(LoadConn* conn, const LoadShared& shared,
       auto error = net::DecodeErrorResponse(payload);
       if (error.ok() && error->code == StatusCode::kUnavailable) {
         ++counters->rejected;
+        if (is_write) ++counters->writes_rejected;
       }
     }
     pos += net::kHeaderSize + header->payload_size;
@@ -623,13 +747,13 @@ void RunLoadThread(int thread_index, int num_conns, LoadShared shared,
         // the map without limit — those sends are simply not offered).
         while (conn.next_send <= elapsed &&
                conn.inflight.size() < 4096) {
-          SendSearch(&conn, shared, rng, counters, now);
+          SendOne(&conn, shared, rng, counters, now);
           conn.next_send += interval;
         }
       } else {
         while (conn.inflight.size() <
                static_cast<size_t>(flags.pipeline)) {
-          SendSearch(&conn, shared, rng, counters, now);
+          SendOne(&conn, shared, rng, counters, now);
         }
       }
       if (!FlushConn(&conn)) CloseLoadConn(&conn, counters);
@@ -684,7 +808,7 @@ void RunLoadThread(int thread_index, int num_conns, LoadShared shared,
         dead = true;  // EOF or a hard error
         break;
       }
-      if (!ParseLoadFrames(&conn, shared, counters)) dead = true;
+      if (!ParseLoadFrames(&conn, shared, counters, start)) dead = true;
       if (dead) {
         CloseLoadConn(&conn, counters);
         continue;
@@ -718,6 +842,34 @@ int RunLoad(const ClientFlags& flags) {
   const datasets::ZipfSampler popularity(dataset.head_terms.size(),
                                          flags.zipf_s);
   LatencyHistogram histogram;
+  LatencyHistogram write_histogram;
+
+  const bool mixed = flags.write_fraction > 0.0;
+  WritePlan plan;
+  if (mixed) {
+    const graph::DataGraph& data = dataset.dblp->dataset.data();
+    const datasets::DblpTypes& types = dataset.dblp->types;
+    plan.paper_type = types.paper;
+    plan.cites = types.cites;
+    plan.by = types.by;
+    for (graph::NodeId v = 0;
+         v < static_cast<graph::NodeId>(data.num_nodes()); ++v) {
+      if (data.NodeType(v) == types.paper) {
+        plan.papers.push_back(v);
+      } else if (data.NodeType(v) == types.author) {
+        plan.authors.push_back(v);
+      }
+    }
+    if (plan.papers.size() < 2) {
+      std::fprintf(stderr, "load: dataset too small for a write mix\n");
+      return 1;
+    }
+  }
+  // ~1s read-latency windows across the send period (at least 4 so a
+  // single publication stall can't hide in a lone window's average).
+  const size_t num_windows =
+      std::max<size_t>(4, static_cast<size_t>(flags.duration));
+  std::vector<LatencyHistogram> read_windows(mixed ? num_windows : 0);
 
   const int threads = std::max(1, flags.threads);
   const int connections = std::max(1, flags.connections);
@@ -727,9 +879,14 @@ int RunLoad(const ClientFlags& flags) {
   shared.terms = &dataset.head_terms;
   shared.popularity = &popularity;
   shared.histogram = &histogram;
+  shared.write_histogram = &write_histogram;
+  shared.read_windows = mixed ? &read_windows : nullptr;
+  shared.window_seconds =
+      flags.duration / static_cast<double>(num_windows);
+  shared.writes = mixed ? &plan : nullptr;
   shared.ready = &ready;
 
-  std::printf("load: %d connections on %d threads for %.1fs (%s%s)\n",
+  std::printf("load: %d connections on %d threads for %.1fs (%s%s%s)\n",
               connections, threads, flags.duration,
               flags.rate > 0.0
                   ? ("open loop @ " + FormatDouble(flags.rate, 0) + " rps")
@@ -737,7 +894,11 @@ int RunLoad(const ClientFlags& flags) {
                   : ("closed loop, pipeline " +
                      std::to_string(flags.pipeline))
                         .c_str(),
-              flags.churn > 0.0 ? ", with churn" : "");
+              flags.churn > 0.0 ? ", with churn" : "",
+              mixed ? (", write fraction " +
+                       FormatDouble(flags.write_fraction, 2))
+                          .c_str()
+                    : "");
   std::vector<LoadCounters> per_thread(static_cast<size_t>(threads));
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
@@ -775,8 +936,71 @@ int RunLoad(const ClientFlags& flags) {
               static_cast<unsigned long long>(total.dropped),
               static_cast<unsigned long long>(total.connect_failures));
 
+  // Mixed-mode extras: write-side latencies, the windowed read p99 (a
+  // publication-induced stall spikes one window), and the server's
+  // write-path counters from a final kMetrics call.
+  double write_p50 = 0.0, write_p95 = 0.0, write_p99 = 0.0;
+  double window_p99_max = 0.0, window_p99_min = 0.0;
+  net::MetricsResponse server_metrics;
+  bool have_metrics = false;
+  if (mixed) {
+    write_p50 = write_histogram.Percentile(50) * 1e3;
+    write_p95 = write_histogram.Percentile(95) * 1e3;
+    write_p99 = write_histogram.Percentile(99) * 1e3;
+    bool first = true;
+    for (const LatencyHistogram& w : read_windows) {
+      if (w.TotalCount() == 0) continue;
+      const double wp99 = w.Percentile(99) * 1e3;
+      window_p99_max = first ? wp99 : std::max(window_p99_max, wp99);
+      window_p99_min = first ? wp99 : std::min(window_p99_min, wp99);
+      first = false;
+    }
+    std::printf("write: sent=%llu answered=%llu rejected=%llu "
+                "p50=%.2fms p95=%.2fms p99=%.2fms\n",
+                static_cast<unsigned long long>(total.writes_sent),
+                static_cast<unsigned long long>(total.writes_answered),
+                static_cast<unsigned long long>(total.writes_rejected),
+                write_p50, write_p95, write_p99);
+    std::printf("read p99 by window: min=%.2fms max=%.2fms (overall "
+                "%.2fms across %zu windows)\n",
+                window_p99_min, window_p99_max, p99, read_windows.size());
+
+    net::BlockingClient metrics_client;
+    Status connected = metrics_client.Connect(
+        flags.host, static_cast<uint16_t>(flags.port));
+    if (connected.ok()) {
+      auto response = metrics_client.Metrics();
+      if (response.ok()) {
+        server_metrics = *response;
+        have_metrics = true;
+        std::printf(
+            "server write path: accepted=%llu rejected=%llu queued=%llu "
+            "snapshots_published=%llu epochs_live=%llu rank terms "
+            "reused=%llu refreshed=%llu\n",
+            static_cast<unsigned long long>(server_metrics.mutate_accepted),
+            static_cast<unsigned long long>(server_metrics.mutate_rejected),
+            static_cast<unsigned long long>(server_metrics.mutate_queued),
+            static_cast<unsigned long long>(
+                server_metrics.snapshots_published),
+            static_cast<unsigned long long>(server_metrics.epochs_live),
+            static_cast<unsigned long long>(
+                server_metrics.rank_terms_reused),
+            static_cast<unsigned long long>(
+                server_metrics.rank_terms_refreshed));
+      }
+    }
+    if (!have_metrics) {
+      std::fprintf(stderr,
+                   "load: warning — could not fetch final server metrics\n");
+    }
+  }
+
+  const std::string json_path = (mixed && !flags.json_path_set)
+                                    ? std::string("BENCH_mutate.json")
+                                    : flags.json_path;
   bench::JsonObject record = bench::BenchRecord(
-      "net_serve_load", dataset.description, threads, wall);
+      mixed ? "net_serve_mutate_load" : "net_serve_load",
+      dataset.description, threads, wall);
   record.Add("mode", flags.rate > 0.0 ? "open" : "closed")
       .Add("connections", connections)
       .Add("pipeline", flags.pipeline)
@@ -795,13 +1019,48 @@ int RunLoad(const ClientFlags& flags) {
       .Add("latency_p95_ms", p95)
       .Add("latency_p99_ms", p99)
       .Add("latency_mean_ms", mean);
-  bench::WriteJsonFile(flags.json_path,
-                       bench::JsonArray({record.ToString()}));
+  if (mixed) {
+    record.Add("write_fraction", flags.write_fraction)
+        .Add("writes_sent", static_cast<unsigned long long>(total.writes_sent))
+        .Add("writes_answered",
+             static_cast<unsigned long long>(total.writes_answered))
+        .Add("writes_rejected",
+             static_cast<unsigned long long>(total.writes_rejected))
+        .Add("write_latency_p50_ms", write_p50)
+        .Add("write_latency_p95_ms", write_p95)
+        .Add("write_latency_p99_ms", write_p99)
+        .Add("read_p99_window_min_ms", window_p99_min)
+        .Add("read_p99_window_max_ms", window_p99_max)
+        .Add("read_windows", read_windows.size())
+        .Add("mutate_accepted",
+             static_cast<unsigned long long>(server_metrics.mutate_accepted))
+        .Add("mutate_rejected",
+             static_cast<unsigned long long>(server_metrics.mutate_rejected))
+        .Add("snapshots_published",
+             static_cast<unsigned long long>(
+                 server_metrics.snapshots_published))
+        .Add("epochs_live",
+             static_cast<unsigned long long>(server_metrics.epochs_live))
+        .Add("rank_terms_reused",
+             static_cast<unsigned long long>(
+                 server_metrics.rank_terms_reused))
+        .Add("rank_terms_refreshed",
+             static_cast<unsigned long long>(
+                 server_metrics.rank_terms_refreshed));
+  }
+  bench::WriteJsonFile(json_path, bench::JsonArray({record.ToString()}));
 
   if (total.dropped > 0) {
     std::fprintf(stderr,
                  "load: FAIL — %llu sent frames were never answered\n",
                  static_cast<unsigned long long>(total.dropped));
+    return 1;
+  }
+  if (mixed && have_metrics && total.writes_sent > 0 &&
+      server_metrics.snapshots_published == 0) {
+    std::fprintf(stderr,
+                 "load: FAIL — writes were accepted but no snapshot was "
+                 "ever published (builder not running?)\n");
     return 1;
   }
   std::printf("load: PASS — every sent frame was answered\n");

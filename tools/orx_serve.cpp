@@ -13,11 +13,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/timer.h"
 #include "dataset_spec.h"
+#include "mutate/delta_log.h"
+#include "mutate/epoch.h"
+#include "mutate/snapshot_builder.h"
 #include "net/net_util.h"
 #include "net/serve_handler.h"
 #include "net/server.h"
@@ -38,6 +42,9 @@ struct ServeFlags {
   size_t batch = 1;          // micro-batch size; <= 1 = off
   double idle_timeout = 300.0;
   double drain_timeout = 5.0;
+  bool mutate = false;         // enable the write path (kMutate op)
+  size_t log_capacity = 1024;  // delta-log bound before kUnavailable
+  size_t max_live_epochs = 8;  // publish backpressure bound
 };
 
 int Usage(const char* argv0) {
@@ -46,10 +53,13 @@ int Usage(const char* argv0) {
       "usage: %s [--host H] [--port P] [--scale S] [--workers N]\n"
       "          [--threads N] [--max-pending N] [--cache-entries N]\n"
       "          [--batch N] [--idle-timeout SEC] [--drain-timeout SEC]\n"
+      "          [--mutate] [--log-capacity N] [--max-live-epochs N]\n"
       "Serves the ORXN protocol (search/explain/reformulate/validate/\n"
       "metrics/ping) over a generated DBLP dataset. --port 0 picks an\n"
-      "ephemeral port (printed on the 'listening' line). Runs until\n"
-      "SIGTERM/SIGINT, then drains.\n",
+      "ephemeral port (printed on the 'listening' line). --mutate enables\n"
+      "the write path: kMutate frames append to a delta log consumed by a\n"
+      "background snapshot builder (without it the server is read-only).\n"
+      "Runs until SIGTERM/SIGINT, then drains.\n",
       argv0);
   return 2;
 }
@@ -81,6 +91,12 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->idle_timeout = std::atof(v);
     } else if (arg == "--drain-timeout" && (v = value())) {
       flags->drain_timeout = std::atof(v);
+    } else if (arg == "--mutate") {
+      flags->mutate = true;
+    } else if (arg == "--log-capacity" && (v = value())) {
+      flags->log_capacity = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--max-live-epochs" && (v = value())) {
+      flags->max_live_epochs = static_cast<size_t>(std::atoi(v));
     } else {
       std::fprintf(stderr, "unknown or valueless flag: %s\n", arg.c_str());
       return false;
@@ -120,6 +136,34 @@ int main(int argc, char** argv) {
   serve::SearchService service(dataset.snapshot, service_options);
   net::ServeHandler handler(&service);
 
+  // Write path: the delta log feeds a background snapshot builder that
+  // publishes through the service's hot-swap under epoch accounting. The
+  // dblp owner (and with it the schema) outlives everything below.
+  std::unique_ptr<mutate::DeltaLog> delta_log;
+  std::unique_ptr<mutate::EpochManager> epochs;
+  std::unique_ptr<mutate::SnapshotBuilder> builder;
+  if (flags.mutate) {
+    mutate::DeltaLog::Options log_options;
+    log_options.capacity = flags.log_capacity;
+    delta_log = std::make_unique<mutate::DeltaLog>(
+        dataset.dblp->dataset.schema(), log_options);
+    epochs = std::make_unique<mutate::EpochManager>();
+    mutate::SnapshotBuilder::Options builder_options;
+    builder_options.max_live_epochs = flags.max_live_epochs;
+    builder = std::make_unique<mutate::SnapshotBuilder>(
+        &service, delta_log.get(), epochs.get(), dataset.snapshot,
+        builder_options);
+    builder->Start();
+    net::ServeHandler::MutationHooks hooks;
+    hooks.log = delta_log.get();
+    hooks.epochs = epochs.get();
+    hooks.builder = builder.get();
+    handler.set_mutation_hooks(hooks);
+    std::printf("orx_serve: write path on (log capacity=%zu, "
+                "max live epochs=%zu)\n",
+                flags.log_capacity, flags.max_live_epochs);
+  }
+
   net::ServerOptions server_options;
   server_options.host = flags.host;
   server_options.port = flags.port;
@@ -147,6 +191,29 @@ int main(int argc, char** argv) {
               strsignal(signal_number));
   std::fflush(stdout);
   server.Shutdown();
+  if (builder != nullptr) {
+    // The server answered its last frame; drain the log so every
+    // acknowledged batch reaches a published snapshot before exit.
+    builder->Stop();
+    const mutate::SnapshotBuilder::Stats b = builder->stats();
+    const mutate::DeltaLog::Stats l = delta_log->stats();
+    std::printf(
+        "orx_serve: write path drained. batches applied=%llu rejected=%llu "
+        "mutations=%llu publications=%llu corpus_rebuilds=%llu | rank terms "
+        "reused=%llu refreshed=%llu full_rebuilds=%llu | log appended=%llu "
+        "rejected=%llu | epochs live=%llu\n",
+        static_cast<unsigned long long>(b.batches_applied),
+        static_cast<unsigned long long>(b.batches_rejected),
+        static_cast<unsigned long long>(b.mutations_applied),
+        static_cast<unsigned long long>(b.publications),
+        static_cast<unsigned long long>(b.corpus_rebuilds),
+        static_cast<unsigned long long>(b.terms_reused),
+        static_cast<unsigned long long>(b.terms_refreshed),
+        static_cast<unsigned long long>(b.cache_full_rebuilds),
+        static_cast<unsigned long long>(l.appended),
+        static_cast<unsigned long long>(l.rejected),
+        static_cast<unsigned long long>(epochs->live()));
+  }
 
   const net::ServerStats stats = server.stats();
   const serve::ServeMetrics metrics = service.Snapshot();
