@@ -192,11 +192,12 @@ int main() {
         .Add("lane_edges_per_second", run.lane_edges_per_second);
     rendered.push_back(record.ToString());
   }
-  bench::JsonObject json = bench::BenchRecord("batch", "dblp-synthetic",
-                                              /*threads=*/8, total_wall);
+  bench::JsonObject json = bench::BenchRecord(
+      "batch",
+      bench::BenchDataset{"dblp-synthetic", nodes,
+                          static_cast<size_t>(edges)},
+      /*threads=*/8, total_wall);
   json.Add("papers", static_cast<unsigned long long>(papers))
-      .Add("nodes", nodes)
-      .Add("edges", static_cast<unsigned long long>(edges))
       .Add("iterations_per_solve", kIterationsPerSolve)
       .Add("speedup_b8_1t", speedup_1t)
       .Add("speedup_b8_8t", speedup_8t)

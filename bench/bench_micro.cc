@@ -189,8 +189,11 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  // Micro benchmarks sweep many generated graphs; nodes/edges stay 0
+  // ("not applicable") in the shared header.
   bench::JsonObject json = bench::BenchRecord(
-      "micro", "dblp-synthetic", /*threads=*/1, timer.ElapsedSeconds());
+      "micro", bench::BenchDataset{"dblp-synthetic"}, /*threads=*/1,
+      timer.ElapsedSeconds());
   json.AddRaw("benchmarks", bench::JsonArray(reporter.rendered()));
   bench::WriteJsonFile("BENCH_micro.json", json.ToString());
   return 0;

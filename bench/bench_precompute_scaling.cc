@@ -55,13 +55,13 @@ int main() {
   }
 
   core::RankCache::Options options;
-  const std::string dataset_desc =
-      std::to_string(dblp.dataset.data().num_nodes()) + " nodes, " +
-      std::to_string(dblp.dataset.authority().num_edges()) + " edges";
+  const bench::BenchDataset dataset_info{
+      "dblp-top-synthetic", dblp.dataset.data().num_nodes(),
+      dblp.dataset.authority().num_edges()};
   auto record_point = [&](int threads,
                           const core::RankCache::BuildStats& stats) {
     bench::JsonObject record = bench::BenchRecord(
-        "precompute_scaling", dataset_desc, threads, stats.wall_seconds);
+        "precompute_scaling", dataset_info, threads, stats.wall_seconds);
     record.Add("terms_built", stats.terms_built)
         .Add("total_iterations", stats.total_iterations)
         .Add("term_seconds_p50", stats.term_seconds_p50)

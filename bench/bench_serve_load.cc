@@ -52,10 +52,11 @@ int main() {
       serve::SnapshotFromOwner(dblp, dblp->dataset.data(),
                                dblp->dataset.authority(),
                                dblp->dataset.corpus(), rates));
-  const std::string dataset_desc =
-      std::to_string(dblp->dataset.data().num_nodes()) + " nodes, " +
-      std::to_string(dblp->dataset.authority().num_edges()) + " edges";
-  std::printf("dataset: %s\n\n", dataset_desc.c_str());
+  const bench::BenchDataset dataset_info{
+      "dblp-top-synthetic", dblp->dataset.data().num_nodes(),
+      dblp->dataset.authority().num_edges()};
+  std::printf("dataset: %zu nodes, %zu edges\n\n", dataset_info.nodes,
+              dataset_info.edges);
 
   // Query mix: the most frequent title terms under a Zipf(1.0) popularity
   // — rank 0 is ~40%% of the traffic, matching real query logs far better
@@ -155,7 +156,7 @@ int main() {
                   FormatDouble(p.metrics.latency_p99 * 1e3, 2),
                   FormatDouble(p.metrics.latency_mean * 1e3, 2)});
     bench::JsonObject record = bench::BenchRecord(
-        "serve_load", dataset_desc,
+        "serve_load", dataset_info,
         static_cast<int>(ThreadPool::HardwareThreads()), p.wall_seconds);
     record.Add("config", p.config)
         .Add("clients", p.clients)

@@ -140,11 +140,12 @@ int main() {
         .Add("iterations_per_second", run.iterations_per_second);
     rendered.push_back(record.ToString());
   }
-  bench::JsonObject json =
-      bench::BenchRecord("spmv", "dblp-synthetic", /*threads=*/8, total_wall);
+  bench::JsonObject json = bench::BenchRecord(
+      "spmv",
+      bench::BenchDataset{"dblp-synthetic", nodes,
+                          static_cast<size_t>(edges)},
+      /*threads=*/8, total_wall);
   json.Add("papers", static_cast<unsigned long long>(papers))
-      .Add("nodes", nodes)
-      .Add("edges", static_cast<unsigned long long>(edges))
       .Add("iterations_per_solve", kIterationsPerSolve)
       .Add("speedup_1t", speedup_1t)
       .Add("speedup_8t", speedup_8t)

@@ -9,6 +9,13 @@
 #include "eval/metrics.h"
 #include "text/query.h"
 
+// Build-time provenance stamp (bench/git_stamp.cmake via the
+// orx_git_stamp custom target). Guarded so bench_util.cc still compiles
+// standalone (IDEs, external build systems) without the generated header.
+#ifdef ORX_HAVE_GIT_STAMP
+#include "orx_git_stamp.h"
+#endif
+
 namespace orx::bench {
 namespace {
 
@@ -322,6 +329,14 @@ std::string JsonArray(const std::vector<std::string>& rendered_elements) {
   return out;
 }
 
+std::string GitHead() {
+#ifdef ORX_GIT_HEAD
+  return ORX_GIT_HEAD;
+#else
+  return "unknown";
+#endif
+}
+
 std::string GitDescribe() {
 #ifdef ORX_GIT_DESCRIBE
   return ORX_GIT_DESCRIBE;
@@ -330,12 +345,28 @@ std::string GitDescribe() {
 #endif
 }
 
-JsonObject BenchRecord(const std::string& bench, const std::string& dataset,
+bool GitDirty() {
+#ifdef ORX_GIT_DIRTY
+  return ORX_GIT_DIRTY != 0;
+#else
+  return false;
+#endif
+}
+
+JsonObject BenchRecord(const std::string& bench, const BenchDataset& dataset,
                        int threads, double wall_seconds) {
+  JsonObject git;
+  git.Add("head", GitHead())
+      .Add("describe", GitDescribe())
+      .Add("dirty", GitDirty());
+  JsonObject ds;
+  ds.Add("name", dataset.name)
+      .Add("nodes", dataset.nodes)
+      .Add("edges", dataset.edges);
   JsonObject record;
   record.Add("bench", bench)
-      .Add("git", GitDescribe())
-      .Add("dataset", dataset)
+      .AddRaw("git", git.ToString())
+      .AddRaw("dataset", ds.ToString())
       .Add("threads", threads)
       .Add("wall_seconds", wall_seconds);
   return record;

@@ -108,15 +108,37 @@ class JsonObject {
 /// Renders a JSON array from pre-rendered element strings.
 std::string JsonArray(const std::vector<std::string>& rendered_elements);
 
-/// `git describe --always --dirty` of the built tree, baked in at
-/// configure time (ORX_GIT_DESCRIBE); "unknown" outside a git checkout.
+/// Full commit sha of HEAD, stamped at *build* time (bench/git_stamp.cmake
+/// regenerates the stamp header on every build, so it tracks the tree that
+/// was actually compiled); "unknown" outside a git checkout.
+std::string GitHead();
+
+/// `git describe --always --dirty` of the built tree, stamped at build
+/// time; "unknown" outside a git checkout.
 std::string GitDescribe();
+
+/// True iff the working tree had uncommitted tracked changes when the
+/// bench library was built — artifacts from dirty trees aren't
+/// reproducible from the recorded HEAD and must be flagged as such.
+bool GitDirty();
+
+/// Identifies the dataset a benchmark ran against. Rendered as a
+/// structured {"name": ..., "nodes": N, "edges": M} object so artifact
+/// consumers can filter/normalize by size without parsing free-form
+/// description strings. nodes/edges of 0 mean "not applicable" (e.g.
+/// micro benchmarks that sweep many datasets).
+struct BenchDataset {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+};
 
 /// The shared header every BENCH_*.json record carries, so the artifacts
 /// of different bench binaries are uniformly parseable:
-/// {bench, git, dataset, threads, wall_seconds, ...}. Callers append
-/// their bench-specific fields to the returned builder.
-JsonObject BenchRecord(const std::string& bench, const std::string& dataset,
+/// {bench, git:{head,describe,dirty}, dataset:{name,nodes,edges},
+///  threads, wall_seconds, ...}. Callers append their bench-specific
+/// fields to the returned builder.
+JsonObject BenchRecord(const std::string& bench, const BenchDataset& dataset,
                        int threads, double wall_seconds);
 
 /// Writes `content` (+ trailing newline) to `path`; prints a warning and

@@ -20,6 +20,7 @@
 #include "datasets/figure1.h"
 #include "graph/transfer_rates.h"
 #include "io/dataset_io.h"
+#include "io/snapshot_io.h"
 #include "net/frame.h"
 
 namespace {
@@ -53,6 +54,15 @@ int main(int argc, char** argv) {
       fig.dataset.authority(), fig.dataset.corpus(), rates,
       {"olap", "data", "cube"}, orx::core::RankCache::Options{});
   ORX_CHECK_OK(cache.Save((root / "rank_cache" / "figure1.orxc").string()));
+
+  // Mmap-container seeds ("ORXD2"/"ORXC2"): valid containers from the
+  // same dataset, so the container fuzzer's mutations start from inputs
+  // that pass every structural check.
+  std::filesystem::create_directories(root / "container");
+  ORX_CHECK_OK(orx::io::WriteDatasetContainer(
+      fig.dataset, rates, (root / "container" / "figure1.orxd2").string()));
+  ORX_CHECK_OK(orx::io::WriteRankCacheContainer(
+      cache, (root / "container" / "figure1.orxc2").string()));
 
   // ORXN wire-protocol seeds: one representative frame per op so the
   // net_frame fuzzer starts from structurally valid inputs.

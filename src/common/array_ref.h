@@ -1,0 +1,90 @@
+#ifndef ORX_COMMON_ARRAY_REF_H_
+#define ORX_COMMON_ARRAY_REF_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace orx {
+
+/// An array that either *owns* its elements (std::vector) or *borrows*
+/// them from external storage it keeps alive (typically an mmap'd
+/// container file — see io/container.h). The zero-copy snapshot path
+/// threads ArrayRef through every large index structure (DataGraph
+/// edges, AuthorityGraph CSR, SELL slices, fused weights, RankCache
+/// score vectors): loading a dataset then aliases file-backed pages
+/// instead of deserializing, while every in-memory construction path
+/// keeps building plain vectors and assigning them in.
+///
+/// Reads branch once on the mode and are otherwise identical to a
+/// vector. Mutation goes through mut(), which materializes a borrowed
+/// array into an owned copy first (copy-on-write): the live-mutation
+/// path (src/mutate/) can therefore edit a graph whose baseline came
+/// from an mmap without ever writing to the mapping (which is
+/// MAP_PRIVATE read-only).
+///
+/// Copying an owned ArrayRef deep-copies the vector; copying a borrowed
+/// one shares the borrow (and the keepalive) — borrowed storage is
+/// immutable, so sharing is safe and keeps snapshot copies cheap.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+  /*implicit*/ ArrayRef(std::vector<T> v) : owned_(std::move(v)) {}
+  ArrayRef& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    view_ = {};
+    keepalive_.reset();
+    borrowed_ = false;
+    return *this;
+  }
+
+  /// Wraps external storage. `keepalive` owns (transitively) the memory
+  /// `view` points into and is held for the life of this ArrayRef.
+  static ArrayRef Borrowed(std::span<const T> view,
+                           std::shared_ptr<const void> keepalive) {
+    ArrayRef r;
+    r.view_ = view;
+    r.keepalive_ = std::move(keepalive);
+    r.borrowed_ = true;
+    return r;
+  }
+
+  bool borrowed() const { return borrowed_; }
+
+  const T* data() const { return borrowed_ ? view_.data() : owned_.data(); }
+  size_t size() const { return borrowed_ ? view_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T& front() const { return data()[0]; }
+  const T& back() const { return data()[size() - 1]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  std::span<const T> span() const { return {data(), size()}; }
+  /*implicit*/ operator std::span<const T>() const { return span(); }
+
+  /// Mutable access to the elements as a vector. If the array is
+  /// borrowed, the elements are copied into owned storage first and the
+  /// borrow (with its keepalive) is released.
+  std::vector<T>& mut() {
+    if (borrowed_) {
+      owned_.assign(view_.begin(), view_.end());
+      view_ = {};
+      keepalive_.reset();
+      borrowed_ = false;
+    }
+    return owned_;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  std::shared_ptr<const void> keepalive_;
+  bool borrowed_ = false;
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_ARRAY_REF_H_

@@ -1,0 +1,85 @@
+#ifndef ORX_COMMON_NUMA_H_
+#define ORX_COMMON_NUMA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orx {
+
+/// CPU/memory topology for NUMA-aware scheduling, read once from
+/// /sys/devices/system/node (no libnuma dependency). On machines without
+/// that sysfs tree — or with it disabled — the topology degrades to one
+/// node holding every CPU, and all the placement machinery below becomes
+/// a no-op: callers never need to special-case UMA boxes.
+struct NumaTopology {
+  /// node_cpus[n] is the sorted list of CPU ids on NUMA node n. Always
+  /// holds at least one node with at least one CPU.
+  std::vector<std::vector<int>> node_cpus;
+
+  size_t num_nodes() const { return node_cpus.size(); }
+  size_t num_cpus() const;
+
+  /// The node owning `cpu`, or 0 if the cpu is not listed.
+  int NodeOfCpu(int cpu) const;
+
+  std::string ToString() const;
+};
+
+/// Parses one sysfs cpulist ("0-3,8,10-11") into CPU ids. Malformed
+/// ranges are skipped, not errors — sysfs is trusted but this keeps the
+/// parser total. Exposed for tests.
+std::vector<int> ParseCpuList(std::string_view list);
+
+/// The machine's topology, detected once per process and cached.
+const NumaTopology& Topology();
+
+/// The NUMA node worker `worker` of `num_workers` should run on:
+/// contiguous worker blocks per node (workers [0, k) on node 0, [k, 2k)
+/// on node 1, ...), so a BalancedPartition handed out in worker order
+/// keeps each partition's slice of the SELL structure on the socket that
+/// first touched — and therefore owns — its pages.
+int NodeForWorker(size_t worker, size_t num_workers,
+                  const NumaTopology& topology);
+
+/// Pins the calling thread to the CPUs of `node`. Returns false (and
+/// changes nothing) if the node is unknown, the platform call fails, or
+/// the topology has a single node (pinning would only hurt the
+/// scheduler). Best-effort by design: NUMA placement is a performance
+/// hint, never a correctness requirement.
+bool PinCurrentThreadToNode(int node);
+
+/// Allocates `bytes` of 64-byte-aligned storage whose pages are
+/// first-touched (zeroed) in parallel from threads pinned across the
+/// NUMA nodes, in the same contiguous node-major blocks NodeForWorker
+/// hands to pool workers: byte range b of node n is the range worker
+/// block n processes, so an edge-balanced partition streaming range b
+/// reads node-local memory. On a single-node topology the buffer is
+/// zeroed inline. The returned pointer owns the storage; callers wrap it
+/// in ArrayRef::Borrowed with this as the keepalive.
+std::shared_ptr<void> AllocateFirstTouch(size_t bytes);
+
+/// RAII pin: pins the calling thread to `node` on construction and
+/// restores the previous affinity mask on destruction. `active()` says
+/// whether the pin actually took effect.
+class ScopedNodeAffinity {
+ public:
+  explicit ScopedNodeAffinity(int node);
+  ~ScopedNodeAffinity();
+
+  ScopedNodeAffinity(const ScopedNodeAffinity&) = delete;
+  ScopedNodeAffinity& operator=(const ScopedNodeAffinity&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  // Opaque saved cpu_set_t storage (avoids leaking <sched.h> here).
+  alignas(8) unsigned char saved_mask_[128];
+};
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_NUMA_H_

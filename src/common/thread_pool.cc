@@ -6,11 +6,17 @@
 
 namespace orx {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(num_threads, WorkerStartFn()) {}
+
+ThreadPool::ThreadPool(size_t num_threads, WorkerStartFn on_worker_start) {
   if (num_threads == 0) num_threads = HardwareThreads();
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i, on_worker_start] {
+      if (on_worker_start) on_worker_start(i);
+      WorkerLoop();
+    });
   }
 }
 

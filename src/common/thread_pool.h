@@ -22,8 +22,17 @@ namespace orx {
 /// after Wait() returns.
 class ThreadPool {
  public:
+  /// Runs once on each worker thread right after it starts, with the
+  /// worker's index in [0, num_threads). Used for thread-affinity setup
+  /// (NUMA node pinning, see common/numa.h) before any task runs.
+  using WorkerStartFn = std::function<void(size_t worker_index)>;
+
   /// Spawns `num_threads` workers; 0 means HardwareThreads().
   explicit ThreadPool(size_t num_threads);
+
+  /// Same, with a per-worker startup hook. The constructor does not wait
+  /// for the hooks; they are ordered before any task that worker runs.
+  ThreadPool(size_t num_threads, WorkerStartFn on_worker_start);
 
   /// Drains outstanding tasks (Wait), then joins the workers.
   ~ThreadPool();

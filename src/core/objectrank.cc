@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/numa.h"
 #include "common/thread_pool.h"
 
 namespace orx::core {
@@ -26,9 +27,24 @@ constexpr size_t kPushDensityDenom = 8;
 // by every engine. Sized one below the hardware thread count because the
 // caller executes the first partition itself. Intentionally leaked so
 // exiting threads never race static destruction.
+//
+// On multi-socket machines each worker is pinned to a NUMA node at
+// spawn, in contiguous node-major blocks (common/numa.h). Worker t runs
+// partition t + 1 of the edge-balanced SELL partition (the caller keeps
+// partition 0), so consecutive partitions — covering consecutive chunk
+// ranges of the structure — execute on the same socket across every
+// pass: the pages a partition streams are always re-read by the node
+// whose first touch placed them. Single-node topologies skip the pin.
 ThreadPool& SpmvPool() {
   static ThreadPool* pool = new ThreadPool(
-      std::max<size_t>(1, ThreadPool::HardwareThreads() - 1));
+      std::max<size_t>(1, ThreadPool::HardwareThreads() - 1),
+      [](size_t worker) {
+        const NumaTopology& topo = Topology();
+        if (topo.num_nodes() <= 1) return;
+        const size_t total = std::max<size_t>(
+            2, ThreadPool::HardwareThreads());  // workers + the caller
+        PinCurrentThreadToNode(NodeForWorker(worker + 1, total, topo));
+      });
   return *pool;
 }
 

@@ -205,6 +205,67 @@ RankCache RankCache::BuildForTerms(const graph::AuthorityGraph& graph,
   return cache;
 }
 
+StatusOr<RankCache> RankCache::FromParts(
+    size_t num_nodes, uint64_t rates_fingerprint,
+    const text::Bm25Params& bm25, std::span<const char> term_heap,
+    std::span<const uint64_t> term_offsets, std::span<const double> masses,
+    std::span<const float> scores, std::shared_ptr<const void> keepalive) {
+  if (term_offsets.empty() || term_offsets.size() - 1 != masses.size()) {
+    return DataLossError("rank cache section shapes are inconsistent");
+  }
+  const size_t num_terms = masses.size();
+  if (term_offsets.front() != 0 || term_offsets.back() != term_heap.size()) {
+    return DataLossError("rank cache term offsets do not cover the heap");
+  }
+  if (scores.size() != num_terms * num_nodes) {
+    return DataLossError("rank cache score matrix is not terms x nodes");
+  }
+  RankCache cache;
+  cache.num_nodes_ = num_nodes;
+  cache.rates_fingerprint_ = rates_fingerprint;
+  cache.bm25_ = bm25;
+  cache.entries_.reserve(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    if (term_offsets[t] > term_offsets[t + 1]) {
+      return DataLossError("rank cache term offsets are not monotonic");
+    }
+    std::string term(term_heap.data() + term_offsets[t],
+                     static_cast<size_t>(term_offsets[t + 1] -
+                                         term_offsets[t]));
+    if (term.empty()) {
+      return DataLossError("empty rank cache term at index " +
+                           std::to_string(t));
+    }
+    Entry entry;
+    entry.mass = masses[t];
+    entry.scores = ArrayRef<float>::Borrowed(
+        scores.subspan(t * num_nodes, num_nodes), keepalive);
+    if (!cache.entries_.emplace(std::move(term), std::move(entry)).second) {
+      return DataLossError("duplicate rank cache term at index " +
+                           std::to_string(t));
+    }
+  }
+  return cache;
+}
+
+RankCache::PackedEntries RankCache::PackEntries() const {
+  PackedEntries out;
+  const std::vector<std::string> terms = Terms();
+  out.offsets.reserve(terms.size() + 1);
+  out.offsets.push_back(0);
+  out.masses.reserve(terms.size());
+  out.scores.reserve(terms.size() * num_nodes_);
+  for (const std::string& term : terms) {
+    const Entry& entry = entries_.at(term);
+    out.heap += term;
+    out.offsets.push_back(out.heap.size());
+    out.masses.push_back(entry.mass);
+    out.scores.insert(out.scores.end(), entry.scores.begin(),
+                      entry.scores.end());
+  }
+  return out;
+}
+
 std::vector<std::string> RankCache::Terms() const {
   std::vector<std::string> terms;
   terms.reserve(entries_.size());
@@ -217,7 +278,7 @@ bool RankCache::TermTouchesRegion(const std::string& term,
                                   std::span<const uint8_t> dirty) const {
   auto it = entries_.find(term);
   if (it == entries_.end()) return false;
-  const std::vector<float>& scores = it->second.scores;
+  const std::span<const float> scores = it->second.scores;
   const size_t n = std::min(scores.size(), dirty.size());
   for (size_t v = 0; v < n; ++v) {
     if (dirty[v] != 0 && scores[v] > 0.0f) return true;
@@ -306,7 +367,7 @@ RankCache RankCache::IncrementalBuild(
     const std::vector<double>* warm_ptr = nullptr;
     auto prev_it = previous.entries_.find(unique[i]);
     if (prev_it != previous.entries_.end()) {
-      const std::vector<float>& prev_scores = prev_it->second.scores;
+      const std::span<const float> prev_scores = prev_it->second.scores;
       warm.assign(prev_scores.begin(), prev_scores.end());
       warm.resize(graph.num_nodes(), 0.0);
       warm_ptr = &warm;
@@ -399,7 +460,7 @@ StatusOr<RankCache::QueryResult> RankCache::Query(
   result.scores.assign(num_nodes_, 0.0);
   for (const Part& part : parts) {
     const double c = part.coefficient / total;
-    const std::vector<float>& r = part.entry->scores;
+    const std::span<const float> r = part.entry->scores;
     ORX_CHECK_EQ(r.size(), num_nodes_);
     for (size_t v = 0; v < num_nodes_; ++v) {
       result.scores[v] += c * static_cast<double>(r[v]);
@@ -519,8 +580,10 @@ StatusOr<RankCache> RankCache::Deserialize(std::istream& in) {
     // ReadFloatArray grows the vector chunk-by-chunk, so a truncated
     // stream fails early instead of committing num_nodes * 4 bytes up
     // front on the corrupt file's say-so.
+    std::vector<float> scores;
     ORX_RETURN_IF_ERROR(
-        reader.ReadFloatArray(&entry.scores, num_nodes, "score vector"));
+        reader.ReadFloatArray(&scores, num_nodes, "score vector"));
+    entry.scores = std::move(scores);
     if (!cache.entries_.emplace(std::move(term), std::move(entry)).second) {
       return DataLossError("duplicate rank cache term at byte " +
                            std::to_string(reader.offset()));

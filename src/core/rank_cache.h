@@ -2,12 +2,14 @@
 #define ORX_CORE_RANK_CACHE_H_
 
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/status.h"
 #include "core/objectrank.h"
 #include "graph/authority_graph.h"
@@ -104,6 +106,30 @@ class RankCache {
                          const graph::TransferRates& rates,
                          const Options& options,
                          BuildStats* stats = nullptr);
+
+  /// Wraps precomputed per-term vectors zero-copy (the ORXC2 mmap path):
+  /// term t's string is term_heap[term_offsets[t], term_offsets[t+1]),
+  /// its mass masses[t], and its scores the float subspan
+  /// scores[t * num_nodes, (t+1) * num_nodes). The term strings and hash
+  /// map are rebuilt owned (small); the score matrix — the dominant
+  /// payload — stays file-backed. Checks shapes and heap coverage; the
+  /// per-score finiteness check is ValidateInvariants(), which deep
+  /// validation runs in full.
+  static StatusOr<RankCache> FromParts(
+      size_t num_nodes, uint64_t rates_fingerprint,
+      const text::Bm25Params& bm25, std::span<const char> term_heap,
+      std::span<const uint64_t> term_offsets, std::span<const double> masses,
+      std::span<const float> scores, std::shared_ptr<const void> keepalive);
+
+  /// The entry table flattened for the ORXC2 container writer, in sorted
+  /// term order (the same deterministic order Serialize uses).
+  struct PackedEntries {
+    std::vector<uint64_t> offsets;
+    std::string heap;
+    std::vector<double> masses;
+    std::vector<float> scores;
+  };
+  PackedEntries PackEntries() const;
 
   /// Like Build but only for the given terms (normalized forms).
   static RankCache BuildForTerms(const graph::AuthorityGraph& graph,
@@ -239,8 +265,10 @@ class RankCache {
   struct Entry {
     /// Unnormalized IR mass Z_t of the term's base set.
     double mass = 0.0;
-    /// r_t, stored as float (half the memory; combination runs in double).
-    std::vector<float> scores;
+    /// r_t, stored as float (half the memory; combination runs in
+    /// double). Owned by builds/Deserialize; a borrowed slice of the
+    /// mmap-backed score matrix on the FromParts path.
+    ArrayRef<float> scores;
   };
 
   RankCache() = default;

@@ -90,7 +90,9 @@ std::unique_ptr<graph::DataGraph> InducedSubgraph(
   for (graph::NodeId v = 0; v < n; ++v) {
     if (!keep[v]) continue;
     std::vector<graph::Attribute> attrs;
-    for (const graph::Attribute& a : data.Attributes(v)) attrs.push_back(a);
+    for (const graph::AttributeView a : data.Attributes(v)) {
+      attrs.push_back({std::string(a.name), std::string(a.value)});
+    }
     auto added = out->AddNode(data.NodeType(v), std::move(attrs));
     ORX_CHECK_OK(added);
     remap[v] = *added;

@@ -1,6 +1,7 @@
 #include "datasets/dblp_generator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -38,6 +39,19 @@ DblpGeneratorConfig DblpGeneratorConfig::DblpComplete() {
   config.years_per_conference = 12;
   config.avg_citations = 4.8;  // tuned to Table 1's ~4.17 M edges
   config.seed = 20080407;
+  return config;
+}
+
+DblpGeneratorConfig DblpGeneratorConfig::DblpCompleteScaled(uint32_t factor) {
+  ORX_CHECK(factor > 0);
+  DblpGeneratorConfig config = DblpComplete();
+  config.num_papers *= factor;
+  config.num_authors *= factor;
+  // Venues grow sublinearly with literature size; sqrt keeps per-venue
+  // paper counts realistic while papers/authors dominate node growth.
+  const auto root = static_cast<uint32_t>(std::lround(std::sqrt(factor)));
+  config.num_conferences *= std::max<uint32_t>(root, 1);
+  config.seed = config.seed * 1000003 + factor;
   return config;
 }
 

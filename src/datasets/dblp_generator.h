@@ -39,6 +39,14 @@ struct DblpGeneratorConfig {
   /// Preset matching Table 1's DBLPcomplete row (876,110 nodes,
   /// ~4.17 M edges).
   static DblpGeneratorConfig DblpComplete();
+  /// DBLPcomplete scaled by an integer factor (1x/10x/100x are the
+  /// scale-benchmark presets; 100x is ~87 M nodes / ~420 M edges).
+  /// Papers and authors scale linearly, conferences by the square root
+  /// (venue counts grow much slower than paper counts), so density —
+  /// edges per node — stays at the 1x preset's level. Deterministic:
+  /// the seed mixes in the factor so scales are distinct but
+  /// reproducible.
+  static DblpGeneratorConfig DblpCompleteScaled(uint32_t factor);
   /// Preset matching Table 1's DBLPtop row (22,653 nodes, ~167 K edges —
   /// the dense databases-related subset).
   static DblpGeneratorConfig DblpTop();

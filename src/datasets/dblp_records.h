@@ -1,0 +1,44 @@
+#ifndef ORX_DATASETS_DBLP_RECORDS_H_
+#define ORX_DATASETS_DBLP_RECORDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "datasets/dblp_xml.h"
+
+namespace orx::datasets::internal {
+
+/// One publication record as it appears in the XML, before shredding.
+/// Shared between the whole-buffer parser (dblp_xml.cc) and the streaming
+/// parallel shredder (dblp_stream.cc): the streaming splitter hands byte
+/// ranges to worker threads that each produce a vector of these, and the
+/// deterministic merge concatenates them in input order so both paths
+/// shred identical record sequences.
+struct DblpRawRecord {
+  std::string key;
+  std::string title;
+  std::vector<std::string> authors;
+  std::string year;
+  std::string booktitle;
+  std::vector<std::string> cites;
+};
+
+/// Parses a fragment holding only <inproceedings>/<article> records (no
+/// <dblp> root, no prologue). `first_line` seeds the scanner's line
+/// counter so errors report positions in the original file, not the
+/// fragment. Whitespace and comments between records are fine.
+StatusOr<std::vector<DblpRawRecord>> ParseDblpRecords(
+    std::string_view fragment, int first_line);
+
+/// Shreds records into the Figure 2 relational schema and finalizes the
+/// dataset. Deterministic in record order: authors/conferences/years are
+/// deduplicated by first appearance, citations resolve in a second pass.
+/// Exactly the back half of ParseDblpXml.
+StatusOr<DblpParseResult> ShredDblpRecords(
+    std::vector<DblpRawRecord> records);
+
+}  // namespace orx::datasets::internal
+
+#endif  // ORX_DATASETS_DBLP_RECORDS_H_

@@ -1,0 +1,294 @@
+#include "datasets/dblp_stream.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datasets/dblp_records.h"
+
+#ifdef ORX_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace orx::datasets {
+namespace {
+
+// ---------------------------------------------------------------------
+// Byte sources: plain stream and (when built with zlib) gzip inflater.
+// ---------------------------------------------------------------------
+
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Reads up to `n` bytes into `out`. Returns bytes read; 0 means EOF.
+  virtual StatusOr<size_t> Read(char* out, size_t n) = 0;
+};
+
+class StreamSource final : public ByteSource {
+ public:
+  explicit StreamSource(std::istream& in) : in_(in) {}
+
+  StatusOr<size_t> Read(char* out, size_t n) override {
+    in_.read(out, static_cast<std::streamsize>(n));
+    const std::streamsize got = in_.gcount();
+    if (got == 0 && !in_.eof() && in_.fail()) {
+      return DataLossError("read error in DBLP XML stream");
+    }
+    return static_cast<size_t>(got);
+  }
+
+ private:
+  std::istream& in_;
+};
+
+#ifdef ORX_HAVE_ZLIB
+class GzipSource final : public ByteSource {
+ public:
+  explicit GzipSource(std::istream& in) : in_(in) {
+    std::memset(&strm_, 0, sizeof(strm_));
+    // windowBits 15 + 32: auto-detect gzip or zlib framing.
+    init_ok_ = inflateInit2(&strm_, 15 + 32) == Z_OK;
+  }
+  ~GzipSource() override {
+    if (init_ok_) inflateEnd(&strm_);
+  }
+
+  StatusOr<size_t> Read(char* out, size_t n) override {
+    if (!init_ok_) return InternalError("zlib inflateInit2 failed");
+    if (finished_) return size_t{0};
+    strm_.next_out = reinterpret_cast<Bytef*>(out);
+    strm_.avail_out = static_cast<uInt>(n);
+    while (strm_.avail_out > 0) {
+      if (strm_.avail_in == 0) {
+        in_.read(compressed_, sizeof(compressed_));
+        const std::streamsize got = in_.gcount();
+        if (got == 0) {
+          if (!in_.eof()) return DataLossError("read error in gzip stream");
+          // EOF before Z_STREAM_END: the trailer never arrived.
+          return DataLossError("truncated gzip stream");
+        }
+        strm_.next_in = reinterpret_cast<Bytef*>(compressed_);
+        strm_.avail_in = static_cast<uInt>(got);
+      }
+      const int rc = inflate(&strm_, Z_NO_FLUSH);
+      if (rc == Z_STREAM_END) {
+        finished_ = true;
+        break;
+      }
+      if (rc != Z_OK) {
+        return DataLossError(std::string("gzip decompression failed: ") +
+                             (strm_.msg != nullptr ? strm_.msg : zError(rc)));
+      }
+    }
+    return n - strm_.avail_out;
+  }
+
+ private:
+  std::istream& in_;
+  z_stream strm_;
+  char compressed_[1 << 16];
+  bool init_ok_ = false;
+  bool finished_ = false;
+};
+#endif  // ORX_HAVE_ZLIB
+
+// ---------------------------------------------------------------------
+// Record-boundary splitting.
+// ---------------------------------------------------------------------
+
+/// Earliest top-level record start at or after `from`. Safe to treat any
+/// occurrence as a boundary: XML escapes '<' in text and attribute
+/// values, records do not nest, and the only other '<' producers between
+/// records (comments) are rare enough in DBLP dumps that a record tag
+/// inside one is not worth a full tokenizer on the split path.
+size_t FindRecordStart(const std::string& buffer, size_t from) {
+  const size_t a = buffer.find("<inproceedings", from);
+  const size_t b = buffer.find("<article", from);
+  return std::min(a, b);
+}
+
+size_t CountLines(std::string_view text) {
+  return static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+/// Validates that the bytes before the <dblp> root are only whitespace,
+/// comments, the XML declaration, and DOCTYPE — the same set
+/// XmlScanner::SkipNonContent accepts. `*line` advances over newlines.
+Status ValidatePrologue(std::string_view prologue, int* line) {
+  size_t i = 0;
+  auto skip_until = [&](std::string_view term) {
+    while (i < prologue.size() &&
+           prologue.substr(i, term.size()) != term) {
+      if (prologue[i] == '\n') ++*line;
+      ++i;
+    }
+    i += std::min(term.size(), prologue.size() - i);
+  };
+  while (i < prologue.size()) {
+    const char c = prologue[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') ++*line;
+      ++i;
+    } else if (prologue.substr(i, 4) == "<!--") {
+      skip_until("-->");
+    } else if (prologue.substr(i, 2) == "<?") {
+      skip_until("?>");
+    } else if (prologue.substr(i, 2) == "<!") {
+      skip_until(">");
+    } else {
+      return DataLossError("DBLP XML, line " + std::to_string(*line) +
+                           ": expected <dblp> root element");
+    }
+  }
+  return Status::OK();
+}
+
+/// One splitter work unit: a record-aligned XML fragment plus the slot
+/// its worker fills. Units live in a deque so references stay stable
+/// while new units are appended behind the workers' backs.
+struct ParseUnit {
+  std::string xml;
+  int first_line = 1;
+  Status status = Status::OK();
+  std::vector<internal::DblpRawRecord> records;
+};
+
+StatusOr<DblpParseResult> ParseStream(ByteSource& source,
+                                      const DblpStreamOptions& options) {
+  const size_t unit_bytes = std::max<size_t>(options.unit_bytes, 1);
+  const size_t read_bytes =
+      std::max<size_t>(options.read_chunk_bytes, size_t{4} << 10);
+
+  // `units` must outlive `pool`: the pool's destructor drains tasks that
+  // write into unit slots, so it is declared second (destroyed first).
+  std::deque<ParseUnit> units;
+  ThreadPool pool(options.num_threads);
+
+  std::string buffer;  // bytes not yet handed to a unit
+  int next_line = 1;   // original-file line number of buffer[0]
+  bool saw_root = false;
+
+  auto dispatch = [&](std::string fragment) {
+    if (fragment.empty()) return;
+    units.emplace_back();
+    ParseUnit& unit = units.back();
+    unit.xml = std::move(fragment);
+    unit.first_line = next_line;
+    next_line += static_cast<int>(CountLines(unit.xml));
+    pool.Submit([&unit] {
+      auto parsed = internal::ParseDblpRecords(unit.xml, unit.first_line);
+      if (parsed.ok()) {
+        unit.records = std::move(*parsed);
+      } else {
+        unit.status = parsed.status();
+      }
+    });
+  };
+
+  std::vector<char> chunk(read_bytes);
+  bool closed = false;
+  while (!closed) {
+    auto got_or = source.Read(chunk.data(), chunk.size());
+    if (!got_or.ok()) return got_or.status();
+    const size_t got = *got_or;
+    if (got > 0) buffer.append(chunk.data(), got);
+
+    if (!saw_root) {
+      const size_t root = buffer.find("<dblp>");
+      if (root == std::string::npos) {
+        // A prologue over a few MB is not a DBLP file.
+        if (got > 0 && buffer.size() < (size_t{4} << 20)) continue;
+        int line = 1;
+        ORX_RETURN_IF_ERROR(ValidatePrologue(buffer, &line));
+        return DataLossError("DBLP XML, line " + std::to_string(line) +
+                             ": expected <dblp> root element");
+      }
+      ORX_RETURN_IF_ERROR(
+          ValidatePrologue(std::string_view(buffer).substr(0, root),
+                           &next_line));
+      buffer.erase(0, root + 6);  // consume "<dblp>" too
+      saw_root = true;
+    }
+
+    // The close tag cannot straddle an erase point (cuts happen at
+    // record starts), so scanning the live buffer each round finds it
+    // exactly once, possibly after a refill completes a partial tail.
+    const size_t close = buffer.find("</dblp>");
+    if (close != std::string::npos) {
+      dispatch(buffer.substr(0, close));
+      // Content after </dblp> is ignored, matching ParseDblpXml.
+      closed = true;
+      break;
+    }
+    if (got == 0) {
+      return DataLossError(
+          "DBLP XML, line " +
+          std::to_string(next_line + static_cast<int>(CountLines(buffer))) +
+          ": missing </dblp>");
+    }
+
+    // Cut record-aligned units while more than one unit is buffered.
+    while (buffer.size() > unit_bytes) {
+      const size_t cut = FindRecordStart(buffer, unit_bytes);
+      if (cut == std::string::npos || cut == 0) break;
+      dispatch(buffer.substr(0, cut));
+      buffer.erase(0, cut);
+    }
+  }
+
+  pool.Wait();
+
+  // Deterministic merge: concatenate unit results in input order, so the
+  // shred sees the same record sequence ParseDblpXml would.
+  size_t total = 0;
+  for (const ParseUnit& unit : units) total += unit.records.size();
+  std::vector<internal::DblpRawRecord> records;
+  records.reserve(total);
+  for (ParseUnit& unit : units) {
+    ORX_RETURN_IF_ERROR(unit.status);
+    std::move(unit.records.begin(), unit.records.end(),
+              std::back_inserter(records));
+  }
+  return internal::ShredDblpRecords(std::move(records));
+}
+
+}  // namespace
+
+StatusOr<DblpParseResult> ParseDblpXmlStream(
+    std::istream& in, const DblpStreamOptions& options) {
+  StreamSource source(in);
+  return ParseStream(source, options);
+}
+
+StatusOr<DblpParseResult> ParseDblpXmlStreamFile(
+    const std::string& path, const DblpStreamOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open DBLP XML file: " + path);
+  }
+  const int c0 = in.get();
+  const int c1 = in.get();
+  const bool gzip = c0 == 0x1f && c1 == 0x8b;
+  in.clear();
+  in.seekg(0);
+  if (gzip) {
+#ifdef ORX_HAVE_ZLIB
+    GzipSource source(in);
+    return ParseStream(source, options);
+#else
+    return UnimplementedError(
+        "gzip DBLP input requires a build with zlib: " + path);
+#endif
+  }
+  StreamSource source(in);
+  return ParseStream(source, options);
+}
+
+}  // namespace orx::datasets

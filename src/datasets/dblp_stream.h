@@ -1,0 +1,55 @@
+#ifndef ORX_DATASETS_DBLP_STREAM_H_
+#define ORX_DATASETS_DBLP_STREAM_H_
+
+#include <cstddef>
+#include <istream>
+#include <string>
+
+#include "common/status.h"
+#include "datasets/dblp_xml.h"
+
+namespace orx::datasets {
+
+/// Tuning for the streaming parallel DBLP shredder.
+struct DblpStreamOptions {
+  /// Parser worker threads; 0 means the hardware thread count.
+  size_t num_threads = 0;
+  /// Target bytes of XML handed to each parser task. Smaller units give
+  /// better load balance, larger ones less dispatch overhead. The
+  /// splitter only cuts at record boundaries, so a unit can exceed this
+  /// by one record.
+  size_t unit_bytes = size_t{4} << 20;
+  /// Bytes read from the source per refill of the split buffer.
+  size_t read_chunk_bytes = size_t{1} << 20;
+};
+
+/// Streaming, parallel version of ParseDblpXml for paper-scale dumps
+/// (the real dblp.xml is multi-GB; buffering it whole triples peak
+/// memory). The pipeline:
+///
+///   chunked reads -> record-boundary splitter -> per-thread record
+///   parsing -> deterministic in-order merge -> sequential ID shred
+///
+/// The splitter scans for top-level <inproceedings>/<article> starts —
+/// safe because '<' cannot occur in XML text content — and cuts work
+/// units of ~unit_bytes at those boundaries, so no record ever spans two
+/// units. Units parse concurrently into DblpRawRecord vectors; the merge
+/// concatenates them in input order, which makes the result (node ids,
+/// edge order, statistics) byte-identical to ParseDblpXml on the same
+/// document. Errors carry line numbers in the original file.
+///
+/// Only the split buffer (a few read chunks) and the parsed records are
+/// resident; the raw XML is never materialized in one piece.
+StatusOr<DblpParseResult> ParseDblpXmlStream(
+    std::istream& in, const DblpStreamOptions& options = {});
+
+/// Opens `path` and streams it through ParseDblpXmlStream. Files starting
+/// with the gzip magic (0x1f 0x8b) are decompressed on the fly when the
+/// build has zlib (ORX_HAVE_ZLIB); without zlib, gzip files return
+/// kUnimplemented. Plain XML always works.
+StatusOr<DblpParseResult> ParseDblpXmlStreamFile(
+    const std::string& path, const DblpStreamOptions& options = {});
+
+}  // namespace orx::datasets
+
+#endif  // ORX_DATASETS_DBLP_STREAM_H_

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "datasets/dblp_records.h"
 
 namespace orx::datasets {
 namespace {
@@ -18,7 +19,8 @@ namespace {
 
 class XmlScanner {
  public:
-  explicit XmlScanner(std::string_view input) : input_(input) {}
+  explicit XmlScanner(std::string_view input, int first_line = 1)
+      : input_(input), line_(first_line) {}
 
   int line() const { return line_; }
   bool AtEnd() const { return pos_ >= input_.size(); }
@@ -160,7 +162,7 @@ class XmlScanner {
 
   std::string_view input_;
   size_t pos_ = 0;
-  int line_ = 1;
+  int line_;
 };
 
 std::string EscapeXml(std::string_view text) {
@@ -187,14 +189,60 @@ std::string EscapeXml(std::string_view text) {
   return out;
 }
 
-struct RawRecord {
-  std::string key;
-  std::string title;
-  std::vector<std::string> authors;
-  std::string year;
-  std::string booktitle;
-  std::vector<std::string> cites;
-};
+using internal::DblpRawRecord;
+
+/// Parses one <inproceedings>/<article> record, scanner positioned at its
+/// opening '<'. Shared by the whole-buffer and fragment record loops.
+Status ParseRecord(XmlScanner& scanner, DblpRawRecord* record) {
+  if (!scanner.Consume("<")) return scanner.Error("expected a record");
+  std::string tag, key;
+  ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&tag, &key));
+  if (tag != "inproceedings" && tag != "article") {
+    return scanner.Error("unsupported record type <" + tag + ">");
+  }
+  record->key = key;
+  // Child elements until the matching close tag.
+  while (true) {
+    scanner.SkipNonContent();
+    if (scanner.Consume("</")) {
+      std::string close, ignored;
+      ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&close, &ignored));
+      if (close != tag) {
+        return scanner.Error("mismatched close tag </" + close + ">");
+      }
+      break;
+    }
+    if (!scanner.Consume("<")) {
+      return scanner.Error("expected a child element");
+    }
+    std::string child, child_key;
+    ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&child, &child_key));
+    std::string content;
+    ORX_RETURN_IF_ERROR(scanner.ReadText(&content));
+    if (!scanner.Consume("</")) {
+      return scanner.Error("nested markup in <" + child + "> unsupported");
+    }
+    std::string close, ignored;
+    ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&close, &ignored));
+    if (close != child) {
+      return scanner.Error("mismatched close tag </" + close + ">");
+    }
+    std::string value(StripWhitespace(content));
+    if (child == "author") {
+      record->authors.push_back(value);
+    } else if (child == "title") {
+      record->title = value;
+    } else if (child == "year") {
+      record->year = value;
+    } else if (child == "booktitle" || child == "journal") {
+      record->booktitle = value;
+    } else if (child == "cite") {
+      record->cites.push_back(value);
+    }
+    // Other children (pages, ee, url, ...) are ignored.
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -205,62 +253,34 @@ StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
     return scanner.Error("expected <dblp> root element");
   }
 
-  std::vector<RawRecord> records;
+  std::vector<DblpRawRecord> records;
   while (true) {
     scanner.SkipNonContent();
     if (scanner.Consume("</dblp>")) break;
     if (scanner.AtEnd()) return scanner.Error("missing </dblp>");
-    if (!scanner.Consume("<")) return scanner.Error("expected a record");
-    std::string tag, key;
-    ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&tag, &key));
-    if (tag != "inproceedings" && tag != "article") {
-      return scanner.Error("unsupported record type <" + tag + ">");
-    }
-    RawRecord record;
-    record.key = key;
-    // Child elements until the matching close tag.
-    while (true) {
-      scanner.SkipNonContent();
-      if (scanner.Consume("</")) {
-        std::string close, ignored;
-        ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&close, &ignored));
-        if (close != tag) {
-          return scanner.Error("mismatched close tag </" + close + ">");
-        }
-        break;
-      }
-      if (!scanner.Consume("<")) {
-        return scanner.Error("expected a child element");
-      }
-      std::string child, child_key;
-      ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&child, &child_key));
-      std::string content;
-      ORX_RETURN_IF_ERROR(scanner.ReadText(&content));
-      if (!scanner.Consume("</")) {
-        return scanner.Error("nested markup in <" + child + "> unsupported");
-      }
-      std::string close, ignored;
-      ORX_RETURN_IF_ERROR(scanner.ReadOpenTagRest(&close, &ignored));
-      if (close != child) {
-        return scanner.Error("mismatched close tag </" + close + ">");
-      }
-      std::string value(StripWhitespace(content));
-      if (child == "author") {
-        record.authors.push_back(value);
-      } else if (child == "title") {
-        record.title = value;
-      } else if (child == "year") {
-        record.year = value;
-      } else if (child == "booktitle" || child == "journal") {
-        record.booktitle = value;
-      } else if (child == "cite") {
-        record.cites.push_back(value);
-      }
-      // Other children (pages, ee, url, ...) are ignored.
-    }
+    DblpRawRecord record;
+    ORX_RETURN_IF_ERROR(ParseRecord(scanner, &record));
     records.push_back(std::move(record));
   }
+  return internal::ShredDblpRecords(std::move(records));
+}
 
+StatusOr<std::vector<internal::DblpRawRecord>> internal::ParseDblpRecords(
+    std::string_view fragment, int first_line) {
+  XmlScanner scanner(fragment, first_line);
+  std::vector<DblpRawRecord> records;
+  while (true) {
+    scanner.SkipNonContent();
+    if (scanner.AtEnd()) break;
+    DblpRawRecord record;
+    ORX_RETURN_IF_ERROR(ParseRecord(scanner, &record));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+StatusOr<DblpParseResult> internal::ShredDblpRecords(
+    std::vector<DblpRawRecord> records) {
   // Shred into the Figure 2 relational schema.
   DblpTypes types;
   auto schema = MakeDblpSchema(&types);
@@ -277,7 +297,7 @@ StatusOr<DblpParseResult> ParseDblpXml(std::string_view xml) {
   };
 
   std::vector<std::pair<graph::NodeId, std::string>> pending_cites;
-  for (const RawRecord& record : records) {
+  for (const DblpRawRecord& record : records) {
     // Incomplete records exist in real DBLP dumps; skip, don't fail.
     if (record.title.empty() || record.booktitle.empty() ||
         record.year.empty()) {

@@ -1,5 +1,7 @@
 #include "graph/authority_graph.h"
 
+#include <utility>
+
 #include "common/check.h"
 #include "graph/validate.h"
 
@@ -21,30 +23,28 @@ AuthorityGraph AuthorityGraph::Build(const DataGraph& data) {
     ++bwd_deg[static_cast<size_t>(e.to) * num_etypes + e.type];
   }
 
-  AuthorityGraph g;
-  g.out_offsets_.assign(n + 1, 0);
-  g.in_offsets_.assign(n + 1, 0);
+  std::vector<uint64_t> out_offsets(n + 1, 0);
+  std::vector<uint64_t> in_offsets(n + 1, 0);
 
   // Each data edge (u -> v) produces authority edges u -> v (forward slot)
   // and v -> u (backward slot); so in D^A, out-degree(v) == in-degree(v) ==
   // total data-degree(v).
   for (const DataEdge& e : data.edges()) {
-    ++g.out_offsets_[e.from + 1];  // forward edge leaves u
-    ++g.out_offsets_[e.to + 1];    // backward edge leaves v
-    ++g.in_offsets_[e.to + 1];     // forward edge enters v
-    ++g.in_offsets_[e.from + 1];   // backward edge enters u
+    ++out_offsets[e.from + 1];  // forward edge leaves u
+    ++out_offsets[e.to + 1];    // backward edge leaves v
+    ++in_offsets[e.to + 1];     // forward edge enters v
+    ++in_offsets[e.from + 1];   // backward edge enters u
   }
   for (size_t v = 0; v < n; ++v) {
-    g.out_offsets_[v + 1] += g.out_offsets_[v];
-    g.in_offsets_[v + 1] += g.in_offsets_[v];
+    out_offsets[v + 1] += out_offsets[v];
+    in_offsets[v + 1] += in_offsets[v];
   }
-  g.out_edges_.resize(g.out_offsets_[n]);
-  g.in_edges_.resize(g.in_offsets_[n]);
+  std::vector<AuthorityEdge> out_edges(out_offsets[n]);
+  std::vector<AuthorityEdge> in_edges(in_offsets[n]);
 
-  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(),
-                                   g.out_offsets_.end() - 1);
-  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
-                                  g.in_offsets_.end() - 1);
+  std::vector<uint64_t> out_cursor(out_offsets.begin(),
+                                   out_offsets.end() - 1);
+  std::vector<uint64_t> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
 
   for (const DataEdge& e : data.edges()) {
     const uint32_t fdeg =
@@ -58,18 +58,54 @@ AuthorityGraph AuthorityGraph::Build(const DataGraph& data) {
     const uint32_t slot_b = RateIndex(e.type, Direction::kBackward);
 
     // Forward authority edge u -> v.
-    g.out_edges_[out_cursor[e.from]++] = AuthorityEdge{e.to, inv_f, slot_f};
-    g.in_edges_[in_cursor[e.to]++] = AuthorityEdge{e.from, inv_f, slot_f};
+    out_edges[out_cursor[e.from]++] = AuthorityEdge{e.to, inv_f, slot_f};
+    in_edges[in_cursor[e.to]++] = AuthorityEdge{e.from, inv_f, slot_f};
     // Backward authority edge v -> u.
-    g.out_edges_[out_cursor[e.to]++] = AuthorityEdge{e.from, inv_b, slot_b};
-    g.in_edges_[in_cursor[e.from]++] = AuthorityEdge{e.to, inv_b, slot_b};
+    out_edges[out_cursor[e.to]++] = AuthorityEdge{e.from, inv_b, slot_b};
+    in_edges[in_cursor[e.from]++] = AuthorityEdge{e.to, inv_b, slot_b};
   }
 
   for (size_t v = 0; v < n; ++v) {
-    ORX_DCHECK(out_cursor[v] == g.out_offsets_[v + 1]);
-    ORX_DCHECK(in_cursor[v] == g.in_offsets_[v + 1]);
+    ORX_DCHECK(out_cursor[v] == out_offsets[v + 1]);
+    ORX_DCHECK(in_cursor[v] == in_offsets[v + 1]);
   }
+
+  AuthorityGraph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_edges_ = std::move(out_edges);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_edges_ = std::move(in_edges);
   ORX_DCHECK_OK(ValidateInvariants(g, /*num_rate_slots=*/num_etypes * 2));
+  return g;
+}
+
+StatusOr<AuthorityGraph> AuthorityGraph::FromParts(
+    std::span<const uint64_t> out_offsets,
+    std::span<const AuthorityEdge> out_edges,
+    std::span<const uint64_t> in_offsets,
+    std::span<const AuthorityEdge> in_edges,
+    std::shared_ptr<const void> keepalive) {
+  if (out_offsets.empty() || out_offsets.size() != in_offsets.size()) {
+    return DataLossError("authority CSR offset arrays are malformed");
+  }
+  if (out_offsets.front() != 0 || in_offsets.front() != 0 ||
+      out_offsets.back() != out_edges.size() ||
+      in_offsets.back() != in_edges.size() ||
+      out_edges.size() != in_edges.size()) {
+    return DataLossError("authority CSR offsets do not cover the edges");
+  }
+  for (size_t v = 0; v + 1 < out_offsets.size(); ++v) {
+    if (out_offsets[v] > out_offsets[v + 1] ||
+        in_offsets[v] > in_offsets[v + 1]) {
+      return DataLossError("authority CSR offsets are not monotonic");
+    }
+  }
+  AuthorityGraph g;
+  g.out_offsets_ = ArrayRef<uint64_t>::Borrowed(out_offsets, keepalive);
+  g.out_edges_ = ArrayRef<AuthorityEdge>::Borrowed(out_edges, keepalive);
+  g.in_offsets_ = ArrayRef<uint64_t>::Borrowed(in_offsets, keepalive);
+  g.in_edges_ = ArrayRef<AuthorityEdge>::Borrowed(in_edges,
+                                                  std::move(keepalive));
   return g;
 }
 

@@ -2,9 +2,11 @@
 #define ORX_GRAPH_AUTHORITY_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "graph/data_graph.h"
 #include "graph/schema_graph.h"
 #include "graph/transfer_rates.h"
@@ -41,6 +43,17 @@ class AuthorityGraph {
  public:
   /// Builds the CSR index from a finalized data graph. O(|V| + |E|).
   static AuthorityGraph Build(const DataGraph& data);
+
+  /// Wraps pre-built CSR halves zero-copy (the ORXD2 mmap path).
+  /// `keepalive` owns the storage behind the spans. Checks shapes and
+  /// offset monotonicity (O(|V|)); per-edge bounds and cross-consistency
+  /// are the caller's deep-validation step (graph/validate.h).
+  static StatusOr<AuthorityGraph> FromParts(
+      std::span<const uint64_t> out_offsets,
+      std::span<const AuthorityEdge> out_edges,
+      std::span<const uint64_t> in_offsets,
+      std::span<const AuthorityEdge> in_edges,
+      std::shared_ptr<const void> keepalive);
 
   /// Outgoing authority edges of `v` (edges carrying v's authority away).
   std::span<const AuthorityEdge> OutEdges(NodeId v) const {
@@ -86,10 +99,10 @@ class AuthorityGraph {
  private:
   AuthorityGraph() = default;
 
-  std::vector<uint64_t> out_offsets_;
-  std::vector<AuthorityEdge> out_edges_;
-  std::vector<uint64_t> in_offsets_;
-  std::vector<AuthorityEdge> in_edges_;
+  ArrayRef<uint64_t> out_offsets_;
+  ArrayRef<AuthorityEdge> out_edges_;
+  ArrayRef<uint64_t> in_offsets_;
+  ArrayRef<AuthorityEdge> in_edges_;
 };
 
 }  // namespace orx::graph

@@ -1,16 +1,82 @@
 #include "graph/data_graph.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace orx::graph {
+
+StatusOr<DataGraph> DataGraph::FromPacked(
+    const SchemaGraph& schema, std::span<const TypeId> node_types,
+    std::span<const uint64_t> attr_offsets,
+    std::span<const PackedAttribute> attrs, std::span<const char> text_heap,
+    std::span<const DataEdge> edges, std::shared_ptr<const void> keepalive) {
+  if (attr_offsets.size() != node_types.size() + 1) {
+    return DataLossError("packed attr_offsets count does not match nodes");
+  }
+  if (attr_offsets.front() != 0 ||
+      attr_offsets.back() != attrs.size()) {
+    return DataLossError("packed attr_offsets do not cover the attrs");
+  }
+  for (size_t i = 0; i + 1 < attr_offsets.size(); ++i) {
+    if (attr_offsets[i] > attr_offsets[i + 1]) {
+      return DataLossError("packed attr_offsets are not monotonic");
+    }
+  }
+  const uint64_t heap_size = text_heap.size();
+  for (const PackedAttribute& a : attrs) {
+    // Offsets are checked against the heap with subtraction, not
+    // addition, so a hostile off + len cannot wrap around.
+    if (a.name_off > heap_size || a.name_len > heap_size - a.name_off ||
+        a.value_off > heap_size || a.value_len > heap_size - a.value_off) {
+      return DataLossError("packed attribute points outside the text heap");
+    }
+  }
+  for (const TypeId t : node_types) {
+    if (t >= schema.num_node_types()) {
+      return DataLossError("packed node type out of schema range");
+    }
+  }
+  DataGraph g(schema);
+  g.node_types_ =
+      ArrayRef<TypeId>::Borrowed(node_types, keepalive);
+  g.attrs_packed_ = true;
+  g.packed_offsets_ = attr_offsets;
+  g.packed_attrs_ = attrs;
+  g.heap_ = text_heap;
+  g.edges_ = ArrayRef<DataEdge>::Borrowed(edges, keepalive);
+  g.keepalive_ = std::move(keepalive);
+  return g;
+}
+
+void DataGraph::EnsureOwnedAttributes() {
+  if (!attrs_packed_) return;
+  attrs_.clear();
+  attrs_.reserve(packed_attrs_.size());
+  attr_offsets_.clear();
+  attr_offsets_.reserve(packed_offsets_.size());
+  for (const uint64_t off : packed_offsets_) {
+    attr_offsets_.push_back(static_cast<uint32_t>(off));
+  }
+  for (const PackedAttribute& a : packed_attrs_) {
+    attrs_.push_back(Attribute{
+        std::string(heap_.data() + a.name_off, a.name_len),
+        std::string(heap_.data() + a.value_off, a.value_len)});
+  }
+  attrs_packed_ = false;
+  packed_offsets_ = {};
+  packed_attrs_ = {};
+  heap_ = {};
+}
 
 StatusOr<NodeId> DataGraph::AddNode(TypeId type,
                                     std::vector<Attribute> attributes) {
   if (type >= schema_->num_node_types()) {
     return InvalidArgumentError("unknown node type id");
   }
+  EnsureOwnedAttributes();
   NodeId id = static_cast<NodeId>(node_types_.size());
-  node_types_.push_back(type);
+  node_types_.mut().push_back(type);
   for (auto& attr : attributes) attrs_.push_back(std::move(attr));
   attr_offsets_.push_back(static_cast<uint32_t>(attrs_.size()));
   return id;
@@ -32,15 +98,16 @@ Status DataGraph::AddEdge(NodeId from, NodeId to, EdgeTypeId type) {
   if (from == to) {
     return InvalidArgumentError("self-loop data edges are not supported");
   }
-  edges_.push_back(DataEdge{from, to, type});
+  edges_.mut().push_back(DataEdge{from, to, type});
   return Status::OK();
 }
 
 Status DataGraph::RemoveEdge(NodeId from, NodeId to, EdgeTypeId type) {
-  for (size_t i = 0; i < edges_.size(); ++i) {
-    const DataEdge& e = edges_[i];
+  std::vector<DataEdge>& edges = edges_.mut();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const DataEdge& e = edges[i];
     if (e.from == from && e.to == to && e.type == type) {
-      edges_.erase(edges_.begin() + static_cast<ptrdiff_t>(i));
+      edges.erase(edges.begin() + static_cast<ptrdiff_t>(i));
       return Status::OK();
     }
   }
@@ -51,7 +118,7 @@ Status DataGraph::DetachNode(NodeId v) {
   if (v >= node_types_.size()) {
     return InvalidArgumentError("node does not exist");
   }
-  std::erase_if(edges_,
+  std::erase_if(edges_.mut(),
                 [v](const DataEdge& e) { return e.from == v || e.to == v; });
   return SetAttributes(v, {});
 }
@@ -60,6 +127,7 @@ Status DataGraph::SetAttributes(NodeId v, std::vector<Attribute> attributes) {
   if (v >= node_types_.size()) {
     return InvalidArgumentError("node does not exist");
   }
+  EnsureOwnedAttributes();
   const uint32_t begin = attr_offsets_[v];
   const uint32_t end = attr_offsets_[v + 1];
   const int64_t delta =
@@ -74,16 +142,22 @@ Status DataGraph::SetAttributes(NodeId v, std::vector<Attribute> attributes) {
   return Status::OK();
 }
 
-std::span<const Attribute> DataGraph::Attributes(NodeId v) const {
+AttributeRange DataGraph::Attributes(NodeId v) const {
   ORX_CHECK_LT(v, node_types_.size());
+  if (attrs_packed_) {
+    const uint64_t begin = packed_offsets_[v];
+    const uint64_t end = packed_offsets_[v + 1];
+    return AttributeRange(packed_attrs_.data() + begin, heap_.data(),
+                          end - begin);
+  }
   uint32_t begin = attr_offsets_[v];
   uint32_t end = attr_offsets_[v + 1];
-  return std::span<const Attribute>(attrs_.data() + begin, end - begin);
+  return AttributeRange(attrs_.data() + begin, end - begin);
 }
 
 std::string DataGraph::Text(NodeId v) const {
   std::string out;
-  for (const Attribute& a : Attributes(v)) {
+  for (const AttributeView a : Attributes(v)) {
     if (!out.empty()) out += ' ';
     out += a.value;
   }
@@ -91,33 +165,70 @@ std::string DataGraph::Text(NodeId v) const {
 }
 
 std::string DataGraph::AttributeValue(NodeId v, std::string_view name) const {
-  for (const Attribute& a : Attributes(v)) {
-    if (a.name == name) return a.value;
+  for (const AttributeView a : Attributes(v)) {
+    if (a.name == name) return std::string(a.value);
   }
   return "";
 }
 
 std::string DataGraph::DisplayLabel(NodeId v) const {
   auto attrs = Attributes(v);
-  if (!attrs.empty()) return attrs[0].value;
+  if (!attrs.empty()) return std::string(attrs[0].value);
   return schema_->NodeTypeLabel(node_types_[v]) + "#" + std::to_string(v);
+}
+
+DataGraph::PackedAttributes DataGraph::PackAttributes() const {
+  PackedAttributes out;
+  if (attrs_packed_) {
+    out.offsets_view = packed_offsets_;
+    out.attrs_view = packed_attrs_;
+    out.heap_view = heap_;
+    return out;
+  }
+  out.offsets.reserve(attr_offsets_.size());
+  out.attrs.reserve(attrs_.size());
+  size_t heap_bytes = 0;
+  for (const Attribute& a : attrs_) {
+    heap_bytes += a.name.size() + a.value.size();
+  }
+  out.heap.reserve(heap_bytes);
+  for (const uint32_t off : attr_offsets_) out.offsets.push_back(off);
+  for (const Attribute& a : attrs_) {
+    PackedAttribute p;
+    p.name_off = out.heap.size();
+    p.name_len = static_cast<uint32_t>(a.name.size());
+    out.heap += a.name;
+    p.value_off = out.heap.size();
+    p.value_len = static_cast<uint32_t>(a.value.size());
+    out.heap += a.value;
+    out.attrs.push_back(p);
+  }
+  out.offsets_view = out.offsets;
+  out.attrs_view = out.attrs;
+  out.heap_view = out.heap;
+  return out;
 }
 
 size_t DataGraph::MemoryFootprintBytes() const {
   size_t bytes = node_types_.size() * sizeof(TypeId) +
-                 attr_offsets_.size() * sizeof(uint32_t) +
-                 edges_.size() * sizeof(DataEdge) +
-                 attrs_.size() * sizeof(Attribute);
-  for (const Attribute& a : attrs_) bytes += a.name.size() + a.value.size();
+                 edges_.size() * sizeof(DataEdge);
+  if (attrs_packed_) {
+    bytes += packed_offsets_.size() * sizeof(uint64_t) +
+             packed_attrs_.size() * sizeof(PackedAttribute) + heap_.size();
+  } else {
+    bytes += attr_offsets_.size() * sizeof(uint32_t) +
+             attrs_.size() * sizeof(Attribute);
+    for (const Attribute& a : attrs_) bytes += a.name.size() + a.value.size();
+  }
   return bytes;
 }
 
 void DataGraph::ReserveNodes(size_t n) {
-  node_types_.reserve(n);
+  node_types_.mut().reserve(n);
   attr_offsets_.reserve(n + 1);
   attrs_.reserve(n * 3);
 }
 
-void DataGraph::ReserveEdges(size_t n) { edges_.reserve(n); }
+void DataGraph::ReserveEdges(size_t n) { edges_.mut().reserve(n); }
 
 }  // namespace orx::graph

@@ -2,10 +2,13 @@
 #define ORX_GRAPH_DATA_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/status.h"
 #include "graph/schema_graph.h"
 
@@ -22,6 +25,66 @@ struct Attribute {
   std::string value;
 };
 
+/// One attribute of the zero-copy (packed) representation: offsets into
+/// the graph's shared text heap. Trivially copyable so an array of these
+/// can live verbatim in an ORXD2 container section.
+struct PackedAttribute {
+  uint64_t name_off = 0;
+  uint64_t value_off = 0;
+  uint32_t name_len = 0;
+  uint32_t value_len = 0;
+};
+static_assert(sizeof(PackedAttribute) == 24);
+
+/// A non-owning view of one attribute, valid for the life of the graph.
+struct AttributeView {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// An indexable, iterable range of a node's attributes that reads either
+/// representation (owned Attribute structs, or PackedAttribute entries
+/// over a text heap) and yields AttributeView. Values, not references —
+/// callers that need owning strings construct them explicitly.
+class AttributeRange {
+ public:
+  AttributeRange(const Attribute* owned, size_t n) : owned_(owned), n_(n) {}
+  AttributeRange(const PackedAttribute* packed, const char* heap, size_t n)
+      : packed_(packed), heap_(heap), n_(n) {}
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  AttributeView operator[](size_t i) const {
+    if (owned_ != nullptr) return {owned_[i].name, owned_[i].value};
+    const PackedAttribute& e = packed_[i];
+    return {std::string_view(heap_ + e.name_off, e.name_len),
+            std::string_view(heap_ + e.value_off, e.value_len)};
+  }
+
+  class Iterator {
+   public:
+    Iterator(const AttributeRange* range, size_t i) : range_(range), i_(i) {}
+    AttributeView operator*() const { return (*range_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const AttributeRange* range_;
+    size_t i_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, n_); }
+
+ private:
+  const Attribute* owned_ = nullptr;
+  const PackedAttribute* packed_ = nullptr;
+  const char* heap_ = nullptr;
+  size_t n_ = 0;
+};
+
 /// A typed directed data edge u -> v (e.g. a "cites" edge between papers).
 struct DataEdge {
   NodeId from = kInvalidNodeId;
@@ -36,9 +99,30 @@ struct DataEdge {
 /// The graph conforms-by-construction: AddEdge validates endpoint types
 /// against the schema. DataGraph owns the schema by const reference; the
 /// schema must outlive the graph.
+///
+/// Storage is dual-mode: graphs built through AddNode/AddEdge own plain
+/// vectors, while graphs attached from an ORXD2 container (FromPacked)
+/// borrow file-backed arrays and a shared text heap zero-copy. Mutating
+/// a borrowed graph transparently materializes the touched arrays into
+/// owned storage first (ArrayRef copy-on-write), so the live write path
+/// works identically on mmap-loaded snapshots.
 class DataGraph {
  public:
   explicit DataGraph(const SchemaGraph& schema) : schema_(&schema) {}
+
+  /// Wraps the packed zero-copy representation without copying:
+  /// `node_types`, `attr_offsets` (num_nodes + 1 cumulative entries into
+  /// `attrs`), the packed attributes with their text heap, and the edge
+  /// list. `keepalive` owns the storage behind every span (e.g. an
+  /// io::MappedContainer). Validates shapes and that every packed
+  /// attribute lies inside the heap (O(nodes + attrs)); edge endpoint /
+  /// schema conformance is the caller's deep-validation step
+  /// (ValidatePackedEdges in graph/validate.h).
+  static StatusOr<DataGraph> FromPacked(
+      const SchemaGraph& schema, std::span<const TypeId> node_types,
+      std::span<const uint64_t> attr_offsets,
+      std::span<const PackedAttribute> attrs, std::span<const char> text_heap,
+      std::span<const DataEdge> edges, std::shared_ptr<const void> keepalive);
 
   /// Adds an object of the given type with its attributes; returns its id.
   /// Node ids are dense and allocated in insertion order.
@@ -68,7 +152,7 @@ class DataGraph {
 
   /// Accessors. Pre: `v` is a valid node id.
   TypeId NodeType(NodeId v) const { return node_types_[v]; }
-  std::span<const Attribute> Attributes(NodeId v) const;
+  AttributeRange Attributes(NodeId v) const;
 
   /// Concatenated attribute values of `v`, separated by single spaces.
   /// This is the "document" the IR engine indexes for the node, per the
@@ -85,10 +169,27 @@ class DataGraph {
 
   size_t num_nodes() const { return node_types_.size(); }
   size_t num_edges() const { return edges_.size(); }
-  const std::vector<DataEdge>& edges() const { return edges_; }
+  std::span<const DataEdge> edges() const { return edges_; }
   const SchemaGraph& schema() const { return *schema_; }
 
+  /// Raw views of the storage, in packed form, for the ORXD2 container
+  /// writer. PackAttributes materializes the packed representation from
+  /// owned storage (or returns views of the borrowed one).
+  std::span<const TypeId> node_types() const { return node_types_; }
+  struct PackedAttributes {
+    std::vector<uint64_t> offsets;
+    std::vector<PackedAttribute> attrs;
+    std::string heap;
+    /// Set instead of the vectors above when the graph already borrows a
+    /// packed representation (the vectors are then empty).
+    std::span<const uint64_t> offsets_view;
+    std::span<const PackedAttribute> attrs_view;
+    std::span<const char> heap_view;
+  };
+  PackedAttributes PackAttributes() const;
+
   /// Approximate in-memory footprint in bytes (Table 1 "Size" column).
+  /// Borrowed (mmap-backed) storage counts as resident.
   size_t MemoryFootprintBytes() const;
 
   /// Reserves storage for the generators (performance only).
@@ -96,13 +197,23 @@ class DataGraph {
   void ReserveEdges(size_t n);
 
  private:
+  /// Copies a borrowed packed attribute representation into owned
+  /// Attribute storage so mutation can proceed; no-op when already owned.
+  void EnsureOwnedAttributes();
+
   const SchemaGraph* schema_;
-  std::vector<TypeId> node_types_;
-  // Attribute storage: attrs_ is pooled; node v owns the half-open range
-  // [attr_offsets_[v], attr_offsets_[v + 1]).
+  ArrayRef<TypeId> node_types_;
+  // Owned attribute storage: attrs_ is pooled; node v owns the half-open
+  // range [attr_offsets_[v], attr_offsets_[v + 1]).
   std::vector<Attribute> attrs_;
   std::vector<uint32_t> attr_offsets_{0};
-  std::vector<DataEdge> edges_;
+  // Packed (borrowed) attribute storage; active iff attrs_packed_.
+  bool attrs_packed_ = false;
+  std::span<const uint64_t> packed_offsets_;
+  std::span<const PackedAttribute> packed_attrs_;
+  std::span<const char> heap_;
+  std::shared_ptr<const void> keepalive_;
+  ArrayRef<DataEdge> edges_;
 };
 
 }  // namespace orx::graph

@@ -9,9 +9,54 @@
 #endif
 
 #include "common/check.h"
+#include "common/numa.h"
 #include "graph/validate.h"
 
 namespace orx::graph {
+namespace {
+
+/// Build-time storage for the large streamed arrays (SELL sources and
+/// fused weights): an owned vector on single-node machines, a NUMA
+/// first-touch buffer on multi-socket ones — the zeroing pass places
+/// each contiguous node-major block of pages on the socket whose pinned
+/// SpMV workers will stream it (common/numa.h). Small arrays always stay
+/// owned; the threshold matches AllocateFirstTouch's.
+template <typename T>
+class BuildArray {
+ public:
+  void AssignZero(size_t n) {
+    const size_t bytes = n * sizeof(T);
+    if (Topology().num_nodes() > 1 && bytes >= (size_t{1} << 20)) {
+      buffer_ = AllocateFirstTouch(bytes);
+      data_ = static_cast<T*>(buffer_.get());
+    } else {
+      vec_.assign(n, T{});
+      data_ = vec_.data();
+    }
+    size_ = n;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  size_t size() const { return size_; }
+
+  /// Moves the storage into an ArrayRef (borrowing the first-touch
+  /// buffer, owning the vector). The BuildArray is spent afterwards.
+  ArrayRef<T> Finish() {
+    if (buffer_ != nullptr) {
+      return ArrayRef<T>::Borrowed(std::span<const T>(data_, size_),
+                                   std::move(buffer_));
+    }
+    return ArrayRef<T>(std::move(vec_));
+  }
+
+ private:
+  std::vector<T> vec_;
+  std::shared_ptr<void> buffer_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace
 
 SellStructure::SellStructure(const AuthorityGraph& graph)
     : num_rows(graph.num_nodes()) {
@@ -21,47 +66,93 @@ SellStructure::SellStructure(const AuthorityGraph& graph)
     return offsets[v + 1] - offsets[v];
   };
 
-  row_order.resize(num_rows);
-  std::iota(row_order.begin(), row_order.end(), 0u);
+  // The small per-row arrays build into owned vectors directly; the big
+  // streamed slot arrays go through BuildArray for NUMA first-touch
+  // placement (no-op on single-node machines).
+  std::vector<uint32_t>& order = row_order.mut();
+  std::vector<uint32_t>& rows = node_row.mut();
+  std::vector<uint64_t>& coff = chunk_offsets.mut();
+  BuildArray<uint32_t> srcs;
+  BuildArray<uint32_t> srcs_row;
+
+  order.resize(num_rows);
+  std::iota(order.begin(), order.end(), 0u);
   // Full-range degree sort (SELL "sigma = n"): chunks group rows of
   // similar length, which keeps the column padding negligible. Stable,
   // so the layout is deterministic.
-  std::stable_sort(row_order.begin(), row_order.end(),
+  std::stable_sort(order.begin(), order.end(),
                    [&](uint32_t a, uint32_t b) {
                      return degree(a) > degree(b);
                    });
 
   const size_t chunks = (num_rows + kChunkRows - 1) / kChunkRows;
-  chunk_offsets.assign(chunks + 1, 0);
+  coff.assign(chunks + 1, 0);
   for (size_t c = 0; c < chunks; ++c) {
     uint64_t longest = 0;
     for (size_t r = 0; r < kChunkRows && c * kChunkRows + r < num_rows; ++r) {
       longest = std::max<uint64_t>(longest,
-                                   degree(row_order[c * kChunkRows + r]));
+                                   degree(order[c * kChunkRows + r]));
     }
-    chunk_offsets[c + 1] = chunk_offsets[c] + longest * kChunkRows;
+    coff[c + 1] = coff[c] + longest * kChunkRows;
   }
 
-  sources.assign(chunk_offsets[chunks], 0);
+  srcs.AssignZero(coff[chunks]);
   for (size_t c = 0; c < chunks; ++c) {
     for (size_t r = 0; r < kChunkRows && c * kChunkRows + r < num_rows; ++r) {
-      const uint32_t v = row_order[c * kChunkRows + r];
+      const uint32_t v = order[c * kChunkRows + r];
       const uint64_t begin = offsets[v];
       for (uint64_t j = 0; j < degree(v); ++j) {
         // e.target of an in-edge is the *source* u of the edge u -> v.
-        sources[chunk_offsets[c] + j * kChunkRows + r] =
-            edges[begin + j].target;
+        srcs[coff[c] + j * kChunkRows + r] = edges[begin + j].target;
       }
     }
   }
 
-  node_row.resize(num_rows);
-  for (size_t r = 0; r < num_rows; ++r) node_row[row_order[r]] = r;
-  sources_row.resize(sources.size());
-  for (size_t i = 0; i < sources.size(); ++i) {
-    sources_row[i] = node_row[sources[i]];
+  rows.resize(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) rows[order[r]] = r;
+  srcs_row.AssignZero(srcs.size());
+  for (size_t i = 0; i < srcs.size(); ++i) {
+    srcs_row[i] = rows[srcs[i]];
   }
+  sources = srcs.Finish();
+  sources_row = srcs_row.Finish();
   ORX_DCHECK_OK(ValidateInvariants(*this));
+}
+
+StatusOr<SellStructure> SellStructure::FromParts(
+    size_t num_rows, std::span<const uint32_t> row_order,
+    std::span<const uint32_t> node_row,
+    std::span<const uint64_t> chunk_offsets,
+    std::span<const uint32_t> sources, std::span<const uint32_t> sources_row,
+    std::shared_ptr<const void> keepalive) {
+  const size_t want_chunks =
+      (num_rows + kChunkRows - 1) / kChunkRows;
+  if (row_order.size() != num_rows || node_row.size() != num_rows ||
+      chunk_offsets.size() != want_chunks + 1) {
+    return DataLossError("SELL section shapes are inconsistent");
+  }
+  if (chunk_offsets.front() != 0 ||
+      chunk_offsets.back() != sources.size() ||
+      sources.size() != sources_row.size()) {
+    return DataLossError("SELL chunk offsets do not cover the slots");
+  }
+  for (size_t c = 0; c + 1 < chunk_offsets.size(); ++c) {
+    const uint64_t lo = chunk_offsets[c];
+    const uint64_t hi = chunk_offsets[c + 1];
+    if (hi < lo || (hi - lo) % kChunkRows != 0) {
+      return DataLossError("SELL chunk offsets are not monotone multiples "
+                           "of the chunk width");
+    }
+  }
+  SellStructure s;
+  s.num_rows = num_rows;
+  s.row_order = ArrayRef<uint32_t>::Borrowed(row_order, keepalive);
+  s.node_row = ArrayRef<uint32_t>::Borrowed(node_row, keepalive);
+  s.chunk_offsets = ArrayRef<uint64_t>::Borrowed(chunk_offsets, keepalive);
+  s.sources = ArrayRef<uint32_t>::Borrowed(sources, keepalive);
+  s.sources_row =
+      ArrayRef<uint32_t>::Borrowed(sources_row, std::move(keepalive));
+  return s;
 }
 
 FusedLayout::FusedLayout(const AuthorityGraph& graph,
@@ -79,7 +170,8 @@ FusedLayout::FusedLayout(const AuthorityGraph& graph,
   const std::span<const uint64_t> offsets = graph.in_offsets();
   const std::span<const AuthorityEdge> edges = graph.in_edges();
   const SellStructure& s = *structure_;
-  weights_.assign(s.padded_slots(), 0.0);
+  BuildArray<double> weights;
+  weights.AssignZero(s.padded_slots());
   for (size_t c = 0; c < s.num_chunks(); ++c) {
     for (size_t r = 0;
          r < SellStructure::kChunkRows &&
@@ -89,12 +181,30 @@ FusedLayout::FusedLayout(const AuthorityGraph& graph,
       const uint64_t begin = offsets[v];
       const uint64_t deg = offsets[v + 1] - begin;
       for (uint64_t j = 0; j < deg; ++j) {
-        weights_[s.chunk_offsets[c] + j * SellStructure::kChunkRows + r] =
+        weights[s.chunk_offsets[c] + j * SellStructure::kChunkRows + r] =
             AuthorityGraph::EdgeRate(edges[begin + j], rates);
       }
     }
   }
+  weights_ = weights.Finish();
   ORX_DCHECK_OK(ValidateInvariants(*this));
+}
+
+StatusOr<FusedLayout> FusedLayout::FromParts(
+    std::shared_ptr<const SellStructure> structure,
+    std::span<const double> weights, uint64_t fingerprint,
+    std::shared_ptr<const void> keepalive) {
+  if (structure == nullptr) {
+    return DataLossError("fused layout needs a SELL structure");
+  }
+  if (weights.size() != structure->padded_slots()) {
+    return DataLossError("fused weight array does not match the structure");
+  }
+  FusedLayout layout;
+  layout.structure_ = std::move(structure);
+  layout.weights_ = ArrayRef<double>::Borrowed(weights, std::move(keepalive));
+  layout.rates_fingerprint_ = fingerprint;
+  return layout;
 }
 
 void BlockVector::CopyLaneOut(size_t lane,
@@ -489,6 +599,24 @@ std::shared_ptr<const FusedLayout> FusedWeightCache::Get(
     layouts_.push_back(Slot{fingerprint, ++tick_, layout});
   }
   return layout;
+}
+
+void FusedWeightCache::Seed(const AuthorityGraph& graph,
+                            std::shared_ptr<const FusedLayout> layout) {
+  ORX_CHECK(layout != nullptr &&
+            layout->num_nodes() == graph.num_nodes());
+  std::lock_guard<std::mutex> lock(mu_);
+  BindLocked(graph);
+  if (structure_ == nullptr) structure_ = layout->shared_structure();
+  const uint64_t fingerprint = layout->rates_fingerprint();
+  for (Slot& slot : layouts_) {
+    if (slot.fingerprint == fingerprint) {
+      slot.last_used = ++tick_;
+      slot.layout = std::move(layout);
+      return;
+    }
+  }
+  layouts_.push_back(Slot{fingerprint, ++tick_, std::move(layout)});
 }
 
 std::shared_ptr<const std::vector<size_t>> FusedWeightCache::Partition(

@@ -37,22 +37,35 @@ struct SellStructure {
 
   /// Node ids in processing order; row i of the layout is node
   /// row_order[i]. Stable descending-in-degree sort of [0, n).
-  std::vector<uint32_t> row_order;
+  ArrayRef<uint32_t> row_order;
   /// Inverse of row_order: node v is row node_row[v].
-  std::vector<uint32_t> node_row;
+  ArrayRef<uint32_t> node_row;
   /// Cumulative padded slot counts per chunk (num_chunks() + 1 entries).
-  std::vector<uint64_t> chunk_offsets;
+  ArrayRef<uint64_t> chunk_offsets;
   /// Edge sources in SELL order; padding slots are 0.
-  std::vector<uint32_t> sources;
+  ArrayRef<uint32_t> sources;
   /// Edge sources as row indices (node_row[sources[slot]]): the SpMM
   /// block pass keeps its iterates in row order so its writeback is a
   /// sequential stream, and gathers through this array instead of
   /// sources. Padding slots are node_row[0].
-  std::vector<uint32_t> sources_row;
+  ArrayRef<uint32_t> sources_row;
   /// Number of real rows (== the graph's node count).
   size_t num_rows = 0;
 
+  SellStructure() = default;
   explicit SellStructure(const AuthorityGraph& graph);
+
+  /// Wraps a pre-built SELL structure zero-copy (the ORXD2 mmap path).
+  /// Checks array shapes and chunk_offsets monotonicity/alignment; the
+  /// per-slot bijection and source-bounds checks live in the structural
+  /// validator (graph/validate.h), which deep validation runs in full.
+  static StatusOr<SellStructure> FromParts(
+      size_t num_rows, std::span<const uint32_t> row_order,
+      std::span<const uint32_t> node_row,
+      std::span<const uint64_t> chunk_offsets,
+      std::span<const uint32_t> sources,
+      std::span<const uint32_t> sources_row,
+      std::shared_ptr<const void> keepalive);
 
   size_t num_chunks() const { return chunk_offsets.size() - 1; }
   uint64_t padded_slots() const { return chunk_offsets.back(); }
@@ -84,6 +97,16 @@ class FusedLayout {
   FusedLayout(const AuthorityGraph& graph, const TransferRates& rates,
               std::shared_ptr<const SellStructure> structure = nullptr);
 
+  /// Wraps a pre-built weight array zero-copy against an existing
+  /// structure (the ORXD2 mmap path). `fingerprint` must be the
+  /// Fingerprint() of the TransferRates the weights were resolved with —
+  /// it is the FusedWeightCache key, so a mismatch would serve wrong
+  /// weights forever.
+  static StatusOr<FusedLayout> FromParts(
+      std::shared_ptr<const SellStructure> structure,
+      std::span<const double> weights, uint64_t fingerprint,
+      std::shared_ptr<const void> keepalive);
+
   /// Fingerprint of the TransferRates baked into weights().
   uint64_t rates_fingerprint() const { return rates_fingerprint_; }
 
@@ -111,8 +134,10 @@ class FusedLayout {
   }
 
  private:
+  FusedLayout() = default;
+
   std::shared_ptr<const SellStructure> structure_;
-  std::vector<double> weights_;
+  ArrayRef<double> weights_;
   uint64_t rates_fingerprint_ = 0;
 };
 
@@ -254,6 +279,14 @@ class FusedWeightCache {
   /// first use for this rates fingerprint.
   std::shared_ptr<const FusedLayout> Get(const AuthorityGraph& graph,
                                          const TransferRates& rates);
+
+  /// Pre-populates the cache with an externally built layout (the ORXD2
+  /// mmap path): binds `graph`, adopts the layout's SELL structure as the
+  /// shared one, and memoizes the layout under its rates fingerprint.
+  /// The first Get() for the serving rates then returns the mmap-backed
+  /// layout instead of rebuilding seconds of SELL + weight resolution.
+  void Seed(const AuthorityGraph& graph,
+            std::shared_ptr<const FusedLayout> layout);
 
   /// Returns the `parts`-way balanced partition of the graph's SELL
   /// chunks (boundaries in chunk indices), computed once per

@@ -221,4 +221,36 @@ Status ValidateInvariants(const FusedLayout& layout) {
   return Status::OK();
 }
 
+Status ValidateDataEdges(const DataGraph& data) {
+  const SchemaGraph& schema = data.schema();
+  const size_t n = data.num_nodes();
+  std::ostringstream msg;
+  for (NodeId v = 0; v < n; ++v) {
+    if (data.NodeType(v) >= schema.num_node_types()) {
+      msg << "data graph: node " << v << " has type " << data.NodeType(v)
+          << ", schema has " << schema.num_node_types() << " types";
+      return Violation(msg.str());
+    }
+  }
+  size_t i = 0;
+  for (const DataEdge& e : data.edges()) {
+    if (e.from >= n || e.to >= n) {
+      msg << "data graph: edge " << i << " endpoint out of range";
+      return Violation(msg.str());
+    }
+    if (e.type >= schema.num_edge_types()) {
+      msg << "data graph: edge " << i << " has unknown type " << e.type;
+      return Violation(msg.str());
+    }
+    const SchemaEdge& se = schema.EdgeType(e.type);
+    if (data.NodeType(e.from) != se.from || data.NodeType(e.to) != se.to) {
+      msg << "data graph: edge " << i << " (" << e.from << " -> " << e.to
+          << ", type " << e.type << ") violates the schema declaration";
+      return Violation(msg.str());
+    }
+    ++i;
+  }
+  return Status::OK();
+}
+
 }  // namespace orx::graph

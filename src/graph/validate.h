@@ -55,6 +55,13 @@ Status ValidateInvariants(const SellStructure& sell);
 /// alpha * inv_out_deg with both factors in [0, 1]).
 Status ValidateInvariants(const FusedLayout& layout);
 
+/// Validates every data edge of `data` against its schema: endpoints in
+/// range and endpoint node types matching the edge type's declaration.
+/// Graphs built through AddNode/AddEdge conform by construction; this is
+/// the deep-validation pass for graphs attached from packed (ORXD2)
+/// storage, whose edge array is untrusted bytes.
+Status ValidateDataEdges(const DataGraph& data);
+
 }  // namespace orx::graph
 
 #endif  // ORX_GRAPH_VALIDATE_H_

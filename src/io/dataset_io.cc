@@ -71,9 +71,9 @@ Status SerializeDataset(const datasets::Dataset& dataset,
     WriteU32(out, data.NodeType(v));
     auto attrs = data.Attributes(v);
     WriteU32(out, static_cast<uint32_t>(attrs.size()));
-    for (const graph::Attribute& a : attrs) {
-      WriteString(out, a.name);
-      WriteString(out, a.value);
+    for (const graph::AttributeView a : attrs) {
+      WriteString(out, std::string(a.name));
+      WriteString(out, std::string(a.value));
     }
   }
   WriteU64(out, data.num_edges());

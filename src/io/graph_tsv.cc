@@ -34,8 +34,11 @@ std::string WriteGraphTsv(const datasets::Dataset& dataset) {
   for (graph::NodeId v = 0; v < data.num_nodes(); ++v) {
     out += "N\tn" + std::to_string(v) + "\t" +
            schema.NodeTypeLabel(data.NodeType(v));
-    for (const graph::Attribute& a : data.Attributes(v)) {
-      out += "\t" + a.name + "=" + a.value;
+    for (const graph::AttributeView a : data.Attributes(v)) {
+      out += '\t';
+      out += a.name;
+      out += '=';
+      out += a.value;
     }
     out += "\n";
   }

@@ -1,0 +1,69 @@
+#include "io/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace orx::io {
+
+StatusOr<std::shared_ptr<const MmapFile>> MmapFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return NotFoundError("cannot open " + path + ": " +
+                         std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("fstat " + path + ": " + err);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return InternalError("mmap " + path + ": " + err);
+    }
+  }
+  // The mapping pins the file; the descriptor is no longer needed.
+  ::close(fd);
+  return std::make_shared<const MmapFile>(MmapFile::Private(), addr, size,
+                                          path);
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+void MmapFile::Advise(size_t offset, size_t length, int advice) const {
+  if (addr_ == nullptr || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  // madvise wants a page-aligned base; widen the range to page bounds.
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t begin = offset & ~(page - 1);
+  const size_t end = offset + length;
+  ::madvise(static_cast<char*>(addr_) + begin, end - begin, advice);
+}
+
+void MmapFile::AdviseSequential(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_SEQUENTIAL);
+}
+
+void MmapFile::AdviseWillNeed(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_WILLNEED);
+}
+
+void MmapFile::AdviseRandom(size_t offset, size_t length) const {
+  Advise(offset, length, MADV_RANDOM);
+}
+
+}  // namespace orx::io

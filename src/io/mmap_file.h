@@ -1,0 +1,66 @@
+#ifndef ORX_IO_MMAP_FILE_H_
+#define ORX_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+
+namespace orx::io {
+
+/// A read-only memory-mapped file. The mapping is MAP_PRIVATE: the pages
+/// are backed by the file and paged in on demand, so "loading" a
+/// multi-gigabyte container is a few syscalls and the data streams
+/// through the page cache as it is touched — including structures larger
+/// than RAM (the kernel simply evicts cold pages). Borrowed ArrayRefs
+/// keep the mapping alive through the shared_ptr returned by Open.
+class MmapFile {
+ private:
+  /// Passkey: makes the public constructor callable only from Open (via
+  /// make_shared), keeping construction behind the factory.
+  struct Private {};
+
+ public:
+  /// Maps `path` read-only. kNotFound if it cannot be opened, kInternal
+  /// if the mmap itself fails. An empty file maps to a valid zero-length
+  /// instance.
+  static StatusOr<std::shared_ptr<const MmapFile>> Open(
+      const std::string& path);
+
+  MmapFile(Private, void* addr, size_t size, std::string path)
+      : addr_(addr), size_(size), path_(std::move(path)) {}
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+  std::span<const char> bytes() const { return {data(), size_}; }
+  const std::string& path() const { return path_; }
+
+  /// madvise hints, clamped and page-aligned internally; best-effort
+  /// (advice failures are ignored — they only affect readahead).
+  /// Sequential: the range will be streamed front to back (double
+  /// readahead, drop-behind) — the out-of-core SpMV posture for the big
+  /// SELL sections.
+  void AdviseSequential(size_t offset, size_t length) const;
+  /// WillNeed: fault the range in ahead of first use — small hot
+  /// sections (offsets, metadata) a serving process touches immediately.
+  void AdviseWillNeed(size_t offset, size_t length) const;
+  /// Random: disable readahead — point lookups (attribute heap).
+  void AdviseRandom(size_t offset, size_t length) const;
+
+ private:
+  void Advise(size_t offset, size_t length, int advice) const;
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace orx::io
+
+#endif  // ORX_IO_MMAP_FILE_H_

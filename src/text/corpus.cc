@@ -11,8 +11,13 @@ Corpus Corpus::Build(const graph::DataGraph& data,
                      const CorpusOptions& options) {
   Corpus corpus;
   const size_t n = data.num_nodes();
-  corpus.doc_lengths_.resize(n, 0);
-  corpus.doc_terms_offsets_.assign(n + 1, 0);
+  std::vector<uint32_t>& doc_lengths = corpus.doc_lengths_.mut();
+  std::vector<uint64_t>& doc_terms_offsets = corpus.doc_terms_offsets_.mut();
+  std::vector<DocTerm>& doc_terms = corpus.doc_terms_.mut();
+  std::vector<uint64_t>& postings_offsets = corpus.postings_offsets_.mut();
+  std::vector<Posting>& postings = corpus.postings_.mut();
+  doc_lengths.resize(n, 0);
+  doc_terms_offsets.assign(n + 1, 0);
 
   // Pass 1: tokenize every document, assign term ids, build the forward
   // index, and accumulate document frequencies.
@@ -22,13 +27,13 @@ Corpus Corpus::Build(const graph::DataGraph& data,
   for (graph::NodeId v = 0; v < n; ++v) {
     std::string text = data.Text(v);
     if (options.include_attribute_names) {
-      for (const graph::Attribute& a : data.Attributes(v)) {
+      for (const graph::AttributeView a : data.Attributes(v)) {
         if (a.name.empty()) continue;
         if (!text.empty()) text += ' ';
         text += a.name;
       }
     }
-    corpus.doc_lengths_[v] = static_cast<uint32_t>(text.size());
+    doc_lengths[v] = static_cast<uint32_t>(text.size());
     total_chars += text.size();
 
     doc_counts.clear();
@@ -58,32 +63,102 @@ Corpus Corpus::Build(const graph::DataGraph& data,
     doc_counts.resize(unique);
 
     for (const auto& [term, tf] : doc_counts) {
-      corpus.doc_terms_.push_back(DocTerm{term, tf});
+      doc_terms.push_back(DocTerm{term, tf});
       ++dfs[term];
     }
-    corpus.doc_terms_offsets_[v + 1] = corpus.doc_terms_.size();
+    doc_terms_offsets[v + 1] = doc_terms.size();
   }
   corpus.avdl_ =
       n == 0 ? 0.0 : static_cast<double>(total_chars) / static_cast<double>(n);
 
   // Pass 2: invert the forward index into per-term postings (CSR).
   const size_t vocab = corpus.term_strings_.size();
-  corpus.postings_offsets_.assign(vocab + 1, 0);
+  postings_offsets.assign(vocab + 1, 0);
   for (TermId t = 0; t < vocab; ++t) {
-    corpus.postings_offsets_[t + 1] = corpus.postings_offsets_[t] + dfs[t];
+    postings_offsets[t + 1] = postings_offsets[t] + dfs[t];
   }
-  corpus.postings_.resize(corpus.doc_terms_.size());
-  std::vector<uint64_t> cursor(corpus.postings_offsets_.begin(),
-                               corpus.postings_offsets_.end() - 1);
+  postings.resize(doc_terms.size());
+  std::vector<uint64_t> cursor(postings_offsets.begin(),
+                               postings_offsets.end() - 1);
   for (graph::NodeId v = 0; v < n; ++v) {
     for (const DocTerm& dt : corpus.DocTerms(v)) {
-      corpus.postings_[cursor[dt.term]++] = Posting{v, dt.tf};
+      postings[cursor[dt.term]++] = Posting{v, dt.tf};
     }
   }
   for (TermId t = 0; t < vocab; ++t) {
-    ORX_DCHECK(cursor[t] == corpus.postings_offsets_[t + 1]);
+    ORX_DCHECK(cursor[t] == postings_offsets[t + 1]);
   }
   return corpus;
+}
+
+StatusOr<Corpus> Corpus::FromParts(
+    double avdl, std::span<const char> term_heap,
+    std::span<const uint64_t> term_offsets,
+    std::span<const uint32_t> doc_lengths,
+    std::span<const uint64_t> postings_offsets,
+    std::span<const Posting> postings,
+    std::span<const uint64_t> doc_terms_offsets,
+    std::span<const DocTerm> doc_terms,
+    std::shared_ptr<const void> keepalive) {
+  const size_t n = doc_lengths.size();
+  if (doc_terms_offsets.size() != n + 1 || term_offsets.empty() ||
+      postings_offsets.size() != term_offsets.size()) {
+    return DataLossError("corpus section shapes are inconsistent");
+  }
+  if (postings_offsets.front() != 0 ||
+      postings_offsets.back() != postings.size() ||
+      doc_terms_offsets.front() != 0 ||
+      doc_terms_offsets.back() != doc_terms.size() ||
+      term_offsets.front() != 0 || term_offsets.back() != term_heap.size()) {
+    return DataLossError("corpus CSR offsets do not cover their arrays");
+  }
+  for (size_t i = 0; i + 1 < postings_offsets.size(); ++i) {
+    if (postings_offsets[i] > postings_offsets[i + 1] ||
+        term_offsets[i] > term_offsets[i + 1]) {
+      return DataLossError("corpus term offsets are not monotonic");
+    }
+  }
+  for (size_t i = 0; i + 1 < doc_terms_offsets.size(); ++i) {
+    if (doc_terms_offsets[i] > doc_terms_offsets[i + 1]) {
+      return DataLossError("corpus doc-term offsets are not monotonic");
+    }
+  }
+  Corpus corpus;
+  corpus.avdl_ = avdl;
+  const size_t vocab = term_offsets.size() - 1;
+  corpus.term_strings_.reserve(vocab);
+  corpus.term_ids_.reserve(vocab);
+  for (size_t t = 0; t < vocab; ++t) {
+    corpus.term_strings_.emplace_back(
+        term_heap.data() + term_offsets[t],
+        static_cast<size_t>(term_offsets[t + 1] - term_offsets[t]));
+    auto [it, inserted] = corpus.term_ids_.try_emplace(
+        corpus.term_strings_.back(), static_cast<TermId>(t));
+    if (!inserted) return DataLossError("corpus term heap has duplicates");
+  }
+  corpus.doc_lengths_ = ArrayRef<uint32_t>::Borrowed(doc_lengths, keepalive);
+  corpus.postings_offsets_ =
+      ArrayRef<uint64_t>::Borrowed(postings_offsets, keepalive);
+  corpus.postings_ = ArrayRef<Posting>::Borrowed(postings, keepalive);
+  corpus.doc_terms_offsets_ =
+      ArrayRef<uint64_t>::Borrowed(doc_terms_offsets, keepalive);
+  corpus.doc_terms_ =
+      ArrayRef<DocTerm>::Borrowed(doc_terms, std::move(keepalive));
+  return corpus;
+}
+
+Corpus::PackedTerms Corpus::PackTerms() const {
+  PackedTerms out;
+  out.offsets.reserve(term_strings_.size() + 1);
+  out.offsets.push_back(0);
+  size_t total = 0;
+  for (const std::string& s : term_strings_) total += s.size();
+  out.heap.reserve(total);
+  for (const std::string& s : term_strings_) {
+    out.heap += s;
+    out.offsets.push_back(out.heap.size());
+  }
+  return out;
 }
 
 std::optional<TermId> Corpus::TermIdOf(std::string_view term) const {

@@ -2,6 +2,7 @@
 #define ORX_TEXT_CORPUS_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -9,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/array_ref.h"
+#include "common/status.h"
 #include "graph/data_graph.h"
 
 namespace orx::text {
@@ -53,6 +56,22 @@ class Corpus {
   /// Indexes every node of `data`. O(total text size).
   static Corpus Build(const graph::DataGraph& data,
                       const CorpusOptions& options = CorpusOptions());
+
+  /// Wraps pre-built index arrays zero-copy (the ORXD2 mmap path). The
+  /// CSR arrays are borrowed; only the vocabulary (term strings and the
+  /// term -> id hash) is rebuilt owned from `term_heap` /
+  /// `term_offsets` — it is orders of magnitude smaller than the
+  /// postings. Checks shapes and offset monotonicity; per-posting doc
+  /// bounds are the caller's deep-validation step.
+  static StatusOr<Corpus> FromParts(
+      double avdl, std::span<const char> term_heap,
+      std::span<const uint64_t> term_offsets,
+      std::span<const uint32_t> doc_lengths,
+      std::span<const uint64_t> postings_offsets,
+      std::span<const Posting> postings,
+      std::span<const uint64_t> doc_terms_offsets,
+      std::span<const DocTerm> doc_terms,
+      std::shared_ptr<const void> keepalive);
 
   /// Number of indexed documents n (== data.num_nodes()).
   size_t num_docs() const { return doc_lengths_.size(); }
@@ -99,24 +118,45 @@ class Corpus {
   /// Approximate in-memory footprint in bytes.
   size_t MemoryFootprintBytes() const;
 
+  /// Raw views of the index arrays for the ORXD2 container writer.
+  std::span<const uint32_t> doc_lengths() const { return doc_lengths_; }
+  std::span<const uint64_t> postings_offsets() const {
+    return postings_offsets_;
+  }
+  std::span<const Posting> all_postings() const { return postings_; }
+  std::span<const uint64_t> doc_terms_offsets() const {
+    return doc_terms_offsets_;
+  }
+  std::span<const DocTerm> all_doc_terms() const { return doc_terms_; }
+
+  /// The vocabulary flattened for the container writer: vocab_size() + 1
+  /// cumulative offsets into a concatenated term heap.
+  struct PackedTerms {
+    std::vector<uint64_t> offsets;
+    std::string heap;
+  };
+  PackedTerms PackTerms() const;
+
  private:
   Corpus() = default;
 
-  std::vector<uint32_t> doc_lengths_;
+  ArrayRef<uint32_t> doc_lengths_;
   double avdl_ = 0.0;
 
+  // The vocabulary is always owned (rebuilt from the heap on mmap
+  // attach); the large CSR arrays below may borrow file-backed storage.
   std::vector<std::string> term_strings_;
   std::unordered_map<std::string, TermId> term_ids_;
 
   // Inverted index (CSR): postings of term t live in
   // [postings_offsets_[t], postings_offsets_[t+1]).
-  std::vector<uint64_t> postings_offsets_;
-  std::vector<Posting> postings_;
+  ArrayRef<uint64_t> postings_offsets_;
+  ArrayRef<Posting> postings_;
 
   // Forward index (CSR): terms of doc v live in
   // [doc_terms_offsets_[v], doc_terms_offsets_[v+1]).
-  std::vector<uint64_t> doc_terms_offsets_;
-  std::vector<DocTerm> doc_terms_;
+  ArrayRef<uint64_t> doc_terms_offsets_;
+  ArrayRef<DocTerm> doc_terms_;
 };
 
 }  // namespace orx::text

@@ -1,0 +1,215 @@
+#include "datasets/dblp_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "datasets/dblp_generator.h"
+#include "datasets/dblp_xml.h"
+
+#ifdef ORX_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace orx::datasets {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = dir != nullptr ? dir : "/tmp";
+  path += "/orx_dblp_stream_" + std::to_string(::getpid()) + "_" + name;
+  return path;
+}
+
+/// A mid-sized synthetic corpus serialized to XML: enough records that a
+/// small unit size forces many parallel work units.
+std::string GeneratedXml(uint32_t papers, uint64_t seed) {
+  DblpDataset generated =
+      GenerateDblp(DblpGeneratorConfig::Tiny(papers, seed));
+  return WriteDblpXml(generated.dataset.data(), generated.types);
+}
+
+/// The streaming result must match the whole-buffer parser exactly:
+/// same statistics and a byte-identical re-serialization (node ids and
+/// edge order included).
+void ExpectSameParse(const DblpParseResult& a, const DblpParseResult& b) {
+  EXPECT_EQ(a.papers, b.papers);
+  EXPECT_EQ(a.authors, b.authors);
+  EXPECT_EQ(a.conferences, b.conferences);
+  EXPECT_EQ(a.years, b.years);
+  EXPECT_EQ(a.citations_resolved, b.citations_resolved);
+  EXPECT_EQ(a.citations_unresolved, b.citations_unresolved);
+  EXPECT_EQ(a.dataset.data().num_nodes(), b.dataset.data().num_nodes());
+  EXPECT_EQ(WriteDblpXml(a.dataset.data(), a.types),
+            WriteDblpXml(b.dataset.data(), b.types));
+}
+
+TEST(DblpStreamTest, MatchesWholeBufferParserAcrossUnitSizes) {
+  const std::string xml = GeneratedXml(400, 7);
+  auto whole = ParseDblpXml(xml);
+  ASSERT_TRUE(whole.ok()) << whole.status().message();
+
+  // Unit sizes from per-record to bigger-than-the-file, odd read chunks
+  // so record tags straddle refill boundaries.
+  for (const size_t unit : {size_t{1}, size_t{512}, size_t{64} << 10,
+                            size_t{64} << 20}) {
+    DblpStreamOptions options;
+    options.num_threads = 4;
+    options.unit_bytes = unit;
+    options.read_chunk_bytes = 4097;
+    std::istringstream in(xml);
+    auto streamed = ParseDblpXmlStream(in, options);
+    ASSERT_TRUE(streamed.ok())
+        << "unit=" << unit << ": " << streamed.status().message();
+    ExpectSameParse(*whole, *streamed);
+  }
+}
+
+TEST(DblpStreamTest, HandlesPrologueCommentsAndTrailingContent) {
+  std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE dblp SYSTEM \"dblp.dtd\">\n"
+      "<!-- a comment\n spanning lines -->\n"
+      "<dblp>\n"
+      "  <inproceedings key=\"conf/a/X1\">\n"
+      "    <author>A. One</author>\n"
+      "    <title>Streams &amp; Graphs</title>\n"
+      "    <year>2008</year>\n"
+      "    <booktitle>ICDE</booktitle>\n"
+      "  </inproceedings>\n"
+      "</dblp>\n"
+      "trailing junk the parser never sees";
+  std::istringstream in(xml);
+  auto result = ParseDblpXmlStream(in);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result->papers, 1u);
+  EXPECT_EQ(result->authors, 1u);
+}
+
+TEST(DblpStreamTest, ErrorsCarryOriginalFileLineNumbers) {
+  // Build a document whose malformed record sits far past the first
+  // work unit, then check the reported line is the original file's.
+  std::string xml = "<dblp>\n";
+  int line = 2;
+  for (int i = 0; i < 200; ++i) {
+    xml += "<inproceedings key=\"k" + std::to_string(i) +
+           "\">\n<title>T</title>\n<year>2000</year>\n"
+           "<booktitle>B</booktitle>\n</inproceedings>\n";
+    line += 5;
+  }
+  xml += "<inproceedings key=\"bad\">\n<title>T&bogus;</title>\n";
+  const int bad_line = line + 1;  // the <title> line holds the entity
+  xml += "<year>2000</year>\n<booktitle>B</booktitle>\n</inproceedings>\n";
+  xml += "</dblp>\n";
+
+  DblpStreamOptions options;
+  options.unit_bytes = 256;  // many units before the bad record
+  options.read_chunk_bytes = 4096;
+  std::istringstream in(xml);
+  auto result = ParseDblpXmlStream(in, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line " +
+                                           std::to_string(bad_line)),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(DblpStreamTest, MissingRootAndMissingCloseAreDataLoss) {
+  {
+    std::istringstream in("<?xml version=\"1.0\"?>\n<notdblp>");
+    auto result = ParseDblpXmlStream(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("expected <dblp> root"),
+              std::string::npos);
+  }
+  {
+    std::istringstream in(
+        "<dblp>\n<inproceedings key=\"k\">\n<title>T</title>\n"
+        "<year>2000</year>\n<booktitle>B</booktitle>\n</inproceedings>\n");
+    auto result = ParseDblpXmlStream(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("missing </dblp>"),
+              std::string::npos);
+  }
+}
+
+TEST(DblpStreamTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ParseDblpXmlStreamFile("/nonexistent/dblp.xml").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DblpStreamTest, PlainFileRoundTripsThroughStreamFile) {
+  const std::string xml = GeneratedXml(120, 11);
+  const std::string path = TempPath("plain.xml");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << xml;
+  }
+  auto whole = ParseDblpXml(xml);
+  ASSERT_TRUE(whole.ok());
+  auto streamed = ParseDblpXmlStreamFile(path);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+  ExpectSameParse(*whole, *streamed);
+  std::remove(path.c_str());
+}
+
+#ifdef ORX_HAVE_ZLIB
+std::string GzipCompress(const std::string& input) {
+  z_stream strm;
+  std::memset(&strm, 0, sizeof(strm));
+  // windowBits 15 + 16 writes gzip framing (magic 1f 8b).
+  EXPECT_EQ(deflateInit2(&strm, Z_BEST_SPEED, Z_DEFLATED, 15 + 16, 8,
+                         Z_DEFAULT_STRATEGY),
+            Z_OK);
+  std::string out(compressBound(static_cast<uLong>(input.size())) + 32, '\0');
+  strm.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(input.data()));
+  strm.avail_in = static_cast<uInt>(input.size());
+  strm.next_out = reinterpret_cast<Bytef*>(out.data());
+  strm.avail_out = static_cast<uInt>(out.size());
+  EXPECT_EQ(deflate(&strm, Z_FINISH), Z_STREAM_END);
+  out.resize(out.size() - strm.avail_out);
+  deflateEnd(&strm);
+  return out;
+}
+
+TEST(DblpStreamTest, GzipFileDecompressesOnTheFly) {
+  const std::string xml = GeneratedXml(300, 13);
+  const std::string path = TempPath("dump.xml.gz");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << GzipCompress(xml);
+  }
+  auto whole = ParseDblpXml(xml);
+  ASSERT_TRUE(whole.ok());
+  DblpStreamOptions options;
+  options.unit_bytes = 32 << 10;
+  auto streamed = ParseDblpXmlStreamFile(path, options);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().message();
+  ExpectSameParse(*whole, *streamed);
+  std::remove(path.c_str());
+}
+
+TEST(DblpStreamTest, TruncatedGzipIsDataLoss) {
+  const std::string gz = GzipCompress(GeneratedXml(100, 3));
+  const std::string path = TempPath("trunc.xml.gz");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << gz.substr(0, gz.size() / 2);
+  }
+  auto result = ParseDblpXmlStreamFile(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+#endif  // ORX_HAVE_ZLIB
+
+}  // namespace
+}  // namespace orx::datasets

@@ -44,8 +44,8 @@ struct RankCacheTestPeer {
   static double Mass(const RankCache& cache, const std::string& term) {
     return cache.entries_.at(term).mass;
   }
-  static const std::vector<float>& Scores(const RankCache& cache,
-                                          const std::string& term) {
+  static std::span<const float> Scores(const RankCache& cache,
+                                       const std::string& term) {
     return cache.entries_.at(term).scores;
   }
 };
@@ -264,9 +264,9 @@ TEST_F(MutateEquivalenceTest, IncrementalMatchesFullRebuildOver200Batches) {
       EXPECT_EQ(RankCacheTestPeer::Mass(incremental, term),
                 RankCacheTestPeer::Mass(full, term))
           << term << " round " << round;
-      const std::vector<float>& inc_scores =
+      const std::span<const float> inc_scores =
           RankCacheTestPeer::Scores(incremental, term);
-      const std::vector<float>& full_scores =
+      const std::span<const float> full_scores =
           RankCacheTestPeer::Scores(full, term);
       ASSERT_EQ(inc_scores.size(), full_scores.size());
       const bool reused =
@@ -280,7 +280,7 @@ TEST_F(MutateEquivalenceTest, IncrementalMatchesFullRebuildOver200Batches) {
       }
       if (reused) {
         // Reused verbatim: bit-identical to the previous cache.
-        const std::vector<float>& old_scores =
+        const std::span<const float> old_scores =
             RankCacheTestPeer::Scores(cache, term);
         ASSERT_EQ(inc_scores.size(), old_scores.size());
         for (size_t v = 0; v < inc_scores.size(); ++v) {
@@ -347,8 +347,9 @@ TEST_F(MutateEquivalenceTest, MassiveDirtyRegionFallsBackToFullRebuild) {
   for (const std::string& term : terms_) {
     ASSERT_EQ(incremental.Contains(term), full.Contains(term)) << term;
     if (!full.Contains(term)) continue;
-    const std::vector<float>& a = RankCacheTestPeer::Scores(incremental, term);
-    const std::vector<float>& b = RankCacheTestPeer::Scores(full, term);
+    const std::span<const float> a =
+        RankCacheTestPeer::Scores(incremental, term);
+    const std::span<const float> b = RankCacheTestPeer::Scores(full, term);
     ASSERT_EQ(a.size(), b.size());
     for (size_t v = 0; v < a.size(); ++v) {
       ASSERT_EQ(a[v], b[v]) << term << " node " << v;

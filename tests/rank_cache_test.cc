@@ -15,7 +15,7 @@ namespace orx::core {
 // whose length disagrees with num_nodes_) that the public API rejects.
 struct RankCacheTestPeer {
   static void AppendScore(RankCache& cache, const std::string& term) {
-    cache.entries_.at(term).scores.push_back(0.0f);
+    cache.entries_.at(term).scores.mut().push_back(0.0f);
   }
 };
 

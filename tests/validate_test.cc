@@ -18,14 +18,14 @@ namespace orx::core {
 // binary carries its own copy).
 struct RankCacheTestPeer {
   static void AppendScore(RankCache& cache, const std::string& term) {
-    cache.entries_.at(term).scores.push_back(0.0f);
+    cache.entries_.at(term).scores.mut().push_back(0.0f);
   }
   static void SetMass(RankCache& cache, const std::string& term, double mass) {
     cache.entries_.at(term).mass = mass;
   }
   static void SetScore(RankCache& cache, const std::string& term, size_t node,
                        float value) {
-    cache.entries_.at(term).scores[node] = value;
+    cache.entries_.at(term).scores.mut()[node] = value;
   }
 };
 
@@ -126,7 +126,7 @@ TEST_F(ValidateTest, SellRejectsBadSlicePadding) {
   SellStructure sell(authority());
   // A chunk's slot count must be a multiple of kChunkRows; growing the
   // final cumulative offset by a non-multiple breaks exactly that.
-  sell.chunk_offsets.back() += 3;
+  sell.chunk_offsets.mut().back() += 3;
   Status status = ValidateInvariants(sell);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find("multiple"), std::string::npos)
@@ -136,7 +136,7 @@ TEST_F(ValidateTest, SellRejectsBadSlicePadding) {
 TEST_F(ValidateTest, SellRejectsNonBijectivePermutation) {
   SellStructure sell(authority());
   ASSERT_GE(sell.num_rows, 2u);
-  sell.row_order[0] = sell.row_order[1];  // two rows claim one node
+  sell.row_order.mut()[0] = sell.row_order[1];  // two rows claim one node
   Status status = ValidateInvariants(sell);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.message().find("bijection"), std::string::npos)
@@ -146,7 +146,7 @@ TEST_F(ValidateTest, SellRejectsNonBijectivePermutation) {
 TEST_F(ValidateTest, SellRejectsInconsistentSourcesRow) {
   SellStructure sell(authority());
   ASSERT_FALSE(sell.sources_row.empty());
-  sell.sources_row[0] =
+  sell.sources_row.mut()[0] =
       (sell.sources_row[0] + 1) % static_cast<uint32_t>(sell.num_rows);
   EXPECT_FALSE(ValidateInvariants(sell).ok());
 }

@@ -9,19 +9,28 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/status.h"
 #include "datasets/dblp_generator.h"
+#include "io/snapshot_io.h"
 #include "serve/snapshot.h"
 #include "text/corpus.h"
 
 namespace orx::tools {
 
-/// The dataset orx_serve and orx_client agree on: a deterministic scaled
-/// DblpTop generation with ground-truth transfer rates. Generation is
-/// seeded, so a client started with the same --scale as the server
-/// reproduces the server's snapshot exactly — the e2e mode leans on that
-/// to compare wire responses against in-process golden results.
+/// The dataset orx_serve and orx_client agree on. Two ways to get one:
+///  * BuildServingDataset(scale): a deterministic scaled DblpTop
+///    generation with ground-truth transfer rates. Generation is seeded,
+///    so a client started with the same --scale as the server reproduces
+///    the server's snapshot exactly — the e2e mode leans on that to
+///    compare wire responses against in-process golden results.
+///  * BuildServingDatasetFromContainer(path): zero-copy attach of an
+///    ORXD2 container (plus an optional ORXC2 rank cache). A client
+///    pointed at the same files reproduces the snapshot the same way.
 struct ServingDataset {
+  /// Set by the generated path (the snapshot aliases it).
   std::shared_ptr<datasets::DblpDataset> dblp;
+  /// Set by the container path (the snapshot aliases this instead).
+  std::shared_ptr<const io::MappedDataset> mapped;
   std::shared_ptr<serve::ServeSnapshot> snapshot;
   std::string description;
   /// Highest-document-frequency terms, most frequent first: the load
@@ -29,6 +38,24 @@ struct ServingDataset {
   /// suggestions.
   std::vector<std::string> head_terms;
 };
+
+inline std::vector<std::string> HeadTerms(const text::Corpus& corpus,
+                                          size_t max_head_terms) {
+  std::vector<std::pair<uint32_t, std::string>> by_df;
+  by_df.reserve(corpus.vocab_size());
+  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
+    by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+  }
+  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> head;
+  for (size_t i = 0; i < by_df.size() && head.size() < max_head_terms; ++i) {
+    head.push_back(std::move(by_df[i].second));
+  }
+  return head;
+}
 
 inline ServingDataset BuildServingDataset(double scale,
                                           size_t max_head_terms = 64) {
@@ -45,21 +72,49 @@ inline ServingDataset BuildServingDataset(double scale,
   out.description =
       std::to_string(out.dblp->dataset.data().num_nodes()) + " nodes, " +
       std::to_string(out.dblp->dataset.authority().num_edges()) + " edges";
+  out.head_terms = HeadTerms(out.dblp->dataset.corpus(), max_head_terms);
+  return out;
+}
 
-  const text::Corpus& corpus = out.dblp->dataset.corpus();
-  std::vector<std::pair<uint32_t, std::string>> by_df;
-  by_df.reserve(corpus.vocab_size());
-  for (text::TermId t = 0; t < corpus.vocab_size(); ++t) {
-    by_df.emplace_back(corpus.Df(t), corpus.TermString(t));
+/// Attaches an ORXD2 container (and optionally an ORXC2 rank cache) as
+/// the serving dataset. The snapshot's graph components alias the
+/// mapping; nothing large is copied. The rank cache must have been built
+/// for this dataset — node count and rates fingerprint are cross-checked
+/// so a stale cache fails the attach instead of serving wrong scores.
+inline StatusOr<ServingDataset> BuildServingDatasetFromContainer(
+    const std::string& dataset_path, const std::string& rank_cache_path,
+    size_t max_head_terms = 64) {
+  ServingDataset out;
+  auto mapped = io::OpenMappedDataset(dataset_path);
+  if (!mapped.ok()) return mapped.status();
+  out.mapped = *mapped;
+  out.snapshot = std::make_shared<serve::ServeSnapshot>(
+      io::SnapshotFromMapped(*mapped));
+  if (!rank_cache_path.empty()) {
+    auto cache = io::OpenMappedRankCache(rank_cache_path);
+    if (!cache.ok()) return cache.status();
+    if (cache->num_nodes() != out.mapped->authority().num_nodes()) {
+      return InvalidArgumentError(
+          "rank cache " + rank_cache_path + " covers " +
+          std::to_string(cache->num_nodes()) + " nodes but dataset " +
+          dataset_path + " has " +
+          std::to_string(out.mapped->authority().num_nodes()));
+    }
+    if (cache->rates_fingerprint() != out.mapped->rates().Fingerprint()) {
+      return InvalidArgumentError(
+          "rank cache " + rank_cache_path +
+          " was built for different transfer rates than dataset " +
+          dataset_path + " serves (fingerprint mismatch)");
+    }
+    out.snapshot->rank_cache =
+        std::make_shared<const core::RankCache>(std::move(*cache));
   }
-  std::sort(by_df.begin(), by_df.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
-  for (size_t i = 0; i < by_df.size() && out.head_terms.size() < max_head_terms;
-       ++i) {
-    out.head_terms.push_back(by_df[i].second);
-  }
+  out.description =
+      out.mapped->name() + ": " +
+      std::to_string(out.mapped->data().num_nodes()) + " nodes, " +
+      std::to_string(out.mapped->authority().num_edges()) +
+      " edges (mmap " + dataset_path + ")";
+  out.head_terms = HeadTerms(out.mapped->corpus(), max_head_terms);
   return out;
 }
 

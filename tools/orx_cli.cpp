@@ -28,8 +28,10 @@
 #include "datasets/zipf.h"
 #include "explain/explainer.h"
 #include "graph/validate.h"
+#include "io/container.h"
 #include "io/dataset_io.h"
 #include "io/graph_tsv.h"
+#include "io/snapshot_io.h"
 #include "net/net_util.h"
 #include "reformulate/reformulator.h"
 #include "serve/search_service.h"
@@ -56,8 +58,12 @@ constexpr const char* kHelp = R"(commands:
   precompute off              detach the rank cache
   serve-bench [clients [queries]] [--max_batch_size=N]
               [--max_batch_delay_ms=X]   load-test a SearchService
-  validate [file]             deep structural check of an .orxd dataset or
-                              .orxc rank cache (no file: current dataset)
+  pack <f.orxd2> [f.orxc2]    write the dataset (and attached rank cache)
+                              as zero-copy mmap containers (orx_serve
+                              --dataset / --rank-cache attach them)
+  validate [file]             deep structural check of an .orxd dataset,
+                              .orxc rank cache, or .orxd2/.orxc2 mmap
+                              container (no file: current dataset)
   query <keywords...>         run ObjectRank2
   explain <rank>              explaining subgraph of a result
   feedback <rank> [rank...]   reformulate from relevant results
@@ -509,16 +515,40 @@ void DoValidate(CliState& state, const std::string& args) {
     std::printf("%s\n", status.ok() ? "dataset OK" : status.ToString().c_str());
     return;
   }
-  // Dispatch on the file's magic: "ORXD" datasets, "ORXC" rank caches.
-  char magic[4] = {};
+  // Dispatch on the file's magic: "ORXD2"/"ORXC2" mmap containers first
+  // (their 8-byte magic shares the old formats' 4-byte prefix), then the
+  // streamed "ORXD" datasets and "ORXC" rank caches.
+  char magic[8] = {};
   {
     std::ifstream in(path, std::ios::binary);
     if (!in || !in.read(magic, 4)) {
       std::printf("cannot read %s\n", path.c_str());
       return;
     }
+    in.read(magic + 4, 4);  // optional: old files may be this short
   }
-  if (std::string_view(magic, 4) == "ORXD") {
+  if (std::equal(magic, magic + 8, orx::io::kDatasetMagic)) {
+    // Deep validation is the point here: hashes over every section,
+    // per-edge schema conformance, CSR/SELL cross-checks, corpus bounds.
+    auto mapped = orx::io::OpenMappedDataset(path);
+    if (!mapped.ok()) {
+      std::printf("%s\n", mapped.status().ToString().c_str());
+      return;
+    }
+    std::printf("mmap dataset OK: '%s', %zu nodes, %zu edges, %zu terms\n",
+                (*mapped)->name().c_str(),
+                (*mapped)->data().num_nodes(),
+                (*mapped)->authority().num_edges(),
+                (*mapped)->corpus().vocab_size());
+  } else if (std::equal(magic, magic + 8, orx::io::kRankCacheMagic)) {
+    auto cache = orx::io::OpenMappedRankCache(path);
+    if (!cache.ok()) {
+      std::printf("%s\n", cache.status().ToString().c_str());
+      return;
+    }
+    std::printf("mmap rank cache OK: %zu terms x %zu nodes\n",
+                cache->Terms().size(), cache->num_nodes());
+  } else if (std::string_view(magic, 4) == "ORXD") {
     auto loaded = orx::io::LoadDataset(path);
     if (!loaded.ok()) {
       std::printf("%s\n", loaded.status().ToString().c_str());
@@ -541,6 +571,31 @@ void DoValidate(CliState& state, const std::string& args) {
   } else {
     std::printf("%s: unrecognized magic (expected ORXD or ORXC)\n",
                 path.c_str());
+  }
+}
+
+void DoPack(CliState& state, const std::string& args) {
+  if (!state.Ready()) return;
+  auto tokens = SplitWhitespace(args);
+  if (tokens.empty() || tokens.size() > 2) {
+    std::printf("usage: pack <dataset.orxd2> [rank-cache.orxc2]\n");
+    return;
+  }
+  Status status =
+      orx::io::WriteDatasetContainer(*state.dataset, state.rates, tokens[0]);
+  if (!status.ok()) {
+    std::printf("%s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("packed %s\n", tokens[0].c_str());
+  if (tokens.size() == 2) {
+    if (state.rank_cache == nullptr) {
+      std::printf("no rank cache attached (run 'precompute' first)\n");
+      return;
+    }
+    status = orx::io::WriteRankCacheContainer(*state.rank_cache, tokens[1]);
+    std::printf("%s\n", status.ok() ? ("packed " + tokens[1]).c_str()
+                                    : status.ToString().c_str());
   }
 }
 
@@ -658,6 +713,8 @@ int main() {
       std::printf("k = %zu\n", state.search_options.k);
     } else if (command == "validate") {
       DoValidate(state, args);
+    } else if (command == "pack") {
+      DoPack(state, args);
     } else if (command == "precompute") {
       DoPrecompute(state, args);
     } else if (command == "serve-bench") {

@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +75,14 @@ struct ClientFlags {
   std::string host = "127.0.0.1";
   int port = 0;
   double scale = 0.05;
+  std::string dataset;     // ORXD2 container; empty = generate (--scale)
+  std::string rank_cache;  // optional ORXC2 alongside --dataset
+  // e2e score comparison tolerance (relative). < 0 = pick the default:
+  // exact (0) against a generated server, 1e-12 against --dataset — the
+  // mmap attach is bit-identical by design, but a server with a rank
+  // cache the goldens lack answers from precomputed scores whose last
+  // bits legitimately differ from a fresh power iteration.
+  double score_tol = -1.0;
   // load:
   int threads = 4;
   int connections = 64;
@@ -99,6 +108,11 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --mode interactive|e2e|load|bench --port P [--host H]\n"
       "  common: --scale S (dataset for query mix / e2e goldens)\n"
+      "          --dataset PATH.orxd2 [--rank-cache PATH.orxc2] (attach\n"
+      "          the server's container instead of generating; goldens\n"
+      "          and the query mix come from the mapped corpus)\n"
+      "          --score-tol T (e2e relative score tolerance; default 0\n"
+      "          generated, 1e-12 with --dataset)\n"
       "  load:   --threads N --connections N --duration SEC --pipeline N\n"
       "          --rate RPS (0 = closed loop) --churn P --zipf-terms N\n"
       "          --zipf-s S --k K --seed N --json PATH --drain-grace SEC\n"
@@ -124,6 +138,12 @@ bool ParseFlags(int argc, char** argv, ClientFlags* flags) {
       flags->port = std::atoi(v);
     } else if (arg == "--scale" && (v = value())) {
       flags->scale = std::atof(v);
+    } else if (arg == "--dataset" && (v = value())) {
+      flags->dataset = v;
+    } else if (arg == "--rank-cache" && (v = value())) {
+      flags->rank_cache = v;
+    } else if (arg == "--score-tol" && (v = value())) {
+      flags->score_tol = std::atof(v);
     } else if (arg == "--threads" && (v = value())) {
       flags->threads = std::atoi(v);
     } else if (arg == "--connections" && (v = value())) {
@@ -159,6 +179,26 @@ bool ParseFlags(int argc, char** argv, ClientFlags* flags) {
     }
   }
   return flags->port > 0 && flags->port <= 65535;
+}
+
+/// The client-side mirror of the server's dataset: the same ORXD2
+/// container when --dataset is given (zero-copy attach; MAP_PRIVATE, so
+/// sharing the file with a running server is safe), the same seeded
+/// generation otherwise.
+tools::ServingDataset BuildClientDataset(const ClientFlags& flags,
+                                         size_t max_head_terms = 64) {
+  if (!flags.dataset.empty()) {
+    std::printf("attaching %s...\n", flags.dataset.c_str());
+    auto attached = tools::BuildServingDatasetFromContainer(
+        flags.dataset, flags.rank_cache, max_head_terms);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "dataset attach: %s\n",
+                   attached.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(*attached);
+  }
+  return tools::BuildServingDataset(flags.scale, max_head_terms);
 }
 
 // --- interactive -----------------------------------------------------------
@@ -308,9 +348,20 @@ int RunInteractive(const ClientFlags& flags) {
 
 int RunE2e(const ClientFlags& flags) {
   std::printf("e2e: building golden dataset (scale=%.3f)...\n", flags.scale);
-  tools::ServingDataset dataset = tools::BuildServingDataset(flags.scale);
+  tools::ServingDataset dataset = BuildClientDataset(flags);
   serve::SearchService golden(dataset.snapshot, {});
   const serve::ServeSnapshot& snap = *dataset.snapshot;
+
+  // Exact against a generated twin; float-tolerant against a container
+  // (see ClientFlags::score_tol).
+  const double score_tol =
+      flags.score_tol >= 0.0 ? flags.score_tol
+                             : (flags.dataset.empty() ? 0.0 : 1e-12);
+  auto scores_close = [score_tol](double wire, double local) {
+    if (wire == local) return true;
+    return std::abs(wire - local) <=
+           score_tol * std::max({1.0, std::abs(wire), std::abs(local)});
+  };
 
   net::BlockingClient client;
   Status connected =
@@ -352,7 +403,7 @@ int RunE2e(const ClientFlags& flags) {
     for (size_t i = 0; same && i < wire->results.size(); ++i) {
       const net::WireResult& w = wire->results[i];
       const core::ScoredNode& g = local->result.top[i];
-      same = w.node == g.node && w.score == g.score &&
+      same = w.node == g.node && scores_close(w.score, g.score) &&
              w.display_label == snap.data->DisplayLabel(g.node);
     }
     E2E_CHECK(same, what.c_str());
@@ -833,8 +884,8 @@ void RunLoadThread(int thread_index, int num_conns, LoadShared shared,
 int RunLoad(const ClientFlags& flags) {
   net::IgnoreSigpipe();
   std::printf("load: building query mix (scale=%.3f)...\n", flags.scale);
-  tools::ServingDataset dataset = tools::BuildServingDataset(
-      flags.scale, static_cast<size_t>(flags.zipf_terms));
+  tools::ServingDataset dataset =
+      BuildClientDataset(flags, static_cast<size_t>(flags.zipf_terms));
   if (dataset.head_terms.empty()) {
     std::fprintf(stderr, "load: empty query universe\n");
     return 1;
@@ -1000,7 +1051,10 @@ int RunLoad(const ClientFlags& flags) {
                                     : flags.json_path;
   bench::JsonObject record = bench::BenchRecord(
       mixed ? "net_serve_mutate_load" : "net_serve_load",
-      dataset.description, threads, wall);
+      bench::BenchDataset{dataset.description,
+                          dataset.snapshot->data->num_nodes(),
+                          dataset.snapshot->authority->num_edges()},
+      threads, wall);
   record.Add("mode", flags.rate > 0.0 ? "open" : "closed")
       .Add("connections", connections)
       .Add("pipeline", flags.pipeline)
@@ -1071,8 +1125,8 @@ int RunLoad(const ClientFlags& flags) {
 
 int RunBench(const ClientFlags& flags) {
   std::printf("bench: building query mix (scale=%.3f)...\n", flags.scale);
-  tools::ServingDataset dataset = tools::BuildServingDataset(
-      flags.scale, static_cast<size_t>(flags.zipf_terms));
+  tools::ServingDataset dataset =
+      BuildClientDataset(flags, static_cast<size_t>(flags.zipf_terms));
   if (dataset.head_terms.empty()) {
     std::fprintf(stderr, "bench: empty query universe\n");
     return 1;
@@ -1139,7 +1193,11 @@ int RunBench(const ClientFlags& flags) {
                   FormatDouble(p95, 3), FormatDouble(p99, 3),
                   FormatDouble(mean, 3)});
     bench::JsonObject record = bench::BenchRecord(
-        "net_serve_bench", dataset.description, 1, wall_seconds);
+        "net_serve_bench",
+        bench::BenchDataset{dataset.description,
+                            dataset.snapshot->data->num_nodes(),
+                            dataset.snapshot->authority->num_edges()},
+        1, wall_seconds);
     record.Add("op", op.name)
         .Add("iters", op.iters)
         .Add("errors", errors)

@@ -34,6 +34,8 @@ using namespace orx;
 struct ServeFlags {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  std::string dataset;     // ORXD2 container; empty = generate (--scale)
+  std::string rank_cache;  // optional ORXC2 alongside --dataset
   double scale = 0.05;
   size_t workers = 2;
   size_t threads = 0;        // SearchService pool; 0 = hardware threads
@@ -51,15 +53,19 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--host H] [--port P] [--scale S] [--workers N]\n"
+      "          [--dataset PATH.orxd2] [--rank-cache PATH.orxc2]\n"
       "          [--threads N] [--max-pending N] [--cache-entries N]\n"
       "          [--batch N] [--idle-timeout SEC] [--drain-timeout SEC]\n"
       "          [--mutate] [--log-capacity N] [--max-live-epochs N]\n"
       "Serves the ORXN protocol (search/explain/reformulate/validate/\n"
-      "metrics/ping) over a generated DBLP dataset. --port 0 picks an\n"
-      "ephemeral port (printed on the 'listening' line). --mutate enables\n"
-      "the write path: kMutate frames append to a delta log consumed by a\n"
-      "background snapshot builder (without it the server is read-only).\n"
-      "Runs until SIGTERM/SIGINT, then drains.\n",
+      "metrics/ping) over a generated DBLP dataset, or — with --dataset —\n"
+      "over an ORXD2 container attached zero-copy via mmap (optionally\n"
+      "with a precomputed ORXC2 rank cache; see `orx_cli pack`). --port 0\n"
+      "picks an ephemeral port (printed on the 'listening' line).\n"
+      "--mutate enables the write path: kMutate frames append to a delta\n"
+      "log consumed by a background snapshot builder (without it the\n"
+      "server is read-only); it requires a generated dataset, not\n"
+      "--dataset. Runs until SIGTERM/SIGINT, then drains.\n",
       argv0);
   return 2;
 }
@@ -77,6 +83,10 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->port = static_cast<uint16_t>(std::atoi(v));
     } else if (arg == "--scale" && (v = value())) {
       flags->scale = std::atof(v);
+    } else if (arg == "--dataset" && (v = value())) {
+      flags->dataset = v;
+    } else if (arg == "--rank-cache" && (v = value())) {
+      flags->rank_cache = v;
     } else if (arg == "--workers" && (v = value())) {
       flags->workers = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--threads" && (v = value())) {
@@ -102,6 +112,16 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       return false;
     }
   }
+  if (flags->mutate && !flags->dataset.empty()) {
+    std::fprintf(stderr,
+                 "--mutate needs the generated dataset (the write path "
+                 "rebuilds from the owning Dataset); drop --dataset\n");
+    return false;
+  }
+  if (!flags->rank_cache.empty() && flags->dataset.empty()) {
+    std::fprintf(stderr, "--rank-cache only applies with --dataset\n");
+    return false;
+  }
   return flags->scale > 0.0 && flags->workers > 0;
 }
 
@@ -121,12 +141,32 @@ int main(int argc, char** argv) {
   sigaddset(&mask, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &mask, nullptr);
 
-  std::printf("orx_serve: generating dataset (scale=%.3f)...\n", flags.scale);
-  std::fflush(stdout);
-  Timer build_timer;
-  tools::ServingDataset dataset = tools::BuildServingDataset(flags.scale);
-  std::printf("orx_serve: dataset ready in %.2fs (%s)\n",
-              build_timer.ElapsedSeconds(), dataset.description.c_str());
+  tools::ServingDataset dataset;
+  if (!flags.dataset.empty()) {
+    std::printf("orx_serve: attaching %s...\n", flags.dataset.c_str());
+    std::fflush(stdout);
+    Timer attach_timer;
+    auto attached = tools::BuildServingDatasetFromContainer(
+        flags.dataset, flags.rank_cache);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "orx_serve: %s\n",
+                   attached.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(*attached);
+    std::printf("orx_serve: snapshot attached in %.1fms (%s%s)\n",
+                attach_timer.ElapsedSeconds() * 1e3,
+                dataset.description.c_str(),
+                flags.rank_cache.empty() ? "" : ", rank cache on");
+  } else {
+    std::printf("orx_serve: generating dataset (scale=%.3f)...\n",
+                flags.scale);
+    std::fflush(stdout);
+    Timer build_timer;
+    dataset = tools::BuildServingDataset(flags.scale);
+    std::printf("orx_serve: dataset ready in %.2fs (%s)\n",
+                build_timer.ElapsedSeconds(), dataset.description.c_str());
+  }
 
   serve::SearchService::Options service_options;
   service_options.num_threads = flags.threads;

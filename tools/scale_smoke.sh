@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Paper-scale container smoke (the "scale-smoke" CI gate): runs
+# bench_scaling's mmap sweep restricted to the 1x DBLPcomplete preset —
+# generate (~876K nodes / ~4.17M authority edges), pack into an ORXD2
+# container, cold + warm mmap attach, then a fixed-work power iteration
+# streaming the mmap-backed layout, cross-checked against the in-memory
+# engine (L-inf <= 1e-12; the binary exits nonzero on divergence or any
+# pack/attach failure). The record lands in BENCH_scaling.json; when a
+# previous artifact is restored at that path the new record is appended,
+# so the file accumulates one record per run for trend lines.
+#
+# usage: tools/scale_smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FACTORS="${ORX_SCALING_FACTORS:-1}"
+
+cmake --build "$BUILD_DIR" -j --target bench_scaling
+
+PREVIOUS=""
+if [ -f BENCH_scaling.json ]; then
+  PREVIOUS="$(cat BENCH_scaling.json)"
+fi
+
+echo "=== bench_scaling: factors $FACTORS through the ORXD2 mmap path ==="
+# Part 1 (interactive-ops table) shrinks to keep the gate focused on the
+# container path; part 2 runs the selected presets at full scale.
+ORX_SCALING_FACTORS="$FACTORS" ORX_BENCH_SCALE=1 \
+  "$BUILD_DIR/bench/bench_scaling"
+
+python3 - "$PREVIOUS" <<'EOF'
+import json, sys
+
+with open("BENCH_scaling.json") as f:
+    records = json.load(f)
+assert records, "no sweep records produced"
+for r in records:
+    name = r["dataset"]["name"]
+    nodes = r["dataset"]["nodes"]
+    edges = r["dataset"]["edges"]
+    assert r["linf_vs_memory"] <= 1e-12, (
+        f"{name}: mmap scores diverge from in-memory "
+        f"(L-inf {r['linf_vs_memory']})")
+    if name == "dblp-complete-1x":
+        assert nodes > 800_000, f"1x preset too small: {nodes} nodes"
+        assert edges > 4_000_000, f"1x preset too small: {edges} edges"
+        assert r["warm_attach_ms"] <= 100.0, (
+            f"{name}: warm attach {r['warm_attach_ms']}ms exceeds 100ms")
+    print(f"OK {name}: {nodes} nodes / {edges} edges, "
+          f"cold {r['cold_attach_ms']:.1f}ms / "
+          f"warm {r['warm_attach_ms']:.2f}ms, "
+          f"{r['edges_per_second'] / 1e6:.0f} Medges/s, "
+          f"L-inf {r['linf_vs_memory']:.1e}")
+
+# Append onto a restored artifact so successive CI runs accumulate.
+previous = json.loads(sys.argv[1]) if sys.argv[1].strip() else []
+if previous:
+    records = previous + records
+    with open("BENCH_scaling.json", "w") as f:
+        json.dump(records, f)
+    print(f"appended onto {len(previous)} restored record(s)")
+EOF
+
+echo "scale smoke passed"
