@@ -10,13 +10,17 @@
 // commit the refreshed files (the text seeds — XML, TSV, queries — are
 // edited directly).
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "core/rank_cache.h"
+#include "datasets/dblp_generator.h"
 #include "datasets/figure1.h"
 #include "graph/transfer_rates.h"
 #include "io/dataset_io.h"
@@ -64,6 +68,46 @@ int main(int argc, char** argv) {
   ORX_CHECK_OK(orx::io::WriteRankCacheContainer(
       cache, (root / "container" / "figure1.orxc2").string()));
 
+  // Compressed rank-cache seeds: a Compress() over a generated DBLP so
+  // the seed actually carries quantized-tail sections (head + u16 tail +
+  // drop bound), giving the fuzzers a foothold on the compressed decode
+  // path (hostile quantization scales, tail-mass overflow) in both the
+  // stream and the container format. The Figure 1 graph is too small for
+  // compression to ever win — the fixed section overhead exceeds the
+  // dense vectors — so this seed comes from a 200-paper synthetic DBLP.
+  const orx::datasets::DblpDataset gen = orx::datasets::GenerateDblp(
+      orx::datasets::DblpGeneratorConfig::Tiny(200, 1));
+  const orx::graph::TransferRates gen_rates =
+      orx::datasets::DblpGroundTruthRates(gen.dataset.schema(), gen.types);
+  std::vector<std::pair<uint32_t, std::string>> by_df;
+  const orx::text::Corpus& gen_corpus = gen.dataset.corpus();
+  for (orx::text::TermId t = 0; t < gen_corpus.vocab_size(); ++t) {
+    if (gen_corpus.Df(t) >= 3) {
+      by_df.emplace_back(gen_corpus.Df(t), gen_corpus.TermString(t));
+    }
+  }
+  std::sort(by_df.begin(), by_df.end());
+  ORX_CHECK_MSG(by_df.size() >= 3, "generated corpus has too few terms");
+  const std::vector<std::string> seed_terms = {
+      by_df.back().second, by_df[by_df.size() / 2].second,
+      by_df.front().second};
+  orx::core::RankCache compressed = orx::core::RankCache::BuildForTerms(
+      gen.dataset.authority(), gen_corpus, gen_rates, seed_terms,
+      orx::core::RankCache::Options{});
+  orx::core::RankCache::CompressionOptions squeeze;
+  squeeze.head = 2;
+  squeeze.drop_threshold = 1e-3;
+  squeeze.min_ratio = 1.0;
+  const orx::core::RankCache::CompressionStats squeezed =
+      compressed.Compress(squeeze);
+  ORX_CHECK_MSG(squeezed.terms_compressed > 0,
+                "compressed seed carries no compressed terms");
+  ORX_CHECK_OK(compressed.Save(
+      (root / "rank_cache" / "dblp_compressed.orxc").string()));
+  ORX_CHECK_OK(orx::io::WriteRankCacheContainer(
+      compressed,
+      (root / "container" / "dblp_compressed.orxc2").string()));
+
   // ORXN wire-protocol seeds: one representative frame per op so the
   // net_frame fuzzer starts from structurally valid inputs.
   std::filesystem::create_directories(root / "net_frame");
@@ -74,11 +118,22 @@ int main(int argc, char** argv) {
     WriteSeed(root / "net_frame" / "search_request.bin",
               EncodeFrame(Op::kSearch, 2,
                           EncodeSearchRequest({"data cube olap", 10, 0.5})));
+    // Tier-bearing request: the trailing tier byte set to a non-default
+    // value so mutations explore the tier validation path (values > 3
+    // must decode as kDataLoss, not reach the handler).
+    SearchRequest tiered{"data cube olap", 10, 0.5};
+    tiered.tier = 2;  // approximate
+    WriteSeed(root / "net_frame" / "search_request_tier.bin",
+              EncodeFrame(Op::kSearch, 9, EncodeSearchRequest(tiered)));
     SearchResponse search;
     search.results.push_back({42, 0.125, "paper", "Data Cube"});
     search.results.push_back({7, 0.0625, "author", "Gray"});
     search.iterations = 12;
     search.snapshot_version = 1;
+    search.tier_used = 2;  // approximate, with a live error bound
+    search.error_bound = 1.5e-6;
+    search.certified = true;
+    search.escalated = false;
     WriteSeed(root / "net_frame" / "search_response.bin",
               EncodeFrame(Op::kSearch, 2, EncodeSearchResponse(search)));
     WriteSeed(root / "net_frame" / "explain_request.bin",
@@ -99,6 +154,11 @@ int main(int argc, char** argv) {
     MetricsResponse metrics;
     metrics.serve.submitted = 100;
     metrics.serve.completed = 99;
+    metrics.serve.tier_exact = 60;
+    metrics.serve.tier_approximate = 30;
+    metrics.serve.tier_cached = 9;
+    metrics.serve.escalations = 4;
+    metrics.serve.tier_approximate_p50 = 0.002;
     metrics.frames_received = 123;
     WriteSeed(root / "net_frame" / "metrics_response.bin",
               EncodeFrame(Op::kMetrics, 6, EncodeMetricsResponse(metrics)));

@@ -1,0 +1,185 @@
+#include "core/approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/data_graph.h"
+
+namespace orx::core {
+namespace {
+
+/// Relative slack multiplied into the certified bounds to absorb the
+/// floating-point rounding of the push bookkeeping. The invariant
+/// p + solve(r) = solve(s) is exact in real arithmetic; each push
+/// introduces O(machine-eps) relative rounding, so a 1e-7 cushion keeps
+/// the one-sided guarantee honest without measurable loss of tightness.
+constexpr double kBoundSlack = 1.0 + 1e-7;
+
+}  // namespace
+
+ApproxResult ApproximatePush(const graph::AuthorityGraph& graph,
+                             const BaseSet& base,
+                             const graph::TransferRates& rates,
+                             const graph::PushMass& masses,
+                             const ApproxOptions& options) {
+  const size_t n = graph.num_nodes();
+  const double d = options.damping;
+  ApproxResult result;
+  result.scores.assign(n, 0.0);
+
+  const double rho = d * masses.max_mass;
+  if (!(rho < 1.0) || d < 0.0 || d >= 1.0) {
+    // The geometric series behind the bound diverges: graph + rates are
+    // not a contraction under this damping. Report uncertified with
+    // infinite bounds; callers escalate to the exact kernel (which has
+    // its own iteration cap).
+    result.linf_bound = std::numeric_limits<double>::infinity();
+    result.l1_bound = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  // The scatter runs off the fused weights, which PushMass resolved from
+  // `rates` once; a hand-assembled PushMass without them would make the
+  // hot loop read out of bounds, so fail fast instead.
+  (void)rates;
+  ORX_CHECK(masses.out_weight.size() == graph.num_edges());
+
+  std::vector<double> residual(n, 0.0);
+  std::vector<uint8_t> queued(n, 0);
+  std::vector<graph::NodeId> frontier;
+  std::vector<graph::NodeId> next;
+  std::vector<graph::NodeId> hubs;
+  // Total pushes are bounded by settled-mass / ((1-d) * threshold), so a
+  // positive floor keeps every run finite even if a caller passes 0.
+  const double threshold = std::max(options.r_max, 1e-12);
+  for (const auto& [node, weight] : base.entries) {
+    residual[node] += weight;
+  }
+  for (const auto& [node, weight] : base.entries) {
+    if (residual[node] >= threshold && !queued[node]) {
+      queued[node] = 1;
+      frontier.push_back(node);
+    }
+  }
+
+  auto out_degree = [&graph](graph::NodeId u) {
+    return graph.out_offsets()[u + 1] - graph.out_offsets()[u];
+  };
+  // Hub pivot for the per-round two-bucket split below: nodes whose
+  // out-degree exceeds 4x the average are "hubs" and settle last.
+  const uint64_t hub_degree =
+      n > 0 ? 1 + 4 * (graph.num_edges() / n) : 1;
+
+  const size_t push_cap = options.max_pushes == 0
+                              ? std::numeric_limits<size_t>::max()
+                              : options.max_pushes;
+  bool capped = false;
+  while (!frontier.empty() && !capped) {
+    if (options.cancel && options.cancel()) {
+      result.cancelled = true;
+      break;
+    }
+    ++result.rounds;
+    // Hubs-last frontier: settle cheap nodes first so a round's scatters
+    // pool residual on the expensive hubs before the hubs push once,
+    // instead of a hub pushing once per contribution. A stable two-bucket
+    // split captures that effect in O(f) — a full degree sort costs
+    // O(f log f) per round, which dominates the O(f * avg_degree) edge
+    // work on large frontiers. Insertion order is preserved inside each
+    // bucket, so runs stay deterministic.
+    hubs.clear();
+    size_t keep = 0;
+    for (const graph::NodeId u : frontier) {
+      if (out_degree(u) >= hub_degree) {
+        hubs.push_back(u);
+      } else {
+        frontier[keep++] = u;
+      }
+    }
+    frontier.resize(keep);
+    frontier.insert(frontier.end(), hubs.begin(), hubs.end());
+    next.clear();
+    for (const graph::NodeId u : frontier) {
+      queued[u] = 0;
+      const double ru = residual[u];
+      if (ru < threshold || ru <= 0.0) continue;
+      if (result.pushes >= push_cap) {
+        capped = true;
+        break;
+      }
+      ++result.pushes;
+      residual[u] = 0.0;
+      result.scores[u] += (1.0 - d) * ru;
+      const double dru = d * ru;
+      // Fused scatter weights: PushMass resolved a(e) once per rates
+      // vector, so the hot loop is one multiply per edge instead of a
+      // rate-slot load plus a conversion, every round.
+      const std::span<const graph::AuthorityEdge> edges = graph.OutEdges(u);
+      const double* w = masses.out_weight.data() + graph.out_offsets()[u];
+      for (size_t i = 0; i < edges.size(); ++i) {
+        const double delta = dru * w[i];
+        if (delta <= 0.0) continue;
+        const graph::NodeId target = edges[i].target;
+        const double rv = residual[target] + delta;
+        residual[target] = rv;
+        // A target already settled this round (or u itself, through a
+        // cycle) re-enters via `next` like any other node.
+        if (rv >= threshold && !queued[target]) {
+          queued[target] = 1;
+          next.push_back(target);
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+
+  // The certified bounds come from *recomputing* the residual mass, not
+  // the running total a per-push counter would carry: one O(n) sum (we
+  // already hold two O(n) vectors) removes any drift accumulated over
+  // millions of incremental updates.
+  double residual_mass = 0.0;
+  size_t touched = 0;
+  for (size_t v = 0; v < n; ++v) {
+    residual_mass += residual[v];
+    if (result.scores[v] != 0.0 || residual[v] != 0.0) ++touched;
+  }
+  result.touched_nodes = touched;
+  result.l1_bound = kBoundSlack * (1.0 - d) * residual_mass / (1.0 - rho);
+  // Unsettled mass is nonnegative everywhere, so the per-node error is
+  // bounded by the total: L-inf <= L1.
+  result.linf_bound = result.l1_bound;
+  result.certified = !result.cancelled;
+  return result;
+}
+
+CertifiedTopK CertifyTopK(const std::vector<double>& scores,
+                          double linf_bound, size_t k,
+                          const graph::DataGraph& data,
+                          std::optional<graph::TypeId> type) {
+  CertifiedTopK out;
+  if (k == 0) return out;
+  // One extra candidate exposes the best excluded score.
+  std::vector<ScoredNode> extended = TopKOfType(scores, k + 1, data, type);
+  if (extended.size() <= k) {
+    // Fewer than k+1 candidates of this type exist: the "top-k set" is
+    // the full candidate set for exact and approximate scores alike.
+    out.top = std::move(extended);
+    out.gap = std::numeric_limits<double>::infinity();
+    out.certified = std::isfinite(linf_bound);
+    return out;
+  }
+  const double excluded = extended.back().score;
+  extended.pop_back();
+  out.gap = extended.back().score - excluded;
+  // Strict inequality: at gap == bound the true scores can tie, and a
+  // tie resolves by node id, about which the bound says nothing.
+  out.certified = std::isfinite(linf_bound) && out.gap > linf_bound;
+  out.top = std::move(extended);
+  return out;
+}
+
+}  // namespace orx::core

@@ -1,0 +1,118 @@
+#ifndef ORX_CORE_APPROX_H_
+#define ORX_CORE_APPROX_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/base_set.h"
+#include "core/top_k.h"
+#include "graph/authority_graph.h"
+#include "graph/spmv_layout.h"
+#include "graph/transfer_rates.h"
+
+namespace orx::core {
+
+/// Knobs of the approximate (local forward-push) ObjectRank kernel; see
+/// docs/approx_tier.md.
+struct ApproxOptions {
+  /// Damping factor d, as in ObjectRankOptions (Equation 4).
+  double damping = 0.85;
+
+  /// Per-node residual threshold: a node pushes while its residual mass
+  /// is >= r_max. Smaller values touch more of the graph and tighten the
+  /// certified error bound; the bound reported in ApproxResult is what
+  /// actually matters — r_max only steers how hard the kernel works.
+  double r_max = 1e-6;
+
+  /// Safety valve on total pushes (0 = no cap). Hitting the cap keeps
+  /// the bounds sound — the remaining residual mass is simply larger.
+  size_t max_pushes = 0;
+
+  /// Certification-driven refinement (consumed by Searcher's approximate
+  /// tier, not by ApproximatePush itself): when the bound at r_max cannot
+  /// separate the top-k set, the push is re-run with the threshold scaled
+  /// to the observed score gap, at most this many runs total. The bound
+  /// shrinks roughly linearly with the threshold, so the first refinement
+  /// normally jumps straight to a certifying threshold, and the discarded
+  /// runs cost a geometric fraction of the final one.
+  int max_refinements = 4;
+
+  /// Refinement floor: once the gap-implied threshold falls below r_min
+  /// the tier escalates to the exact kernel instead of pushing further —
+  /// a gap that small is cheaper to resolve by power iteration.
+  double r_min = 1e-10;
+
+  /// Cooperative cancellation, checked once per frontier round. A
+  /// cancelled run returns certified = false.
+  std::function<bool()> cancel;
+};
+
+/// Result of an approximate run. `scores` is a certified *lower* bound
+/// on the exact fixpoint: for every node v,
+///     scores[v] <= exact[v] <= scores[v] + linf_bound
+/// and the total unaccounted mass satisfies
+///     sum_v (exact[v] - scores[v]) <= l1_bound.
+struct ApproxResult {
+  std::vector<double> scores;
+  /// Certified additive L-inf error bound.
+  double linf_bound = 0.0;
+  /// Certified additive L1 error bound (>= linf_bound by construction).
+  double l1_bound = 0.0;
+  /// Total push operations executed.
+  size_t pushes = 0;
+  /// Nodes with a nonzero estimate or residual when the run stopped.
+  size_t touched_nodes = 0;
+  /// Frontier rounds executed (the analogue of power iterations).
+  int rounds = 0;
+  /// True iff the bounds are mathematically valid: the contraction
+  /// factor rho = d * max_u(out-mass(u)) was < 1 and the run was not
+  /// cancelled. When false the caller must escalate to the exact kernel.
+  bool certified = false;
+  /// True iff options.cancel stopped the run early.
+  bool cancelled = false;
+};
+
+/// The local forward-push solver for the ObjectRank2 fixpoint
+/// r = d*A*r + (1-d)*s-hat (Equation 4). Maintains an estimate p and a
+/// residual vector r with the invariant p + solve(r) = solve(s): a push
+/// at u settles (1-d)*r[u] into p[u] and scatters d*a(e)*r[u] along u's
+/// out-edges, draining a degree-ordered frontier of nodes whose residual
+/// exceeds r_max. Work is proportional to the residual mass moved —
+/// touched nodes, not |V| — and the remaining ||r||_1 converts into the
+/// certified additive bound (1-d)*||r||_1 / (1-rho).
+///
+/// `masses` is the rate-resolved out-mass reduction for (graph, rates) —
+/// FusedWeightCache::Masses memoizes it per rates fingerprint, so serving
+/// pays the O(|E|) resolution once, not per request. The convenient
+/// entry point is ObjectRankEngine::ComputeApproximate (core/objectrank.h),
+/// which threads its snapshot-shared cache through.
+ApproxResult ApproximatePush(const graph::AuthorityGraph& graph,
+                             const BaseSet& base,
+                             const graph::TransferRates& rates,
+                             const graph::PushMass& masses,
+                             const ApproxOptions& options = {});
+
+/// Top-k set certification: given one-sided approximate scores and their
+/// L-inf bound, decides whether the approximate top-k *set* provably
+/// equals the exact top-k set (the gap between the k-th kept score and
+/// the best excluded score exceeds the bound).
+struct CertifiedTopK {
+  /// Top-k by approximate score (desc score, asc node id on ties).
+  std::vector<ScoredNode> top;
+  /// kept_min - excluded_max over approximate scores (+inf when fewer
+  /// than k+1 candidates exist, so the set is trivially complete).
+  double gap = 0.0;
+  /// True iff gap > linf_bound, i.e. the set is provably exact.
+  bool certified = false;
+};
+
+CertifiedTopK CertifyTopK(const std::vector<double>& scores,
+                          double linf_bound, size_t k,
+                          const graph::DataGraph& data,
+                          std::optional<graph::TypeId> type);
+
+}  // namespace orx::core
+
+#endif  // ORX_CORE_APPROX_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <type_traits>
 #include <unordered_set>
 
 #include "common/byte_io.h"
@@ -210,6 +212,17 @@ StatusOr<RankCache> RankCache::FromParts(
     const text::Bm25Params& bm25, std::span<const char> term_heap,
     std::span<const uint64_t> term_offsets, std::span<const double> masses,
     std::span<const float> scores, std::shared_ptr<const void> keepalive) {
+  return FromParts(num_nodes, rates_fingerprint, bm25, term_heap,
+                   term_offsets, masses, scores, CompressedParts{},
+                   std::move(keepalive));
+}
+
+StatusOr<RankCache> RankCache::FromParts(
+    size_t num_nodes, uint64_t rates_fingerprint,
+    const text::Bm25Params& bm25, std::span<const char> term_heap,
+    std::span<const uint64_t> term_offsets, std::span<const double> masses,
+    std::span<const float> scores, const CompressedParts& compressed,
+    std::shared_ptr<const void> keepalive) {
   if (term_offsets.empty() || term_offsets.size() - 1 != masses.size()) {
     return DataLossError("rank cache section shapes are inconsistent");
   }
@@ -217,14 +230,48 @@ StatusOr<RankCache> RankCache::FromParts(
   if (term_offsets.front() != 0 || term_offsets.back() != term_heap.size()) {
     return DataLossError("rank cache term offsets do not cover the heap");
   }
-  if (scores.size() != num_terms * num_nodes) {
-    return DataLossError("rank cache score matrix is not terms x nodes");
+  const bool has_kinds = !compressed.kinds.empty();
+  if (has_kinds && compressed.kinds.size() != num_terms) {
+    return DataLossError("rank cache kinds section is not one per term");
+  }
+  size_t num_compressed = 0;
+  for (const uint8_t kind : compressed.kinds) {
+    if (kind > 1) {
+      return DataLossError("unknown rank cache entry kind " +
+                           std::to_string(kind));
+    }
+    num_compressed += kind;
+  }
+  if (compressed.descs.size() != num_compressed) {
+    return DataLossError("rank cache compressed descriptor count mismatch");
+  }
+  const size_t num_dense = num_terms - num_compressed;
+  if (scores.size() != num_dense * num_nodes) {
+    return DataLossError("rank cache score matrix is not dense-terms x nodes");
+  }
+  // Node-id bounds are a *shallow* obligation: Query() scatters through
+  // these arrays, so an accepted cache must never index out of range.
+  for (const uint32_t v : compressed.head_nodes) {
+    if (v >= num_nodes) {
+      return DataLossError("compressed head node id out of range");
+    }
+  }
+  for (const uint32_t v : compressed.tail_nodes) {
+    if (v >= num_nodes) {
+      return DataLossError("compressed tail node id out of range");
+    }
+  }
+  if (compressed.head_scores.size() != compressed.head_nodes.size() ||
+      compressed.tail_quants.size() != compressed.tail_nodes.size()) {
+    return DataLossError("compressed node/value array lengths disagree");
   }
   RankCache cache;
   cache.num_nodes_ = num_nodes;
   cache.rates_fingerprint_ = rates_fingerprint;
   cache.bm25_ = bm25;
   cache.entries_.reserve(num_terms);
+  size_t dense_index = 0;
+  size_t desc_index = 0;
   for (size_t t = 0; t < num_terms; ++t) {
     if (term_offsets[t] > term_offsets[t + 1]) {
       return DataLossError("rank cache term offsets are not monotonic");
@@ -238,8 +285,37 @@ StatusOr<RankCache> RankCache::FromParts(
     }
     Entry entry;
     entry.mass = masses[t];
-    entry.scores = ArrayRef<float>::Borrowed(
-        scores.subspan(t * num_nodes, num_nodes), keepalive);
+    if (!has_kinds || compressed.kinds[t] == 0) {
+      entry.scores = ArrayRef<float>::Borrowed(
+          scores.subspan(dense_index * num_nodes, num_nodes), keepalive);
+      ++dense_index;
+    } else {
+      const PackedCompressedDesc& desc = compressed.descs[desc_index++];
+      if (desc.head_offset > compressed.head_nodes.size() ||
+          desc.head_count >
+              compressed.head_nodes.size() - desc.head_offset ||
+          desc.tail_offset > compressed.tail_nodes.size() ||
+          desc.tail_count >
+              compressed.tail_nodes.size() - desc.tail_offset) {
+        return DataLossError("compressed descriptor range out of bounds");
+      }
+      entry.compressed = true;
+      entry.head_nodes = ArrayRef<uint32_t>::Borrowed(
+          compressed.head_nodes.subspan(desc.head_offset, desc.head_count),
+          keepalive);
+      entry.head_scores = ArrayRef<float>::Borrowed(
+          compressed.head_scores.subspan(desc.head_offset, desc.head_count),
+          keepalive);
+      entry.tail_nodes = ArrayRef<uint32_t>::Borrowed(
+          compressed.tail_nodes.subspan(desc.tail_offset, desc.tail_count),
+          keepalive);
+      entry.tail_quants = ArrayRef<uint16_t>::Borrowed(
+          compressed.tail_quants.subspan(desc.tail_offset, desc.tail_count),
+          keepalive);
+      entry.tail_scale = desc.tail_scale;
+      entry.drop_bound = desc.drop_bound;
+      entry.dropped_mass = desc.dropped_mass;
+    }
     if (!cache.entries_.emplace(std::move(term), std::move(entry)).second) {
       return DataLossError("duplicate rank cache term at index " +
                            std::to_string(t));
@@ -251,17 +327,40 @@ StatusOr<RankCache> RankCache::FromParts(
 RankCache::PackedEntries RankCache::PackEntries() const {
   PackedEntries out;
   const std::vector<std::string> terms = Terms();
+  const bool any_compressed = num_compressed_terms() > 0;
   out.offsets.reserve(terms.size() + 1);
   out.offsets.push_back(0);
   out.masses.reserve(terms.size());
-  out.scores.reserve(terms.size() * num_nodes_);
+  if (any_compressed) out.kinds.reserve(terms.size());
   for (const std::string& term : terms) {
     const Entry& entry = entries_.at(term);
     out.heap += term;
     out.offsets.push_back(out.heap.size());
     out.masses.push_back(entry.mass);
-    out.scores.insert(out.scores.end(), entry.scores.begin(),
-                      entry.scores.end());
+    if (!entry.compressed) {
+      if (any_compressed) out.kinds.push_back(0);
+      out.scores.insert(out.scores.end(), entry.scores.begin(),
+                        entry.scores.end());
+      continue;
+    }
+    out.kinds.push_back(1);
+    PackedCompressedDesc desc;
+    desc.head_offset = out.head_nodes.size();
+    desc.tail_offset = out.tail_nodes.size();
+    desc.head_count = static_cast<uint32_t>(entry.head_nodes.size());
+    desc.tail_count = static_cast<uint32_t>(entry.tail_nodes.size());
+    desc.tail_scale = entry.tail_scale;
+    desc.drop_bound = entry.drop_bound;
+    desc.dropped_mass = entry.dropped_mass;
+    out.descs.push_back(desc);
+    out.head_nodes.insert(out.head_nodes.end(), entry.head_nodes.begin(),
+                          entry.head_nodes.end());
+    out.head_scores.insert(out.head_scores.end(), entry.head_scores.begin(),
+                           entry.head_scores.end());
+    out.tail_nodes.insert(out.tail_nodes.end(), entry.tail_nodes.begin(),
+                          entry.tail_nodes.end());
+    out.tail_quants.insert(out.tail_quants.end(), entry.tail_quants.begin(),
+                           entry.tail_quants.end());
   }
   return out;
 }
@@ -278,7 +377,34 @@ bool RankCache::TermTouchesRegion(const std::string& term,
                                   std::span<const uint8_t> dirty) const {
   auto it = entries_.find(term);
   if (it == entries_.end()) return false;
-  const std::span<const float> scores = it->second.scores;
+  const Entry& entry = it->second;
+  if (entry.compressed) {
+    // Reuse-after-mutation is a proof, and a compressed entry with
+    // dropped mass cannot prove a dirty node scored zero — the node may
+    // sit in the drop tier with a small positive score. Be conservative:
+    // any dirty node at all forces a refresh then; otherwise check the
+    // stored nodes (quantized tail values are positive by construction).
+    bool any_dirty = false;
+    for (const uint8_t flag : dirty) {
+      if (flag != 0) {
+        any_dirty = true;
+        break;
+      }
+    }
+    if (!any_dirty) return false;
+    if (entry.dropped_mass > 0.0 || entry.drop_bound > 0.0) return true;
+    for (size_t i = 0; i < entry.head_nodes.size(); ++i) {
+      const uint32_t v = entry.head_nodes[i];
+      if (v < dirty.size() && dirty[v] != 0 && entry.head_scores[i] > 0.0f) {
+        return true;
+      }
+    }
+    for (const uint32_t v : entry.tail_nodes) {
+      if (v < dirty.size() && dirty[v] != 0) return true;
+    }
+    return false;
+  }
+  const std::span<const float> scores = entry.scores;
   const size_t n = std::min(scores.size(), dirty.size());
   for (size_t v = 0; v < n; ++v) {
     if (dirty[v] != 0 && scores[v] > 0.0f) return true;
@@ -367,7 +493,11 @@ RankCache RankCache::IncrementalBuild(
     const std::vector<double>* warm_ptr = nullptr;
     auto prev_it = previous.entries_.find(unique[i]);
     if (prev_it != previous.entries_.end()) {
-      const std::span<const float> prev_scores = prev_it->second.scores;
+      // Compressed previous entries materialize densely for the warm
+      // start (dropped scores seed as 0 — still far closer to the new
+      // fixpoint than the base set is).
+      const std::vector<float> prev_scores =
+          previous.DenseScores(prev_it->second);
       warm.assign(prev_scores.begin(), prev_scores.end());
       warm.resize(graph.num_nodes(), 0.0);
       warm_ptr = &warm;
@@ -416,6 +546,144 @@ RankCache RankCache::IncrementalBuild(
   return cache;
 }
 
+size_t RankCache::EntryPayloadBytes(const Entry& entry) {
+  if (!entry.compressed) return entry.scores.size() * sizeof(float);
+  return entry.head_nodes.size() * (sizeof(uint32_t) + sizeof(float)) +
+         entry.tail_nodes.size() * (sizeof(uint32_t) + sizeof(uint16_t)) +
+         3 * sizeof(double);
+}
+
+std::vector<float> RankCache::DenseScores(const Entry& entry) const {
+  if (!entry.compressed) {
+    return std::vector<float>(entry.scores.begin(), entry.scores.end());
+  }
+  std::vector<float> dense(num_nodes_, 0.0f);
+  for (size_t i = 0; i < entry.head_nodes.size(); ++i) {
+    dense[entry.head_nodes[i]] = entry.head_scores[i];
+  }
+  for (size_t i = 0; i < entry.tail_nodes.size(); ++i) {
+    dense[entry.tail_nodes[i]] = static_cast<float>(
+        static_cast<double>(entry.tail_quants[i]) * entry.tail_scale);
+  }
+  return dense;
+}
+
+std::string RankCache::CompressionStats::ToString() const {
+  const double ratio =
+      bytes_after == 0 ? 0.0 : static_cast<double>(bytes_before) /
+                                   static_cast<double>(bytes_after);
+  return "compressed " + std::to_string(terms_compressed) + " terms (" +
+         std::to_string(terms_dense) + " dense), " +
+         std::to_string(bytes_before) + " -> " + std::to_string(bytes_after) +
+         " bytes (" + FormatDouble(ratio, 1) + "x), max epsilon " +
+         FormatDouble(max_epsilon, 8);
+}
+
+RankCache::CompressionStats RankCache::Compress(
+    const CompressionOptions& options) {
+  CompressionStats stats;
+  for (auto& [term, entry] : entries_) {
+    stats.bytes_before += EntryPayloadBytes(entry);
+    if (entry.compressed) {
+      ++stats.terms_compressed;
+      stats.max_epsilon = std::max(stats.max_epsilon, entry.epsilon());
+      stats.bytes_after += EntryPayloadBytes(entry);
+      continue;
+    }
+    const std::span<const float> dense = entry.scores;
+
+    // Candidates kept out of the drop tier: the head (largest scores,
+    // wherever they sit) plus every other node above the threshold.
+    std::vector<uint32_t> order;
+    order.reserve(dense.size() / 16);
+    for (uint32_t v = 0; v < dense.size(); ++v) {
+      if (dense[v] > 0.0f) order.push_back(v);
+    }
+    // Score-descending, id-ascending on ties: deterministic, and the
+    // head comes out already in its stored order.
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (dense[a] != dense[b]) return dense[a] > dense[b];
+      return a < b;
+    });
+
+    const size_t head_count = std::min(options.head, order.size());
+    std::vector<uint32_t> tail;
+    double drop_bound = 0.0;
+    double dropped_mass = 0.0;
+    double tail_max = 0.0;
+    for (size_t i = head_count; i < order.size(); ++i) {
+      const double s = static_cast<double>(dense[order[i]]);
+      if (s >= options.drop_threshold) {
+        tail.push_back(order[i]);
+        tail_max = std::max(tail_max, s);
+      } else {
+        drop_bound = std::max(drop_bound, s);
+        dropped_mass += s;
+      }
+    }
+    const double tail_scale = tail_max / 65535.0;
+
+    std::vector<uint32_t> tail_nodes;
+    std::vector<uint16_t> tail_quants;
+    tail_nodes.reserve(tail.size());
+    tail_quants.reserve(tail.size());
+    std::sort(tail.begin(), tail.end());
+    for (const uint32_t v : tail) {
+      const double s = static_cast<double>(dense[v]);
+      // Floor quantization keeps the stored value <= the dense one; a
+      // quant of 0 stores nothing, so the node moves to the drop tier
+      // (its score is < tail_scale, already covered by the bound).
+      const uint16_t q = static_cast<uint16_t>(std::min(
+          65535.0, tail_scale > 0.0 ? std::floor(s / tail_scale) : 0.0));
+      if (q == 0) {
+        drop_bound = std::max(drop_bound, s);
+        dropped_mass += s;
+        continue;
+      }
+      tail_nodes.push_back(v);
+      tail_quants.push_back(q);
+    }
+
+    const size_t compressed_bytes =
+        head_count * (sizeof(uint32_t) + sizeof(float)) +
+        tail_nodes.size() * (sizeof(uint32_t) + sizeof(uint16_t)) +
+        3 * sizeof(double);
+    const size_t dense_bytes = dense.size() * sizeof(float);
+    if (static_cast<double>(compressed_bytes) * options.min_ratio >
+        static_cast<double>(dense_bytes)) {
+      ++stats.terms_dense;
+      stats.bytes_after += dense_bytes;
+      continue;
+    }
+
+    std::vector<uint32_t> head_nodes(order.begin(),
+                                     order.begin() + head_count);
+    std::vector<float> head_scores;
+    head_scores.reserve(head_count);
+    for (const uint32_t v : head_nodes) head_scores.push_back(dense[v]);
+
+    entry.scores = std::vector<float>{};
+    entry.compressed = true;
+    entry.head_nodes = std::move(head_nodes);
+    entry.head_scores = std::move(head_scores);
+    entry.tail_nodes = std::move(tail_nodes);
+    entry.tail_quants = std::move(tail_quants);
+    entry.tail_scale = tail_scale;
+    entry.drop_bound = drop_bound;
+    entry.dropped_mass = dropped_mass;
+    ++stats.terms_compressed;
+    stats.max_epsilon = std::max(stats.max_epsilon, entry.epsilon());
+    stats.bytes_after += compressed_bytes;
+  }
+  return stats;
+}
+
+size_t RankCache::num_compressed_terms() const {
+  size_t count = 0;
+  for (const auto& [term, entry] : entries_) count += entry.compressed;
+  return count;
+}
+
 StatusOr<RankCache::QueryResult> RankCache::Query(
     const text::QueryVector& query) const {
   if (query.empty()) {
@@ -460,11 +728,28 @@ StatusOr<RankCache::QueryResult> RankCache::Query(
   result.scores.assign(num_nodes_, 0.0);
   for (const Part& part : parts) {
     const double c = part.coefficient / total;
-    const std::span<const float> r = part.entry->scores;
-    ORX_CHECK_EQ(r.size(), num_nodes_);
-    for (size_t v = 0; v < num_nodes_; ++v) {
-      result.scores[v] += c * static_cast<double>(r[v]);
+    const Entry& entry = *part.entry;
+    if (!entry.compressed) {
+      const std::span<const float> r = entry.scores;
+      ORX_CHECK_EQ(r.size(), num_nodes_);
+      for (size_t v = 0; v < num_nodes_; ++v) {
+        result.scores[v] += c * static_cast<double>(r[v]);
+      }
+      continue;
     }
+    // Compressed entries scatter only their stored nodes — the sparse
+    // upside of the representation — and surrender their per-term error
+    // bound, scaled by the same normalized coefficient as the scores.
+    for (size_t i = 0; i < entry.head_nodes.size(); ++i) {
+      result.scores[entry.head_nodes[i]] +=
+          c * static_cast<double>(entry.head_scores[i]);
+    }
+    for (size_t i = 0; i < entry.tail_nodes.size(); ++i) {
+      result.scores[entry.tail_nodes[i]] +=
+          c * static_cast<double>(entry.tail_quants[i]) * entry.tail_scale;
+    }
+    result.error_bound += c * entry.epsilon();
+    ++result.compressed_terms;
   }
   return result;
 }
@@ -472,7 +757,13 @@ StatusOr<RankCache::QueryResult> RankCache::Query(
 namespace {
 
 constexpr char kCacheMagic[4] = {'O', 'R', 'X', 'C'};
+/// Version 2: dense float vectors only. Version 3 adds a per-entry kind
+/// byte and the compressed head+tail representation; Serialize writes 2
+/// whenever no entry is compressed, so all-dense caches stay
+/// byte-identical to pre-compression builds and old readers still load
+/// them.
 constexpr uint32_t kCacheVersion = 2;
+constexpr uint32_t kCacheVersionCompressed = 3;
 constexpr uint64_t kCacheSanityLimit = 1ull << 27;
 // A term is a normalized keyword; anything beyond this is corruption.
 constexpr uint64_t kTermLimit = 1ull << 16;
@@ -490,11 +781,39 @@ void PutDouble(std::ostream& out, double v) {
   out.write(buf, 8);
 }
 
+template <typename T>
+void PutPodArray(std::ostream& out, std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+/// Reads `count` raw little-endian PODs, growing in bounded chunks so a
+/// truncated stream fails early instead of committing count * sizeof(T)
+/// bytes up front on the corrupt file's say-so (same discipline as
+/// ByteReader::ReadFloatArray).
+template <typename T>
+Status ReadPodArray(ByteReader& reader, std::vector<T>* out, size_t count,
+                    const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  constexpr size_t kChunk = 1 << 16;
+  out->clear();
+  while (out->size() < count) {
+    const size_t n = std::min(kChunk, count - out->size());
+    const size_t old = out->size();
+    out->resize(old + n);
+    ORX_RETURN_IF_ERROR(reader.ReadBytes(
+        reinterpret_cast<char*>(out->data() + old), n * sizeof(T), what));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status RankCache::Serialize(std::ostream& out) const {
+  const bool compressed = num_compressed_terms() > 0;
   out.write(kCacheMagic, 4);
-  PutU32(out, kCacheVersion);
+  PutU32(out, compressed ? kCacheVersionCompressed : kCacheVersion);
   PutU32(out, static_cast<uint32_t>(num_nodes_));
   PutU32(out, static_cast<uint32_t>(rates_fingerprint_ & 0xFFFFFFFFull));
   PutU32(out, static_cast<uint32_t>(rates_fingerprint_ >> 32));
@@ -510,10 +829,10 @@ Status RankCache::Serialize(std::ostream& out) const {
             [](const std::string* a, const std::string* b) { return *a < *b; });
   for (const std::string* term : terms) {
     const Entry& entry = entries_.at(*term);
-    // Deserialize reads exactly num_nodes_ floats per entry; writing a
-    // vector of any other length would silently shift every subsequent
-    // entry in the stream.
-    if (entry.scores.size() != num_nodes_) {
+    // Deserialize reads exactly num_nodes_ floats per dense entry;
+    // writing a vector of any other length would silently shift every
+    // subsequent entry in the stream.
+    if (!entry.compressed && entry.scores.size() != num_nodes_) {
       return InternalError(
           "rank cache entry '" + *term + "' has " +
           std::to_string(entry.scores.size()) + " scores, expected " +
@@ -521,10 +840,26 @@ Status RankCache::Serialize(std::ostream& out) const {
     }
     PutU32(out, static_cast<uint32_t>(term->size()));
     out.write(term->data(), static_cast<std::streamsize>(term->size()));
+    if (compressed) {
+      const char kind = entry.compressed ? 1 : 0;
+      out.write(&kind, 1);
+    }
     PutDouble(out, entry.mass);
-    out.write(reinterpret_cast<const char*>(entry.scores.data()),
-              static_cast<std::streamsize>(entry.scores.size() *
-                                           sizeof(float)));
+    if (!entry.compressed) {
+      out.write(reinterpret_cast<const char*>(entry.scores.data()),
+                static_cast<std::streamsize>(entry.scores.size() *
+                                             sizeof(float)));
+      continue;
+    }
+    PutU32(out, static_cast<uint32_t>(entry.head_nodes.size()));
+    PutU32(out, static_cast<uint32_t>(entry.tail_nodes.size()));
+    PutDouble(out, entry.tail_scale);
+    PutDouble(out, entry.drop_bound);
+    PutDouble(out, entry.dropped_mass);
+    PutPodArray<uint32_t>(out, entry.head_nodes);
+    PutPodArray<float>(out, entry.head_scores);
+    PutPodArray<uint32_t>(out, entry.tail_nodes);
+    PutPodArray<uint16_t>(out, entry.tail_quants);
   }
   if (!out) return InternalError("rank cache write failed");
   return Status::OK();
@@ -539,10 +874,11 @@ StatusOr<RankCache> RankCache::Deserialize(std::istream& in) {
   }
   uint32_t version = 0;
   ORX_RETURN_IF_ERROR(reader.ReadU32(&version, "rank cache version"));
-  if (version != kCacheVersion) {
+  if (version != kCacheVersion && version != kCacheVersionCompressed) {
     return DataLossError("unsupported rank cache version " +
                          std::to_string(version));
   }
+  const bool has_kinds = version == kCacheVersionCompressed;
   RankCache cache;
   uint32_t num_nodes = 0;
   ORX_RETURN_IF_ERROR(reader.ReadU32(&num_nodes, "rank cache node count"));
@@ -575,15 +911,73 @@ StatusOr<RankCache> RankCache::Deserialize(std::istream& in) {
       return DataLossError("empty rank cache term at byte " +
                            std::to_string(reader.offset() - 4));
     }
+    char kind = 0;
+    if (has_kinds) {
+      ORX_RETURN_IF_ERROR(reader.ReadBytes(&kind, 1, "entry kind"));
+      if (kind != 0 && kind != 1) {
+        return DataLossError("unknown rank cache entry kind " +
+                             std::to_string(static_cast<int>(kind)) +
+                             " at byte " + std::to_string(reader.offset() - 1));
+      }
+    }
     Entry entry;
     ORX_RETURN_IF_ERROR(reader.ReadDouble(&entry.mass, "entry mass"));
-    // ReadFloatArray grows the vector chunk-by-chunk, so a truncated
-    // stream fails early instead of committing num_nodes * 4 bytes up
-    // front on the corrupt file's say-so.
-    std::vector<float> scores;
-    ORX_RETURN_IF_ERROR(
-        reader.ReadFloatArray(&scores, num_nodes, "score vector"));
-    entry.scores = std::move(scores);
+    if (kind == 0) {
+      // ReadFloatArray grows the vector chunk-by-chunk, so a truncated
+      // stream fails early instead of committing num_nodes * 4 bytes up
+      // front on the corrupt file's say-so.
+      std::vector<float> scores;
+      ORX_RETURN_IF_ERROR(
+          reader.ReadFloatArray(&scores, num_nodes, "score vector"));
+      entry.scores = std::move(scores);
+    } else {
+      uint32_t head_count = 0, tail_count = 0;
+      ORX_RETURN_IF_ERROR(reader.ReadU32(&head_count, "head count"));
+      ORX_RETURN_IF_ERROR(reader.ReadU32(&tail_count, "tail count"));
+      // A compressed entry cannot store more nodes than the cache has;
+      // anything larger is corruption, caught before any allocation.
+      if (head_count > num_nodes || tail_count > num_nodes) {
+        return DataLossError("compressed entry claims more nodes than the "
+                             "cache holds, at byte " +
+                             std::to_string(reader.offset() - 8));
+      }
+      ORX_RETURN_IF_ERROR(reader.ReadDouble(&entry.tail_scale, "tail scale"));
+      ORX_RETURN_IF_ERROR(reader.ReadDouble(&entry.drop_bound, "drop bound"));
+      ORX_RETURN_IF_ERROR(
+          reader.ReadDouble(&entry.dropped_mass, "dropped mass"));
+      std::vector<uint32_t> head_nodes;
+      std::vector<float> head_scores;
+      std::vector<uint32_t> tail_nodes;
+      std::vector<uint16_t> tail_quants;
+      ORX_RETURN_IF_ERROR(
+          ReadPodArray(reader, &head_nodes, head_count, "head nodes"));
+      ORX_RETURN_IF_ERROR(
+          reader.ReadFloatArray(&head_scores, head_count, "head scores"));
+      ORX_RETURN_IF_ERROR(
+          ReadPodArray(reader, &tail_nodes, tail_count, "tail nodes"));
+      ORX_RETURN_IF_ERROR(
+          ReadPodArray(reader, &tail_quants, tail_count, "tail quants"));
+      // Node-id bounds are checked at load time because Query scatters
+      // straight through these arrays (same shallow obligation as
+      // FromParts).
+      for (const uint32_t v : head_nodes) {
+        if (v >= num_nodes) {
+          return DataLossError("compressed head node id out of range at "
+                               "byte " + std::to_string(reader.offset()));
+        }
+      }
+      for (const uint32_t v : tail_nodes) {
+        if (v >= num_nodes) {
+          return DataLossError("compressed tail node id out of range at "
+                               "byte " + std::to_string(reader.offset()));
+        }
+      }
+      entry.compressed = true;
+      entry.head_nodes = std::move(head_nodes);
+      entry.head_scores = std::move(head_scores);
+      entry.tail_nodes = std::move(tail_nodes);
+      entry.tail_quants = std::move(tail_quants);
+    }
     if (!cache.entries_.emplace(std::move(term), std::move(entry)).second) {
       return DataLossError("duplicate rank cache term at byte " +
                            std::to_string(reader.offset()));
@@ -617,19 +1011,108 @@ Status RankCache::ValidateInvariants() const {
       return InternalError("invariant violation: term '" + term +
                            "' has mass " + std::to_string(entry.mass));
     }
-    if (entry.scores.size() != num_nodes_) {
-      return InternalError(
-          "invariant violation: term '" + term + "' has " +
-          std::to_string(entry.scores.size()) + " scores, want num_nodes " +
-          std::to_string(num_nodes_));
-    }
-    for (size_t v = 0; v < entry.scores.size(); ++v) {
-      const float s = entry.scores[v];
-      if (!std::isfinite(s) || s < 0.0f) {
-        return InternalError("invariant violation: term '" + term +
-                             "' has score " + std::to_string(s) +
-                             " at node " + std::to_string(v));
+    if (!entry.compressed) {
+      if (entry.scores.size() != num_nodes_) {
+        return InternalError(
+            "invariant violation: term '" + term + "' has " +
+            std::to_string(entry.scores.size()) + " scores, want num_nodes " +
+            std::to_string(num_nodes_));
       }
+      for (size_t v = 0; v < entry.scores.size(); ++v) {
+        const float s = entry.scores[v];
+        if (!std::isfinite(s) || s < 0.0f) {
+          return InternalError("invariant violation: term '" + term +
+                               "' has score " + std::to_string(s) +
+                               " at node " + std::to_string(v));
+        }
+      }
+      continue;
+    }
+    // Compressed-entry invariants: the value-level checks FromParts and
+    // Deserialize deliberately defer. Violating any of them breaks the
+    // one-sided error accounting Query's error_bound relies on.
+    if (!entry.scores.empty()) {
+      return InternalError("invariant violation: compressed term '" + term +
+                           "' still carries a dense score vector");
+    }
+    if (entry.head_nodes.size() != entry.head_scores.size() ||
+        entry.tail_nodes.size() != entry.tail_quants.size()) {
+      return InternalError("invariant violation: compressed term '" + term +
+                           "' has mismatched node/value array lengths");
+    }
+    float prev_score = std::numeric_limits<float>::infinity();
+    for (size_t i = 0; i < entry.head_nodes.size(); ++i) {
+      const uint32_t v = entry.head_nodes[i];
+      const float s = entry.head_scores[i];
+      if (v >= num_nodes_) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' head node " + std::to_string(v) +
+                             " out of range");
+      }
+      if (!std::isfinite(s) || s < 0.0f) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' has head score " + std::to_string(s));
+      }
+      // The head is the top of the score distribution: descending, so
+      // the drop_bound/tail_scale epsilons really do dominate everything
+      // below it.
+      if (s > prev_score) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' head scores are not descending");
+      }
+      prev_score = s;
+    }
+    uint32_t prev_node = 0;
+    for (size_t i = 0; i < entry.tail_nodes.size(); ++i) {
+      const uint32_t v = entry.tail_nodes[i];
+      if (v >= num_nodes_) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' tail node " + std::to_string(v) +
+                             " out of range");
+      }
+      if (i > 0 && v <= prev_node) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' tail nodes are not strictly ascending");
+      }
+      prev_node = v;
+      if (entry.tail_quants[i] == 0) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' stores a zero tail quant at node " +
+                             std::to_string(v));
+      }
+    }
+    // Head and tail must be disjoint: a node stored twice would
+    // double-count in Query's scatter.
+    {
+      std::unordered_set<uint32_t> head_set(entry.head_nodes.begin(),
+                                            entry.head_nodes.end());
+      if (head_set.size() != entry.head_nodes.size()) {
+        return InternalError("invariant violation: compressed term '" + term +
+                             "' repeats a head node");
+      }
+      for (const uint32_t v : entry.tail_nodes) {
+        if (head_set.count(v) != 0) {
+          return InternalError("invariant violation: compressed term '" +
+                               term + "' stores node " + std::to_string(v) +
+                               " in both head and tail");
+        }
+      }
+    }
+    if (!std::isfinite(entry.tail_scale) || entry.tail_scale < 0.0 ||
+        (entry.tail_scale == 0.0 && !entry.tail_nodes.empty())) {
+      return InternalError("invariant violation: compressed term '" + term +
+                           "' has tail scale " +
+                           std::to_string(entry.tail_scale) + " with " +
+                           std::to_string(entry.tail_nodes.size()) +
+                           " tail nodes");
+    }
+    if (!std::isfinite(entry.drop_bound) || entry.drop_bound < 0.0 ||
+        !std::isfinite(entry.dropped_mass) || entry.dropped_mass < 0.0) {
+      return InternalError("invariant violation: compressed term '" + term +
+                           "' has drop bound " +
+                           std::to_string(entry.drop_bound) +
+                           ", dropped mass " +
+                           std::to_string(entry.dropped_mass));
     }
   }
   return Status::OK();
@@ -638,8 +1121,7 @@ Status RankCache::ValidateInvariants() const {
 size_t RankCache::MemoryFootprintBytes() const {
   size_t bytes = 0;
   for (const auto& [term, entry] : entries_) {
-    bytes += term.size() + sizeof(Entry) +
-             entry.scores.size() * sizeof(float);
+    bytes += term.size() + sizeof(Entry) + EntryPayloadBytes(entry);
   }
   return bytes;
 }

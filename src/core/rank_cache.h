@@ -1,6 +1,7 @@
 #ifndef ORX_CORE_RANK_CACHE_H_
 #define ORX_CORE_RANK_CACHE_H_
 
+#include <cstdint>
 #include <istream>
 #include <memory>
 #include <ostream>
@@ -95,6 +96,14 @@ class RankCache {
     /// the remaining terms; callers typically fall back to the Searcher
     /// when this is non-empty.
     std::vector<std::string> missing_terms;
+    /// Certified one-sided additive error bound versus the all-dense
+    /// combination: for every node v,
+    ///   scores[v] <= dense[v] <= scores[v] + error_bound.
+    /// 0 when every contributing term is dense. Callers gate acceptance
+    /// on top-k certification against this bound (core/approx.h).
+    double error_bound = 0.0;
+    /// Contributing terms served from a compressed entry.
+    size_t compressed_terms = 0;
   };
 
   /// Precomputes the rank vector of every eligible corpus term under
@@ -121,15 +130,104 @@ class RankCache {
       std::span<const uint64_t> term_offsets, std::span<const double> masses,
       std::span<const float> scores, std::shared_ptr<const void> keepalive);
 
+  /// Knobs of Compress(); see docs/rank_cache.md. The representation is
+  /// one-sided by construction (truncation drops mass, quantization
+  /// floors), so a compressed combination never *over*-estimates a dense
+  /// score — the property top-k certification needs.
+  struct CompressionOptions {
+    /// Exact float head entries kept per term (score-descending).
+    size_t head = 64;
+    /// Scores below this threshold (and outside the head) are dropped;
+    /// the largest dropped score is remembered as the term's drop bound.
+    double drop_threshold = 1e-5;
+    /// A term stays dense unless its compressed form is at least this
+    /// many times smaller — compression must buy memory, not just cost
+    /// accuracy.
+    double min_ratio = 2.0;
+  };
+
+  /// Aggregate outcome of one Compress() run.
+  struct CompressionStats {
+    size_t terms_compressed = 0;
+    /// Terms left dense (failed min_ratio, or already compressed).
+    size_t terms_dense = 0;
+    /// Entry payload bytes before and after (score vectors only).
+    size_t bytes_before = 0;
+    size_t bytes_after = 0;
+    /// Largest per-term additive error bound introduced.
+    double max_epsilon = 0.0;
+
+    std::string ToString() const;
+  };
+
+  /// Rewrites every dense entry as a truncated top-k head (exact floats,
+  /// score-descending) plus a 16-bit floor-quantized tail, dropping
+  /// scores below options.drop_threshold with their maximum and total
+  /// mass remembered for error accounting. Entries whose compressed form
+  /// is not at least options.min_ratio times smaller stay dense, so
+  /// Query() stays exact for them. Idempotent.
+  CompressionStats Compress(const CompressionOptions& options);
+  CompressionStats Compress() { return Compress(CompressionOptions{}); }
+
+  /// Number of entries held in compressed form.
+  size_t num_compressed_terms() const;
+
+  /// Fixed-size descriptor of one compressed entry inside the packed
+  /// arrays (the ORXC2 "rc_cdesc" section payload).
+  struct PackedCompressedDesc {
+    uint64_t head_offset = 0;
+    uint64_t tail_offset = 0;
+    uint32_t head_count = 0;
+    uint32_t tail_count = 0;
+    double tail_scale = 0.0;
+    double drop_bound = 0.0;
+    double dropped_mass = 0.0;
+  };
+  static_assert(sizeof(PackedCompressedDesc) == 48);
+
   /// The entry table flattened for the ORXC2 container writer, in sorted
-  /// term order (the same deterministic order Serialize uses).
+  /// term order (the same deterministic order Serialize uses). `scores`
+  /// concatenates only the *dense* entries, in term order among them;
+  /// compressed entries land in the side arrays, indexed by one desc per
+  /// kinds[t] == 1 term (also in term order).
   struct PackedEntries {
     std::vector<uint64_t> offsets;
     std::string heap;
     std::vector<double> masses;
     std::vector<float> scores;
+    /// Per term: 0 = dense, 1 = compressed. All-dense caches leave this
+    /// empty (the ORXC2 v1 layout).
+    std::vector<uint8_t> kinds;
+    std::vector<PackedCompressedDesc> descs;
+    std::vector<uint32_t> head_nodes;
+    std::vector<float> head_scores;
+    std::vector<uint32_t> tail_nodes;
+    std::vector<uint16_t> tail_quants;
   };
   PackedEntries PackEntries() const;
+
+  /// The compressed side arrays of FromParts, all empty for an all-dense
+  /// (v1) container. When `kinds` is non-empty it has one byte per term
+  /// and `scores` covers only the dense terms.
+  struct CompressedParts {
+    std::span<const uint8_t> kinds;
+    std::span<const PackedCompressedDesc> descs;
+    std::span<const uint32_t> head_nodes;
+    std::span<const float> head_scores;
+    std::span<const uint32_t> tail_nodes;
+    std::span<const uint16_t> tail_quants;
+  };
+
+  /// FromParts for containers carrying compressed entries. Shallow
+  /// checks cover shapes, desc ranges, and node-id bounds (Query on an
+  /// accepted cache must never index out of range); value-level checks
+  /// (finiteness, monotone heads, ordered tails) are ValidateInvariants.
+  static StatusOr<RankCache> FromParts(
+      size_t num_nodes, uint64_t rates_fingerprint,
+      const text::Bm25Params& bm25, std::span<const char> term_heap,
+      std::span<const uint64_t> term_offsets, std::span<const double> masses,
+      std::span<const float> scores, const CompressedParts& compressed,
+      std::shared_ptr<const void> keepalive);
 
   /// Like Build but only for the given terms (normalized forms).
   static RankCache BuildForTerms(const graph::AuthorityGraph& graph,
@@ -254,11 +352,15 @@ class RankCache {
   static StatusOr<RankCache> Load(const std::string& path);
 
   /// Deep structural check: every entry has a non-empty term, a finite
-  /// non-negative mass, and exactly num_nodes() finite non-negative
-  /// scores. Returns a descriptive non-OK Status on the first violation
-  /// — Query() on a cache that fails this check would read or combine
-  /// garbage. Called by the fuzz harnesses on every deserialized cache
-  /// and exposed through `orx_cli validate`.
+  /// non-negative mass, and — dense — exactly num_nodes() finite
+  /// non-negative scores, or — compressed — a score-descending finite
+  /// head, a strictly node-ascending nonzero-quant tail disjoint from the
+  /// head, node ids in range, a finite non-negative quantization scale
+  /// (positive when the tail is non-empty), and finite non-negative
+  /// drop bound / dropped mass. Returns a descriptive non-OK Status on
+  /// the first violation — Query() on a cache that fails this check would
+  /// read or combine garbage. Called by the fuzz harnesses on every
+  /// deserialized cache and exposed through `orx_cli validate`.
   Status ValidateInvariants() const;
 
  private:
@@ -267,9 +369,37 @@ class RankCache {
     double mass = 0.0;
     /// r_t, stored as float (half the memory; combination runs in
     /// double). Owned by builds/Deserialize; a borrowed slice of the
-    /// mmap-backed score matrix on the FromParts path.
+    /// mmap-backed score matrix on the FromParts path. Empty when the
+    /// entry is compressed.
     ArrayRef<float> scores;
+
+    /// Compressed representation (docs/rank_cache.md): the top `head`
+    /// scores exact, the next tier floor-quantized to 16 bits, the rest
+    /// dropped with their max and sum retained. Every stored value is
+    /// <= the dense value it stands for, and every unstored value is
+    /// <= drop_bound, so per node
+    ///   stored(v) <= dense(v) <= stored(v) + max(drop_bound, tail_scale).
+    bool compressed = false;
+    ArrayRef<uint32_t> head_nodes;   // score-descending, then id-ascending
+    ArrayRef<float> head_scores;
+    ArrayRef<uint32_t> tail_nodes;   // strictly ascending node ids
+    ArrayRef<uint16_t> tail_quants;  // value = quant * tail_scale
+    double tail_scale = 0.0;
+    double drop_bound = 0.0;
+    double dropped_mass = 0.0;
+
+    /// The entry's certified additive per-node error bound.
+    double epsilon() const {
+      return compressed ? (drop_bound > tail_scale ? drop_bound : tail_scale)
+                        : 0.0;
+    }
   };
+
+  /// Serialized byte size of one entry's score payload.
+  static size_t EntryPayloadBytes(const Entry& entry);
+  /// Dense float materialization of an entry (dropped scores become 0);
+  /// the warm-start seed for incremental refreshes of compressed entries.
+  std::vector<float> DenseScores(const Entry& entry) const;
 
   RankCache() = default;
 

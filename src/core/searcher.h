@@ -16,6 +16,47 @@
 
 namespace orx::core {
 
+/// Which execution tier answers a search. The tiers trade latency for
+/// certainty; all of them return sound rankings — the approximate and
+/// cached tiers additionally report the certified error bound they
+/// carry, and escalate to the exact kernel when the top-k set cannot be
+/// certified under it. The numeric values are the wire encoding
+/// (net/frame.h) — append only.
+enum class SearchTier : uint8_t {
+  /// Cache when fresh and certifiable, exact otherwise (the historical
+  /// behavior, and the default).
+  kAuto = 0,
+  /// Always run the power iteration; the cache is not consulted.
+  kExact = 1,
+  /// Run the local forward-push kernel (core/approx.h) and certify the
+  /// top-k set against its error bound; escalate to exact when
+  /// certification fails.
+  kApproximate = 2,
+  /// Prefer the precomputed rank cache; on any miss (reason reported in
+  /// SearchResult::cache_miss_reason) fall back to exact.
+  kCached = 3,
+};
+
+/// Why a search was not answered from the rank cache. Ordered from
+/// structural (no cache at all) to marginal (cache answered, but its
+/// compression error bound could not certify the top-k set).
+enum class CacheMissReason : uint8_t {
+  /// Not a miss: the cache answered, or the tier never consulted it.
+  kNone = 0,
+  /// No cache attached to the searcher.
+  kNoCache = 1,
+  /// The cache was built under different transfer rates.
+  kRatesMismatch = 2,
+  /// The cache was built under different Okapi BM25 parameters.
+  kBm25Mismatch = 3,
+  /// At least one query term is absent from the cache (or contributes no
+  /// positive combination weight).
+  kMissingTerms = 4,
+  /// Compressed entries answered, but their combined error bound was too
+  /// large to certify the top-k set.
+  kErrorBudget = 5,
+};
+
 /// Which ranking semantics Search uses.
 enum class RankMode {
   /// ObjectRank2 (Section 3): one power iteration over the IR-weighted
@@ -42,6 +83,13 @@ struct SearchOptions {
   /// query of a session is seeded with the global ObjectRank if
   /// PrecomputeGlobalRank was called.
   bool use_warm_start = true;
+  /// Execution tier; see SearchTier. Only ObjectRank2 mode dispatches on
+  /// it — baseline mode always runs its per-keyword exact product.
+  SearchTier tier = SearchTier::kAuto;
+  /// Knobs of the approximate kernel when tier is kApproximate. Its
+  /// damping and cancel hook are overridden from `objectrank` so the two
+  /// kernels always solve the same fixpoint under the same deadline.
+  ApproxOptions approx;
 };
 
 /// One query of a Searcher::SearchBatch call. Options are shared across
@@ -73,6 +121,23 @@ struct SearchResult {
   size_t base_set_size = 0;
   /// Wall-clock seconds of the ObjectRank execution stage.
   double seconds = 0.0;
+  /// The tier that actually produced the scores (never kAuto): kCached
+  /// iff from_cache, kApproximate iff the push kernel's bound certified
+  /// the top-k set, kExact otherwise.
+  SearchTier tier_used = SearchTier::kExact;
+  /// Certified additive error bound on `scores` (0 for exact results).
+  /// For every node v: scores[v] <= exact[v] <= scores[v] + error_bound.
+  double error_bound = 0.0;
+  /// True iff `top` provably equals the exact top-k set: exact tiers
+  /// trivially, approximate/compressed tiers via the gap test
+  /// (CertifyTopK in core/approx.h).
+  bool certified = true;
+  /// True iff a non-exact tier was requested but could not certify its
+  /// answer, so the exact kernel ran instead.
+  bool escalated = false;
+  /// Why the rank cache did not answer (kNone on a hit, or when the tier
+  /// never consulted it).
+  CacheMissReason cache_miss_reason = CacheMissReason::kNone;
 };
 
 /// High-level query interface tying together the corpus, the authority
@@ -160,6 +225,19 @@ class Searcher {
   StatusOr<SearchResult> SearchBaseline(const text::QueryVector& query,
                                         const graph::TransferRates& rates,
                                         const SearchOptions& options);
+  /// The approximate tier: forward-push, certify, escalate on failure.
+  /// Pure with respect to session state (SearchBatch calls it per lane);
+  /// Search updates the warm-start seed from its result.
+  StatusOr<SearchResult> SearchApproximate(const graph::TransferRates& rates,
+                                           const SearchOptions& options,
+                                           const BaseSet& base);
+  /// Tries to answer from the rank cache. Returns the result on a
+  /// certified hit; otherwise sets *reason and returns nullopt.
+  std::optional<SearchResult> TryCacheAnswer(const text::QueryVector& query,
+                                             const graph::TransferRates& rates,
+                                             const SearchOptions& options,
+                                             const BaseSet& base,
+                                             CacheMissReason* reason) const;
 
   const graph::DataGraph* data_;
   const graph::AuthorityGraph* graph_;

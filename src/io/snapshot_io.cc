@@ -378,10 +378,18 @@ serve::ServeSnapshot SnapshotFromMapped(
 
 namespace {
 
+/// Rank-cache meta version 2 marks a container that carries the
+/// compressed-entry sections (rc_kinds and friends). All-dense caches
+/// keep writing version 1, so their containers stay byte-identical to
+/// pre-compression builds and old readers still attach them; old readers
+/// reject version-2 containers cleanly instead of misreading the score
+/// matrix.
+constexpr uint32_t kRankCacheCompressedMetaVersion = 2;
+
 std::string BuildRankCacheMeta(const core::RankCache& cache,
-                               size_t num_terms) {
+                               size_t num_terms, bool compressed) {
   std::string meta;
-  PutU32(meta, kMetaVersion);
+  PutU32(meta, compressed ? kRankCacheCompressedMetaVersion : kMetaVersion);
   PutU64(meta, cache.num_nodes());
   PutU64(meta, cache.rates_fingerprint());
   PutDouble(meta, cache.bm25_params().k1);
@@ -396,14 +404,24 @@ std::string BuildRankCacheMeta(const core::RankCache& cache,
 Status WriteRankCacheContainer(const core::RankCache& cache,
                                const std::string& path) {
   const core::RankCache::PackedEntries packed = cache.PackEntries();
+  const bool compressed = !packed.kinds.empty();
   ContainerWriter writer(kRankCacheMagic);
   writer.AddOwned("meta",
-                  BuildRankCacheMeta(cache, packed.masses.size()));
+                  BuildRankCacheMeta(cache, packed.masses.size(), compressed));
   writer.Add<uint64_t>("rc_offsets", packed.offsets);
   writer.Add<char>("rc_heap", std::span<const char>(packed.heap.data(),
                                                     packed.heap.size()));
   writer.Add<double>("rc_masses", packed.masses);
   writer.Add<float>("rc_scores", packed.scores);
+  if (compressed) {
+    writer.Add<uint8_t>("rc_kinds", packed.kinds);
+    writer.Add<core::RankCache::PackedCompressedDesc>("rc_cdesc",
+                                                      packed.descs);
+    writer.Add<uint32_t>("rc_chead_nodes", packed.head_nodes);
+    writer.Add<float>("rc_chead_scores", packed.head_scores);
+    writer.Add<uint32_t>("rc_ctail_nodes", packed.tail_nodes);
+    writer.Add<uint16_t>("rc_ctail_quants", packed.tail_quants);
+  }
   return writer.WriteTo(path);
 }
 
@@ -422,7 +440,8 @@ StatusOr<core::RankCache> OpenMappedRankCache(
   ByteReader reader(in);
   uint32_t version = 0;
   ORX_RETURN_IF_ERROR(reader.ReadU32(&version, "meta version"));
-  if (version != kMetaVersion) {
+  if (version != kMetaVersion &&
+      version != kRankCacheCompressedMetaVersion) {
     return DataLossError("unsupported rank cache meta version " +
                          std::to_string(version));
   }
@@ -448,12 +467,36 @@ StatusOr<core::RankCache> OpenMappedRankCache(
                          "term count");
   }
 
+  // Compressed sections are presence-based: a version-1 container simply
+  // has none and loads all-dense through the same path.
+  core::RankCache::CompressedParts parts;
+  if (c.Has("rc_kinds")) {
+    auto kinds = c.Section<uint8_t>("rc_kinds");
+    if (!kinds.ok()) return kinds.status();
+    auto descs = c.Section<core::RankCache::PackedCompressedDesc>("rc_cdesc");
+    if (!descs.ok()) return descs.status();
+    auto head_nodes = c.Section<uint32_t>("rc_chead_nodes");
+    if (!head_nodes.ok()) return head_nodes.status();
+    auto head_scores = c.Section<float>("rc_chead_scores");
+    if (!head_scores.ok()) return head_scores.status();
+    auto tail_nodes = c.Section<uint32_t>("rc_ctail_nodes");
+    if (!tail_nodes.ok()) return tail_nodes.status();
+    auto tail_quants = c.Section<uint16_t>("rc_ctail_quants");
+    if (!tail_quants.ok()) return tail_quants.status();
+    parts.kinds = *kinds;
+    parts.descs = *descs;
+    parts.head_nodes = *head_nodes;
+    parts.head_scores = *head_scores;
+    parts.tail_nodes = *tail_nodes;
+    parts.tail_quants = *tail_quants;
+  }
+
   if (options.deep_validate) {
     ORX_RETURN_IF_ERROR(c.VerifyHashes());
   }
   auto cache = core::RankCache::FromParts(
       static_cast<size_t>(num_nodes), fingerprint, bm25, *heap, *offsets,
-      *masses, *scores, keepalive);
+      *masses, *scores, parts, keepalive);
   if (!cache.ok()) return cache.status();
   if (options.deep_validate) {
     ORX_RETURN_IF_ERROR(cache->ValidateInvariants());

@@ -21,6 +21,11 @@ constexpr uint64_t kCountLimit = 1u << 20;
 constexpr uint64_t kMutationLimit = 1u << 16;
 constexpr uint64_t kAttributeLimit = 1u << 12;
 
+// Highest core::SearchTier wire value (kCached). The tier enum is
+// append-only, so a value above this is a malformed frame, not a newer
+// peer — newer tiers would bump this constant in lockstep.
+constexpr uint8_t kMaxWireTier = 3;
+
 // ByteReader is the hardened offset-tracking reader the binary
 // deserializers share; wrapping the payload in a stream reuses it
 // verbatim (payloads are already bounded by kMaxPayload, so the copy
@@ -42,6 +47,15 @@ class PayloadReader {
                            " at byte " + std::to_string(reader_.offset()));
     }
     return Status::OK();
+  }
+
+  /// Whether every payload byte has been consumed. Gate for trailing
+  /// optional field groups: absent → defaults (a pre-tier peer), present
+  /// → the whole group must parse and ExpectExhausted still applies, so
+  /// a half-written group is kDataLoss rather than silent defaults.
+  bool AtEnd() {
+    stream_.peek();
+    return stream_.eof();
   }
 
  private:
@@ -164,6 +178,7 @@ std::string EncodeSearchRequest(const SearchRequest& request) {
   AppendString(&out, request.query);
   AppendU32(&out, request.k);
   AppendDouble(&out, request.deadline_seconds);
+  out.push_back(static_cast<char>(request.tier));
   return out;
 }
 
@@ -175,6 +190,14 @@ StatusOr<SearchRequest> DecodeSearchRequest(const std::string& payload) {
   ORX_RETURN_IF_ERROR(in.reader().ReadU32(&request.k, "search k"));
   ORX_RETURN_IF_ERROR(
       in.reader().ReadDouble(&request.deadline_seconds, "search deadline"));
+  if (!in.AtEnd()) {
+    ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &request.tier, "search tier"));
+    if (request.tier > kMaxWireTier) {
+      return DataLossError("unknown search tier " +
+                           std::to_string(request.tier) + " at byte " +
+                           std::to_string(in.reader().offset()));
+    }
+  }
   ORX_RETURN_IF_ERROR(in.ExpectExhausted("search request"));
   return request;
 }
@@ -194,6 +217,10 @@ std::string EncodeSearchResponse(const SearchResponse& response) {
   out.push_back(response.coalesced ? 1 : 0);
   AppendU64(&out, response.snapshot_version);
   AppendDouble(&out, response.total_seconds);
+  out.push_back(static_cast<char>(response.tier_used));
+  AppendDouble(&out, response.error_bound);
+  out.push_back(response.certified ? 1 : 0);
+  out.push_back(response.escalated ? 1 : 0);
   return out;
 }
 
@@ -227,6 +254,21 @@ StatusOr<SearchResponse> DecodeSearchResponse(const std::string& payload) {
       in.reader().ReadU64(&response.snapshot_version, "snapshot version"));
   ORX_RETURN_IF_ERROR(
       in.reader().ReadDouble(&response.total_seconds, "total seconds"));
+  if (!in.AtEnd()) {
+    ORX_RETURN_IF_ERROR(
+        ReadU8(in.reader(), &response.tier_used, "tier used"));
+    if (response.tier_used > kMaxWireTier) {
+      return DataLossError("unknown tier_used " +
+                           std::to_string(response.tier_used) + " at byte " +
+                           std::to_string(in.reader().offset()));
+    }
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadDouble(&response.error_bound, "error bound"));
+    ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &flag, "certified"));
+    response.certified = flag != 0;
+    ORX_RETURN_IF_ERROR(ReadU8(in.reader(), &flag, "escalated"));
+    response.escalated = flag != 0;
+  }
   ORX_RETURN_IF_ERROR(in.ExpectExhausted("search response"));
   return response;
 }
@@ -394,6 +436,22 @@ std::string EncodeMetricsResponse(const MetricsResponse& response) {
   AppendU64(&out, response.epochs_live);
   AppendU64(&out, response.rank_terms_reused);
   AppendU64(&out, response.rank_terms_refreshed);
+  // Trailing optional tier block — pre-tier decoders stop above.
+  AppendU64(&out, m.tier_exact);
+  AppendU64(&out, m.tier_approximate);
+  AppendU64(&out, m.tier_cached);
+  AppendU64(&out, m.escalations);
+  AppendU64(&out, m.miss_no_cache);
+  AppendU64(&out, m.miss_rates_mismatch);
+  AppendU64(&out, m.miss_bm25_mismatch);
+  AppendU64(&out, m.miss_missing_terms);
+  AppendU64(&out, m.miss_error_budget);
+  AppendDouble(&out, m.tier_exact_p50);
+  AppendDouble(&out, m.tier_exact_p99);
+  AppendDouble(&out, m.tier_approximate_p50);
+  AppendDouble(&out, m.tier_approximate_p99);
+  AppendDouble(&out, m.tier_cached_p50);
+  AppendDouble(&out, m.tier_cached_p99);
   return out;
 }
 
@@ -455,6 +513,35 @@ StatusOr<MetricsResponse> DecodeMetricsResponse(const std::string& payload) {
       in.reader().ReadU64(&response.rank_terms_reused, "rank_terms_reused"));
   ORX_RETURN_IF_ERROR(in.reader().ReadU64(&response.rank_terms_refreshed,
                                           "rank_terms_refreshed"));
+  if (!in.AtEnd()) {
+    ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.tier_exact, "tier_exact"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadU64(&m.tier_approximate, "tier_approximate"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.tier_cached, "tier_cached"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadU64(&m.escalations, "escalations"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadU64(&m.miss_no_cache, "miss_no_cache"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadU64(&m.miss_rates_mismatch, "miss_rates_mismatch"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadU64(&m.miss_bm25_mismatch, "miss_bm25_mismatch"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadU64(&m.miss_missing_terms, "miss_missing_terms"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadU64(&m.miss_error_budget, "miss_error_budget"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadDouble(&m.tier_exact_p50, "tier_exact_p50"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadDouble(&m.tier_exact_p99, "tier_exact_p99"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.tier_approximate_p50,
+                                               "tier_approximate_p50"));
+    ORX_RETURN_IF_ERROR(in.reader().ReadDouble(&m.tier_approximate_p99,
+                                               "tier_approximate_p99"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadDouble(&m.tier_cached_p50, "tier_cached_p50"));
+    ORX_RETURN_IF_ERROR(
+        in.reader().ReadDouble(&m.tier_cached_p99, "tier_cached_p99"));
+  }
   ORX_RETURN_IF_ERROR(in.ExpectExhausted("metrics response"));
   return response;
 }

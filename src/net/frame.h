@@ -94,12 +94,20 @@ void AppendDouble(std::string* out, double v);
 void AppendString(std::string* out, const std::string& s);
 
 /// kSearch request.
+///
+/// `tier` is a trailing optional field: frames from pre-tier clients
+/// simply end after `deadline_seconds` and decode as tier 0 (auto).
+/// Encoders always write it. Values mirror core::SearchTier — 0 auto,
+/// 1 exact, 2 approximate, 3 cached; anything above 3 is rejected at
+/// decode (kDataLoss), so handlers can cast without re-checking.
 struct SearchRequest {
   std::string query;
   /// 0 = the server snapshot's default k.
   uint32_t k = 0;
   /// 0 = the server's default deadline.
   double deadline_seconds = 0.0;
+  /// Requested execution tier (core::SearchTier wire value).
+  uint8_t tier = 0;
 };
 std::string EncodeSearchRequest(const SearchRequest& request);
 StatusOr<SearchRequest> DecodeSearchRequest(const std::string& payload);
@@ -113,6 +121,12 @@ struct WireResult {
 };
 
 /// kSearch response.
+///
+/// The tier block (`tier_used` through `escalated`) is trailing and
+/// optional as a group: responses from pre-tier servers end after
+/// `total_seconds` and decode to the defaults below (exact, zero error,
+/// certified — exactly what those servers computed). Encoders always
+/// write the block; a truncated block is kDataLoss, not defaults.
 struct SearchResponse {
   std::vector<WireResult> results;
   uint32_t iterations = 0;
@@ -121,6 +135,15 @@ struct SearchResponse {
   bool coalesced = false;
   uint64_t snapshot_version = 0;
   double total_seconds = 0.0;
+  /// Tier that actually produced the answer (core::SearchTier wire
+  /// value; an escalated approximate request reports 1, exact).
+  uint8_t tier_used = 1;
+  /// Certified additive L-inf bound on the returned scores (0 = exact).
+  double error_bound = 0.0;
+  /// Whether the top-k set is certified identical to the exact one.
+  bool certified = true;
+  /// Whether a non-exact request fell back to the exact kernel.
+  bool escalated = false;
 };
 std::string EncodeSearchResponse(const SearchResponse& response);
 StatusOr<SearchResponse> DecodeSearchResponse(const std::string& payload);
@@ -177,7 +200,10 @@ StatusOr<ValidateResponse> DecodeValidateResponse(
 /// kMetrics response (the request has no payload): the service's
 /// consistent-cut ServeMetrics plus the front end's own counters and,
 /// when the server runs a write path, the mutation-side counters (all
-/// zero on a read-only server).
+/// zero on a read-only server). The tier block of ServeMetrics (tier
+/// counters, miss reasons, escalations, per-tier percentiles) rides at
+/// the end of the payload as one trailing optional group — pre-tier
+/// payloads decode with that block zeroed.
 struct MetricsResponse {
   serve::ServeMetrics serve;
   uint64_t connections_accepted = 0;

@@ -17,7 +17,17 @@ std::string ServeMetrics::ToString() const {
          " batches=" + std::to_string(batches) +
          " batched=" + std::to_string(batched_queries) +
          " batch_occ=" + FormatDouble(batch_occupancy_mean, 2) + "/max=" +
-         std::to_string(batch_occupancy_max) + " p50=" + ms(latency_p50) +
+         std::to_string(batch_occupancy_max) +
+         " tiers=" + std::to_string(tier_exact) + "e/" +
+         std::to_string(tier_approximate) + "a/" +
+         std::to_string(tier_cached) + "c esc=" +
+         std::to_string(escalations) + " miss=" +
+         std::to_string(miss_no_cache) + "n/" +
+         std::to_string(miss_rates_mismatch) + "r/" +
+         std::to_string(miss_bm25_mismatch) + "b/" +
+         std::to_string(miss_missing_terms) + "t/" +
+         std::to_string(miss_error_budget) + "e" +
+         " p50=" + ms(latency_p50) +
          "ms p95=" + ms(latency_p95) + "ms p99=" + ms(latency_p99) +
          "ms mean=" + ms(latency_mean) + "ms";
 }

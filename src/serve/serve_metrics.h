@@ -47,6 +47,34 @@ struct ServeMetrics {
   /// batching is off or nothing has been batched).
   double batch_occupancy_mean = 0.0;
 
+  /// Executions answered per tier (core::SearchTier of the *result*, so
+  /// an approximate request that escalated counts under tier_exact).
+  /// Only successful executions count; serve-level result-cache hits are
+  /// `cache_hits` above, not tiers — tier_cached is the rank-cache tier.
+  uint64_t tier_exact = 0;
+  uint64_t tier_approximate = 0;
+  uint64_t tier_cached = 0;
+  /// Executions where a non-exact tier was requested but could not
+  /// certify its answer, so the exact kernel ran (SearchResult::escalated).
+  uint64_t escalations = 0;
+
+  /// Rank-cache miss reasons of executions (core::CacheMissReason; kNone
+  /// — a hit, or a tier that never consulted the cache — is not counted).
+  uint64_t miss_no_cache = 0;
+  uint64_t miss_rates_mismatch = 0;
+  uint64_t miss_bm25_mismatch = 0;
+  uint64_t miss_missing_terms = 0;
+  uint64_t miss_error_budget = 0;
+
+  /// Per-tier execution-stage latency (SearchResult::seconds — the
+  /// kernel, not queueing), seconds.
+  double tier_exact_p50 = 0.0;
+  double tier_exact_p99 = 0.0;
+  double tier_approximate_p50 = 0.0;
+  double tier_approximate_p99 = 0.0;
+  double tier_cached_p50 = 0.0;
+  double tier_cached_p99 = 0.0;
+
   /// Seconds since the service was constructed.
   double uptime_seconds = 0.0;
   /// completed / uptime_seconds.

@@ -1,0 +1,337 @@
+// Randomized equivalence suite for the approximate authority-flow tier
+// (core/approx.h, docs/approx_tier.md). The contract under test is the
+// one every serving response repeats: for every node v,
+//     scores[v] <= exact[v] <= scores[v] + linf_bound
+// across arbitrary graphs, rates, base sets, and thresholds — and a
+// certified top-k set IS the exact top-k set, not an approximation of
+// it. The reference comes from the power iteration driven far past its
+// production tolerance, so the reference error is negligible against
+// every bound checked here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/approx.h"
+#include "core/objectrank.h"
+#include "core/rank_cache.h"
+#include "core/searcher.h"
+#include "core/top_k.h"
+#include "datasets/dblp_generator.h"
+#include "graph/spmv_layout.h"
+#include "text/query.h"
+
+namespace orx::core {
+namespace {
+
+// Reference solve: tolerance orders of magnitude below any bound the
+// push can report, so the measured-vs-bound comparisons below are about
+// the push, not the referee.
+constexpr double kReferenceEpsilon = 1e-13;
+constexpr double kReferenceSlack = 1e-9;
+
+struct RandomCase {
+  datasets::DblpDataset dblp;
+  graph::TransferRates rates;
+  BaseSet base;
+};
+
+BaseSet MakeRandomBase(Rng& rng, size_t n, size_t base_nodes) {
+  std::vector<graph::NodeId> nodes;
+  while (nodes.size() < std::min(base_nodes, n)) {
+    const auto v = static_cast<graph::NodeId>(rng.UniformInt(n));
+    if (std::find(nodes.begin(), nodes.end(), v) == nodes.end()) {
+      nodes.push_back(v);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<double> weights(nodes.size());
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng.UniformDouble() + 0.01;
+    total += w;
+  }
+  BaseSet base;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    base.entries.emplace_back(nodes[i], weights[i] / total);
+  }
+  return base;
+}
+
+RandomCase MakeRandomCase(uint64_t seed) {
+  Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  const auto papers = static_cast<uint32_t>(30 + rng.UniformInt(120));
+  RandomCase c{datasets::GenerateDblp(
+                   datasets::DblpGeneratorConfig::Tiny(papers, seed)),
+               {}, {}};
+  c.rates = graph::TransferRates(c.dblp.dataset.schema(), 0.0);
+  for (uint32_t slot = 0; slot < c.rates.num_slots(); ++slot) {
+    c.rates.set_slot(slot, rng.UniformDouble());
+  }
+  c.rates.CapOutgoingSums(c.dblp.dataset.schema());
+  const size_t n = c.dblp.dataset.data().num_nodes();
+  c.base = MakeRandomBase(rng, n, 1 + rng.UniformInt(6));
+  return c;
+}
+
+std::vector<double> ReferenceScores(const ObjectRankEngine& engine,
+                                    const RandomCase& c) {
+  ObjectRankOptions options;
+  options.epsilon = kReferenceEpsilon;
+  options.max_iterations = 5000;
+  return engine.Compute(c.base, c.rates, options).scores;
+}
+
+// 200 random (graph, rates, base, threshold) cases: the reported bounds
+// must dominate the measured errors, and the estimate must stay
+// one-sided, for every case — a single violation is a soundness bug.
+TEST(ApproxTierRandomized, BoundDominatesMeasuredErrorOn200RandomGraphs) {
+  size_t nontrivial = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const RandomCase c = MakeRandomCase(seed);
+    const ObjectRankEngine engine(c.dblp.dataset.authority());
+    const std::vector<double> exact = ReferenceScores(engine, c);
+
+    ApproxOptions options;
+    const double thresholds[] = {1e-4, 1e-5, 1e-6, 1e-7};
+    options.r_max = thresholds[seed % 4];
+    const ApproxResult push =
+        engine.ComputeApproximate(c.base, c.rates, options);
+    ASSERT_TRUE(push.certified) << "seed " << seed;
+    ASSERT_EQ(push.scores.size(), exact.size()) << "seed " << seed;
+
+    double linf = 0.0;
+    double l1 = 0.0;
+    for (size_t v = 0; v < exact.size(); ++v) {
+      const double diff = exact[v] - push.scores[v];
+      // One-sided: the push never overshoots the fixpoint.
+      EXPECT_GE(diff, -kReferenceSlack)
+          << "seed " << seed << " node " << v << " overshoots";
+      linf = std::max(linf, diff);
+      l1 += std::max(diff, 0.0);
+    }
+    EXPECT_LE(linf, push.linf_bound + kReferenceSlack)
+        << "seed " << seed << ": measured L-inf " << linf
+        << " exceeds reported bound " << push.linf_bound;
+    EXPECT_LE(l1, push.l1_bound + kReferenceSlack)
+        << "seed " << seed << ": measured L1 " << l1
+        << " exceeds reported bound " << push.l1_bound;
+    if (linf > 0.0) ++nontrivial;
+  }
+  // The sweep must actually exercise approximation, not 200 exact runs.
+  EXPECT_GE(nontrivial, 100u);
+}
+
+// Certification is exactness: whenever CertifyTopK accepts a top-k set
+// under the reported bound, that set equals the reference top-k set.
+TEST(ApproxTierRandomized, CertifiedTopKSetsEqualExactTopKSets) {
+  size_t certified_cases = 0;
+  for (uint64_t seed = 300; seed < 400; ++seed) {
+    const RandomCase c = MakeRandomCase(seed);
+    const ObjectRankEngine engine(c.dblp.dataset.authority());
+    const std::vector<double> exact = ReferenceScores(engine, c);
+    const graph::DataGraph& data = c.dblp.dataset.data();
+
+    ApproxOptions options;
+    options.r_max = 1e-9;  // tight run so certification has teeth
+    const ApproxResult push =
+        engine.ComputeApproximate(c.base, c.rates, options);
+    ASSERT_TRUE(push.certified) << "seed " << seed;
+
+    for (const size_t k : {size_t{1}, size_t{5}, size_t{10}}) {
+      for (const std::optional<graph::TypeId> type :
+           {std::optional<graph::TypeId>{},
+            std::optional<graph::TypeId>{c.dblp.types.paper}}) {
+        const CertifiedTopK cert =
+            CertifyTopK(push.scores, push.linf_bound, k, data, type);
+        if (!cert.certified) continue;
+        ++certified_cases;
+        const std::vector<ScoredNode> truth = TopKOfType(exact, k, data, type);
+        ASSERT_EQ(cert.top.size(), truth.size())
+            << "seed " << seed << " k " << k;
+        std::vector<uint64_t> got, want;
+        for (const ScoredNode& s : cert.top) got.push_back(s.node);
+        for (const ScoredNode& s : truth) want.push_back(s.node);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << "seed " << seed << " k " << k
+                             << ": certified set differs from exact set";
+      }
+    }
+  }
+  // Tight pushes on tiny graphs should certify most of the time; if they
+  // never do, the assertion above is vacuous.
+  EXPECT_GE(certified_cases, 100u);
+}
+
+// Searcher-level tier contract: the approximate tier either returns a
+// certified answer (positive bound, exact top-k) or escalates to the
+// exact kernel — never an uncertified un-escalated ranking.
+TEST(ApproxTierSearcher, ApproximateTierCertifiesOrEscalates) {
+  const datasets::DblpDataset dblp =
+      datasets::GenerateDblp(datasets::DblpGeneratorConfig::Tiny(300, 7));
+  const graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  const text::Corpus& corpus = dblp.dataset.corpus();
+
+  size_t checked = 0;
+  for (text::TermId t = 0; t < corpus.vocab_size() && checked < 12; ++t) {
+    if (corpus.Df(t) < 2) continue;
+    ++checked;
+    const text::QueryVector query(
+        text::ParseQuery(corpus.TermString(t)));
+
+    Searcher exact_searcher(dblp.dataset.data(), dblp.dataset.authority(),
+                            corpus);
+    SearchOptions exact_options;
+    exact_options.k = 5;
+    exact_options.tier = SearchTier::kExact;
+    exact_options.objectrank.epsilon = kReferenceEpsilon;
+    exact_options.objectrank.max_iterations = 5000;
+    const auto exact = exact_searcher.Search(query, rates, exact_options);
+    ASSERT_TRUE(exact.ok());
+
+    Searcher searcher(dblp.dataset.data(), dblp.dataset.authority(), corpus);
+    SearchOptions options;
+    options.k = 5;
+    options.tier = SearchTier::kApproximate;
+    const auto result = searcher.Search(query, rates, options);
+    ASSERT_TRUE(result.ok());
+    if (result->escalated) {
+      EXPECT_EQ(result->tier_used, SearchTier::kExact);
+      continue;
+    }
+    EXPECT_EQ(result->tier_used, SearchTier::kApproximate);
+    EXPECT_TRUE(result->certified);
+    EXPECT_GT(result->error_bound, 0.0);
+    std::vector<uint64_t> got, want;
+    for (const ScoredNode& s : result->top) got.push_back(s.node);
+    for (const ScoredNode& s : exact->top) want.push_back(s.node);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "term " << corpus.TermString(t);
+  }
+  ASSERT_GE(checked, 1u);
+}
+
+// Compressed-cache tier: a compressed hit that passes certification
+// returns the same top-k set as the dense cache; one that cannot certify
+// escalates with the kErrorBudget miss reason instead of serving an
+// unproven set.
+TEST(ApproxTierSearcher, CompressedCacheHitsCertifyAgainstDense) {
+  const datasets::DblpDataset dblp =
+      datasets::GenerateDblp(datasets::DblpGeneratorConfig::Tiny(400, 11));
+  const graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  const text::Corpus& corpus = dblp.dataset.corpus();
+
+  std::vector<std::string> terms;
+  for (text::TermId t = 0; t < corpus.vocab_size() && terms.size() < 12;
+       ++t) {
+    if (corpus.Df(t) >= 2) terms.push_back(corpus.TermString(t));
+  }
+  ASSERT_FALSE(terms.empty());
+
+  RankCache::Options cache_options;
+  RankCache dense = RankCache::BuildForTerms(
+      dblp.dataset.authority(), corpus, rates, terms, cache_options);
+  RankCache compressed = RankCache::BuildForTerms(
+      dblp.dataset.authority(), corpus, rates, terms, cache_options);
+  const RankCache::CompressionStats stats = compressed.Compress();
+  EXPECT_GT(stats.terms_compressed + stats.terms_dense, 0u);
+
+  for (const std::string& term : terms) {
+    const text::QueryVector query(text::ParseQuery(term));
+
+    Searcher dense_searcher(dblp.dataset.data(), dblp.dataset.authority(),
+                            corpus);
+    dense_searcher.AttachRankCache(&dense);
+    SearchOptions options;
+    options.k = 5;
+    options.tier = SearchTier::kCached;
+    const auto dense_hit = dense_searcher.Search(query, rates, options);
+    ASSERT_TRUE(dense_hit.ok());
+    ASSERT_TRUE(dense_hit->from_cache);
+
+    Searcher searcher(dblp.dataset.data(), dblp.dataset.authority(), corpus);
+    searcher.AttachRankCache(&compressed);
+    const auto hit = searcher.Search(query, rates, options);
+    ASSERT_TRUE(hit.ok());
+    if (!hit->from_cache) {
+      // Certification rejected the compressed entry: the miss reason must
+      // say so, and the escalated answer is the exact kernel's.
+      EXPECT_EQ(hit->cache_miss_reason, CacheMissReason::kErrorBudget);
+      EXPECT_TRUE(hit->escalated);
+      continue;
+    }
+    std::vector<uint64_t> got, want;
+    for (const ScoredNode& s : hit->top) got.push_back(s.node);
+    for (const ScoredNode& s : dense_hit->top) want.push_back(s.node);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "term " << term;
+  }
+}
+
+// Concurrent tier selection: many threads mixing tiers against a shared
+// RankCache and per-thread Searchers over the same graph. The shared
+// surfaces (cache queries, fused-weight memoization inside the engines'
+// layout cache, certification) must be race-free — this test carries the
+// tsan label.
+TEST(ApproxTierConcurrent, MixedTiersAreRaceFree) {
+  const datasets::DblpDataset dblp =
+      datasets::GenerateDblp(datasets::DblpGeneratorConfig::Tiny(300, 23));
+  const graph::TransferRates rates =
+      datasets::DblpGroundTruthRates(dblp.dataset.schema(), dblp.types);
+  const text::Corpus& corpus = dblp.dataset.corpus();
+
+  std::vector<std::string> terms;
+  for (text::TermId t = 0; t < corpus.vocab_size() && terms.size() < 8;
+       ++t) {
+    if (corpus.Df(t) >= 2) terms.push_back(corpus.TermString(t));
+  }
+  ASSERT_FALSE(terms.empty());
+
+  RankCache::Options cache_options;
+  RankCache cache = RankCache::BuildForTerms(
+      dblp.dataset.authority(), corpus, rates, terms, cache_options);
+  const RankCache::CompressionStats stats = cache.Compress();
+  (void)stats;
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 12;
+  const SearchTier tiers[] = {SearchTier::kAuto, SearchTier::kExact,
+                              SearchTier::kApproximate, SearchTier::kCached};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Searcher searcher(dblp.dataset.data(), dblp.dataset.authority(),
+                        corpus);
+      searcher.AttachRankCache(&cache);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const std::string& term = terms[(w + q) % terms.size()];
+        SearchOptions options;
+        options.k = 5;
+        options.tier = tiers[(w * kQueriesPerThread + q) % 4];
+        const auto result = searcher.Search(
+            text::QueryVector(text::ParseQuery(term)), rates, options);
+        if (!result.ok() || result->top.empty()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace orx::core

@@ -251,7 +251,9 @@ TEST(FrameCodecTest, RemainingPayloadCodecsRoundTrip) {
 
 TEST(FrameCodecTest, DecodersRejectEveryTruncation) {
   // Every strict prefix of a valid payload must decode to kDataLoss —
-  // never a crash, never silent acceptance.
+  // never a crash, never silent acceptance — except the one prefix that
+  // ends exactly at the pre-tier legacy boundary, which by design
+  // decodes as a frame from an older peer with the tier block defaulted.
   SearchResponse response;
   WireResult r;
   r.node = 5;
@@ -260,17 +262,87 @@ TEST(FrameCodecTest, DecodersRejectEveryTruncation) {
   r.display_label = "A Title";
   response.results.push_back(r);
   const std::string search_payload = EncodeSearchResponse(response);
+  // Trailing tier block: tier_used u8 + error_bound f64 + certified u8
+  // + escalated u8.
+  const size_t search_legacy = search_payload.size() - 11;
   for (size_t len = 0; len < search_payload.size(); ++len) {
     auto decoded = DecodeSearchResponse(search_payload.substr(0, len));
+    if (len == search_legacy) {
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded->tier_used, 1);  // defaults: exact, certified
+      EXPECT_EQ(decoded->error_bound, 0.0);
+      EXPECT_TRUE(decoded->certified);
+      EXPECT_FALSE(decoded->escalated);
+      continue;
+    }
     ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
     EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
   }
 
   const std::string metrics_payload =
       EncodeMetricsResponse(MetricsResponse{});
+  // Trailing tier block: 9 u64 counters + 6 doubles.
+  const size_t metrics_legacy = metrics_payload.size() - (9 + 6) * 8;
   for (size_t len = 0; len < metrics_payload.size(); ++len) {
-    ASSERT_FALSE(DecodeMetricsResponse(metrics_payload.substr(0, len)).ok());
+    auto decoded = DecodeMetricsResponse(metrics_payload.substr(0, len));
+    if (len == metrics_legacy) {
+      ASSERT_TRUE(decoded.ok());
+      continue;
+    }
+    ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
   }
+}
+
+TEST(FrameCodecTest, SearchTierRoundTripsAndLegacyRequestDefaultsToAuto) {
+  SearchRequest request;
+  request.query = "mining";
+  request.k = 10;
+  request.deadline_seconds = 0.25;
+  request.tier = 2;  // approximate
+  auto decoded = DecodeSearchRequest(EncodeSearchRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tier, 2);
+
+  // A pre-tier client's frame ends after the deadline field.
+  const std::string full = EncodeSearchRequest(request);
+  auto legacy = DecodeSearchRequest(full.substr(0, full.size() - 1));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->tier, 0);  // auto
+
+  // Tier values above kCached are malformed, not future-proof.
+  std::string bad = full;
+  bad.back() = 9;
+  auto rejected = DecodeSearchRequest(bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, SearchResponseTierBlockRoundTrips) {
+  SearchResponse response;
+  response.iterations = 4;
+  response.tier_used = 2;
+  response.error_bound = 1.5e-7;
+  response.certified = true;
+  response.escalated = false;
+  auto decoded = DecodeSearchResponse(EncodeSearchResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tier_used, 2);
+  EXPECT_EQ(decoded->error_bound, 1.5e-7);
+  EXPECT_TRUE(decoded->certified);
+  EXPECT_FALSE(decoded->escalated);
+
+  MetricsResponse metrics;
+  metrics.serve.tier_approximate = 7;
+  metrics.serve.escalations = 2;
+  metrics.serve.miss_error_budget = 3;
+  metrics.serve.tier_approximate_p50 = 0.004;
+  auto metrics_decoded =
+      DecodeMetricsResponse(EncodeMetricsResponse(metrics));
+  ASSERT_TRUE(metrics_decoded.ok());
+  EXPECT_EQ(metrics_decoded->serve.tier_approximate, 7u);
+  EXPECT_EQ(metrics_decoded->serve.escalations, 2u);
+  EXPECT_EQ(metrics_decoded->serve.miss_error_budget, 3u);
+  EXPECT_EQ(metrics_decoded->serve.tier_approximate_p50, 0.004);
 }
 
 TEST(FrameCodecTest, DecodersRejectTrailingGarbage) {

@@ -98,6 +98,9 @@ struct ClientFlags {
   double zipf_s = 1.0;
   uint32_t k = 10;
   uint64_t seed = 1;
+  // Requested execution tier on every kSearch frame (wire value of
+  // core::SearchTier): 0 auto, 1 exact, 2 approximate, 3 cached.
+  uint8_t tier = 0;
   // bench:
   int iters = 200;
   std::string json_path = "BENCH_net_serve.json";
@@ -113,6 +116,8 @@ int Usage(const char* argv0) {
       "          and the query mix come from the mapped corpus)\n"
       "          --score-tol T (e2e relative score tolerance; default 0\n"
       "          generated, 1e-12 with --dataset)\n"
+      "          --tier auto|exact|approx|cached (execution tier hint on\n"
+      "          every search frame; default auto)\n"
       "  load:   --threads N --connections N --duration SEC --pipeline N\n"
       "          --rate RPS (0 = closed loop) --churn P --zipf-terms N\n"
       "          --zipf-s S --k K --seed N --json PATH --drain-grace SEC\n"
@@ -144,6 +149,20 @@ bool ParseFlags(int argc, char** argv, ClientFlags* flags) {
       flags->rank_cache = v;
     } else if (arg == "--score-tol" && (v = value())) {
       flags->score_tol = std::atof(v);
+    } else if (arg == "--tier" && (v = value())) {
+      const std::string tier = v;
+      if (tier == "auto") {
+        flags->tier = 0;
+      } else if (tier == "exact") {
+        flags->tier = 1;
+      } else if (tier == "approx" || tier == "approximate") {
+        flags->tier = 2;
+      } else if (tier == "cached") {
+        flags->tier = 3;
+      } else {
+        std::fprintf(stderr, "unknown tier '%s'\n", v);
+        return false;
+      }
     } else if (arg == "--threads" && (v = value())) {
       flags->threads = std::atoi(v);
     } else if (arg == "--connections" && (v = value())) {
@@ -211,11 +230,22 @@ void PrintSearchResponse(const net::SearchResponse& response) {
                   r.type_label, r.display_label});
   }
   std::printf("%s", table.ToString().c_str());
-  std::printf("(%u iterations%s%s%s, %.2f ms)\n", response.iterations,
+  static const char* kTierNames[] = {"auto", "exact", "approx", "cached"};
+  const char* tier = response.tier_used <= 3
+                         ? kTierNames[response.tier_used]
+                         : "?";
+  std::printf("(%u iterations%s%s%s, tier %s%s%s, %.2f ms",
+              response.iterations,
               response.from_rank_cache ? ", rank-cache warm start" : "",
               response.cache_hit ? ", result-cache hit" : "",
-              response.coalesced ? ", coalesced" : "",
+              response.coalesced ? ", coalesced" : "", tier,
+              response.certified ? "" : " UNCERTIFIED",
+              response.escalated ? " escalated" : "",
               response.total_seconds * 1e3);
+  if (response.error_bound > 0.0) {
+    std::printf(", bound %.3g", response.error_bound);
+  }
+  std::printf(")\n");
 }
 
 int RunInteractive(const ClientFlags& flags) {
@@ -249,6 +279,7 @@ int RunInteractive(const ClientFlags& flags) {
       net::SearchRequest request;
       request.query = terms;
       request.k = flags.k;
+      request.tier = flags.tier;
       auto response = client.Search(request);
       if (!response.ok()) {
         std::printf("error: %s\n", response.status().ToString().c_str());
@@ -477,6 +508,43 @@ int RunE2e(const ClientFlags& flags) {
                   empty.status().code() == StatusCode::kInvalidArgument,
               "empty query -> kInvalidArgument error frame");
   }
+
+  // Tier hints: an exact-tier request reports tier 1 with a zero bound; an
+  // approximate-tier request either certifies (same top-k node set as the
+  // exact golden, a positive finite bound) or escalates back to exact.
+  {
+    const std::string& q = queries.front();
+    net::SearchRequest exact_request;
+    exact_request.query = q;
+    exact_request.k = flags.k;
+    exact_request.tier = 1;
+    auto exact = client.Search(exact_request);
+    E2E_CHECK(exact.ok() && exact->tier_used == 1 &&
+                  exact->error_bound == 0.0 && exact->certified,
+              "tier=exact -> tier_used 1, zero error bound");
+
+    net::SearchRequest approx_request = exact_request;
+    approx_request.tier = 2;
+    auto approx = client.Search(approx_request);
+    bool tier_ok = approx.ok();
+    if (tier_ok && approx->tier_used == 2) {
+      // Certified answer: the top-k node set must equal the exact one.
+      tier_ok = approx->certified && approx->error_bound > 0.0 &&
+                exact.ok() &&
+                approx->results.size() == exact->results.size();
+      for (size_t i = 0; tier_ok && i < approx->results.size(); ++i) {
+        bool found = false;
+        for (size_t j = 0; !found && j < exact->results.size(); ++j) {
+          found = approx->results[i].node == exact->results[j].node;
+        }
+        tier_ok = found;
+      }
+    } else if (tier_ok) {
+      tier_ok = approx->tier_used == 1 && approx->escalated;
+    }
+    E2E_CHECK(tier_ok,
+              "tier=approx -> certified top-k == exact, or escalated");
+  }
   {
     auto validate = client.Validate();
     E2E_CHECK(validate.ok() && validate->ok,
@@ -619,6 +687,7 @@ void SendSearch(LoadConn* conn, const LoadShared& shared, Rng& rng,
   net::SearchRequest request;
   request.query = (*shared.terms)[shared.popularity->Sample(rng)];
   request.k = shared.flags->k;
+  request.tier = shared.flags->tier;
   const uint64_t id = conn->next_id++;
   conn->outbuf += net::EncodeFrame(net::Op::kSearch, id,
                                    net::EncodeSearchRequest(request));
@@ -1056,6 +1125,7 @@ int RunLoad(const ClientFlags& flags) {
                           dataset.snapshot->authority->num_edges()},
       threads, wall);
   record.Add("mode", flags.rate > 0.0 ? "open" : "closed")
+      .Add("tier", static_cast<int>(flags.tier))
       .Add("connections", connections)
       .Add("pipeline", flags.pipeline)
       .Add("target_rate", flags.rate)
@@ -1156,6 +1226,7 @@ int RunBench(const ClientFlags& flags) {
                    request.query =
                        dataset.head_terms[popularity.Sample(rng)];
                    request.k = flags.k;
+                   request.tier = flags.tier;
                    return client.Search(request).status();
                  },
                  flags.iters});
