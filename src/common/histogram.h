@@ -27,6 +27,11 @@ namespace orx {
 /// bucket bound never inflate to the bucket midpoint, and the unbounded
 /// overflow bucket reports the recorded max instead of a meaningless
 /// midpoint.
+///
+/// Deliberately capability-free under the thread-safety analysis
+/// (common/mutex.h): every field is a std::atomic and the documented
+/// raciness of Percentile() is the design, so there is no mutex to name
+/// in an ORX_GUARDED_BY.
 class LatencyHistogram {
  public:
   static constexpr size_t kNumBuckets = 96;

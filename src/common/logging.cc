@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace orx {
 namespace {
@@ -14,9 +15,12 @@ std::atomic<bool> g_verbose{false};
 // serve workers logging at once would interleave partial lines; the lock
 // plus a single fwrite of the fully formatted line keeps every line
 // intact. Heap-allocated so the mutex survives static destruction order
-// (logging from atexit handlers / late destructors stays safe).
-std::mutex& EmitMutex() {
-  static std::mutex& mu = *new std::mutex;
+// (logging from atexit handlers / late destructors stays safe). Named,
+// so logging while holding any other named lock records an order edge;
+// the emit lock is a leaf (nothing is acquired under it), so it can
+// never close a cycle.
+Mutex& EmitMutex() {
+  static Mutex& mu = *new Mutex("logging.emit");
   return mu;
 }
 
@@ -56,7 +60,7 @@ LogMessage::~LogMessage() {
   if (severity_ == LogSeverity::kDebug && !VerboseLoggingEnabled()) return;
   std::string line = stream_.str();
   line.push_back('\n');
-  std::lock_guard<std::mutex> lock(EmitMutex());
+  MutexLock lock(EmitMutex());
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

@@ -1,0 +1,264 @@
+// Runtime lock-order validator backing orx::Mutex (see mutex.h).
+//
+// Design: each thread keeps a stack of currently-held mutexes with the
+// file:line of each acquisition. When a *named* mutex B is acquired
+// while a *named* mutex A is held, the directed edge A -> B (with both
+// sites) is inserted into a process-wide order graph; if B can already
+// reach A through recorded edges, the program has two call paths that
+// acquire the pair in opposite orders — a deadlock waiting for the
+// right interleaving — and we abort immediately, deterministically,
+// naming both locks and both acquisition sites. Instance-keyed checks
+// (double-acquire, unlocking or cond-waiting a mutex the thread does
+// not hold, destroying a held mutex) apply to unnamed mutexes too.
+//
+// This file is the one sanctioned user of raw std:: synchronization in
+// src/ (the validator cannot be built on the layer it validates); the
+// `raw-mutex` lint rule exempts common/mutex.{h,cc} by path.
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace orx {
+namespace {
+
+// Validation defaults to on exactly when this TU is built with
+// assertions (Debug / sanitizer configs); RelWithDebInfo and Release
+// define NDEBUG and pay only an atomic load per lock operation.
+#ifdef NDEBUG
+constexpr bool kValidateByDefault = false;
+#else
+constexpr bool kValidateByDefault = true;
+#endif
+
+std::atomic<bool> g_validate{kValidateByDefault};
+
+struct Held {
+  const Mutex* mu;
+  const char* name;  // nullptr for unnamed mutexes
+  const char* file;
+  int line;
+};
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+struct EdgeSite {
+  // Acquisition sites recorded the first time this edge was seen:
+  // `from` was held (acquired at from_file:from_line) when `to` was
+  // acquired at to_file:to_line.
+  const char* from_file;
+  int from_line;
+  const char* to_file;
+  int to_line;
+};
+
+struct OrderGraph {
+  std::mutex mu;
+  // name -> (successor name -> first site that recorded the edge)
+  std::map<std::string, std::map<std::string, EdgeSite>> edges;
+};
+
+OrderGraph& Graph() {
+  static OrderGraph* g = new OrderGraph();  // leaky: usable at exit
+  return *g;
+}
+
+// DFS reachability over recorded edges. Caller holds Graph().mu.
+bool Reaches(const OrderGraph& g, const std::string& from,
+             const std::string& to, std::set<std::string>& visited) {
+  if (from == to) return true;
+  if (!visited.insert(from).second) return false;
+  auto it = g.edges.find(from);
+  if (it == g.edges.end()) return false;
+  for (const auto& [next, site] : it->second) {
+    (void)site;
+    if (Reaches(g, next, to, visited)) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void Die(const char* check, const std::string& detail) {
+  std::fprintf(stderr, "ORX_CHECK failed: %s\n%s\n", check, detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string SiteString(const char* file, int line) {
+  return std::string(file ? file : "?") + ":" + std::to_string(line);
+}
+
+void RecordOrderEdges(const Mutex* mu, const char* name, const char* file,
+                      int line) {
+  if (name == nullptr) return;
+  (void)mu;
+  OrderGraph& g = Graph();
+  for (const Held& held : HeldStack()) {
+    if (held.name == nullptr) continue;
+    if (std::strcmp(held.name, name) == 0) continue;  // same lock class
+    std::lock_guard<std::mutex> graph_lock(g.mu);
+    auto& successors = g.edges[held.name];
+    if (successors.count(name)) continue;  // edge already established
+    // Inserting held.name -> name: a cycle exists iff name already
+    // reaches held.name through recorded edges.
+    std::set<std::string> visited;
+    if (Reaches(g, name, held.name, visited)) {
+      const EdgeSite* prior = nullptr;
+      auto rev = g.edges.find(name);
+      if (rev != g.edges.end()) {
+        auto re = rev->second.find(held.name);
+        if (re != rev->second.end()) prior = &re->second;
+      }
+      std::string detail =
+          "lock-order inversion: acquiring \"" + std::string(name) +
+          "\" at " + SiteString(file, line) + " while holding \"" +
+          held.name + "\" (acquired at " +
+          SiteString(held.file, held.line) + "),\nbut the opposite order \"" +
+          name + "\" before \"" + held.name + "\" was established" +
+          (prior != nullptr
+               ? " at " + SiteString(prior->to_file, prior->to_line) +
+                     " (while \"" + name + "\" was held from " +
+                     SiteString(prior->from_file, prior->from_line) + ")"
+               : " by a chain of intermediate locks") +
+          ".";
+      Die("lock-order inversion", detail);
+    }
+    successors[name] = EdgeSite{held.file, held.line, file, line};
+  }
+}
+
+void CheckNotHeld(const Mutex* mu, const char* name, const char* file,
+                  int line) {
+  for (const Held& held : HeldStack()) {
+    if (held.mu == mu) {
+      Die("mutex already held",
+          "self-deadlock: mutex \"" + std::string(name ? name : "<unnamed>") +
+              "\" re-acquired at " + SiteString(file, line) +
+              " while already held by this thread (acquired at " +
+              SiteString(held.file, held.line) + ").");
+    }
+  }
+}
+
+void PushHeld(const Mutex* mu, const char* name, const char* file, int line) {
+  HeldStack().push_back(Held{mu, name, file, line});
+}
+
+// Tolerates a missing entry: the hold may predate enabling validation.
+void PopHeld(const Mutex* mu) {
+  std::vector<Held>& stack = HeldStack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+bool IsHeldByThisThread(const Mutex* mu) {
+  for (const Held& held : HeldStack()) {
+    if (held.mu == mu) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Mutex::~Mutex() {
+  if (g_validate.load(std::memory_order_relaxed) &&
+      IsHeldByThisThread(this)) {
+    Die("mutex destroyed while held",
+        "mutex \"" + std::string(name_ ? name_ : "<unnamed>") +
+            "\" destroyed by a thread that still holds it.");
+  }
+}
+
+void Mutex::Lock(const char* file, int line) {
+  if (g_validate.load(std::memory_order_relaxed)) {
+    CheckNotHeld(this, name_, file, line);
+    RecordOrderEdges(this, name_, file, line);
+    mu_.lock();
+    PushHeld(this, name_, file, line);
+    return;
+  }
+  mu_.lock();
+}
+
+void Mutex::Unlock() {
+  if (g_validate.load(std::memory_order_relaxed)) PopHeld(this);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock(const char* file, int line) {
+  if (!mu_.try_lock()) return false;
+  // No order edge on purpose: a trylock backs off instead of blocking,
+  // so it cannot close a deadlock cycle (abseil convention).
+  if (g_validate.load(std::memory_order_relaxed)) {
+    PushHeld(this, name_, file, line);
+  }
+  return true;
+}
+
+void Mutex::AssertHeld() const {
+  if (g_validate.load(std::memory_order_relaxed) &&
+      !IsHeldByThisThread(this)) {
+    Die("AssertHeld failed",
+        "mutex \"" + std::string(name_ ? name_ : "<unnamed>") +
+            "\" is not held by the asserting thread.");
+  }
+}
+
+void CondVar::Wait(Mutex& mu) {
+  if (g_validate.load(std::memory_order_relaxed) &&
+      !IsHeldByThisThread(&mu)) {
+    Die("condition wait on unheld mutex",
+        "CondVar::Wait called with mutex \"" +
+            std::string(mu.name() ? mu.name() : "<unnamed>") +
+            "\" not held by the calling thread.");
+  }
+  // Adopt the already-locked std::mutex for the wait, then release the
+  // unique_lock's ownership claim so the orx::Mutex wrapper (which
+  // still considers itself locked) retains it on return.
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::WaitUntil(Mutex& mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  if (g_validate.load(std::memory_order_relaxed) &&
+      !IsHeldByThisThread(&mu)) {
+    Die("condition wait on unheld mutex",
+        "CondVar::WaitUntil called with mutex \"" +
+            std::string(mu.name() ? mu.name() : "<unnamed>") +
+            "\" not held by the calling thread.");
+  }
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+void SetLockOrderValidation(bool enabled) {
+  g_validate.store(enabled, std::memory_order_relaxed);
+}
+
+bool LockOrderValidationEnabled() {
+  return g_validate.load(std::memory_order_relaxed);
+}
+
+void ResetLockOrderGraphForTest() {
+  OrderGraph& g = Graph();
+  std::lock_guard<std::mutex> graph_lock(g.mu);
+  g.edges.clear();
+}
+
+}  // namespace orx

@@ -1,0 +1,164 @@
+// Annotated lock layer: orx::Mutex / orx::MutexLock / orx::CondVar.
+//
+// Every mutex in src/ goes through this wrapper (enforced by the
+// `raw-mutex` lint rule) so that two orthogonal guarantees apply to the
+// whole tree at once:
+//
+//  1. Static proof under Clang. The ORX_* macros below expand to Clang
+//     Thread Safety Analysis attributes; the `thread-safety` CI job
+//     compiles everything with `-Wthread-safety -Wthread-safety-beta
+//     -Werror`, so a field marked ORX_GUARDED_BY(mu) that is touched
+//     without holding `mu` is a build break, not a TSan sample. Under
+//     GCC (the default local toolchain) the macros are no-ops and the
+//     wrapper costs one pointer over std::mutex.
+//
+//  2. Deterministic lock-order validation at runtime. Mutexes built
+//     with a name enroll in a process-wide acquisition-order graph; a
+//     debug build (or any build after SetLockOrderValidation(true))
+//     maintains a per-thread held-lock stack and aborts, naming both
+//     locks and both acquisition sites, the first time two named
+//     mutexes are ever acquired in inconsistent orders — no unlucky
+//     interleaving required. Self-deadlock (re-acquiring a held
+//     orx::Mutex) and waiting a CondVar on a mutex the caller does not
+//     hold abort for *all* mutexes, named or not.
+//
+// Conventions (see docs/correctness.md, "Static thread-safety
+// analysis"):
+//   - fields:   `int x ORX_GUARDED_BY(mu_);`
+//   - helpers that expect the lock held: `void FooLocked() ORX_REQUIRES(mu_);`
+//   - public entry points that take the lock: `void Foo() ORX_LOCKS_EXCLUDED(mu_);`
+//   - condition waits are explicit while-loops in the annotated caller;
+//     CondVar deliberately has no predicate overloads because the
+//     analysis cannot see through a predicate lambda.
+#ifndef ORX_COMMON_MUTEX_H_
+#define ORX_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang Thread Safety Analysis attribute macros -------------------------
+// No-ops on non-Clang compilers so GCC builds the identical tree.
+#if defined(__clang__) && (!defined(SWIG))
+#define ORX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ORX_THREAD_ANNOTATION(x)
+#endif
+
+#define ORX_CAPABILITY(x) ORX_THREAD_ANNOTATION(capability(x))
+#define ORX_SCOPED_CAPABILITY ORX_THREAD_ANNOTATION(scoped_lockable)
+#define ORX_GUARDED_BY(x) ORX_THREAD_ANNOTATION(guarded_by(x))
+#define ORX_PT_GUARDED_BY(x) ORX_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ORX_REQUIRES(...) \
+  ORX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ORX_ACQUIRE(...) \
+  ORX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ORX_RELEASE(...) \
+  ORX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ORX_TRY_ACQUIRE(...) \
+  ORX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ORX_LOCKS_EXCLUDED(...) \
+  ORX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ORX_ASSERT_CAPABILITY(x) \
+  ORX_THREAD_ANNOTATION(assert_capability(x))
+#define ORX_RETURN_CAPABILITY(x) ORX_THREAD_ANNOTATION(lock_returned(x))
+#define ORX_NO_THREAD_SAFETY_ANALYSIS \
+  ORX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace orx {
+
+class CondVar;
+
+// Wrapper around std::mutex carrying a Clang capability and an optional
+// name. Named mutexes participate in the global acquisition-order
+// graph; unnamed ones are exempt from ordering (many short-lived
+// instances of one class would otherwise alias to a single graph node
+// and fabricate cycles) but still get self-deadlock and wait-unheld
+// checking. Name string must outlive the mutex (string literals).
+class ORX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+  ~Mutex();
+
+  // The default arguments capture the *call site*, which is what the
+  // lock-order validator reports on an inversion.
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ORX_ACQUIRE();
+  void Unlock() ORX_RELEASE();
+  // Records the hold (so Unlock/AssertHeld work) but deliberately adds
+  // no order-graph edge: a trylock cannot participate in a deadlock.
+  bool TryLock(const char* file = __builtin_FILE(),
+               int line = __builtin_LINE()) ORX_TRY_ACQUIRE(true);
+  // Runtime-checks (when validation is on) and statically asserts that
+  // the calling thread holds this mutex. For paths the static analysis
+  // cannot follow (e.g. a callback invoked from a locked region).
+  void AssertHeld() const ORX_ASSERT_CAPABILITY(this);
+
+  const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_ = nullptr;
+};
+
+// RAII lock with the scoped-capability annotation. Prefer this over
+// paired Lock()/Unlock() everywhere control flow allows.
+class ORX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) ORX_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(file, line);
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() ORX_RELEASE() { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to orx::Mutex. No predicate overloads on
+// purpose: the caller writes `while (!pred) cv.Wait(mu);` inside the
+// locked region so the static analysis sees every read of the guarded
+// predicate under its capability.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, sleeps, and reacquires before returning.
+  // Aborts (validation on) if the calling thread does not hold `mu`.
+  void Wait(Mutex& mu) ORX_REQUIRES(mu);
+  // Returns false if `deadline` passed before a notification; the
+  // mutex is reacquired either way, so the caller re-checks its
+  // predicate on both outcomes.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      ORX_REQUIRES(mu);
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// --- runtime lock-order validator ------------------------------------------
+// Defaults on in builds of mutex.cc without NDEBUG (Debug / sanitizer
+// configs) and off in NDEBUG builds; tests force it with
+// SetLockOrderValidation(true). Toggle only while no orx::Mutex is
+// held anywhere: holds taken while validation was off are invisible to
+// the per-thread stacks, so enabling mid-flight can misreport.
+void SetLockOrderValidation(bool enabled);
+bool LockOrderValidationEnabled();
+
+// Drops every recorded acquisition-order edge (test isolation only).
+void ResetLockOrderGraphForTest();
+
+}  // namespace orx
+
+#endif  // ORX_COMMON_MUTEX_H_

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 
 namespace orx {
 
@@ -79,6 +80,21 @@ std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
   return std::string(buf);
+}
+
+std::string ErrnoString(int errno_value) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // glibc default: GNU strerror_r returns the message pointer (which may
+  // be `buf` or a static immutable string) and never fails.
+  return std::string(strerror_r(errno_value, buf, sizeof(buf)));
+#else
+  // XSI strerror_r fills `buf` and returns 0 on success.
+  if (strerror_r(errno_value, buf, sizeof(buf)) != 0) {
+    std::snprintf(buf, sizeof(buf), "errno %d", errno_value);
+  }
+  return std::string(buf);
+#endif
 }
 
 }  // namespace orx

@@ -30,6 +30,11 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// Formats a double with `digits` significant decimal places (printf "%.*f").
 std::string FormatDouble(double value, int digits);
 
+/// Thread-safe strerror: the message for `errno_value` as a string.
+/// std::strerror may return a pointer into shared static storage
+/// (clang-tidy concurrency-mt-unsafe); this wraps strerror_r instead.
+std::string ErrnoString(int errno_value);
+
 }  // namespace orx
 
 #endif  // ORX_COMMON_STRINGS_H_

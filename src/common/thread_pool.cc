@@ -23,24 +23,24 @@ ThreadPool::ThreadPool(size_t num_threads, WorkerStartFn on_worker_start) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.SignalAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.Signal();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) all_done_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -67,8 +67,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) task_ready_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -76,9 +76,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) all_done_.SignalAll();
     }
   }
 }

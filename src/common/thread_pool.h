@@ -1,13 +1,13 @@
 #ifndef ORX_COMMON_THREAD_POOL_H_
 #define ORX_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace orx {
 
@@ -41,12 +41,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks (unbounded queue).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ORX_LOCKS_EXCLUDED(mu_);
 
   /// Blocks until every submitted task has finished, including tasks
   /// submitted while waiting. Safe to call repeatedly; the pool is
   /// reusable afterwards.
-  void Wait();
+  void Wait() ORX_LOCKS_EXCLUDED(mu_);
 
   /// Runs fn(i) for every i in [0, n) across the pool and waits. The
   /// assignment of indices to workers is unspecified; each index runs
@@ -62,12 +62,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;   // queue non-empty or stopping
-  std::condition_variable all_done_;     // queue empty and nothing running
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // tasks popped but not yet finished
-  bool stop_ = false;
+  Mutex mu_{"thread_pool.mu"};
+  CondVar task_ready_;   // queue non-empty or stopping
+  CondVar all_done_;     // queue empty and nothing running
+  std::deque<std::function<void()>> queue_ ORX_GUARDED_BY(mu_);
+  size_t in_flight_ ORX_GUARDED_BY(mu_) = 0;  // popped but not finished
+  bool stop_ ORX_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

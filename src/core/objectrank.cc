@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/numa.h"
 #include "common/thread_pool.h"
 
@@ -54,17 +53,21 @@ ThreadPool& SpmvPool() {
 // Computes sharing the pool never wait on each other's work.
 struct Completion {
   explicit Completion(size_t n) : remaining(n) {}
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t remaining;
+  Mutex mu{"objectrank.completion"};
+  CondVar cv;
+  size_t remaining ORX_GUARDED_BY(mu);
 
-  void Done() {
-    std::lock_guard<std::mutex> lock(mu);
-    if (--remaining == 0) cv.notify_one();
+  void Done() ORX_LOCKS_EXCLUDED(mu) {
+    bool last;
+    {
+      MutexLock lock(mu);
+      last = (--remaining == 0);
+    }
+    if (last) cv.Signal();
   }
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining == 0; });
+  void Wait() ORX_LOCKS_EXCLUDED(mu) {
+    MutexLock lock(mu);
+    while (remaining != 0) cv.Wait(mu);
   }
 };
 

@@ -577,7 +577,7 @@ const std::shared_ptr<const SellStructure>& FusedWeightCache::StructureLocked(
 std::shared_ptr<const FusedLayout> FusedWeightCache::Get(
     const AuthorityGraph& graph, const TransferRates& rates) {
   const uint64_t fingerprint = rates.Fingerprint();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BindLocked(graph);
   for (Slot& slot : layouts_) {
     if (slot.fingerprint == fingerprint) {
@@ -605,7 +605,7 @@ void FusedWeightCache::Seed(const AuthorityGraph& graph,
                             std::shared_ptr<const FusedLayout> layout) {
   ORX_CHECK(layout != nullptr &&
             layout->num_nodes() == graph.num_nodes());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BindLocked(graph);
   if (structure_ == nullptr) structure_ = layout->shared_structure();
   const uint64_t fingerprint = layout->rates_fingerprint();
@@ -621,7 +621,7 @@ void FusedWeightCache::Seed(const AuthorityGraph& graph,
 
 std::shared_ptr<const std::vector<size_t>> FusedWeightCache::Partition(
     const AuthorityGraph& graph, size_t parts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BindLocked(graph);
   for (const auto& [p, bounds] : partitions_) {
     if (p == parts) return bounds;
@@ -655,7 +655,7 @@ PushMass PushMass::Build(const AuthorityGraph& graph,
 std::shared_ptr<const PushMass> FusedWeightCache::Masses(
     const AuthorityGraph& graph, const TransferRates& rates) {
   const uint64_t fingerprint = rates.Fingerprint();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   BindLocked(graph);
   for (auto& [fp, last_used, masses] : masses_) {
     if (fp == fingerprint) {
@@ -680,12 +680,12 @@ std::shared_ptr<const PushMass> FusedWeightCache::Masses(
 }
 
 size_t FusedWeightCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return layouts_.size();
 }
 
 void FusedWeightCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   layouts_.clear();
   partitions_.clear();
   masses_.clear();

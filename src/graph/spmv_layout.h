@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <span>
 #include <tuple>
 #include <vector>
 
+#include "common/mutex.h"
 #include "graph/authority_graph.h"
 #include "graph/transfer_rates.h"
 
@@ -338,20 +338,20 @@ class FusedWeightCache {
     std::shared_ptr<const FusedLayout> layout;
   };
 
-  void BindLocked(const AuthorityGraph& graph);
+  void BindLocked(const AuthorityGraph& graph) ORX_REQUIRES(mu_);
   const std::shared_ptr<const SellStructure>& StructureLocked(
-      const AuthorityGraph& graph);
+      const AuthorityGraph& graph) ORX_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  const AuthorityGraph* graph_ = nullptr;  // bound on first use
-  uint64_t tick_ = 0;
-  std::vector<Slot> layouts_;
-  std::shared_ptr<const SellStructure> structure_;
+  mutable Mutex mu_{"fused_cache.mu"};
+  const AuthorityGraph* graph_ ORX_GUARDED_BY(mu_) = nullptr;  // first use
+  uint64_t tick_ ORX_GUARDED_BY(mu_) = 0;
+  std::vector<Slot> layouts_ ORX_GUARDED_BY(mu_);
+  std::shared_ptr<const SellStructure> structure_ ORX_GUARDED_BY(mu_);
   std::vector<std::pair<size_t, std::shared_ptr<const std::vector<size_t>>>>
-      partitions_;
+      partitions_ ORX_GUARDED_BY(mu_);
   /// (fingerprint, last_used, masses) — same LRU discipline as layouts_.
   std::vector<std::tuple<uint64_t, uint64_t, std::shared_ptr<const PushMass>>>
-      masses_;
+      masses_ ORX_GUARDED_BY(mu_);
 };
 
 }  // namespace orx::graph

@@ -9,18 +9,19 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/strings.h"
+
 namespace orx::io {
 
 StatusOr<std::shared_ptr<const MmapFile>> MmapFile::Open(
     const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    return NotFoundError("cannot open " + path + ": " +
-                         std::strerror(errno));
+    return NotFoundError("cannot open " + path + ": " + ErrnoString(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = ErrnoString(errno);
     ::close(fd);
     return InternalError("fstat " + path + ": " + err);
   }
@@ -29,7 +30,7 @@ StatusOr<std::shared_ptr<const MmapFile>> MmapFile::Open(
   if (size > 0) {
     addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     if (addr == MAP_FAILED) {
-      const std::string err = std::strerror(errno);
+      const std::string err = ErrnoString(errno);
       ::close(fd);
       return InternalError("mmap " + path + ": " + err);
     }

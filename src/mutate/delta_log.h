@@ -1,12 +1,11 @@
 #ifndef ORX_MUTATE_DELTA_LOG_H_
 #define ORX_MUTATE_DELTA_LOG_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "graph/schema_graph.h"
 #include "mutate/mutation.h"
@@ -87,15 +86,15 @@ class DeltaLog {
   const graph::SchemaGraph* schema_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<PendingBatch> queue_;
-  uint64_t next_sequence_ = 1;
-  uint64_t appended_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t drained_ = 0;
-  uint64_t mutations_appended_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_{"delta_log.mu"};
+  CondVar cv_;
+  std::deque<PendingBatch> queue_ ORX_GUARDED_BY(mu_);
+  uint64_t next_sequence_ ORX_GUARDED_BY(mu_) = 1;
+  uint64_t appended_ ORX_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ ORX_GUARDED_BY(mu_) = 0;
+  uint64_t drained_ ORX_GUARDED_BY(mu_) = 0;
+  uint64_t mutations_appended_ ORX_GUARDED_BY(mu_) = 0;
+  bool closed_ ORX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace orx::mutate

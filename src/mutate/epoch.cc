@@ -12,7 +12,7 @@ std::shared_ptr<const serve::ServeSnapshot> EpochManager::Publish(
   if (snapshot == nullptr) return nullptr;
   std::shared_ptr<State> state = state_;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     ++state->published;
   }
   const serve::ServeSnapshot* raw = snapshot.get();
@@ -24,31 +24,31 @@ std::shared_ptr<const serve::ServeSnapshot> EpochManager::Publish(
                      const serve::ServeSnapshot*) mutable {
     inner.reset();
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       ++state->reclaimed;
     }
-    state->cv.notify_all();
+    state->cv.SignalAll();
   };
   return std::shared_ptr<const serve::ServeSnapshot>(raw, std::move(deleter));
 }
 
 uint64_t EpochManager::published() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->published;
 }
 
 uint64_t EpochManager::reclaimed() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->reclaimed;
 }
 
 uint64_t EpochManager::live() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->published - state_->reclaimed;
 }
 
 EpochManager::Stats EpochManager::stats() const {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   Stats stats;
   stats.published = state_->published;
   stats.reclaimed = state_->reclaimed;
@@ -58,10 +58,18 @@ EpochManager::Stats EpochManager::stats() const {
 
 bool EpochManager::WaitForReclaimUnder(uint64_t limit,
                                        double timeout_seconds) const {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  return state_->cv.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds),
-      [&] { return state_->published - state_->reclaimed < limit; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  MutexLock lock(state_->mu);
+  while (state_->published - state_->reclaimed >= limit) {
+    if (!state_->cv.WaitUntil(state_->mu, deadline)) {
+      // Timed out: report whatever held at the final predicate check.
+      return state_->published - state_->reclaimed < limit;
+    }
+  }
+  return true;
 }
 
 }  // namespace orx::mutate

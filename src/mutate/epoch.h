@@ -1,11 +1,10 @@
 #ifndef ORX_MUTATE_EPOCH_H_
 #define ORX_MUTATE_EPOCH_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "serve/snapshot.h"
 
 namespace orx::mutate {
@@ -65,10 +64,10 @@ class EpochManager {
   /// Shared with every published snapshot's control block; outlives the
   /// manager if snapshots do.
   struct State {
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
-    uint64_t published = 0;
-    uint64_t reclaimed = 0;
+    mutable Mutex mu{"epoch.state_mu"};
+    mutable CondVar cv;
+    uint64_t published ORX_GUARDED_BY(mu) = 0;
+    uint64_t reclaimed ORX_GUARDED_BY(mu) = 0;
   };
 
   std::shared_ptr<State> state_;

@@ -32,7 +32,7 @@ SnapshotBuilder::SnapshotBuilder(
 SnapshotBuilder::~SnapshotBuilder() { Stop(); }
 
 void SnapshotBuilder::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ORX_CHECK(!started_);
   started_ = true;
   thread_ = std::thread([this] { Loop(); });
@@ -42,7 +42,7 @@ void SnapshotBuilder::Stop() {
   log_->Close();
   std::thread joinable;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     joinable = std::move(thread_);
   }
   if (joinable.joinable()) joinable.join();
@@ -50,13 +50,21 @@ void SnapshotBuilder::Stop() {
 
 bool SnapshotBuilder::WaitForSequence(uint64_t sequence,
                                       double timeout_seconds) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
-                      [&] { return stats_.applied_sequence >= sequence; });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  MutexLock lock(mu_);
+  while (stats_.applied_sequence < sequence) {
+    if (!cv_.WaitUntil(mu_, deadline)) {
+      return stats_.applied_sequence >= sequence;
+    }
+  }
+  return true;
 }
 
 SnapshotBuilder::Stats SnapshotBuilder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -86,7 +94,7 @@ void SnapshotBuilder::Loop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.batches_applied += applied;
       stats_.batches_rejected += rejected;
       stats_.mutations_applied += mutations;
@@ -99,10 +107,10 @@ void SnapshotBuilder::Loop() {
     // Rejected-only windows still advance the consumed sequence so
     // WaitForSequence callers observe their batch's fate either way.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stats_.applied_sequence = last_sequence;
     }
-    cv_.notify_all();
+    cv_.SignalAll();
   }
 }
 
@@ -162,7 +170,7 @@ void SnapshotBuilder::PublishWindow(const ApplyEffects& window) {
   corpus_ = std::move(corpus);
   cache_ = std::move(cache);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.publications;
   if (corpus_rebuilt) ++stats_.corpus_rebuilds;
   if (refresh_cache) {

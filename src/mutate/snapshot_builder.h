@@ -1,14 +1,13 @@
 #ifndef ORX_MUTATE_SNAPSHOT_BUILDER_H_
 #define ORX_MUTATE_SNAPSHOT_BUILDER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/rank_cache.h"
 #include "graph/data_graph.h"
@@ -135,10 +134,10 @@ class SnapshotBuilder {
   std::shared_ptr<const core::RankCache> cache_;
   std::vector<std::string> cache_terms_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  Stats stats_;  // guarded by mu_
-  bool started_ = false;
+  mutable Mutex mu_{"snapshot_builder.mu"};
+  mutable CondVar cv_;
+  Stats stats_ ORX_GUARDED_BY(mu_);
+  bool started_ ORX_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

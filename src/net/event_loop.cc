@@ -30,7 +30,14 @@ EventLoop::~EventLoop() {
   close(epoll_fd_);
 }
 
+void EventLoop::CheckOnLoopThread(const char* what) const {
+  const std::thread::id bound = loop_thread_.load(std::memory_order_acquire);
+  if (bound == std::thread::id()) return;  // Run() not entered yet
+  ORX_CHECK_MSG(std::this_thread::get_id() == bound, what);
+}
+
 Status EventLoop::AddFd(int fd, uint32_t events, Handler handler) {
+  CheckOnLoopThread("EventLoop::AddFd called off the loop thread");
   epoll_event event;
   event.events = events | EPOLLET;
   event.data.fd = fd;
@@ -42,6 +49,7 @@ Status EventLoop::AddFd(int fd, uint32_t events, Handler handler) {
 }
 
 Status EventLoop::ModFd(int fd, uint32_t events) {
+  CheckOnLoopThread("EventLoop::ModFd called off the loop thread");
   epoll_event event;
   event.events = events | EPOLLET;
   event.data.fd = fd;
@@ -52,6 +60,7 @@ Status EventLoop::ModFd(int fd, uint32_t events) {
 }
 
 void EventLoop::RemoveFd(int fd) {
+  CheckOnLoopThread("EventLoop::RemoveFd called off the loop thread");
   // The fd may already be gone (closed elsewhere implicitly removes it);
   // a failing DEL is not an error worth surfacing.
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
@@ -59,6 +68,7 @@ void EventLoop::RemoveFd(int fd) {
 }
 
 void EventLoop::Run() {
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
@@ -81,7 +91,7 @@ void EventLoop::Run() {
     // iteration.
     std::vector<Task> tasks;
     {
-      std::lock_guard<std::mutex> lock(task_mu_);
+      MutexLock lock(task_mu_);
       tasks.swap(tasks_);
     }
     for (Task& task : tasks) task();
@@ -96,7 +106,7 @@ void EventLoop::Stop() {
 
 void EventLoop::RunInLoop(Task task) {
   {
-    std::lock_guard<std::mutex> lock(task_mu_);
+    MutexLock lock(task_mu_);
     tasks_.push_back(std::move(task));
   }
   Wakeup();

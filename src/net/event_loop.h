@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace orx::net {
@@ -22,6 +23,12 @@ namespace orx::net {
 /// cross-thread entry points are RunInLoop() (enqueue a task; an eventfd
 /// wakes the epoll_wait) and Stop(). This keeps every connection
 /// single-threaded — no per-connection locks anywhere in the server.
+///
+/// The loop-thread-only contract is *enforced*, not just documented:
+/// Run() binds the calling thread's id, and AddFd/ModFd/RemoveFd
+/// ORX_CHECK-fail when called from any other thread afterwards. Before
+/// Run() the registration calls are allowed from any single thread
+/// (Server registers its listen fd from the starting thread).
 ///
 /// The loop also runs a coarse periodic tick (epoll_wait with a bounded
 /// timeout) for time-based policies: idle-connection sweeps don't need
@@ -68,16 +75,23 @@ class EventLoop {
  private:
   void Wakeup();
   void DrainWakeup();
+  /// ORX_CHECKs the loop-thread-only contract (no-op before Run()).
+  void CheckOnLoopThread(const char* what) const;
 
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;  // eventfd: cross-thread RunInLoop/Stop kicks
   const int tick_interval_ms_;
   Task tick_;
   std::atomic<bool> stop_{false};
+  /// Loop-thread-only (enforced via loop_thread_), hence no mutex: the
+  /// static analysis cannot express thread affinity, so this is exactly
+  /// the class of discipline CheckOnLoopThread pins at runtime.
   std::unordered_map<int, Handler> handlers_;
+  /// Bound by Run(); default id until then.
+  std::atomic<std::thread::id> loop_thread_{};
 
-  std::mutex task_mu_;
-  std::vector<Task> tasks_;  // guarded by task_mu_
+  Mutex task_mu_{"event_loop.task_mu"};
+  std::vector<Task> tasks_ ORX_GUARDED_BY(task_mu_);
 };
 
 }  // namespace orx::net

@@ -11,10 +11,12 @@
 
 #include <mutex>
 
+#include "common/strings.h"
+
 namespace orx::net {
 
 Status ErrnoError(const std::string& what) {
-  return UnavailableError(what + ": " + std::strerror(errno));
+  return UnavailableError(what + ": " + ErrnoString(errno));
 }
 
 void IgnoreSigpipe() {

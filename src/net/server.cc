@@ -361,7 +361,7 @@ Status Server::Start() {
       listen_fd_, EPOLLIN, [this](uint32_t) { AcceptReady(); });
   if (!added.ok()) return added;
   accept_thread_ = std::thread([this] { accept_loop_->Run(); });
-  started_ = true;
+  started_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -386,7 +386,13 @@ void Server::AcceptReady() {
 }
 
 void Server::Shutdown() {
-  if (!started_ || shut_down_.exchange(true)) return;
+  // Acquire pairs with Start()'s release store: a signal-watcher thread
+  // that observes started_ == true also observes the threads and fds
+  // Start() published before setting it.
+  if (!started_.load(std::memory_order_acquire) ||
+      shut_down_.exchange(true)) {
+    return;
+  }
   // 1. Stop accepting: no new connections during the drain.
   accept_loop_->Stop();
   accept_thread_.join();

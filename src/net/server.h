@@ -149,7 +149,11 @@ class Server {
   std::thread accept_thread_;
   std::vector<std::shared_ptr<Worker>> workers_;
   size_t next_worker_ = 0;  // acceptor thread only
-  bool started_ = false;
+  /// Atomic because Shutdown() is documented signal-watcher-thread-safe:
+  /// it reads this flag from a thread that never synchronized with
+  /// Start() (a plain bool here was a latent data race — see
+  /// net_test.cc, NetServerTest.ShutdownFromAnotherThreadBeforeStart).
+  std::atomic<bool> started_{false};
   std::atomic<bool> shut_down_{false};
 
   /// Frames dispatched to the handler whose Responder has not sent yet;

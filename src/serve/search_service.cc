@@ -125,10 +125,10 @@ SearchService::~SearchService() {
     // Wake batch leaders sleeping on their collection window so shutdown
     // doesn't have to sit out max_batch_delay_ms; their lanes run (and
     // their futures resolve) during the pool drain below.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [key, batch] : open_batches_) {
       batch->closed = true;
-      batch->cv.notify_all();
+      batch->cv.SignalAll();
     }
     open_batches_.clear();
   }
@@ -178,7 +178,7 @@ void SearchService::SubmitInternal(ServeRequest request,
   std::shared_ptr<PendingBatch> new_batch;
   std::string batch_key;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap = snapshot_;
     version = version_;
     options =
@@ -256,7 +256,7 @@ void SearchService::SubmitInternal(ServeRequest request,
             // the lane means late arrivals open a fresh window instead
             // of racing this one's execution.
             it->second->closed = true;
-            it->second->cv.notify_one();
+            it->second->cv.Signal();
             open_batches_.erase(it);
           }
           action = Action::kJoinBatch;
@@ -362,15 +362,18 @@ void SearchService::ExecuteBatch(std::shared_ptr<PendingBatch> batch,
                                  std::string batch_key) {
   std::vector<BatchLane> lanes;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const Clock::time_point flush_at =
         batch->created +
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(options_.max_batch_delay_ms /
                                           1e3));
     // Sleep until the window fills (a joiner closes it and notifies) or
-    // its delay expires. Spurious wakeups just re-check the predicate.
-    batch->cv.wait_until(lock, flush_at, [&] { return batch->closed; });
+    // its delay expires. Spurious wakeups just re-check the predicate;
+    // WaitUntil returning false means the delay expired.
+    while (!batch->closed) {
+      if (!batch->cv.WaitUntil(mu_, flush_at)) break;
+    }
     if (!batch->closed) {
       // Expired: close and unpublish it so late arrivals open a fresh
       // window instead of joining one that is about to run.
@@ -502,7 +505,7 @@ void SearchService::FinishExecution(const std::string& key, uint64_t version,
 
   std::vector<Waiter> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --pending_;
     if (auto it = flights_.find(key); it != flights_.end()) {
       waiters = std::move(it->second->waiters);
@@ -598,7 +601,7 @@ void SearchService::SwapSnapshot(
     std::shared_ptr<const ServeSnapshot> snapshot) {
   ORX_CHECK_MSG(snapshot != nullptr && snapshot->Complete(),
                 "SwapSnapshot needs a complete snapshot");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snapshot_ = std::move(snapshot);
   ++version_;
   // Evict only the entries that slid out of the retention window; the
@@ -616,12 +619,12 @@ void SearchService::SwapSnapshot(
 }
 
 std::shared_ptr<const ServeSnapshot> SearchService::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_;
 }
 
 uint64_t SearchService::snapshot_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return version_;
 }
 

@@ -3,18 +3,17 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/searcher.h"
@@ -277,8 +276,11 @@ class SearchService {
   };
 
   /// An open collection window: lanes with the same batch key gathering
-  /// until the window fills or its delay expires. Guarded by mu_; the
-  /// leader task sleeps on cv until `closed`.
+  /// until the window fills or its delay expires. Every field is guarded
+  /// by the *service* mu_ (not expressible as ORX_GUARDED_BY, which only
+  /// names capabilities reachable from the annotated object — the
+  /// runtime validator covers this edge instead); the leader task sleeps
+  /// on cv under mu_ until `closed`.
   struct PendingBatch {
     std::shared_ptr<const ServeSnapshot> snapshot;
     uint64_t version = 0;
@@ -288,7 +290,7 @@ class SearchService {
     Clock::time_point created;
     std::vector<BatchLane> lanes;
     bool closed = false;
-    std::condition_variable cv;
+    CondVar cv;
   };
 
   /// The version-independent part of the cache key: numeric options
@@ -302,7 +304,8 @@ class SearchService {
   /// Probes the result cache for `suffix` under every retained snapshot
   /// version, newest first (caller holds mu_). On a hit promotes the
   /// entry, fills `hit`, and returns true.
-  bool LookupCacheLocked(const std::string& suffix, ServeResponse& hit);
+  bool LookupCacheLocked(const std::string& suffix, ServeResponse& hit)
+      ORX_REQUIRES(mu_);
 
   /// The batch-compatibility fingerprint: RequestKey minus the query
   /// terms, plus the snapshot's transfer-rates fingerprint. Two
@@ -348,23 +351,25 @@ class SearchService {
 
   /// Inserts a completed result into the LRU (caller holds mu_).
   void CacheResultLocked(const std::string& key, uint64_t version,
-                         const core::SearchResult& result);
+                         const core::SearchResult& result) ORX_REQUIRES(mu_);
 
   const Options options_;
   const Clock::time_point start_time_;
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const ServeSnapshot> snapshot_;  // guarded by mu_
-  uint64_t version_ = 1;                           // guarded by mu_
-  size_t pending_ = 0;                             // guarded by mu_
-  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  mutable Mutex mu_{"search_service.mu"};
+  std::shared_ptr<const ServeSnapshot> snapshot_ ORX_GUARDED_BY(mu_);
+  uint64_t version_ ORX_GUARDED_BY(mu_) = 1;
+  size_t pending_ ORX_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
+      ORX_GUARDED_BY(mu_);
   /// Open batch windows by batch key. An entry is always joinable: it is
   /// erased the moment it closes (fills, expires, or service shutdown),
   /// so a late arrival opens a fresh window instead of racing a flush.
   std::unordered_map<std::string, std::shared_ptr<PendingBatch>>
-      open_batches_;
-  std::list<CachedResult> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<CachedResult>::iterator> cached_;
+      open_batches_ ORX_GUARDED_BY(mu_);
+  std::list<CachedResult> lru_ ORX_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<CachedResult>::iterator> cached_
+      ORX_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> rejected_{0};

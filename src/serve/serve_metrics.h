@@ -10,6 +10,11 @@ namespace orx::serve {
 /// Counters are cumulative since service construction; latencies come
 /// from a fixed-bucket histogram (see common/histogram.h), so the
 /// percentiles carry that histogram's ~25% bucket resolution.
+///
+/// Deliberately lock-free and annotation-free: this is a plain value
+/// type filled from atomics inside SearchService::Snapshot() — no field
+/// here is ever shared mutable state, so nothing carries ORX_GUARDED_BY
+/// (see docs/correctness.md, "Static thread-safety analysis").
 struct ServeMetrics {
   /// Requests presented to Submit(), including rejected ones.
   uint64_t submitted = 0;

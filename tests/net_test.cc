@@ -8,6 +8,7 @@
 #include "net/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/epoll.h>
 
 #include <atomic>
 #include <chrono>
@@ -24,6 +25,7 @@
 #include "mutate/mutation.h"
 #include "mutate/snapshot_builder.h"
 #include "net/client.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/net_util.h"
 #include "net/serve_handler.h"
@@ -537,6 +539,57 @@ TEST(NetServerTest, GracefulShutdownAnswersInflightFrames) {
   EXPECT_TRUE(answered.load());
   EXPECT_EQ(server.stats().unanswered_frames, 0u);
 }
+
+TEST(NetServerTest, ShutdownFromAnotherThreadBeforeStart) {
+  // Regression: Shutdown() before Start() used to tear down acceptor
+  // state that had never been set up. It must be a safe no-op — from a
+  // foreign thread, the worst case for the started_ handshake — and
+  // must not poison a later Start()/Shutdown() cycle.
+  Server server(TestServerOptions(), EchoHandler());
+  std::thread early([&] { server.Shutdown(); });
+  early.join();
+
+  ASSERT_TRUE(server.Start().ok());
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  client.Close();
+  server.Shutdown();
+  EXPECT_EQ(server.stats().unanswered_frames, 0u);
+}
+
+// Forked death tests don't coexist with TSan's runtime; the loop-thread
+// contract is still exercised indirectly by every server test there.
+#if defined(__SANITIZE_THREAD__)
+#define ORX_NET_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ORX_NET_TSAN_BUILD 1
+#endif
+#endif
+
+#ifndef ORX_NET_TSAN_BUILD
+TEST(NetServerTest, EventLoopRegistrationOffLoopThreadDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        EventLoop loop(/*tick=*/nullptr, /*tick_interval_ms=*/20);
+        std::atomic<bool> bound{false};
+        std::thread loop_thread([&] { loop.Run(); });
+        // After this task runs, Run() has bound the loop thread id and
+        // the loop-thread-only contract is armed.
+        loop.RunInLoop([&] { bound.store(true); });
+        while (!bound.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        IgnoreError(
+            loop.AddFd(0, EPOLLIN, [](uint32_t) {}));  // wrong thread: aborts
+        loop.Stop();
+        loop_thread.join();
+      },
+      "AddFd called off the loop thread");
+}
+#endif
 
 // --- full protocol stack over a DBLP snapshot ------------------------------
 

@@ -15,9 +15,12 @@ cmake -B "$BUILD_DIR" -S . \
   -DORX_SANITIZE=thread \
   -DORX_BUILD_BENCHMARKS=OFF \
   -DORX_BUILD_EXAMPLES=OFF
+# Keep this target list in sync with the `tsan` label in
+# tests/CMakeLists.txt, or newly labeled tests show up as "Not Run".
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test histogram_test logging_test rank_cache_test \
-           concurrent_search_test serve_test net_test mutate_test \
-           epoch_reclaim_test spmv_kernel_test batch_kernel_test
+  --target mutex_test thread_pool_test histogram_test logging_test \
+           rank_cache_test concurrent_search_test serve_test net_test \
+           mutate_test epoch_reclaim_test spmv_kernel_test \
+           batch_kernel_test approx_tier_test
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
 echo "TSan suite passed."

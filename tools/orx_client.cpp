@@ -213,7 +213,8 @@ tools::ServingDataset BuildClientDataset(const ClientFlags& flags,
     if (!attached.ok()) {
       std::fprintf(stderr, "dataset attach: %s\n",
                    attached.status().ToString().c_str());
-      std::exit(1);
+      // Single-threaded startup path; exit() is fine here.
+      std::exit(1);  // NOLINT(concurrency-mt-unsafe)
     }
     return std::move(*attached);
   }

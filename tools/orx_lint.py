@@ -24,6 +24,18 @@ of):
   include-guard   src/ headers must guard with ORX_<PATH>_H_ (e.g.
                   src/graph/validate.h -> ORX_GRAPH_VALIDATE_H_), so
                   guards never collide after a file move.
+  raw-mutex       std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable (and friends) are banned in
+                  src/ outside common/mutex.{h,cc}: every lock goes
+                  through the annotated orx::Mutex layer so the Clang
+                  thread-safety analysis and the runtime lock-order
+                  validator see it.
+  detached-thread std::thread construction is banned in src/ and tools/
+                  outside common/thread_pool.{h,cc} (use the pool, or
+                  allowlist the sanctioned long-lived service threads),
+                  and .detach() is banned everywhere scanned — a
+                  detached thread outlives every shutdown contract.
+                  (std::thread::id / std::this_thread are fine.)
 
 Allowlist: tools/orx_lint_allow.txt, one entry per line:
     <rule> <path-suffix>[ <substring>]
@@ -54,6 +66,19 @@ NEW_RE = re.compile(r"\bnew\b")
 DELETE_RE = re.compile(r"\bdelete\b")
 
 GUARD_RE = re.compile(r"^#ifndef\s+([A-Z0-9_]+)\s*$", re.MULTILINE)
+
+# The raw synchronization vocabulary the orx::Mutex layer replaces.
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b")
+RAW_MUTEX_EXEMPT = ("src/common/mutex.h", "src/common/mutex.cc")
+
+# `std::thread t(...)` but not `std::thread::id` / `std::thread::
+# hardware_concurrency` (scope-resolution uses are queries, not spawns).
+THREAD_SPAWN_RE = re.compile(r"\bstd::thread\b(?!\s*::)")
+THREAD_SPAWN_EXEMPT = ("src/common/thread_pool.h", "src/common/thread_pool.cc")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 
 
 def strip_comments_and_strings(line):
@@ -148,6 +173,40 @@ def check_naked_new(path, text):
                 yield Finding(
                     "naked-new", path, lineno, raw,
                     "naked `delete`; owning raw pointers are banned in src/")
+
+
+def check_raw_mutex(path, text):
+    if path in RAW_MUTEX_EXEMPT:
+        return
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = strip_comments_and_strings(raw)
+        if line.lstrip().startswith("#"):
+            continue  # `#include <mutex>` inside common/mutex.h etc.
+        if RAW_MUTEX_RE.search(line):
+            yield Finding(
+                "raw-mutex", path, lineno, raw,
+                "raw std:: synchronization in src/; use orx::Mutex / "
+                "orx::MutexLock / orx::CondVar from common/mutex.h so the "
+                "thread-safety analysis and lock-order validator cover it")
+
+
+def check_detached_thread(path, text, ban_spawn):
+    exempt_spawn = path in THREAD_SPAWN_EXEMPT
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = strip_comments_and_strings(raw)
+        if line.lstrip().startswith("#"):
+            continue
+        if ban_spawn and not exempt_spawn and THREAD_SPAWN_RE.search(line):
+            yield Finding(
+                "detached-thread", path, lineno, raw,
+                "std::thread outside common/thread_pool; submit to a "
+                "ThreadPool, or allowlist a sanctioned long-lived service "
+                "thread in tools/orx_lint_allow.txt")
+        if DETACH_RE.search(line):
+            yield Finding(
+                "detached-thread", path, lineno, raw,
+                ".detach() is banned: a detached thread outlives every "
+                "shutdown/drain contract; keep the handle and join it")
 
 
 def expected_guard(rel_path):
@@ -260,7 +319,13 @@ def lint_tree(root):
             continue
         findings.extend(check_status_discard(rel, text))
         findings.extend(check_no_rand(rel, text))
+        # .detach() is banned in every scanned dir; bare std::thread only
+        # in src/ and tools/ (tests spawn scenario threads legitimately).
+        findings.extend(check_detached_thread(
+            rel, text,
+            ban_spawn=rel.startswith("src/") or rel.startswith("tools/")))
         if rel.startswith("src/"):
+            findings.extend(check_raw_mutex(rel, text))
             findings.extend(check_naked_new(rel, text))
             if rel.endswith(".h"):
                 findings.extend(check_include_guard(rel, text, rel))
@@ -296,13 +361,31 @@ def self_test():
                                             "src/graph/thing.h")),
          "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n",
          "#ifndef ORX_GRAPH_THING_H_\n#define ORX_GRAPH_THING_H_\n#endif\n"),
+        (lambda t: list(check_raw_mutex("src/x.cc", t)),
+         "  std::lock_guard<std::mutex> lock(mu_);\n",
+         "  orx::MutexLock lock(mu_);\n  // std::mutex in a comment\n"),
+        (lambda t: list(check_raw_mutex("src/x.h", t)),
+         "  std::condition_variable cv_;\n  std::unique_lock<std::mutex> l;\n",
+         "  orx::CondVar cv_;\n  orx::Mutex mu_;\n#include <mutex>\n"),
+        # The wrapper's own implementation files may use the raw
+        # vocabulary (None = no bad half: nothing should fire there).
+        (lambda t: list(check_raw_mutex("src/common/mutex.cc", t)),
+         None,
+         "  std::mutex mu_;\n  std::unique_lock<std::mutex> lock(mu.mu_);\n"),
+        (lambda t: list(check_detached_thread("src/x.cc", t, True)),
+         "  std::thread t([] {});\n",
+         "  std::thread::id id = std::this_thread::get_id();\n"
+         "  n = std::thread::hardware_concurrency();\n"),
+        (lambda t: list(check_detached_thread("tests/x.cc", t, False)),
+         "  worker.detach();\n",
+         "  std::thread t([] {});\n  t.join();\n"),
     ]
     failures = 0
     for i, (checker, bad, good) in enumerate(cases):
-        if not checker(bad):
+        if bad is not None and not checker(bad):
             print(f"self-test case {i}: BAD snippet not flagged:\n{bad}")
             failures += 1
-        hits = checker(good)
+        hits = checker(good) if good is not None else []
         if hits:
             print(f"self-test case {i}: GOOD snippet flagged:\n"
                   + "\n".join(str(h) for h in hits))

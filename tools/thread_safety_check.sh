@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Negative-compile gate for the ORX thread-safety annotations.
+#
+# Clang's -Wthread-safety only has teeth if a genuine violation actually
+# fails the build: if the ORX_* macros rotted into no-ops under Clang
+# (say, a broken #ifdef), every annotated file would still compile and
+# CI would go green while guarding nothing. This script pins the gate
+# from both sides:
+#
+#   1. a GOOD twin — an ORX_GUARDED_BY field written under MutexLock —
+#      must compile cleanly with -Wthread-safety -Werror;
+#   2. a BAD twin — the same field written with no lock held — must
+#      FAIL to compile with a thread-safety diagnostic.
+#
+# Exits 0 on success, 1 on failure, 77 (the ctest SKIP_RETURN_CODE)
+# when no clang++ is available: GCC compiles the annotations away, so
+# only a Clang toolchain can run this check. Override the compiler with
+# ORX_CLANGXX=/path/to/clang++.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+find_clangxx() {
+  if [[ -n "${ORX_CLANGXX:-}" ]]; then
+    echo "$ORX_CLANGXX"
+    return
+  fi
+  local cand
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+              clang++-16 clang++-15 clang++-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      echo "$cand"
+      return
+    fi
+  done
+}
+
+CLANGXX="$(find_clangxx)"
+if [[ -z "$CLANGXX" ]]; then
+  echo "thread_safety_check: no clang++ found; skipping (exit 77)" >&2
+  exit 77
+fi
+
+CXXFLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Wthread-safety-beta
+          -Werror "-I$ROOT/src")
+TMPDIR_TS="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_TS"' EXIT
+
+# Shared scaffold: one annotated counter class, two twins that differ
+# only in whether the guarded write happens under the lock.
+cat > "$TMPDIR_TS/scaffold.h" <<'EOF'
+#include "common/mutex.h"
+
+namespace tscheck {
+
+class Counter {
+ public:
+  void Increment() {
+    orx::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int UnguardedRead();  // defined per-twin
+
+ protected:
+  orx::Mutex mu_;
+  int value_ ORX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tscheck
+EOF
+
+cat > "$TMPDIR_TS/good.cc" <<'EOF'
+#include "scaffold.h"
+
+namespace tscheck {
+int Counter::UnguardedRead() {
+  orx::MutexLock lock(mu_);
+  return value_;
+}
+}  // namespace tscheck
+EOF
+
+cat > "$TMPDIR_TS/bad.cc" <<'EOF'
+#include "scaffold.h"
+
+namespace tscheck {
+int Counter::UnguardedRead() {
+  ++value_;  // guarded field touched with mu_ not held
+  return value_;
+}
+}  // namespace tscheck
+EOF
+
+echo "thread_safety_check: using $("$CLANGXX" --version | head -1)"
+
+if ! "$CLANGXX" "${CXXFLAGS[@]}" "-I$TMPDIR_TS" "$TMPDIR_TS/good.cc"; then
+  echo "thread_safety_check: FAIL — the well-locked twin did not compile" >&2
+  echo "  (annotation macros or include paths are broken)" >&2
+  exit 1
+fi
+
+if "$CLANGXX" "${CXXFLAGS[@]}" "-I$TMPDIR_TS" "$TMPDIR_TS/bad.cc" \
+    2> "$TMPDIR_TS/bad.err"; then
+  echo "thread_safety_check: FAIL — a GUARDED_BY violation compiled clean" >&2
+  echo "  (-Wthread-safety is not biting; check the ORX_* macro guards)" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$TMPDIR_TS/bad.err"; then
+  echo "thread_safety_check: FAIL — bad twin failed for the wrong reason:" >&2
+  cat "$TMPDIR_TS/bad.err" >&2
+  exit 1
+fi
+
+echo "thread_safety_check: OK (good twin compiles, bad twin rejected)"
